@@ -1,0 +1,331 @@
+//! Zone-folded tight-binding band structure of single-walled CNTs.
+//!
+//! The graphene π-band dispersion `E±(k) = ±γ0·|1 + e^{ik·a1} + e^{ik·a2}|`
+//! is sampled along the `N` quantization lines of a tube `(n, m)` (the
+//! "zone folding" construction of Saito–Dresselhaus). This reproduces the
+//! DFT band structures the paper shows in Fig. 8c near the Fermi level,
+//! where transport happens.
+//!
+//! Particle–hole symmetry of the nearest-neighbour model means the valence
+//! bands are the exact mirror of the conduction bands; we therefore store
+//! only `E ≥ 0` and mirror on demand.
+
+use crate::chirality::Chirality;
+use crate::{Error, Result};
+use cnt_units::consts::{A_LATTICE, GAMMA0_EV};
+
+/// Graphene π-band magnitude `|f(k)|·γ0` in eV at wavevector `(kx, ky)`
+/// (units 1/m).
+///
+/// ```
+/// use cnt_atomistic::bands::graphene_dispersion_ev;
+/// // Γ point: |1 + 1 + 1| = 3 ⇒ 3γ0.
+/// assert!((graphene_dispersion_ev(0.0, 0.0) - 3.0 * 2.7).abs() < 1e-9);
+/// ```
+pub fn graphene_dispersion_ev(kx: f64, ky: f64) -> f64 {
+    // a1 = a(√3/2, 1/2), a2 = a(√3/2, −1/2).
+    let ax = A_LATTICE * 3f64.sqrt() / 2.0;
+    let ay = A_LATTICE / 2.0;
+    let p1 = kx * ax + ky * ay;
+    let p2 = kx * ax - ky * ay;
+    let re = 1.0 + p1.cos() + p2.cos();
+    let im = p1.sin() + p2.sin();
+    GAMMA0_EV * (re * re + im * im).sqrt()
+}
+
+/// One conduction subband `E_μ(k_t) ≥ 0` sampled on the longitudinal grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subband {
+    /// Quantization index `μ ∈ [0, N)`.
+    pub mu: i32,
+    /// Energies in eV, one per point of [`BandStructure::kt_per_meter`].
+    pub energy_ev: Vec<f64>,
+}
+
+impl Subband {
+    /// Minimum (band edge) energy of this subband in eV.
+    pub fn min_energy_ev(&self) -> f64 {
+        self.energy_ev.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum energy of this subband in eV.
+    pub fn max_energy_ev(&self) -> f64 {
+        self.energy_ev.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// Zone-folded band structure of a tube, precomputed on a `k_t` grid.
+///
+/// # Example
+///
+/// ```
+/// use cnt_atomistic::chirality::Chirality;
+/// use cnt_atomistic::bands::BandStructure;
+///
+/// // Grids with (nk − 1) divisible by 6 place the Dirac crossing of
+/// // metallic tubes exactly on a sample point.
+/// let bs = BandStructure::compute(Chirality::new(7, 7)?, 1201)?;
+/// assert!(bs.band_gap_ev() < 1e-3); // armchair ⇒ metallic
+/// assert_eq!(bs.mode_count(0.0), 2); // two channels at E_F
+/// # Ok::<(), cnt_atomistic::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandStructure {
+    chirality: Chirality,
+    kt_per_meter: Vec<f64>,
+    subbands: Vec<Subband>,
+    /// Cached `(min, max)` energy per subband for fast level filtering.
+    edges: Vec<(f64, f64)>,
+}
+
+impl BandStructure {
+    /// Computes the band structure of `chirality` on `nk` longitudinal
+    /// points spanning the full 1-D Brillouin zone `[-π/T, π/T]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TooFewSamples`] if `nk < 16` (mode counting would
+    /// be unreliable).
+    pub fn compute(chirality: Chirality, nk: usize) -> Result<Self> {
+        if nk < 16 {
+            return Err(Error::TooFewSamples { got: nk, min: 16 });
+        }
+        let (n, m) = (chirality.n() as f64, chirality.m() as f64);
+        let (t1, t2) = chirality.translation_indices();
+        let (t1, t2) = (t1 as f64, t2 as f64);
+        let n_hex = chirality.hexagon_count() as f64;
+
+        // Reciprocal basis: b1 = (2π/a)(1/√3, 1), b2 = (2π/a)(1/√3, −1).
+        let c = 2.0 * core::f64::consts::PI / A_LATTICE;
+        let b1 = (c / 3f64.sqrt(), c);
+        let b2 = (c / 3f64.sqrt(), -c);
+
+        // K1 = (−t2·b1 + t1·b2)/N (circumferential),
+        // K2 = ( m·b1 −  n·b2)/N (longitudinal).
+        let k1 = (
+            (-t2 * b1.0 + t1 * b2.0) / n_hex,
+            (-t2 * b1.1 + t1 * b2.1) / n_hex,
+        );
+        let k2 = ((m * b1.0 - n * b2.0) / n_hex, (m * b1.1 - n * b2.1) / n_hex);
+        let k2_len = (k2.0 * k2.0 + k2.1 * k2.1).sqrt();
+        let k2_hat = (k2.0 / k2_len, k2.1 / k2_len);
+
+        let t_len = chirality.translation_length().meters();
+        let k_max = core::f64::consts::PI / t_len;
+        let kt_per_meter: Vec<f64> = (0..nk)
+            .map(|i| -k_max + 2.0 * k_max * i as f64 / (nk - 1) as f64)
+            .collect();
+
+        let n_sub = chirality.hexagon_count();
+        let mut subbands = Vec::with_capacity(n_sub as usize);
+        for mu in 0..n_sub {
+            let mf = mu as f64;
+            let energy_ev = kt_per_meter
+                .iter()
+                .map(|&kt| {
+                    let kx = mf * k1.0 + kt * k2_hat.0;
+                    let ky = mf * k1.1 + kt * k2_hat.1;
+                    graphene_dispersion_ev(kx, ky)
+                })
+                .collect();
+            subbands.push(Subband { mu, energy_ev });
+        }
+
+        let edges = subbands
+            .iter()
+            .map(|sb| (sb.min_energy_ev(), sb.max_energy_ev()))
+            .collect();
+        Ok(Self {
+            chirality,
+            kt_per_meter,
+            subbands,
+            edges,
+        })
+    }
+
+    /// The tube this band structure belongs to.
+    pub fn chirality(&self) -> Chirality {
+        self.chirality
+    }
+
+    /// Longitudinal wavevector grid (1/m) spanning the full Brillouin zone.
+    pub fn kt_per_meter(&self) -> &[f64] {
+        &self.kt_per_meter
+    }
+
+    /// Conduction subbands (valence bands are their mirror images).
+    pub fn subbands(&self) -> &[Subband] {
+        &self.subbands
+    }
+
+    /// Band gap in eV: `2·min_μ,k E_μ(k)` (zero for metallic tubes up to
+    /// grid resolution).
+    pub fn band_gap_ev(&self) -> f64 {
+        2.0 * self
+            .subbands
+            .iter()
+            .map(Subband::min_energy_ev)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Number of conducting modes (orbital channels) at energy `e_ev`
+    /// relative to the charge-neutral Fermi level.
+    ///
+    /// Counts band crossings of the level across the full Brillouin zone and
+    /// divides by two (each mode crosses once with positive and once with
+    /// negative velocity). Energies in the valence band are handled by
+    /// particle–hole symmetry. At exactly `E = 0` on a metallic tube the
+    /// level is nudged by 1 µeV so that the touching point counts as the
+    /// physical two channels.
+    pub fn mode_count(&self, e_ev: f64) -> usize {
+        let e = e_ev.abs().max(1e-6);
+        let mut crossings = 0usize;
+        for (sb, &(lo, hi)) in self.subbands.iter().zip(&self.edges) {
+            // A level outside [min, max] cannot cross this subband.
+            if e < lo || e > hi {
+                continue;
+            }
+            let es = &sb.energy_ev;
+            for w in es.windows(2) {
+                let d0 = w[0] - e;
+                let d1 = w[1] - e;
+                if d0 == 0.0 {
+                    // Grid point exactly on the level: count as half a
+                    // crossing on each side; statistically negligible but
+                    // avoids double counting.
+                    continue;
+                }
+                if d0 * d1 < 0.0 {
+                    crossings += 1;
+                }
+            }
+        }
+        crossings / 2
+    }
+
+    /// Sorted van Hove (subband-edge) energies in eV, ascending, conduction
+    /// side. The first entry is half the band gap for semiconducting tubes.
+    pub fn van_hove_energies_ev(&self) -> Vec<f64> {
+        let mut edges: Vec<f64> = self.subbands.iter().map(Subband::min_energy_ev).collect();
+        edges.sort_by(|a, b| a.partial_cmp(b).expect("band energies are finite"));
+        edges.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        edges
+    }
+
+    /// Densely sampled transmission function `T(E) = mode_count(E)` over the
+    /// energy window `[e_min, e_max]` (eV), with `n` points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TooFewSamples`] if `n < 2`.
+    pub fn transmission_spectrum(&self, e_min: f64, e_max: f64, n: usize) -> Result<Vec<(f64, f64)>> {
+        if n < 2 {
+            return Err(Error::TooFewSamples { got: n, min: 2 });
+        }
+        Ok((0..n)
+            .map(|i| {
+                let e = e_min + (e_max - e_min) * i as f64 / (n - 1) as f64;
+                (e, self.mode_count(e) as f64)
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bs(n: i32, m: i32) -> BandStructure {
+        BandStructure::compute(Chirality::new(n, m).unwrap(), 1201).unwrap()
+    }
+
+    #[test]
+    fn rejects_coarse_grids() {
+        assert!(BandStructure::compute(Chirality::new(7, 7).unwrap(), 8).is_err());
+    }
+
+    #[test]
+    fn graphene_high_symmetry_points() {
+        // K point of graphene: E = 0. K = (2π/a)(1/√3, 1/3).
+        let c = 2.0 * core::f64::consts::PI / A_LATTICE;
+        let e_k = graphene_dispersion_ev(c / 3f64.sqrt(), c / 3.0);
+        assert!(e_k.abs() < 1e-6, "E(K) = {e_k}");
+        // M point: E = γ0. M = (2π/a)(1/√3, 0).
+        let e_m = graphene_dispersion_ev(c / 3f64.sqrt(), 0.0);
+        assert!((e_m - GAMMA0_EV).abs() < 1e-9, "E(M) = {e_m}");
+    }
+
+    #[test]
+    fn armchair_is_gapless_with_two_modes() {
+        let b = bs(7, 7);
+        assert!(b.band_gap_ev() < 2e-3, "gap {}", b.band_gap_ev());
+        assert_eq!(b.mode_count(0.0), 2);
+        assert_eq!(b.mode_count(0.05), 2);
+        assert_eq!(b.mode_count(-0.05), 2);
+    }
+
+    #[test]
+    fn metallic_zigzag_is_gapless_semiconducting_is_not() {
+        let met = bs(9, 0);
+        assert!(met.band_gap_ev() < 2e-3);
+        let semi = bs(13, 0);
+        // Analytic estimate 2γ0·a_cc/d ≈ 0.75 eV for (13,0).
+        let est = Chirality::new(13, 0).unwrap().band_gap_estimate_ev();
+        assert!(
+            (semi.band_gap_ev() - est).abs() / est < 0.15,
+            "gap {} vs estimate {est}",
+            semi.band_gap_ev()
+        );
+        assert_eq!(semi.mode_count(0.0), 0);
+    }
+
+    #[test]
+    fn mode_count_increases_past_van_hove_edges() {
+        let b = bs(7, 7);
+        let edges = b.van_hove_energies_ev();
+        // First nonzero vHs of (7,7) sits near 1.2 eV (π-TB).
+        let first = edges.iter().copied().find(|&e| e > 0.05).unwrap();
+        assert!((first - 1.18).abs() < 0.1, "first vHs {first}");
+        assert!(b.mode_count(first + 0.05) > b.mode_count(first - 0.05));
+    }
+
+    #[test]
+    fn paper_anchor_two_channels_below_first_vhs() {
+        // The doped Fermi level −0.6 eV still lies inside the 2-channel
+        // window of the *host* (7,7) bands — the extra channels of the
+        // paper's doped tube come from the dopant itself (see `doping`).
+        let b = bs(7, 7);
+        assert_eq!(b.mode_count(-0.6), 2);
+    }
+
+    #[test]
+    fn transmission_spectrum_is_step_like_and_symmetric() {
+        let b = bs(10, 10);
+        let spec = b.transmission_spectrum(-2.0, 2.0, 401).unwrap();
+        assert_eq!(spec.len(), 401);
+        for (e, t) in &spec {
+            assert!(*t >= 0.0);
+            // Particle–hole symmetry.
+            let mirrored = b.mode_count(-*e) as f64;
+            assert_eq!(*t, mirrored, "asymmetry at E={e}");
+        }
+    }
+
+    #[test]
+    fn subband_count_matches_hexagon_count() {
+        for &(n, m) in &[(7, 7), (13, 0), (10, 5)] {
+            let c = Chirality::new(n, m).unwrap();
+            let b = BandStructure::compute(c, 64).unwrap();
+            assert_eq!(b.subbands().len(), c.hexagon_count() as usize);
+        }
+    }
+
+    #[test]
+    fn energies_bounded_by_3_gamma0() {
+        let b = bs(11, 4);
+        for sb in b.subbands() {
+            assert!(sb.max_energy_ev() <= 3.0 * GAMMA0_EV + 1e-9);
+            assert!(sb.min_energy_ev() >= -1e-12);
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! Charge-transfer doping of carbon nanotubes.
+//!
+//! The paper (Fig. 8b/c) dopes CNT(7,7) with iodine and finds from DFT:
+//!
+//! * the Fermi level shifts **down by ≈ 0.6 eV** (p-type charge transfer);
+//! * the ballistic conductance rises from **0.155 mS to 0.387 mS**,
+//!   i.e. from 2 to 5 conducting channels.
+//!
+//! A rigid shift of the host bands alone cannot produce five channels —
+//! the host (7,7) still has only two modes at −0.6 eV because its first
+//! van Hove singularity sits near 1.2 eV. The extra channels in the DFT
+//! come from iodine-derived states (polyiodide chains are themselves 1-D
+//! conductors) hybridized near the new Fermi level. We model this
+//! explicitly: a [`DopingSpec`] carries the charge-transfer shift **and**
+//! a set of [`DopantBand`]s that contribute additional transport modes in
+//! a finite energy window. The iodine preset is calibrated to reproduce
+//! both DFT anchors; the PtCl₄ presets (used on MWCNTs in Fig. 2) reuse
+//! the same machinery with a weaker shift for the external case.
+
+use crate::bands::BandStructure;
+use crate::chirality::Chirality;
+use crate::transport;
+use crate::{Error, Result};
+use cnt_units::consts::{G0_SIEMENS, K_B_EV};
+use cnt_units::math::fermi_dirac_neg_derivative;
+use cnt_units::si::{Conductance, Temperature};
+
+/// A dopant-derived band contributing transport channels near the Fermi
+/// level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DopantBand {
+    /// Band centre in eV, measured from the *host* charge-neutrality point.
+    pub center_ev: f64,
+    /// Half-width of the band in eV; the band conducts for
+    /// `|E − center| ≤ half_width`.
+    pub half_width_ev: f64,
+    /// Number of modes the band contributes inside its window.
+    pub modes: usize,
+}
+
+impl DopantBand {
+    /// Modes contributed at energy `e_ev` (host reference frame).
+    fn modes_at(&self, e_ev: f64) -> usize {
+        if (e_ev - self.center_ev).abs() <= self.half_width_ev {
+            self.modes
+        } else {
+            0
+        }
+    }
+}
+
+/// Full description of a charge-transfer doping treatment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DopingSpec {
+    /// Human-readable dopant name (e.g. `"iodine (internal)"`).
+    pub label: &'static str,
+    /// Fermi-level shift in eV (negative = p-type).
+    pub fermi_shift_ev: f64,
+    /// Dopant-derived bands.
+    pub bands: Vec<DopantBand>,
+}
+
+impl DopingSpec {
+    /// No doping at all; useful as a baseline in sweeps.
+    pub fn pristine() -> Self {
+        Self {
+            label: "pristine",
+            fermi_shift_ev: 0.0,
+            bands: Vec::new(),
+        }
+    }
+
+    /// Internal iodine doping calibrated against the paper's DFT anchors:
+    /// ΔE_F = −0.6 eV and G: 0.155 → 0.387 mS on CNT(7,7).
+    ///
+    /// The polyiodide chain contributes three modes in a ±0.35 eV window
+    /// around the shifted Fermi level.
+    pub fn iodine_internal() -> Self {
+        Self {
+            label: "iodine (internal)",
+            fermi_shift_ev: -0.6,
+            bands: vec![DopantBand {
+                center_ev: -0.6,
+                half_width_ev: 0.35,
+                modes: 3,
+            }],
+        }
+    }
+
+    /// External PtCl₄ doping as used on the MWCNT of Fig. 2d. Weaker charge
+    /// transfer than internal iodine and a single adsorbate band; external
+    /// dopants are also less stable (see `cnt-reliability::dopant_migration`).
+    pub fn ptcl4_external() -> Self {
+        Self {
+            label: "PtCl4 (external)",
+            fermi_shift_ev: -0.35,
+            bands: vec![DopantBand {
+                center_ev: -0.35,
+                half_width_ev: 0.25,
+                modes: 1,
+            }],
+        }
+    }
+
+    /// Internal PtCl₄ doping (the STEM of Fig. 3 shows Pt/Cl networks
+    /// inside opened tubes): stronger coupling than the external variant.
+    pub fn ptcl4_internal() -> Self {
+        Self {
+            label: "PtCl4 (internal)",
+            fermi_shift_ev: -0.45,
+            bands: vec![DopantBand {
+                center_ev: -0.45,
+                half_width_ev: 0.3,
+                modes: 2,
+            }],
+        }
+    }
+
+    /// Validates physical sanity of the specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when a band half-width is
+    /// negative or the shift exceeds the π-band width (±3γ0).
+    pub fn validate(&self) -> Result<()> {
+        if self.fermi_shift_ev.abs() > 3.0 * cnt_units::consts::GAMMA0_EV {
+            return Err(Error::InvalidParameter {
+                name: "fermi_shift_ev",
+                value: self.fermi_shift_ev,
+            });
+        }
+        for b in &self.bands {
+            if b.half_width_ev < 0.0 {
+                return Err(Error::InvalidParameter {
+                    name: "half_width_ev",
+                    value: b.half_width_ev,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A doped tube: host chirality plus doping treatment, with precomputed
+/// host bands.
+///
+/// # Example
+///
+/// ```
+/// use cnt_atomistic::chirality::Chirality;
+/// use cnt_atomistic::doping::{DopedCnt, DopingSpec};
+/// use cnt_units::si::Temperature;
+///
+/// let doped = DopedCnt::new(Chirality::new(7, 7)?, DopingSpec::iodine_internal())?;
+/// let g = doped.conductance(Temperature::from_kelvin(300.0));
+/// // The paper's doped anchor: 0.387 mS (five channels).
+/// assert!((g.millisiemens() - 0.387).abs() < 0.02);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DopedCnt {
+    chirality: Chirality,
+    spec: DopingSpec,
+    bands: BandStructure,
+}
+
+impl DopedCnt {
+    /// Builds a doped tube, computing the host band structure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors from [`DopingSpec::validate`].
+    pub fn new(chirality: Chirality, spec: DopingSpec) -> Result<Self> {
+        spec.validate()?;
+        let bands = BandStructure::compute(chirality, transport::DEFAULT_NK)?;
+        Ok(Self {
+            chirality,
+            spec,
+            bands,
+        })
+    }
+
+    /// Host chirality.
+    pub fn chirality(&self) -> Chirality {
+        self.chirality
+    }
+
+    /// The doping treatment.
+    pub fn spec(&self) -> &DopingSpec {
+        &self.spec
+    }
+
+    /// Position of the Fermi level relative to the host charge-neutrality
+    /// point, in eV.
+    pub fn fermi_level_ev(&self) -> f64 {
+        self.spec.fermi_shift_ev
+    }
+
+    /// Total transport modes at energy `e_ev` in the **host** reference
+    /// frame: host modes plus dopant-band modes.
+    pub fn mode_count(&self, e_ev: f64) -> usize {
+        let host = self.bands.mode_count(e_ev);
+        let dopant: usize = self.spec.bands.iter().map(|b| b.modes_at(e_ev)).sum();
+        host + dopant
+    }
+
+    /// Finite-temperature ballistic conductance at the doped Fermi level.
+    pub fn conductance(&self, temperature: Temperature) -> Conductance {
+        let t = temperature.kelvin();
+        let ef = self.spec.fermi_shift_ev;
+        if t <= 0.0 {
+            return Conductance::from_siemens(G0_SIEMENS * self.mode_count(ef) as f64);
+        }
+        let kt = K_B_EV * t;
+        let g = cnt_units::math::integrate_simpson(
+            |e| self.mode_count(e) as f64 * fermi_dirac_neg_derivative(e - ef, t),
+            ef - 12.0 * kt,
+            ef + 12.0 * kt,
+            600,
+        );
+        Conductance::from_siemens(G0_SIEMENS * g)
+    }
+
+    /// Conducting channels `Nc = G/G0` at `temperature` (paper Eq. 1).
+    pub fn conducting_channels(&self, temperature: Temperature) -> f64 {
+        self.conductance(temperature).siemens() / G0_SIEMENS
+    }
+
+    /// Transmission spectrum `T(E)` over `[e_min, e_max]` (host frame),
+    /// mirroring the lower panel of the paper's Fig. 8c.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TooFewSamples`] if `n < 2`.
+    pub fn transmission_spectrum(&self, e_min: f64, e_max: f64, n: usize) -> Result<Vec<(f64, f64)>> {
+        if n < 2 {
+            return Err(Error::TooFewSamples { got: n, min: 2 });
+        }
+        Ok((0..n)
+            .map(|i| {
+                let e = e_min + (e_max - e_min) * i as f64 / (n - 1) as f64;
+                (e, self.mode_count(e) as f64)
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t300() -> Temperature {
+        Temperature::from_kelvin(300.0)
+    }
+
+    #[test]
+    fn pristine_spec_reproduces_bare_tube() {
+        let d = DopedCnt::new(Chirality::new(7, 7).unwrap(), DopingSpec::pristine()).unwrap();
+        assert!((d.conductance(t300()).millisiemens() - 0.155).abs() < 0.005);
+        assert_eq!(d.fermi_level_ev(), 0.0);
+    }
+
+    #[test]
+    fn iodine_reproduces_both_dft_anchors() {
+        let d = DopedCnt::new(Chirality::new(7, 7).unwrap(), DopingSpec::iodine_internal()).unwrap();
+        // Anchor 1: Fermi shift −0.6 eV.
+        assert!((d.fermi_level_ev() + 0.6).abs() < 1e-12);
+        // Anchor 2: conductance 0.387 mS = 5 channels.
+        let g = d.conductance(t300());
+        assert!((g.millisiemens() - 0.387).abs() < 0.01, "{}", g.millisiemens());
+        assert!((d.conducting_channels(t300()) - 5.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn rigid_shift_alone_cannot_reach_five_channels() {
+        // Ablation called out in DESIGN.md §6: without the dopant band the
+        // host has only two modes at −0.6 eV.
+        let shift_only = DopingSpec {
+            label: "shift only",
+            fermi_shift_ev: -0.6,
+            bands: Vec::new(),
+        };
+        let d = DopedCnt::new(Chirality::new(7, 7).unwrap(), shift_only).unwrap();
+        assert!((d.conducting_channels(t300()) - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn doping_turns_on_semiconducting_tubes() {
+        // p-doping moves E_F into the valence band of a semiconducting tube,
+        // which is how doping counteracts chirality variability (§II.A).
+        let semi = Chirality::new(13, 0).unwrap();
+        let pristine = DopedCnt::new(semi, DopingSpec::pristine()).unwrap();
+        let doped = DopedCnt::new(semi, DopingSpec::iodine_internal()).unwrap();
+        assert!(pristine.conductance(t300()).millisiemens() < 1e-3);
+        assert!(doped.conductance(t300()).millisiemens() > 0.15);
+    }
+
+    #[test]
+    fn transmission_spectrum_shows_dopant_window() {
+        let d = DopedCnt::new(Chirality::new(7, 7).unwrap(), DopingSpec::iodine_internal()).unwrap();
+        let spec = d.transmission_spectrum(-1.0, 0.2, 241).unwrap();
+        let at = |e: f64| {
+            spec.iter()
+                .min_by(|a, b| {
+                    (a.0 - e).abs().partial_cmp(&(b.0 - e).abs()).unwrap()
+                })
+                .unwrap()
+                .1
+        };
+        assert_eq!(at(-0.6), 5.0); // inside dopant window
+        assert_eq!(at(0.1), 2.0); // outside
+    }
+
+    #[test]
+    fn validation_rejects_unphysical_specs() {
+        let bad_shift = DopingSpec {
+            label: "bad",
+            fermi_shift_ev: -99.0,
+            bands: Vec::new(),
+        };
+        assert!(bad_shift.validate().is_err());
+        let bad_band = DopingSpec {
+            label: "bad",
+            fermi_shift_ev: -0.1,
+            bands: vec![DopantBand {
+                center_ev: 0.0,
+                half_width_ev: -1.0,
+                modes: 1,
+            }],
+        };
+        assert!(DopedCnt::new(Chirality::new(7, 7).unwrap(), bad_band).is_err());
+    }
+
+    #[test]
+    fn ptcl4_presets_order_sensibly() {
+        // Internal doping couples more strongly than external (paper §II.A:
+        // "internal doping of CNT is more stable than external doping" and
+        // our model also gives it more added conductance).
+        let host = Chirality::new(7, 7).unwrap();
+        let ext = DopedCnt::new(host, DopingSpec::ptcl4_external()).unwrap();
+        let int = DopedCnt::new(host, DopingSpec::ptcl4_internal()).unwrap();
+        assert!(int.conducting_channels(t300()) > ext.conducting_channels(t300()));
+        assert!(ext.conducting_channels(t300()) > 2.5);
+    }
+}

@@ -1,0 +1,220 @@
+//! Ballistic Landauer transport: mode counting and finite-temperature
+//! conductance (paper Fig. 8a and Eq. 1).
+//!
+//! The paper extracts the number of conducting channels as
+//! `Nc = G_bal / G0` (Eq. 1) with `G0 = 0.077 mS`. At finite temperature
+//! the ballistic conductance is the Landauer integral
+//!
+//! ```text
+//! G = G0 · ∫ M(E) · (−∂f/∂E) dE
+//! ```
+//!
+//! where `M(E)` is the number of modes from the zone-folded band structure.
+
+use crate::bands::BandStructure;
+use crate::chirality::Chirality;
+use crate::{Error, Result};
+use cnt_units::consts::{G0_SIEMENS, K_B_EV};
+use cnt_units::math::fermi_dirac_neg_derivative;
+use cnt_units::si::{Conductance, Temperature};
+
+/// Default longitudinal grid used when a band structure is computed
+/// on demand.
+pub const DEFAULT_NK: usize = 1201;
+
+/// Zero-temperature conductance at Fermi energy `e_f_ev`:
+/// `G = G0 · M(E_F)`.
+pub fn conductance_at_energy(bands: &BandStructure, e_f_ev: f64) -> Conductance {
+    Conductance::from_siemens(G0_SIEMENS * bands.mode_count(e_f_ev) as f64)
+}
+
+/// Finite-temperature ballistic conductance at Fermi level `e_f_ev`
+/// (relative to the charge-neutrality point).
+///
+/// Integrates `M(E)·(−∂f/∂E)` over `E_F ± 12 kT` with Simpson quadrature;
+/// the window captures > 1 − 10⁻⁵ of the thermal kernel.
+pub fn conductance_at_temperature(
+    bands: &BandStructure,
+    e_f_ev: f64,
+    temperature: Temperature,
+) -> Conductance {
+    let t = temperature.kelvin();
+    if t <= 0.0 {
+        return conductance_at_energy(bands, e_f_ev);
+    }
+    let kt = K_B_EV * t;
+    let half_window = 12.0 * kt;
+    // Enough points that the step edges of M(E) are resolved well below kT.
+    let n = 600;
+    let g = cnt_units::math::integrate_simpson(
+        |e| bands.mode_count(e) as f64 * fermi_dirac_neg_derivative(e - e_f_ev, t),
+        e_f_ev - half_window,
+        e_f_ev + half_window,
+        n,
+    );
+    Conductance::from_siemens(G0_SIEMENS * g)
+}
+
+/// Ballistic conductance of a pristine tube at its charge-neutral Fermi
+/// level — the quantity plotted against diameter in the paper's Fig. 8a.
+///
+/// ```
+/// use cnt_atomistic::chirality::Chirality;
+/// use cnt_atomistic::transport::ballistic_conductance;
+/// use cnt_units::si::Temperature;
+///
+/// let g = ballistic_conductance(Chirality::new(9, 0)?, Temperature::from_kelvin(300.0));
+/// assert!((g.millisiemens() - 0.155).abs() < 0.01); // metallic zigzag
+/// # Ok::<(), cnt_atomistic::Error>(())
+/// ```
+pub fn ballistic_conductance(chirality: Chirality, temperature: Temperature) -> Conductance {
+    let bands = BandStructure::compute(chirality, DEFAULT_NK)
+        .expect("DEFAULT_NK satisfies the minimum grid size");
+    conductance_at_temperature(&bands, 0.0, temperature)
+}
+
+/// Number of conducting channels `Nc = G/G0` (paper Eq. 1).
+pub fn conducting_channels(chirality: Chirality, temperature: Temperature) -> f64 {
+    ballistic_conductance(chirality, temperature).siemens() / G0_SIEMENS
+}
+
+/// One row of the Fig. 8a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConductancePoint {
+    /// The tube.
+    pub chirality: Chirality,
+    /// Tube diameter in nanometres.
+    pub diameter_nm: f64,
+    /// Ballistic conductance in millisiemens.
+    pub conductance_ms: f64,
+    /// Channels `Nc = G/G0`.
+    pub channels: f64,
+    /// Whether the tube is metallic by the `(n − m) mod 3` rule.
+    pub metallic: bool,
+}
+
+/// Sweeps ballistic conductance versus diameter for a set of tubes
+/// (the paper's Fig. 8a uses the zigzag and armchair series).
+///
+/// # Errors
+///
+/// Returns [`Error::TooFewSamples`] if `tubes` is empty.
+pub fn conductance_vs_diameter(
+    tubes: &[Chirality],
+    temperature: Temperature,
+) -> Result<Vec<ConductancePoint>> {
+    if tubes.is_empty() {
+        return Err(Error::TooFewSamples { got: 0, min: 1 });
+    }
+    let mut out: Vec<ConductancePoint> = tubes
+        .iter()
+        .map(|&c| {
+            let g = ballistic_conductance(c, temperature);
+            ConductancePoint {
+                chirality: c,
+                diameter_nm: c.diameter().nanometers(),
+                conductance_ms: g.millisiemens(),
+                channels: g.siemens() / G0_SIEMENS,
+                metallic: c.is_metallic(),
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| a.diameter_nm.partial_cmp(&b.diameter_nm).expect("finite diameters"));
+    Ok(out)
+}
+
+/// Conductance per unit cross-sectional area, S/m² — the paper notes that
+/// "the conductance of CNTs per unit area decreases as the diameter
+/// increases" because `Nc` stays ≈ 2 while the footprint grows as `d²`.
+pub fn conductance_per_area(chirality: Chirality, temperature: Temperature) -> f64 {
+    let g = ballistic_conductance(chirality, temperature).siemens();
+    let d = chirality.diameter().meters();
+    let area = core::f64::consts::PI * d * d / 4.0;
+    g / area
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t300() -> Temperature {
+        Temperature::from_kelvin(300.0)
+    }
+
+    #[test]
+    fn metallic_tubes_have_two_channels_regardless_of_diameter() {
+        // The central observation of Fig. 8a.
+        for &(n, m) in &[(5, 5), (7, 7), (10, 10), (9, 0), (12, 0), (15, 0), (18, 0)] {
+            let c = Chirality::new(n, m).unwrap();
+            let nc = conducting_channels(c, t300());
+            assert!(
+                (nc - 2.0).abs() < 0.1,
+                "({n},{m}) expected ≈2 channels, got {nc}"
+            );
+        }
+    }
+
+    #[test]
+    fn pristine_conductance_matches_paper_anchor() {
+        // 0.155 mS for the pristine metallic tube (Fig. 8c).
+        let g = ballistic_conductance(Chirality::new(7, 7).unwrap(), t300());
+        assert!((g.millisiemens() - 0.155).abs() < 0.005, "{}", g.millisiemens());
+    }
+
+    #[test]
+    fn large_gap_semiconductors_conduct_nothing_at_room_temperature() {
+        let g = ballistic_conductance(Chirality::new(13, 0).unwrap(), t300());
+        assert!(g.millisiemens() < 1e-3, "{}", g.millisiemens());
+    }
+
+    #[test]
+    fn small_gap_semiconductors_show_thermal_activation() {
+        // Quantum-confinement variation at small diameter (Fig. 8a): a tiny
+        // tube has a huge gap, a wide semiconducting tube conducts slightly
+        // more at 300 K.
+        let tiny = ballistic_conductance(Chirality::new(7, 0).unwrap(), t300());
+        let wide = ballistic_conductance(Chirality::new(29, 0).unwrap(), t300());
+        assert!(wide.siemens() > tiny.siemens());
+    }
+
+    #[test]
+    fn zero_temperature_limit_is_step_function() {
+        let bands = BandStructure::compute(Chirality::new(7, 7).unwrap(), 1201).unwrap();
+        let g = conductance_at_temperature(&bands, 0.0, Temperature::from_kelvin(0.0));
+        assert!((g.siemens() / G0_SIEMENS - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_is_sorted_and_labelled() {
+        let mut tubes = Chirality::armchair_series(3, 8);
+        tubes.extend(Chirality::zigzag_series(5, 12));
+        let pts = conductance_vs_diameter(&tubes, t300()).unwrap();
+        assert_eq!(pts.len(), 6 + 8);
+        for w in pts.windows(2) {
+            assert!(w[0].diameter_nm <= w[1].diameter_nm);
+        }
+        for p in &pts {
+            if p.metallic {
+                assert!((p.channels - 2.0).abs() < 0.15, "{:?}", p);
+            }
+        }
+        assert!(conductance_vs_diameter(&[], t300()).is_err());
+    }
+
+    #[test]
+    fn per_area_conductance_decreases_with_diameter() {
+        let small = conductance_per_area(Chirality::new(5, 5).unwrap(), t300());
+        let large = conductance_per_area(Chirality::new(12, 12).unwrap(), t300());
+        assert!(small > large);
+    }
+
+    #[test]
+    fn finite_temperature_smooths_but_preserves_plateau() {
+        let bands = BandStructure::compute(Chirality::new(7, 7).unwrap(), 1201).unwrap();
+        let cold = conductance_at_temperature(&bands, 0.0, Temperature::from_kelvin(30.0));
+        let hot = conductance_at_temperature(&bands, 0.0, Temperature::from_kelvin(600.0));
+        assert!((cold.siemens() / G0_SIEMENS - 2.0).abs() < 0.01);
+        // Even at 600 K the first vHs (~1.2 eV) is far away: still ≈ 2.
+        assert!((hot.siemens() / G0_SIEMENS - 2.0).abs() < 0.1);
+    }
+}

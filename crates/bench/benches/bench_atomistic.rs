@@ -1,0 +1,52 @@
+//! Kernels of the atomistic layer: zone folding, Landauer conductance,
+//! NEGF disorder transmission.
+
+use cnt_atomistic::bands::BandStructure;
+use cnt_atomistic::chirality::Chirality;
+use cnt_atomistic::doping::{DopedCnt, DopingSpec};
+use cnt_atomistic::negf::DisorderedChain;
+use cnt_atomistic::transport;
+use cnt_units::si::{Length, Temperature};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_band_structure(c: &mut Criterion) {
+    let tube = Chirality::new(7, 7).unwrap();
+    c.bench_function("bands/zone_fold_7_7", |b| {
+        b.iter(|| BandStructure::compute(black_box(tube), 1201).unwrap())
+    });
+    let wide = Chirality::new(22, 0).unwrap();
+    c.bench_function("bands/zone_fold_22_0", |b| {
+        b.iter(|| BandStructure::compute(black_box(wide), 1201).unwrap())
+    });
+}
+
+fn bench_conductance(c: &mut Criterion) {
+    let tube = Chirality::new(7, 7).unwrap();
+    let bands = BandStructure::compute(tube, 1201).unwrap();
+    let t = Temperature::from_kelvin(300.0);
+    c.bench_function("transport/finite_t_conductance", |b| {
+        b.iter(|| transport::conductance_at_temperature(black_box(&bands), 0.0, t))
+    });
+    let doped = DopedCnt::new(tube, DopingSpec::iodine_internal()).unwrap();
+    c.bench_function("transport/doped_conductance", |b| {
+        b.iter(|| black_box(&doped).conductance(t))
+    });
+}
+
+fn bench_negf(c: &mut Criterion) {
+    let chain = DisorderedChain::new(400, 2.7, 0.8, Length::from_nanometers(0.25)).unwrap();
+    c.bench_function("negf/transmission_400_sites", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(&chain).transmission(0.0, &mut rng))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_band_structure, bench_conductance, bench_negf
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Circuit-engine kernels: transient integrators (BE vs TRAP ablation)
+//! and ladder-discretization convergence.
+
+use cnt_circuit::analysis::TranOptions;
+use cnt_circuit::circuit::Circuit;
+use cnt_circuit::line::{add_distributed_line, LineTotals};
+use cnt_circuit::mosfet::MosfetModel;
+use cnt_circuit::waveform::Waveform;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn ladder_circuit(segments: usize) -> Circuit {
+    let mut c = Circuit::new();
+    let a = c.node("a");
+    let b = c.node("b");
+    c.add_vsource("V1", a, Circuit::GND, Waveform::step(1.0)).unwrap();
+    add_distributed_line(&mut c, "l", a, b, LineTotals::rc(10e3, 1e-13), segments).unwrap();
+    c
+}
+
+fn bench_integrators(c: &mut Criterion) {
+    let circuit = ladder_circuit(16);
+    let be = TranOptions::new(10e-9, 10e-12);
+    let trap = be.trapezoidal();
+    c.bench_function("circuit/tran_be_16seg", |b| {
+        b.iter(|| black_box(&circuit).transient(&be).unwrap())
+    });
+    c.bench_function("circuit/tran_trap_16seg", |b| {
+        b.iter(|| black_box(&circuit).transient(&trap).unwrap())
+    });
+}
+
+fn bench_ladder_scaling(c: &mut Criterion) {
+    for segments in [4usize, 16, 64] {
+        let circuit = ladder_circuit(segments);
+        let opts = TranOptions::new(10e-9, 10e-12);
+        c.bench_function(&format!("circuit/ladder_{segments}_segments"), |b| {
+            b.iter(|| black_box(&circuit).transient(&opts).unwrap())
+        });
+    }
+}
+
+fn bench_inverter_newton(c: &mut Criterion) {
+    let mut circuit = Circuit::new();
+    let vdd = circuit.node("vdd");
+    let vin = circuit.node("in");
+    let vout = circuit.node("out");
+    circuit
+        .add_vsource("Vdd", vdd, Circuit::GND, Waveform::Dc(1.0))
+        .unwrap();
+    circuit
+        .add_vsource("Vin", vin, Circuit::GND, Waveform::edge(0.0, 1.0, 20e-12, 10e-12))
+        .unwrap();
+    circuit
+        .add_mosfet("Mn", vout, vin, Circuit::GND, MosfetModel::nmos_45nm())
+        .unwrap();
+    circuit
+        .add_mosfet("Mp", vout, vin, vdd, MosfetModel::pmos_45nm())
+        .unwrap();
+    circuit
+        .add_capacitor("Cl", vout, Circuit::GND, 1e-15)
+        .unwrap();
+    let opts = TranOptions::new(300e-12, 0.5e-12);
+    c.bench_function("circuit/inverter_transient_newton", |b| {
+        b.iter(|| black_box(&circuit).transient(&opts).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_integrators, bench_ladder_scaling, bench_inverter_newton
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Compact-model kernels and the channel-model / driver ablations.
+
+use cnt_circuit::cells::InverterCell;
+use cnt_interconnect::benchmark::{delay_ratio, DelayBenchmark, DriverModel};
+use cnt_interconnect::compact::{
+    CuWire, DopedMwcnt, MfpModel, ShellChannelModel, ShellFillPolicy, WireEnvironment,
+};
+use cnt_units::si::{Length, Resistance};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn nm(v: f64) -> Length {
+    Length::from_nanometers(v)
+}
+
+fn um(v: f64) -> Length {
+    Length::from_micrometers(v)
+}
+
+fn bench_models(c: &mut Criterion) {
+    let paper = DopedMwcnt::paper_model(nm(22.0), 6).unwrap();
+    c.bench_function("compact/mwcnt_resistance_paper", |b| {
+        b.iter(|| black_box(&paper).resistance(um(500.0)))
+    });
+    let naeemi = DopedMwcnt::new(
+        nm(22.0),
+        ShellChannelModel::NaeemiStatistical,
+        ShellFillPolicy::HalfDiameterVdw,
+        MfpModel::PerShell,
+        WireEnvironment::beol_default(),
+        Resistance::from_ohms(0.0),
+    )
+    .unwrap();
+    c.bench_function("compact/mwcnt_resistance_naeemi_ablation", |b| {
+        b.iter(|| black_box(&naeemi).resistance(um(500.0)))
+    });
+    let cu = CuWire::damascene(nm(20.0), nm(40.0)).unwrap();
+    c.bench_function("compact/cu_resistivity", |b| {
+        b.iter(|| black_box(&cu).resistivity())
+    });
+}
+
+fn bench_delay_paths(c: &mut Criterion) {
+    c.bench_function("benchmark/delay_ratio_elmore", |b| {
+        b.iter(|| delay_ratio(nm(10.0), 10, um(500.0)).unwrap())
+    });
+    let bench = DelayBenchmark::paper_fig12(nm(10.0), 10, um(500.0)).unwrap();
+    c.bench_function("benchmark/delay_simulated_spice", |b| {
+        b.iter(|| black_box(&bench).simulate_delay().unwrap())
+    });
+    let mut strong = DelayBenchmark::paper_fig12(nm(10.0), 10, um(500.0)).unwrap();
+    strong.driver = DriverModel::Inverter(InverterCell::inv_45nm());
+    c.bench_function("benchmark/delay_simulated_strong_driver_ablation", |b| {
+        b.iter(|| black_box(&strong).simulate_delay().unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_models, bench_delay_paths
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Field-solver kernels, including the CG-vs-SOR ablation of DESIGN.md §6.
+
+use cnt_fields::extract::{extract_capacitance, extract_resistance};
+use cnt_fields::presets::{inverter_cell_14nm, via_stack, InverterCellGeometry};
+use cnt_fields::solver::{IterationScheme, SolverOptions};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_capacitance_solvers(c: &mut Criterion) {
+    let structure = inverter_cell_14nm(InverterCellGeometry::default())
+        .build([15, 11, 13])
+        .unwrap();
+    let cg = SolverOptions::default();
+    let sor = SolverOptions {
+        scheme: IterationScheme::Sor { omega: 1.8 },
+        ..SolverOptions::default()
+    };
+    c.bench_function("fields/inverter_cap_cg", |b| {
+        b.iter(|| extract_capacitance(black_box(&structure), &cg).unwrap())
+    });
+    c.bench_function("fields/inverter_cap_sor", |b| {
+        b.iter(|| extract_capacitance(black_box(&structure), &sor).unwrap())
+    });
+}
+
+fn bench_resistance(c: &mut Criterion) {
+    let structure = via_stack(InverterCellGeometry::default(), 3.0e7)
+        .build([41, 7, 13])
+        .unwrap();
+    let opts = SolverOptions::default();
+    c.bench_function("fields/via_stack_resistance", |b| {
+        b.iter(|| extract_resistance(black_box(&structure), "t_m1", "t_m2", &opts).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_capacitance_solvers, bench_resistance
+}
+criterion_main!(benches);

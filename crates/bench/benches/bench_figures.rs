@@ -1,0 +1,23 @@
+//! End-to-end regeneration time of every paper artefact — one bench per
+//! figure/table, mirroring the experiment index of DESIGN.md §4.
+
+use cnt_interconnect::experiments;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_all_figures(c: &mut Criterion) {
+    let mut ids: Vec<&str> = experiments::ALL_IDS.to_vec();
+    ids.push("stability");
+    for id in ids {
+        c.bench_function(&format!("figure/{id}"), |b| {
+            b.iter(|| experiments::run(black_box(id)).unwrap())
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_all_figures
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Measurement-lab kernels: TLM fits and I-V sweeps.
+
+use cnt_measure::iv::{iv_sweep, CntDevice};
+use cnt_measure::tlm::{run_tlm, TlmExperiment};
+use cnt_units::si::{Current, Resistance, Voltage};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_tlm(c: &mut Criterion) {
+    let exp = TlmExperiment::mwcnt_default();
+    c.bench_function("measure/tlm_generate_and_fit", |b| {
+        b.iter(|| run_tlm(black_box(&exp), 1).unwrap())
+    });
+}
+
+fn bench_iv(c: &mut Criterion) {
+    let device = CntDevice {
+        resistance: Resistance::from_kilo_ohms(55.0),
+        saturation_current: Current::from_microamps(25.0),
+    };
+    c.bench_function("measure/iv_sweep_201_points", |b| {
+        b.iter(|| iv_sweep(black_box(&device), Voltage::from_volts(1.0), 201, 0.01, 1).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_tlm, bench_iv
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Process-model kernels: growth sweeps, wafer maps, variability MC.
+
+use cnt_process::growth::{temperature_sweep, Catalyst};
+use cnt_process::variability::{sample_devices, DevicePopulation, DopingState};
+use cnt_process::wafer::WaferMap;
+use cnt_units::si::Temperature;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_growth(c: &mut Criterion) {
+    let temps: Vec<Temperature> = (0..20)
+        .map(|k| Temperature::from_celsius(350.0 + 15.0 * k as f64))
+        .collect();
+    c.bench_function("process/growth_sweep_20T", |b| {
+        b.iter(|| temperature_sweep(Catalyst::Cobalt, black_box(&temps), false).unwrap())
+    });
+}
+
+fn bench_wafer(c: &mut Criterion) {
+    c.bench_function("process/wafer_map_300mm_500_sites", |b| {
+        b.iter(|| WaferMap::generate(0.3, 500, 1.0, 0.05, 0.02, black_box(7)).unwrap())
+    });
+}
+
+fn bench_variability(c: &mut Criterion) {
+    let pop = DevicePopulation::mwcnt_via_default();
+    c.bench_function("process/variability_mc_2000_devices", |b| {
+        b.iter(|| sample_devices(black_box(&pop), DopingState::Pristine, 2000, 1).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_growth, bench_wafer, bench_variability
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Reliability kernels: EM sampling, wafer characterization, dopant MC.
+
+use cnt_reliability::dopant_migration::{run_stress_test, DopantSite, StressTest};
+use cnt_reliability::em::BlackModel;
+use cnt_reliability::layout::TestStructure;
+use cnt_reliability::wafer_char::{characterize_wafer, WaferCharSetup};
+use cnt_units::si::{CurrentDensity, Length, Temperature, Time};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_em(c: &mut Criterion) {
+    let m = BlackModel::copper();
+    let j = CurrentDensity::from_amps_per_square_centimeter(2e6);
+    let t = Temperature::from_celsius(250.0);
+    c.bench_function("reliability/ttf_sampling_1000", |b| {
+        b.iter(|| black_box(&m).sample_ttf(j, t, 1000, 1).unwrap())
+    });
+}
+
+fn bench_wafer_char(c: &mut Criterion) {
+    let setup = WaferCharSetup::copper_reference();
+    let line = TestStructure::SingleLine {
+        width: Length::from_nanometers(100.0),
+        length: Length::from_micrometers(800.0),
+        angle_degrees: 0.0,
+    };
+    c.bench_function("reliability/full_wafer_characterization", |b| {
+        b.iter(|| {
+            characterize_wafer(black_box(&setup), &line, Time::from_hours(2000.0), 1).unwrap()
+        })
+    });
+}
+
+fn bench_dopant_mc(c: &mut Criterion) {
+    let test = StressTest {
+        tube_length: Length::from_micrometers(1.0),
+        dopant_count: 600,
+        site: DopantSite::External,
+        temperature: Temperature::from_celsius(105.0),
+        current_density: CurrentDensity::from_amps_per_square_centimeter(5e7),
+        duration: Time::from_hours(100.0),
+    };
+    c.bench_function("reliability/dopant_migration_600_walkers", |b| {
+        b.iter(|| run_stress_test(black_box(&test), 1).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_em, bench_wafer_char, bench_dopant_mc
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Thermal kernels: fin solves, SThM scans, Kth extraction.
+
+use cnt_thermal::extract::extract_thermal_conductivity;
+use cnt_thermal::fin::SelfHeatingLine;
+use cnt_thermal::sthm::SthmInstrument;
+use cnt_units::si::{CurrentDensity, Length};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn line() -> SelfHeatingLine {
+    SelfHeatingLine::mwcnt(
+        Length::from_micrometers(2.0),
+        CurrentDensity::from_amps_per_square_centimeter(3e7),
+    )
+}
+
+fn bench_fin(c: &mut Criterion) {
+    let l = line();
+    c.bench_function("thermal/fin_fd_801_nodes", |b| {
+        b.iter(|| black_box(&l).solve_fd(801).unwrap())
+    });
+}
+
+fn bench_sthm_and_extract(c: &mut Criterion) {
+    let profile = line().analytic_profile(401).unwrap();
+    let inst = SthmInstrument::nanoprobe();
+    c.bench_function("thermal/sthm_scan", |b| {
+        b.iter(|| inst.scan(black_box(&profile), 1).unwrap())
+    });
+    let scan = inst.scan(&profile, 1).unwrap();
+    let template = line();
+    c.bench_function("thermal/kth_extraction", |b| {
+        b.iter(|| {
+            extract_thermal_conductivity(black_box(&template), &scan, 100.0, 100_000.0).unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fin, bench_sthm_and_extract
+}
+criterion_main!(benches);

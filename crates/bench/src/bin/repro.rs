@@ -1,0 +1,52 @@
+//! Regenerates the paper's figures and tables.
+//!
+//! ```text
+//! repro --list          list experiment ids
+//! repro all             run every experiment
+//! repro fig12 fig08a    run selected experiments
+//! ```
+
+use cnt_interconnect::experiments;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: repro [--list] [all | <id>...]");
+        eprintln!("ids: {}", experiments::ALL_IDS.join(" "));
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--list") {
+        for id in experiments::ALL_IDS {
+            println!("{id}");
+        }
+        println!("stability");
+        return ExitCode::SUCCESS;
+    }
+
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        let mut v: Vec<&str> = experiments::ALL_IDS.to_vec();
+        v.push("stability");
+        v
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    let mut failures = 0usize;
+    for id in ids {
+        match experiments::run(id) {
+            Ok(report) => {
+                println!("{report}");
+            }
+            Err(e) => {
+                eprintln!("experiment '{id}' failed: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

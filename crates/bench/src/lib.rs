@@ -1,0 +1,12 @@
+//! Figure-regeneration harness and Criterion benchmarks for the
+//! `cnt-beol` platform.
+//!
+//! * `cargo run -p cnt-bench --bin repro -- all` regenerates every paper
+//!   artefact (see `cnt_interconnect::experiments::ALL_IDS`);
+//! * `cargo bench -p cnt-bench` times the computational kernels and the
+//!   DESIGN.md §6 ablations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cnt_interconnect::experiments;

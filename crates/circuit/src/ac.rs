@@ -1,0 +1,293 @@
+//! Small-signal AC analysis.
+//!
+//! Solves `(G + jωC)·x = b` over a frequency sweep, with `G` linearized
+//! at the DC operating point (so MOSFET stages analyze correctly around
+//! bias). This extends the Fig. 11 benchmark to the frequency domain:
+//! the bandwidth of a doped MWCNT interconnect rises with its channel
+//! count just as its delay falls.
+
+use crate::circuit::Circuit;
+use crate::{Error, Result};
+
+/// A complex number for the AC solver (kept private to the crate).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+struct Cx {
+    re: f64,
+    im: f64,
+}
+
+impl Cx {
+    const ZERO: Cx = Cx { re: 0.0, im: 0.0 };
+
+    fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    fn abs2(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    fn mul(self, o: Cx) -> Cx {
+        Cx::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+
+    fn sub(self, o: Cx) -> Cx {
+        Cx::new(self.re - o.re, self.im - o.im)
+    }
+
+    fn div(self, o: Cx) -> Cx {
+        let d = o.abs2();
+        Cx::new(
+            (self.re * o.re + self.im * o.im) / d,
+            (self.im * o.re - self.re * o.im) / d,
+        )
+    }
+}
+
+/// Dense complex LU with partial pivoting (by magnitude).
+fn solve_complex(mut a: Vec<Vec<Cx>>, mut b: Vec<Cx>) -> Result<Vec<Cx>> {
+    let n = b.len();
+    for col in 0..n {
+        let mut best = col;
+        let mut best_mag = a[col][col].abs2();
+        for r in col + 1..n {
+            let m = a[r][col].abs2();
+            if m > best_mag {
+                best = r;
+                best_mag = m;
+            }
+        }
+        if best_mag < 1e-300 {
+            return Err(Error::SingularMatrix { row: col });
+        }
+        a.swap(col, best);
+        b.swap(col, best);
+        let pivot = a[col][col];
+        for r in col + 1..n {
+            if a[r][col].abs2() == 0.0 {
+                continue;
+            }
+            let f = a[r][col].div(pivot);
+            for c in col..n {
+                let v = a[r][c].sub(f.mul(a[col][c]));
+                a[r][c] = v;
+            }
+            b[r] = b[r].sub(f.mul(b[col]));
+        }
+    }
+    let mut x = vec![Cx::ZERO; n];
+    for r in (0..n).rev() {
+        let mut acc = b[r];
+        for c in r + 1..n {
+            acc = acc.sub(a[r][c].mul(x[c]));
+        }
+        x[r] = acc.div(a[r][r]);
+    }
+    Ok(x)
+}
+
+/// One point of an AC transfer sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcPoint {
+    /// Frequency, Hz.
+    pub frequency: f64,
+    /// |H(jω)| at the probed node (relative to the 1 V source phasor).
+    pub magnitude: f64,
+    /// Phase in degrees.
+    pub phase_degrees: f64,
+}
+
+/// Result of an AC sweep at one probe node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcSweep {
+    /// Sweep points in frequency order.
+    pub points: Vec<AcPoint>,
+}
+
+impl AcSweep {
+    /// The −3 dB bandwidth: first frequency where |H| falls below
+    /// `1/√2` of the DC (first-point) magnitude.
+    pub fn bandwidth(&self) -> Option<f64> {
+        let h0 = self.points.first()?.magnitude;
+        let target = h0 / 2f64.sqrt();
+        self.points
+            .iter()
+            .find(|p| p.magnitude < target)
+            .map(|p| p.frequency)
+    }
+}
+
+impl Circuit {
+    /// Small-signal transfer function from voltage source `source` (set
+    /// to a 1 V phasor; every other independent source is zeroed) to the
+    /// node named `probe`, over the given frequencies.
+    ///
+    /// MOSFETs are linearized at the DC operating point first.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::UnknownNode`] for an unknown source or probe;
+    /// * [`Error::SingularMatrix`] / [`Error::NoConvergence`] from the
+    ///   underlying solves;
+    /// * [`Error::InvalidOptions`] for an empty frequency list.
+    pub fn ac_transfer(&self, source: &str, probe: &str, freqs: &[f64]) -> Result<AcSweep> {
+        if freqs.is_empty() {
+            return Err(Error::InvalidOptions("empty frequency list"));
+        }
+        let probe_id = self.find_node(probe)?;
+        let (g_real, c_real, b_pattern, n) = self.small_signal_system(source)?;
+
+        let mut points = Vec::with_capacity(freqs.len());
+        for &f in freqs {
+            if f < 0.0 {
+                return Err(Error::InvalidOptions("negative frequency"));
+            }
+            let omega = 2.0 * core::f64::consts::PI * f;
+            let mut a = vec![vec![Cx::ZERO; n]; n];
+            for r in 0..n {
+                for c in 0..n {
+                    let gre = g_real[r * n + c];
+                    let cim = omega * c_real[r * n + c];
+                    if gre != 0.0 || cim != 0.0 {
+                        a[r][c] = Cx::new(gre, cim);
+                    }
+                }
+            }
+            let b: Vec<Cx> = b_pattern.iter().map(|&v| Cx::new(v, 0.0)).collect();
+            let x = solve_complex(a, b)?;
+            let v = if probe_id.index() == 0 {
+                Cx::ZERO
+            } else {
+                x[probe_id.index() - 1]
+            };
+            points.push(AcPoint {
+                frequency: f,
+                magnitude: v.abs2().sqrt(),
+                phase_degrees: v.im.atan2(v.re).to_degrees(),
+            });
+        }
+        Ok(AcSweep { points })
+    }
+}
+
+/// A logarithmic frequency grid from `f_start` to `f_stop` with
+/// `points_per_decade` samples per decade.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidOptions`] for a non-positive range or zero
+/// density.
+pub fn log_frequency_grid(f_start: f64, f_stop: f64, points_per_decade: usize) -> Result<Vec<f64>> {
+    if f_start <= 0.0 || f_stop <= f_start || points_per_decade == 0 {
+        return Err(Error::InvalidOptions("invalid log frequency grid"));
+    }
+    let decades = (f_stop / f_start).log10();
+    let n = (decades * points_per_decade as f64).ceil() as usize + 1;
+    Ok((0..n)
+        .map(|k| f_start * 10f64.powf(k as f64 * decades / (n - 1) as f64))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::waveform::Waveform;
+
+    #[test]
+    fn rc_lowpass_bandwidth_matches_analytic() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("Vs", a, Circuit::GND, Waveform::Dc(0.0)).unwrap();
+        c.add_resistor("R1", a, b, 1e3).unwrap();
+        c.add_capacitor("C1", b, Circuit::GND, 1e-9).unwrap();
+        // f_3dB = 1/(2πRC) ≈ 159.2 kHz.
+        let freqs = log_frequency_grid(1e3, 1e8, 200).unwrap();
+        let sweep = c.ac_transfer("Vs", "b", &freqs).unwrap();
+        let bw = sweep.bandwidth().unwrap();
+        let analytic = 1.0 / (2.0 * core::f64::consts::PI * 1e3 * 1e-9);
+        assert!((bw - analytic).abs() / analytic < 0.05, "bw {bw} vs {analytic}");
+        // Near-DC gain is unity (the 1 kHz point sits 2×10⁻⁵ below 1),
+        // and the phase heads to −90°.
+        assert!((sweep.points[0].magnitude - 1.0).abs() < 1e-3);
+        assert!(sweep.points.last().unwrap().phase_degrees < -80.0);
+    }
+
+    #[test]
+    fn rlc_series_resonance_peaks() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let m = c.node("m");
+        let b = c.node("b");
+        c.add_vsource("Vs", a, Circuit::GND, Waveform::Dc(0.0)).unwrap();
+        c.add_resistor("R1", a, m, 10.0).unwrap();
+        c.add_inductor("L1", m, b, 1e-6).unwrap();
+        c.add_capacitor("C1", b, Circuit::GND, 1e-9).unwrap();
+        // f0 = 1/(2π√(LC)) ≈ 5.03 MHz; output peaks above unity (Q > 1).
+        let freqs = log_frequency_grid(1e5, 1e8, 100).unwrap();
+        let sweep = c.ac_transfer("Vs", "b", &freqs).unwrap();
+        let peak = sweep
+            .points
+            .iter()
+            .max_by(|x, y| x.magnitude.partial_cmp(&y.magnitude).unwrap())
+            .unwrap();
+        let f0 = 1.0 / (2.0 * core::f64::consts::PI * (1e-6_f64 * 1e-9).sqrt());
+        assert!(peak.magnitude > 2.0, "resonant peak {}", peak.magnitude);
+        assert!(
+            (peak.frequency - f0).abs() / f0 < 0.1,
+            "peak at {} vs f0 {}",
+            peak.frequency,
+            f0
+        );
+    }
+
+    #[test]
+    fn inverter_small_signal_gain_at_midrail() {
+        use crate::mosfet::MosfetModel;
+        // Biased near its switching threshold an inverter is an amplifier:
+        // |H| > 1 at low frequency.
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let vin = c.node("in");
+        let vout = c.node("out");
+        // Bias at the switching threshold V_M ≈ 0.497 V (where both
+        // devices saturate); off-threshold one device enters triode and
+        // the gain collapses.
+        c.add_vsource("Vdd", vdd, Circuit::GND, Waveform::Dc(1.0)).unwrap();
+        c.add_vsource("Vin", vin, Circuit::GND, Waveform::Dc(0.497)).unwrap();
+        c.add_mosfet("Mn", vout, vin, Circuit::GND, MosfetModel::nmos_45nm()).unwrap();
+        c.add_mosfet("Mp", vout, vin, vdd, MosfetModel::pmos_45nm()).unwrap();
+        c.add_capacitor("Cl", vout, Circuit::GND, 1e-15).unwrap();
+        let sweep = c.ac_transfer("Vin", "out", &[1e6]).unwrap();
+        assert!(
+            sweep.points[0].magnitude > 2.0,
+            "gain {}",
+            sweep.points[0].magnitude
+        );
+    }
+
+    #[test]
+    fn grid_and_error_paths() {
+        let g = log_frequency_grid(1e3, 1e6, 10).unwrap();
+        assert!((g[0] - 1e3).abs() < 1e-9);
+        assert!((g.last().unwrap() - 1e6).abs() < 1e-3);
+        assert!(g.windows(2).all(|w| w[1] > w[0]));
+        assert!(log_frequency_grid(0.0, 1e6, 10).is_err());
+        assert!(log_frequency_grid(1e6, 1e3, 10).is_err());
+
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_vsource("Vs", a, Circuit::GND, Waveform::Dc(0.0)).unwrap();
+        c.add_resistor("R1", a, Circuit::GND, 1e3).unwrap();
+        assert!(c.ac_transfer("Vs", "nope", &[1e3]).is_err());
+        assert!(c.ac_transfer("nope", "a", &[1e3]).is_err());
+        assert!(c.ac_transfer("Vs", "a", &[]).is_err());
+        assert!(c.ac_transfer("Vs", "a", &[-1.0]).is_err());
+        // Probing ground returns zero.
+        let z = c.ac_transfer("Vs", "0", &[1e3]).unwrap();
+        assert_eq!(z.points[0].magnitude, 0.0);
+    }
+}

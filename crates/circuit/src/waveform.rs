@@ -1,0 +1,269 @@
+//! Independent-source waveforms.
+
+use crate::{Error, Result};
+
+/// Time-dependent value of a voltage or current source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Waveform {
+    /// Constant value.
+    Dc(f64),
+    /// SPICE-style pulse train.
+    Pulse {
+        /// Initial value.
+        v0: f64,
+        /// Pulsed value.
+        v1: f64,
+        /// Delay before the first edge, seconds.
+        delay: f64,
+        /// Rise time, seconds.
+        rise: f64,
+        /// Fall time, seconds.
+        fall: f64,
+        /// Pulse width at `v1`, seconds.
+        width: f64,
+        /// Period (0 = single pulse), seconds.
+        period: f64,
+    },
+    /// Piecewise-linear: sorted `(time, value)` points, clamped outside.
+    Pwl(Vec<(f64, f64)>),
+    /// Sinusoid `offset + ampl·sin(2πf(t − delay))` for `t ≥ delay`.
+    Sin {
+        /// DC offset.
+        offset: f64,
+        /// Amplitude.
+        ampl: f64,
+        /// Frequency, Hz.
+        freq: f64,
+        /// Start delay, seconds.
+        delay: f64,
+    },
+}
+
+impl Waveform {
+    /// An ideal step from 0 to `v` at `t = 0` with a 1 ps edge.
+    pub fn step(v: f64) -> Self {
+        Waveform::Pulse {
+            v0: 0.0,
+            v1: v,
+            delay: 0.0,
+            rise: 1e-12,
+            fall: 1e-12,
+            width: f64::INFINITY,
+            period: 0.0,
+        }
+    }
+
+    /// A single rising edge from `v0` to `v1` after `delay`, with the given
+    /// rise time — the stimulus used by the delay benchmarks.
+    pub fn edge(v0: f64, v1: f64, delay: f64, rise: f64) -> Self {
+        Waveform::Pulse {
+            v0,
+            v1,
+            delay,
+            rise,
+            fall: rise,
+            width: f64::INFINITY,
+            period: 0.0,
+        }
+    }
+
+    /// Validates internal consistency (sorted PWL, positive pulse times).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidWaveform`] describing the violation.
+    pub fn validate(&self) -> Result<()> {
+        match self {
+            Waveform::Dc(_) => Ok(()),
+            Waveform::Pulse {
+                rise, fall, width, ..
+            } => {
+                if *rise <= 0.0 || *fall <= 0.0 {
+                    return Err(Error::InvalidWaveform("pulse edges must be positive"));
+                }
+                if *width < 0.0 {
+                    return Err(Error::InvalidWaveform("pulse width must be non-negative"));
+                }
+                Ok(())
+            }
+            Waveform::Pwl(pts) => {
+                if pts.is_empty() {
+                    return Err(Error::InvalidWaveform("PWL needs at least one point"));
+                }
+                if pts.windows(2).any(|w| w[1].0 <= w[0].0) {
+                    return Err(Error::InvalidWaveform("PWL times must strictly increase"));
+                }
+                Ok(())
+            }
+            Waveform::Sin { freq, .. } => {
+                if *freq <= 0.0 {
+                    return Err(Error::InvalidWaveform("sine frequency must be positive"));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Evaluates the waveform at time `t` (seconds).
+    pub fn value_at(&self, t: f64) -> f64 {
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Pulse {
+                v0,
+                v1,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
+                if t < *delay {
+                    return *v0;
+                }
+                let mut tau = t - delay;
+                if *period > 0.0 {
+                    tau %= period;
+                }
+                if tau < *rise {
+                    v0 + (v1 - v0) * tau / rise
+                } else if tau < rise + width {
+                    *v1
+                } else if tau < rise + width + fall {
+                    v1 - (v1 - v0) * (tau - rise - width) / fall
+                } else {
+                    *v0
+                }
+            }
+            Waveform::Pwl(pts) => {
+                if t <= pts[0].0 {
+                    return pts[0].1;
+                }
+                let last = pts[pts.len() - 1];
+                if t >= last.0 {
+                    return last.1;
+                }
+                let idx = pts.partition_point(|p| p.0 < t);
+                let (t0, v0) = pts[idx - 1];
+                let (t1, v1) = pts[idx];
+                v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+            }
+            Waveform::Sin {
+                offset,
+                ampl,
+                freq,
+                delay,
+            } => {
+                if t < *delay {
+                    *offset
+                } else {
+                    offset + ampl * (2.0 * core::f64::consts::PI * freq * (t - delay)).sin()
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_flat() {
+        let w = Waveform::Dc(1.2);
+        assert_eq!(w.value_at(0.0), 1.2);
+        assert_eq!(w.value_at(1e9), 1.2);
+        assert!(w.validate().is_ok());
+    }
+
+    #[test]
+    fn pulse_edges_and_plateau() {
+        let w = Waveform::Pulse {
+            v0: 0.0,
+            v1: 1.0,
+            delay: 1e-9,
+            rise: 1e-10,
+            fall: 1e-10,
+            width: 1e-9,
+            period: 0.0,
+        };
+        assert_eq!(w.value_at(0.0), 0.0);
+        assert!((w.value_at(1.05e-9) - 0.5).abs() < 1e-9); // mid-rise
+        assert_eq!(w.value_at(1.5e-9), 1.0); // plateau
+        assert!((w.value_at(2.15e-9) - 0.5).abs() < 1e-9); // mid-fall
+        assert_eq!(w.value_at(5e-9), 0.0);
+    }
+
+    #[test]
+    fn periodic_pulse_repeats() {
+        let w = Waveform::Pulse {
+            v0: 0.0,
+            v1: 1.0,
+            delay: 0.0,
+            rise: 1e-12,
+            fall: 1e-12,
+            width: 0.5e-9,
+            period: 1e-9,
+        };
+        assert_eq!(w.value_at(0.25e-9), 1.0);
+        assert_eq!(w.value_at(0.75e-9), 0.0);
+        assert_eq!(w.value_at(1.25e-9), 1.0);
+        assert_eq!(w.value_at(7.75e-9), 0.0);
+    }
+
+    #[test]
+    fn pwl_interpolates_and_clamps() {
+        let w = Waveform::Pwl(vec![(0.0, 0.0), (1.0, 2.0), (3.0, -2.0)]);
+        assert_eq!(w.value_at(-1.0), 0.0);
+        assert!((w.value_at(0.5) - 1.0).abs() < 1e-12);
+        assert!((w.value_at(2.0) - 0.0).abs() < 1e-12);
+        assert_eq!(w.value_at(10.0), -2.0);
+    }
+
+    #[test]
+    fn validation_catches_bad_shapes() {
+        assert!(Waveform::Pwl(vec![]).validate().is_err());
+        assert!(Waveform::Pwl(vec![(0.0, 1.0), (0.0, 2.0)]).validate().is_err());
+        assert!(Waveform::Pulse {
+            v0: 0.0,
+            v1: 1.0,
+            delay: 0.0,
+            rise: 0.0,
+            fall: 1e-12,
+            width: 1.0,
+            period: 0.0,
+        }
+        .validate()
+        .is_err());
+        assert!(Waveform::Sin {
+            offset: 0.0,
+            ampl: 1.0,
+            freq: -1.0,
+            delay: 0.0
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn step_and_edge_helpers() {
+        let s = Waveform::step(1.0);
+        assert_eq!(s.value_at(0.0), 0.0);
+        assert_eq!(s.value_at(1e-11), 1.0);
+        let e = Waveform::edge(0.2, 0.8, 1e-9, 2e-10);
+        assert_eq!(e.value_at(0.0), 0.2);
+        assert!((e.value_at(1.1e-9) - 0.5).abs() < 1e-9);
+        assert_eq!(e.value_at(1e-6), 0.8);
+    }
+
+    #[test]
+    fn sine_basics() {
+        let w = Waveform::Sin {
+            offset: 0.5,
+            ampl: 0.5,
+            freq: 1e9,
+            delay: 0.0,
+        };
+        assert!((w.value_at(0.0) - 0.5).abs() < 1e-12);
+        assert!((w.value_at(0.25e-9) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,187 @@
+//! Fig. 8 regenerators: ballistic conductance vs diameter, atomic
+//! structures, bands/transmission of pristine and doped CNT(7,7).
+
+use super::Report;
+use crate::Result;
+use cnt_atomistic::bands::BandStructure;
+use cnt_atomistic::chirality::Chirality;
+use cnt_atomistic::doping::{DopedCnt, DopingSpec};
+use cnt_atomistic::geometry;
+use cnt_atomistic::transport;
+use cnt_units::consts::G0_SIEMENS;
+use cnt_units::si::{Length, Temperature};
+
+fn t300() -> Temperature {
+    Temperature::from_kelvin(300.0)
+}
+
+/// Fig. 8a: ballistic conductance versus diameter for the zigzag and
+/// armchair series at 300 K.
+///
+/// # Errors
+///
+/// Propagates atomistic sweep errors.
+pub fn fig08a() -> Result<Report> {
+    let mut tubes = Chirality::zigzag_series(5, 26);
+    tubes.extend(Chirality::armchair_series(3, 15));
+    let pts = transport::conductance_vs_diameter(&tubes, t300())?;
+    let mut rep = Report::new(
+        "fig08a",
+        "Ballistic conductance vs diameter, zigzag + armchair SWCNTs, 300 K",
+    )
+    .with_columns(&["d_nm", "G_mS", "Nc", "metallic", "armchair"]);
+    for p in &pts {
+        rep.push_row(vec![
+            p.diameter_nm,
+            p.conductance_ms,
+            p.channels,
+            p.metallic as u8 as f64,
+            (p.chirality.family() == cnt_atomistic::Family::Armchair) as u8 as f64,
+        ]);
+    }
+    let metallic: Vec<f64> = pts
+        .iter()
+        .filter(|p| p.metallic)
+        .map(|p| p.channels)
+        .collect();
+    let mean_nc = cnt_units::math::mean(&metallic).unwrap_or(0.0);
+    rep.note(format!(
+        "metallic tubes: mean Nc = {mean_nc:.3} (paper: 'close to 2 regardless of the diameter and chirality')"
+    ));
+    rep.note("semiconducting zigzag tubes conduct only by thermal activation (rising with d)");
+    Ok(rep)
+}
+
+/// Fig. 8b: atom counts of the generated CNT(7,7) structures (pristine
+/// and with the internal iodine chain). The XYZ text itself comes from
+/// [`fig08b_structures`].
+///
+/// # Errors
+///
+/// Propagates geometry-construction errors.
+pub fn fig08b() -> Result<Report> {
+    let tube = Chirality::new(7, 7)?;
+    let length = Length::from_nanometers(2.0);
+    let pristine = geometry::tube_segment(tube, length)?;
+    let doped = geometry::doped_tube_with_iodine(tube, length)?;
+    let iodine = doped
+        .iter()
+        .filter(|a| a.element == geometry::Element::I)
+        .count();
+    let mut rep = Report::new("fig08b", "Atomic structures of CNT(7,7), pristine and iodine-doped")
+        .with_columns(&["atoms"]);
+    rep.push_labeled_row("pristine_c_atoms", vec![(pristine.len()) as f64]);
+    rep.push_labeled_row("doped_total_atoms", vec![doped.len() as f64]);
+    rep.push_labeled_row("iodine_atoms", vec![iodine as f64]);
+    rep.push_labeled_row("diameter_nm", vec![tube.diameter().nanometers()]);
+    rep.note("paper: 'The diameter of SWCNT(7,7) is about 1 nm'");
+    rep.note("XYZ exports available via experiments::fig08b_structures()");
+    Ok(rep)
+}
+
+/// The XYZ texts of the Fig. 8b structures: `(pristine, iodine_doped)`.
+///
+/// # Errors
+///
+/// Propagates geometry-construction errors.
+pub fn fig08b_structures() -> Result<(String, String)> {
+    let tube = Chirality::new(7, 7)?;
+    let length = Length::from_nanometers(2.0);
+    let pristine = geometry::tube_segment(tube, length)?;
+    let doped = geometry::doped_tube_with_iodine(tube, length)?;
+    Ok((
+        geometry::to_xyz(&pristine, "CNT(7,7) pristine segment"),
+        geometry::to_xyz(&doped, "CNT(7,7) with internal iodine chain"),
+    ))
+}
+
+/// Fig. 8c: transmission spectra of pristine and iodine-doped CNT(7,7),
+/// with the paper's two DFT anchors checked in the notes.
+///
+/// # Errors
+///
+/// Propagates atomistic errors.
+pub fn fig08c() -> Result<Report> {
+    let tube = Chirality::new(7, 7)?;
+    let pristine_bands = BandStructure::compute(tube, transport::DEFAULT_NK)?;
+    let doped = DopedCnt::new(tube, DopingSpec::iodine_internal())?;
+
+    let mut rep = Report::new(
+        "fig08c",
+        "Transmission T(E) of pristine vs iodine-doped CNT(7,7)",
+    )
+    .with_columns(&["E_eV", "T_pristine", "T_doped"]);
+    let spec = doped.transmission_spectrum(-1.5, 1.5, 121)?;
+    for (e, t_doped) in spec {
+        rep.push_row(vec![e, pristine_bands.mode_count(e) as f64, t_doped]);
+    }
+
+    let g_pristine = transport::conductance_at_temperature(&pristine_bands, 0.0, t300());
+    let g_doped = doped.conductance(t300());
+    rep.note(format!(
+        "pristine G = {:.3} mS (paper: 0.155 mS)",
+        g_pristine.millisiemens()
+    ));
+    rep.note(format!(
+        "doped G = {:.3} mS (paper: 0.387 mS)",
+        g_doped.millisiemens()
+    ));
+    rep.note(format!(
+        "doped Fermi level = {:.2} eV (paper: 'shifted down by about 0.6 eV')",
+        doped.fermi_level_ev()
+    ));
+    rep.note(format!(
+        "channels: {:.2} -> {:.2} = G/G0 (paper Eq. 1)",
+        g_pristine.siemens() / G0_SIEMENS,
+        g_doped.siemens() / G0_SIEMENS
+    ));
+    Ok(rep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig08a_metallic_plateau() {
+        let rep = fig08a().unwrap();
+        let nc = rep.column("Nc").unwrap();
+        let met = rep.column("metallic").unwrap();
+        for (n, m) in nc.iter().zip(&met) {
+            if *m > 0.5 {
+                assert!((n - 2.0).abs() < 0.2, "metallic tube with Nc = {n}");
+            } else {
+                assert!(*n < 1.0, "semiconducting tube with Nc = {n}");
+            }
+        }
+        assert!(rep.rows.len() > 25);
+    }
+
+    #[test]
+    fn fig08b_structures_exist() {
+        let rep = fig08b().unwrap();
+        assert!(rep.column("atoms").unwrap()[2] > 5.0, "iodine chain present");
+        let (p, d) = fig08b_structures().unwrap();
+        assert!(p.contains("C "));
+        assert!(d.contains("I "));
+    }
+
+    #[test]
+    fn fig08c_anchors_in_notes() {
+        let rep = fig08c().unwrap();
+        let text = rep.render();
+        assert!(text.contains("0.155"), "pristine anchor: {text}");
+        assert!(text.contains("0.387"), "doped anchor mention: {text}");
+        // The doped spectrum exceeds the pristine one at the Fermi level.
+        let e = rep.column("E_eV").unwrap();
+        let tp = rep.column("T_pristine").unwrap();
+        let td = rep.column("T_doped").unwrap();
+        let idx = e
+            .iter()
+            .enumerate()
+            .min_by(|a, b| (a.1 + 0.6).abs().partial_cmp(&(b.1 + 0.6).abs()).unwrap())
+            .unwrap()
+            .0;
+        assert!(td[idx] > tp[idx]);
+    }
+}

@@ -1,0 +1,83 @@
+//! One entry point per paper artefact.
+//!
+//! Every figure and quantitative prose claim of the paper maps to a
+//! function here returning a [`Report`] — a structured table plus notes —
+//! that the `cnt-bench` `repro` binary renders. The experiment ids match
+//! the index in `DESIGN.md §4` and `EXPERIMENTS.md`.
+
+mod atomistic_figs;
+mod circuit_figs;
+mod measure_figs;
+mod process_figs;
+mod reliability_figs;
+mod report;
+mod technology_figs;
+
+pub use atomistic_figs::{fig08a, fig08b, fig08b_structures, fig08c};
+pub use circuit_figs::{fig09, fig10, fig11, fig12};
+pub use measure_figs::{fig02d, selfheat, tlm};
+pub use process_figs::{fig04, fig05, fig06, fig07};
+pub use reliability_figs::{fig03, fig13a, fig13b, stability, table1};
+pub use report::Report;
+pub use technology_figs::fig01;
+
+use crate::Result;
+
+/// All experiment ids, in paper order.
+pub const ALL_IDS: [&str; 19] = [
+    "table1", "fig01", "fig02d", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08a",
+    "fig08b", "fig08c", "fig09", "fig10", "fig11", "fig12", "fig13a", "fig13b", "tlm",
+    "selfheat",
+];
+
+/// Runs one experiment by id.
+///
+/// # Errors
+///
+/// Returns [`crate::Error::InvalidParameter`] for an unknown id and
+/// propagates the experiment's own errors. The `"stability"` id is an
+/// alias accepted alongside the 18 primary ids (it backs the fig03 claim).
+pub fn run(id: &str) -> Result<Report> {
+    match id {
+        "table1" => table1(),
+        "fig01" => fig01(),
+        "fig02d" => fig02d(),
+        "fig03" => fig03(),
+        "fig04" => fig04(),
+        "fig05" => fig05(),
+        "fig06" => fig06(),
+        "fig07" => fig07(),
+        "fig08a" => fig08a(),
+        "fig08b" => fig08b(),
+        "fig08c" => fig08c(),
+        "fig09" => fig09(),
+        "fig10" => fig10(),
+        "fig11" => fig11(),
+        "fig12" => fig12(),
+        "fig13a" => fig13a(),
+        "fig13b" => fig13b(),
+        "tlm" => tlm(),
+        "selfheat" => selfheat(),
+        "stability" => stability(),
+        other => Err(crate::Error::InvalidParameter {
+            name: "experiment id (see experiments::ALL_IDS)",
+            value: other.len() as f64,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatcher_knows_every_id() {
+        for id in ALL_IDS {
+            let rep = run(id).unwrap_or_else(|e| panic!("{id} failed: {e}"));
+            assert_eq!(rep.id, id);
+            assert!(!rep.rows.is_empty() || !rep.notes.is_empty(), "{id} is empty");
+        }
+        assert!(run("stability").is_ok());
+        assert!(run("nope").is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! Figs. 4–7 regenerators: growth vs temperature, 300 mm wafer
+//! uniformity, and Cu–CNT composite filling.
+
+use super::Report;
+use crate::Result;
+use cnt_process::composite::{CarpetOrientation, CompositeRecipe, DepositionMethod};
+use cnt_process::growth::{temperature_sweep, Catalyst};
+use cnt_process::wafer::WaferMap;
+use cnt_units::si::Temperature;
+
+/// Fig. 4: CNT growth with Co catalyst at different temperatures (Fe shown
+/// for contrast), pushing growth into the CMOS-compatible window.
+///
+/// # Errors
+///
+/// Propagates growth-model errors.
+pub fn fig04() -> Result<Report> {
+    let temps: Vec<Temperature> = [350.0, 375.0, 395.0, 425.0, 475.0, 550.0, 650.0]
+        .iter()
+        .map(|&c| Temperature::from_celsius(c))
+        .collect();
+    let co = temperature_sweep(Catalyst::Cobalt, &temps, false)?;
+    let fe = temperature_sweep(Catalyst::Iron, &temps, false)?;
+
+    let mut rep = Report::new("fig04", "CNT growth vs temperature: Co (CMOS BEOL) vs Fe")
+        .with_columns(&[
+            "T_C",
+            "co_rate_um_min",
+            "co_dg",
+            "co_viable",
+            "fe_rate_um_min",
+            "fe_dg",
+            "fe_viable",
+        ]);
+    for (c, f) in co.iter().zip(&fe) {
+        rep.push_row(vec![
+            c.recipe.temperature.celsius(),
+            c.growth_rate_um_per_min,
+            c.dg_ratio,
+            c.is_viable() as u8 as f64,
+            f.growth_rate_um_per_min,
+            f.dg_ratio,
+            f.is_viable() as u8 as f64,
+        ]);
+    }
+    let co_at_budget = co.iter().find(|r| r.recipe.temperature.celsius() <= 400.0 && r.is_viable());
+    rep.note(match co_at_budget {
+        Some(r) => format!(
+            "Co grows viable CNTs at {:.0} °C (≤ 400 °C BEOL budget): rate {:.2} µm/min, D/G {:.2}",
+            r.recipe.temperature.celsius(),
+            r.growth_rate_um_per_min,
+            r.dg_ratio
+        ),
+        None => "no viable Co growth below the BEOL budget (calibration regression!)".to_string(),
+    });
+    rep.note("paper: 'good CNT growth on Co catalyst at lower temperatures is possible'");
+    Ok(rep)
+}
+
+/// Fig. 5: full 300 mm wafer growth with Co catalyst — uniformity map and
+/// statistics.
+///
+/// # Errors
+///
+/// Propagates wafer-map errors.
+pub fn fig05() -> Result<Report> {
+    let map = WaferMap::generate(0.3, 121, 1.0, 0.05, 0.015, 20180319)?;
+    let rep_stats = map.uniformity()?;
+    let mut rep = Report::new("fig05", "300 mm wafer CNT growth uniformity (Co catalyst)")
+        .with_columns(&["r_band_lo", "r_band_hi", "mean_norm_thickness"]);
+    for band in 0..5 {
+        let lo = band as f64 * 0.2;
+        let hi = lo + 0.2;
+        if let Some(m) = map.radial_band_mean(lo, hi) {
+            rep.push_row(vec![lo, hi, m]);
+        }
+    }
+    rep.note(format!(
+        "within-wafer uniformity: CV = {:.2} %, half-range = {:.2} % over {} sites",
+        rep_stats.cv * 100.0,
+        rep_stats.half_range * 100.0,
+        rep_stats.sites
+    ));
+    rep.note("paper: 'a good starting uniformity and full 300 mm wafer CNT-growth'");
+    rep.note(format!("wafer map (z-score bins):\n{}", map.ascii_map(12)));
+    Ok(rep)
+}
+
+/// Fig. 6: ELD copper impregnation of vertically aligned CNTs — fill vs
+/// aspect ratio, with the characteristic Cu overburden.
+///
+/// # Errors
+///
+/// Propagates composite-model errors.
+pub fn fig06() -> Result<Report> {
+    let mut rep = Report::new("fig06", "ELD Cu impregnation of VA-CNT carpets")
+        .with_columns(&["aspect_ratio", "fill_fraction", "void_prob", "overburden_nm"]);
+    for &ar in &[0.5, 1.0, 2.0, 4.0, 8.0] {
+        let r = CompositeRecipe {
+            method: DepositionMethod::Electroless,
+            orientation: CarpetOrientation::Vertical,
+            aspect_ratio: ar,
+            conductive_seed: false,
+            cnt_volume_fraction: 0.3,
+        }
+        .simulate()?;
+        rep.push_row(vec![ar, r.fill_fraction, r.void_probability, r.overburden_nm]);
+    }
+    rep.note("ELD needs no seed but leaves a Cu overburden (the crystal overgrowth of Fig. 6)");
+    Ok(rep)
+}
+
+/// Fig. 7: the developed ECD process achieves void-free filling of
+/// horizontally aligned CNT bundles.
+///
+/// # Errors
+///
+/// Propagates composite-model errors.
+pub fn fig07() -> Result<Report> {
+    let mut rep = Report::new("fig07", "ECD Cu impregnation of HA-CNT bundles (void-free)")
+        .with_columns(&["aspect_ratio", "fill_fraction", "void_prob", "void_free"]);
+    for &ar in &[0.5, 1.0, 2.0, 4.0, 8.0] {
+        let r = CompositeRecipe {
+            method: DepositionMethod::Electrochemical,
+            orientation: CarpetOrientation::Horizontal,
+            aspect_ratio: ar,
+            conductive_seed: true,
+            cnt_volume_fraction: 0.3,
+        }
+        .simulate()?;
+        rep.push_row(vec![
+            ar,
+            r.fill_fraction,
+            r.void_probability,
+            r.is_void_free() as u8 as f64,
+        ]);
+    }
+    // The ELD/ECD contrast at the benchmark aspect ratio.
+    let eld = CompositeRecipe {
+        method: DepositionMethod::Electroless,
+        orientation: CarpetOrientation::Horizontal,
+        aspect_ratio: 2.0,
+        conductive_seed: true,
+        cnt_volume_fraction: 0.3,
+    }
+    .simulate()?;
+    let ecd = CompositeRecipe {
+        method: DepositionMethod::Electrochemical,
+        orientation: CarpetOrientation::Horizontal,
+        aspect_ratio: 2.0,
+        conductive_seed: true,
+        cnt_volume_fraction: 0.3,
+    }
+    .simulate()?;
+    rep.note(format!(
+        "AR = 2 comparison: ELD fill {:.3} vs ECD fill {:.3} — 'Fig. 7 shows the void-free filling of HA-CNT bundles'",
+        eld.fill_fraction, ecd.fill_fraction
+    ));
+    Ok(rep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig04_co_wins_the_budget_race() {
+        let rep = fig04().unwrap();
+        let t = rep.column("T_C").unwrap();
+        let co_v = rep.column("co_viable").unwrap();
+        let fe_v = rep.column("fe_viable").unwrap();
+        let at_budget = t.iter().position(|&c| (c - 395.0).abs() < 1.0).unwrap();
+        assert_eq!(co_v[at_budget], 1.0);
+        assert_eq!(fe_v[at_budget], 0.0);
+    }
+
+    #[test]
+    fn fig05_uniformity_is_good() {
+        let rep = fig05().unwrap();
+        let text = rep.render();
+        assert!(text.contains("CV ="));
+        // Radial trend visible: edge band above centre band.
+        let means = rep.column("mean_norm_thickness").unwrap();
+        assert!(means.last().unwrap() > &means[0]);
+    }
+
+    #[test]
+    fn fig06_fig07_contrast() {
+        let eld = fig06().unwrap();
+        let ecd = fig07().unwrap();
+        let eld_fill = eld.column("fill_fraction").unwrap();
+        let ecd_fill = ecd.column("fill_fraction").unwrap();
+        for (a, b) in eld_fill.iter().zip(&ecd_fill) {
+            assert!(b > a, "ECD ({b}) should out-fill ELD ({a})");
+        }
+        // ECD stays void-free across the sweep.
+        assert!(ecd.column("void_free").unwrap().iter().all(|v| *v == 1.0));
+        // ELD always shows its overburden.
+        assert!(eld.column("overburden_nm").unwrap().iter().all(|v| *v > 100.0));
+    }
+}

@@ -1,0 +1,180 @@
+//! The structured output of an experiment: a labelled numeric table plus
+//! free-form notes, renderable as monospace text.
+
+use core::fmt;
+
+/// A regenerated figure/table: columns of numbers plus notes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Experiment id (`"fig12"`, `"table1"`, …).
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Optional row labels (empty = rows numbered).
+    pub row_labels: Vec<String>,
+    /// Numeric data, one inner vector per row.
+    pub rows: Vec<Vec<f64>>,
+    /// Free-form annotations (anchors, pass/fail checks, units).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report with a title.
+    pub fn new(id: &'static str, title: impl Into<String>) -> Self {
+        Self {
+            id,
+            title: title.into(),
+            columns: Vec::new(),
+            row_labels: Vec::new(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Sets the column headers.
+    pub fn with_columns(mut self, cols: &[&str]) -> Self {
+        self.columns = cols.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the row width disagrees with the headers.
+    pub fn push_row(&mut self, row: Vec<f64>) {
+        debug_assert!(
+            self.columns.is_empty() || self.columns.len() == row.len(),
+            "row width {} vs {} columns",
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Appends a labelled data row.
+    pub fn push_labeled_row(&mut self, label: impl Into<String>, row: Vec<f64>) {
+        self.row_labels.push(label.into());
+        self.push_row(row);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Fetches a column by header name.
+    pub fn column(&self, name: &str) -> Option<Vec<f64>> {
+        let idx = self.columns.iter().position(|c| c == name)?;
+        Some(self.rows.iter().map(|r| r[idx]).collect())
+    }
+
+    /// Renders the report as a monospace table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        if !self.rows.is_empty() {
+            let labelled = !self.row_labels.is_empty();
+            let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len().max(10)).collect();
+            if widths.is_empty() {
+                let n = self.rows[0].len();
+                widths = vec![12; n];
+            }
+            let label_w = self
+                .row_labels
+                .iter()
+                .map(String::len)
+                .max()
+                .unwrap_or(0)
+                .max(4);
+            // Header.
+            if !self.columns.is_empty() {
+                if labelled {
+                    out.push_str(&format!("{:label_w$}  ", ""));
+                }
+                for (c, w) in self.columns.iter().zip(&widths) {
+                    out.push_str(&format!("{c:>w$}  ", w = w));
+                }
+                out.push('\n');
+            }
+            for (i, row) in self.rows.iter().enumerate() {
+                if labelled {
+                    let lbl = self.row_labels.get(i).map(String::as_str).unwrap_or("");
+                    out.push_str(&format!("{lbl:label_w$}  "));
+                }
+                for (v, w) in row.iter().zip(widths.iter().chain(std::iter::repeat(&12))) {
+                    out.push_str(&format!("{:>w$}  ", format_number(*v), w = *w));
+                }
+                out.push('\n');
+            }
+        }
+        for n in &self.notes {
+            out.push_str(&format!("  * {n}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Compact numeric formatting: up to 4 significant digits, scientific for
+/// extreme magnitudes.
+fn format_number(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let a = v.abs();
+    if !(1e-3..1e6).contains(&a) {
+        format!("{v:.3e}")
+    } else if a >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_rows_and_notes() {
+        let mut r = Report::new("figX", "demo").with_columns(&["a", "b"]);
+        r.push_row(vec![1.0, 2.5]);
+        r.push_row(vec![1e-9, 3e7]);
+        r.note("anchor ok");
+        let text = r.render();
+        assert!(text.contains("figX"));
+        assert!(text.contains("a"));
+        assert!(text.contains("1.000e-9"));
+        assert!(text.contains("* anchor ok"));
+        assert_eq!(format!("{r}"), text);
+    }
+
+    #[test]
+    fn labelled_rows_and_column_access() {
+        let mut r = Report::new("t", "labels").with_columns(&["value"]);
+        r.push_labeled_row("cu", vec![50.0]);
+        r.push_labeled_row("cnt", vec![25.0]);
+        assert_eq!(r.column("value").unwrap(), vec![50.0, 25.0]);
+        assert!(r.column("missing").is_none());
+        let text = r.render();
+        assert!(text.contains("cu"));
+        assert!(text.contains("cnt"));
+    }
+
+    #[test]
+    fn number_formatting_bands() {
+        assert_eq!(format_number(0.0), "0");
+        assert!(format_number(1.23456).starts_with("1.2346"));
+        assert!(format_number(1234.5).starts_with("1234.5"));
+        assert!(format_number(2.5e9).contains('e'));
+        assert!(format_number(-3e-12).contains('e'));
+    }
+}

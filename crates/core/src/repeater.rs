@@ -1,0 +1,176 @@
+//! Repeater insertion for long CNT interconnects — an extension study in
+//! the spirit of the paper's "design space exploration" outlook.
+//!
+//! Long resistive lines are classically broken by repeaters; the optimal
+//! count balances wire RC against repeater delay:
+//!
+//! ```text
+//! k_opt = √(0.38·R_w·C_w / (0.69·R_d·C_in)),
+//! t_opt = k·[0.69·R_d·(C_w/k + C_in) + 0.69·(R_w/k)·C_in + 0.38·R_w·C_w/k²]
+//! ```
+//!
+//! Because doping cuts `R_w`, it reduces not only delay but the *number
+//! of repeaters* a doped MWCNT line needs — a power/area win the delay
+//! ratio alone does not show.
+
+use crate::compact::DopedMwcnt;
+use crate::Result;
+use cnt_circuit::cells::InverterCell;
+use cnt_units::si::{Length, Time};
+
+/// Result of a repeater-insertion optimization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepeaterPlan {
+    /// Optimal number of repeater stages (≥ 1; 1 = unrepeated).
+    pub stages: usize,
+    /// Total 50 % delay with that many stages.
+    pub delay: Time,
+    /// Delay of the unrepeated line for comparison.
+    pub unrepeated_delay: Time,
+}
+
+impl RepeaterPlan {
+    /// Speed-up of repeating vs the bare line.
+    pub fn speedup(&self) -> f64 {
+        self.unrepeated_delay.seconds() / self.delay.seconds()
+    }
+}
+
+/// Delay of a line of totals `(r_w, c_w)` split into `k` equal stages,
+/// each driven by `cell`.
+fn staged_delay(r_w: f64, c_w: f64, cell: &InverterCell, k: usize) -> f64 {
+    let kf = k as f64;
+    let r_d = cell.drive_resistance();
+    let c_in = cell.input_capacitance();
+    let seg_r = r_w / kf;
+    let seg_c = c_w / kf;
+    kf * (0.69 * r_d * (seg_c + c_in) + 0.69 * seg_r * c_in + 0.38 * seg_r * seg_c)
+}
+
+/// Optimizes repeater count for a doped MWCNT line driven by the given
+/// repeater cell (searches exhaustively around the analytic optimum, so
+/// the returned plan is the true discrete minimum).
+///
+/// # Errors
+///
+/// Propagates compact-model/geometry validation.
+pub fn optimize_repeaters(
+    line: &DopedMwcnt,
+    length: Length,
+    cell: &InverterCell,
+) -> Result<RepeaterPlan> {
+    let r_w = line.resistance(length).ohms();
+    let c_w = line.electrostatic_capacitance_per_length()?.farads() * length.meters();
+    let r_d = cell.drive_resistance();
+    let c_in = cell.input_capacitance();
+
+    let k_analytic = (0.38 * r_w * c_w / (0.69 * r_d * c_in)).sqrt();
+    let k_hi = (k_analytic.ceil() as usize + 2).max(3);
+    let mut best = (1usize, staged_delay(r_w, c_w, cell, 1));
+    for k in 1..=k_hi {
+        let d = staged_delay(r_w, c_w, cell, k);
+        if d < best.1 {
+            best = (k, d);
+        }
+    }
+    Ok(RepeaterPlan {
+        stages: best.0,
+        delay: Time::from_seconds(best.1),
+        unrepeated_delay: Time::from_seconds(staged_delay(r_w, c_w, cell, 1)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nm(v: f64) -> Length {
+        Length::from_nanometers(v)
+    }
+
+    fn um(v: f64) -> Length {
+        Length::from_micrometers(v)
+    }
+
+    #[test]
+    fn long_lines_want_repeaters() {
+        let line = DopedMwcnt::paper_model(nm(10.0), 2).unwrap();
+        let cell = InverterCell::inv_45nm().scaled(8.0);
+        let plan = optimize_repeaters(&line, um(1000.0), &cell).unwrap();
+        assert!(plan.stages > 1, "1 mm line should be repeated: {plan:?}");
+        assert!(plan.speedup() > 1.0);
+    }
+
+    #[test]
+    fn short_lines_stay_unrepeated() {
+        let line = DopedMwcnt::paper_model(nm(10.0), 2).unwrap();
+        let cell = InverterCell::inv_45nm().scaled(8.0);
+        let plan = optimize_repeaters(&line, um(5.0), &cell).unwrap();
+        assert_eq!(plan.stages, 1);
+        assert!((plan.speedup() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn doping_reduces_repeater_count() {
+        // The headline of this extension: fewer repeaters on doped lines.
+        let cell = InverterCell::inv_45nm().scaled(8.0);
+        let pristine = DopedMwcnt::paper_model(nm(10.0), 2).unwrap();
+        let doped = DopedMwcnt::paper_model(nm(10.0), 10).unwrap();
+        let l = um(2000.0);
+        let plan_p = optimize_repeaters(&pristine, l, &cell).unwrap();
+        let plan_d = optimize_repeaters(&doped, l, &cell).unwrap();
+        assert!(
+            plan_d.stages < plan_p.stages,
+            "doped {} vs pristine {} stages",
+            plan_d.stages,
+            plan_p.stages
+        );
+        assert!(plan_d.delay < plan_p.delay);
+    }
+
+    #[test]
+    fn optimum_is_a_true_local_minimum() {
+        let line = DopedMwcnt::paper_model(nm(14.0), 2).unwrap();
+        let cell = InverterCell::inv_45nm().scaled(8.0);
+        let plan = optimize_repeaters(&line, um(1500.0), &cell).unwrap();
+        let r_w = line.resistance(um(1500.0)).ohms();
+        let c_w = line
+            .electrostatic_capacitance_per_length()
+            .unwrap()
+            .farads()
+            * um(1500.0).meters();
+        let at = |k: usize| staged_delay(r_w, c_w, &cell, k);
+        let k = plan.stages;
+        assert!(at(k) <= at(k + 1));
+        if k > 1 {
+            assert!(at(k) <= at(k - 1));
+        }
+    }
+
+    #[test]
+    fn repeater_size_has_an_optimum() {
+        // Classic sizing theory: s_opt = √(R_d0·C_w / (R_w·C_in0)). Delay
+        // is unimodal in repeater size — oversizing loses to the
+        // R_w·C_in self-loading term.
+        let line = DopedMwcnt::paper_model(nm(10.0), 2).unwrap();
+        let l = um(2000.0);
+        let base = InverterCell::inv_45nm();
+        let r_w = line.resistance(l).ohms();
+        let c_w = line
+            .electrostatic_capacitance_per_length()
+            .unwrap()
+            .farads()
+            * l.meters();
+        let s_opt =
+            (base.drive_resistance() * c_w / (r_w * base.input_capacitance())).sqrt();
+        let delay_at = |s: f64| {
+            optimize_repeaters(&line, l, &base.scaled(s))
+                .unwrap()
+                .delay
+                .seconds()
+        };
+        let d_opt = delay_at(s_opt);
+        assert!(d_opt <= delay_at(s_opt / 4.0), "undersized should lose");
+        assert!(d_opt <= delay_at(s_opt * 4.0), "oversized should lose");
+    }
+}

@@ -1,0 +1,286 @@
+//! Technology assessment — the quantitative version of the paper's Fig. 1
+//! vision: "doped CNTs for local interconnects and CNT-Cu-composite
+//! material for global interconnects".
+//!
+//! Given a wire class (dimensions, length, current load), the assessor
+//! scores the copper baseline against the CNT option of that tier on the
+//! three axes the paper's conclusion names — performance, power/thermal
+//! headroom and reliability — and issues a recommendation.
+
+use crate::compact::{CompositeWire, CuWire, DopedMwcnt};
+use crate::{Error, Result};
+use cnt_reliability::ampacity::ConductorMaterial;
+use cnt_units::si::{Current, Length, Resistance};
+
+/// Interconnect tier under assessment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireTier {
+    /// Local wires (M1-class): single doped CNTs in via holes vs Cu.
+    Local,
+    /// Global wires: Cu–CNT composite vs Cu.
+    Global,
+}
+
+/// One wire class to assess.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireClass {
+    /// Tier.
+    pub tier: WireTier,
+    /// Drawn width.
+    pub width: Length,
+    /// Drawn height.
+    pub height: Length,
+    /// Run length.
+    pub length: Length,
+    /// Current the wire must sustain.
+    pub load_current: Current,
+}
+
+impl WireClass {
+    /// A 32 nm-class local wire carrying 30 µA over 1 µm.
+    pub fn local_m1() -> Self {
+        Self {
+            tier: WireTier::Local,
+            width: Length::from_nanometers(32.0),
+            height: Length::from_nanometers(64.0),
+            length: Length::from_micrometers(1.0),
+            load_current: Current::from_microamps(30.0),
+        }
+    }
+
+    /// A global wire: 100×200 nm², 500 µm, 1 mA.
+    pub fn global_wire() -> Self {
+        Self {
+            tier: WireTier::Global,
+            width: Length::from_nanometers(100.0),
+            height: Length::from_nanometers(200.0),
+            length: Length::from_micrometers(500.0),
+            load_current: Current::from_milliamps(1.0),
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        for (name, v) in [
+            ("width", self.width.meters()),
+            ("height", self.height.meters()),
+            ("length", self.length.meters()),
+        ] {
+            if v <= 0.0 {
+                return Err(Error::InvalidParameter { name, value: v });
+            }
+        }
+        if self.load_current.amps() < 0.0 {
+            return Err(Error::InvalidParameter {
+                name: "load_current",
+                value: self.load_current.amps(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Scores for one candidate material.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaterialScore {
+    /// Candidate name.
+    pub name: &'static str,
+    /// Wire resistance.
+    pub resistance: Resistance,
+    /// Maximum sustainable current.
+    pub max_current: Current,
+    /// Ampacity margin `I_max / I_load` (∞ if no load).
+    pub ampacity_margin: f64,
+    /// Meets the current requirement?
+    pub reliable: bool,
+}
+
+/// The assessment verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assessment {
+    /// The wire class assessed.
+    pub class: WireClass,
+    /// Copper baseline.
+    pub copper: MaterialScore,
+    /// CNT-based candidate (doped CNT locally, composite globally).
+    pub cnt_option: MaterialScore,
+    /// `true` when the CNT option is recommended.
+    pub recommend_cnt: bool,
+    /// Human-readable reasoning.
+    pub rationale: String,
+}
+
+/// Assesses a wire class: Cu baseline vs the tier's CNT option
+/// (Fig. 1: doped CNT locally, Cu–CNT composite globally).
+///
+/// Decision rule: a candidate is *eligible* only if it sustains the load
+/// current with ≥ 2× margin; among eligible candidates the lower
+/// resistance wins; if only one is eligible it wins outright.
+///
+/// # Errors
+///
+/// Propagates model validation.
+pub fn assess(class: &WireClass) -> Result<Assessment> {
+    class.validate()?;
+    let cu_wire = CuWire::damascene(class.width, class.height)?;
+    let cu_imax = ConductorMaterial::Copper.max_current(class.width, class.height)?;
+    let copper = score("copper", cu_wire.resistance(class.length), cu_imax, class);
+
+    let cnt_option = match class.tier {
+        WireTier::Local => {
+            // A doped MWCNT filling the smaller drawn dimension. Each shell
+            // saturates near 25 µA (reference [7] of the paper), so the
+            // tube's ampacity scales with its shell count.
+            let d = class.width.min(class.height);
+            let tube = DopedMwcnt::paper_model(d, 6)?;
+            let imax = Current::from_microamps(25.0 * tube.shell_count() as f64);
+            score(
+                "doped CNT",
+                tube.resistance(class.length),
+                imax,
+                class,
+            )
+        }
+        WireTier::Global => {
+            let comp = CompositeWire::subramaniam_point(class.width, class.height)?;
+            score(
+                "Cu-CNT composite",
+                comp.resistance(class.length),
+                comp.max_current()?,
+                class,
+            )
+        }
+    };
+
+    let (recommend_cnt, rationale) = decide(&copper, &cnt_option);
+    Ok(Assessment {
+        class: *class,
+        copper,
+        cnt_option,
+        recommend_cnt,
+        rationale,
+    })
+}
+
+fn score(
+    name: &'static str,
+    resistance: Resistance,
+    max_current: Current,
+    class: &WireClass,
+) -> MaterialScore {
+    let margin = if class.load_current.amps() > 0.0 {
+        max_current.amps() / class.load_current.amps()
+    } else {
+        f64::INFINITY
+    };
+    MaterialScore {
+        name,
+        resistance,
+        max_current,
+        ampacity_margin: margin,
+        reliable: margin >= 2.0,
+    }
+}
+
+fn decide(cu: &MaterialScore, cnt: &MaterialScore) -> (bool, String) {
+    match (cu.reliable, cnt.reliable) {
+        (true, true) => {
+            let cnt_wins = cnt.resistance.ohms() < cu.resistance.ohms();
+            let why = format!(
+                "both sustain the load; {} wins on resistance ({} vs {})",
+                if cnt_wins { cnt.name } else { cu.name },
+                cnt.resistance,
+                cu.resistance
+            );
+            (cnt_wins, why)
+        }
+        (false, true) => (
+            true,
+            format!(
+                "copper fails electromigration at this load (margin {:.2}); {} sustains it",
+                cu.ampacity_margin, cnt.name
+            ),
+        ),
+        (true, false) => (
+            false,
+            format!(
+                "{} cannot carry the load (margin {:.2}); copper can",
+                cnt.name, cnt.ampacity_margin
+            ),
+        ),
+        (false, false) => (
+            cnt.ampacity_margin >= cu.ampacity_margin,
+            "neither option sustains the load; widen the wire".to_string(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_tier_prefers_cnt_when_copper_hits_its_em_wall() {
+        // 32×64 nm Cu at its 1 MA/cm² limit carries ~20 µA — a 30 µA load
+        // breaks it, while a single tube laughs at it (Fig. 1 local story).
+        let a = assess(&WireClass::local_m1()).unwrap();
+        assert!(!a.copper.reliable, "{:?}", a.copper);
+        assert!(a.cnt_option.reliable);
+        assert!(a.recommend_cnt, "{}", a.rationale);
+        assert!(a.rationale.contains("electromigration"));
+    }
+
+    #[test]
+    fn global_tier_composite_wins_on_high_current() {
+        let a = assess(&WireClass::global_wire()).unwrap();
+        // 100×200 nm Cu at 1 MA/cm²: 200 µA max — the 1 mA load kills it.
+        assert!(!a.copper.reliable);
+        assert!(a.cnt_option.reliable);
+        assert!(a.recommend_cnt);
+        assert_eq!(a.cnt_option.name, "Cu-CNT composite");
+    }
+
+    #[test]
+    fn copper_keeps_low_current_local_wires() {
+        // At light load copper's lower resistance wins the local tier.
+        let mut class = WireClass::local_m1();
+        class.load_current = Current::from_microamps(5.0);
+        let a = assess(&class).unwrap();
+        assert!(a.copper.reliable);
+        assert!(
+            !a.recommend_cnt,
+            "Cu should win on resistance: {}",
+            a.rationale
+        );
+    }
+
+    #[test]
+    fn composite_wins_global_tier_even_at_modest_load_if_cheaper() {
+        // At modest load both are reliable; resistance decides. The
+        // composite is slightly more resistive than Cu, so Cu stays.
+        let mut class = WireClass::global_wire();
+        class.load_current = Current::from_microamps(50.0);
+        let a = assess(&class).unwrap();
+        assert!(a.copper.reliable && a.cnt_option.reliable);
+        assert!(!a.recommend_cnt);
+        assert!(a.rationale.contains("resistance"));
+    }
+
+    #[test]
+    fn validation() {
+        let mut bad = WireClass::local_m1();
+        bad.width = Length::ZERO;
+        assert!(assess(&bad).is_err());
+        let mut bad = WireClass::local_m1();
+        bad.load_current = Current::from_amps(-1.0);
+        assert!(assess(&bad).is_err());
+    }
+
+    #[test]
+    fn zero_load_is_margin_infinite() {
+        let mut class = WireClass::local_m1();
+        class.load_current = Current::from_amps(0.0);
+        let a = assess(&class).unwrap();
+        assert!(a.copper.ampacity_margin.is_infinite());
+        assert!(a.copper.reliable && a.cnt_option.reliable);
+    }
+}

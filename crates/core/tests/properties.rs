@@ -1,0 +1,101 @@
+//! Property-based tests of the compact models and the delay benchmark.
+
+use cnt_interconnect::benchmark::delay_ratio;
+use cnt_interconnect::compact::{CuWire, DopedMwcnt, SwcntInterconnect};
+use cnt_units::si::Length;
+use proptest::prelude::*;
+
+fn nm(v: f64) -> Length {
+    Length::from_nanometers(v)
+}
+
+fn um(v: f64) -> Length {
+    Length::from_micrometers(v)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mwcnt_resistance_monotone_in_length(
+        d in 4.0_f64..40.0,
+        nc in 2_usize..11,
+        l1 in 0.1_f64..500.0,
+        dl in 0.1_f64..500.0,
+    ) {
+        let m = DopedMwcnt::paper_model(nm(d), nc).unwrap();
+        prop_assert!(m.resistance(um(l1 + dl)).ohms() > m.resistance(um(l1)).ohms());
+    }
+
+    #[test]
+    fn mwcnt_resistance_monotone_in_channels(
+        d in 4.0_f64..40.0,
+        nc in 2_usize..10,
+        l in 1.0_f64..500.0,
+    ) {
+        let lo = DopedMwcnt::paper_model(nm(d), nc).unwrap();
+        let hi = DopedMwcnt::paper_model(nm(d), nc + 1).unwrap();
+        prop_assert!(hi.resistance(um(l)).ohms() < lo.resistance(um(l)).ohms());
+    }
+
+    #[test]
+    fn mwcnt_capacitance_close_to_ce(
+        d in 4.0_f64..40.0,
+        nc in 2_usize..11,
+        l in 1.0_f64..500.0,
+    ) {
+        let m = DopedMwcnt::paper_model(nm(d), nc).unwrap();
+        let ce = m.electrostatic_capacitance_per_length().unwrap().farads() * um(l).meters();
+        let c = m.capacitance(um(l)).unwrap().farads();
+        // Eq. 5: the series CQ correction stays below 10 %.
+        prop_assert!(c <= ce);
+        prop_assert!(c > 0.9 * ce, "C {} vs CE {}", c, ce);
+    }
+
+    #[test]
+    fn delay_ratio_bounded_and_normalized(
+        d in 6.0_f64..30.0,
+        nc in 2_usize..11,
+        l in 1.0_f64..500.0,
+    ) {
+        let r = delay_ratio(nm(d), nc, um(l)).unwrap();
+        prop_assert!(r > 0.0 && r <= 1.0 + 1e-12);
+        if nc == 2 {
+            prop_assert!((r - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn swcnt_quantum_floor(d in 0.8_f64..3.0, l in 0.01_f64..100.0) {
+        let t = SwcntInterconnect::metallic(nm(d)).unwrap();
+        // Nothing beats the two-channel quantum resistance.
+        let floor = cnt_units::consts::R0_OHMS / 2.0;
+        prop_assert!(t.resistance(um(l)).ohms() >= floor * (1.0 - 1e-12));
+    }
+
+    #[test]
+    fn cu_resistivity_never_below_bulk(
+        w in 10.0_f64..500.0,
+        h_ratio in 1.0_f64..3.0,
+    ) {
+        let wire = CuWire::damascene(nm(w), nm(w * h_ratio)).unwrap();
+        prop_assert!(wire.resistivity().ohm_meters() >= cnt_units::consts::RHO_CU_BULK);
+    }
+
+    #[test]
+    fn narrower_cu_is_always_more_resistive(
+        w in 10.0_f64..400.0,
+        dw in 5.0_f64..100.0,
+    ) {
+        let narrow = CuWire::damascene(nm(w), nm(2.0 * w)).unwrap();
+        let wide = CuWire::damascene(nm(w + dw), nm(2.0 * (w + dw))).unwrap();
+        prop_assert!(narrow.resistivity().ohm_meters() > wide.resistivity().ohm_meters());
+    }
+
+    #[test]
+    fn shell_count_grows_with_diameter(d in 3.0_f64..50.0, dd in 1.0_f64..20.0) {
+        let small = DopedMwcnt::paper_model(nm(d), 2).unwrap();
+        let large = DopedMwcnt::paper_model(nm(d + dd), 2).unwrap();
+        prop_assert!(large.shell_count() >= small.shell_count());
+    }
+}

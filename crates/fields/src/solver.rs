@@ -1,0 +1,572 @@
+//! Iterative solvers for the variable-coefficient Laplace stencil.
+//!
+//! The finite-volume discretization of `∇·(c ∇ψ) = 0` on a structured grid
+//! produces a symmetric positive-semidefinite 7-point system. Two schemes
+//! are provided (and benchmarked against each other as one of the DESIGN.md
+//! ablations): Jacobi-preconditioned conjugate gradients (default) and
+//! red-black successive over-relaxation.
+
+use crate::grid::Grid3;
+use crate::{Error, Result};
+
+/// Which fixed-point scheme drives the solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IterationScheme {
+    /// Jacobi-preconditioned conjugate gradient (default, fastest).
+    ConjugateGradient,
+    /// Red-black successive over-relaxation with the given factor
+    /// `omega ∈ (0, 2)`.
+    Sor {
+        /// Over-relaxation factor.
+        omega: f64,
+    },
+}
+
+/// Solver configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverOptions {
+    /// Iteration scheme.
+    pub scheme: IterationScheme,
+    /// Iteration cap before declaring divergence.
+    pub max_iterations: usize,
+    /// Relative-residual convergence threshold.
+    pub tolerance: f64,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        Self {
+            scheme: IterationScheme::ConjugateGradient,
+            max_iterations: 50_000,
+            tolerance: 1e-10,
+        }
+    }
+}
+
+/// Assembled stencil system: face conductances plus Dirichlet constraints.
+///
+/// `dirichlet[n] = Some(v)` pins node `n` to potential `v`; nodes whose
+/// row is entirely disconnected (all face weights zero — e.g. dielectric
+/// islands in a resistance solve) are automatically pinned to zero.
+#[derive(Debug, Clone)]
+pub struct StencilSystem {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    /// Face weights along x: index `(k·ny + j)·(nx−1) + i`.
+    wx: Vec<f64>,
+    /// Face weights along y: index `(k·(ny−1) + j)·nx + i`.
+    wy: Vec<f64>,
+    /// Face weights along z: index `(k·ny + j)·nx + i` for `k < nz−1`.
+    wz: Vec<f64>,
+    dirichlet: Vec<Option<f64>>,
+    diag: Vec<f64>,
+}
+
+impl StencilSystem {
+    /// Assembles the system from per-cell coefficients.
+    ///
+    /// The face weight between two adjacent nodes is
+    /// `(A_face / d) · mean(coefficients of adjacent cells)`, where cells
+    /// missing at the domain boundary contribute zero — this realizes the
+    /// natural (zero-flux Neumann) boundary condition.
+    pub fn assemble(grid: &Grid3, cell_coeff: &[f64], dirichlet: Vec<Option<f64>>) -> Self {
+        let [nx, ny, nz] = grid.nodes();
+        let [hx, hy, hz] = grid.spacing();
+        let cells = grid.cells();
+        debug_assert_eq!(cell_coeff.len(), grid.cell_count());
+        debug_assert_eq!(dirichlet.len(), grid.node_count());
+
+        let coeff = |i: isize, j: isize, k: isize| -> f64 {
+            if i < 0
+                || j < 0
+                || k < 0
+                || i >= cells[0] as isize
+                || j >= cells[1] as isize
+                || k >= cells[2] as isize
+            {
+                0.0
+            } else {
+                cell_coeff[grid.cell_index(i as usize, j as usize, k as usize)]
+            }
+        };
+
+        // x faces: between (i,j,k) and (i+1,j,k); adjacent cells (i, j-1..j, k-1..k).
+        let mut wx = vec![0.0; (nx - 1) * ny * nz];
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx - 1 {
+                    let (ii, jj, kk) = (i as isize, j as isize, k as isize);
+                    let sum = coeff(ii, jj - 1, kk - 1)
+                        + coeff(ii, jj, kk - 1)
+                        + coeff(ii, jj - 1, kk)
+                        + coeff(ii, jj, kk);
+                    wx[(k * ny + j) * (nx - 1) + i] = sum * hy * hz / (4.0 * hx);
+                }
+            }
+        }
+        // y faces: between (i,j,k) and (i,j+1,k); adjacent cells (i-1..i, j, k-1..k).
+        let mut wy = vec![0.0; nx * (ny - 1) * nz];
+        for k in 0..nz {
+            for j in 0..ny - 1 {
+                for i in 0..nx {
+                    let (ii, jj, kk) = (i as isize, j as isize, k as isize);
+                    let sum = coeff(ii - 1, jj, kk - 1)
+                        + coeff(ii, jj, kk - 1)
+                        + coeff(ii - 1, jj, kk)
+                        + coeff(ii, jj, kk);
+                    wy[(k * (ny - 1) + j) * nx + i] = sum * hx * hz / (4.0 * hy);
+                }
+            }
+        }
+        // z faces: between (i,j,k) and (i,j,k+1); adjacent cells (i-1..i, j-1..j, k).
+        let mut wz = vec![0.0; nx * ny * (nz - 1)];
+        for k in 0..nz - 1 {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let (ii, jj, kk) = (i as isize, j as isize, k as isize);
+                    let sum = coeff(ii - 1, jj - 1, kk)
+                        + coeff(ii, jj - 1, kk)
+                        + coeff(ii - 1, jj, kk)
+                        + coeff(ii, jj, kk);
+                    wz[(k * ny + j) * nx + i] = sum * hx * hy / (4.0 * hz);
+                }
+            }
+        }
+
+        let mut sys = Self {
+            nx,
+            ny,
+            nz,
+            wx,
+            wy,
+            wz,
+            dirichlet,
+            diag: Vec::new(),
+        };
+        sys.compute_diagonal();
+        sys
+    }
+
+    fn compute_diagonal(&mut self) {
+        let n = self.nx * self.ny * self.nz;
+        let mut diag = vec![0.0; n];
+        for idx in 0..n {
+            let (i, j, k) = self.unflatten(idx);
+            let mut d = 0.0;
+            if i > 0 {
+                d += self.wx[(k * self.ny + j) * (self.nx - 1) + i - 1];
+            }
+            if i + 1 < self.nx {
+                d += self.wx[(k * self.ny + j) * (self.nx - 1) + i];
+            }
+            if j > 0 {
+                d += self.wy[(k * (self.ny - 1) + j - 1) * self.nx + i];
+            }
+            if j + 1 < self.ny {
+                d += self.wy[(k * (self.ny - 1) + j) * self.nx + i];
+            }
+            if k > 0 {
+                d += self.wz[((k - 1) * self.ny + j) * self.nx + i];
+            }
+            if k + 1 < self.nz {
+                d += self.wz[(k * self.ny + j) * self.nx + i];
+            }
+            diag[idx] = d;
+        }
+        // Disconnected nodes have zero diagonal: pin them so the reduced
+        // system stays SPD.
+        for idx in 0..n {
+            if diag[idx] == 0.0 && self.dirichlet[idx].is_none() {
+                self.dirichlet[idx] = Some(0.0);
+            }
+        }
+        self.diag = diag;
+    }
+
+    #[inline]
+    fn unflatten(&self, idx: usize) -> (usize, usize, usize) {
+        let i = idx % self.nx;
+        let j = (idx / self.nx) % self.ny;
+        let k = idx / (self.nx * self.ny);
+        (i, j, k)
+    }
+
+    /// Total node count.
+    pub fn node_count(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Applies the full stencil operator `y = A·ψ` over all nodes
+    /// (no Dirichlet masking); used for flux integration.
+    fn apply_full(&self, psi: &[f64], out: &mut [f64]) {
+        out.iter_mut().for_each(|v| *v = 0.0);
+        // x faces
+        for k in 0..self.nz {
+            for j in 0..self.ny {
+                let row = (k * self.ny + j) * (self.nx - 1);
+                let base = (k * self.ny + j) * self.nx;
+                for i in 0..self.nx - 1 {
+                    let w = self.wx[row + i];
+                    if w != 0.0 {
+                        let a = base + i;
+                        let b = a + 1;
+                        let f = w * (psi[a] - psi[b]);
+                        out[a] += f;
+                        out[b] -= f;
+                    }
+                }
+            }
+        }
+        // y faces
+        for k in 0..self.nz {
+            for j in 0..self.ny - 1 {
+                let row = (k * (self.ny - 1) + j) * self.nx;
+                let base_a = (k * self.ny + j) * self.nx;
+                let base_b = (k * self.ny + j + 1) * self.nx;
+                for i in 0..self.nx {
+                    let w = self.wy[row + i];
+                    if w != 0.0 {
+                        let f = w * (psi[base_a + i] - psi[base_b + i]);
+                        out[base_a + i] += f;
+                        out[base_b + i] -= f;
+                    }
+                }
+            }
+        }
+        // z faces
+        for k in 0..self.nz - 1 {
+            for j in 0..self.ny {
+                let row = (k * self.ny + j) * self.nx;
+                let base_a = (k * self.ny + j) * self.nx;
+                let base_b = ((k + 1) * self.ny + j) * self.nx;
+                for i in 0..self.nx {
+                    let w = self.wz[row + i];
+                    if w != 0.0 {
+                        let f = w * (psi[base_a + i] - psi[base_b + i]);
+                        out[base_a + i] += f;
+                        out[base_b + i] -= f;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Net stencil flux out of every node for the potential `psi`
+    /// (`A·ψ` without Dirichlet masking). For a converged solution the flux
+    /// is zero at free nodes and equals the injected charge/current at
+    /// Dirichlet nodes.
+    pub fn node_flux(&self, psi: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.node_count()];
+        self.apply_full(psi, &mut out);
+        out
+    }
+
+    /// Solves the constrained system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoConvergence`] when the scheme exhausts
+    /// `max_iterations`.
+    pub fn solve(&self, options: &SolverOptions) -> Result<Vec<f64>> {
+        match options.scheme {
+            IterationScheme::ConjugateGradient => self.solve_cg(options),
+            IterationScheme::Sor { omega } => self.solve_sor(options, omega),
+        }
+    }
+
+    fn free_mask(&self) -> Vec<bool> {
+        self.dirichlet.iter().map(Option::is_none).collect()
+    }
+
+    fn initial_guess(&self) -> Vec<f64> {
+        self.dirichlet
+            .iter()
+            .map(|d| d.unwrap_or(0.0))
+            .collect()
+    }
+
+    fn solve_cg(&self, options: &SolverOptions) -> Result<Vec<f64>> {
+        let n = self.node_count();
+        let free = self.free_mask();
+        let mut psi = self.initial_guess();
+
+        // Residual r = -A·ψ restricted to free nodes (b folded in through
+        // the Dirichlet entries of ψ).
+        let mut ax = vec![0.0; n];
+        self.apply_full(&psi, &mut ax);
+        let mut r: Vec<f64> = (0..n).map(|i| if free[i] { -ax[i] } else { 0.0 }).collect();
+
+        let norm_b: f64 = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm_b == 0.0 {
+            return Ok(psi);
+        }
+
+        let precond: Vec<f64> = (0..n)
+            .map(|i| {
+                if free[i] && self.diag[i] > 0.0 {
+                    1.0 / self.diag[i]
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+
+        let mut z: Vec<f64> = r.iter().zip(&precond).map(|(a, m)| a * m).collect();
+        let mut p = z.clone();
+        let mut rz: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+
+        for it in 0..options.max_iterations {
+            self.apply_full(&p, &mut ax);
+            // Mask Dirichlet rows: p is zero there already, and columns are
+            // handled because contributions into Dirichlet rows are ignored.
+            let pap: f64 = (0..n).filter(|&i| free[i]).map(|i| p[i] * ax[i]).sum();
+            if pap <= 0.0 {
+                // Numerically flat direction — accept current iterate.
+                return Ok(psi);
+            }
+            let alpha = rz / pap;
+            for i in 0..n {
+                if free[i] {
+                    psi[i] += alpha * p[i];
+                    r[i] -= alpha * ax[i];
+                }
+            }
+            let norm_r: f64 = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+            if norm_r <= options.tolerance * norm_b {
+                return Ok(psi);
+            }
+            for i in 0..n {
+                z[i] = r[i] * precond[i];
+            }
+            let rz_new: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+            let beta = rz_new / rz;
+            rz = rz_new;
+            for i in 0..n {
+                if free[i] {
+                    p[i] = z[i] + beta * p[i];
+                } else {
+                    p[i] = 0.0;
+                }
+            }
+            if it + 1 == options.max_iterations {
+                return Err(Error::NoConvergence {
+                    iterations: options.max_iterations,
+                    residual: norm_r / norm_b,
+                });
+            }
+        }
+        unreachable!("loop either returns or errors at the final iteration")
+    }
+
+    fn solve_sor(&self, options: &SolverOptions, omega: f64) -> Result<Vec<f64>> {
+        let n = self.node_count();
+        let free = self.free_mask();
+        let mut psi = self.initial_guess();
+        let mut ax = vec![0.0; n];
+
+        self.apply_full(&psi, &mut ax);
+        let norm_b: f64 = (0..n)
+            .filter(|&i| free[i])
+            .map(|i| ax[i] * ax[i])
+            .sum::<f64>()
+            .sqrt();
+        if norm_b == 0.0 {
+            return Ok(psi);
+        }
+
+        for it in 0..options.max_iterations {
+            // Red-black sweeps: parity of i+j+k.
+            for parity in 0..2usize {
+                for k in 0..self.nz {
+                    for j in 0..self.ny {
+                        for i in 0..self.nx {
+                            if (i + j + k) % 2 != parity {
+                                continue;
+                            }
+                            let idx = (k * self.ny + j) * self.nx + i;
+                            if !free[idx] || self.diag[idx] == 0.0 {
+                                continue;
+                            }
+                            let mut acc = 0.0;
+                            if i > 0 {
+                                acc += self.wx[(k * self.ny + j) * (self.nx - 1) + i - 1]
+                                    * psi[idx - 1];
+                            }
+                            if i + 1 < self.nx {
+                                acc += self.wx[(k * self.ny + j) * (self.nx - 1) + i]
+                                    * psi[idx + 1];
+                            }
+                            if j > 0 {
+                                acc += self.wy[(k * (self.ny - 1) + j - 1) * self.nx + i]
+                                    * psi[idx - self.nx];
+                            }
+                            if j + 1 < self.ny {
+                                acc += self.wy[(k * (self.ny - 1) + j) * self.nx + i]
+                                    * psi[idx + self.nx];
+                            }
+                            if k > 0 {
+                                acc += self.wz[((k - 1) * self.ny + j) * self.nx + i]
+                                    * psi[idx - self.nx * self.ny];
+                            }
+                            if k + 1 < self.nz {
+                                acc += self.wz[(k * self.ny + j) * self.nx + i]
+                                    * psi[idx + self.nx * self.ny];
+                            }
+                            let gs = acc / self.diag[idx];
+                            psi[idx] = (1.0 - omega) * psi[idx] + omega * gs;
+                        }
+                    }
+                }
+            }
+            // Check residual every 8 sweeps to amortize the cost.
+            if it % 8 == 7 || it + 1 == options.max_iterations {
+                self.apply_full(&psi, &mut ax);
+                let norm_r: f64 = (0..n)
+                    .filter(|&i| free[i])
+                    .map(|i| ax[i] * ax[i])
+                    .sum::<f64>()
+                    .sqrt();
+                if norm_r <= options.tolerance * norm_b {
+                    return Ok(psi);
+                }
+                if it + 1 == options.max_iterations {
+                    return Err(Error::NoConvergence {
+                        iterations: options.max_iterations,
+                        residual: norm_r / norm_b,
+                    });
+                }
+            }
+        }
+        unreachable!("loop either returns or errors at the final iteration")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid3;
+
+    /// 1-D problem embedded in 3-D: uniform coefficient, ψ fixed at the two
+    /// z extremes ⇒ linear profile.
+    fn linear_profile_system() -> (Grid3, StencilSystem) {
+        let grid = Grid3::new([1.0, 1.0, 1.0], [4, 4, 9]).unwrap();
+        let coeff = vec![1.0; grid.cell_count()];
+        let mut dirichlet = vec![None; grid.node_count()];
+        let [nx, ny, nz] = grid.nodes();
+        for j in 0..ny {
+            for i in 0..nx {
+                dirichlet[grid.node_index(i, j, 0)] = Some(0.0);
+                dirichlet[grid.node_index(i, j, nz - 1)] = Some(1.0);
+            }
+        }
+        let sys = StencilSystem::assemble(&grid, &coeff, dirichlet);
+        (grid, sys)
+    }
+
+    #[test]
+    fn cg_recovers_linear_profile() {
+        let (grid, sys) = linear_profile_system();
+        let psi = sys.solve(&SolverOptions::default()).unwrap();
+        let [_, _, nz] = grid.nodes();
+        for k in 0..nz {
+            let expect = k as f64 / (nz - 1) as f64;
+            let got = psi[grid.node_index(1, 2, k)];
+            assert!((got - expect).abs() < 1e-8, "k={k}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn sor_matches_cg() {
+        let (_, sys) = linear_profile_system();
+        let cg = sys.solve(&SolverOptions::default()).unwrap();
+        let sor = sys
+            .solve(&SolverOptions {
+                scheme: IterationScheme::Sor { omega: 1.7 },
+                max_iterations: 20_000,
+                tolerance: 1e-10,
+            })
+            .unwrap();
+        for (a, b) in cg.iter().zip(&sor) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn flux_balance_at_convergence() {
+        let (grid, sys) = linear_profile_system();
+        let psi = sys.solve(&SolverOptions::default()).unwrap();
+        let flux = sys.node_flux(&psi);
+        let [nx, ny, nz] = grid.nodes();
+        // Free nodes: zero net flux.
+        for k in 1..nz - 1 {
+            for j in 0..ny {
+                for i in 0..nx {
+                    assert!(flux[grid.node_index(i, j, k)].abs() < 1e-8);
+                }
+            }
+        }
+        // Total flux into bottom == out of top.
+        let bottom: f64 = (0..ny)
+            .flat_map(|j| (0..nx).map(move |i| (i, j)))
+            .map(|(i, j)| flux[grid.node_index(i, j, 0)])
+            .sum();
+        let top: f64 = (0..ny)
+            .flat_map(|j| (0..nx).map(move |i| (i, j)))
+            .map(|(i, j)| flux[grid.node_index(i, j, nz - 1)])
+            .sum();
+        assert!((bottom + top).abs() < 1e-8, "bottom {bottom} top {top}");
+        // Conductance of unit cube column: c·A/L = 1·1/1 = 1 ⇒ flux = ±1.
+        assert!((top - 1.0).abs() < 1e-6, "top {top}");
+    }
+
+    #[test]
+    fn disconnected_nodes_are_pinned() {
+        let grid = Grid3::new([1.0, 1.0, 1.0], [3, 3, 3]).unwrap();
+        let coeff = vec![0.0; grid.cell_count()]; // fully insulating
+        let dirichlet = vec![None; grid.node_count()];
+        let sys = StencilSystem::assemble(&grid, &coeff, dirichlet);
+        let psi = sys.solve(&SolverOptions::default()).unwrap();
+        assert!(psi.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn no_convergence_is_reported() {
+        let (_, sys) = linear_profile_system();
+        let err = sys.solve(&SolverOptions {
+            scheme: IterationScheme::Sor { omega: 1.0 },
+            max_iterations: 2,
+            tolerance: 1e-14,
+        });
+        assert!(matches!(err, Err(Error::NoConvergence { .. })));
+    }
+
+    #[test]
+    fn heterogeneous_coefficient_series_law() {
+        // Two slabs in series along z with coefficients 1 and 3: the
+        // interface potential follows the series-conductance divider.
+        let grid = Grid3::new([1.0, 1.0, 1.0], [3, 3, 5]).unwrap();
+        let mut coeff = vec![0.0; grid.cell_count()];
+        let cells = grid.cells();
+        for k in 0..cells[2] {
+            for j in 0..cells[1] {
+                for i in 0..cells[0] {
+                    coeff[grid.cell_index(i, j, k)] = if k < 2 { 1.0 } else { 3.0 };
+                }
+            }
+        }
+        let mut dirichlet = vec![None; grid.node_count()];
+        let [nx, ny, nz] = grid.nodes();
+        for j in 0..ny {
+            for i in 0..nx {
+                dirichlet[grid.node_index(i, j, 0)] = Some(0.0);
+                dirichlet[grid.node_index(i, j, nz - 1)] = Some(1.0);
+            }
+        }
+        let sys = StencilSystem::assemble(&grid, &coeff, dirichlet);
+        let psi = sys.solve(&SolverOptions::default()).unwrap();
+        // Series: R1 = 0.5/1, R2 = 0.5/3 ⇒ V(interface) = R1/(R1+R2) = 0.75.
+        let mid = psi[grid.node_index(1, 1, 2)];
+        assert!((mid - 0.75).abs() < 1e-6, "interface potential {mid}");
+    }
+}

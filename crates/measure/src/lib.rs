@@ -1,0 +1,66 @@
+//! Virtual measurement lab: transmission-line-method (TLM) contact
+//! resistance extraction and I–V characterization.
+//!
+//! Section IV.B of the paper: "The resistance of a CNT line always
+//! consists of two parts, the contact resistance and the resistance of the
+//! CNT itself. For obtaining the contact resistance and CNT resistance per
+//! unit length, the transmission line measurement technique can be used
+//! \[23\]. MWCNTs of different lengths are contacted, and the resistance of
+//! the resulting structure is measured. By correlating line length with
+//! total resistance, contact resistance and CNT resistance per unit length
+//! can be extracted." — that is [`tlm`].
+//!
+//! Fig. 2d shows the electrical characterization of a side-contacted
+//! MWCNT before and after PtCl₄ doping — the I–V sweep machinery for that
+//! experiment is [`iv`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod iv;
+pub mod tlm;
+
+pub use tlm::{TlmExperiment, TlmFit};
+
+use core::fmt;
+
+/// Errors produced by the virtual measurement lab.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A parameter was outside its physical domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// Too few measurement points for the requested extraction.
+    TooFewPoints {
+        /// Points supplied.
+        got: usize,
+        /// Minimum required.
+        min: usize,
+    },
+    /// The regression degenerated (e.g. identical lengths).
+    DegenerateFit(&'static str),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidParameter { name, value } => {
+                write!(f, "parameter {name} out of physical domain: {value}")
+            }
+            Error::TooFewPoints { got, min } => {
+                write!(f, "needs at least {min} measurement points, got {got}")
+            }
+            Error::DegenerateFit(msg) => write!(f, "degenerate fit: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Crate-level result alias.
+pub type Result<T> = core::result::Result<T, Error>;

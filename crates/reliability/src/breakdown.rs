@@ -1,0 +1,206 @@
+//! High-current degradation of MWCNTs: shell-by-shell electrical
+//! breakdown.
+//!
+//! The paper plans in-situ TEM of "CNT degradation at high current
+//! densities" (Section IV.B) and cites Collins et al. (its reference \[2\]),
+//! who showed that over-stressed MWCNTs fail one shell at a time, each
+//! step removing a quantized slice of current. This module simulates that
+//! staircase: shells carry current in parallel; when a shell's current
+//! exceeds its oxidation-limited capacity it burns out, the remaining
+//! shells redistribute, and the process repeats.
+
+use crate::{Error, Result};
+use cnt_units::si::{Current, Voltage};
+
+/// A multi-wall tube under current stress.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakdownSim {
+    /// Per-shell low-bias conductance, siemens (outermost first).
+    shell_conductance: Vec<f64>,
+    /// Per-shell maximum current before burnout.
+    shell_capacity: Current,
+}
+
+/// One event in a voltage-ramp stress test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakdownEvent {
+    /// Bias at which the shell failed.
+    pub voltage: Voltage,
+    /// Total current just before the failure.
+    pub current_before: Current,
+    /// Total current just after (the staircase drop).
+    pub current_after: Current,
+    /// Shells still alive after the event.
+    pub shells_remaining: usize,
+}
+
+impl BreakdownSim {
+    /// A uniform MWCNT: `shells` shells of equal conductance
+    /// `g_per_shell`, each failing at `shell_capacity` (≈ 20–25 µA,
+    /// Collins et al.).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for zero shells or
+    /// non-positive conductance/capacity.
+    pub fn uniform(shells: usize, g_per_shell: f64, shell_capacity: Current) -> Result<Self> {
+        if shells == 0 {
+            return Err(Error::InvalidParameter {
+                name: "shells",
+                value: 0.0,
+            });
+        }
+        if g_per_shell <= 0.0 {
+            return Err(Error::InvalidParameter {
+                name: "g_per_shell",
+                value: g_per_shell,
+            });
+        }
+        if shell_capacity.amps() <= 0.0 {
+            return Err(Error::InvalidParameter {
+                name: "shell_capacity",
+                value: shell_capacity.amps(),
+            });
+        }
+        Ok(Self {
+            shell_conductance: vec![g_per_shell; shells],
+            shell_capacity,
+        })
+    }
+
+    /// Shells still intact.
+    pub fn shells(&self) -> usize {
+        self.shell_conductance.len()
+    }
+
+    /// Total current at bias `v` with the current shell population.
+    pub fn current_at(&self, v: Voltage) -> Current {
+        let g: f64 = self.shell_conductance.iter().sum();
+        Current::from_amps(g * v.volts())
+    }
+
+    /// Ramps the bias from 0 to `v_max`, burning shells as their current
+    /// capacity is exceeded (the outermost — highest-conductance — shell
+    /// fails first). Returns the breakdown events in order.
+    ///
+    /// The tube may survive the ramp (fewer events than shells) or fail
+    /// completely (events == initial shells).
+    pub fn ramp(&mut self, v_max: Voltage) -> Vec<BreakdownEvent> {
+        let mut events = Vec::new();
+        loop {
+            if self.shell_conductance.is_empty() {
+                return events;
+            }
+            // The next failure: the shell with the largest conductance
+            // carries the most current; it fails when i_shell = g·V hits
+            // the capacity, i.e. at V_fail = capacity / g_max.
+            let (idx, &g_max) = self
+                .shell_conductance
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite conductance"))
+                .expect("non-empty");
+            let v_fail = self.shell_capacity.amps() / g_max;
+            if v_fail > v_max.volts() {
+                return events; // survives the ramp
+            }
+            let before = self.current_at(Voltage::from_volts(v_fail));
+            self.shell_conductance.remove(idx);
+            let after = self.current_at(Voltage::from_volts(v_fail));
+            events.push(BreakdownEvent {
+                voltage: Voltage::from_volts(v_fail),
+                current_before: before,
+                current_after: after,
+                shells_remaining: self.shell_conductance.len(),
+            });
+        }
+    }
+
+    /// The safe operating voltage: just below the first shell failure.
+    pub fn safe_voltage(&self) -> Voltage {
+        let g_max = self
+            .shell_conductance
+            .iter()
+            .cloned()
+            .fold(0.0_f64, f64::max);
+        if g_max == 0.0 {
+            return Voltage::from_volts(f64::INFINITY);
+        }
+        Voltage::from_volts(self.shell_capacity.amps() / g_max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tube(shells: usize) -> BreakdownSim {
+        // 50 µS per shell (a ~1 µm segment), 25 µA capacity.
+        BreakdownSim::uniform(shells, 50e-6, Current::from_microamps(25.0)).unwrap()
+    }
+
+    #[test]
+    fn staircase_has_one_step_per_shell() {
+        let mut t = tube(8);
+        let events = t.ramp(Voltage::from_volts(10.0));
+        assert_eq!(events.len(), 8, "all shells burn in a 10 V ramp");
+        assert_eq!(t.shells(), 0);
+        // Steps drop the current each time.
+        for e in &events {
+            assert!(e.current_after < e.current_before);
+        }
+        // Shell count decreases monotonically.
+        for w in events.windows(2) {
+            assert_eq!(w[0].shells_remaining, w[1].shells_remaining + 1);
+        }
+    }
+
+    #[test]
+    fn uniform_shells_fail_at_the_same_bias() {
+        // Equal conductance ⇒ equal shell current ⇒ the cascade happens
+        // at a single bias (the classic avalanche at fixed V stress).
+        let mut t = tube(5);
+        let events = t.ramp(Voltage::from_volts(10.0));
+        let v0 = events[0].voltage.volts();
+        for e in &events {
+            assert!((e.voltage.volts() - v0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gentle_ramp_spares_the_tube() {
+        let mut t = tube(8);
+        let safe = t.safe_voltage();
+        let events = t.ramp(Voltage::from_volts(safe.volts() * 0.99));
+        assert!(events.is_empty());
+        assert_eq!(t.shells(), 8);
+    }
+
+    #[test]
+    fn total_current_quantized_by_shell_capacity() {
+        // Just before first failure each shell carries exactly its
+        // capacity: total = shells × 25 µA.
+        let mut t = tube(6);
+        let events = t.ramp(Voltage::from_volts(10.0));
+        let first = events[0];
+        assert!((first.current_before.microamps() - 6.0 * 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_shells_carry_more_before_dying() {
+        let peak = |shells: usize| {
+            let mut t = tube(shells);
+            t.ramp(Voltage::from_volts(10.0))[0]
+                .current_before
+                .microamps()
+        };
+        assert!(peak(12) > peak(6));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(BreakdownSim::uniform(0, 50e-6, Current::from_microamps(25.0)).is_err());
+        assert!(BreakdownSim::uniform(5, 0.0, Current::from_microamps(25.0)).is_err());
+        assert!(BreakdownSim::uniform(5, 50e-6, Current::from_amps(0.0)).is_err());
+    }
+}

@@ -1,0 +1,360 @@
+//! Electromigration test-layout generator (the paper's Fig. 13a).
+//!
+//! "Apart from single line structures varying width, length and angle also
+//! multi-line structures, comb structures, extrusion monitors and via test
+//! patterns are included. To emulate advanced nodes, part of the layout is
+//! designed for E-beam lithography to generate lines with 50 nm widths."
+//!
+//! Each generated structure knows its geometry and can predict its
+//! electrical resistance from a material resistivity, which is what the
+//! full-wafer characterization (Fig. 13b) consumes.
+
+use crate::{Error, Result};
+use cnt_units::si::Length;
+
+/// One test structure of the EM layout.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TestStructure {
+    /// A single line of given width/length, routed at `angle_degrees`
+    /// (0/45/90 in the classic layouts).
+    SingleLine {
+        /// Line width.
+        width: Length,
+        /// Line length.
+        length: Length,
+        /// Routing angle in degrees.
+        angle_degrees: f64,
+    },
+    /// `count` parallel lines at the given pitch (EM crowding / coupling).
+    MultiLine {
+        /// Number of lines.
+        count: usize,
+        /// Line width.
+        width: Length,
+        /// Line length.
+        length: Length,
+        /// Centre-to-centre pitch.
+        pitch: Length,
+    },
+    /// An interdigitated comb for leakage/extrusion detection.
+    Comb {
+        /// Fingers per side.
+        fingers: usize,
+        /// Finger width.
+        width: Length,
+        /// Finger length.
+        length: Length,
+        /// Gap between opposing combs.
+        gap: Length,
+    },
+    /// A via chain of `count` vias between two metal levels.
+    ViaChain {
+        /// Number of vias.
+        count: usize,
+        /// Via side length.
+        via_size: Length,
+        /// Connecting-segment length per link.
+        link_length: Length,
+        /// Metal line width.
+        width: Length,
+    },
+    /// An extrusion monitor: a stressed line flanked by detector rails.
+    ExtrusionMonitor {
+        /// Stressed-line width.
+        width: Length,
+        /// Stressed-line length.
+        length: Length,
+        /// Detector gap.
+        gap: Length,
+    },
+}
+
+impl TestStructure {
+    /// Short type tag for reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TestStructure::SingleLine { .. } => "single_line",
+            TestStructure::MultiLine { .. } => "multi_line",
+            TestStructure::Comb { .. } => "comb",
+            TestStructure::ViaChain { .. } => "via_chain",
+            TestStructure::ExtrusionMonitor { .. } => "extrusion_monitor",
+        }
+    }
+
+    /// Validates geometric sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] for non-positive dimensions or
+    /// zero counts.
+    pub fn validate(&self) -> Result<()> {
+        let bad = |name: &'static str, value: f64| Err(Error::InvalidParameter { name, value });
+        match self {
+            TestStructure::SingleLine { width, length, .. } => {
+                if width.meters() <= 0.0 {
+                    return bad("width", width.meters());
+                }
+                if length.meters() <= 0.0 {
+                    return bad("length", length.meters());
+                }
+            }
+            TestStructure::MultiLine {
+                count,
+                width,
+                pitch,
+                length,
+            } => {
+                if *count == 0 {
+                    return bad("count", 0.0);
+                }
+                if width.meters() <= 0.0 {
+                    return bad("width", width.meters());
+                }
+                if length.meters() <= 0.0 {
+                    return bad("length", length.meters());
+                }
+                if pitch.meters() < width.meters() {
+                    return bad("pitch (must be ≥ width)", pitch.meters());
+                }
+            }
+            TestStructure::Comb {
+                fingers,
+                width,
+                length,
+                gap,
+            } => {
+                if *fingers == 0 {
+                    return bad("fingers", 0.0);
+                }
+                if width.meters() <= 0.0 || length.meters() <= 0.0 || gap.meters() <= 0.0 {
+                    return bad("comb geometry", gap.meters());
+                }
+            }
+            TestStructure::ViaChain {
+                count,
+                via_size,
+                link_length,
+                width,
+            } => {
+                if *count == 0 {
+                    return bad("count", 0.0);
+                }
+                if via_size.meters() <= 0.0 || link_length.meters() <= 0.0 || width.meters() <= 0.0
+                {
+                    return bad("via chain geometry", via_size.meters());
+                }
+            }
+            TestStructure::ExtrusionMonitor { width, length, gap } => {
+                if width.meters() <= 0.0 || length.meters() <= 0.0 || gap.meters() <= 0.0 {
+                    return bad("extrusion geometry", gap.meters());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Predicted two-terminal resistance for a film of the given sheet
+    /// properties: `resistivity` (Ω·m), `thickness` (m) and, for via
+    /// chains, a per-via resistance.
+    pub fn predicted_resistance(
+        &self,
+        resistivity: f64,
+        thickness: Length,
+        via_resistance: f64,
+    ) -> f64 {
+        let sheet = resistivity / thickness.meters(); // Ω/sq
+        match self {
+            TestStructure::SingleLine { width, length, .. } => {
+                sheet * length.meters() / width.meters()
+            }
+            TestStructure::MultiLine {
+                count,
+                width,
+                length,
+                ..
+            } => sheet * length.meters() / width.meters() / *count as f64,
+            TestStructure::Comb { .. } => f64::INFINITY, // leakage monitor: open by design
+            TestStructure::ViaChain {
+                count,
+                link_length,
+                width,
+                ..
+            } => {
+                *count as f64 * via_resistance
+                    + *count as f64 * sheet * link_length.meters() / width.meters()
+            }
+            TestStructure::ExtrusionMonitor { width, length, .. } => {
+                sheet * length.meters() / width.meters()
+            }
+        }
+    }
+
+    /// Stressed-line length relevant for the Blech criterion (`None` for
+    /// structures that are not EM-stressed lines).
+    pub fn stressed_length(&self) -> Option<Length> {
+        match self {
+            TestStructure::SingleLine { length, .. }
+            | TestStructure::MultiLine { length, .. }
+            | TestStructure::ExtrusionMonitor { length, .. } => Some(*length),
+            TestStructure::ViaChain {
+                count, link_length, ..
+            } => Some(*link_length * *count as f64),
+            TestStructure::Comb { .. } => None,
+        }
+    }
+}
+
+/// The standard EM characterization layout of Fig. 13a: single lines over
+/// widths (50 nm e-beam up to 1 µm), lengths and angles; multi-line and
+/// comb structures; via chains; extrusion monitors.
+pub fn standard_em_layout() -> Vec<TestStructure> {
+    let mut v = Vec::new();
+    for &w_nm in &[50.0, 100.0, 200.0, 500.0, 1000.0] {
+        for &l_um in &[10.0, 100.0, 800.0] {
+            for &angle in &[0.0, 45.0, 90.0] {
+                v.push(TestStructure::SingleLine {
+                    width: Length::from_nanometers(w_nm),
+                    length: Length::from_micrometers(l_um),
+                    angle_degrees: angle,
+                });
+            }
+        }
+    }
+    for &n in &[5usize, 17] {
+        v.push(TestStructure::MultiLine {
+            count: n,
+            width: Length::from_nanometers(100.0),
+            length: Length::from_micrometers(100.0),
+            pitch: Length::from_nanometers(200.0),
+        });
+    }
+    for &fingers in &[20usize, 50] {
+        v.push(TestStructure::Comb {
+            fingers,
+            width: Length::from_nanometers(100.0),
+            length: Length::from_micrometers(50.0),
+            gap: Length::from_nanometers(100.0),
+        });
+    }
+    for &n in &[10usize, 100, 1000] {
+        v.push(TestStructure::ViaChain {
+            count: n,
+            via_size: Length::from_nanometers(60.0),
+            link_length: Length::from_micrometers(1.0),
+            width: Length::from_nanometers(100.0),
+        });
+    }
+    v.push(TestStructure::ExtrusionMonitor {
+        width: Length::from_nanometers(100.0),
+        length: Length::from_micrometers(250.0),
+        gap: Length::from_nanometers(80.0),
+    });
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_layout_is_complete_and_valid() {
+        let layout = standard_em_layout();
+        // 5 widths × 3 lengths × 3 angles + 2 + 2 + 3 + 1 structures.
+        assert_eq!(layout.len(), 45 + 8);
+        for s in &layout {
+            s.validate().unwrap();
+        }
+        // All five families present.
+        for kind in [
+            "single_line",
+            "multi_line",
+            "comb",
+            "via_chain",
+            "extrusion_monitor",
+        ] {
+            assert!(layout.iter().any(|s| s.kind() == kind), "missing {kind}");
+        }
+        // E-beam 50 nm lines present (the advanced-node part).
+        assert!(layout.iter().any(|s| matches!(
+            s,
+            TestStructure::SingleLine { width, .. } if (width.nanometers() - 50.0).abs() < 1e-9
+        )));
+    }
+
+    #[test]
+    fn resistance_predictions_scale_correctly() {
+        let rho = 2.0e-8;
+        let t = Length::from_nanometers(100.0);
+        let line = TestStructure::SingleLine {
+            width: Length::from_nanometers(100.0),
+            length: Length::from_micrometers(100.0),
+            angle_degrees: 0.0,
+        };
+        // R = ρL/(w·t) = 2e-8·1e-4/(1e-7·1e-7) = 200 Ω.
+        let r = line.predicted_resistance(rho, t, 0.0);
+        assert!((r - 200.0).abs() < 1e-9, "R = {r}");
+        // Five parallel lines: one fifth.
+        let multi = TestStructure::MultiLine {
+            count: 5,
+            width: Length::from_nanometers(100.0),
+            length: Length::from_micrometers(100.0),
+            pitch: Length::from_nanometers(200.0),
+        };
+        assert!((multi.predicted_resistance(rho, t, 0.0) - 40.0).abs() < 1e-9);
+        // Via chain adds per-via resistance.
+        let chain = TestStructure::ViaChain {
+            count: 100,
+            via_size: Length::from_nanometers(60.0),
+            link_length: Length::from_micrometers(1.0),
+            width: Length::from_nanometers(100.0),
+        };
+        let r_chain = chain.predicted_resistance(rho, t, 2.0);
+        assert!(r_chain > 200.0, "chain includes 100 × 2 Ω vias: {r_chain}");
+        // Combs are open.
+        let comb = TestStructure::Comb {
+            fingers: 20,
+            width: Length::from_nanometers(100.0),
+            length: Length::from_micrometers(50.0),
+            gap: Length::from_nanometers(100.0),
+        };
+        assert!(comb.predicted_resistance(rho, t, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn validation_rejects_degenerates() {
+        assert!(TestStructure::SingleLine {
+            width: Length::ZERO,
+            length: Length::from_micrometers(1.0),
+            angle_degrees: 0.0,
+        }
+        .validate()
+        .is_err());
+        assert!(TestStructure::MultiLine {
+            count: 3,
+            width: Length::from_nanometers(200.0),
+            length: Length::from_micrometers(1.0),
+            pitch: Length::from_nanometers(100.0), // pitch < width
+        }
+        .validate()
+        .is_err());
+        assert!(TestStructure::ViaChain {
+            count: 0,
+            via_size: Length::from_nanometers(60.0),
+            link_length: Length::from_micrometers(1.0),
+            width: Length::from_nanometers(100.0),
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn stressed_lengths() {
+        let layout = standard_em_layout();
+        for s in &layout {
+            match s {
+                TestStructure::Comb { .. } => assert!(s.stressed_length().is_none()),
+                _ => assert!(s.stressed_length().unwrap().meters() > 0.0),
+            }
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Electromigration, ampacity, test-structure layouts and dopant-stability
+//! models.
+//!
+//! Section IV.A of the paper designs a full-wafer electromigration (EM)
+//! test layout (Fig. 13) to benchmark Cu–CNT composites against copper
+//! BEOL metallization "with the focus on reliability improvement for small
+//! dimensions regarding ampacity and electromigration resistance"; the
+//! introduction quantifies the headline gap (CNT bundles carry 10⁹ A/cm²
+//! versus the 10⁶ A/cm² EM limit of copper). Section II.A and Fig. 3
+//! motivate dopant-stability studies (internal versus external doping).
+//!
+//! * [`em`] — Black's-equation lifetimes, Blech immortality, lognormal
+//!   time-to-failure sampling;
+//! * [`ampacity`] — material current limits and the §I "Table 1" numbers;
+//! * [`layout`] — the Fig. 13a test-structure generator;
+//! * [`wafer_char`] — full-wafer virtual electrical characterization
+//!   (Fig. 13b);
+//! * [`dopant_migration`] — biased-random-walk dopant escape, internal vs
+//!   external stability, and the Fig. 3 STEM radial histogram.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ampacity;
+pub mod breakdown;
+pub mod dopant_migration;
+pub mod em;
+pub mod layout;
+pub mod wafer_char;
+
+pub use em::BlackModel;
+
+use core::fmt;
+
+/// Errors produced by the reliability models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A parameter was outside its physical domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// An empty request (no structures, no samples…).
+    EmptyRequest(&'static str),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidParameter { name, value } => {
+                write!(f, "parameter {name} out of physical domain: {value}")
+            }
+            Error::EmptyRequest(what) => write!(f, "empty request: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Crate-level result alias.
+pub type Result<T> = core::result::Result<T, Error>;

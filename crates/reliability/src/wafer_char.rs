@@ -1,0 +1,317 @@
+//! Full-wafer virtual electrical characterization (the paper's Fig. 13b:
+//! "first 300 mm wafer patterned with the Cu reference test structure" —
+//! "the aim is to do a full wafer electrical characterization to enable
+//! the transfer from lab to manufacturing").
+//!
+//! A die grid is laid over a 300 mm wafer; every die carries the Fig. 13a
+//! test layout; per-die film thickness and resistivity vary with a radial
+//! trend plus noise; each stressed structure gets a sampled EM lifetime.
+//! The output is the per-die resistance/MTTF map and a yield summary that
+//! benchmarks the Cu reference against the Cu–CNT composite.
+
+use crate::em::BlackModel;
+use crate::layout::TestStructure;
+use crate::{Error, Result};
+use cnt_units::math;
+use cnt_units::rand_ext;
+use cnt_units::si::{CurrentDensity, Length, Temperature, Time};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Wafer-level characterization settings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaferCharSetup {
+    /// Wafer diameter, metres (300 mm default).
+    pub wafer_diameter: f64,
+    /// Die edge length, metres.
+    pub die_size: f64,
+    /// Nominal film resistivity, Ω·m.
+    pub resistivity: f64,
+    /// Nominal film thickness.
+    pub thickness: Length,
+    /// Per-via resistance, ohms.
+    pub via_resistance: f64,
+    /// Radial resistivity variation (fraction, centre → edge).
+    pub radial_variation: f64,
+    /// Per-die random sigma (fraction).
+    pub noise: f64,
+    /// EM model for lifetime sampling.
+    pub em_model: BlackModel,
+    /// Stress current density for the EM test.
+    pub stress_j: CurrentDensity,
+    /// Stress temperature.
+    pub stress_t: Temperature,
+}
+
+impl WaferCharSetup {
+    /// The copper reference wafer of Fig. 13b.
+    pub fn copper_reference() -> Self {
+        Self {
+            wafer_diameter: 0.3,
+            die_size: 0.02,
+            resistivity: 2.2e-8, // damascene Cu with size effects
+            thickness: Length::from_nanometers(120.0),
+            via_resistance: 2.0,
+            radial_variation: 0.06,
+            noise: 0.02,
+            em_model: BlackModel::copper(),
+            stress_j: CurrentDensity::from_amps_per_square_centimeter(2.0e6),
+            stress_t: Temperature::from_celsius(250.0),
+        }
+    }
+
+    /// The Cu–CNT composite wafer benchmarked against the reference.
+    pub fn composite() -> Self {
+        Self {
+            resistivity: 3.0e-8, // slightly resistive trade-off (§II.C)
+            em_model: BlackModel::cu_cnt_composite(),
+            ..Self::copper_reference()
+        }
+    }
+}
+
+/// Electrical result of one die.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DieResult {
+    /// Die centre x, metres from wafer centre.
+    pub x: f64,
+    /// Die centre y, metres from wafer centre.
+    pub y: f64,
+    /// Measured resistance of the reference single-line structure, ohms.
+    pub line_resistance: f64,
+    /// Sampled EM time to failure of the stressed line.
+    pub ttf: Time,
+}
+
+/// Wafer-level summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaferCharReport {
+    /// Per-die results.
+    pub dies: Vec<DieResult>,
+    /// Median line resistance, ohms.
+    pub median_resistance: f64,
+    /// Resistance CV (σ/µ).
+    pub resistance_cv: f64,
+    /// Median time to failure.
+    pub median_ttf: Time,
+    /// Fraction of dies whose TTF beats the target lifetime.
+    pub em_yield: f64,
+}
+
+/// Runs the full-wafer characterization of a reference single-line
+/// structure from the layout.
+///
+/// # Errors
+///
+/// * [`Error::InvalidParameter`] for degenerate geometry;
+/// * [`Error::EmptyRequest`] when no die fits on the wafer or the layout
+///   carries no stressable line.
+pub fn characterize_wafer(
+    setup: &WaferCharSetup,
+    structure: &TestStructure,
+    lifetime_target: Time,
+    seed: u64,
+) -> Result<WaferCharReport> {
+    structure.validate()?;
+    if setup.wafer_diameter <= 0.0 || setup.die_size <= 0.0 {
+        return Err(Error::InvalidParameter {
+            name: "wafer/die size",
+            value: setup.die_size,
+        });
+    }
+    let stressed = structure
+        .stressed_length()
+        .ok_or(Error::EmptyRequest("structure is not EM-stressable"))?;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let r_wafer = setup.wafer_diameter / 2.0;
+    let n_across = (setup.wafer_diameter / setup.die_size).floor() as i64;
+    let mut dies = Vec::new();
+    for gy in -n_across / 2..=n_across / 2 {
+        for gx in -n_across / 2..=n_across / 2 {
+            let x = gx as f64 * setup.die_size;
+            let y = gy as f64 * setup.die_size;
+            let r = (x * x + y * y).sqrt();
+            if r + setup.die_size / 2.0 > r_wafer * 0.95 {
+                continue; // edge exclusion
+            }
+            let rel = r / r_wafer;
+            let local_rho = setup.resistivity
+                * (1.0
+                    + setup.radial_variation * rel * rel
+                    + rand_ext::normal(&mut rng, 0.0, setup.noise));
+            let resistance =
+                structure.predicted_resistance(local_rho, setup.thickness, setup.via_resistance);
+            // Blech-immortal structures get the target lifetime ×100 as a
+            // sentinel "no failure observed".
+            let ttf = if setup
+                .em_model
+                .is_blech_immortal(setup.stress_j, stressed.meters())
+            {
+                Time::from_hours(lifetime_target.hours() * 100.0)
+            } else {
+                let median = setup.em_model.median_ttf(setup.stress_j, setup.stress_t);
+                Time::from_hours(rand_ext::lognormal(
+                    &mut rng,
+                    median.hours().ln(),
+                    setup.em_model.sigma,
+                ))
+            };
+            dies.push(DieResult {
+                x,
+                y,
+                line_resistance: resistance,
+                ttf,
+            });
+        }
+    }
+    if dies.is_empty() {
+        return Err(Error::EmptyRequest("no dies fit on the wafer"));
+    }
+
+    let rs: Vec<f64> = dies.iter().map(|d| d.line_resistance).collect();
+    let ttfs: Vec<f64> = dies.iter().map(|d| d.ttf.hours()).collect();
+    let median_resistance = math::median(&rs).expect("non-empty");
+    let mean_r = math::mean(&rs).expect("non-empty");
+    let std_r = math::std_dev(&rs).unwrap_or(0.0);
+    let median_ttf = Time::from_hours(math::median(&ttfs).expect("non-empty"));
+    let yield_frac = ttfs
+        .iter()
+        .filter(|&&t| t >= lifetime_target.hours())
+        .count() as f64
+        / ttfs.len() as f64;
+
+    Ok(WaferCharReport {
+        dies,
+        median_resistance,
+        resistance_cv: std_r / mean_r,
+        median_ttf,
+        em_yield: yield_frac,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_line() -> TestStructure {
+        TestStructure::SingleLine {
+            width: Length::from_nanometers(100.0),
+            length: Length::from_micrometers(800.0),
+            angle_degrees: 0.0,
+        }
+    }
+
+    #[test]
+    fn wafer_has_a_sensible_die_population() {
+        let rep = characterize_wafer(
+            &WaferCharSetup::copper_reference(),
+            &reference_line(),
+            Time::from_hours(1000.0),
+            1,
+        )
+        .unwrap();
+        // 300 mm wafer with 20 mm dies: on the order of 100–180 usable dies.
+        assert!(
+            (80..220).contains(&rep.dies.len()),
+            "{} dies",
+            rep.dies.len()
+        );
+        assert!(rep.median_resistance > 0.0);
+        assert!(rep.resistance_cv > 0.0 && rep.resistance_cv < 0.2);
+    }
+
+    #[test]
+    fn composite_beats_copper_on_em_yield_fig13_goal() {
+        let line = reference_line();
+        let target = Time::from_hours(2000.0);
+        let cu = characterize_wafer(&WaferCharSetup::copper_reference(), &line, target, 7).unwrap();
+        let cc = characterize_wafer(&WaferCharSetup::composite(), &line, target, 7).unwrap();
+        assert!(
+            cc.median_ttf.hours() > 10.0 * cu.median_ttf.hours(),
+            "composite median {} vs Cu {}",
+            cc.median_ttf.hours(),
+            cu.median_ttf.hours()
+        );
+        assert!(cc.em_yield >= cu.em_yield);
+    }
+
+    #[test]
+    fn radial_trend_shows_in_resistance_map() {
+        let mut setup = WaferCharSetup::copper_reference();
+        setup.noise = 0.0;
+        let rep = characterize_wafer(&setup, &reference_line(), Time::from_hours(1.0), 2).unwrap();
+        let r_wafer = setup.wafer_diameter / 2.0;
+        let center: Vec<f64> = rep
+            .dies
+            .iter()
+            .filter(|d| (d.x * d.x + d.y * d.y).sqrt() < 0.3 * r_wafer)
+            .map(|d| d.line_resistance)
+            .collect();
+        let edge: Vec<f64> = rep
+            .dies
+            .iter()
+            .filter(|d| (d.x * d.x + d.y * d.y).sqrt() > 0.6 * r_wafer)
+            .map(|d| d.line_resistance)
+            .collect();
+        let mc = math::mean(&center).unwrap();
+        let me = math::mean(&edge).unwrap();
+        assert!(me > mc, "edge {me} vs centre {mc}");
+    }
+
+    #[test]
+    fn immortal_short_lines_always_yield() {
+        let short = TestStructure::SingleLine {
+            width: Length::from_nanometers(100.0),
+            length: Length::from_micrometers(10.0), // jL below Blech product
+            angle_degrees: 0.0,
+        };
+        let rep = characterize_wafer(
+            &WaferCharSetup::copper_reference(),
+            &short,
+            Time::from_hours(5000.0),
+            3,
+        )
+        .unwrap();
+        assert!((rep.em_yield - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_paths() {
+        let comb = TestStructure::Comb {
+            fingers: 10,
+            width: Length::from_nanometers(100.0),
+            length: Length::from_micrometers(10.0),
+            gap: Length::from_nanometers(100.0),
+        };
+        assert!(characterize_wafer(
+            &WaferCharSetup::copper_reference(),
+            &comb,
+            Time::from_hours(1.0),
+            1
+        )
+        .is_err());
+        let mut bad = WaferCharSetup::copper_reference();
+        bad.die_size = -1.0;
+        assert!(characterize_wafer(&bad, &reference_line(), Time::from_hours(1.0), 1).is_err());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = characterize_wafer(
+            &WaferCharSetup::copper_reference(),
+            &reference_line(),
+            Time::from_hours(100.0),
+            5,
+        )
+        .unwrap();
+        let b = characterize_wafer(
+            &WaferCharSetup::copper_reference(),
+            &reference_line(),
+            Time::from_hours(100.0),
+            5,
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+}

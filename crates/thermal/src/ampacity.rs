@@ -1,0 +1,116 @@
+//! Thermally limited ampacity: the largest current density a line can
+//! carry before its peak temperature reaches a critical value.
+//!
+//! Complements the electromigration-limited ampacity of `cnt-reliability`:
+//! the overall current limit of an interconnect is the minimum of the two.
+
+use crate::fin::SelfHeatingLine;
+use crate::{Error, Result};
+use cnt_units::si::{CurrentDensity, Temperature};
+
+/// Oxidation threshold of carbon nanotubes in air (~600 °C).
+pub fn cnt_breakdown_temperature() -> Temperature {
+    Temperature::from_celsius(600.0)
+}
+
+/// Practical reliability ceiling for copper BEOL lines (~105 °C operating
+/// plus margin; EM acceleration makes sustained heat deadly long before
+/// melting).
+pub fn cu_thermal_limit() -> Temperature {
+    Temperature::from_celsius(150.0)
+}
+
+/// Maximum current density such that the line's peak temperature stays at
+/// or below `t_crit`.
+///
+/// The suspended/coupled fin solution scales as `ΔT ∝ j²`, so the limit is
+/// analytic: `j_max = j_ref·√(ΔT_crit/ΔT_ref)` for any reference drive.
+///
+/// # Errors
+///
+/// * [`Error::InvalidParameter`] if `t_crit` is not above ambient;
+/// * propagates line-validation errors.
+pub fn thermal_ampacity(line: &SelfHeatingLine, t_crit: Temperature) -> Result<CurrentDensity> {
+    line.validate()?;
+    let dt_crit = t_crit.kelvin() - line.ambient.kelvin();
+    if dt_crit <= 0.0 {
+        return Err(Error::InvalidParameter {
+            name: "t_crit (must exceed ambient)",
+            value: t_crit.kelvin(),
+        });
+    }
+    let j_ref = 1.0e10; // 1 MA/cm² reference, A/m²
+    let mut probe = *line;
+    probe.current_density = CurrentDensity::from_amps_per_square_meter(j_ref);
+    let dt_ref = probe.peak_temperature().kelvin() - probe.ambient.kelvin();
+    if dt_ref <= 0.0 {
+        // No heating at all (e.g. zero length): effectively unlimited.
+        return Ok(CurrentDensity::from_amps_per_square_meter(f64::INFINITY));
+    }
+    Ok(CurrentDensity::from_amps_per_square_meter(
+        j_ref * (dt_crit / dt_ref).sqrt(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnt_units::si::Length;
+
+    fn j0() -> CurrentDensity {
+        CurrentDensity::from_amps_per_square_centimeter(1e6)
+    }
+
+    #[test]
+    fn limit_is_consistent_with_forward_model() {
+        let line = SelfHeatingLine::mwcnt(Length::from_micrometers(2.0), j0());
+        let jmax = thermal_ampacity(&line, cnt_breakdown_temperature()).unwrap();
+        let mut at_limit = line;
+        at_limit.current_density = jmax;
+        let peak = at_limit.peak_temperature();
+        assert!(
+            (peak.kelvin() - cnt_breakdown_temperature().kelvin()).abs() < 0.5,
+            "peak at limit = {} K",
+            peak.kelvin()
+        );
+    }
+
+    #[test]
+    fn cnt_line_out_carries_cu_line_thermally() {
+        let cnt = SelfHeatingLine::mwcnt(Length::from_micrometers(2.0), j0());
+        let cu = SelfHeatingLine::copper(Length::from_micrometers(2.0), j0());
+        let j_cnt = thermal_ampacity(&cnt, cnt_breakdown_temperature()).unwrap();
+        let j_cu = thermal_ampacity(&cu, cu_thermal_limit()).unwrap();
+        assert!(
+            j_cnt.amps_per_square_centimeter() > 3.0 * j_cu.amps_per_square_centimeter(),
+            "CNT {} vs Cu {} A/cm²",
+            j_cnt.amps_per_square_centimeter(),
+            j_cu.amps_per_square_centimeter()
+        );
+    }
+
+    #[test]
+    fn shorter_lines_carry_more() {
+        let long = SelfHeatingLine::mwcnt(Length::from_micrometers(5.0), j0());
+        let short = SelfHeatingLine::mwcnt(Length::from_micrometers(0.5), j0());
+        let jl = thermal_ampacity(&long, cnt_breakdown_temperature()).unwrap();
+        let js = thermal_ampacity(&short, cnt_breakdown_temperature()).unwrap();
+        assert!(js.amps_per_square_meter() > jl.amps_per_square_meter());
+    }
+
+    #[test]
+    fn invalid_critical_temperature() {
+        let line = SelfHeatingLine::mwcnt(Length::from_micrometers(1.0), j0());
+        assert!(thermal_ampacity(&line, Temperature::from_kelvin(250.0)).is_err());
+    }
+
+    #[test]
+    fn substrate_coupling_raises_the_limit() {
+        let mut coupled = SelfHeatingLine::copper(Length::from_micrometers(10.0), j0());
+        coupled.substrate_coupling = 1.0;
+        let suspended = SelfHeatingLine::copper(Length::from_micrometers(10.0), j0());
+        let j_c = thermal_ampacity(&coupled, cu_thermal_limit()).unwrap();
+        let j_s = thermal_ampacity(&suspended, cu_thermal_limit()).unwrap();
+        assert!(j_c.amps_per_square_meter() > j_s.amps_per_square_meter());
+    }
+}

@@ -1,0 +1,200 @@
+//! Thermal-conductivity extraction from measured profiles (the inverse
+//! problem the paper plans to run on SThM data: "we can study their
+//! self-heating and extract thermal conductivity data", Section IV.B).
+
+use crate::fin::{SelfHeatingLine, TemperatureProfile};
+use crate::{Error, Result};
+
+/// Result of a conductivity extraction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KthExtraction {
+    /// Best-fit thermal conductivity, W/(m·K).
+    pub k_fit: f64,
+    /// Root-mean-square residual of the fit, kelvin.
+    pub rms_residual: f64,
+}
+
+/// Extracts the thermal conductivity from a measured temperature profile,
+/// given the line's known geometry, drive and coupling (everything in
+/// `template` except `thermal_conductivity`, which is ignored).
+///
+/// Method: golden-section minimization of the sum-of-squares misfit
+/// between the analytic fin solution and the measurement over
+/// `k ∈ [k_lo, k_hi]`.
+///
+/// # Errors
+///
+/// * [`Error::TooFewSamples`] if the measurement has < 4 points;
+/// * [`Error::InvalidParameter`] for a bad search bracket;
+/// * [`Error::ExtractionFailed`] if the optimum sits on the bracket edge
+///   (the true value is outside the search range).
+pub fn extract_thermal_conductivity(
+    template: &SelfHeatingLine,
+    measured: &TemperatureProfile,
+    k_lo: f64,
+    k_hi: f64,
+) -> Result<KthExtraction> {
+    if measured.position_m.len() < 4 {
+        return Err(Error::TooFewSamples {
+            got: measured.position_m.len(),
+            min: 4,
+        });
+    }
+    if !(k_lo > 0.0 && k_hi > k_lo) {
+        return Err(Error::InvalidParameter {
+            name: "k bracket",
+            value: k_lo,
+        });
+    }
+
+    let misfit = |k: f64| -> f64 {
+        let mut line = *template;
+        line.thermal_conductivity = k;
+        measured
+            .position_m
+            .iter()
+            .zip(&measured.temperature_k)
+            .map(|(&x, &t)| {
+                let model = line.ambient.kelvin() + line.theta_at(x);
+                (model - t) * (model - t)
+            })
+            .sum()
+    };
+
+    // Golden-section search in log space (k spans decades).
+    let phi = (5.0_f64.sqrt() - 1.0) / 2.0;
+    let (mut a, mut b) = (k_lo.ln(), k_hi.ln());
+    let mut c = b - phi * (b - a);
+    let mut d = a + phi * (b - a);
+    let mut fc = misfit(c.exp());
+    let mut fd = misfit(d.exp());
+    for _ in 0..200 {
+        if (b - a).abs() < 1e-6 {
+            break;
+        }
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - phi * (b - a);
+            fc = misfit(c.exp());
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + phi * (b - a);
+            fd = misfit(d.exp());
+        }
+    }
+    let k_fit = (0.5 * (a + b)).exp();
+    // Reject edge solutions: the bracket did not contain the optimum.
+    if k_fit < k_lo * 1.02 || k_fit > k_hi * 0.98 {
+        return Err(Error::ExtractionFailed(
+            "optimum at bracket edge; widen the k search range",
+        ));
+    }
+    let n = measured.position_m.len() as f64;
+    Ok(KthExtraction {
+        k_fit,
+        rms_residual: (misfit(k_fit) / n).sqrt(),
+    })
+}
+
+/// Quick closed-form estimate for a *suspended* line from the peak
+/// temperature rise: `k = q·L²/(8·A·ΔT_peak)`.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidParameter`] when the measured peak does not
+/// exceed ambient.
+pub fn kth_from_peak(template: &SelfHeatingLine, measured_peak_kelvin: f64) -> Result<f64> {
+    let dt = measured_peak_kelvin - template.ambient.kelvin();
+    if dt <= 0.0 {
+        return Err(Error::InvalidParameter {
+            name: "measured_peak (no temperature rise)",
+            value: measured_peak_kelvin,
+        });
+    }
+    let q = template.heating_per_length();
+    let l = template.length.meters();
+    Ok(q * l * l / (8.0 * template.area.square_meters() * dt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sthm::SthmInstrument;
+    use cnt_units::consts::{KTH_CNT_HIGH, KTH_CNT_LOW};
+    use cnt_units::si::{CurrentDensity, Length};
+
+    fn line_with_k(k: f64) -> SelfHeatingLine {
+        let mut l = SelfHeatingLine::mwcnt(
+            Length::from_micrometers(2.0),
+            CurrentDensity::from_amps_per_square_centimeter(5e8),
+        );
+        l.thermal_conductivity = k;
+        l
+    }
+
+    #[test]
+    fn recovers_planted_k_from_clean_profile() {
+        let truth = line_with_k(5000.0);
+        let profile = truth.analytic_profile(201).unwrap();
+        let fit = extract_thermal_conductivity(&truth, &profile, 100.0, 50_000.0).unwrap();
+        assert!(
+            (fit.k_fit - 5000.0).abs() / 5000.0 < 0.01,
+            "k_fit = {}",
+            fit.k_fit
+        );
+        assert!(fit.rms_residual < 1e-3);
+    }
+
+    #[test]
+    fn recovers_k_within_band_from_noisy_sthm_scan() {
+        // The full virtual experiment: heat, scan, invert. The recovered k
+        // must land inside the paper's 3000–10000 W/(m·K) band when the
+        // truth does.
+        let truth = line_with_k(6000.0);
+        let profile = truth.analytic_profile(401).unwrap();
+        let scan = SthmInstrument::nanoprobe().scan(&profile, 7).unwrap();
+        let fit = extract_thermal_conductivity(&truth, &scan, 100.0, 100_000.0).unwrap();
+        assert!(
+            (KTH_CNT_LOW..=KTH_CNT_HIGH).contains(&fit.k_fit),
+            "k_fit = {}",
+            fit.k_fit
+        );
+        assert!((fit.k_fit - 6000.0).abs() / 6000.0 < 0.25, "k_fit = {}", fit.k_fit);
+    }
+
+    #[test]
+    fn peak_formula_is_exact_for_suspended_lines() {
+        let truth = line_with_k(4200.0);
+        let peak = truth.peak_temperature().kelvin();
+        let k = kth_from_peak(&truth, peak).unwrap();
+        assert!((k - 4200.0).abs() / 4200.0 < 1e-9);
+        assert!(kth_from_peak(&truth, 299.0).is_err());
+    }
+
+    #[test]
+    fn edge_brackets_are_rejected() {
+        let truth = line_with_k(5000.0);
+        let profile = truth.analytic_profile(101).unwrap();
+        // Bracket far below the true value → edge solution → error.
+        let r = extract_thermal_conductivity(&truth, &profile, 1.0, 50.0);
+        assert!(matches!(r, Err(Error::ExtractionFailed(_))));
+        // Bad bracket order.
+        assert!(extract_thermal_conductivity(&truth, &profile, 10.0, 5.0).is_err());
+    }
+
+    #[test]
+    fn distinguishes_cnt_from_copper() {
+        // A measured copper profile must NOT fit inside the CNT band.
+        let cu = SelfHeatingLine::copper(
+            Length::from_micrometers(2.0),
+            CurrentDensity::from_amps_per_square_centimeter(2e7),
+        );
+        let profile = cu.analytic_profile(201).unwrap();
+        let fit = extract_thermal_conductivity(&cu, &profile, 10.0, 100_000.0).unwrap();
+        assert!(fit.k_fit < 1000.0, "copper k_fit = {}", fit.k_fit);
+    }
+}

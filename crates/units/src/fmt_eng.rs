@@ -1,0 +1,98 @@
+//! Engineering-notation formatting for physical values.
+//!
+//! Reports and figure regenerators across the workspace print values like
+//! `77.48 µS` or `12.91 kΩ`; this module centralizes that formatting.
+
+/// SI prefixes from atto (10⁻¹⁸) to exa (10¹⁸), step 10³.
+const PREFIXES: [(&str, f64); 13] = [
+    ("a", 1e-18),
+    ("f", 1e-15),
+    ("p", 1e-12),
+    ("n", 1e-9),
+    ("µ", 1e-6),
+    ("m", 1e-3),
+    ("", 1e0),
+    ("k", 1e3),
+    ("M", 1e6),
+    ("G", 1e9),
+    ("T", 1e12),
+    ("P", 1e15),
+    ("E", 1e18),
+];
+
+/// Formats `value` (in base SI units) with an engineering prefix and `unit`.
+///
+/// Zero, NaN and infinities are rendered without a prefix.
+///
+/// # Example
+///
+/// ```
+/// use cnt_units::fmt_eng::engineering;
+/// assert_eq!(engineering(77.48e-6, "S"), "77.48 µS");
+/// assert_eq!(engineering(0.0, "V"), "0 V");
+/// ```
+pub fn engineering(value: f64, unit: &str) -> String {
+    if value == 0.0 {
+        return format!("0 {unit}");
+    }
+    if !value.is_finite() {
+        return format!("{value} {unit}");
+    }
+    let magnitude = value.abs();
+    let mut chosen = PREFIXES[6]; // plain unit fallback
+    for &(prefix, scale) in PREFIXES.iter().rev() {
+        if magnitude >= scale {
+            chosen = (prefix, scale);
+            break;
+        }
+    }
+    // Below the smallest prefix: stick with atto.
+    if magnitude < PREFIXES[0].1 {
+        chosen = PREFIXES[0];
+    }
+    let scaled = value / chosen.1;
+    format!("{} {}{}", trim_number(scaled), chosen.0, unit)
+}
+
+/// Formats a number with four significant digits, trimming trailing zeros.
+fn trim_number(v: f64) -> String {
+    let s = format!("{v:.4}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    // Re-round large magnitudes to 2 decimals for readability.
+    if v.abs() >= 100.0 {
+        let t = format!("{v:.1}");
+        let t = t.trim_end_matches('0').trim_end_matches('.');
+        return t.to_string();
+    }
+    s.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_correct_prefix() {
+        assert_eq!(engineering(1.0e-9, "F"), "1 nF");
+        assert_eq!(engineering(2.5e3, "Ω"), "2.5 kΩ");
+        assert_eq!(engineering(385.0, "W/(m·K)"), "385 W/(m·K)");
+    }
+
+    #[test]
+    fn negative_values_keep_sign() {
+        let s = engineering(-0.6, "eV");
+        assert!(s.starts_with('-'), "{s}");
+    }
+
+    #[test]
+    fn zero_and_nonfinite() {
+        assert_eq!(engineering(0.0, "A"), "0 A");
+        assert!(engineering(f64::INFINITY, "A").contains("inf"));
+    }
+
+    #[test]
+    fn tiny_values_use_atto() {
+        let s = engineering(9.65e-20, "F");
+        assert!(s.ends_with("aF"), "{s}");
+    }
+}

@@ -1,0 +1,347 @@
+//! Small numerical toolbox shared by the solver and analysis crates.
+//!
+//! Everything here is deliberately dependency-free: descriptive statistics,
+//! ordinary least squares, the error function, numerically safe quadrature
+//! and bisection. The heavy numerical work (linear systems, ODE stepping)
+//! lives in the crates that own the physics.
+
+/// Arithmetic mean of a slice. Returns `None` for an empty slice.
+///
+/// ```
+/// use cnt_units::math::mean;
+/// assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+/// assert_eq!(mean(&[]), None);
+/// ```
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Sample standard deviation (Bessel-corrected). `None` if fewer than 2 points.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    Some(var.sqrt())
+}
+
+/// Population variance. `None` for an empty slice.
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Median via sorting a copy. `None` for an empty slice.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    percentile(xs, 50.0)
+}
+
+/// Linear-interpolated percentile `p` in `[0, 100]`. `None` if empty or `p` out of range.
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    if xs.is_empty() || !(0.0..=100.0).contains(&p) {
+        return None;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = p / 100.0 * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(v[lo] * (1.0 - frac) + v[hi] * frac)
+}
+
+/// Result of an ordinary-least-squares straight-line fit `y = a + b·x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Intercept `a`.
+    pub intercept: f64,
+    /// Slope `b`.
+    pub slope: f64,
+    /// Standard error of the intercept.
+    pub intercept_stderr: f64,
+    /// Standard error of the slope.
+    pub slope_stderr: f64,
+    /// Coefficient of determination R².
+    pub r_squared: f64,
+}
+
+/// Fits `y = a + b·x` by ordinary least squares.
+///
+/// Used by the TLM contact-resistance extraction (paper Section IV.B,
+/// reference \[23\]): the intercept is `2·R_contact` and the slope the
+/// per-length resistance.
+///
+/// # Errors
+///
+/// Returns `None` when fewer than 2 points are supplied, when the slices
+/// disagree in length, or when all `x` coincide (vertical line).
+pub fn linear_fit(x: &[f64], y: &[f64]) -> Option<LinearFit> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = mean(x)?;
+    let my = mean(y)?;
+    let sxx: f64 = x.iter().map(|xi| (xi - mx) * (xi - mx)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let sxy: f64 = x.iter().zip(y).map(|(xi, yi)| (xi - mx) * (yi - my)).sum();
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_res: f64 = x
+        .iter()
+        .zip(y)
+        .map(|(xi, yi)| {
+            let e = yi - (intercept + slope * xi);
+            e * e
+        })
+        .sum();
+    let ss_tot: f64 = y.iter().map(|yi| (yi - my) * (yi - my)).sum();
+    let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    let dof = (x.len().max(3) - 2) as f64;
+    let sigma2 = ss_res / dof;
+    let slope_stderr = (sigma2 / sxx).sqrt();
+    let intercept_stderr = (sigma2 * (1.0 / n + mx * mx / sxx)).sqrt();
+    Some(LinearFit {
+        intercept,
+        slope,
+        intercept_stderr,
+        slope_stderr,
+        r_squared,
+    })
+}
+
+/// Error function, Abramowitz & Stegun 7.1.26 approximation (|ε| ≤ 1.5e-7).
+///
+/// ```
+/// use cnt_units::math::erf;
+/// assert!((erf(0.0)).abs() < 1e-6);
+/// assert!((erf(2.0) - 0.995322).abs() < 1e-5);
+/// ```
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Standard normal cumulative distribution function.
+pub fn norm_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / core::f64::consts::SQRT_2))
+}
+
+/// Fermi–Dirac occupation `f(E)` for energy `e_ev` relative to the Fermi
+/// level, at temperature `t_kelvin`.
+///
+/// Numerically safe for large |E|/kT.
+pub fn fermi_dirac(e_ev: f64, t_kelvin: f64) -> f64 {
+    let kt = crate::consts::K_B_EV * t_kelvin;
+    if kt <= 0.0 {
+        return if e_ev < 0.0 {
+            1.0
+        } else if e_ev > 0.0 {
+            0.0
+        } else {
+            0.5
+        };
+    }
+    let x = e_ev / kt;
+    if x > 500.0 {
+        0.0
+    } else if x < -500.0 {
+        1.0
+    } else {
+        1.0 / (1.0 + x.exp())
+    }
+}
+
+/// Negative derivative of the Fermi function, `-∂f/∂E`, in 1/eV.
+///
+/// This is the thermal broadening kernel of the finite-temperature Landauer
+/// integral (paper Section III.A).
+pub fn fermi_dirac_neg_derivative(e_ev: f64, t_kelvin: f64) -> f64 {
+    let kt = crate::consts::K_B_EV * t_kelvin;
+    if kt <= 0.0 {
+        return 0.0;
+    }
+    let x = e_ev / (2.0 * kt);
+    if x.abs() > 250.0 {
+        return 0.0;
+    }
+    let sech = 1.0 / x.cosh();
+    sech * sech / (4.0 * kt)
+}
+
+/// Composite Simpson quadrature of `f` over `[a, b]` with `n` intervals
+/// (rounded up to even).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or the interval is not finite.
+pub fn integrate_simpson(mut f: impl FnMut(f64) -> f64, a: f64, b: f64, n: usize) -> f64 {
+    assert!(n > 0, "Simpson rule needs at least one interval");
+    assert!(a.is_finite() && b.is_finite(), "integration bounds must be finite");
+    let n = if n % 2 == 0 { n } else { n + 1 };
+    let h = (b - a) / n as f64;
+    let mut acc = f(a) + f(b);
+    for i in 1..n {
+        let w = if i % 2 == 1 { 4.0 } else { 2.0 };
+        acc += w * f(a + i as f64 * h);
+    }
+    acc * h / 3.0
+}
+
+/// Finds a root of `f` in `[a, b]` by bisection.
+///
+/// # Errors
+///
+/// Returns `None` if `f(a)` and `f(b)` do not bracket a sign change.
+pub fn bisect(mut f: impl FnMut(f64) -> f64, mut a: f64, mut b: f64, tol: f64) -> Option<f64> {
+    let mut fa = f(a);
+    let fb = f(b);
+    if fa == 0.0 {
+        return Some(a);
+    }
+    if fb == 0.0 {
+        return Some(b);
+    }
+    if fa * fb > 0.0 {
+        return None;
+    }
+    for _ in 0..200 {
+        let m = 0.5 * (a + b);
+        let fm = f(m);
+        if fm == 0.0 || (b - a).abs() < tol {
+            return Some(m);
+        }
+        if fa * fm < 0.0 {
+            b = m;
+        } else {
+            a = m;
+            fa = fm;
+        }
+    }
+    Some(0.5 * (a + b))
+}
+
+/// Clamps `x` into `[lo, hi]`.
+#[inline]
+pub fn clamp(x: f64, lo: f64, hi: f64) -> f64 {
+    x.max(lo).min(hi)
+}
+
+/// Linear interpolation of tabulated `(xs, ys)` at `x`, clamping outside the
+/// table. `xs` must be sorted ascending.
+///
+/// # Panics
+///
+/// Panics if the slices are empty or differ in length.
+pub fn interp1(xs: &[f64], ys: &[f64], x: f64) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "interp1 slices must match");
+    assert!(!xs.is_empty(), "interp1 needs at least one point");
+    if x <= xs[0] {
+        return ys[0];
+    }
+    if x >= xs[xs.len() - 1] {
+        return ys[ys.len() - 1];
+    }
+    let idx = xs.partition_point(|&v| v < x);
+    let (x0, x1) = (xs[idx - 1], xs[idx]);
+    let (y0, y1) = (ys[idx - 1], ys[idx]);
+    if x1 == x0 {
+        return y0;
+    }
+    y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_basics() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs).unwrap() - 5.0).abs() < 1e-12);
+        // Sample std of this classic data set is ~2.138.
+        assert!((std_dev(&xs).unwrap() - 2.138).abs() < 1e-3);
+        assert!((median(&xs).unwrap() - 4.5).abs() < 1e-12);
+        assert!((percentile(&xs, 0.0).unwrap() - 2.0).abs() < 1e-12);
+        assert!((percentile(&xs, 100.0).unwrap() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_degenerate_inputs() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(std_dev(&[1.0]), None);
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&[1.0], 101.0), None);
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let x = [0.5, 1.0, 2.0, 3.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|xi| 10.0 + 4.0 * xi).collect();
+        let fit = linear_fit(&x, &y).unwrap();
+        assert!((fit.intercept - 10.0).abs() < 1e-9);
+        assert!((fit.slope - 4.0).abs() < 1e-9);
+        assert!(fit.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn linear_fit_rejects_bad_input() {
+        assert!(linear_fit(&[1.0], &[2.0]).is_none());
+        assert!(linear_fit(&[1.0, 1.0], &[2.0, 3.0]).is_none());
+        assert!(linear_fit(&[1.0, 2.0], &[2.0]).is_none());
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        assert!((erf(1.0) - 0.842_700_8).abs() < 1e-5);
+        assert!((erf(-1.0) + 0.842_700_8).abs() < 1e-5);
+        assert!((norm_cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!((norm_cdf(1.96) - 0.975).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fermi_function_limits() {
+        assert!((fermi_dirac(0.0, 300.0) - 0.5).abs() < 1e-12);
+        assert!(fermi_dirac(-1.0, 300.0) > 0.999_999);
+        assert!(fermi_dirac(1.0, 300.0) < 1e-6);
+        // -df/dE integrates to 1.
+        let total = integrate_simpson(|e| fermi_dirac_neg_derivative(e, 300.0), -1.0, 1.0, 4000);
+        assert!((total - 1.0).abs() < 1e-6, "got {total}");
+    }
+
+    #[test]
+    fn simpson_integrates_polynomial_exactly() {
+        // Simpson is exact for cubics.
+        let v = integrate_simpson(|x| x * x * x - 2.0 * x + 1.0, 0.0, 2.0, 2);
+        let exact = 2.0f64.powi(4) / 4.0 - 2.0f64.powi(2) + 2.0;
+        assert!((v - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12).unwrap();
+        assert!((r - core::f64::consts::SQRT_2).abs() < 1e-9);
+        assert!(bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-9).is_none());
+    }
+
+    #[test]
+    fn interp1_clamps_and_interpolates() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [0.0, 10.0, 40.0];
+        assert_eq!(interp1(&xs, &ys, -1.0), 0.0);
+        assert_eq!(interp1(&xs, &ys, 3.0), 40.0);
+        assert!((interp1(&xs, &ys, 0.5) - 5.0).abs() < 1e-12);
+        assert!((interp1(&xs, &ys, 1.5) - 25.0).abs() < 1e-12);
+    }
+}

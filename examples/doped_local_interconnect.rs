@@ -1,0 +1,82 @@
+//! The local-interconnect scenario of Fig. 1: a single doped CNT in a
+//! 30 nm via hole replacing a copper local wire.
+//!
+//! Walks the full multi-scale chain: atomistic doping calibration →
+//! compact model → variability Monte Carlo → I-V characterization.
+//!
+//! ```text
+//! cargo run --example doped_local_interconnect
+//! ```
+
+use cnt_beol::atomistic::chirality::Chirality;
+use cnt_beol::atomistic::doping::DopingSpec;
+use cnt_beol::interconnect::calibrate;
+use cnt_beol::interconnect::compact::DopedMwcnt;
+use cnt_beol::measure::iv::{iv_sweep, CntDevice};
+use cnt_beol::process::variability::{
+    resistance_stats, sample_devices, DevicePopulation, DopingState,
+};
+use cnt_beol::units::si::{Current, Length, Resistance, Temperature, Voltage};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let t = Temperature::from_kelvin(300.0);
+
+    // 1. Atomistic calibration: what does iodine doping buy on the
+    //    reference (7,7) tube?
+    let cal = calibrate::calibrate_reference_tube(t)?;
+    println!("atomistic calibration (CNT(7,7) + iodine):");
+    println!("  pristine channels  = {:.2}", cal.pristine);
+    println!("  doped channels     = {:.2}", cal.doped);
+    println!("  enhancement factor = {:.2}", cal.enhancement);
+
+    // A doped semiconducting tube also turns on — the variability fix.
+    let semi = Chirality::new(13, 0)?;
+    let semi_doped = calibrate::channels_doped(semi, DopingSpec::iodine_internal(), t)?;
+    println!("  semiconducting (13,0) after doping: {semi_doped:.2} channels");
+
+    // 2. Compact model of the via device (d = 7.5 nm MWCNT, 1 µm channel).
+    let device_len = Length::from_micrometers(1.0);
+    let nc_doped = cal.doped.round() as usize;
+    let pristine = DopedMwcnt::paper_model(Length::from_nanometers(7.5), 2)?;
+    let doped = DopedMwcnt::paper_model(Length::from_nanometers(7.5), nc_doped)?;
+    println!("\nvia-device compact model (L = 1 µm):");
+    println!("  pristine R = {}", pristine.resistance(device_len));
+    println!("  doped    R = {}", doped.resistance(device_len));
+
+    // 3. Monte-Carlo population: doping tames the chirality lottery.
+    let pop = DevicePopulation::mwcnt_via_default();
+    let stats_p = resistance_stats(&sample_devices(&pop, DopingState::Pristine, 2000, 7)?)?;
+    let stats_d = resistance_stats(&sample_devices(
+        &pop,
+        DopingState::Doped {
+            channels_per_shell: nc_doped,
+        },
+        2000,
+        7,
+    )?)?;
+    println!("\nvariability over 2000 as-grown devices:");
+    println!(
+        "  pristine: median {:.1} kΩ, CV {:.0} %",
+        stats_p.median / 1e3,
+        stats_p.cv * 100.0
+    );
+    println!(
+        "  doped:    median {:.1} kΩ, CV {:.0} %",
+        stats_d.median / 1e3,
+        stats_d.cv * 100.0
+    );
+
+    // 4. Virtual I-V of the median devices (the Fig. 2d experiment).
+    let sweep = |r_ohm: f64, seed: u64| -> Result<f64, Box<dyn std::error::Error>> {
+        let dev = CntDevice {
+            resistance: Resistance::from_ohms(r_ohm),
+            saturation_current: Current::from_microamps(25.0),
+        };
+        let curve = iv_sweep(&dev, Voltage::from_millivolts(100.0), 81, 0.01, seed)?;
+        Ok(curve.low_bias_resistance()?.ohms())
+    };
+    println!("\nvirtual I-V lab (low-bias extraction):");
+    println!("  pristine: {:.1} kΩ", sweep(stats_p.median, 1)? / 1e3);
+    println!("  doped:    {:.1} kΩ", sweep(stats_d.median, 2)? / 1e3);
+    Ok(())
+}

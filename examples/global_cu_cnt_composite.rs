@@ -1,0 +1,57 @@
+//! The global-interconnect scenario of Fig. 1: Cu–CNT composite wires.
+//!
+//! Sweeps CNT volume fraction to expose the §II.C trade-off ("an
+//! efficient trade-off between resistivity and ampacity can be realized")
+//! and benchmarks EM lifetime against the copper reference.
+//!
+//! ```text
+//! cargo run --example global_cu_cnt_composite
+//! ```
+
+use cnt_beol::interconnect::compact::CompositeWire;
+use cnt_beol::process::composite::{CarpetOrientation, CompositeRecipe, DepositionMethod};
+use cnt_beol::reliability::em::BlackModel;
+use cnt_beol::units::si::{CurrentDensity, Length, Temperature};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let w = Length::from_nanometers(100.0);
+    let h = Length::from_nanometers(100.0);
+
+    // 1. Fill the trench: the developed ECD process (Fig. 7).
+    let fill = CompositeRecipe {
+        method: DepositionMethod::Electrochemical,
+        orientation: CarpetOrientation::Horizontal,
+        aspect_ratio: 2.0,
+        conductive_seed: true,
+        cnt_volume_fraction: 0.45,
+    }
+    .simulate()?;
+    println!(
+        "ECD fill: {:.1} % dense, void-free: {}",
+        fill.fill_fraction * 100.0,
+        fill.is_void_free()
+    );
+
+    // 2. The resistivity-ampacity trade-off versus CNT loading.
+    println!("\nV_CNT    σ/σ_Cu    ampacity/Cu");
+    for vf in [0.0, 0.15, 0.30, 0.45] {
+        let wire = CompositeWire::new(w, h, vf, fill.fill_fraction, 2.0e7)?;
+        let (sigma_ratio, amp_ratio) = wire.trade_off_vs_copper()?;
+        println!("{vf:>5.2}    {sigma_ratio:>6.3}    {amp_ratio:>10.1}");
+    }
+
+    // 3. Electromigration lifetime at global-wire stress.
+    let j = CurrentDensity::from_amps_per_square_centimeter(2.0e6);
+    let t = Temperature::from_celsius(105.0);
+    let cu = BlackModel::copper();
+    let cc = BlackModel::cu_cnt_composite();
+    println!("\nEM median lifetime at 2 MA/cm², 105 °C:");
+    println!("  Cu reference : {:.2e} h", cu.median_ttf(j, t).hours());
+    println!("  Cu-CNT       : {:.2e} h", cc.median_ttf(j, t).hours());
+    println!(
+        "  Blech-immortal 100 µm line? Cu: {}, composite: {}",
+        cu.is_blech_immortal(j, 100e-6),
+        cc.is_blech_immortal(j, 100e-6)
+    );
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! Quickstart: size a doped-MWCNT interconnect and compare it to copper
+//! in a dozen lines.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use cnt_beol::interconnect::benchmark::delay_ratio;
+use cnt_beol::interconnect::compact::{CuWire, DopedMwcnt};
+use cnt_beol::units::si::Length;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let d = Length::from_nanometers(10.0);
+    let l = Length::from_micrometers(500.0);
+
+    // The paper's Eq. 4/5 compact model: pristine vs heavily doped.
+    let pristine = DopedMwcnt::paper_model(d, 2)?;
+    let doped = DopedMwcnt::paper_model(d, 10)?;
+    println!("MWCNT D = 10 nm, L = 500 µm");
+    println!("  pristine R = {}", pristine.resistance(l));
+    println!("  doped    R = {}", doped.resistance(l));
+    println!(
+        "  line capacitance ≈ C_E = {} (doping-independent, Eq. 5)",
+        pristine.capacitance(l)?
+    );
+
+    // A copper wire of comparable footprint for context.
+    let cu = CuWire::damascene(Length::from_nanometers(10.0), Length::from_nanometers(20.0))?;
+    println!("  copper (10×20 nm) R = {}", cu.resistance(l));
+
+    // The Fig. 12 headline: delay ratio doped/pristine.
+    let ratio = delay_ratio(d, 10, l)?;
+    println!("  delay ratio doped/pristine = {ratio:.3} (paper: ≈ 0.90 at this point)");
+    Ok(())
+}

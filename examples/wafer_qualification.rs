@@ -1,0 +1,71 @@
+//! Lab-to-fab qualification (Figs. 4, 5, 13): tune the growth recipe into
+//! the BEOL budget, check wafer uniformity, then run the virtual EM
+//! qualification of Cu versus the Cu-CNT composite.
+//!
+//! ```text
+//! cargo run --example wafer_qualification
+//! ```
+
+use cnt_beol::interconnect::calibrate::mfp_from_growth;
+use cnt_beol::process::growth::{temperature_sweep, Catalyst};
+use cnt_beol::process::wafer::WaferMap;
+use cnt_beol::reliability::layout::{standard_em_layout, TestStructure};
+use cnt_beol::reliability::wafer_char::{characterize_wafer, WaferCharSetup};
+use cnt_beol::units::si::{Temperature, Time};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Find the lowest viable Co growth temperature (Fig. 4).
+    let temps: Vec<Temperature> = (0..14)
+        .map(|k| Temperature::from_celsius(350.0 + 10.0 * k as f64))
+        .collect();
+    let sweep = temperature_sweep(Catalyst::Cobalt, &temps, false)?;
+    let viable = sweep
+        .iter()
+        .find(|r| r.is_viable())
+        .expect("Co recipe grows below 500 degC");
+    println!(
+        "lowest viable Co growth: {:.0} °C (rate {:.2} µm/min, D/G {:.2})",
+        viable.recipe.temperature.celsius(),
+        viable.growth_rate_um_per_min,
+        viable.dg_ratio
+    );
+    let mfp = mfp_from_growth(viable, 11)?;
+    println!("defect-limited mean free path from NEGF: {mfp}");
+
+    // 2. Wafer-scale growth uniformity (Fig. 5).
+    let map = WaferMap::generate(0.3, 121, 1.0, 0.05, 0.015, 5)?;
+    let u = map.uniformity()?;
+    println!(
+        "\n300 mm wafer growth: CV {:.2} % over {} sites",
+        u.cv * 100.0,
+        u.sites
+    );
+    println!("{}", map.ascii_map(10));
+
+    // 3. EM qualification on the Fig. 13a layout's reference line.
+    let layout = standard_em_layout();
+    println!("EM test layout: {} structures", layout.len());
+    let line = layout
+        .iter()
+        .find(|s| {
+            matches!(s, TestStructure::SingleLine { length, .. }
+                if (length.micrometers() - 800.0).abs() < 1.0)
+        })
+        .expect("layout carries the 800 µm stress line");
+    let target = Time::from_hours(2000.0);
+    let cu = characterize_wafer(&WaferCharSetup::copper_reference(), line, target, 1)?;
+    let cc = characterize_wafer(&WaferCharSetup::composite(), line, target, 1)?;
+    println!("\nfull-wafer EM qualification (target {} h):", target.hours());
+    println!(
+        "  Cu reference : median TTF {:.2e} h, yield {:.1} %",
+        cu.median_ttf.hours(),
+        cu.em_yield * 100.0
+    );
+    println!(
+        "  Cu-CNT       : median TTF {:.2e} h, yield {:.1} %",
+        cc.median_ttf.hours(),
+        cc.em_yield * 100.0
+    );
+
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! `cnt-beol` — a multi-scale CNT BEOL interconnect modeling platform.
+//!
+//! This facade crate re-exports the whole workspace, the Rust
+//! reproduction of *Uhlig et al., "Progress on Carbon Nanotube BEOL
+//! Interconnects", DATE 2018* (DOI 10.23919/DATE.2018.8342144):
+//!
+//! | layer | crate | paper section |
+//! |---|---|---|
+//! | constants & quantities | [`units`] | — |
+//! | tight-binding transport | [`atomistic`] | III.A, Fig. 8 |
+//! | TCAD field solver | [`fields`] | III.B, Fig. 10 |
+//! | SPICE-like simulator | [`circuit`] | III.C, Fig. 11 |
+//! | growth / wafer / composite | [`process`] | II, Figs. 4–7 |
+//! | electro-thermal | [`thermal`] | IV.B |
+//! | EM / ampacity / stability | [`reliability`] | I, IV.A, Fig. 13 |
+//! | TLM / I-V lab | [`measure`] | IV.B, Fig. 2d |
+//! | compact models & experiments | [`interconnect`] | III.C, Figs. 9/12 |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cnt_beol::interconnect::compact::DopedMwcnt;
+//! use cnt_beol::interconnect::benchmark::delay_ratio;
+//! use cnt_beol::units::si::Length;
+//!
+//! // How much does doping help a 10 nm MWCNT global wire?
+//! let d = Length::from_nanometers(10.0);
+//! let l = Length::from_micrometers(500.0);
+//! let ratio = delay_ratio(d, 10, l)?;
+//! assert!(ratio < 0.95); // ~10 % faster, the paper's Fig. 12 anchor
+//!
+//! let line = DopedMwcnt::paper_model(d, 10)?;
+//! println!("doped line resistance: {}", line.resistance(l));
+//! # Ok::<(), cnt_beol::interconnect::Error>(())
+//! ```
+//!
+//! Regenerate every paper artefact with
+//! `cargo run -p cnt-bench --bin repro -- all`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cnt_atomistic as atomistic;
+pub use cnt_circuit as circuit;
+pub use cnt_fields as fields;
+pub use cnt_interconnect as interconnect;
+pub use cnt_measure as measure;
+pub use cnt_process as process;
+pub use cnt_reliability as reliability;
+pub use cnt_thermal as thermal;
+pub use cnt_units as units;

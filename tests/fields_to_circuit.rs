@@ -1,0 +1,116 @@
+//! Integration: the TCAD → netlist → SPICE handshake (paper Section
+//! III.B: "Extracted RC netlists are provided in a SPICE-like format for
+//! circuit-level simulation").
+
+use cnt_beol::circuit::analysis::TranOptions;
+use cnt_beol::circuit::circuit::Circuit;
+use cnt_beol::circuit::parse::parse_netlist;
+use cnt_beol::circuit::waveform::Waveform;
+use cnt_beol::fields::extract::{extract_capacitance, extract_resistance};
+use cnt_beol::fields::netlist::NetlistWriter;
+use cnt_beol::fields::presets::{
+    inverter_cell_14nm, three_parallel_wires, via_stack, InverterCellGeometry,
+};
+use cnt_beol::fields::solver::SolverOptions;
+
+#[test]
+fn extracted_netlist_parses_and_simulates() {
+    let structure = inverter_cell_14nm(InverterCellGeometry::default())
+        .build([15, 11, 13])
+        .unwrap();
+    let cap = extract_capacitance(&structure, &SolverOptions::default()).unwrap();
+    let mut w = NetlistWriter::new("integration");
+    w.add_capacitance_matrix(&cap, "0", 1e-21).unwrap();
+    let netlist = w.render();
+
+    let mut circuit = parse_netlist(&netlist).unwrap();
+    assert!(circuit.element_count() >= 10, "matrix expands to many cards");
+
+    // Drive the input line; the floating output must follow capacitively
+    // (positive coupled peak).
+    let agg = circuit.find_node("m1_in").unwrap();
+    let victim = circuit.find_node("m1_out").unwrap();
+    circuit
+        .add_vsource("Vagg", agg, Circuit::GND, Waveform::edge(0.0, 1.0, 2e-12, 2e-12))
+        .unwrap();
+    circuit.add_resistor("Rleak", victim, Circuit::GND, 1e6).unwrap();
+    // Capacitor-only nodes (gate, m2, …) float at DC — start from zero
+    // state instead of a DC operating point.
+    let mut opts = TranOptions::new(50e-12, 0.05e-12);
+    opts.from_dc = false;
+    let tran = circuit.transient(&opts).unwrap();
+    let peak = tran
+        .voltage("m1_out")
+        .unwrap()
+        .iter()
+        .fold(0.0_f64, |a, &b| a.max(b));
+    assert!(peak > 0.01, "crosstalk peak {peak} V");
+    assert!(peak < 1.0, "victim cannot exceed the aggressor");
+}
+
+#[test]
+fn resistance_extraction_feeds_circuit_resistor() {
+    let sigma = 3.0e7;
+    let stack = via_stack(InverterCellGeometry::default(), sigma)
+        .build([41, 7, 13])
+        .unwrap();
+    let res = extract_resistance(&stack, "t_m1", "t_m2", &SolverOptions::default()).unwrap();
+
+    let mut w = NetlistWriter::new("via");
+    w.add_resistance_result("Rvia", "t_m1", "t_m2", &res);
+    let mut circuit = parse_netlist(&w.render()).unwrap();
+    let a = circuit.find_node("t_m1").unwrap();
+    circuit
+        .add_vsource("V1", a, Circuit::GND, Waveform::Dc(1.0))
+        .unwrap();
+    let b = circuit.find_node("t_m2").unwrap();
+    circuit.add_resistor("Rterm", b, Circuit::GND, 1.0).unwrap();
+    let dc = circuit.dc_operating_point().unwrap();
+    // Voltage divider sanity: the via resistance dominates the 1 Ω
+    // terminator, so almost all of the volt drops across it.
+    let v_mid = dc.voltage("t_m2").unwrap();
+    let expect = 1.0 / (1.0 + res.resistance.ohms());
+    assert!((v_mid - expect).abs() / expect < 1e-6);
+}
+
+#[test]
+fn crosstalk_shielding_flow() {
+    // Three-wire preset: coupling extracted by the field solver translates
+    // into the victim kick in the circuit domain.
+    let s = three_parallel_wires(32e-9, 32e-9, 60e-9, 0.4e-6)
+        .build([5, 19, 13])
+        .unwrap();
+    let cap = extract_capacitance(&s, &SolverOptions::default()).unwrap();
+    let c_near = cap.coupling("victim", "left").unwrap().farads();
+    let c_gnd = cap.to_ground("victim").unwrap().farads()
+        + cap.coupling("victim", "gnd").unwrap().farads();
+    // Single-node charge-divider estimate — a *lower bound* on the kick,
+    // because the third wire rises with the aggressor too and pushes the
+    // victim further through its own coupling.
+    let c_right = cap.coupling("victim", "right").unwrap().farads();
+    let kick_lower_bound = c_near / (c_near + c_right + c_gnd);
+
+    let mut w = NetlistWriter::new("xtalk");
+    w.add_capacitance_matrix(&cap, "0", 1e-22).unwrap();
+    let mut circuit = parse_netlist(&w.render()).unwrap();
+    let agg = circuit.find_node("left").unwrap();
+    circuit
+        .add_vsource("Vagg", agg, Circuit::GND, Waveform::edge(0.0, 1.0, 1e-12, 1e-12))
+        .unwrap();
+    // Keep the other wires weakly tied so the solve is well-posed.
+    let victim = circuit.find_node("victim").unwrap();
+    let right = circuit.find_node("right").unwrap();
+    circuit.add_resistor("Rv", victim, Circuit::GND, 1e9).unwrap();
+    circuit.add_resistor("Rr", right, Circuit::GND, 1e9).unwrap();
+    let tran = circuit.transient(&TranOptions::new(20e-12, 0.02e-12)).unwrap();
+    let peak = tran
+        .voltage("victim")
+        .unwrap()
+        .iter()
+        .fold(0.0_f64, |a, &b| a.max(b));
+    assert!(
+        peak >= kick_lower_bound - 0.02,
+        "simulated kick {peak:.3} below divider bound {kick_lower_bound:.3}"
+    );
+    assert!(peak < 0.9, "victim must stay below the aggressor: {peak:.3}");
+}

@@ -1,0 +1,107 @@
+//! Integration: the full "ab-initio to circuit" chain the paper's
+//! conclusion calls for, exercised end to end across crates.
+
+use cnt_beol::atomistic::chirality::Chirality;
+use cnt_beol::atomistic::doping::DopingSpec;
+use cnt_beol::interconnect::benchmark::{delay_ratio, DelayBenchmark};
+use cnt_beol::interconnect::calibrate;
+use cnt_beol::interconnect::compact::DopedMwcnt;
+use cnt_beol::process::growth::{Catalyst, GrowthRecipe};
+use cnt_beol::units::si::{Length, Temperature};
+
+#[test]
+fn atomistics_feed_compact_models_feed_circuits() {
+    let t = Temperature::from_kelvin(300.0);
+
+    // 1. Atomistic layer: channel counts with and without doping.
+    let cal = calibrate::calibrate_reference_tube(t).unwrap();
+    assert!((cal.pristine - 2.0).abs() < 0.1);
+    assert!((cal.doped - 5.0).abs() < 0.15);
+
+    // 2. Compact model built from the calibration (rounded channels).
+    let nc = cal.doped.round() as usize;
+    let d = Length::from_nanometers(10.0);
+    let l = Length::from_micrometers(500.0);
+    let pristine = DopedMwcnt::paper_model(d, 2).unwrap();
+    let doped = DopedMwcnt::paper_model(d, nc).unwrap();
+    let r_ratio = pristine.resistance(l).ohms() / doped.resistance(l).ohms();
+    assert!((r_ratio - nc as f64 / 2.0).abs() < 1e-9);
+
+    // 3. Circuit benchmark: the doped line is faster, by the calibrated
+    //    amount, in both the Elmore and the SPICE paths.
+    let ratio_est = delay_ratio(d, nc, l).unwrap();
+    assert!(ratio_est < 1.0);
+    let bench_doped = DelayBenchmark::paper_fig12(d, nc, l).unwrap();
+    let bench_pristine = DelayBenchmark::paper_fig12(d, 2, l).unwrap();
+    let ratio_sim = bench_doped.simulate_delay().unwrap().seconds()
+        / bench_pristine.simulate_delay().unwrap().seconds();
+    assert!(
+        (ratio_est - ratio_sim).abs() < 0.05,
+        "estimate {ratio_est:.3} vs simulation {ratio_sim:.3}"
+    );
+}
+
+#[test]
+fn growth_quality_propagates_into_interconnect_resistance() {
+    // Process → NEGF calibration → compact model: colder growth means more
+    // defects, shorter mean free path, higher line resistance.
+    let grow = |celsius: f64| {
+        GrowthRecipe::thermal(Catalyst::Cobalt, Temperature::from_celsius(celsius))
+            .simulate()
+            .unwrap()
+    };
+    let mfp_cold = calibrate::mfp_from_growth(&grow(360.0), 3).unwrap();
+    let mfp_hot = calibrate::mfp_from_growth(&grow(550.0), 3).unwrap();
+    assert!(mfp_hot > mfp_cold);
+
+    let mk = |mfp| {
+        DopedMwcnt::new(
+            Length::from_nanometers(10.0),
+            cnt_beol::interconnect::compact::ShellChannelModel::Uniform(2),
+            cnt_beol::interconnect::compact::ShellFillPolicy::HalfDiameterVdw,
+            cnt_beol::interconnect::compact::MfpModel::Fixed(mfp),
+            cnt_beol::interconnect::compact::WireEnvironment::beol_default(),
+            cnt_beol::units::si::Resistance::from_ohms(0.0),
+        )
+        .unwrap()
+    };
+    let l = Length::from_micrometers(10.0);
+    let r_cold = mk(mfp_cold).resistance(l).ohms();
+    let r_hot = mk(mfp_hot).resistance(l).ohms();
+    assert!(
+        r_cold > 1.5 * r_hot,
+        "cold-grown line {r_cold:.0} Ω vs hot-grown {r_hot:.0} Ω"
+    );
+}
+
+#[test]
+fn doping_turns_on_semiconducting_tubes_across_layers() {
+    // The §II.A variability story, checked at the atomistic layer and the
+    // Monte-Carlo layer with the same doping spec.
+    let t = Temperature::from_kelvin(300.0);
+    let semi = Chirality::new(13, 0).unwrap();
+    let before = calibrate::channels_pristine(semi, t);
+    let after = calibrate::channels_doped(semi, DopingSpec::iodine_internal(), t).unwrap();
+    assert!(before < 0.1 && after > 2.0);
+
+    use cnt_beol::process::variability::{
+        resistance_stats, sample_devices, DevicePopulation, DopingState,
+    };
+    let pop = DevicePopulation::mwcnt_via_default();
+    let p = resistance_stats(&sample_devices(&pop, DopingState::Pristine, 1500, 5).unwrap())
+        .unwrap();
+    let d = resistance_stats(
+        &sample_devices(
+            &pop,
+            DopingState::Doped {
+                channels_per_shell: after.round() as usize,
+            },
+            1500,
+            5,
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    assert!(d.cv < p.cv, "doped CV {} vs pristine {}", d.cv, p.cv);
+    assert!(d.median < p.median);
+}

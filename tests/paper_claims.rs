@@ -1,0 +1,90 @@
+//! Integration: every quantitative claim of the paper, checked at the
+//! public-API level (the acceptance criteria of DESIGN.md §4).
+
+use cnt_beol::interconnect::benchmark::delay_ratio;
+use cnt_beol::interconnect::experiments;
+use cnt_beol::units::consts;
+use cnt_beol::units::si::Length;
+
+fn um(v: f64) -> Length {
+    Length::from_micrometers(v)
+}
+
+fn nm(v: f64) -> Length {
+    Length::from_nanometers(v)
+}
+
+#[test]
+fn fig12_headline_10_5_2_percent() {
+    for (d, expect) in [(10.0, 0.10), (14.0, 0.05), (22.0, 0.02)] {
+        let reduction = 1.0 - delay_ratio(nm(d), 10, um(500.0)).unwrap();
+        assert!(
+            (reduction - expect).abs() < 0.015,
+            "D = {d}: {reduction:.3} vs paper {expect}"
+        );
+    }
+}
+
+#[test]
+fn fig8_conductance_anchors() {
+    let rep = experiments::fig08c().unwrap();
+    let text = rep.render();
+    assert!(text.contains("pristine G = 0.155 mS"), "{text}");
+    assert!(text.contains("doped G = 0.387 mS"), "{text}");
+    assert!(text.contains("-0.60 eV"), "{text}");
+}
+
+#[test]
+fn section1_materials_numbers() {
+    // The constants the whole platform hangs on.
+    assert!((2.0 * consts::G0_SIEMENS * 1e3 - 0.155).abs() < 1e-3);
+    assert!((consts::JMAX_CNT / consts::JMAX_CU - 1000.0).abs() < 1e-9);
+    assert!((consts::CNT_DENSITY_FLOOR * 1e-18 - 0.096).abs() < 1e-12);
+    assert!(consts::KTH_CNT_LOW / consts::KTH_CU > 7.0);
+}
+
+#[test]
+fn every_figure_regenerates() {
+    // The full harness: all 18 + stability must produce non-trivial
+    // reports (this is what `repro all` prints).
+    let mut ids = experiments::ALL_IDS.to_vec();
+    ids.push("stability");
+    for id in ids {
+        let rep = experiments::run(id).unwrap_or_else(|e| panic!("{id}: {e}"));
+        let text = rep.render();
+        assert!(text.len() > 80, "{id} report too thin:\n{text}");
+    }
+}
+
+#[test]
+fn fig9_crossover_band() {
+    let rep = experiments::fig09().unwrap();
+    let l = rep.column("L_um").unwrap();
+    let mw = rep.column("mwcnt_d20").unwrap();
+    let cu = rep.column("cu_w20").unwrap();
+    // CNT loses at 50 nm, wins at 100 µm; the crossover sits in between
+    // (the paper's Fig. 9 places it at micron scale).
+    assert!(mw[0] < cu[0]);
+    assert!(mw.last().unwrap() > cu.last().unwrap());
+    let crossover = l
+        .iter()
+        .zip(mw.iter().zip(&cu))
+        .find(|(_, (m, c))| m > c)
+        .map(|(l, _)| *l)
+        .expect("crossover exists");
+    assert!(
+        (0.2..=20.0).contains(&crossover),
+        "crossover at {crossover} µm"
+    );
+}
+
+#[test]
+fn delay_ratio_trends_match_prose() {
+    // Longer lines: more doping benefit. Bigger tubes: less.
+    let short = delay_ratio(nm(14.0), 10, um(20.0)).unwrap();
+    let long = delay_ratio(nm(14.0), 10, um(500.0)).unwrap();
+    assert!(long < short);
+    let thin = delay_ratio(nm(10.0), 6, um(300.0)).unwrap();
+    let thick = delay_ratio(nm(22.0), 6, um(300.0)).unwrap();
+    assert!(thin < thick);
+}
