@@ -50,7 +50,10 @@ impl Subband {
 
     /// Maximum energy of this subband in eV.
     pub fn max_energy_ev(&self) -> f64 {
-        self.energy_ev.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.energy_ev
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 }
 
@@ -218,7 +221,12 @@ impl BandStructure {
     /// # Errors
     ///
     /// Returns [`Error::TooFewSamples`] if `n < 2`.
-    pub fn transmission_spectrum(&self, e_min: f64, e_max: f64, n: usize) -> Result<Vec<(f64, f64)>> {
+    pub fn transmission_spectrum(
+        &self,
+        e_min: f64,
+        e_max: f64,
+        n: usize,
+    ) -> Result<Vec<(f64, f64)>> {
         if n < 2 {
             return Err(Error::TooFewSamples { got: n, min: 2 });
         }

@@ -252,7 +252,11 @@ mod tests {
             Length::from_nanometers(0.5),
             Length::from_nanometers(3.0),
         );
-        assert!(all.len() > 100, "expected a dense enumeration, got {}", all.len());
+        assert!(
+            all.len() > 100,
+            "expected a dense enumeration, got {}",
+            all.len()
+        );
         let metallic = all.iter().filter(|c| c.is_metallic()).count();
         let frac = metallic as f64 / all.len() as f64;
         assert!((frac - 1.0 / 3.0).abs() < 0.05, "metallic fraction {frac}");
@@ -269,7 +273,10 @@ mod tests {
             let a = 1.0_f64; // arbitrary scale
             let a1 = (a * 3f64.sqrt() / 2.0, a / 2.0);
             let a2 = (a * 3f64.sqrt() / 2.0, -a / 2.0);
-            let ch = (n as f64 * a1.0 + m as f64 * a2.0, n as f64 * a1.1 + m as f64 * a2.1);
+            let ch = (
+                n as f64 * a1.0 + m as f64 * a2.0,
+                n as f64 * a1.1 + m as f64 * a2.1,
+            );
             let t = (
                 t1 as f64 * a1.0 + t2 as f64 * a2.0,
                 t1 as f64 * a1.1 + t2 as f64 * a2.1,

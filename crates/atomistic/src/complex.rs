@@ -86,6 +86,7 @@ impl Mul<f64> for C64 {
 impl Div for C64 {
     type Output = C64;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z / w == z * w^-1
     fn div(self, o: C64) -> C64 {
         self * o.recip()
     }

@@ -232,7 +232,12 @@ impl DopedCnt {
     /// # Errors
     ///
     /// Returns [`Error::TooFewSamples`] if `n < 2`.
-    pub fn transmission_spectrum(&self, e_min: f64, e_max: f64, n: usize) -> Result<Vec<(f64, f64)>> {
+    pub fn transmission_spectrum(
+        &self,
+        e_min: f64,
+        e_max: f64,
+        n: usize,
+    ) -> Result<Vec<(f64, f64)>> {
         if n < 2 {
             return Err(Error::TooFewSamples { got: n, min: 2 });
         }
@@ -262,12 +267,17 @@ mod tests {
 
     #[test]
     fn iodine_reproduces_both_dft_anchors() {
-        let d = DopedCnt::new(Chirality::new(7, 7).unwrap(), DopingSpec::iodine_internal()).unwrap();
+        let d =
+            DopedCnt::new(Chirality::new(7, 7).unwrap(), DopingSpec::iodine_internal()).unwrap();
         // Anchor 1: Fermi shift −0.6 eV.
         assert!((d.fermi_level_ev() + 0.6).abs() < 1e-12);
         // Anchor 2: conductance 0.387 mS = 5 channels.
         let g = d.conductance(t300());
-        assert!((g.millisiemens() - 0.387).abs() < 0.01, "{}", g.millisiemens());
+        assert!(
+            (g.millisiemens() - 0.387).abs() < 0.01,
+            "{}",
+            g.millisiemens()
+        );
         assert!((d.conducting_channels(t300()) - 5.0).abs() < 0.1);
     }
 
@@ -297,13 +307,12 @@ mod tests {
 
     #[test]
     fn transmission_spectrum_shows_dopant_window() {
-        let d = DopedCnt::new(Chirality::new(7, 7).unwrap(), DopingSpec::iodine_internal()).unwrap();
+        let d =
+            DopedCnt::new(Chirality::new(7, 7).unwrap(), DopingSpec::iodine_internal()).unwrap();
         let spec = d.transmission_spectrum(-1.0, 0.2, 241).unwrap();
         let at = |e: f64| {
             spec.iter()
-                .min_by(|a, b| {
-                    (a.0 - e).abs().partial_cmp(&(b.0 - e).abs()).unwrap()
-                })
+                .min_by(|a, b| (a.0 - e).abs().partial_cmp(&(b.0 - e).abs()).unwrap())
                 .unwrap()
                 .1
         };

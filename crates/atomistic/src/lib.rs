@@ -51,7 +51,7 @@ pub mod negf;
 pub mod transport;
 
 pub use chirality::{Chirality, Family};
-pub use doping::{DopedCnt, DopantBand, DopingSpec};
+pub use doping::{DopantBand, DopedCnt, DopingSpec};
 
 use core::fmt;
 
@@ -86,7 +86,10 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::InvalidChirality { n, m } => {
-                write!(f, "invalid chiral indices ({n}, {m}): need n >= m >= 0 and n >= 1")
+                write!(
+                    f,
+                    "invalid chiral indices ({n}, {m}): need n >= m >= 0 and n >= 1"
+                )
             }
             Error::TooFewSamples { got, min } => {
                 write!(f, "needs at least {min} sampling points, got {got}")

@@ -51,7 +51,12 @@ impl DisorderedChain {
     /// * [`Error::TooFewSamples`] if `sites < 2`.
     /// * [`Error::InvalidParameter`] if `t ≤ 0`, `w < 0` or the pitch is
     ///   non-positive.
-    pub fn new(sites: usize, hopping_ev: f64, disorder_ev: f64, site_length: Length) -> Result<Self> {
+    pub fn new(
+        sites: usize,
+        hopping_ev: f64,
+        disorder_ev: f64,
+        site_length: Length,
+    ) -> Result<Self> {
         if sites < 2 {
             return Err(Error::TooFewSamples { got: sites, min: 2 });
         }
@@ -158,7 +163,12 @@ impl DisorderedChain {
     /// # Panics
     ///
     /// Panics if `samples == 0`.
-    pub fn mean_transmission<R: Rng + ?Sized>(&self, e_ev: f64, samples: usize, rng: &mut R) -> f64 {
+    pub fn mean_transmission<R: Rng + ?Sized>(
+        &self,
+        e_ev: f64,
+        samples: usize,
+        rng: &mut R,
+    ) -> f64 {
         assert!(samples > 0, "need at least one disorder sample");
         let sum: f64 = (0..samples).map(|_| self.transmission(e_ev, rng)).sum();
         sum / samples as f64
@@ -313,7 +323,10 @@ mod tests {
     fn ballistic_and_opaque_limits() {
         let mut rng = StdRng::seed_from_u64(1);
         let clean = DisorderedChain::new(100, 2.7, 0.0, pitch()).unwrap();
-        assert!(clean.mean_free_path(0.0, 5, &mut rng).meters().is_infinite());
+        assert!(clean
+            .mean_free_path(0.0, 5, &mut rng)
+            .meters()
+            .is_infinite());
         let opaque = DisorderedChain::new(2000, 2.7, 8.0, pitch()).unwrap();
         let mfp = opaque.mean_free_path(0.0, 5, &mut rng);
         assert!(mfp.nanometers() < 50.0);

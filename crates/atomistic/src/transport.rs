@@ -119,7 +119,11 @@ pub fn conductance_vs_diameter(
             }
         })
         .collect();
-    out.sort_by(|a, b| a.diameter_nm.partial_cmp(&b.diameter_nm).expect("finite diameters"));
+    out.sort_by(|a, b| {
+        a.diameter_nm
+            .partial_cmp(&b.diameter_nm)
+            .expect("finite diameters")
+    });
     Ok(out)
 }
 
@@ -158,7 +162,11 @@ mod tests {
     fn pristine_conductance_matches_paper_anchor() {
         // 0.155 mS for the pristine metallic tube (Fig. 8c).
         let g = ballistic_conductance(Chirality::new(7, 7).unwrap(), t300());
-        assert!((g.millisiemens() - 0.155).abs() < 0.005, "{}", g.millisiemens());
+        assert!(
+            (g.millisiemens() - 0.155).abs() < 0.005,
+            "{}",
+            g.millisiemens()
+        );
     }
 
     #[test]

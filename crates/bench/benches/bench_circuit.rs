@@ -13,7 +13,8 @@ fn ladder_circuit(segments: usize) -> Circuit {
     let mut c = Circuit::new();
     let a = c.node("a");
     let b = c.node("b");
-    c.add_vsource("V1", a, Circuit::GND, Waveform::step(1.0)).unwrap();
+    c.add_vsource("V1", a, Circuit::GND, Waveform::step(1.0))
+        .unwrap();
     add_distributed_line(&mut c, "l", a, b, LineTotals::rc(10e3, 1e-13), segments).unwrap();
     c
 }
@@ -49,7 +50,12 @@ fn bench_inverter_newton(c: &mut Criterion) {
         .add_vsource("Vdd", vdd, Circuit::GND, Waveform::Dc(1.0))
         .unwrap();
     circuit
-        .add_vsource("Vin", vin, Circuit::GND, Waveform::edge(0.0, 1.0, 20e-12, 10e-12))
+        .add_vsource(
+            "Vin",
+            vin,
+            Circuit::GND,
+            Waveform::edge(0.0, 1.0, 20e-12, 10e-12),
+        )
         .unwrap();
     circuit
         .add_mosfet("Mn", vout, vin, Circuit::GND, MosfetModel::nmos_45nm())

@@ -1,33 +1,60 @@
 //! Regenerates the paper's figures and tables.
 //!
 //! ```text
-//! repro --list          list experiment ids
-//! repro all             run every experiment
-//! repro fig12 fig08a    run selected experiments
+//! repro --list            list runnable experiment ids (primary + aliases;
+//!                         sweep ids are listed by --help)
+//! repro all               run every experiment
+//! repro fig12 fig08a      run selected experiments
+//! repro sweep fig12 --trials 1000 --threads 8 --seed 42
+//!                         run the Monte-Carlo sweep variant of an id on
+//!                         the cnt-sweep engine (output is byte-identical
+//!                         for any --threads value)
 //! ```
+//!
+//! Sweep flags:
+//!
+//! * `--trials N`    Monte-Carlo trials per cell (default 200)
+//! * `--threads N`   worker threads, 0 = all cores (default 0)
+//! * `--seed S`      root seed (default 42)
+//! * `--cache-dir D` on-disk result cache (default `.sweep-cache`)
+//! * `--no-cache`    disable the on-disk cache
+//!
+//! Sweep execution metadata (thread count, cache hit, wall time) goes to
+//! stderr so stdout stays a pure function of `(id, trials, seed)`.
 
 use cnt_interconnect::experiments;
+use cnt_interconnect::experiments::SweepOpts;
 use std::process::ExitCode;
+
+fn usage() {
+    eprintln!("usage: repro [--list] [all | <id>...]");
+    eprintln!("       repro sweep <id> [--trials N] [--threads N] [--seed S]");
+    eprintln!("                        [--cache-dir DIR] [--no-cache]");
+    eprintln!(
+        "ids: {}",
+        experiments::catalog().collect::<Vec<_>>().join(" ")
+    );
+    eprintln!("sweep ids: {}", experiments::SWEEP_IDS.join(" "));
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: repro [--list] [all | <id>...]");
-        eprintln!("ids: {}", experiments::ALL_IDS.join(" "));
+        usage();
         return ExitCode::SUCCESS;
     }
     if args.iter().any(|a| a == "--list") {
-        for id in experiments::ALL_IDS {
+        for id in experiments::catalog() {
             println!("{id}");
         }
-        println!("stability");
         return ExitCode::SUCCESS;
+    }
+    if args[0] == "sweep" {
+        return run_sweep_command(&args[1..]);
     }
 
     let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
-        let mut v: Vec<&str> = experiments::ALL_IDS.to_vec();
-        v.push("stability");
-        v
+        experiments::catalog().collect()
     } else {
         args.iter().map(String::as_str).collect()
     };
@@ -49,4 +76,89 @@ fn main() -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Parses and runs `repro sweep <id> [flags]`.
+fn run_sweep_command(args: &[String]) -> ExitCode {
+    let mut id: Option<&str> = None;
+    let mut opts = SweepOpts {
+        cache_dir: Some(".sweep-cache".into()),
+        ..SweepOpts::default()
+    };
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let parse_value = |name: &str, value: Option<&String>| -> Result<u64, String> {
+            value
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse::<u64>()
+                .map_err(|e| format!("bad {name} value: {e}"))
+        };
+        match arg.as_str() {
+            "--trials" => match parse_value("--trials", it.next()) {
+                Ok(v) if v > 0 => opts.trials = v as usize,
+                Ok(_) => return fail("--trials must be positive"),
+                Err(e) => return fail(&e),
+            },
+            "--threads" => match parse_value("--threads", it.next()) {
+                Ok(v) => opts.threads = v as usize,
+                Err(e) => return fail(&e),
+            },
+            "--seed" => match parse_value("--seed", it.next()) {
+                Ok(v) => opts.seed = v,
+                Err(e) => return fail(&e),
+            },
+            "--cache-dir" => match it.next() {
+                Some(dir) => opts.cache_dir = Some(dir.into()),
+                None => return fail("--cache-dir needs a value"),
+            },
+            "--no-cache" => opts.cache_dir = None,
+            other if other.starts_with('-') => {
+                return fail(&format!("unknown sweep flag '{other}'"));
+            }
+            other => {
+                if id.replace(other).is_some() {
+                    return fail("sweep takes exactly one id");
+                }
+            }
+        }
+    }
+
+    let Some(id) = id else {
+        return fail("sweep needs an experiment id");
+    };
+    if !experiments::SWEEP_IDS.contains(&id) {
+        return fail(&format!(
+            "unknown sweep id '{id}' (valid: {})",
+            experiments::SWEEP_IDS.join(" ")
+        ));
+    }
+    let started = std::time::Instant::now();
+    match experiments::run_sweep(id, &opts) {
+        Ok(run) => {
+            println!("{}", run.report);
+            eprintln!(
+                "sweep '{id}': {} jobs on {} thread(s) in {:.3} s ({})",
+                run.jobs,
+                run.threads,
+                started.elapsed().as_secs_f64(),
+                if run.cache_hit {
+                    "cache hit"
+                } else {
+                    "computed"
+                }
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("sweep '{id}' failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("repro: {message}");
+    usage();
+    ExitCode::FAILURE
 }

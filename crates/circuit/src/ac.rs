@@ -48,6 +48,8 @@ impl Cx {
 }
 
 /// Dense complex LU with partial pivoting (by magnitude).
+// Index loops kept as-is: the elimination order is part of the numerics.
+#[allow(clippy::needless_range_loop)]
 fn solve_complex(mut a: Vec<Vec<Cx>>, mut b: Vec<Cx>) -> Result<Vec<Cx>> {
     let n = b.len();
     for col in 0..n {
@@ -201,7 +203,8 @@ mod tests {
         let mut c = Circuit::new();
         let a = c.node("a");
         let b = c.node("b");
-        c.add_vsource("Vs", a, Circuit::GND, Waveform::Dc(0.0)).unwrap();
+        c.add_vsource("Vs", a, Circuit::GND, Waveform::Dc(0.0))
+            .unwrap();
         c.add_resistor("R1", a, b, 1e3).unwrap();
         c.add_capacitor("C1", b, Circuit::GND, 1e-9).unwrap();
         // f_3dB = 1/(2πRC) ≈ 159.2 kHz.
@@ -209,7 +212,10 @@ mod tests {
         let sweep = c.ac_transfer("Vs", "b", &freqs).unwrap();
         let bw = sweep.bandwidth().unwrap();
         let analytic = 1.0 / (2.0 * core::f64::consts::PI * 1e3 * 1e-9);
-        assert!((bw - analytic).abs() / analytic < 0.05, "bw {bw} vs {analytic}");
+        assert!(
+            (bw - analytic).abs() / analytic < 0.05,
+            "bw {bw} vs {analytic}"
+        );
         // Near-DC gain is unity (the 1 kHz point sits 2×10⁻⁵ below 1),
         // and the phase heads to −90°.
         assert!((sweep.points[0].magnitude - 1.0).abs() < 1e-3);
@@ -222,7 +228,8 @@ mod tests {
         let a = c.node("a");
         let m = c.node("m");
         let b = c.node("b");
-        c.add_vsource("Vs", a, Circuit::GND, Waveform::Dc(0.0)).unwrap();
+        c.add_vsource("Vs", a, Circuit::GND, Waveform::Dc(0.0))
+            .unwrap();
         c.add_resistor("R1", a, m, 10.0).unwrap();
         c.add_inductor("L1", m, b, 1e-6).unwrap();
         c.add_capacitor("C1", b, Circuit::GND, 1e-9).unwrap();
@@ -256,10 +263,14 @@ mod tests {
         // Bias at the switching threshold V_M ≈ 0.497 V (where both
         // devices saturate); off-threshold one device enters triode and
         // the gain collapses.
-        c.add_vsource("Vdd", vdd, Circuit::GND, Waveform::Dc(1.0)).unwrap();
-        c.add_vsource("Vin", vin, Circuit::GND, Waveform::Dc(0.497)).unwrap();
-        c.add_mosfet("Mn", vout, vin, Circuit::GND, MosfetModel::nmos_45nm()).unwrap();
-        c.add_mosfet("Mp", vout, vin, vdd, MosfetModel::pmos_45nm()).unwrap();
+        c.add_vsource("Vdd", vdd, Circuit::GND, Waveform::Dc(1.0))
+            .unwrap();
+        c.add_vsource("Vin", vin, Circuit::GND, Waveform::Dc(0.497))
+            .unwrap();
+        c.add_mosfet("Mn", vout, vin, Circuit::GND, MosfetModel::nmos_45nm())
+            .unwrap();
+        c.add_mosfet("Mp", vout, vin, vdd, MosfetModel::pmos_45nm())
+            .unwrap();
         c.add_capacitor("Cl", vout, Circuit::GND, 1e-15).unwrap();
         let sweep = c.ac_transfer("Vin", "out", &[1e6]).unwrap();
         assert!(
@@ -280,7 +291,8 @@ mod tests {
 
         let mut c = Circuit::new();
         let a = c.node("a");
-        c.add_vsource("Vs", a, Circuit::GND, Waveform::Dc(0.0)).unwrap();
+        c.add_vsource("Vs", a, Circuit::GND, Waveform::Dc(0.0))
+            .unwrap();
         c.add_resistor("R1", a, Circuit::GND, 1e3).unwrap();
         assert!(c.ac_transfer("Vs", "nope", &[1e3]).is_err());
         assert!(c.ac_transfer("nope", "a", &[1e3]).is_err());

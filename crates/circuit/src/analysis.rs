@@ -274,7 +274,13 @@ impl Assembler {
                     self.stamp_current(b, *p, -i);
                     self.stamp_current(b, *n, i);
                 }
-                Element::Mosfet { d, g: gate, s, model, .. } => {
+                Element::Mosfet {
+                    d,
+                    g: gate,
+                    s,
+                    model,
+                    ..
+                } => {
                     self.stamp_mosfet(g, b, *d, *gate, *s, model, &volt);
                 }
             }
@@ -283,6 +289,7 @@ impl Assembler {
 
     /// Stamps the companion model of one MOSFET at the bias point given by
     /// the voltage closure.
+    #[allow(clippy::too_many_arguments)]
     fn stamp_mosfet(
         &self,
         g: &mut DenseMatrix,
@@ -424,9 +431,7 @@ impl Circuit {
 
     fn pack_dc(&self, asm: &Assembler, x: &[f64]) -> DcResult {
         let mut voltages = vec![0.0; self.node_count()];
-        for i in 0..asm.n_nodes {
-            voltages[i + 1] = x[i];
-        }
+        voltages[1..=asm.n_nodes].copy_from_slice(&x[..asm.n_nodes]);
         DcResult {
             names: self.node_names().iter().map(|s| s.to_string()).collect(),
             voltages,
@@ -456,9 +461,7 @@ impl Circuit {
         let mut x = vec![0.0; n];
         if options.from_dc {
             let dc = self.dc_operating_point()?;
-            for i in 0..asm.n_nodes {
-                x[i] = dc.voltages()[i + 1];
-            }
+            x[..asm.n_nodes].copy_from_slice(&dc.voltages()[1..=asm.n_nodes]);
             // Branch currents of the DC solution are recomputed implicitly
             // in the first step; starting them at zero is harmless for the
             // fixed-step integrators used here.
@@ -567,9 +570,7 @@ impl Circuit {
 
     fn sample(&self, asm: &Assembler, x: &[f64]) -> Vec<f64> {
         let mut row = vec![0.0; self.node_count()];
-        for i in 0..asm.n_nodes {
-            row[i + 1] = x[i];
-        }
+        row[1..=asm.n_nodes].copy_from_slice(&x[..asm.n_nodes]);
         row
     }
 
@@ -579,6 +580,7 @@ impl Circuit {
     /// unit phasor (all other independent sources zeroed).
     ///
     /// Returns `(G row-major, C row-major, b, n_unknowns)`.
+    #[allow(clippy::type_complexity)]
     pub(crate) fn small_signal_system(
         &self,
         source: &str,
@@ -603,9 +605,7 @@ impl Circuit {
         let mut x = vec![0.0; n];
         if self.has_nonlinear() {
             let dc = self.dc_operating_point()?;
-            for i in 0..asm.n_nodes {
-                x[i] = dc.voltages()[i + 1];
-            }
+            x[..asm.n_nodes].copy_from_slice(&dc.voltages()[1..=asm.n_nodes]);
         }
 
         let mut g = DenseMatrix::zeros(n);
@@ -651,7 +651,8 @@ mod tests {
         let mut c = Circuit::new();
         let vin = c.node("in");
         let mid = c.node("mid");
-        c.add_vsource("V1", vin, Circuit::GND, Waveform::Dc(3.0)).unwrap();
+        c.add_vsource("V1", vin, Circuit::GND, Waveform::Dc(3.0))
+            .unwrap();
         c.add_resistor("R1", vin, mid, 2e3).unwrap();
         c.add_resistor("R2", mid, Circuit::GND, 1e3).unwrap();
         let dc = c.dc_operating_point().unwrap();
@@ -666,7 +667,8 @@ mod tests {
         let a = c.node("a");
         let b = c.node("b");
         let d = c.node("d");
-        c.add_vsource("V1", a, Circuit::GND, Waveform::Dc(1.0)).unwrap();
+        c.add_vsource("V1", a, Circuit::GND, Waveform::Dc(1.0))
+            .unwrap();
         c.add_resistor("R1", a, Circuit::GND, 1e3).unwrap();
         // Nodes b and d form an island with no path to the rest.
         c.add_resistor("R2", b, d, 1e3).unwrap();
@@ -682,7 +684,8 @@ mod tests {
             let mut c = Circuit::new();
             let vin = c.node("in");
             let vout = c.node("out");
-            c.add_vsource("Vs", vin, Circuit::GND, Waveform::step(1.0)).unwrap();
+            c.add_vsource("Vs", vin, Circuit::GND, Waveform::step(1.0))
+                .unwrap();
             c.add_resistor("R1", vin, vout, 1e3).unwrap();
             c.add_capacitor("C1", vout, Circuit::GND, 1e-9).unwrap();
             let mut opts = TranOptions::new(5e-6, 5e-9);
@@ -708,7 +711,8 @@ mod tests {
         let mut c = Circuit::new();
         let vin = c.node("in");
         let mid = c.node("mid");
-        c.add_vsource("Vs", vin, Circuit::GND, Waveform::step(1.0)).unwrap();
+        c.add_vsource("Vs", vin, Circuit::GND, Waveform::step(1.0))
+            .unwrap();
         c.add_resistor("R1", vin, mid, 1e3).unwrap();
         c.add_inductor("L1", mid, Circuit::GND, 1e-3).unwrap();
         // τ = L/R = 1 µs.
@@ -730,10 +734,14 @@ mod tests {
             let vdd = c.node("vdd");
             let vin = c.node("in");
             let vout = c.node("out");
-            c.add_vsource("Vdd", vdd, Circuit::GND, Waveform::Dc(vdd_v)).unwrap();
-            c.add_vsource("Vin", vin, Circuit::GND, Waveform::Dc(vin_v)).unwrap();
-            c.add_mosfet("Mn", vout, vin, Circuit::GND, MosfetModel::nmos_45nm()).unwrap();
-            c.add_mosfet("Mp", vout, vin, vdd, MosfetModel::pmos_45nm()).unwrap();
+            c.add_vsource("Vdd", vdd, Circuit::GND, Waveform::Dc(vdd_v))
+                .unwrap();
+            c.add_vsource("Vin", vin, Circuit::GND, Waveform::Dc(vin_v))
+                .unwrap();
+            c.add_mosfet("Mn", vout, vin, Circuit::GND, MosfetModel::nmos_45nm())
+                .unwrap();
+            c.add_mosfet("Mp", vout, vin, vdd, MosfetModel::pmos_45nm())
+                .unwrap();
             // Small load keeps the output defined in all regions.
             c.add_resistor("Rload", vout, Circuit::GND, 1e9).unwrap();
             c.dc_operating_point().unwrap().voltage("out").unwrap()
@@ -755,7 +763,8 @@ mod tests {
         let vdd = c.node("vdd");
         let vin = c.node("in");
         let vout = c.node("out");
-        c.add_vsource("Vdd", vdd, Circuit::GND, Waveform::Dc(1.0)).unwrap();
+        c.add_vsource("Vdd", vdd, Circuit::GND, Waveform::Dc(1.0))
+            .unwrap();
         c.add_vsource(
             "Vin",
             vin,
@@ -763,8 +772,10 @@ mod tests {
             Waveform::edge(0.0, 1.0, 20e-12, 10e-12),
         )
         .unwrap();
-        c.add_mosfet("Mn", vout, vin, Circuit::GND, MosfetModel::nmos_45nm()).unwrap();
-        c.add_mosfet("Mp", vout, vin, vdd, MosfetModel::pmos_45nm()).unwrap();
+        c.add_mosfet("Mn", vout, vin, Circuit::GND, MosfetModel::nmos_45nm())
+            .unwrap();
+        c.add_mosfet("Mp", vout, vin, vdd, MosfetModel::pmos_45nm())
+            .unwrap();
         c.add_capacitor("Cl", vout, Circuit::GND, 1e-15).unwrap();
         let tr = c.transient(&TranOptions::new(500e-12, 0.5e-12)).unwrap();
         let first = tr.voltage("out").unwrap()[0];
@@ -790,7 +801,8 @@ mod tests {
             let vin = c.node("in");
             let a = c.node("a");
             let b = c.node("b");
-            c.add_vsource("Vs", vin, Circuit::GND, Waveform::step(1.0)).unwrap();
+            c.add_vsource("Vs", vin, Circuit::GND, Waveform::step(1.0))
+                .unwrap();
             c.add_resistor("R1", vin, a, 1.0).unwrap();
             c.add_inductor("L1", a, b, 1e-6).unwrap();
             c.add_capacitor("C1", b, Circuit::GND, 1e-9).unwrap();

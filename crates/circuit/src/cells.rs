@@ -58,7 +58,13 @@ impl InverterCell {
         output: NodeId,
         vdd: NodeId,
     ) -> Result<()> {
-        circuit.add_mosfet(&format!("{name}_mn"), output, input, Circuit::GND, self.nmos)?;
+        circuit.add_mosfet(
+            &format!("{name}_mn"),
+            output,
+            input,
+            Circuit::GND,
+            self.nmos,
+        )?;
         circuit.add_mosfet(&format!("{name}_mp"), output, input, vdd, self.pmos)?;
         Ok(())
     }
@@ -78,9 +84,15 @@ mod tests {
         let a = c.node("a");
         let b = c.node("b");
         let y = c.node("y");
-        c.add_vsource("Vdd", vdd, Circuit::GND, Waveform::Dc(cell.vdd)).unwrap();
-        c.add_vsource("Vin", a, Circuit::GND, Waveform::edge(0.0, 1.0, 10e-12, 5e-12))
+        c.add_vsource("Vdd", vdd, Circuit::GND, Waveform::Dc(cell.vdd))
             .unwrap();
+        c.add_vsource(
+            "Vin",
+            a,
+            Circuit::GND,
+            Waveform::edge(0.0, 1.0, 10e-12, 5e-12),
+        )
+        .unwrap();
         cell.instantiate(&mut c, "inv1", a, b, vdd).unwrap();
         cell.instantiate(&mut c, "inv2", b, y, vdd).unwrap();
         c.add_capacitor("Cl", y, Circuit::GND, 0.2e-15).unwrap();

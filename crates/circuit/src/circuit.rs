@@ -186,7 +186,7 @@ impl Circuit {
     /// [`Error::InvalidValue`] for non-positive or non-finite resistance;
     /// [`Error::DuplicateElement`] on name reuse.
     pub fn add_resistor(&mut self, name: &str, a: NodeId, b: NodeId, ohms: f64) -> Result<()> {
-        if !(ohms > 0.0) || !ohms.is_finite() {
+        if !ohms.is_finite() || ohms <= 0.0 {
             return Err(Error::InvalidValue {
                 element: name.to_string(),
                 value: ohms,
@@ -207,7 +207,7 @@ impl Circuit {
     /// [`Error::InvalidValue`] for negative or non-finite capacitance;
     /// [`Error::DuplicateElement`] on name reuse.
     pub fn add_capacitor(&mut self, name: &str, a: NodeId, b: NodeId, farads: f64) -> Result<()> {
-        if !(farads >= 0.0) || !farads.is_finite() {
+        if !farads.is_finite() || farads < 0.0 {
             return Err(Error::InvalidValue {
                 element: name.to_string(),
                 value: farads,
@@ -228,7 +228,7 @@ impl Circuit {
     /// [`Error::InvalidValue`] for non-positive or non-finite inductance;
     /// [`Error::DuplicateElement`] on name reuse.
     pub fn add_inductor(&mut self, name: &str, a: NodeId, b: NodeId, henries: f64) -> Result<()> {
-        if !(henries > 0.0) || !henries.is_finite() {
+        if !henries.is_finite() || henries <= 0.0 {
             return Err(Error::InvalidValue {
                 element: name.to_string(),
                 value: henries,

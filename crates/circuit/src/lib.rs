@@ -44,8 +44,8 @@ pub mod ac;
 pub mod analysis;
 pub mod cells;
 pub mod circuit;
-pub mod line;
 pub mod linalg;
+pub mod line;
 pub mod measure;
 pub mod mosfet;
 pub mod parse;
@@ -120,12 +120,20 @@ impl fmt::Display for Error {
             Error::NoConvergence {
                 context,
                 iterations,
-            } => write!(f, "{context}: Newton failed to converge in {iterations} iterations"),
+            } => write!(
+                f,
+                "{context}: Newton failed to converge in {iterations} iterations"
+            ),
             Error::SingularMatrix { row } => {
-                write!(f, "singular MNA matrix at row {row} (floating node or source loop?)")
+                write!(
+                    f,
+                    "singular MNA matrix at row {row} (floating node or source loop?)"
+                )
             }
             Error::InvalidOptions(msg) => write!(f, "invalid analysis options: {msg}"),
-            Error::Parse { line, message } => write!(f, "netlist parse error at line {line}: {message}"),
+            Error::Parse { line, message } => {
+                write!(f, "netlist parse error at line {line}: {message}")
+            }
             Error::InvalidWaveform(msg) => write!(f, "invalid waveform: {msg}"),
         }
     }

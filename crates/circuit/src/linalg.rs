@@ -126,6 +126,9 @@ impl LuFactors {
     /// # Panics
     ///
     /// Panics if `b.len()` does not match the matrix dimension.
+    // Index loops kept as-is: iterator rewrites would regroup the float
+    // accumulation and change bit-exact solver output.
+    #[allow(clippy::needless_range_loop)]
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
         let n = self.lu.n;
         assert_eq!(b.len(), n);
@@ -221,7 +224,9 @@ mod tests {
         let mut m = DenseMatrix::zeros(n);
         let mut seed = 123456789u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5
         };
         for r in 0..n {

@@ -136,9 +136,7 @@ mod tests {
         let b = c.node("b");
         assert!(add_distributed_line(&mut c, "l", a, b, LineTotals::rc(1e3, 1e-13), 0).is_err());
         assert!(add_distributed_line(&mut c, "l", a, b, LineTotals::rc(-1.0, 1e-13), 4).is_err());
-        assert!(
-            add_distributed_line(&mut c, "l", a, b, LineTotals::rc(1e3, -1e-13), 4).is_err()
-        );
+        assert!(add_distributed_line(&mut c, "l", a, b, LineTotals::rc(1e3, -1e-13), 4).is_err());
     }
 
     #[test]
@@ -146,7 +144,8 @@ mod tests {
         let mut c = Circuit::new();
         let a = c.node("a");
         let b = c.node("b");
-        c.add_vsource("V1", a, Circuit::GND, Waveform::Dc(1.0)).unwrap();
+        c.add_vsource("V1", a, Circuit::GND, Waveform::Dc(1.0))
+            .unwrap();
         add_distributed_line(&mut c, "l", a, b, LineTotals::rc(10e3, 1e-13), 7).unwrap();
         c.add_resistor("Rterm", b, Circuit::GND, 10e3).unwrap();
         let dc = c.dc_operating_point().unwrap();
@@ -164,9 +163,9 @@ mod tests {
             let mut c = Circuit::new();
             let a = c.node("a");
             let b = c.node("b");
-            c.add_vsource("V1", a, Circuit::GND, Waveform::step(1.0)).unwrap();
-            add_distributed_line(&mut c, "l", a, b, LineTotals::rc(1e3, 1e-12), segments)
+            c.add_vsource("V1", a, Circuit::GND, Waveform::step(1.0))
                 .unwrap();
+            add_distributed_line(&mut c, "l", a, b, LineTotals::rc(1e3, 1e-12), segments).unwrap();
             let tr = c.transient(&TranOptions::new(8e-9, 4e-12)).unwrap();
             let w = tr.waveform("b").unwrap();
             w.iter().find(|(_, v)| *v >= 0.5).map(|(t, _)| *t).unwrap()
@@ -192,7 +191,8 @@ mod tests {
         let mut c = Circuit::new();
         let a = c.node("a");
         let b = c.node("b");
-        c.add_vsource("V1", a, Circuit::GND, Waveform::step(1.0)).unwrap();
+        c.add_vsource("V1", a, Circuit::GND, Waveform::step(1.0))
+            .unwrap();
         add_distributed_line(
             &mut c,
             "l",
@@ -223,7 +223,8 @@ mod tests {
         let src = c.node("src");
         let a = c.node("a");
         let b = c.node("b");
-        c.add_vsource("V1", src, Circuit::GND, Waveform::step(1.0)).unwrap();
+        c.add_vsource("V1", src, Circuit::GND, Waveform::step(1.0))
+            .unwrap();
         c.add_resistor("Rdrv", src, a, r_drv).unwrap();
         add_distributed_line(&mut c, "l", a, b, totals, 12).unwrap();
         c.add_capacitor("Cload", b, Circuit::GND, c_load).unwrap();

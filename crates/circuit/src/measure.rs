@@ -20,12 +20,7 @@ pub enum Edge {
 /// # Errors
 ///
 /// Returns [`Error::InvalidOptions`] if no crossing exists.
-pub fn crossing_time(
-    wave: &[(f64, f64)],
-    threshold: f64,
-    edge: Edge,
-    t_start: f64,
-) -> Result<f64> {
+pub fn crossing_time(wave: &[(f64, f64)], threshold: f64, edge: Edge, t_start: f64) -> Result<f64> {
     for w in wave.windows(2) {
         let (t0, v0) = w[0];
         let (t1, v1) = w[1];
@@ -117,7 +112,9 @@ pub fn overshoot(wave: &[(f64, f64)], v_initial: f64, v_final: f64) -> Result<f6
         return Err(Error::InvalidOptions("zero swing"));
     }
     let extreme = if swing > 0.0 {
-        wave.iter().map(|(_, v)| *v).fold(f64::NEG_INFINITY, f64::max)
+        wave.iter()
+            .map(|(_, v)| *v)
+            .fold(f64::NEG_INFINITY, f64::max)
     } else {
         wave.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min)
     };
@@ -164,7 +161,9 @@ mod tests {
 
     fn ramp() -> Vec<(f64, f64)> {
         // 0 → 1 V linear ramp over 10 ns, sampled every ns.
-        (0..=10).map(|k| (k as f64 * 1e-9, k as f64 * 0.1)).collect()
+        (0..=10)
+            .map(|k| (k as f64 * 1e-9, k as f64 * 0.1))
+            .collect()
     }
 
     #[test]
@@ -254,10 +253,7 @@ mod tests {
         let w = ramp();
         let tr = rise_time(&w, 0.0, 1.0).unwrap();
         assert!((tr - 8e-9).abs() < 1e-12, "rise {tr}");
-        let mut down: Vec<(f64, f64)> = ramp()
-            .into_iter()
-            .map(|(t, v)| (t, 1.0 - v))
-            .collect();
+        let mut down: Vec<(f64, f64)> = ramp().into_iter().map(|(t, v)| (t, 1.0 - v)).collect();
         down.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         let tf = fall_time(&down, 0.0, 1.0).unwrap();
         assert!((tf - 8e-9).abs() < 1e-12, "fall {tf}");

@@ -175,7 +175,10 @@ mod tests {
             let l = m.evaluate(vgs, vds);
             let dgm = (m.evaluate(vgs + h, vds).id - m.evaluate(vgs - h, vds).id) / (2.0 * h);
             let dgds = (m.evaluate(vgs, vds + h).id - m.evaluate(vgs, vds - h).id) / (2.0 * h);
-            assert!((l.gm - dgm).abs() < 1e-6 * (1.0 + dgm.abs()), "gm at {vgs},{vds}");
+            assert!(
+                (l.gm - dgm).abs() < 1e-6 * (1.0 + dgm.abs()),
+                "gm at {vgs},{vds}"
+            );
             assert!(
                 (l.gds - dgds).abs() < 1e-6 * (1.0 + dgds.abs()),
                 "gds at {vgs},{vds}"

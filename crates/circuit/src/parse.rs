@@ -311,7 +311,10 @@ mod tests {
     fn value_suffixes() {
         let close = |s: &str, v: f64| {
             let got = parse_value(s).unwrap_or_else(|| panic!("'{s}' should parse"));
-            assert!((got - v).abs() <= 1e-12 * v.abs().max(1.0), "'{s}' → {got}, want {v}");
+            assert!(
+                (got - v).abs() <= 1e-12 * v.abs().max(1.0),
+                "'{s}' → {got}, want {v}"
+            );
         };
         close("1k", 1e3);
         close("2.5meg", 2.5e6);

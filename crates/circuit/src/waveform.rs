@@ -222,7 +222,9 @@ mod tests {
     #[test]
     fn validation_catches_bad_shapes() {
         assert!(Waveform::Pwl(vec![]).validate().is_err());
-        assert!(Waveform::Pwl(vec![(0.0, 1.0), (0.0, 2.0)]).validate().is_err());
+        assert!(Waveform::Pwl(vec![(0.0, 1.0), (0.0, 2.0)])
+            .validate()
+            .is_err());
         assert!(Waveform::Pulse {
             v0: 0.0,
             v1: 1.0,

@@ -1,0 +1,149 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the macro/entry surface the workspace's benches use
+//! ([`criterion_group!`], [`criterion_main!`], [`Criterion::bench_function`],
+//! `Bencher::iter`) with a simple wall-clock sampler: per benchmark it warms
+//! up, runs `sample_size` timed samples, and prints min/median/mean. No
+//! statistical regression machinery — just honest numbers on stderr-free
+//! stdout, suitable for the single-binary `cargo bench` flow.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use core::hint::black_box;
+
+/// Benchmark driver (configuration + reporting).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` (which receives a [`Bencher`]) and prints a summary line.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        // Warm-up pass (also sizes the per-sample iteration count).
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher::default();
+            f(&mut bencher);
+            if let Some(per_iter) = bencher.per_iter() {
+                samples.push(per_iter);
+            }
+        }
+        samples.sort_unstable();
+        if samples.is_empty() {
+            println!("bench {id:<44} (no samples)");
+        } else {
+            let min = samples[0];
+            let median = samples[samples.len() / 2];
+            let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+            println!(
+                "bench {id:<44} min {:>12?}  median {:>12?}  mean {:>12?}  ({} samples)",
+                min,
+                median,
+                mean,
+                samples.len()
+            );
+        }
+        self
+    }
+}
+
+/// Times one closure, handed to the benchmark body by
+/// [`Criterion::bench_function`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u32,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, recording total elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate an iteration count targeting ~10 ms per sample so very
+        // fast bodies still get a measurable window.
+        let start = Instant::now();
+        black_box(f());
+        let one = start.elapsed();
+        let iters = if one < Duration::from_micros(100) {
+            (Duration::from_millis(10).as_nanos() / one.as_nanos().max(1)).clamp(1, 10_000) as u32
+        } else {
+            1
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+
+    /// Mean time per iteration of the measured window, if any.
+    fn per_iter(&self) -> Option<Duration> {
+        (self.iters > 0).then(|| self.elapsed / self.iters)
+    }
+}
+
+/// Declares a named group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u32;
+        c.bench_function("smoke/noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            runs += 1;
+        });
+        assert!(runs >= 3);
+    }
+}

@@ -1,0 +1,129 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this crate implements
+//! the subset of proptest used by the workspace's property tests:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * range strategies for floats and integers, tuple strategies,
+//!   [`prop::collection::vec`], `any::<T>()`, and a rudimentary string
+//!   strategy for `&str` regex-style patterns,
+//! * the `prop_map` / `prop_filter` combinators,
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`].
+//!
+//! Differences from the real crate: cases are sampled from a stream seeded
+//! deterministically by the test's module path and name (every run explores
+//! the same cases), and there is **no shrinking** — a failing case panics
+//! with the assertion message directly. That trades minimal counterexamples
+//! for zero dependencies and bit-reproducible CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace mirror so `prop::collection::vec(..)` works after a
+/// `use proptest::prelude::*;` glob, as in the real crate.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Property-test entry macro: wraps `#[test]` functions whose arguments are
+/// drawn from strategies.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///     // In real use this fn carries #[test]; attributes pass through.
+///     fn addition_commutes(a in -1e6_f64..1e6, b in -1e6_f64..1e6) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Internal: expands each `fn name(args in strategies) { .. }` item.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($params:tt)* ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::Config = $cfg;
+                let mut __rng = $crate::test_runner::rng_for(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for __case in 0..__cfg.cases {
+                    $crate::__proptest_bind! { __rng, $body, $($params)* }
+                }
+            }
+        )*
+    };
+}
+
+/// Internal: recursively binds one strategy-drawn argument per step.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, $body:block, ) => { $body };
+    ($rng:ident, $body:block) => { $body };
+    ($rng:ident, $body:block, mut $var:ident in $strat:expr) => {
+        {
+            #[allow(unused_mut)]
+            let mut $var = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+            $body
+        }
+    };
+    ($rng:ident, $body:block, mut $var:ident in $strat:expr, $($rest:tt)*) => {
+        {
+            #[allow(unused_mut)]
+            let mut $var = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+            $crate::__proptest_bind! { $rng, $body, $($rest)* }
+        }
+    };
+    ($rng:ident, $body:block, $var:ident in $strat:expr) => {
+        {
+            let $var = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+            $body
+        }
+    };
+    ($rng:ident, $body:block, $var:ident in $strat:expr, $($rest:tt)*) => {
+        {
+            let $var = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+            $crate::__proptest_bind! { $rng, $body, $($rest)* }
+        }
+    };
+}
+
+/// Asserts a property inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

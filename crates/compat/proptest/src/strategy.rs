@@ -1,0 +1,234 @@
+//! Value-generation strategies.
+
+use core::ops::{Range, RangeInclusive};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A recipe for generating values of one type.
+///
+/// The real proptest `Strategy` produces shrinkable value *trees*; this
+/// offline shim samples plain values. Strategies are sampled by reference
+/// so one instance can drive many cases.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discards values failing `pred`, resampling (up to an internal
+    /// retry cap) until one passes.
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+}
+
+/// Every `&S` where `S: Strategy` is itself a strategy (sampling through).
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn sample(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter '{}' rejected 10000 consecutive samples",
+            self.whence
+        );
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut StdRng) -> f32 {
+        let r = self.start as f64..self.end as f64;
+        rng.gen_range(r) as f32
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),+ $(,)?) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )+
+    };
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {
+        $(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )+
+    };
+}
+
+impl_tuple_strategy!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+);
+
+/// String-pattern strategy for `&str` literals.
+///
+/// The real crate interprets the string as a full regex; this shim only
+/// honours a trailing `{lo,hi}` repetition count and otherwise generates
+/// printable-ASCII strings — sufficient for fuzzing text parsers.
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut StdRng) -> String {
+        let (lo, hi) = parse_repetition(self).unwrap_or((0, 32));
+        let len = rng.gen_range(lo..=hi);
+        (0..len)
+            .map(|_| {
+                // Mostly printable ASCII with some whitespace thrown in.
+                let c = rng.gen_range(0x20u32..0x7f);
+                char::from_u32(c).unwrap_or(' ')
+            })
+            .collect()
+    }
+}
+
+/// Extracts the `{lo,hi}` suffix of a pattern like `"\\PC{0,60}"`.
+fn parse_repetition(pattern: &str) -> Option<(usize, usize)> {
+    let body = pattern.strip_suffix('}')?;
+    let brace = body.rfind('{')?;
+    let (lo, hi) = body[brace + 1..].split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_tuples_map_filter() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = (1usize..30, 1usize..30)
+            .prop_filter("m <= n", |(n, m)| m <= n)
+            .prop_map(|(n, m)| n * 100 + m);
+        for _ in 0..500 {
+            let v = s.sample(&mut rng);
+            assert!(v % 100 <= v / 100);
+        }
+    }
+
+    #[test]
+    fn string_pattern_respects_repetition() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let s = "\\PC{0,60}".sample(&mut rng);
+            assert!(s.chars().count() <= 60);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+        assert_eq!(parse_repetition("x{3,9}"), Some((3, 9)));
+        assert_eq!(parse_repetition("nope"), None);
+    }
+
+    #[test]
+    fn just_yields_its_value() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(Just(41).sample(&mut rng), 41);
+    }
+}

@@ -101,8 +101,7 @@ impl DelayBenchmark {
     ///
     /// Propagates capacitance-geometry validation.
     pub fn line_totals(&self) -> Result<LineTotals> {
-        let ce = self.line.electrostatic_capacitance_per_length()?.farads()
-            * self.length.meters();
+        let ce = self.line.electrostatic_capacitance_per_length()?.farads() * self.length.meters();
         Ok(LineTotals::rc(self.line.resistance(self.length).ohms(), ce))
     }
 
@@ -210,6 +209,65 @@ pub fn delay_ratio(outer_diameter: Length, nc: usize, length: Length) -> Result<
     Ok(doped.estimate_delay()?.seconds() / pristine.estimate_delay()?.seconds())
 }
 
+/// The paper's Fig. 12 diameter axis, nm.
+pub const FIG12_DIAMETERS_NM: [f64; 3] = [10.0, 14.0, 22.0];
+/// The paper's Fig. 12 channels-per-shell axis.
+pub const FIG12_CHANNEL_COUNTS: [usize; 5] = [2, 4, 6, 8, 10];
+/// The paper's Fig. 12 interconnect-length axis, µm.
+pub const FIG12_LENGTHS_UM: [f64; 5] = [10.0, 50.0, 100.0, 200.0, 500.0];
+
+/// One point of a [`delay_ratio_grid`] result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayRatioPoint {
+    /// Outer diameter.
+    pub diameter: Length,
+    /// Channels per shell after doping.
+    pub channels: usize,
+    /// Interconnect length.
+    pub length: Length,
+    /// Elmore delay ratio doped/pristine.
+    pub ratio: f64,
+}
+
+/// The full Fig. 12 grid — every `(diameter, channels, length)` cell —
+/// evaluated on the `cnt-sweep` thread pool (`threads = 0` uses all
+/// cores). Points come back in nested-loop order (diameter outermost,
+/// length innermost), independent of scheduling.
+///
+/// # Errors
+///
+/// Rejects an empty grid and propagates per-cell benchmark errors.
+pub fn delay_ratio_grid(
+    diameters_nm: &[f64],
+    channel_counts: &[usize],
+    lengths_um: &[f64],
+    threads: usize,
+) -> Result<Vec<DelayRatioPoint>> {
+    if diameters_nm.is_empty() || channel_counts.is_empty() || lengths_um.is_empty() {
+        return Err(crate::Error::InvalidParameter {
+            name: "delay-ratio grid axis (empty)",
+            value: 0.0,
+        });
+    }
+    let nc_values: Vec<f64> = channel_counts.iter().map(|&n| n as f64).collect();
+    let plan = cnt_sweep::SweepPlan::new("interconnect.benchmark.delay_ratio_grid")
+        .axis(cnt_sweep::Axis::grid("D_nm", diameters_nm))
+        .axis(cnt_sweep::Axis::grid("Nc", &nc_values))
+        .axis(cnt_sweep::Axis::grid("L_um", lengths_um));
+    let points = cnt_sweep::Executor::new(threads).run(&plan, 0, |job, _| {
+        let d = Length::from_nanometers(job.get("D_nm").expect("axis exists"));
+        let nc = job.get_usize("Nc").expect("axis exists");
+        let l = Length::from_micrometers(job.get("L_um").expect("axis exists"));
+        Ok::<_, crate::Error>(DelayRatioPoint {
+            diameter: d,
+            channels: nc,
+            length: l,
+            ratio: delay_ratio(d, nc, l)?,
+        })
+    })?;
+    Ok(points)
+}
+
 /// Same ratio from full transient simulations (slower; used for anchor
 /// verification).
 ///
@@ -312,8 +370,8 @@ mod tests {
         let mut pristine = DelayBenchmark::paper_fig12(nm(10.0), 2, um(500.0)).unwrap();
         doped.driver = DriverModel::Inverter(InverterCell::inv_45nm());
         pristine.driver = DriverModel::Inverter(InverterCell::inv_45nm());
-        let ratio =
-            doped.estimate_delay().unwrap().seconds() / pristine.estimate_delay().unwrap().seconds();
+        let ratio = doped.estimate_delay().unwrap().seconds()
+            / pristine.estimate_delay().unwrap().seconds();
         assert!(ratio < 0.5, "strong drive ratio {ratio}");
     }
 
@@ -335,7 +393,39 @@ mod tests {
         // And the absolute corner sits near 1/(2π·t50-ish).
         let est = pristine.estimate_delay().unwrap().seconds();
         let corner = 1.0 / (2.0 * core::f64::consts::PI * est);
-        assert!((0.2..5.0).contains(&(bw_p / corner)), "bw/corner {}", bw_p / corner);
+        assert!(
+            (0.2..5.0).contains(&(bw_p / corner)),
+            "bw/corner {}",
+            bw_p / corner
+        );
+    }
+
+    #[test]
+    fn grid_matches_pointwise_calls_at_any_thread_count() {
+        let d = [10.0, 14.0];
+        let nc = [2usize, 6];
+        let l = [10.0, 500.0];
+        let serial = delay_ratio_grid(&d, &nc, &l, 1).unwrap();
+        let par = delay_ratio_grid(&d, &nc, &l, 4).unwrap();
+        assert_eq!(serial, par);
+        assert_eq!(serial.len(), 8);
+        // Nested-loop order, innermost length — and each point equals the
+        // scalar path bit-for-bit.
+        let mut k = 0;
+        for &dd in &d {
+            for &n in &nc {
+                for &ll in &l {
+                    let p = &serial[k];
+                    assert_eq!(p.diameter, nm(dd));
+                    assert_eq!(p.channels, n);
+                    assert_eq!(p.length, um(ll));
+                    let scalar = delay_ratio(nm(dd), n, um(ll)).unwrap();
+                    assert_eq!(p.ratio.to_bits(), scalar.to_bits());
+                    k += 1;
+                }
+            }
+        }
+        assert!(delay_ratio_grid(&[], &nc, &l, 1).is_err());
     }
 
     #[test]

@@ -53,12 +53,7 @@ pub fn disorder_from_growth(growth: &GrowthResult) -> f64 {
 /// Propagates NEGF construction errors.
 pub fn mfp_from_growth(growth: &GrowthResult, seed: u64) -> Result<Length> {
     let disorder = disorder_from_growth(growth);
-    let chain = DisorderedChain::new(
-        600,
-        GAMMA0_EV,
-        disorder,
-        Length::from_nanometers(0.25),
-    )?;
+    let chain = DisorderedChain::new(600, GAMMA0_EV, disorder, Length::from_nanometers(0.25))?;
     let mut rng = StdRng::seed_from_u64(seed);
     let mfp = chain.mean_free_path(0.0, 80, &mut rng);
     // The ballistic limit reports ∞; cap at the clean-tube λ ≈ 1 µm.
@@ -108,7 +103,11 @@ mod tests {
     #[test]
     fn reference_tube_matches_fig8_anchors() {
         let cal = calibrate_reference_tube(t300()).unwrap();
-        assert!((cal.pristine - 2.0).abs() < 0.1, "pristine {}", cal.pristine);
+        assert!(
+            (cal.pristine - 2.0).abs() < 0.1,
+            "pristine {}",
+            cal.pristine
+        );
         assert!((cal.doped - 5.0).abs() < 0.15, "doped {}", cal.doped);
         assert!((cal.enhancement - 2.5).abs() < 0.15);
     }
@@ -134,9 +133,10 @@ mod tests {
 
     #[test]
     fn mfp_is_capped_at_clean_limit() {
-        let perfect = GrowthRecipe::thermal(Catalyst::Cobalt, Catalyst::Cobalt.optimal_temperature())
-            .simulate()
-            .unwrap();
+        let perfect =
+            GrowthRecipe::thermal(Catalyst::Cobalt, Catalyst::Cobalt.optimal_temperature())
+                .simulate()
+                .unwrap();
         let mfp = mfp_from_growth(&perfect, 2).unwrap();
         assert!(mfp.micrometers() <= 1.0 + 1e-12);
         assert!(mfp.nanometers() > 50.0);

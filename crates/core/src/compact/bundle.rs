@@ -56,7 +56,13 @@ impl BundleInterconnect {
         density_per_m2: f64,
         channels_per_tube: f64,
     ) -> Result<Self> {
-        Self::new(width, height, tube_diameter, density_per_m2, channels_per_tube)
+        Self::new(
+            width,
+            height,
+            tube_diameter,
+            density_per_m2,
+            channels_per_tube,
+        )
     }
 
     fn new(
@@ -102,8 +108,7 @@ impl BundleInterconnect {
     /// Two-terminal resistance at length `l` (ideal contacts).
     pub fn resistance(&self, l: Length) -> Resistance {
         let lambda = self.tube_diameter.meters() * MFP_DIAMETER_RATIO;
-        let per_tube =
-            self.channels_per_tube * G0_SIEMENS / (1.0 + l.meters() / lambda);
+        let per_tube = self.channels_per_tube * G0_SIEMENS / (1.0 + l.meters() / lambda);
         Resistance::from_ohms(1.0 / (self.tube_count() * per_tube))
     }
 
@@ -114,9 +119,12 @@ impl BundleInterconnect {
     ///
     /// Propagates geometry validation.
     pub fn capacitance_per_length(&self) -> Result<Capacitance> {
-        let equiv_d = 2.0
-            * (self.width.meters() * self.height.meters() / core::f64::consts::PI).sqrt();
-        wire_over_plane_capacitance(Length::from_meters(equiv_d), WireEnvironment::beol_default())
+        let equiv_d =
+            2.0 * (self.width.meters() * self.height.meters() / core::f64::consts::PI).sqrt();
+        wire_over_plane_capacitance(
+            Length::from_meters(equiv_d),
+            WireEnvironment::beol_default(),
+        )
     }
 
     /// The §I density floor, 1/m².

@@ -144,7 +144,10 @@ mod tests {
         assert!(sigma_ratio < 1.0, "σ ratio {sigma_ratio}");
         assert!(sigma_ratio > 0.4, "σ ratio {sigma_ratio}");
         // … ampacity gains two orders of magnitude.
-        assert!((amp_ratio - 100.0).abs() / 100.0 < 1e-6, "ampacity ratio {amp_ratio}");
+        assert!(
+            (amp_ratio - 100.0).abs() / 100.0 < 1e-6,
+            "ampacity ratio {amp_ratio}"
+        );
     }
 
     #[test]

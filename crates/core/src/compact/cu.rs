@@ -128,8 +128,7 @@ impl CuWire {
         // sidewall pairs).
         let w = self.width.meters() - 2.0 * self.barrier.meters();
         let h = self.height.meters() - 2.0 * self.barrier.meters();
-        let fs = 1.0
-            + 0.375 * (1.0 - self.specularity) * LAMBDA_CU * (1.0 / w + 1.0 / h);
+        let fs = 1.0 + 0.375 * (1.0 - self.specularity) * LAMBDA_CU * (1.0 / w + 1.0 / h);
         Resistivity::from_ohm_meters(RHO_CU_BULK * (ms + fs - 1.0))
     }
 

@@ -52,10 +52,7 @@ impl WireEnvironment {
 /// assert!((20.0..100.0).contains(&af_per_um));
 /// # Ok::<(), cnt_interconnect::Error>(())
 /// ```
-pub fn wire_over_plane_capacitance(
-    diameter: Length,
-    env: WireEnvironment,
-) -> Result<Capacitance> {
+pub fn wire_over_plane_capacitance(diameter: Length, env: WireEnvironment) -> Result<Capacitance> {
     let r = diameter.meters() / 2.0;
     let h = env.height.meters();
     if r <= 0.0 {
@@ -127,10 +124,7 @@ mod tests {
         let thin = wire_over_plane_capacitance(Length::from_nanometers(5.0), env).unwrap();
         let thick = wire_over_plane_capacitance(Length::from_nanometers(22.0), env).unwrap();
         assert!(thick.farads() > thin.farads());
-        let lowk = WireEnvironment {
-            eps_r: 2.0,
-            ..env
-        };
+        let lowk = WireEnvironment { eps_r: 2.0, ..env };
         let c_lowk = wire_over_plane_capacitance(Length::from_nanometers(22.0), lowk).unwrap();
         assert!((c_lowk.farads() / thick.farads() - 2.0 / env.eps_r).abs() < 1e-12);
     }
@@ -143,7 +137,9 @@ mod tests {
         };
         // height < radius:
         assert!(wire_over_plane_capacitance(Length::from_nanometers(10.0), env).is_err());
-        assert!(wire_over_plane_capacitance(Length::ZERO, WireEnvironment::beol_default()).is_err());
+        assert!(
+            wire_over_plane_capacitance(Length::ZERO, WireEnvironment::beol_default()).is_err()
+        );
         assert!(parallel_wire_capacitance(
             Length::from_nanometers(10.0),
             Length::from_nanometers(5.0),

@@ -363,7 +363,7 @@ mod tests {
         let small = ShellChannelModel::NaeemiStatistical.channels(nm(5.0));
         let large = ShellChannelModel::NaeemiStatistical.channels(nm(50.0));
         assert!((tiny - 2.0 / 3.0).abs() < 1e-9, "floor region: {tiny}");
-        assert!(small < 1.0 && small >= 2.0 / 3.0, "5 nm shell: {small}");
+        assert!((2.0 / 3.0..1.0).contains(&small), "5 nm shell: {small}");
         assert!(large > 5.0, "50 nm shell: {large}");
     }
 

@@ -104,8 +104,7 @@ impl SwcntInterconnect {
 
     /// Two-terminal resistance at length `l`.
     pub fn resistance(&self, l: Length) -> Resistance {
-        let intrinsic =
-            (1.0 + l.meters() / self.mfp.meters()) / (self.channels * G0_SIEMENS);
+        let intrinsic = (1.0 + l.meters() / self.mfp.meters()) / (self.channels * G0_SIEMENS);
         Resistance::from_ohms(intrinsic + 2.0 * self.contact_resistance.ohms())
     }
 
@@ -116,8 +115,8 @@ impl SwcntInterconnect {
     ///
     /// Propagates geometry validation.
     pub fn capacitance(&self, l: Length) -> Result<Capacitance> {
-        let ce = wire_over_plane_capacitance(self.diameter, self.environment)?.farads()
-            * l.meters();
+        let ce =
+            wire_over_plane_capacitance(self.diameter, self.environment)?.farads() * l.meters();
         let cq = self.channels * CQ_PER_CHANNEL * l.meters();
         Ok(Capacitance::from_farads(ce * cq / (ce + cq)))
     }
@@ -153,7 +152,10 @@ mod tests {
     fn ballistic_resistance_is_r0_over_2() {
         let t = SwcntInterconnect::metallic(nm(1.0)).unwrap();
         let r = t.resistance(Length::from_nanometers(0.01)).ohms();
-        assert!((r - cnt_units::consts::R0_OHMS / 2.0).abs() < 20.0, "R = {r}");
+        assert!(
+            (r - cnt_units::consts::R0_OHMS / 2.0).abs() < 20.0,
+            "R = {r}"
+        );
     }
 
     #[test]
@@ -167,7 +169,9 @@ mod tests {
     #[test]
     fn contacts_and_doping_modifiers() {
         let base = SwcntInterconnect::metallic(nm(1.0)).unwrap();
-        let contacted = base.with_contacts(Resistance::from_kilo_ohms(15.0)).unwrap();
+        let contacted = base
+            .with_contacts(Resistance::from_kilo_ohms(15.0))
+            .unwrap();
         assert!(
             (contacted.resistance(um(1.0)).ohms() - base.resistance(um(1.0)).ohms() - 30e3).abs()
                 < 1.0

@@ -68,8 +68,11 @@ pub fn fig08b() -> Result<Report> {
         .iter()
         .filter(|a| a.element == geometry::Element::I)
         .count();
-    let mut rep = Report::new("fig08b", "Atomic structures of CNT(7,7), pristine and iodine-doped")
-        .with_columns(&["atoms"]);
+    let mut rep = Report::new(
+        "fig08b",
+        "Atomic structures of CNT(7,7), pristine and iodine-doped",
+    )
+    .with_columns(&["atoms"]);
     rep.push_labeled_row("pristine_c_atoms", vec![(pristine.len()) as f64]);
     rep.push_labeled_row("doped_total_atoms", vec![doped.len() as f64]);
     rep.push_labeled_row("iodine_atoms", vec![iodine as f64]);
@@ -160,7 +163,10 @@ mod tests {
     #[test]
     fn fig08b_structures_exist() {
         let rep = fig08b().unwrap();
-        assert!(rep.column("atoms").unwrap()[2] > 5.0, "iodine chain present");
+        assert!(
+            rep.column("atoms").unwrap()[2] > 5.0,
+            "iodine chain present"
+        );
         let (p, d) = fig08b_structures().unwrap();
         assert!(p.contains("C "));
         assert!(d.contains("I "));

@@ -2,7 +2,10 @@
 //! the circuit benchmark and the delay-ratio study.
 
 use super::Report;
-use crate::benchmark::{delay_ratio, delay_ratio_simulated, DelayBenchmark};
+use crate::benchmark::{
+    delay_ratio, delay_ratio_grid, delay_ratio_simulated, DelayBenchmark, FIG12_CHANNEL_COUNTS,
+    FIG12_DIAMETERS_NM, FIG12_LENGTHS_UM,
+};
 use crate::compact::{CuWire, DopedMwcnt, SwcntInterconnect};
 use crate::Result;
 use cnt_fields::extract::{extract_capacitance, extract_resistance};
@@ -56,11 +59,7 @@ pub fn fig09() -> Result<Report> {
         ]);
     }
     // Locate the CNT/Cu crossover for the 20 nm-class pair.
-    let crossover = rep
-        .rows
-        .iter()
-        .find(|r| r[3] > r[4])
-        .map(|r| r[0]);
+    let crossover = rep.rows.iter().find(|r| r[3] > r[4]).map(|r| r[0]);
     match crossover {
         Some(l) => rep.note(format!(
             "MWCNT(d=20 nm) overtakes Cu(w=20 nm) at L ≈ {l} µm (ballistic-to-diffusive crossover)"
@@ -107,7 +106,10 @@ pub fn fig10() -> Result<Report> {
     ));
 
     // Resistance detail (Fig. 10b): Cu via stack.
-    let sigma_cu = 1.0 / CuWire::damascene(nm(32.0), nm(60.0))?.resistivity().ohm_meters();
+    let sigma_cu = 1.0
+        / CuWire::damascene(nm(32.0), nm(60.0))?
+            .resistivity()
+            .ohm_meters();
     let stack = via_stack(geometry, sigma_cu).build([41, 7, 13])?;
     let res = extract_resistance(&stack, "t_m1", "t_m2", &SolverOptions::default())?;
     rep.note(format!(
@@ -143,7 +145,13 @@ pub fn fig11() -> Result<Report> {
         "fig11",
         "Circuit benchmark: driver + doped MWCNT line + 45 nm receiver",
     )
-    .with_columns(&["L_um", "R_line_kohm", "C_line_fF", "delay_est_ns", "delay_sim_ns"]);
+    .with_columns(&[
+        "L_um",
+        "R_line_kohm",
+        "C_line_fF",
+        "delay_est_ns",
+        "delay_sim_ns",
+    ]);
     for &l_um in &[10.0, 100.0, 500.0] {
         let b = DelayBenchmark::paper_fig12(nm(10.0), 2, um(l_um))?;
         let totals = b.line_totals()?;
@@ -165,6 +173,10 @@ pub fn fig11() -> Result<Report> {
 /// Fig. 12: delay ratio of doped vs pristine MWCNT interconnects over
 /// interconnect length and channels per shell, for D = 10/14/22 nm.
 ///
+/// The 75-cell grid is evaluated on the `cnt-sweep` pool (all cores);
+/// row order and values are identical to the serial nested loops this
+/// replaced.
+///
 /// # Errors
 ///
 /// Propagates benchmark errors.
@@ -174,10 +186,18 @@ pub fn fig12() -> Result<Report> {
         "Delay ratio doped/pristine vs length and Nc per shell",
     )
     .with_columns(&["D_nm", "Nc", "L_um", "delay_ratio"]);
-    for &d in &[10.0, 14.0, 22.0] {
-        for &nc in &[2usize, 4, 6, 8, 10] {
-            for &l in &[10.0, 50.0, 100.0, 200.0, 500.0] {
-                rep.push_row(vec![d, nc as f64, l, delay_ratio(nm(d), nc, um(l))?]);
+    let grid = delay_ratio_grid(
+        &FIG12_DIAMETERS_NM,
+        &FIG12_CHANNEL_COUNTS,
+        &FIG12_LENGTHS_UM,
+        0,
+    )?;
+    let mut points = grid.iter();
+    for &d in &FIG12_DIAMETERS_NM {
+        for &nc in &FIG12_CHANNEL_COUNTS {
+            for &l in &FIG12_LENGTHS_UM {
+                let p = points.next().expect("grid covers the nested loops");
+                rep.push_row(vec![d, nc as f64, l, p.ratio]);
             }
         }
     }

@@ -71,7 +71,9 @@ pub fn fig02d() -> Result<Report> {
         rp.kilo_ohms(),
         rd.kilo_ohms()
     ));
-    rep.note("device: d = 7.5 nm MWCNT from the 30 nm via-hole platform, 1 µm channel, Pd/Au contacts");
+    rep.note(
+        "device: d = 7.5 nm MWCNT from the 30 nm via-hole platform, 1 µm channel, Pd/Au contacts",
+    );
     Ok(rep)
 }
 

@@ -11,6 +11,7 @@ mod measure_figs;
 mod process_figs;
 mod reliability_figs;
 mod report;
+mod sweep_figs;
 mod technology_figs;
 
 pub use atomistic_figs::{fig08a, fig08b, fig08b_structures, fig08c};
@@ -19,24 +20,36 @@ pub use measure_figs::{fig02d, selfheat, tlm};
 pub use process_figs::{fig04, fig05, fig06, fig07};
 pub use reliability_figs::{fig03, fig13a, fig13b, stability, table1};
 pub use report::Report;
+pub use sweep_figs::{run_sweep, SweepOpts, SweepRun, SWEEP_IDS};
 pub use technology_figs::fig01;
 
 use crate::Result;
 
 /// All experiment ids, in paper order.
 pub const ALL_IDS: [&str; 19] = [
-    "table1", "fig01", "fig02d", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08a",
-    "fig08b", "fig08c", "fig09", "fig10", "fig11", "fig12", "fig13a", "fig13b", "tlm",
-    "selfheat",
+    "table1", "fig01", "fig02d", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08a", "fig08b",
+    "fig08c", "fig09", "fig10", "fig11", "fig12", "fig13a", "fig13b", "tlm", "selfheat",
 ];
+
+/// Alias ids accepted by [`run`] alongside [`ALL_IDS`] — extra named
+/// studies that back prose claims rather than numbered figures. Listing
+/// and dispatch both derive from this table; don't special-case ids in
+/// the harness.
+pub const ALIAS_IDS: [&str; 1] = ["stability"];
+
+/// Every id [`run`] accepts: the paper-ordered [`ALL_IDS`] followed by
+/// [`ALIAS_IDS`].
+pub fn catalog() -> impl Iterator<Item = &'static str> {
+    ALL_IDS.into_iter().chain(ALIAS_IDS)
+}
 
 /// Runs one experiment by id.
 ///
 /// # Errors
 ///
 /// Returns [`crate::Error::InvalidParameter`] for an unknown id and
-/// propagates the experiment's own errors. The `"stability"` id is an
-/// alias accepted alongside the 18 primary ids (it backs the fig03 claim).
+/// propagates the experiment's own errors. Accepts every id in
+/// [`catalog`] — [`ALL_IDS`] plus the [`ALIAS_IDS`] extras.
 pub fn run(id: &str) -> Result<Report> {
     match id {
         "table1" => table1(),
@@ -72,12 +85,37 @@ mod tests {
 
     #[test]
     fn dispatcher_knows_every_id() {
-        for id in ALL_IDS {
+        for id in catalog() {
             let rep = run(id).unwrap_or_else(|e| panic!("{id} failed: {e}"));
             assert_eq!(rep.id, id);
-            assert!(!rep.rows.is_empty() || !rep.notes.is_empty(), "{id} is empty");
+            assert!(
+                !rep.rows.is_empty() || !rep.notes.is_empty(),
+                "{id} is empty"
+            );
         }
-        assert!(run("stability").is_ok());
         assert!(run("nope").is_err());
+    }
+
+    #[test]
+    fn catalog_is_all_ids_plus_aliases() {
+        let ids: Vec<&str> = catalog().collect();
+        assert_eq!(ids.len(), ALL_IDS.len() + ALIAS_IDS.len());
+        assert_eq!(&ids[..ALL_IDS.len()], &ALL_IDS);
+        assert_eq!(&ids[ALL_IDS.len()..], &ALIAS_IDS);
+        // Aliases never shadow a primary id.
+        for alias in ALIAS_IDS {
+            assert!(!ALL_IDS.contains(&alias), "{alias} duplicated");
+        }
+    }
+
+    #[test]
+    fn sweep_ids_are_a_subset_of_known_experiments() {
+        for id in SWEEP_IDS {
+            // Every sweep id is either a primary figure or a named study.
+            assert!(
+                catalog().any(|known| known == id) || id == "variability",
+                "sweep id {id} unknown"
+            );
+        }
     }
 }

@@ -3,10 +3,34 @@
 
 use super::Report;
 use crate::Result;
-use cnt_process::composite::{CarpetOrientation, CompositeRecipe, DepositionMethod};
+use cnt_process::composite::{CarpetOrientation, CompositeRecipe, DepositionMethod, FillResult};
 use cnt_process::growth::{temperature_sweep, Catalyst};
 use cnt_process::wafer::WaferMap;
+use cnt_sweep::{Axis, Executor, SweepPlan};
 use cnt_units::si::Temperature;
+
+/// Simulates the Fig. 6/7 impregnation recipe across an aspect-ratio grid
+/// on the `cnt-sweep` pool; results come back in grid order.
+fn fill_sweep(
+    method: DepositionMethod,
+    orientation: CarpetOrientation,
+    conductive_seed: bool,
+    aspect_ratios: &[f64],
+) -> Result<Vec<FillResult>> {
+    let plan =
+        SweepPlan::new("experiments.process.fill").axis(Axis::grid("aspect_ratio", aspect_ratios));
+    let results = Executor::new(0).run(&plan, 0, |job, _| {
+        CompositeRecipe {
+            method,
+            orientation,
+            aspect_ratio: job.get("aspect_ratio").expect("axis exists"),
+            conductive_seed,
+            cnt_volume_fraction: 0.3,
+        }
+        .simulate()
+    })?;
+    Ok(results)
+}
 
 /// Fig. 4: CNT growth with Co catalyst at different temperatures (Fe shown
 /// for contrast), pushing growth into the CMOS-compatible window.
@@ -43,7 +67,9 @@ pub fn fig04() -> Result<Report> {
             f.is_viable() as u8 as f64,
         ]);
     }
-    let co_at_budget = co.iter().find(|r| r.recipe.temperature.celsius() <= 400.0 && r.is_viable());
+    let co_at_budget = co
+        .iter()
+        .find(|r| r.recipe.temperature.celsius() <= 400.0 && r.is_viable());
     rep.note(match co_at_budget {
         Some(r) => format!(
             "Co grows viable CNTs at {:.0} °C (≤ 400 °C BEOL budget): rate {:.2} µm/min, D/G {:.2}",
@@ -70,9 +96,8 @@ pub fn fig05() -> Result<Report> {
         .with_columns(&["r_band_lo", "r_band_hi", "mean_norm_thickness"]);
     for band in 0..5 {
         let lo = band as f64 * 0.2;
-        let hi = lo + 0.2;
-        if let Some(m) = map.radial_band_mean(lo, hi) {
-            rep.push_row(vec![lo, hi, m]);
+        if let Some(m) = map.radial_band_mean(lo, lo + 0.2) {
+            rep.push_row(vec![lo, lo + 0.2, m]);
         }
     }
     rep.note(format!(
@@ -93,18 +118,26 @@ pub fn fig05() -> Result<Report> {
 ///
 /// Propagates composite-model errors.
 pub fn fig06() -> Result<Report> {
-    let mut rep = Report::new("fig06", "ELD Cu impregnation of VA-CNT carpets")
-        .with_columns(&["aspect_ratio", "fill_fraction", "void_prob", "overburden_nm"]);
-    for &ar in &[0.5, 1.0, 2.0, 4.0, 8.0] {
-        let r = CompositeRecipe {
-            method: DepositionMethod::Electroless,
-            orientation: CarpetOrientation::Vertical,
-            aspect_ratio: ar,
-            conductive_seed: false,
-            cnt_volume_fraction: 0.3,
-        }
-        .simulate()?;
-        rep.push_row(vec![ar, r.fill_fraction, r.void_probability, r.overburden_nm]);
+    let mut rep = Report::new("fig06", "ELD Cu impregnation of VA-CNT carpets").with_columns(&[
+        "aspect_ratio",
+        "fill_fraction",
+        "void_prob",
+        "overburden_nm",
+    ]);
+    let ars = [0.5, 1.0, 2.0, 4.0, 8.0];
+    let fills = fill_sweep(
+        DepositionMethod::Electroless,
+        CarpetOrientation::Vertical,
+        false,
+        &ars,
+    )?;
+    for (ar, r) in ars.iter().zip(&fills) {
+        rep.push_row(vec![
+            *ar,
+            r.fill_fraction,
+            r.void_probability,
+            r.overburden_nm,
+        ]);
     }
     rep.note("ELD needs no seed but leaves a Cu overburden (the crystal overgrowth of Fig. 6)");
     Ok(rep)
@@ -119,17 +152,16 @@ pub fn fig06() -> Result<Report> {
 pub fn fig07() -> Result<Report> {
     let mut rep = Report::new("fig07", "ECD Cu impregnation of HA-CNT bundles (void-free)")
         .with_columns(&["aspect_ratio", "fill_fraction", "void_prob", "void_free"]);
-    for &ar in &[0.5, 1.0, 2.0, 4.0, 8.0] {
-        let r = CompositeRecipe {
-            method: DepositionMethod::Electrochemical,
-            orientation: CarpetOrientation::Horizontal,
-            aspect_ratio: ar,
-            conductive_seed: true,
-            cnt_volume_fraction: 0.3,
-        }
-        .simulate()?;
+    let ars = [0.5, 1.0, 2.0, 4.0, 8.0];
+    let fills = fill_sweep(
+        DepositionMethod::Electrochemical,
+        CarpetOrientation::Horizontal,
+        true,
+        &ars,
+    )?;
+    for (ar, r) in ars.iter().zip(&fills) {
         rep.push_row(vec![
-            ar,
+            *ar,
             r.fill_fraction,
             r.void_probability,
             r.is_void_free() as u8 as f64,
@@ -196,6 +228,10 @@ mod tests {
         // ECD stays void-free across the sweep.
         assert!(ecd.column("void_free").unwrap().iter().all(|v| *v == 1.0));
         // ELD always shows its overburden.
-        assert!(eld.column("overburden_nm").unwrap().iter().all(|v| *v > 100.0));
+        assert!(eld
+            .column("overburden_nm")
+            .unwrap()
+            .iter()
+            .all(|v| *v > 100.0));
     }
 }

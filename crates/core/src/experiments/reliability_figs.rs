@@ -4,8 +4,7 @@
 use super::Report;
 use crate::Result;
 use cnt_reliability::ampacity::{
-    cnt_count_for_cu_parity, cnt_density_floor_per_nm2, single_cnt_max_current,
-    ConductorMaterial,
+    cnt_count_for_cu_parity, cnt_density_floor_per_nm2, single_cnt_max_current, ConductorMaterial,
 };
 use cnt_reliability::dopant_migration::{
     run_stress_test, stem_radial_histogram, DopantSite, StressTest,
@@ -13,6 +12,7 @@ use cnt_reliability::dopant_migration::{
 use cnt_reliability::em::BlackModel;
 use cnt_reliability::layout::{standard_em_layout, TestStructure};
 use cnt_reliability::wafer_char::{characterize_wafer, WaferCharSetup};
+use cnt_sweep::{Axis, Executor, SweepPlan};
 use cnt_units::consts::{KTH_CNT_HIGH, KTH_CNT_LOW, KTH_CU};
 use cnt_units::si::{CurrentDensity, Length, Temperature, Time};
 
@@ -24,8 +24,10 @@ use cnt_units::si::{CurrentDensity, Length, Temperature, Time};
 pub fn table1() -> Result<Report> {
     let mut rep = Report::new("table1", "Materials comparison (Section I prose claims)")
         .with_columns(&["value"]);
-    let cu_wire = ConductorMaterial::Copper
-        .max_current(Length::from_nanometers(100.0), Length::from_nanometers(50.0))?;
+    let cu_wire = ConductorMaterial::Copper.max_current(
+        Length::from_nanometers(100.0),
+        Length::from_nanometers(50.0),
+    )?;
     rep.push_labeled_row("cu_100x50nm_max_uA", vec![cu_wire.microamps()]);
     rep.push_labeled_row(
         "cnt_d1nm_max_uA",
@@ -50,7 +52,10 @@ pub fn table1() -> Result<Report> {
             Length::from_nanometers(50.0),
         ) as f64],
     );
-    rep.push_labeled_row("cnt_density_floor_per_nm2", vec![cnt_density_floor_per_nm2()]);
+    rep.push_labeled_row(
+        "cnt_density_floor_per_nm2",
+        vec![cnt_density_floor_per_nm2()],
+    );
     rep.push_labeled_row("kth_cu_W_mK", vec![KTH_CU]);
     rep.push_labeled_row("kth_cnt_low_W_mK", vec![KTH_CNT_LOW]);
     rep.push_labeled_row("kth_cnt_high_W_mK", vec![KTH_CNT_HIGH]);
@@ -76,7 +81,9 @@ pub fn fig03() -> Result<Report> {
     for ((c, i), e) in centers.iter().zip(&internal).zip(&external) {
         rep.push_row(vec![*c, *i as f64, *e as f64]);
     }
-    rep.note("wall radius 3.75 nm: internal counts pile up inside, external in the vdW shell outside");
+    rep.note(
+        "wall radius 3.75 nm: internal counts pile up inside, external in the vdW shell outside",
+    );
     rep.note("paper: 'the bright dots are individual Pt atoms … dopants are composed of an amorphous network of Pt and Cl'");
     Ok(rep)
 }
@@ -134,8 +141,21 @@ pub fn fig13b() -> Result<Report> {
         angle_degrees: 0.0,
     };
     let target = Time::from_hours(2000.0);
-    let cu = characterize_wafer(&WaferCharSetup::copper_reference(), &line, target, 13)?;
-    let composite = characterize_wafer(&WaferCharSetup::composite(), &line, target, 13)?;
+    // The two wafer characterizations are independent; run them as a
+    // two-job cnt-sweep plan (the fixed seed 13 is part of the artefact's
+    // identity, so the job streams are deliberately unused).
+    let plan = SweepPlan::new("experiments.reliability.fig13b.setups")
+        .axis(Axis::grid("setup", &[0.0, 1.0]));
+    let mut reports = Executor::new(0).run(&plan, 0, |job, _| {
+        let setup = if job.get_usize("setup").expect("axis exists") == 0 {
+            WaferCharSetup::copper_reference()
+        } else {
+            WaferCharSetup::composite()
+        };
+        characterize_wafer(&setup, &line, target, 13)
+    })?;
+    let composite = reports.pop().expect("two jobs ran");
+    let cu = reports.pop().expect("two jobs ran");
 
     let mut rep = Report::new(
         "fig13b",
@@ -243,7 +263,10 @@ mod tests {
             .map(|(_, c)| c)
             .sum();
         assert!(inside > 3800.0, "internal dopants live inside: {inside}");
-        assert!(outside_ext > 3800.0, "external dopants live outside: {outside_ext}");
+        assert!(
+            outside_ext > 3800.0,
+            "external dopants live outside: {outside_ext}"
+        );
     }
 
     #[test]

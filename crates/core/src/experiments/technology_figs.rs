@@ -64,7 +64,10 @@ pub fn fig01() -> Result<Report> {
         BundleInterconnect::itrs_density_floor(),
         5.0,
     )?;
-    let cu_ref = CuWire::damascene(Length::from_nanometers(100.0), Length::from_nanometers(50.0))?;
+    let cu_ref = CuWire::damascene(
+        Length::from_nanometers(100.0),
+        Length::from_nanometers(50.0),
+    )?;
     let l = Length::from_micrometers(1.0);
     rep.note(format!(
         "density floor check: doped bundle at 0.096 nm⁻² gives {} vs Cu {} over 1 µm",

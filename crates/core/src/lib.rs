@@ -94,7 +94,8 @@ layer_from!(
     cnt_process::Error,
     cnt_thermal::Error,
     cnt_reliability::Error,
-    cnt_measure::Error
+    cnt_measure::Error,
+    cnt_sweep::Error
 );
 
 /// Crate-level result alias.

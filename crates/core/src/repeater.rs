@@ -161,8 +161,7 @@ mod tests {
             .unwrap()
             .farads()
             * l.meters();
-        let s_opt =
-            (base.drive_resistance() * c_w / (r_w * base.input_capacitance())).sqrt();
+        let s_opt = (base.drive_resistance() * c_w / (r_w * base.input_capacitance())).sqrt();
         let delay_at = |s: f64| {
             optimize_repeaters(&line, l, &base.scaled(s))
                 .unwrap()

@@ -133,12 +133,7 @@ pub fn assess(class: &WireClass) -> Result<Assessment> {
             let d = class.width.min(class.height);
             let tube = DopedMwcnt::paper_model(d, 6)?;
             let imax = Current::from_microamps(25.0 * tube.shell_count() as f64);
-            score(
-                "doped CNT",
-                tube.resistance(class.length),
-                imax,
-                class,
-            )
+            score("doped CNT", tube.resistance(class.length), imax, class)
         }
         WireTier::Global => {
             let comp = CompositeWire::subramaniam_point(class.width, class.height)?;

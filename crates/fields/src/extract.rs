@@ -124,7 +124,7 @@ pub fn extract_capacitance(
     let node_cond = structure.node_conductor();
 
     let mut matrix = vec![vec![0.0; n_cond]; n_cond];
-    for drive in 0..n_cond {
+    for (drive, row) in matrix.iter_mut().enumerate() {
         let dirichlet: Vec<Option<f64>> = node_cond
             .iter()
             .map(|c| c.map(|id| if id as usize == drive { 1.0 } else { 0.0 }))
@@ -134,12 +134,16 @@ pub fn extract_capacitance(
         let flux = sys.node_flux(&psi);
         for (idx, c) in node_cond.iter().enumerate() {
             if let Some(id) = c {
-                matrix[drive][*id as usize] += flux[idx];
+                row[*id as usize] += flux[idx];
             }
         }
     }
     Ok(CapacitanceResult {
-        labels: structure.conductor_labels().iter().map(|s| s.to_string()).collect(),
+        labels: structure
+            .conductor_labels()
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
         matrix,
     })
 }
@@ -240,7 +244,8 @@ pub fn extract_resistance(
                 if sigma == 0.0 {
                     continue;
                 }
-                let p = |di: usize, dj: usize, dk: usize| psi[grid.node_index(i + di, j + dj, k + dk)];
+                let p =
+                    |di: usize, dj: usize, dk: usize| psi[grid.node_index(i + di, j + dj, k + dk)];
                 let ex = -((p(1, 0, 0) - p(0, 0, 0))
                     + (p(1, 1, 0) - p(0, 1, 0))
                     + (p(1, 0, 1) - p(0, 0, 1))
@@ -358,10 +363,7 @@ mod tests {
         };
         let open = build(false);
         let shielded = build(true);
-        assert!(
-            shielded < open * 0.3,
-            "shielded {shielded} vs open {open}"
-        );
+        assert!(shielded < open * 0.3, "shielded {shielded} vs open {open}");
     }
 
     #[test]

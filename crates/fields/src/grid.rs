@@ -127,7 +127,8 @@ impl Grid3 {
     /// (with a small tolerance for floating-point round-off).
     pub fn contains_box(&self, min: [f64; 3], max: [f64; 3]) -> bool {
         let tol = 1e-12;
-        (0..3).all(|a| min[a] >= -self.size[a] * tol - 1e-18 && max[a] <= self.size[a] * (1.0 + tol))
+        (0..3)
+            .all(|a| min[a] >= -self.size[a] * tol - 1e-18 && max[a] <= self.size[a] * (1.0 + tol))
     }
 }
 

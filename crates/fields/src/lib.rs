@@ -117,7 +117,10 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::GridTooSmall { nodes } => {
-                write!(f, "grid {nodes:?} too small: need at least 2 nodes per axis")
+                write!(
+                    f,
+                    "grid {nodes:?} too small: need at least 2 nodes per axis"
+                )
             }
             Error::BoxOutOfDomain { min, max } => {
                 write!(f, "box {min:?}..{max:?} extends outside the domain")

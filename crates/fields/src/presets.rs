@@ -153,7 +153,12 @@ pub fn wire_over_plane(width: f64, height: f64, eps_r: f64, length: f64) -> Stru
 /// Three parallel wires at minimum pitch over a ground plane — the
 /// crosstalk scenario of Fig. 10a reduced to its essence. Labels:
 /// `"left"`, `"victim"`, `"right"`, `"gnd"`.
-pub fn three_parallel_wires(width: f64, space: f64, thickness: f64, length: f64) -> StructureBuilder {
+pub fn three_parallel_wires(
+    width: f64,
+    space: f64,
+    thickness: f64,
+    length: f64,
+) -> StructureBuilder {
     let pitch = width + space;
     let margin = pitch;
     // Mirror-symmetric about the victim: margins on both sides.
@@ -189,7 +194,10 @@ mod tests {
             ["sub", "gate", "m1_in", "m1_out", "m1_nbr", "m2"]
         );
         for id in 0..6 {
-            assert!(s.conductor_node_count(id) > 0, "conductor {id} has no nodes");
+            assert!(
+                s.conductor_node_count(id) > 0,
+                "conductor {id} has no nodes"
+            );
         }
     }
 

@@ -151,7 +151,7 @@ impl StencilSystem {
     fn compute_diagonal(&mut self) {
         let n = self.nx * self.ny * self.nz;
         let mut diag = vec![0.0; n];
-        for idx in 0..n {
+        for (idx, slot) in diag.iter_mut().enumerate().take(n) {
             let (i, j, k) = self.unflatten(idx);
             let mut d = 0.0;
             if i > 0 {
@@ -172,12 +172,12 @@ impl StencilSystem {
             if k + 1 < self.nz {
                 d += self.wz[(k * self.ny + j) * self.nx + i];
             }
-            diag[idx] = d;
+            *slot = d;
         }
         // Disconnected nodes have zero diagonal: pin them so the reduced
         // system stays SPD.
-        for idx in 0..n {
-            if diag[idx] == 0.0 && self.dirichlet[idx].is_none() {
+        for (idx, &d) in diag.iter().enumerate() {
+            if d == 0.0 && self.dirichlet[idx].is_none() {
                 self.dirichlet[idx] = Some(0.0);
             }
         }
@@ -280,10 +280,7 @@ impl StencilSystem {
     }
 
     fn initial_guess(&self) -> Vec<f64> {
-        self.dirichlet
-            .iter()
-            .map(|d| d.unwrap_or(0.0))
-            .collect()
+        self.dirichlet.iter().map(|d| d.unwrap_or(0.0)).collect()
     }
 
     fn solve_cg(&self, options: &SolverOptions) -> Result<Vec<f64>> {
@@ -394,8 +391,8 @@ impl StencilSystem {
                                     * psi[idx - 1];
                             }
                             if i + 1 < self.nx {
-                                acc += self.wx[(k * self.ny + j) * (self.nx - 1) + i]
-                                    * psi[idx + 1];
+                                acc +=
+                                    self.wx[(k * self.ny + j) * (self.nx - 1) + i] * psi[idx + 1];
                             }
                             if j > 0 {
                                 acc += self.wy[(k * (self.ny - 1) + j - 1) * self.nx + i]

@@ -353,19 +353,31 @@ mod tests {
     fn build_validates_boxes_and_materials() {
         let mut b = unit_builder();
         b.dielectric([0.0, 0.0, 0.0], [2.0, 1.0, 1.0], 1.0);
-        assert!(matches!(b.build([5, 5, 5]), Err(Error::BoxOutOfDomain { .. })));
+        assert!(matches!(
+            b.build([5, 5, 5]),
+            Err(Error::BoxOutOfDomain { .. })
+        ));
 
         let mut b = unit_builder();
         b.dielectric([0.5, 0.5, 0.5], [0.5, 0.8, 0.8], 1.0);
-        assert!(matches!(b.build([5, 5, 5]), Err(Error::DegenerateBox { .. })));
+        assert!(matches!(
+            b.build([5, 5, 5]),
+            Err(Error::DegenerateBox { .. })
+        ));
 
         let mut b = unit_builder();
         b.dielectric([0.0, 0.0, 0.0], [1.0, 1.0, 1.0], -2.0);
-        assert!(matches!(b.build([5, 5, 5]), Err(Error::InvalidMaterial { .. })));
+        assert!(matches!(
+            b.build([5, 5, 5]),
+            Err(Error::InvalidMaterial { .. })
+        ));
 
         let mut b = unit_builder();
         b.resistive([0.0, 0.0, 0.0], [1.0, 1.0, 1.0], 0.0);
-        assert!(matches!(b.build([5, 5, 5]), Err(Error::InvalidMaterial { .. })));
+        assert!(matches!(
+            b.build([5, 5, 5]),
+            Err(Error::InvalidMaterial { .. })
+        ));
     }
 
     #[test]

@@ -58,9 +58,14 @@ proptest! {
         let s = b.build([5, 5, 9]).unwrap();
         let cap = extract_capacitance(&s, &SolverOptions::default()).unwrap();
         let m = cap.matrix();
-        for i in 0..2 {
-            let off: f64 = (0..2).filter(|j| *j != i).map(|j| m[i][j].abs()).sum();
-            prop_assert!(m[i][i] >= off - 1e-20, "row {} not dominant", i);
+        for (i, row) in m.iter().enumerate().take(2) {
+            let off: f64 = row
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, v)| v.abs())
+                .sum();
+            prop_assert!(row[i] >= off - 1e-20, "row {} not dominant", i);
         }
         prop_assert!(cap.asymmetry() < 1e-6);
     }

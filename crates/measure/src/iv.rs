@@ -84,7 +84,12 @@ impl IvCurve {
         let n = self.points.len();
         let inner: Vec<&(Voltage, Current)> = {
             let mut sorted: Vec<&(Voltage, Current)> = self.points.iter().collect();
-            sorted.sort_by(|a, b| a.0.volts().abs().partial_cmp(&b.0.volts().abs()).expect("finite"));
+            sorted.sort_by(|a, b| {
+                a.0.volts()
+                    .abs()
+                    .partial_cmp(&b.0.volts().abs())
+                    .expect("finite")
+            });
             sorted.into_iter().take((n / 3).max(3)).collect()
         };
         let num: f64 = inner.iter().map(|(v, i)| v.volts() * i.amps()).sum();
@@ -187,7 +192,11 @@ mod tests {
         let d = device(55.0);
         let curve = iv_sweep(&d, Voltage::from_millivolts(100.0), 101, 0.01, 3).unwrap();
         let r = curve.low_bias_resistance().unwrap();
-        assert!((r.kilo_ohms() - 55.0).abs() / 55.0 < 0.05, "{}", r.kilo_ohms());
+        assert!(
+            (r.kilo_ohms() - 55.0).abs() / 55.0 < 0.05,
+            "{}",
+            r.kilo_ohms()
+        );
     }
 
     #[test]

@@ -87,8 +87,7 @@ impl TlmExperiment {
             .lengths
             .iter()
             .map(|&l| {
-                let ideal = 2.0 * self.contact_resistance
-                    + self.resistance_per_length * l.meters();
+                let ideal = 2.0 * self.contact_resistance + self.resistance_per_length * l.meters();
                 let noisy = ideal * (1.0 + rand_ext::normal(&mut rng, 0.0, self.noise));
                 (l, Resistance::from_ohms(noisy))
             })

@@ -165,16 +165,22 @@ mod tests {
 
     #[test]
     fn ecd_with_seed_is_void_free_fig7() {
-        let r = base(DepositionMethod::Electrochemical, CarpetOrientation::Horizontal)
-            .simulate()
-            .unwrap();
+        let r = base(
+            DepositionMethod::Electrochemical,
+            CarpetOrientation::Horizontal,
+        )
+        .simulate()
+        .unwrap();
         assert!(r.is_void_free(), "{r:?}");
         assert!(r.fill_fraction > 0.93);
     }
 
     #[test]
     fn ecd_without_seed_fails() {
-        let mut recipe = base(DepositionMethod::Electrochemical, CarpetOrientation::Horizontal);
+        let mut recipe = base(
+            DepositionMethod::Electrochemical,
+            CarpetOrientation::Horizontal,
+        );
         recipe.conductive_seed = false;
         let r = recipe.simulate().unwrap();
         assert!(r.fill_fraction < 0.1);
@@ -186,7 +192,10 @@ mod tests {
         let r = base(DepositionMethod::Electroless, CarpetOrientation::Vertical)
             .simulate()
             .unwrap();
-        assert!(r.overburden_nm > 100.0, "Fig. 6 shows Cu crystal overgrowth");
+        assert!(
+            r.overburden_nm > 100.0,
+            "Fig. 6 shows Cu crystal overgrowth"
+        );
         assert!(r.fill_fraction > 0.7);
     }
 

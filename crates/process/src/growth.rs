@@ -234,7 +234,9 @@ mod tests {
         // The Fig. 4 headline: Co catalyst pushes growth into the CMOS
         // temperature window.
         let t = celsius(395.0);
-        let co = GrowthRecipe::thermal(Catalyst::Cobalt, t).simulate().unwrap();
+        let co = GrowthRecipe::thermal(Catalyst::Cobalt, t)
+            .simulate()
+            .unwrap();
         let fe = GrowthRecipe::thermal(Catalyst::Iron, t).simulate().unwrap();
         assert!(co.is_viable(), "Co at 395 °C: {co:?}");
         assert!(!fe.is_viable(), "Fe at 395 °C should be non-viable: {fe:?}");
@@ -246,7 +248,12 @@ mod tests {
     fn defectivity_rises_as_temperature_drops() {
         let sweep = temperature_sweep(
             Catalyst::Cobalt,
-            &[celsius(350.0), celsius(400.0), celsius(450.0), celsius(550.0)],
+            &[
+                celsius(350.0),
+                celsius(400.0),
+                celsius(450.0),
+                celsius(550.0),
+            ],
             false,
         )
         .unwrap();
@@ -265,7 +272,9 @@ mod tests {
     #[test]
     fn plasma_assistance_boosts_low_temperature_rate() {
         let t = celsius(380.0);
-        let thermal = GrowthRecipe::thermal(Catalyst::Cobalt, t).simulate().unwrap();
+        let thermal = GrowthRecipe::thermal(Catalyst::Cobalt, t)
+            .simulate()
+            .unwrap();
         let pecvd = GrowthRecipe {
             plasma_assisted: true,
             ..GrowthRecipe::thermal(Catalyst::Cobalt, t)
@@ -277,16 +286,20 @@ mod tests {
 
     #[test]
     fn validation_and_empty_sweeps() {
-        assert!(GrowthRecipe::thermal(Catalyst::Iron, Temperature::from_kelvin(-5.0))
-            .simulate()
-            .is_err());
+        assert!(
+            GrowthRecipe::thermal(Catalyst::Iron, Temperature::from_kelvin(-5.0))
+                .simulate()
+                .is_err()
+        );
         assert!(temperature_sweep(Catalyst::Iron, &[], false).is_err());
     }
 
     #[test]
     fn quality_peaks_at_catalyst_optimum() {
         let opt = Catalyst::Cobalt.optimal_temperature();
-        let at_opt = GrowthRecipe::thermal(Catalyst::Cobalt, opt).simulate().unwrap();
+        let at_opt = GrowthRecipe::thermal(Catalyst::Cobalt, opt)
+            .simulate()
+            .unwrap();
         let above = GrowthRecipe::thermal(
             Catalyst::Cobalt,
             Temperature::from_kelvin(opt.kelvin() + 150.0),

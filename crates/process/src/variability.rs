@@ -8,13 +8,13 @@
 //! quantifies how much doping tightens the resistance distribution.
 
 use crate::{Error, Result};
+use cnt_sweep::{Axis, Executor, SweepPlan};
 use cnt_units::consts::{G0_SIEMENS, MFP_DIAMETER_RATIO};
 use cnt_units::math;
 use cnt_units::rand_ext;
 use cnt_units::si::Length;
 use rand::rngs::StdRng;
 use rand::Rng;
-use rand::SeedableRng;
 
 /// Statistical description of the as-grown tube population and contacts.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,10 +57,22 @@ impl DevicePopulation {
     /// Returns [`Error::InvalidParameter`] naming the offending field.
     pub fn validate(&self) -> Result<()> {
         let checks: [(&'static str, f64, bool); 6] = [
-            ("diameter_mean", self.diameter_mean.meters(), self.diameter_mean.meters() > 0.0),
-            ("diameter_sigma", self.diameter_sigma.meters(), self.diameter_sigma.meters() >= 0.0),
+            (
+                "diameter_mean",
+                self.diameter_mean.meters(),
+                self.diameter_mean.meters() > 0.0,
+            ),
+            (
+                "diameter_sigma",
+                self.diameter_sigma.meters(),
+                self.diameter_sigma.meters() >= 0.0,
+            ),
             ("length", self.length.meters(), self.length.meters() > 0.0),
-            ("contact_median", self.contact_median, self.contact_median >= 0.0),
+            (
+                "contact_median",
+                self.contact_median,
+                self.contact_median >= 0.0,
+            ),
             (
                 "metallic_fraction",
                 self.metallic_fraction,
@@ -121,14 +133,69 @@ pub struct ResistanceStats {
     pub tail_fraction: f64,
 }
 
-/// Samples `n` devices from the population in the given doping state.
+/// Samples one device on the caller's generator.
 ///
-/// Resistance model per device (matching the compact models of
-/// `cnt-interconnect`): shells from `d` down to `d/2` at 0.34 nm spacing,
-/// per-shell channels (pristine: 2 if metallic else ~0.1 thermal leakage;
-/// doped: `channels_per_shell` for every tube), per-shell conductance
+/// Resistance model (matching the compact models of `cnt-interconnect`):
+/// shells from `d` down to `d/2` at 0.34 nm spacing, per-shell channels
+/// (pristine: 2 if metallic else ~0.01 thermal leakage; doped:
+/// `channels_per_shell` for every tube), per-shell conductance
 /// `G0·Nc/(1 + L/λ)` with `λ = 1000·d·defect_factor`, plus two lognormal
 /// contacts.
+///
+/// The population is **not** re-validated here — this is the per-job
+/// kernel of the `cnt-sweep` Monte-Carlo paths; validate once up front
+/// via [`DevicePopulation::validate`].
+pub fn sample_one_device(
+    population: &DevicePopulation,
+    doping: DopingState,
+    rng: &mut StdRng,
+) -> SampledDevice {
+    let d_nm = rand_ext::truncated_normal(
+        rng,
+        population.diameter_mean.nanometers(),
+        population.diameter_sigma.nanometers(),
+        1.0,
+        4.0 * population.diameter_mean.nanometers(),
+    );
+    let metallic = rng.gen::<f64>() < population.metallic_fraction;
+    // Shell stack: d down to d/2 in 2×0.34 nm diameter steps.
+    let shells = (1 + ((d_nm / 2.0) / (2.0 * 0.34)).floor() as usize).max(1);
+    let mfp_nm = MFP_DIAMETER_RATIO * d_nm * population.defect_mfp_factor;
+    let l_nm = population.length.nanometers();
+    let per_shell_channels: f64 = match doping {
+        DopingState::Pristine => {
+            if metallic {
+                2.0
+            } else {
+                0.01 // deep-subthreshold leakage of semiconducting shells
+            }
+        }
+        DopingState::Doped { channels_per_shell } => channels_per_shell as f64,
+    };
+    let g_tube: f64 = shells as f64 * per_shell_channels * G0_SIEMENS / (1.0 + l_nm / mfp_nm);
+    let r_tube = 1.0 / g_tube;
+    let contacts = rand_ext::lognormal(
+        rng,
+        population.contact_median.ln(),
+        population.contact_sigma,
+    ) + rand_ext::lognormal(
+        rng,
+        population.contact_median.ln(),
+        population.contact_sigma,
+    );
+    SampledDevice {
+        diameter: Length::from_nanometers(d_nm),
+        metallic,
+        resistance: r_tube + contacts,
+    }
+}
+
+/// Samples `n` devices from the population in the given doping state.
+///
+/// Runs on the `cnt-sweep` work-stealing pool: every device derives its
+/// own random stream from `(seed, device index)`, so the returned vector
+/// is **bit-identical for any thread count** — and identical to what
+/// [`sample_devices_with_threads`] returns for explicit thread counts.
 ///
 /// # Errors
 ///
@@ -139,47 +206,37 @@ pub fn sample_devices(
     n: usize,
     seed: u64,
 ) -> Result<Vec<SampledDevice>> {
+    sample_devices_with_threads(population, doping, n, seed, 0)
+}
+
+/// [`sample_devices`] with an explicit worker count (`0` = all cores).
+///
+/// # Errors
+///
+/// Propagates validation errors and rejects `n == 0`.
+pub fn sample_devices_with_threads(
+    population: &DevicePopulation,
+    doping: DopingState,
+    n: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<Vec<SampledDevice>> {
     population.validate()?;
     if n == 0 {
         return Err(Error::EmptyRequest("device samples"));
     }
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut out = Vec::with_capacity(n);
-    for _ in 0..n {
-        let d_nm = rand_ext::truncated_normal(
-            &mut rng,
-            population.diameter_mean.nanometers(),
-            population.diameter_sigma.nanometers(),
-            1.0,
-            4.0 * population.diameter_mean.nanometers(),
-        );
-        let metallic = rng.gen::<f64>() < population.metallic_fraction;
-        // Shell stack: d down to d/2 in 2×0.34 nm diameter steps.
-        let shells = (1 + ((d_nm / 2.0) / (2.0 * 0.34)).floor() as usize).max(1);
-        let mfp_nm = MFP_DIAMETER_RATIO * d_nm * population.defect_mfp_factor;
-        let l_nm = population.length.nanometers();
-        let per_shell_channels: f64 = match doping {
-            DopingState::Pristine => {
-                if metallic {
-                    2.0
-                } else {
-                    0.01 // deep-subthreshold leakage of semiconducting shells
-                }
-            }
-            DopingState::Doped { channels_per_shell } => channels_per_shell as f64,
-        };
-        let g_tube: f64 =
-            shells as f64 * per_shell_channels * G0_SIEMENS / (1.0 + l_nm / mfp_nm);
-        let r_tube = 1.0 / g_tube;
-        let contacts = rand_ext::lognormal(&mut rng, population.contact_median.ln(), population.contact_sigma)
-            + rand_ext::lognormal(&mut rng, population.contact_median.ln(), population.contact_sigma);
-        out.push(SampledDevice {
-            diameter: Length::from_nanometers(d_nm),
-            metallic,
-            resistance: r_tube + contacts,
-        });
-    }
-    Ok(out)
+    let plan = SweepPlan::new("process.variability.devices").axis(Axis::trials(n));
+    Executor::new(threads)
+        .run(&plan, seed, |_, rng| {
+            Ok::<_, Error>(sample_one_device(population, doping, rng))
+        })
+        .map_err(|e| match e {
+            cnt_sweep::Error::EmptyPlan => Error::EmptyRequest("device samples"),
+            // The kernel is infallible and the guards above exclude every
+            // structural failure; surface anything new loudly instead of
+            // mislabeling it.
+            other => unreachable!("infallible device kernel failed: {other}"),
+        })
 }
 
 /// Summarizes a device sample.
@@ -244,8 +301,7 @@ mod tests {
         let (met, semi): (Vec<&SampledDevice>, Vec<&SampledDevice>) =
             devices.iter().partition(|d| d.metallic);
         let m_med = math::median(&met.iter().map(|d| d.resistance).collect::<Vec<f64>>()).unwrap();
-        let s_med =
-            math::median(&semi.iter().map(|d| d.resistance).collect::<Vec<f64>>()).unwrap();
+        let s_med = math::median(&semi.iter().map(|d| d.resistance).collect::<Vec<f64>>()).unwrap();
         assert!(
             s_med > 5.0 * m_med,
             "semiconducting median {s_med} ≫ metallic median {m_med}"
@@ -259,8 +315,9 @@ mod tests {
     fn defects_raise_resistance() {
         let mut defective = pop();
         defective.defect_mfp_factor = 0.1; // low-temperature CVD quality
-        let clean = resistance_stats(&sample_devices(&pop(), DopingState::Pristine, 1500, 3).unwrap())
-            .unwrap();
+        let clean =
+            resistance_stats(&sample_devices(&pop(), DopingState::Pristine, 1500, 3).unwrap())
+                .unwrap();
         let dirty =
             resistance_stats(&sample_devices(&defective, DopingState::Pristine, 1500, 3).unwrap())
                 .unwrap();
@@ -295,5 +352,16 @@ mod tests {
         let a = sample_devices(&pop(), DopingState::Pristine, 50, 77).unwrap();
         let b = sample_devices(&pop(), DopingState::Pristine, 50, 77).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn thread_count_invisible_in_results() {
+        // The cnt-sweep port's contract: per-device seed streams make the
+        // sample independent of the worker count.
+        let serial = sample_devices_with_threads(&pop(), DopingState::Pristine, 300, 5, 1).unwrap();
+        let par4 = sample_devices_with_threads(&pop(), DopingState::Pristine, 300, 5, 4).unwrap();
+        let auto = sample_devices(&pop(), DopingState::Pristine, 300, 5).unwrap();
+        assert_eq!(serial, par4);
+        assert_eq!(serial, auto);
     }
 }

@@ -115,8 +115,8 @@ impl WaferMap {
                 let r = r_max * frac.sqrt();
                 let th = golden * k as f64;
                 let rel = r / (diameter / 2.0);
-                let value = nominal
-                    * (1.0 + radial * rel * rel + rand_ext::normal(&mut rng, 0.0, noise));
+                let value =
+                    nominal * (1.0 + radial * rel * rel + rand_ext::normal(&mut rng, 0.0, noise));
                 WaferSite {
                     x: r * th.cos(),
                     y: r * th.sin(),

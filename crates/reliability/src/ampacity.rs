@@ -111,23 +111,35 @@ mod tests {
     fn paper_intro_numbers() {
         // Cu 100 nm × 50 nm carries 50 µA.
         let i_cu = ConductorMaterial::Copper
-            .max_current(Length::from_nanometers(100.0), Length::from_nanometers(50.0))
+            .max_current(
+                Length::from_nanometers(100.0),
+                Length::from_nanometers(50.0),
+            )
             .unwrap();
         assert!((i_cu.microamps() - 50.0).abs() < 1e-9);
         // A 1 nm CNT carries 20–25 µA.
         let i_cnt = single_cnt_max_current(Length::from_nanometers(1.0));
-        assert!((20.0..=25.0).contains(&i_cnt.microamps()), "{}", i_cnt.microamps());
+        assert!(
+            (20.0..=25.0).contains(&i_cnt.microamps()),
+            "{}",
+            i_cnt.microamps()
+        );
         // Three orders of magnitude in current density.
         let j_cnt = ConductorMaterial::Cnt.max_current_density().unwrap();
         let j_cu = ConductorMaterial::Copper.max_current_density().unwrap();
-        assert!((j_cnt.amps_per_square_meter() / j_cu.amps_per_square_meter() - 1000.0).abs() < 1e-6);
+        assert!(
+            (j_cnt.amps_per_square_meter() / j_cu.amps_per_square_meter() - 1000.0).abs() < 1e-6
+        );
     }
 
     #[test]
     fn a_few_cnts_match_a_copper_wire() {
         // "From a reliability perspective, a few CNTs are enough to match
         // the current carrying capacity of a typical Cu interconnect."
-        let n = cnt_count_for_cu_parity(Length::from_nanometers(100.0), Length::from_nanometers(50.0));
+        let n = cnt_count_for_cu_parity(
+            Length::from_nanometers(100.0),
+            Length::from_nanometers(50.0),
+        );
         assert!((2..=4).contains(&n), "needed {n} tubes");
     }
 

@@ -153,7 +153,11 @@ pub fn run_stress_test(test: &StressTest, seed: u64) -> Result<RetentionResult> 
             }
         } else {
             for _ in 0..n_hops {
-                let step = if rng.gen::<f64>() < p_forward { HOP } else { -HOP };
+                let step = if rng.gen::<f64>() < p_forward {
+                    HOP
+                } else {
+                    -HOP
+                };
                 x += step;
                 if x <= 0.0 || x >= l {
                     alive = false;
@@ -212,7 +216,9 @@ pub fn stem_radial_histogram(
     for _ in 0..dopants {
         let radial = match site {
             // Pt/Cl network fills the hollow core: |N(0, r/3)| truncated.
-            DopantSite::Internal => rand_ext::truncated_normal(&mut rng, 0.0, r / 3.0, -0.95 * r, 0.95 * r).abs(),
+            DopantSite::Internal => {
+                rand_ext::truncated_normal(&mut rng, 0.0, r / 3.0, -0.95 * r, 0.95 * r).abs()
+            }
             // Adsorbates sit in the van der Waals shell just outside the wall.
             DopantSite::External => {
                 rand_ext::truncated_normal(&mut rng, r + 0.34, 0.1, r + 0.05, r_max - 1e-9)
@@ -301,8 +307,16 @@ mod tests {
                 .sum::<f64>()
                 / counts.iter().sum::<usize>() as f64
         };
-        assert!(mass_inside(&inside) > 0.95, "internal mass {}", mass_inside(&inside));
-        assert!(mass_inside(&outside) < 0.05, "external mass {}", mass_inside(&outside));
+        assert!(
+            mass_inside(&inside) > 0.95,
+            "internal mass {}",
+            mass_inside(&inside)
+        );
+        assert!(
+            mass_inside(&outside) < 0.05,
+            "external mass {}",
+            mass_inside(&outside)
+        );
     }
 
     #[test]

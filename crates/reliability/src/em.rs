@@ -72,10 +72,9 @@ impl BlackModel {
     /// Does not panic; extreme inputs saturate to 0 or infinity.
     pub fn median_ttf(&self, j: CurrentDensity, t: Temperature) -> Time {
         let jj = j.amps_per_square_meter().max(1e-30);
-        let hours =
-            self.prefactor * jj.powf(-self.exponent) * (self.activation_energy_ev
-                / (K_B_EV * t.kelvin()))
-            .exp();
+        let hours = self.prefactor
+            * jj.powf(-self.exponent)
+            * (self.activation_energy_ev / (K_B_EV * t.kelvin())).exp();
         Time::from_hours(hours)
     }
 
@@ -189,7 +188,10 @@ mod tests {
         hours.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let med = hours[hours.len() / 2];
         let expect = m.median_ttf(j(1.0), t).hours();
-        assert!((med / expect - 1.0).abs() < 0.05, "median {med} vs {expect}");
+        assert!(
+            (med / expect - 1.0).abs() < 0.05,
+            "median {med} vs {expect}"
+        );
         assert!(m.sample_ttf(j(1.0), t, 0, 1).is_err());
     }
 

@@ -1,0 +1,236 @@
+//! Content-addressed result store: in-memory, optionally mirrored to disk.
+//!
+//! A sweep's identity is everything that determines its numbers: the plan
+//! fingerprint (id, axis names, every value's bit pattern), the root seed,
+//! and a caller-supplied salt for the *code version* of the work function.
+//! Two runs with the same [`CacheKey`] are guaranteed to produce the same
+//! table, so re-running `repro sweep …` is a lookup. Bump the salt when
+//! the physics in the work function changes.
+
+use crate::json;
+use crate::plan::SweepPlan;
+use crate::seed::fnv1a;
+use crate::{Error, Result};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// The content hash identifying one sweep run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey(u64);
+
+impl CacheKey {
+    /// Derives the key for `plan` run under `root_seed` with the given
+    /// work-function version `salt`.
+    pub fn derive(plan: &SweepPlan, root_seed: u64, salt: &str) -> Self {
+        let mut bytes = Vec::with_capacity(32 + salt.len());
+        bytes.extend_from_slice(&plan.fingerprint().to_le_bytes());
+        bytes.extend_from_slice(&root_seed.to_le_bytes());
+        bytes.extend_from_slice(salt.as_bytes());
+        Self(fnv1a(&bytes))
+    }
+
+    /// Hex rendering (the on-disk file stem).
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+/// A cached sweep result: column headers plus numeric rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// The hex cache key this table was stored under.
+    pub key: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Numeric data, one inner vector per row.
+    pub rows: Vec<Vec<f64>>,
+}
+
+/// In-memory table cache with an optional on-disk JSON mirror.
+#[derive(Debug, Default)]
+pub struct ResultStore {
+    dir: Option<PathBuf>,
+    mem: Mutex<HashMap<String, Table>>,
+}
+
+impl ResultStore {
+    /// A purely in-memory store (one process lifetime).
+    pub fn in_memory() -> Self {
+        Self::default()
+    }
+
+    /// A store mirrored to `dir` (created on first write). Tables written
+    /// by previous processes are visible.
+    pub fn on_disk(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: Some(dir.into()),
+            mem: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The mirror directory, if any.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    fn path_for(&self, key: &CacheKey) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("{}.json", key.hex())))
+    }
+
+    /// Looks up a table, consulting memory then disk. A disk hit is
+    /// promoted into memory. Corrupt disk entries are treated as misses
+    /// (the next `put` overwrites them).
+    pub fn get(&self, key: &CacheKey) -> Option<Table> {
+        if let Some(hit) = self.mem.lock().expect("store poisoned").get(&key.hex()) {
+            return Some(hit.clone());
+        }
+        let path = self.path_for(key)?;
+        let text = std::fs::read_to_string(path).ok()?;
+        let table = json::decode_table(&text).ok()?;
+        if table.key != key.hex() {
+            return None; // foreign or stale file under our name
+        }
+        self.mem
+            .lock()
+            .expect("store poisoned")
+            .insert(table.key.clone(), table.clone());
+        Some(table)
+    }
+
+    /// Stores a table under `key` (memory always; disk if mirrored).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] if the mirror directory or file cannot be
+    /// written.
+    pub fn put(&self, key: &CacheKey, columns: Vec<String>, rows: Vec<Vec<f64>>) -> Result<Table> {
+        let table = Table {
+            key: key.hex(),
+            columns,
+            rows,
+        };
+        if let Some(path) = self.path_for(key) {
+            let dir = path.parent().expect("cache file has a parent");
+            std::fs::create_dir_all(dir).map_err(|e| Error::Io {
+                path: dir.display().to_string(),
+                message: e.to_string(),
+            })?;
+            std::fs::write(&path, json::encode_table(&table)).map_err(|e| Error::Io {
+                path: path.display().to_string(),
+                message: e.to_string(),
+            })?;
+        }
+        self.mem
+            .lock()
+            .expect("store poisoned")
+            .insert(table.key.clone(), table.clone());
+        Ok(table)
+    }
+
+    /// Returns the cached table for `key`, or computes, stores, and
+    /// returns it. The boolean reports whether this was a cache hit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the compute function's error or the store's I/O error.
+    pub fn get_or_compute<F>(&self, key: &CacheKey, compute: F) -> Result<(Table, bool)>
+    where
+        F: FnOnce() -> Result<(Vec<String>, Vec<Vec<f64>>)>,
+    {
+        if let Some(hit) = self.get(key) {
+            return Ok((hit, true));
+        }
+        let (columns, rows) = compute()?;
+        Ok((self.put(key, columns, rows)?, false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axis::Axis;
+
+    fn plan() -> SweepPlan {
+        SweepPlan::new("cache-test")
+            .axis(Axis::grid("d", &[1.0, 2.0]))
+            .axis(Axis::trials(3))
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cnt-sweep-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn key_tracks_plan_seed_and_salt() {
+        let k = CacheKey::derive(&plan(), 42, "v1");
+        assert_eq!(k, CacheKey::derive(&plan(), 42, "v1"));
+        assert_ne!(k, CacheKey::derive(&plan(), 43, "v1"));
+        assert_ne!(k, CacheKey::derive(&plan(), 42, "v2"));
+        let other = SweepPlan::new("cache-test").axis(Axis::grid("d", &[1.0, 2.5]));
+        assert_ne!(k, CacheKey::derive(&other, 42, "v1"));
+        assert_eq!(k.hex().len(), 16);
+    }
+
+    #[test]
+    fn memory_roundtrip_and_hit_flag() {
+        let store = ResultStore::in_memory();
+        let key = CacheKey::derive(&plan(), 1, "v1");
+        let mut computes = 0;
+        for expect_hit in [false, true, true] {
+            let (table, hit) = store
+                .get_or_compute(&key, || {
+                    computes += 1;
+                    Ok((vec!["x".to_string()], vec![vec![1.5], vec![2.5]]))
+                })
+                .unwrap();
+            assert_eq!(hit, expect_hit);
+            assert_eq!(table.rows, vec![vec![1.5], vec![2.5]]);
+        }
+        assert_eq!(computes, 1);
+    }
+
+    #[test]
+    fn disk_mirror_survives_store_instances() {
+        let dir = tmp_dir("mirror");
+        let key = CacheKey::derive(&plan(), 7, "v1");
+        {
+            let store = ResultStore::on_disk(&dir);
+            store
+                .put(&key, vec!["v".to_string()], vec![vec![0.25]])
+                .unwrap();
+        }
+        let fresh = ResultStore::on_disk(&dir);
+        let table = fresh.get(&key).expect("disk hit");
+        assert_eq!(table.rows, vec![vec![0.25]]);
+        assert_eq!(fresh.dir(), Some(dir.as_path()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entry_is_a_miss() {
+        let dir = tmp_dir("corrupt");
+        let key = CacheKey::derive(&plan(), 9, "v1");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(format!("{}.json", key.hex())), "{not json").unwrap();
+        let store = ResultStore::on_disk(&dir);
+        assert!(store.get(&key).is_none());
+        // And a key-mismatched (foreign) file is also a miss.
+        let foreign = Table {
+            key: "0000000000000000".to_string(),
+            columns: vec![],
+            rows: vec![],
+        };
+        std::fs::write(
+            dir.join(format!("{}.json", key.hex())),
+            json::encode_table(&foreign),
+        )
+        .unwrap();
+        assert!(store.get(&key).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -163,7 +163,11 @@ mod tests {
             "k_fit = {}",
             fit.k_fit
         );
-        assert!((fit.k_fit - 6000.0).abs() / 6000.0 < 0.25, "k_fit = {}", fit.k_fit);
+        assert!(
+            (fit.k_fit - 6000.0).abs() / 6000.0 < 0.25,
+            "k_fit = {}",
+            fit.k_fit
+        );
     }
 
     #[test]

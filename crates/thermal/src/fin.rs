@@ -77,7 +77,11 @@ impl SelfHeatingLine {
     pub fn validate(&self) -> Result<()> {
         let checks: [(&'static str, f64, bool); 5] = [
             ("length", self.length.meters(), self.length.meters() > 0.0),
-            ("area", self.area.square_meters(), self.area.square_meters() > 0.0),
+            (
+                "area",
+                self.area.square_meters(),
+                self.area.square_meters() > 0.0,
+            ),
             (
                 "thermal_conductivity",
                 self.thermal_conductivity,

@@ -36,7 +36,11 @@ impl ViaStack {
     ///
     /// [`Error::InvalidParameter`] for empty stacks, non-positive areas,
     /// thicknesses or conductivities, or negative interface resistance.
-    pub fn new(layers: Vec<StackLayer>, cross_section: Area, interface_resistance: f64) -> Result<Self> {
+    pub fn new(
+        layers: Vec<StackLayer>,
+        cross_section: Area,
+        interface_resistance: f64,
+    ) -> Result<Self> {
         if layers.is_empty() {
             return Err(Error::InvalidParameter {
                 name: "layers (empty stack)",

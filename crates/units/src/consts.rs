@@ -22,7 +22,7 @@ pub const K_B: f64 = 1.380_649e-23;
 pub const K_B_EV: f64 = K_B / Q_E;
 
 /// Vacuum permittivity in F/m.
-pub const EPS_0: f64 = 8.854_187_8128e-12;
+pub const EPS_0: f64 = 8.854_187_812_8e-12;
 
 /// Quantum of conductance *including spin degeneracy*, `2e²/h`, in siemens.
 ///

@@ -102,7 +102,11 @@ pub fn linear_fit(x: &[f64], y: &[f64]) -> Option<LinearFit> {
         })
         .sum();
     let ss_tot: f64 = y.iter().map(|yi| (yi - my) * (yi - my)).sum();
-    let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    let r_squared = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
     let dof = (x.len().max(3) - 2) as f64;
     let sigma2 = ss_res / dof;
     let slope_stderr = (sigma2 / sxx).sqrt();
@@ -129,7 +133,8 @@ pub fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -188,8 +193,11 @@ pub fn fermi_dirac_neg_derivative(e_ev: f64, t_kelvin: f64) -> f64 {
 /// Panics if `n == 0` or the interval is not finite.
 pub fn integrate_simpson(mut f: impl FnMut(f64) -> f64, a: f64, b: f64, n: usize) -> f64 {
     assert!(n > 0, "Simpson rule needs at least one interval");
-    assert!(a.is_finite() && b.is_finite(), "integration bounds must be finite");
-    let n = if n % 2 == 0 { n } else { n + 1 };
+    assert!(
+        a.is_finite() && b.is_finite(),
+        "integration bounds must be finite"
+    );
+    let n = if n.is_multiple_of(2) { n } else { n + 1 };
     let h = (b - a) / n as f64;
     let mut acc = f(a) + f(b);
     for i in 1..n {

@@ -146,7 +146,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let xs: Vec<f64> = (0..10_000).map(|_| poisson(&mut rng, 4.0) as f64).collect();
         assert!((mean(&xs).unwrap() - 4.0).abs() < 0.1);
-        let xs_big: Vec<f64> = (0..5_000).map(|_| poisson(&mut rng, 100.0) as f64).collect();
+        let xs_big: Vec<f64> = (0..5_000)
+            .map(|_| poisson(&mut rng, 100.0) as f64)
+            .collect();
         assert!((mean(&xs_big).unwrap() - 100.0).abs() < 1.0);
         assert_eq!(poisson(&mut rng, 0.0), 0);
     }

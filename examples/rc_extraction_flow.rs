@@ -32,7 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut writer = NetlistWriter::new("14 nm inverter cell parasitics");
     writer.add_capacitance_matrix(&cap, "0", 1e-20)?;
     let netlist = writer.render();
-    println!("\nnetlist ({} cards):\n{}", netlist.lines().count(), netlist);
+    println!(
+        "\nnetlist ({} cards):\n{}",
+        netlist.lines().count(),
+        netlist
+    );
 
     // 3. Parse it back and run a crosstalk transient: kick the aggressor
     //    (m1_in) and watch the coupled victim (m1_out) through a weak
@@ -46,7 +50,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cnt_beol::circuit::circuit::Circuit::GND,
         Waveform::edge(0.0, 1.0, 5e-12, 5e-12),
     )?;
-    circuit.add_resistor("Rkeep", victim, cnt_beol::circuit::circuit::Circuit::GND, 50e3)?;
+    circuit.add_resistor(
+        "Rkeep",
+        victim,
+        cnt_beol::circuit::circuit::Circuit::GND,
+        50e3,
+    )?;
     // Capacitor-only nodes float at DC: start the transient from zeros.
     let mut opts = TranOptions::new(100e-12, 0.1e-12);
     opts.from_dc = false;
@@ -55,6 +64,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .voltage("m1_out")?
         .iter()
         .fold(0.0_f64, |a, &b| a.max(b));
-    println!("victim crosstalk peak: {:.1} mV on a 1 V aggressor edge", peak * 1e3);
+    println!(
+        "victim crosstalk peak: {:.1} mV on a 1 V aggressor edge",
+        peak * 1e3
+    );
     Ok(())
 }

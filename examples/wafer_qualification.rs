@@ -55,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let target = Time::from_hours(2000.0);
     let cu = characterize_wafer(&WaferCharSetup::copper_reference(), line, target, 1)?;
     let cc = characterize_wafer(&WaferCharSetup::composite(), line, target, 1)?;
-    println!("\nfull-wafer EM qualification (target {} h):", target.hours());
+    println!(
+        "\nfull-wafer EM qualification (target {} h):",
+        target.hours()
+    );
     println!(
         "  Cu reference : median TTF {:.2e} h, yield {:.1} %",
         cu.median_ttf.hours(),

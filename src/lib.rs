@@ -14,6 +14,7 @@
 //! | electro-thermal | [`thermal`] | IV.B |
 //! | EM / ampacity / stability | [`reliability`] | I, IV.A, Fig. 13 |
 //! | TLM / I-V lab | [`measure`] | IV.B, Fig. 2d |
+//! | parallel sweep / Monte-Carlo engine | [`sweep`] | ensembles behind Figs. 5–7, 12, 13 |
 //! | compact models & experiments | [`interconnect`] | III.C, Figs. 9/12 |
 //!
 //! # Quickstart
@@ -35,7 +36,10 @@
 //! ```
 //!
 //! Regenerate every paper artefact with
-//! `cargo run -p cnt-bench --bin repro -- all`.
+//! `cargo run -p cnt-bench --bin repro -- all`, or rerun a figure as the
+//! ensemble the paper actually measured with
+//! `cargo run -p cnt-bench --bin repro -- sweep fig12 --trials 1000`
+//! (deterministic for any `--threads` value; see `crates/sweep/README.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -47,5 +51,6 @@ pub use cnt_interconnect as interconnect;
 pub use cnt_measure as measure;
 pub use cnt_process as process;
 pub use cnt_reliability as reliability;
+pub use cnt_sweep as sweep;
 pub use cnt_thermal as thermal;
 pub use cnt_units as units;

@@ -24,16 +24,26 @@ fn extracted_netlist_parses_and_simulates() {
     let netlist = w.render();
 
     let mut circuit = parse_netlist(&netlist).unwrap();
-    assert!(circuit.element_count() >= 10, "matrix expands to many cards");
+    assert!(
+        circuit.element_count() >= 10,
+        "matrix expands to many cards"
+    );
 
     // Drive the input line; the floating output must follow capacitively
     // (positive coupled peak).
     let agg = circuit.find_node("m1_in").unwrap();
     let victim = circuit.find_node("m1_out").unwrap();
     circuit
-        .add_vsource("Vagg", agg, Circuit::GND, Waveform::edge(0.0, 1.0, 2e-12, 2e-12))
+        .add_vsource(
+            "Vagg",
+            agg,
+            Circuit::GND,
+            Waveform::edge(0.0, 1.0, 2e-12, 2e-12),
+        )
         .unwrap();
-    circuit.add_resistor("Rleak", victim, Circuit::GND, 1e6).unwrap();
+    circuit
+        .add_resistor("Rleak", victim, Circuit::GND, 1e6)
+        .unwrap();
     // Capacitor-only nodes (gate, m2, …) float at DC — start from zero
     // state instead of a DC operating point.
     let mut opts = TranOptions::new(50e-12, 0.05e-12);
@@ -82,8 +92,8 @@ fn crosstalk_shielding_flow() {
         .unwrap();
     let cap = extract_capacitance(&s, &SolverOptions::default()).unwrap();
     let c_near = cap.coupling("victim", "left").unwrap().farads();
-    let c_gnd = cap.to_ground("victim").unwrap().farads()
-        + cap.coupling("victim", "gnd").unwrap().farads();
+    let c_gnd =
+        cap.to_ground("victim").unwrap().farads() + cap.coupling("victim", "gnd").unwrap().farads();
     // Single-node charge-divider estimate — a *lower bound* on the kick,
     // because the third wire rises with the aggressor too and pushes the
     // victim further through its own coupling.
@@ -95,14 +105,25 @@ fn crosstalk_shielding_flow() {
     let mut circuit = parse_netlist(&w.render()).unwrap();
     let agg = circuit.find_node("left").unwrap();
     circuit
-        .add_vsource("Vagg", agg, Circuit::GND, Waveform::edge(0.0, 1.0, 1e-12, 1e-12))
+        .add_vsource(
+            "Vagg",
+            agg,
+            Circuit::GND,
+            Waveform::edge(0.0, 1.0, 1e-12, 1e-12),
+        )
         .unwrap();
     // Keep the other wires weakly tied so the solve is well-posed.
     let victim = circuit.find_node("victim").unwrap();
     let right = circuit.find_node("right").unwrap();
-    circuit.add_resistor("Rv", victim, Circuit::GND, 1e9).unwrap();
-    circuit.add_resistor("Rr", right, Circuit::GND, 1e9).unwrap();
-    let tran = circuit.transient(&TranOptions::new(20e-12, 0.02e-12)).unwrap();
+    circuit
+        .add_resistor("Rv", victim, Circuit::GND, 1e9)
+        .unwrap();
+    circuit
+        .add_resistor("Rr", right, Circuit::GND, 1e9)
+        .unwrap();
+    let tran = circuit
+        .transient(&TranOptions::new(20e-12, 0.02e-12))
+        .unwrap();
     let peak = tran
         .voltage("victim")
         .unwrap()
@@ -112,5 +133,8 @@ fn crosstalk_shielding_flow() {
         peak >= kick_lower_bound - 0.02,
         "simulated kick {peak:.3} below divider bound {kick_lower_bound:.3}"
     );
-    assert!(peak < 0.9, "victim must stay below the aggressor: {peak:.3}");
+    assert!(
+        peak < 0.9,
+        "victim must stay below the aggressor: {peak:.3}"
+    );
 }

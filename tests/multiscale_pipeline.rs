@@ -88,8 +88,8 @@ fn doping_turns_on_semiconducting_tubes_across_layers() {
         resistance_stats, sample_devices, DevicePopulation, DopingState,
     };
     let pop = DevicePopulation::mwcnt_via_default();
-    let p = resistance_stats(&sample_devices(&pop, DopingState::Pristine, 1500, 5).unwrap())
-        .unwrap();
+    let p =
+        resistance_stats(&sample_devices(&pop, DopingState::Pristine, 1500, 5).unwrap()).unwrap();
     let d = resistance_stats(
         &sample_devices(
             &pop,
