@@ -6,9 +6,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_all_figures(c: &mut Criterion) {
-    let mut ids: Vec<&str> = experiments::ALL_IDS.to_vec();
-    ids.push("stability");
-    for id in ids {
+    // `variability` is a full Monte-Carlo ensemble (hundreds of sweep
+    // jobs per run) — bench the nominal artefacts only, as before.
+    for id in experiments::catalog().filter(|id| *id != "variability") {
         c.bench_function(&format!("figure/{id}"), |b| {
             b.iter(|| experiments::run(black_box(id)).unwrap())
         });

@@ -1,40 +1,62 @@
-//! Regenerates the paper's figures and tables.
+//! Regenerates the paper's figures and tables from the experiment
+//! registry.
 //!
 //! ```text
-//! repro --list            list runnable experiment ids (primary + aliases;
-//!                         sweep ids are listed by --help)
-//! repro all               run every experiment
+//! repro --list            one line per experiment: id, title, [sweep]
+//! repro info fig12        title + declared parameters of one experiment
+//! repro all               run every experiment at the paper operating point
 //! repro fig12 fig08a      run selected experiments
+//! repro fig12 --set length_um=200 --set nc=6
+//!                         run with typed parameter overrides, validated
+//!                         against the experiment's declared ParamSpec
+//! repro table1 --format json
+//!                         machine-readable output (one JSON object per
+//!                         line; `csv` emits the data table)
 //! repro sweep fig12 --trials 1000 --threads 8 --seed 42
 //!                         run the Monte-Carlo sweep variant of an id on
 //!                         the cnt-sweep engine (output is byte-identical
 //!                         for any --threads value)
+//! repro check-json        validate a JSON stream on stdin (used by CI to
+//!                         guard `repro all --format json`)
 //! ```
+//!
+//! Common flags:
+//!
+//! * `--format F`    output format: `text` (default), `json`, `csv`
+//! * `--set K=V`     typed parameter override; unknown keys and
+//!   out-of-range values are rejected before the experiment runs
 //!
 //! Sweep flags:
 //!
 //! * `--trials N`    Monte-Carlo trials per cell (default 200)
 //! * `--threads N`   worker threads, 0 = all cores (default 0)
-//! * `--seed S`      root seed (default 42)
+//! * `--seed S`      root seed (default 42, or the artefact's own seed)
 //! * `--cache-dir D` on-disk result cache (default `.sweep-cache`)
 //! * `--no-cache`    disable the on-disk cache
 //!
 //! Sweep execution metadata (thread count, cache hit, wall time) goes to
-//! stderr so stdout stays a pure function of `(id, trials, seed)`.
+//! stderr so stdout stays a pure function of `(id, params, seed)`.
 
-use cnt_interconnect::experiments;
-use cnt_interconnect::experiments::SweepOpts;
+use cnt_interconnect::experiments::{self, registry, OutputFormat, RunContext};
+use std::io::Read;
 use std::process::ExitCode;
 
 fn usage() {
-    eprintln!("usage: repro [--list] [all | <id>...]");
-    eprintln!("       repro sweep <id> [--trials N] [--threads N] [--seed S]");
-    eprintln!("                        [--cache-dir DIR] [--no-cache]");
+    eprintln!(
+        "usage: repro [--list] [--format text|json|csv] [--set KEY=VALUE]... [all | <id>...]"
+    );
+    eprintln!("       repro info <id>");
+    eprintln!("       repro sweep <id> [--trials N] [--threads N] [--seed S] [--set KEY=VALUE]...");
+    eprintln!("                        [--cache-dir DIR] [--no-cache] [--format text|json|csv]");
+    eprintln!("       repro check-json          (validates a JSON stream on stdin)");
     eprintln!(
         "ids: {}",
         experiments::catalog().collect::<Vec<_>>().join(" ")
     );
-    eprintln!("sweep ids: {}", experiments::SWEEP_IDS.join(" "));
+    eprintln!(
+        "sweep ids: {}",
+        experiments::sweep_catalog().collect::<Vec<_>>().join(" ")
+    );
 }
 
 fn main() -> ExitCode {
@@ -44,27 +66,59 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     if args.iter().any(|a| a == "--list") {
-        for id in experiments::catalog() {
-            println!("{id}");
-        }
+        list();
         return ExitCode::SUCCESS;
     }
-    if args[0] == "sweep" {
-        return run_sweep_command(&args[1..]);
+    match args[0].as_str() {
+        "sweep" => run_sweep_command(&args[1..]),
+        "info" => run_info_command(&args[1..]),
+        "check-json" => run_check_json_command(),
+        _ => run_experiments_command(&args),
     }
+}
 
-    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
-        experiments::catalog().collect()
-    } else {
-        args.iter().map(String::as_str).collect()
+/// The registry-driven `--list`: id, title, and a `[sweep]` marker when a
+/// Monte-Carlo variant exists.
+fn list() {
+    let width = registry().iter().map(|e| e.id().len()).max().unwrap_or(0);
+    for exp in registry().iter() {
+        let marker = if exp.sweep().is_some() {
+            " [sweep]"
+        } else {
+            ""
+        };
+        println!("{:<width$}  {}{}", exp.id(), exp.title(), marker);
+    }
+}
+
+/// Parses and runs `repro [flags] [all | <id>...]`.
+fn run_experiments_command(args: &[String]) -> ExitCode {
+    let parsed = match CommonFlags::parse(args) {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
     };
+    let ids: Vec<&str> = if parsed.rest.contains(&"all") {
+        experiments::catalog().collect()
+    } else if parsed.rest.is_empty() {
+        return fail("no experiment id given");
+    } else {
+        parsed.rest.clone()
+    };
+    if parsed.format == OutputFormat::Csv && ids.len() > 1 {
+        // Concatenated tables with differing headers are not one CSV
+        // document; JSON-lines is the multi-report stream.
+        return fail("--format csv takes exactly one experiment id (use --format json for a multi-report stream)");
+    }
 
     let mut failures = 0usize;
     for id in ids {
-        match experiments::run(id) {
-            Ok(report) => {
-                println!("{report}");
-            }
+        match run_one(id, &parsed) {
+            Ok(rendered) => match parsed.format {
+                // Text reports end in a newline already; println keeps the
+                // blank separator line the harness has always printed.
+                OutputFormat::Text | OutputFormat::Json => println!("{rendered}"),
+                OutputFormat::Csv => print!("{rendered}"),
+            },
             Err(e) => {
                 eprintln!("experiment '{id}' failed: {e}");
                 failures += 1;
@@ -78,41 +132,106 @@ fn main() -> ExitCode {
     }
 }
 
+fn run_one(id: &str, flags: &CommonFlags) -> Result<String, cnt_interconnect::Error> {
+    let exp = registry().get(id)?;
+    let ctx = RunContext::with_overrides(exp.params(), &flags.sets)?;
+    let report = exp.run(&ctx)?;
+    Ok(report.render_as(flags.format))
+}
+
+/// Prints one experiment's declared parameter surface.
+fn run_info_command(args: &[String]) -> ExitCode {
+    let [id] = args else {
+        return fail("info takes exactly one experiment id");
+    };
+    let exp = match registry().get(id) {
+        Ok(exp) => exp,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let marker = if exp.sweep().is_some() {
+        "  [sweep]"
+    } else {
+        ""
+    };
+    println!("{} — {}{}", exp.id(), exp.title(), marker);
+    println!("parameters (override with --set KEY=VALUE):");
+    for def in exp.params().defs() {
+        let range = match def.default {
+            experiments::ParamValue::Text(_) => String::new(),
+            _ => format!("  range [{}, {}]", def.min, def.max),
+        };
+        println!(
+            "  {:<12} {:<8} default {}{}  — {}",
+            def.key,
+            def.default.kind(),
+            def.default,
+            range,
+            def.doc
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// Validates a JSON stream on stdin (the `repro all --format json` shape).
+fn run_check_json_command() -> ExitCode {
+    let mut text = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+        return fail(&format!("reading stdin: {e}"));
+    }
+    match experiments::format::check_json_stream(&text) {
+        Ok(count) => {
+            eprintln!("check-json: {count} valid JSON value(s)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&e.to_string()),
+    }
+}
+
 /// Parses and runs `repro sweep <id> [flags]`.
 fn run_sweep_command(args: &[String]) -> ExitCode {
     let mut id: Option<&str> = None;
-    let mut opts = SweepOpts {
-        cache_dir: Some(".sweep-cache".into()),
-        ..SweepOpts::default()
-    };
+    let mut format = OutputFormat::Text;
+    // Overrides accumulate in command-line order so the last flag wins,
+    // whether it was spelled `--no-cache`, `--cache-dir`, `--seed`, or
+    // `--set key=value`. The CLI's historical defaults come first: cache
+    // under .sweep-cache, root seed 42 — a sweep is its own artefact, so
+    // an experiment's re-declared plain-run seed does not leak into it
+    // (keeps `repro sweep fig05` reproducing its pre-registry output).
+    let mut overrides: Vec<(String, String)> = vec![
+        ("cache_dir".into(), ".sweep-cache".into()),
+        ("seed".into(), "42".into()),
+    ];
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        let parse_value = |name: &str, value: Option<&String>| -> Result<u64, String> {
+        let take = |name: &str, value: Option<&String>| -> Result<String, String> {
             value
-                .ok_or_else(|| format!("{name} needs a value"))?
-                .parse::<u64>()
-                .map_err(|e| format!("bad {name} value: {e}"))
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
         };
         match arg.as_str() {
-            "--trials" => match parse_value("--trials", it.next()) {
-                Ok(v) if v > 0 => opts.trials = v as usize,
-                Ok(_) => return fail("--trials must be positive"),
+            "--trials" | "--threads" | "--seed" => {
+                let key = arg.trim_start_matches("--").to_string();
+                match take(arg, it.next()) {
+                    Ok(v) => overrides.push((key, v)),
+                    Err(e) => return fail(&e),
+                }
+            }
+            "--cache-dir" => match take("--cache-dir", it.next()) {
+                Ok(dir) => overrides.push(("cache_dir".into(), dir)),
                 Err(e) => return fail(&e),
             },
-            "--threads" => match parse_value("--threads", it.next()) {
-                Ok(v) => opts.threads = v as usize,
+            "--no-cache" => overrides.push(("cache_dir".into(), String::new())),
+            "--format" => match take("--format", it.next()).map(|v| v.parse()) {
+                Ok(Ok(f)) => format = f,
+                Ok(Err(e)) => return fail(&e.to_string()),
                 Err(e) => return fail(&e),
             },
-            "--seed" => match parse_value("--seed", it.next()) {
-                Ok(v) => opts.seed = v,
+            "--set" => match take("--set", it.next()).map(parse_set) {
+                Ok(Ok(pair)) => overrides.push(pair),
+                Ok(Err(e)) => return fail(&e),
                 Err(e) => return fail(&e),
             },
-            "--cache-dir" => match it.next() {
-                Some(dir) => opts.cache_dir = Some(dir.into()),
-                None => return fail("--cache-dir needs a value"),
-            },
-            "--no-cache" => opts.cache_dir = None,
             other if other.starts_with('-') => {
                 return fail(&format!("unknown sweep flag '{other}'"));
             }
@@ -127,16 +246,25 @@ fn run_sweep_command(args: &[String]) -> ExitCode {
     let Some(id) = id else {
         return fail("sweep needs an experiment id");
     };
-    if !experiments::SWEEP_IDS.contains(&id) {
-        return fail(&format!(
-            "unknown sweep id '{id}' (valid: {})",
-            experiments::SWEEP_IDS.join(" ")
-        ));
+    let (exp, sweep) = match experiments::sweep_variant(id) {
+        Ok(pair) => pair,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let mut ctx = RunContext::defaults(exp.params());
+    for (key, raw) in &overrides {
+        if let Err(e) = ctx.set(exp.params(), key, raw) {
+            return fail(&e.to_string());
+        }
     }
+
     let started = std::time::Instant::now();
-    match experiments::run_sweep(id, &opts) {
+    match sweep.run_sweep(&ctx) {
         Ok(run) => {
-            println!("{}", run.report);
+            match format {
+                OutputFormat::Text => println!("{}", run.report),
+                OutputFormat::Json => println!("{}", run.report.to_json()),
+                OutputFormat::Csv => print!("{}", run.report.to_csv()),
+            }
             eprintln!(
                 "sweep '{id}': {} jobs on {} thread(s) in {:.3} s ({})",
                 run.jobs,
@@ -154,6 +282,47 @@ fn run_sweep_command(args: &[String]) -> ExitCode {
             eprintln!("sweep '{id}' failed: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Flags shared by the plain experiment path.
+struct CommonFlags<'a> {
+    format: OutputFormat,
+    sets: Vec<(String, String)>,
+    rest: Vec<&'a str>,
+}
+
+impl<'a> CommonFlags<'a> {
+    fn parse(args: &'a [String]) -> Result<Self, String> {
+        let mut format = OutputFormat::Text;
+        let mut sets = Vec::new();
+        let mut rest = Vec::new();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--format" => {
+                    let value = it.next().ok_or("--format needs a value")?;
+                    format = value.parse().map_err(|e| format!("{e}"))?;
+                }
+                "--set" => {
+                    let value = it.next().ok_or("--set needs a value")?;
+                    sets.push(parse_set(value.clone())?);
+                }
+                other if other.starts_with('-') => {
+                    return Err(format!("unknown flag '{other}'"));
+                }
+                other => rest.push(other),
+            }
+        }
+        Ok(Self { format, sets, rest })
+    }
+}
+
+/// Splits a `KEY=VALUE` override.
+fn parse_set(raw: String) -> Result<(String, String), String> {
+    match raw.split_once('=') {
+        Some((key, value)) if !key.is_empty() => Ok((key.to_string(), value.to_string())),
+        _ => Err(format!("--set expects KEY=VALUE, got '{raw}'")),
     }
 }
 

@@ -2,7 +2,9 @@
 //! `cnt-beol` platform.
 //!
 //! * `cargo run -p cnt-bench --bin repro -- all` regenerates every paper
-//!   artefact (see `cnt_interconnect::experiments::ALL_IDS`);
+//!   artefact (see `cnt_interconnect::experiments::registry`); `--set`
+//!   overrides typed parameters, `--format json|csv` emits
+//!   machine-readable reports;
 //! * `cargo bench -p cnt-bench` times the computational kernels and the
 //!   DESIGN.md §6 ablations.
 

@@ -1,6 +1,8 @@
 //! Fig. 8 regenerators: ballistic conductance vs diameter, atomic
 //! structures, bands/transmission of pristine and doped CNT(7,7).
 
+use super::params::{ParamSpec, RunContext};
+use super::registry::Entry;
 use super::Report;
 use crate::Result;
 use cnt_atomistic::bands::BandStructure;
@@ -11,8 +13,25 @@ use cnt_atomistic::transport;
 use cnt_units::consts::G0_SIEMENS;
 use cnt_units::si::{Length, Temperature};
 
-fn t300() -> Temperature {
-    Temperature::from_kelvin(300.0)
+const FIG08A_TITLE: &str = "Ballistic conductance vs diameter, zigzag + armchair SWCNTs, 300 K";
+const FIG08B_TITLE: &str = "Atomic structures of CNT(7,7), pristine and iodine-doped";
+const FIG08C_TITLE: &str = "Transmission T(E) of pristine vs iodine-doped CNT(7,7)";
+
+/// This module's registry rows.
+pub(super) fn entries() -> Vec<Entry> {
+    vec![
+        Entry::new(80, "fig08a", FIG08A_TITLE, temp_spec(), fig08a_with),
+        Entry::new(81, "fig08b", FIG08B_TITLE, fig08b_spec(), fig08b_with),
+        Entry::new(82, "fig08c", FIG08C_TITLE, temp_spec(), fig08c_with),
+    ]
+}
+
+fn temp_spec() -> ParamSpec {
+    ParamSpec::new().float("temp_k", "electron temperature", 300.0, 50.0, 600.0)
+}
+
+fn fig08b_spec() -> ParamSpec {
+    ParamSpec::new().float("length_nm", "generated tube segment length", 2.0, 0.5, 10.0)
 }
 
 /// Fig. 8a: ballistic conductance versus diameter for the zigzag and
@@ -22,14 +41,16 @@ fn t300() -> Temperature {
 ///
 /// Propagates atomistic sweep errors.
 pub fn fig08a() -> Result<Report> {
+    fig08a_with(&RunContext::defaults(&temp_spec()))
+}
+
+fn fig08a_with(ctx: &RunContext) -> Result<Report> {
+    let temp = Temperature::from_kelvin(ctx.f64("temp_k"));
     let mut tubes = Chirality::zigzag_series(5, 26);
     tubes.extend(Chirality::armchair_series(3, 15));
-    let pts = transport::conductance_vs_diameter(&tubes, t300())?;
-    let mut rep = Report::new(
-        "fig08a",
-        "Ballistic conductance vs diameter, zigzag + armchair SWCNTs, 300 K",
-    )
-    .with_columns(&["d_nm", "G_mS", "Nc", "metallic", "armchair"]);
+    let pts = transport::conductance_vs_diameter(&tubes, temp)?;
+    let mut rep = Report::new("fig08a", FIG08A_TITLE)
+        .with_columns(&["d_nm", "G_mS", "Nc", "metallic", "armchair"]);
     for p in &pts {
         rep.push_row(vec![
             p.diameter_nm,
@@ -60,19 +81,19 @@ pub fn fig08a() -> Result<Report> {
 ///
 /// Propagates geometry-construction errors.
 pub fn fig08b() -> Result<Report> {
+    fig08b_with(&RunContext::defaults(&fig08b_spec()))
+}
+
+fn fig08b_with(ctx: &RunContext) -> Result<Report> {
     let tube = Chirality::new(7, 7)?;
-    let length = Length::from_nanometers(2.0);
+    let length = Length::from_nanometers(ctx.f64("length_nm"));
     let pristine = geometry::tube_segment(tube, length)?;
     let doped = geometry::doped_tube_with_iodine(tube, length)?;
     let iodine = doped
         .iter()
         .filter(|a| a.element == geometry::Element::I)
         .count();
-    let mut rep = Report::new(
-        "fig08b",
-        "Atomic structures of CNT(7,7), pristine and iodine-doped",
-    )
-    .with_columns(&["atoms"]);
+    let mut rep = Report::new("fig08b", FIG08B_TITLE).with_columns(&["atoms"]);
     rep.push_labeled_row("pristine_c_atoms", vec![(pristine.len()) as f64]);
     rep.push_labeled_row("doped_total_atoms", vec![doped.len() as f64]);
     rep.push_labeled_row("iodine_atoms", vec![iodine as f64]);
@@ -105,22 +126,24 @@ pub fn fig08b_structures() -> Result<(String, String)> {
 ///
 /// Propagates atomistic errors.
 pub fn fig08c() -> Result<Report> {
+    fig08c_with(&RunContext::defaults(&temp_spec()))
+}
+
+fn fig08c_with(ctx: &RunContext) -> Result<Report> {
+    let temp = Temperature::from_kelvin(ctx.f64("temp_k"));
     let tube = Chirality::new(7, 7)?;
     let pristine_bands = BandStructure::compute(tube, transport::DEFAULT_NK)?;
     let doped = DopedCnt::new(tube, DopingSpec::iodine_internal())?;
 
-    let mut rep = Report::new(
-        "fig08c",
-        "Transmission T(E) of pristine vs iodine-doped CNT(7,7)",
-    )
-    .with_columns(&["E_eV", "T_pristine", "T_doped"]);
+    let mut rep =
+        Report::new("fig08c", FIG08C_TITLE).with_columns(&["E_eV", "T_pristine", "T_doped"]);
     let spec = doped.transmission_spectrum(-1.5, 1.5, 121)?;
     for (e, t_doped) in spec {
         rep.push_row(vec![e, pristine_bands.mode_count(e) as f64, t_doped]);
     }
 
-    let g_pristine = transport::conductance_at_temperature(&pristine_bands, 0.0, t300());
-    let g_doped = doped.conductance(t300());
+    let g_pristine = transport::conductance_at_temperature(&pristine_bands, 0.0, temp);
+    let g_doped = doped.conductance(temp);
     rep.note(format!(
         "pristine G = {:.3} mS (paper: 0.155 mS)",
         g_pristine.millisiemens()
@@ -158,6 +181,26 @@ mod tests {
             }
         }
         assert!(rep.rows.len() > 25);
+    }
+
+    #[test]
+    fn fig08a_hotter_semiconductors_conduct_more() {
+        let hot =
+            RunContext::with_overrides(&temp_spec(), &[("temp_k".to_string(), "500".to_string())])
+                .unwrap();
+        let base = fig08a().unwrap();
+        let heated = fig08a_with(&hot).unwrap();
+        // Thermal activation: total semiconducting conductance rises.
+        let semi_g = |r: &Report| -> f64 {
+            let g = r.column("G_mS").unwrap();
+            let met = r.column("metallic").unwrap();
+            g.iter()
+                .zip(&met)
+                .filter(|(_, m)| **m < 0.5)
+                .map(|(g, _)| g)
+                .sum()
+        };
+        assert!(semi_g(&heated) > semi_g(&base));
     }
 
     #[test]

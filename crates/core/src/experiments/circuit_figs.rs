@@ -1,6 +1,9 @@
 //! Figs. 9–12 regenerators: conductivity comparison, TCAD RC extraction,
 //! the circuit benchmark and the delay-ratio study.
 
+use super::params::{ParamSpec, RunContext};
+use super::registry::Entry;
+use super::sweep_figs;
 use super::Report;
 use crate::benchmark::{
     delay_ratio, delay_ratio_grid, delay_ratio_simulated, DelayBenchmark, FIG12_CHANNEL_COUNTS,
@@ -13,6 +16,23 @@ use cnt_fields::netlist::NetlistWriter;
 use cnt_fields::presets::{inverter_cell_14nm, via_stack, InverterCellGeometry};
 use cnt_fields::solver::SolverOptions;
 use cnt_units::si::Length;
+
+const FIG09_TITLE: &str = "Conductivity (MS/m) of SWCNT/MWCNT lines vs Cu, by length";
+const FIG10_TITLE: &str =
+    "TCAD RC extraction: 14 nm inverter cell (capacitance) + via stack (resistance)";
+const FIG11_TITLE: &str = "Circuit benchmark: driver + doped MWCNT line + 45 nm receiver";
+const FIG12_TITLE: &str = "Delay ratio doped/pristine vs length and Nc per shell";
+
+/// This module's registry rows.
+pub(super) fn entries() -> Vec<Entry> {
+    vec![
+        Entry::new(90, "fig09", FIG09_TITLE, ParamSpec::new(), |_| fig09()),
+        Entry::new(100, "fig10", FIG10_TITLE, ParamSpec::new(), |_| fig10()),
+        Entry::new(110, "fig11", FIG11_TITLE, fig11_spec(), fig11_with),
+        Entry::new(120, "fig12", FIG12_TITLE, fig12_spec(), fig12_with)
+            .with_sweep(sweep_figs::sweep_fig12),
+    ]
+}
 
 fn nm(v: f64) -> Length {
     Length::from_nanometers(v)
@@ -35,11 +55,7 @@ pub fn fig09() -> Result<Report> {
     let cu20 = CuWire::damascene(nm(20.0), nm(40.0))?;
     let cu100 = CuWire::damascene(nm(100.0), nm(200.0))?;
 
-    let mut rep = Report::new(
-        "fig09",
-        "Conductivity (MS/m) of SWCNT/MWCNT lines vs Cu, by length",
-    )
-    .with_columns(&[
+    let mut rep = Report::new("fig09", FIG09_TITLE).with_columns(&[
         "L_um",
         "swcnt_d1",
         "mwcnt_d10",
@@ -83,11 +99,7 @@ pub fn fig10() -> Result<Report> {
     let structure = inverter_cell_14nm(geometry).build([15, 11, 13])?;
     let cap = extract_capacitance(&structure, &SolverOptions::default())?;
 
-    let mut rep = Report::new(
-        "fig10",
-        "TCAD RC extraction: 14 nm inverter cell (capacitance) + via stack (resistance)",
-    )
-    .with_columns(&["C_aF"]);
+    let mut rep = Report::new("fig10", FIG10_TITLE).with_columns(&["C_aF"]);
     let labels = cap.labels();
     for i in 0..labels.len() {
         for j in i + 1..labels.len() {
@@ -133,6 +145,12 @@ pub fn fig10() -> Result<Report> {
     Ok(rep)
 }
 
+fn fig11_spec() -> ParamSpec {
+    ParamSpec::new()
+        .float("d_nm", "MWCNT line outer diameter", 10.0, 5.0, 40.0)
+        .int("nc", "channels per shell of the line", 2, 2.0, 30.0)
+}
+
 /// Fig. 11: the benchmark circuit itself — 45 nm-node inverters connected
 /// by doped-MWCNT interconnects — exercised end to end (one transient per
 /// length).
@@ -141,11 +159,13 @@ pub fn fig10() -> Result<Report> {
 ///
 /// Propagates benchmark construction and simulation errors.
 pub fn fig11() -> Result<Report> {
-    let mut rep = Report::new(
-        "fig11",
-        "Circuit benchmark: driver + doped MWCNT line + 45 nm receiver",
-    )
-    .with_columns(&[
+    fig11_with(&RunContext::defaults(&fig11_spec()))
+}
+
+fn fig11_with(ctx: &RunContext) -> Result<Report> {
+    let d = nm(ctx.f64("d_nm"));
+    let nc = ctx.usize("nc");
+    let mut rep = Report::new("fig11", FIG11_TITLE).with_columns(&[
         "L_um",
         "R_line_kohm",
         "C_line_fF",
@@ -153,7 +173,7 @@ pub fn fig11() -> Result<Report> {
         "delay_sim_ns",
     ]);
     for &l_um in &[10.0, 100.0, 500.0] {
-        let b = DelayBenchmark::paper_fig12(nm(10.0), 2, um(l_um))?;
+        let b = DelayBenchmark::paper_fig12(d, nc, um(l_um))?;
         let totals = b.line_totals()?;
         let est = b.estimate_delay()?;
         let sim = b.simulate_delay()?;
@@ -170,27 +190,43 @@ pub fn fig11() -> Result<Report> {
     Ok(rep)
 }
 
+fn fig12_spec() -> ParamSpec {
+    ParamSpec::new()
+        .float(
+            "length_um",
+            "anchor interconnect length",
+            500.0,
+            1.0,
+            2000.0,
+        )
+        .int("nc", "anchor doped channels per shell", 10, 2.0, 30.0)
+}
+
 /// Fig. 12: delay ratio of doped vs pristine MWCNT interconnects over
 /// interconnect length and channels per shell, for D = 10/14/22 nm.
 ///
 /// The 75-cell grid is evaluated on the `cnt-sweep` pool (all cores);
 /// row order and values are identical to the serial nested loops this
-/// replaced.
+/// replaced. The `length_um`/`nc` knobs move the paper-anchor checks in
+/// the notes; the grid itself is the paper's.
 ///
 /// # Errors
 ///
 /// Propagates benchmark errors.
 pub fn fig12() -> Result<Report> {
-    let mut rep = Report::new(
-        "fig12",
-        "Delay ratio doped/pristine vs length and Nc per shell",
-    )
-    .with_columns(&["D_nm", "Nc", "L_um", "delay_ratio"]);
+    fig12_with(&RunContext::defaults(&fig12_spec()))
+}
+
+fn fig12_with(ctx: &RunContext) -> Result<Report> {
+    let anchor_l = ctx.f64("length_um");
+    let anchor_nc = ctx.usize("nc");
+    let mut rep =
+        Report::new("fig12", FIG12_TITLE).with_columns(&["D_nm", "Nc", "L_um", "delay_ratio"]);
     let grid = delay_ratio_grid(
         &FIG12_DIAMETERS_NM,
         &FIG12_CHANNEL_COUNTS,
         &FIG12_LENGTHS_UM,
-        0,
+        ctx.usize("threads"),
     )?;
     let mut points = grid.iter();
     for &d in &FIG12_DIAMETERS_NM {
@@ -202,14 +238,14 @@ pub fn fig12() -> Result<Report> {
         }
     }
     for (d, paper) in [(10.0, 0.10), (14.0, 0.05), (22.0, 0.02)] {
-        let r = delay_ratio(nm(d), 10, um(500.0))?;
+        let r = delay_ratio(nm(d), anchor_nc, um(anchor_l))?;
         rep.note(format!(
-            "anchor D = {d} nm, L = 500 µm, Nc = 10: reduction {:.1} % (paper: {:.0} %)",
+            "anchor D = {d} nm, L = {anchor_l} µm, Nc = {anchor_nc}: reduction {:.1} % (paper: {:.0} %)",
             (1.0 - r) * 100.0,
             paper * 100.0
         ));
     }
-    let sim = delay_ratio_simulated(nm(10.0), 10, um(500.0))?;
+    let sim = delay_ratio_simulated(nm(10.0), anchor_nc, um(anchor_l))?;
     rep.note(format!(
         "SPICE cross-check at D = 10 nm anchor: simulated ratio {sim:.3}"
     ));
@@ -258,6 +294,17 @@ mod tests {
     }
 
     #[test]
+    fn fig11_doping_override_speeds_the_line() {
+        let doped =
+            RunContext::with_overrides(&fig11_spec(), &[("nc".to_string(), "10".to_string())])
+                .unwrap();
+        let base = fig11().unwrap();
+        let fast = fig11_with(&doped).unwrap();
+        let longest = |r: &Report| *r.column("delay_est_ns").unwrap().last().unwrap();
+        assert!(longest(&fast) < longest(&base), "doping must cut the delay");
+    }
+
+    #[test]
     fn fig12_grid_and_anchors() {
         let rep = fig12().unwrap();
         assert_eq!(rep.rows.len(), 3 * 5 * 5);
@@ -265,5 +312,23 @@ mod tests {
         assert!(ratios.iter().all(|r| *r <= 1.0 + 1e-12));
         let text = rep.render();
         assert!(text.contains("anchor D = 10 nm"));
+    }
+
+    #[test]
+    fn fig12_anchor_overrides_move_the_notes() {
+        let moved = RunContext::with_overrides(
+            &fig12_spec(),
+            &[
+                ("length_um".to_string(), "200".to_string()),
+                ("nc".to_string(), "6".to_string()),
+            ],
+        )
+        .unwrap();
+        let rep = fig12_with(&moved).unwrap();
+        let text = rep.render();
+        assert!(text.contains("L = 200 µm, Nc = 6"), "{text}");
+        assert_ne!(text, fig12().unwrap().render());
+        // The grid itself is still the paper's.
+        assert_eq!(rep.rows, fig12().unwrap().rows);
     }
 }

@@ -1,5 +1,7 @@
 //! Fig. 2d, TLM and self-heating regenerators (Section IV.B experiments).
 
+use super::params::{ParamSpec, RunContext};
+use super::registry::Entry;
 use super::Report;
 use crate::compact::DopedMwcnt;
 use crate::Result;
@@ -9,6 +11,39 @@ use cnt_thermal::extract::extract_thermal_conductivity;
 use cnt_thermal::fin::SelfHeatingLine;
 use cnt_thermal::sthm::SthmInstrument;
 use cnt_units::si::{Current, CurrentDensity, Length, Resistance, Voltage};
+
+const FIG02D_TITLE: &str = "I-V of a side-contacted MWCNT before/after PtCl4 doping";
+const TLM_TITLE: &str = "Transmission-line method: R(L) of contacted MWCNT segments";
+const SELFHEAT_TITLE: &str =
+    "Self-heating at 30 MA/cm²: MWCNT vs Cu line, with SThM scan of the CNT";
+
+/// This module's registry rows.
+pub(super) fn entries() -> Vec<Entry> {
+    vec![
+        Entry::new(20, "fig02d", FIG02D_TITLE, fig02d_spec(), fig02d_with),
+        Entry::new(140, "tlm", TLM_TITLE, tlm_spec(), tlm_with),
+        Entry::new(
+            150,
+            "selfheat",
+            SELFHEAT_TITLE,
+            selfheat_spec(),
+            selfheat_with,
+        ),
+    ]
+}
+
+fn fig02d_spec() -> ParamSpec {
+    ParamSpec::new()
+        .float("length_um", "contacted channel length", 1.0, 0.05, 100.0)
+        .int(
+            "nc_doped",
+            "channels per shell after PtCl4 doping",
+            4,
+            2.0,
+            30.0,
+        )
+        .seed_default(24)
+}
 
 /// Fig. 2d: I–V characterization of a side-contacted MWCNT before and
 /// after PtCl₄ doping.
@@ -24,8 +59,13 @@ use cnt_units::si::{Current, CurrentDensity, Length, Resistance, Voltage};
 ///
 /// Propagates compact-model and sweep errors.
 pub fn fig02d() -> Result<Report> {
+    fig02d_with(&RunContext::defaults(&fig02d_spec()))
+}
+
+fn fig02d_with(ctx: &RunContext) -> Result<Report> {
     use crate::compact::{MfpModel, ShellChannelModel, ShellFillPolicy, WireEnvironment};
-    let length = Length::from_micrometers(1.0);
+    let length = Length::from_micrometers(ctx.f64("length_um"));
+    let seed = ctx.u64("seed");
     let d = Length::from_nanometers(7.5);
     let cvd_mfp = MfpModel::Fixed(Length::from_nanometers(50.0));
     let mk_tube = |nc: usize| {
@@ -39,7 +79,7 @@ pub fn fig02d() -> Result<Report> {
         )
     };
     let pristine_tube = mk_tube(2)?;
-    let doped_tube = mk_tube(4)?;
+    let doped_tube = mk_tube(ctx.usize("nc_doped"))?;
     let contacts_pristine = 2.0 * 18e3; // Pd/Au side contacts, §II.A platform
     let contacts_doped = 0.6 * contacts_pristine; // charge transfer thins the barrier
 
@@ -53,14 +93,11 @@ pub fn fig02d() -> Result<Report> {
     let doped = mk(&doped_tube, contacts_doped);
 
     let vmax = Voltage::from_volts(0.5);
-    let curve_p = iv_sweep(&pristine, vmax, 41, 0.01, 24)?;
-    let curve_d = iv_sweep(&doped, vmax, 41, 0.01, 25)?;
+    let curve_p = iv_sweep(&pristine, vmax, 41, 0.01, seed)?;
+    let curve_d = iv_sweep(&doped, vmax, 41, 0.01, seed + 1)?;
 
-    let mut rep = Report::new(
-        "fig02d",
-        "I-V of a side-contacted MWCNT before/after PtCl4 doping",
-    )
-    .with_columns(&["V", "I_pristine_uA", "I_doped_uA"]);
+    let mut rep =
+        Report::new("fig02d", FIG02D_TITLE).with_columns(&["V", "I_pristine_uA", "I_doped_uA"]);
     for (p, d) in curve_p.points.iter().zip(&curve_d.points) {
         rep.push_row(vec![p.0.volts(), p.1.microamps(), d.1.microamps()]);
     }
@@ -77,6 +114,10 @@ pub fn fig02d() -> Result<Report> {
     Ok(rep)
 }
 
+fn tlm_spec() -> ParamSpec {
+    ParamSpec::new()
+}
+
 /// The TLM experiment of Section IV.B: extract contact resistance and
 /// per-length resistance from multi-length MWCNT devices.
 ///
@@ -84,15 +125,16 @@ pub fn fig02d() -> Result<Report> {
 ///
 /// Propagates TLM generation/fitting errors.
 pub fn tlm() -> Result<Report> {
-    let experiment = TlmExperiment::mwcnt_default();
-    let data = experiment.measure(42)?;
-    let fit = run_tlm(&experiment, 42)?;
+    tlm_with(&RunContext::defaults(&tlm_spec()))
+}
 
-    let mut rep = Report::new(
-        "tlm",
-        "Transmission-line method: R(L) of contacted MWCNT segments",
-    )
-    .with_columns(&["L_um", "R_kohm"]);
+fn tlm_with(ctx: &RunContext) -> Result<Report> {
+    let seed = ctx.u64("seed");
+    let experiment = TlmExperiment::mwcnt_default();
+    let data = experiment.measure(seed)?;
+    let fit = run_tlm(&experiment, seed)?;
+
+    let mut rep = Report::new("tlm", TLM_TITLE).with_columns(&["L_um", "R_kohm"]);
     for (l, r) in &data {
         rep.push_row(vec![l.micrometers(), r.kilo_ohms()]);
     }
@@ -114,6 +156,13 @@ pub fn tlm() -> Result<Report> {
     Ok(rep)
 }
 
+fn selfheat_spec() -> ParamSpec {
+    ParamSpec::new()
+        .float("length_um", "heated line length", 2.0, 0.1, 50.0)
+        .float("j_ma_cm2", "stress current density", 30.0, 1.0, 300.0)
+        .seed_default(77)
+}
+
 /// Self-heating study of Section IV.B: temperature profiles of matched
 /// MWCNT and Cu lines, an SThM scan, and the Kth extraction.
 ///
@@ -121,19 +170,20 @@ pub fn tlm() -> Result<Report> {
 ///
 /// Propagates thermal-model errors.
 pub fn selfheat() -> Result<Report> {
-    let length = Length::from_micrometers(2.0);
-    let j = CurrentDensity::from_amps_per_square_centimeter(3.0e7);
+    selfheat_with(&RunContext::defaults(&selfheat_spec()))
+}
+
+fn selfheat_with(ctx: &RunContext) -> Result<Report> {
+    let length = Length::from_micrometers(ctx.f64("length_um"));
+    let j = CurrentDensity::from_amps_per_square_centimeter(ctx.f64("j_ma_cm2") * 1e6);
     let cnt = SelfHeatingLine::mwcnt(length, j);
     let cu = SelfHeatingLine::copper(length, j);
     let profile_cnt = cnt.analytic_profile(101)?;
     let profile_cu = cu.analytic_profile(101)?;
-    let scan = SthmInstrument::nanoprobe().scan(&profile_cnt, 77)?;
+    let scan = SthmInstrument::nanoprobe().scan(&profile_cnt, ctx.u64("seed"))?;
 
-    let mut rep = Report::new(
-        "selfheat",
-        "Self-heating at 30 MA/cm²: MWCNT vs Cu line, with SThM scan of the CNT",
-    )
-    .with_columns(&["x_um", "T_cnt_K", "T_cu_K"]);
+    let mut rep =
+        Report::new("selfheat", SELFHEAT_TITLE).with_columns(&["x_um", "T_cnt_K", "T_cu_K"]);
     for (i, &x) in profile_cnt.position_m.iter().enumerate() {
         rep.push_row(vec![
             x * 1e6,
@@ -171,6 +221,18 @@ mod tests {
         assert!(id[0].abs() > ip[0].abs());
         assert!(id.last().unwrap().abs() > ip.last().unwrap().abs());
         assert!(rep.render().contains("low-bias resistance"));
+    }
+
+    #[test]
+    fn fig02d_longer_channel_carries_less() {
+        let spec = fig02d_spec();
+        let long =
+            RunContext::with_overrides(&spec, &[("length_um".to_string(), "10".to_string())])
+                .unwrap();
+        let base = fig02d().unwrap();
+        let stretched = fig02d_with(&long).unwrap();
+        let peak = |r: &Report| r.column("I_pristine_uA").unwrap().last().unwrap().abs();
+        assert!(peak(&stretched) < peak(&base));
     }
 
     #[test]

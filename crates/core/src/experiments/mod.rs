@@ -1,14 +1,31 @@
-//! One entry point per paper artefact.
+//! One entry point per paper artefact, behind a trait-based registry.
 //!
-//! Every figure and quantitative prose claim of the paper maps to a
-//! function here returning a [`Report`] — a structured table plus notes —
-//! that the `cnt-bench` `repro` binary renders. The experiment ids match
-//! the index in `DESIGN.md §4` and `EXPERIMENTS.md`.
+//! Every figure and quantitative prose claim of the paper is registered
+//! exactly once as an [`Experiment`]: an id, a title, a typed
+//! [`ParamSpec`] of overridable knobs, a run function returning a
+//! structured [`Report`], and — for ensemble artefacts — a
+//! [`SweepExperiment`] variant on the `cnt-sweep` pool. Listing,
+//! dispatch, and the sweep catalog all derive from the one table behind
+//! [`registry`]; the experiment ids match the index in `DESIGN.md §4` and
+//! `EXPERIMENTS.md`.
+//!
+//! The `cnt-bench` `repro` binary renders reports as text (byte-stable
+//! across releases), JSON (versioned, see [`format`]), or CSV:
+//!
+//! ```text
+//! repro fig12 --set length_um=200 --set nc=6 --format json
+//! ```
+//!
+//! The zero-argument functions ([`fig12()`], [`table1()`], …) remain as
+//! the stable shorthand for "run at the paper operating point".
 
 mod atomistic_figs;
 mod circuit_figs;
+pub mod format;
 mod measure_figs;
+pub mod params;
 mod process_figs;
+mod registry;
 mod reliability_figs;
 mod report;
 mod sweep_figs;
@@ -16,67 +33,74 @@ mod technology_figs;
 
 pub use atomistic_figs::{fig08a, fig08b, fig08b_structures, fig08c};
 pub use circuit_figs::{fig09, fig10, fig11, fig12};
+pub use format::OutputFormat;
 pub use measure_figs::{fig02d, selfheat, tlm};
+pub use params::{ParamSpec, ParamValue, Params, RunContext};
 pub use process_figs::{fig04, fig05, fig06, fig07};
+pub use registry::{registry, Experiment, Registry, SweepExperiment};
 pub use reliability_figs::{fig03, fig13a, fig13b, stability, table1};
 pub use report::Report;
-pub use sweep_figs::{run_sweep, SweepOpts, SweepRun, SWEEP_IDS};
+pub use sweep_figs::{SweepOpts, SweepRun};
 pub use technology_figs::fig01;
 
 use crate::Result;
 
-/// All experiment ids, in paper order.
-pub const ALL_IDS: [&str; 19] = [
-    "table1", "fig01", "fig02d", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08a", "fig08b",
-    "fig08c", "fig09", "fig10", "fig11", "fig12", "fig13a", "fig13b", "tlm", "selfheat",
-];
-
-/// Alias ids accepted by [`run`] alongside [`ALL_IDS`] — extra named
-/// studies that back prose claims rather than numbered figures. Listing
-/// and dispatch both derive from this table; don't special-case ids in
-/// the harness.
-pub const ALIAS_IDS: [&str; 1] = ["stability"];
-
-/// Every id [`run`] accepts: the paper-ordered [`ALL_IDS`] followed by
-/// [`ALIAS_IDS`].
+/// Every runnable experiment id, catalog order: the paper-ordered
+/// artefacts followed by the extra named studies. Derived from
+/// [`registry`] — there is no second id list to drift.
 pub fn catalog() -> impl Iterator<Item = &'static str> {
-    ALL_IDS.into_iter().chain(ALIAS_IDS)
+    registry().ids()
 }
 
-/// Runs one experiment by id.
+/// The ids with a Monte-Carlo sweep variant, catalog order (a strict
+/// subset of [`catalog`]).
+pub fn sweep_catalog() -> impl Iterator<Item = &'static str> {
+    registry().sweep_ids()
+}
+
+/// Runs one experiment by id at its default (paper) operating point.
 ///
 /// # Errors
 ///
-/// Returns [`crate::Error::InvalidParameter`] for an unknown id and
-/// propagates the experiment's own errors. Accepts every id in
-/// [`catalog`] — [`ALL_IDS`] plus the [`ALIAS_IDS`] extras.
+/// Returns [`crate::Error::UnknownExperiment`] naming the bad id, and
+/// propagates the experiment's own errors.
 pub fn run(id: &str) -> Result<Report> {
-    match id {
-        "table1" => table1(),
-        "fig01" => fig01(),
-        "fig02d" => fig02d(),
-        "fig03" => fig03(),
-        "fig04" => fig04(),
-        "fig05" => fig05(),
-        "fig06" => fig06(),
-        "fig07" => fig07(),
-        "fig08a" => fig08a(),
-        "fig08b" => fig08b(),
-        "fig08c" => fig08c(),
-        "fig09" => fig09(),
-        "fig10" => fig10(),
-        "fig11" => fig11(),
-        "fig12" => fig12(),
-        "fig13a" => fig13a(),
-        "fig13b" => fig13b(),
-        "tlm" => tlm(),
-        "selfheat" => selfheat(),
-        "stability" => stability(),
-        other => Err(crate::Error::InvalidParameter {
-            name: "experiment id (see experiments::ALL_IDS)",
-            value: other.len() as f64,
-        }),
-    }
+    let exp = registry().get(id)?;
+    exp.run(&RunContext::defaults(exp.params()))
+}
+
+/// Runs the sweep variant of one experiment id.
+///
+/// # Errors
+///
+/// Returns [`crate::Error::UnknownExperiment`] for an unknown id, a
+/// [`crate::Error::Layer`] naming the valid ids when the experiment has
+/// no sweep variant, [`crate::Error::InvalidOverride`] for out-of-range
+/// knobs (e.g. zero trials), and propagates kernel errors.
+pub fn run_sweep(id: &str, opts: &SweepOpts) -> Result<SweepRun> {
+    let (exp, sweep) = sweep_variant(id)?;
+    let mut ctx = RunContext::defaults(exp.params());
+    ctx.apply_sweep_opts(exp.params(), opts)?;
+    sweep.run_sweep(&ctx)
+}
+
+/// Resolves an experiment and its sweep variant (the one gate both the
+/// library dispatcher and the CLI use).
+///
+/// # Errors
+///
+/// Returns [`crate::Error::UnknownExperiment`] for an unknown id and
+/// [`crate::Error::Layer`] naming the valid ids when the experiment has
+/// no sweep variant.
+pub fn sweep_variant(id: &str) -> Result<(&'static dyn Experiment, &'static dyn SweepExperiment)> {
+    let exp = registry().get(id)?;
+    let sweep = exp.sweep().ok_or_else(|| {
+        crate::Error::Layer(format!(
+            "'{id}' has no sweep variant (valid: {})",
+            sweep_catalog().collect::<Vec<_>>().join(" ")
+        ))
+    })?;
+    Ok((exp, sweep))
 }
 
 #[cfg(test)]
@@ -85,37 +109,75 @@ mod tests {
 
     #[test]
     fn dispatcher_knows_every_id() {
-        for id in catalog() {
+        for exp in registry().iter() {
+            let id = exp.id();
             let rep = run(id).unwrap_or_else(|e| panic!("{id} failed: {e}"));
             assert_eq!(rep.id, id);
+            assert_eq!(rep.title, exp.title(), "{id} title drifted from its entry");
             assert!(
                 !rep.rows.is_empty() || !rep.notes.is_empty(),
                 "{id} is empty"
             );
         }
-        assert!(run("nope").is_err());
+        let err = run("nope").unwrap_err();
+        assert_eq!(err, crate::Error::UnknownExperiment("nope".to_string()));
     }
 
     #[test]
-    fn catalog_is_all_ids_plus_aliases() {
+    fn catalog_is_primaries_then_extras() {
         let ids: Vec<&str> = catalog().collect();
-        assert_eq!(ids.len(), ALL_IDS.len() + ALIAS_IDS.len());
-        assert_eq!(&ids[..ALL_IDS.len()], &ALL_IDS);
-        assert_eq!(&ids[ALL_IDS.len()..], &ALIAS_IDS);
-        // Aliases never shadow a primary id.
-        for alias in ALIAS_IDS {
-            assert!(!ALL_IDS.contains(&alias), "{alias} duplicated");
-        }
+        let extras: Vec<&str> = registry()
+            .iter()
+            .filter(|e| e.is_extra())
+            .map(|e| e.id())
+            .collect();
+        assert_eq!(ids.len(), registry().iter().count());
+        assert_eq!(extras, ["stability", "variability"]);
+        assert_eq!(&ids[ids.len() - extras.len()..], &extras[..]);
+        // Extras never shadow a primary id: the registry holds each id
+        // exactly once.
+        let mut unique = ids.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), ids.len());
     }
 
     #[test]
-    fn sweep_ids_are_a_subset_of_known_experiments() {
-        for id in SWEEP_IDS {
-            // Every sweep id is either a primary figure or a named study.
-            assert!(
-                catalog().any(|known| known == id) || id == "variability",
-                "sweep id {id} unknown"
-            );
+    fn sweep_ids_are_a_strict_subset_of_the_catalog() {
+        let ids: Vec<&str> = catalog().collect();
+        let sweeps: Vec<&str> = sweep_catalog().collect();
+        assert_eq!(
+            sweeps,
+            [
+                "fig05",
+                "fig06",
+                "fig07",
+                "fig12",
+                "fig13a",
+                "fig13b",
+                "variability"
+            ]
+        );
+        for id in &sweeps {
+            assert!(ids.contains(id), "sweep id {id} not runnable");
         }
+        assert!(sweeps.len() < ids.len());
+    }
+
+    #[test]
+    fn run_sweep_rejects_unknown_ids_sweepless_ids_and_zero_trials() {
+        let opts = SweepOpts::default();
+        assert_eq!(
+            run_sweep("nope", &opts).unwrap_err(),
+            crate::Error::UnknownExperiment("nope".to_string())
+        );
+        let sweepless = run_sweep("fig04", &opts).unwrap_err().to_string();
+        assert!(sweepless.contains("no sweep variant"), "{sweepless}");
+        assert!(sweepless.contains("fig12"), "{sweepless}");
+        let zero = SweepOpts {
+            trials: 0,
+            ..SweepOpts::default()
+        };
+        assert!(run_sweep("fig12", &zero).is_err());
     }
 }

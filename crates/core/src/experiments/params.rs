@@ -1,0 +1,578 @@
+//! Typed experiment parameters.
+//!
+//! Every experiment in the registry declares its knobs as a [`ParamSpec`]:
+//! a list of [`ParamDef`]s with a key, a documented meaning, a typed
+//! default, and inclusive numeric bounds. The CLI turns `--set key=value`
+//! overrides into a validated [`Params`] bag inside a [`RunContext`];
+//! unknown keys and out-of-range values are rejected with
+//! [`crate::Error::InvalidOverride`] *before* the experiment runs, so a
+//! kernel never sees an undeclared or out-of-domain value.
+//!
+//! Four execution knobs are common to every experiment — `trials`,
+//! `threads`, `seed`, and `cache_dir` — because [`RunContext::sweep_opts`]
+//! feeds them to the `cnt-sweep` pool. Experiments whose kernels are
+//! deterministic simply ignore the ones that don't apply; experiments with
+//! a different historical seed re-declare `seed` with their own default so
+//! the default run stays byte-identical to the paper artefact.
+
+use super::sweep_figs::SweepOpts;
+use crate::{Error, Result};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::PathBuf;
+
+/// The execution knobs shared by every [`ParamSpec`].
+pub const COMMON_KEYS: [&str; 4] = ["trials", "threads", "seed", "cache_dir"];
+
+/// A validated parameter value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamValue {
+    /// A whole number (counts, seeds, channel numbers).
+    Int(i64),
+    /// A real number (lengths, temperatures, fractions).
+    Float(f64),
+    /// Free text (paths).
+    Text(String),
+}
+
+impl ParamValue {
+    /// The human name of the value's type, for error messages and `info`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ParamValue::Int(_) => "integer",
+            ParamValue::Float(_) => "number",
+            ParamValue::Text(_) => "string",
+        }
+    }
+}
+
+impl fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamValue::Int(v) => write!(f, "{v}"),
+            ParamValue::Float(v) => write!(f, "{v}"),
+            ParamValue::Text(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// One declared parameter: key, meaning, typed default, numeric bounds.
+#[derive(Debug, Clone)]
+pub struct ParamDef {
+    /// The `--set` key.
+    pub key: &'static str,
+    /// What the knob means, shown by `repro info <id>`.
+    pub doc: &'static str,
+    /// The value used when no override is given; its variant fixes the
+    /// parameter's type.
+    pub default: ParamValue,
+    /// Inclusive lower bound (numeric parameters only).
+    pub min: f64,
+    /// Inclusive upper bound (numeric parameters only).
+    pub max: f64,
+}
+
+impl ParamDef {
+    /// Parses a raw `--set` string against this definition.
+    fn parse(&self, raw: &str) -> Result<ParamValue> {
+        let value = match self.default {
+            ParamValue::Int(_) => ParamValue::Int(
+                raw.parse::<i64>()
+                    .map_err(|e| self.reject(format!("expected an integer, got '{raw}' ({e})")))?,
+            ),
+            ParamValue::Float(_) => ParamValue::Float(
+                raw.parse::<f64>()
+                    .map_err(|e| self.reject(format!("expected a number, got '{raw}' ({e})")))?,
+            ),
+            ParamValue::Text(_) => ParamValue::Text(raw.to_string()),
+        };
+        self.check(value)
+    }
+
+    /// Validates an already-typed value against this definition.
+    fn check(&self, value: ParamValue) -> Result<ParamValue> {
+        if value.kind() != self.default.kind() {
+            return Err(self.reject(format!(
+                "expected {}, got {}",
+                self.default.kind(),
+                value.kind()
+            )));
+        }
+        let numeric = match value {
+            ParamValue::Int(v) => Some(v as f64),
+            ParamValue::Float(v) => Some(v),
+            ParamValue::Text(_) => None,
+        };
+        if let Some(v) = numeric {
+            if !v.is_finite() || v < self.min || v > self.max {
+                return Err(self.reject(format!(
+                    "{v} outside the declared range [{}, {}]",
+                    self.min, self.max
+                )));
+            }
+        }
+        Ok(value)
+    }
+
+    fn reject(&self, reason: String) -> Error {
+        Error::InvalidOverride {
+            key: self.key.to_string(),
+            reason,
+        }
+    }
+}
+
+/// The declared parameter surface of one experiment.
+///
+/// [`ParamSpec::new`] seeds the four [`COMMON_KEYS`]; builder calls add
+/// (or re-declare, for a different default) per-experiment knobs.
+#[derive(Debug, Clone)]
+pub struct ParamSpec {
+    defs: Vec<ParamDef>,
+}
+
+impl ParamSpec {
+    /// A spec with only the common execution knobs.
+    pub fn new() -> Self {
+        let empty = Self { defs: Vec::new() };
+        empty
+            .int(
+                "trials",
+                "Monte-Carlo trials per cell for stochastic/sweep kernels",
+                200,
+                1.0,
+                1e9,
+            )
+            .int(
+                "threads",
+                "worker threads for pooled kernels, 0 = all cores",
+                0,
+                0.0,
+                4096.0,
+            )
+            .int(
+                "seed",
+                "root RNG seed for stochastic kernels",
+                42,
+                0.0,
+                i64::MAX as f64,
+            )
+            .text(
+                "cache_dir",
+                "on-disk sweep result cache directory, empty = no cache",
+                "",
+            )
+    }
+
+    /// Declares (or re-declares) an integer parameter.
+    pub fn int(
+        mut self,
+        key: &'static str,
+        doc: &'static str,
+        default: i64,
+        min: f64,
+        max: f64,
+    ) -> Self {
+        self.put(ParamDef {
+            key,
+            doc,
+            default: ParamValue::Int(default),
+            min,
+            max,
+        });
+        self
+    }
+
+    /// Declares (or re-declares) a real-valued parameter.
+    pub fn float(
+        mut self,
+        key: &'static str,
+        doc: &'static str,
+        default: f64,
+        min: f64,
+        max: f64,
+    ) -> Self {
+        self.put(ParamDef {
+            key,
+            doc,
+            default: ParamValue::Float(default),
+            min,
+            max,
+        });
+        self
+    }
+
+    /// Declares (or re-declares) a text parameter.
+    pub fn text(mut self, key: &'static str, doc: &'static str, default: &str) -> Self {
+        self.put(ParamDef {
+            key,
+            doc,
+            default: ParamValue::Text(default.to_string()),
+            min: 0.0,
+            max: 0.0,
+        });
+        self
+    }
+
+    /// Re-declares the common `seed` knob with an experiment-specific
+    /// default (the artefact's historical seed).
+    pub fn seed_default(self, seed: i64) -> Self {
+        self.int(
+            "seed",
+            "root RNG seed for stochastic kernels",
+            seed,
+            0.0,
+            i64::MAX as f64,
+        )
+    }
+
+    fn put(&mut self, def: ParamDef) {
+        match self.defs.iter_mut().find(|d| d.key == def.key) {
+            Some(slot) => *slot = def,
+            None => self.defs.push(def),
+        }
+    }
+
+    /// All declared parameters, common knobs first.
+    pub fn defs(&self) -> &[ParamDef] {
+        &self.defs
+    }
+
+    /// Looks up one definition by key.
+    pub fn get(&self, key: &str) -> Option<&ParamDef> {
+        self.defs.iter().find(|d| d.key == key)
+    }
+
+    fn keys_help(&self) -> String {
+        let keys: Vec<&str> = self.defs.iter().map(|d| d.key).collect();
+        keys.join(" ")
+    }
+}
+
+impl Default for ParamSpec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The validated parameter bag an experiment reads at run time.
+///
+/// Every declared key is present (defaults are filled in eagerly), so the
+/// typed accessors panic only on a programmer error: reading a key the
+/// experiment never declared in its [`ParamSpec`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Params {
+    values: BTreeMap<&'static str, ParamValue>,
+    explicit: Vec<&'static str>,
+}
+
+impl Params {
+    /// The raw value for `key`, if declared.
+    pub fn get(&self, key: &str) -> Option<&ParamValue> {
+        self.values.get(key)
+    }
+
+    /// The keys that were explicitly overridden (insertion order).
+    pub fn explicit_keys(&self) -> &[&'static str] {
+        &self.explicit
+    }
+
+    /// Reads a numeric parameter as `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` was never declared or is not numeric — both are
+    /// bugs in the experiment, not user errors.
+    pub fn f64(&self, key: &str) -> f64 {
+        match self.require(key) {
+            ParamValue::Float(v) => *v,
+            ParamValue::Int(v) => *v as f64,
+            ParamValue::Text(_) => panic!("parameter '{key}' is text, not numeric"),
+        }
+    }
+
+    /// Reads an integer parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` was never declared or is not an integer.
+    pub fn i64(&self, key: &str) -> i64 {
+        match self.require(key) {
+            ParamValue::Int(v) => *v,
+            other => panic!("parameter '{key}' is {}, not integer", other.kind()),
+        }
+    }
+
+    /// Reads a non-negative integer parameter as `usize`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` was never declared, is not an integer, or is
+    /// negative (declare a `min` of 0 or more to rule that out).
+    pub fn usize(&self, key: &str) -> usize {
+        usize::try_from(self.i64(key)).unwrap_or_else(|_| panic!("parameter '{key}' is negative"))
+    }
+
+    /// Reads a non-negative integer parameter as `u64` (seeds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` was never declared, is not an integer, or is
+    /// negative.
+    pub fn u64(&self, key: &str) -> u64 {
+        u64::try_from(self.i64(key)).unwrap_or_else(|_| panic!("parameter '{key}' is negative"))
+    }
+
+    /// Reads a text parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` was never declared or is not text.
+    pub fn text(&self, key: &str) -> &str {
+        match self.require(key) {
+            ParamValue::Text(v) => v,
+            other => panic!("parameter '{key}' is {}, not text", other.kind()),
+        }
+    }
+
+    fn require(&self, key: &str) -> &ParamValue {
+        self.values
+            .get(key)
+            .unwrap_or_else(|| panic!("experiment read undeclared parameter '{key}'"))
+    }
+}
+
+/// Everything an experiment needs at run time: the validated [`Params`]
+/// bag (common execution knobs plus per-experiment overrides).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunContext {
+    /// The validated parameter bag.
+    pub params: Params,
+}
+
+impl RunContext {
+    /// A context with every parameter at its declared default.
+    pub fn defaults(spec: &ParamSpec) -> Self {
+        let mut params = Params::default();
+        for def in spec.defs() {
+            params.values.insert(def.key, def.default.clone());
+        }
+        Self { params }
+    }
+
+    /// A context with `key=value` overrides applied on top of the
+    /// defaults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidOverride`] for an unknown key, a
+    /// value of the wrong type, or a value outside the declared range.
+    pub fn with_overrides(spec: &ParamSpec, sets: &[(String, String)]) -> Result<Self> {
+        let mut ctx = Self::defaults(spec);
+        for (key, raw) in sets {
+            ctx.set(spec, key, raw)?;
+        }
+        Ok(ctx)
+    }
+
+    /// Applies one raw `--set key=value` override.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidOverride`] as for [`Self::with_overrides`].
+    pub fn set(&mut self, spec: &ParamSpec, key: &str, raw: &str) -> Result<()> {
+        let def = spec.get(key).ok_or_else(|| Error::InvalidOverride {
+            key: key.to_string(),
+            reason: format!("unknown parameter (valid: {})", spec.keys_help()),
+        })?;
+        let value = def.parse(raw)?;
+        self.insert(def.key, value);
+        Ok(())
+    }
+
+    /// Applies one already-typed override.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidOverride`] for an unknown key, a type
+    /// mismatch, or a value outside the declared range.
+    pub fn set_value(&mut self, spec: &ParamSpec, key: &str, value: ParamValue) -> Result<()> {
+        let def = spec.get(key).ok_or_else(|| Error::InvalidOverride {
+            key: key.to_string(),
+            reason: format!("unknown parameter (valid: {})", spec.keys_help()),
+        })?;
+        let value = def.check(value)?;
+        self.insert(def.key, value);
+        Ok(())
+    }
+
+    /// Copies the execution knobs out of a legacy [`SweepOpts`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidOverride`] if a knob is out of range
+    /// (e.g. `trials == 0`).
+    pub fn apply_sweep_opts(&mut self, spec: &ParamSpec, opts: &SweepOpts) -> Result<()> {
+        let as_i64 = |name: &str, v: u64| {
+            i64::try_from(v).map_err(|_| Error::InvalidOverride {
+                key: name.to_string(),
+                reason: format!("{v} does not fit a 64-bit signed integer"),
+            })
+        };
+        self.set_value(
+            spec,
+            "trials",
+            ParamValue::Int(as_i64("trials", opts.trials as u64)?),
+        )?;
+        self.set_value(
+            spec,
+            "threads",
+            ParamValue::Int(as_i64("threads", opts.threads as u64)?),
+        )?;
+        self.set_value(spec, "seed", ParamValue::Int(as_i64("seed", opts.seed)?))?;
+        let dir = opts
+            .cache_dir
+            .as_ref()
+            .map(|p| p.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        self.set_value(spec, "cache_dir", ParamValue::Text(dir))
+    }
+
+    fn insert(&mut self, key: &'static str, value: ParamValue) {
+        self.params.values.insert(key, value);
+        if !self.params.explicit.contains(&key) {
+            self.params.explicit.push(key);
+        }
+    }
+
+    /// Shorthand for [`Params::f64`].
+    pub fn f64(&self, key: &str) -> f64 {
+        self.params.f64(key)
+    }
+
+    /// Shorthand for [`Params::i64`].
+    pub fn i64(&self, key: &str) -> i64 {
+        self.params.i64(key)
+    }
+
+    /// Shorthand for [`Params::usize`].
+    pub fn usize(&self, key: &str) -> usize {
+        self.params.usize(key)
+    }
+
+    /// Shorthand for [`Params::u64`].
+    pub fn u64(&self, key: &str) -> u64 {
+        self.params.u64(key)
+    }
+
+    /// Shorthand for [`Params::text`].
+    pub fn text(&self, key: &str) -> &str {
+        self.params.text(key)
+    }
+
+    /// The common execution knobs as [`SweepOpts`] for the `cnt-sweep`
+    /// pool (`cache_dir = ""` maps to no cache).
+    pub fn sweep_opts(&self) -> SweepOpts {
+        SweepOpts {
+            trials: self.usize("trials"),
+            threads: self.usize("threads"),
+            seed: self.u64("seed"),
+            cache_dir: match self.text("cache_dir") {
+                "" => None,
+                dir => Some(PathBuf::from(dir)),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ParamSpec {
+        ParamSpec::new()
+            .float("length_um", "wire length", 500.0, 1.0, 2000.0)
+            .int("nc", "channels per shell", 10, 2.0, 30.0)
+    }
+
+    #[test]
+    fn defaults_fill_every_declared_key() {
+        let ctx = RunContext::defaults(&spec());
+        assert_eq!(ctx.f64("length_um"), 500.0);
+        assert_eq!(ctx.usize("nc"), 10);
+        assert_eq!(ctx.usize("trials"), 200);
+        assert_eq!(ctx.u64("seed"), 42);
+        assert_eq!(ctx.text("cache_dir"), "");
+        assert!(ctx.params.explicit_keys().is_empty());
+    }
+
+    #[test]
+    fn overrides_parse_validate_and_mark_explicit() {
+        let s = spec();
+        let sets = vec![
+            ("length_um".to_string(), "200".to_string()),
+            ("nc".to_string(), "6".to_string()),
+        ];
+        let ctx = RunContext::with_overrides(&s, &sets).unwrap();
+        assert_eq!(ctx.f64("length_um"), 200.0);
+        assert_eq!(ctx.usize("nc"), 6);
+        assert_eq!(ctx.params.explicit_keys(), ["length_um", "nc"]);
+    }
+
+    #[test]
+    fn unknown_keys_and_bad_values_are_rejected() {
+        let s = spec();
+        let mut ctx = RunContext::defaults(&s);
+        let unknown = ctx.set(&s, "bogus", "1").unwrap_err();
+        assert!(unknown.to_string().contains("bogus"), "{unknown}");
+        assert!(unknown.to_string().contains("valid:"), "{unknown}");
+        // Wrong type.
+        assert!(ctx.set(&s, "nc", "2.5").is_err());
+        assert!(ctx.set(&s, "length_um", "long").is_err());
+        // Out of range.
+        assert!(ctx.set(&s, "nc", "1").is_err());
+        assert!(ctx.set(&s, "nc", "31").is_err());
+        assert!(ctx.set(&s, "length_um", "0.5").is_err());
+        assert!(ctx.set(&s, "trials", "0").is_err());
+        // Non-finite.
+        assert!(ctx.set(&s, "length_um", "NaN").is_err());
+        // Nothing stuck.
+        assert_eq!(ctx, RunContext::defaults(&s));
+    }
+
+    #[test]
+    fn seed_redeclaration_changes_only_the_default() {
+        let s = ParamSpec::new().seed_default(20180319);
+        let ctx = RunContext::defaults(&s);
+        assert_eq!(ctx.u64("seed"), 20180319);
+        // The common knob count is unchanged: re-declared, not duplicated.
+        assert_eq!(s.defs().iter().filter(|d| d.key == "seed").count(), 1);
+    }
+
+    #[test]
+    fn sweep_opts_round_trip() {
+        let s = ParamSpec::new();
+        let opts = SweepOpts {
+            trials: 17,
+            threads: 3,
+            seed: 99,
+            cache_dir: Some(PathBuf::from("/tmp/x")),
+        };
+        let mut ctx = RunContext::defaults(&s);
+        ctx.apply_sweep_opts(&s, &opts).unwrap();
+        assert_eq!(ctx.sweep_opts(), opts);
+        // trials == 0 violates the declared minimum.
+        let zero = SweepOpts {
+            trials: 0,
+            ..opts.clone()
+        };
+        assert!(ctx.apply_sweep_opts(&s, &zero).is_err());
+        // No cache dir maps through the empty string.
+        let no_cache = SweepOpts {
+            cache_dir: None,
+            ..opts
+        };
+        ctx.apply_sweep_opts(&s, &no_cache).unwrap();
+        assert_eq!(ctx.sweep_opts().cache_dir, None);
+    }
+}

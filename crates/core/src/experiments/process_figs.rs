@@ -1,6 +1,9 @@
 //! Figs. 4–7 regenerators: growth vs temperature, 300 mm wafer
 //! uniformity, and Cu–CNT composite filling.
 
+use super::params::{ParamSpec, RunContext};
+use super::registry::Entry;
+use super::sweep_figs;
 use super::Report;
 use crate::Result;
 use cnt_process::composite::{CarpetOrientation, CompositeRecipe, DepositionMethod, FillResult};
@@ -9,6 +12,24 @@ use cnt_process::wafer::WaferMap;
 use cnt_sweep::{Axis, Executor, SweepPlan};
 use cnt_units::si::Temperature;
 
+const FIG04_TITLE: &str = "CNT growth vs temperature: Co (CMOS BEOL) vs Fe";
+const FIG05_TITLE: &str = "300 mm wafer CNT growth uniformity (Co catalyst)";
+const FIG06_TITLE: &str = "ELD Cu impregnation of VA-CNT carpets";
+const FIG07_TITLE: &str = "ECD Cu impregnation of HA-CNT bundles (void-free)";
+
+/// This module's registry rows.
+pub(super) fn entries() -> Vec<Entry> {
+    vec![
+        Entry::new(40, "fig04", FIG04_TITLE, ParamSpec::new(), |_| fig04()),
+        Entry::new(50, "fig05", FIG05_TITLE, fig05_spec(), fig05_with)
+            .with_sweep(sweep_figs::sweep_fig05),
+        Entry::new(60, "fig06", FIG06_TITLE, fill_spec(), fig06_with)
+            .with_sweep(sweep_figs::sweep_fig06),
+        Entry::new(70, "fig07", FIG07_TITLE, fill_spec(), fig07_with)
+            .with_sweep(sweep_figs::sweep_fig07),
+    ]
+}
+
 /// Simulates the Fig. 6/7 impregnation recipe across an aspect-ratio grid
 /// on the `cnt-sweep` pool; results come back in grid order.
 fn fill_sweep(
@@ -16,6 +37,7 @@ fn fill_sweep(
     orientation: CarpetOrientation,
     conductive_seed: bool,
     aspect_ratios: &[f64],
+    cnt_volume_fraction: f64,
 ) -> Result<Vec<FillResult>> {
     let plan =
         SweepPlan::new("experiments.process.fill").axis(Axis::grid("aspect_ratio", aspect_ratios));
@@ -25,7 +47,7 @@ fn fill_sweep(
             orientation,
             aspect_ratio: job.get("aspect_ratio").expect("axis exists"),
             conductive_seed,
-            cnt_volume_fraction: 0.3,
+            cnt_volume_fraction,
         }
         .simulate()
     })?;
@@ -46,16 +68,15 @@ pub fn fig04() -> Result<Report> {
     let co = temperature_sweep(Catalyst::Cobalt, &temps, false)?;
     let fe = temperature_sweep(Catalyst::Iron, &temps, false)?;
 
-    let mut rep = Report::new("fig04", "CNT growth vs temperature: Co (CMOS BEOL) vs Fe")
-        .with_columns(&[
-            "T_C",
-            "co_rate_um_min",
-            "co_dg",
-            "co_viable",
-            "fe_rate_um_min",
-            "fe_dg",
-            "fe_viable",
-        ]);
+    let mut rep = Report::new("fig04", FIG04_TITLE).with_columns(&[
+        "T_C",
+        "co_rate_um_min",
+        "co_dg",
+        "co_viable",
+        "fe_rate_um_min",
+        "fe_dg",
+        "fe_viable",
+    ]);
     for (c, f) in co.iter().zip(&fe) {
         rep.push_row(vec![
             c.recipe.temperature.celsius(),
@@ -83,6 +104,18 @@ pub fn fig04() -> Result<Report> {
     Ok(rep)
 }
 
+fn fig05_spec() -> ParamSpec {
+    ParamSpec::new()
+        .int(
+            "sites",
+            "measurement sites across the wafer",
+            121,
+            9.0,
+            20000.0,
+        )
+        .seed_default(20180319)
+}
+
 /// Fig. 5: full 300 mm wafer growth with Co catalyst — uniformity map and
 /// statistics.
 ///
@@ -90,10 +123,17 @@ pub fn fig04() -> Result<Report> {
 ///
 /// Propagates wafer-map errors.
 pub fn fig05() -> Result<Report> {
-    let map = WaferMap::generate(0.3, 121, 1.0, 0.05, 0.015, 20180319)?;
+    fig05_with(&RunContext::defaults(&fig05_spec()))
+}
+
+fn fig05_with(ctx: &RunContext) -> Result<Report> {
+    let map = WaferMap::generate(0.3, ctx.usize("sites"), 1.0, 0.05, 0.015, ctx.u64("seed"))?;
     let rep_stats = map.uniformity()?;
-    let mut rep = Report::new("fig05", "300 mm wafer CNT growth uniformity (Co catalyst)")
-        .with_columns(&["r_band_lo", "r_band_hi", "mean_norm_thickness"]);
+    let mut rep = Report::new("fig05", FIG05_TITLE).with_columns(&[
+        "r_band_lo",
+        "r_band_hi",
+        "mean_norm_thickness",
+    ]);
     for band in 0..5 {
         let lo = band as f64 * 0.2;
         if let Some(m) = map.radial_band_mean(lo, lo + 0.2) {
@@ -111,6 +151,16 @@ pub fn fig05() -> Result<Report> {
     Ok(rep)
 }
 
+fn fill_spec() -> ParamSpec {
+    ParamSpec::new().float(
+        "vf",
+        "CNT volume fraction of the impregnated carpet",
+        0.3,
+        0.05,
+        0.6,
+    )
+}
+
 /// Fig. 6: ELD copper impregnation of vertically aligned CNTs — fill vs
 /// aspect ratio, with the characteristic Cu overburden.
 ///
@@ -118,7 +168,11 @@ pub fn fig05() -> Result<Report> {
 ///
 /// Propagates composite-model errors.
 pub fn fig06() -> Result<Report> {
-    let mut rep = Report::new("fig06", "ELD Cu impregnation of VA-CNT carpets").with_columns(&[
+    fig06_with(&RunContext::defaults(&fill_spec()))
+}
+
+fn fig06_with(ctx: &RunContext) -> Result<Report> {
+    let mut rep = Report::new("fig06", FIG06_TITLE).with_columns(&[
         "aspect_ratio",
         "fill_fraction",
         "void_prob",
@@ -130,6 +184,7 @@ pub fn fig06() -> Result<Report> {
         CarpetOrientation::Vertical,
         false,
         &ars,
+        ctx.f64("vf"),
     )?;
     for (ar, r) in ars.iter().zip(&fills) {
         rep.push_row(vec![
@@ -150,14 +205,24 @@ pub fn fig06() -> Result<Report> {
 ///
 /// Propagates composite-model errors.
 pub fn fig07() -> Result<Report> {
-    let mut rep = Report::new("fig07", "ECD Cu impregnation of HA-CNT bundles (void-free)")
-        .with_columns(&["aspect_ratio", "fill_fraction", "void_prob", "void_free"]);
+    fig07_with(&RunContext::defaults(&fill_spec()))
+}
+
+fn fig07_with(ctx: &RunContext) -> Result<Report> {
+    let vf = ctx.f64("vf");
+    let mut rep = Report::new("fig07", FIG07_TITLE).with_columns(&[
+        "aspect_ratio",
+        "fill_fraction",
+        "void_prob",
+        "void_free",
+    ]);
     let ars = [0.5, 1.0, 2.0, 4.0, 8.0];
     let fills = fill_sweep(
         DepositionMethod::Electrochemical,
         CarpetOrientation::Horizontal,
         true,
         &ars,
+        vf,
     )?;
     for (ar, r) in ars.iter().zip(&fills) {
         rep.push_row(vec![
@@ -173,7 +238,7 @@ pub fn fig07() -> Result<Report> {
         orientation: CarpetOrientation::Horizontal,
         aspect_ratio: 2.0,
         conductive_seed: true,
-        cnt_volume_fraction: 0.3,
+        cnt_volume_fraction: vf,
     }
     .simulate()?;
     let ecd = CompositeRecipe {
@@ -181,7 +246,7 @@ pub fn fig07() -> Result<Report> {
         orientation: CarpetOrientation::Horizontal,
         aspect_ratio: 2.0,
         conductive_seed: true,
-        cnt_volume_fraction: 0.3,
+        cnt_volume_fraction: vf,
     }
     .simulate()?;
     rep.note(format!(
@@ -217,6 +282,17 @@ mod tests {
     }
 
     #[test]
+    fn fig05_seed_override_changes_the_map() {
+        let spec = fig05_spec();
+        let reseeded =
+            RunContext::with_overrides(&spec, &[("seed".to_string(), "7".to_string())]).unwrap();
+        assert_ne!(
+            fig05().unwrap().render(),
+            fig05_with(&reseeded).unwrap().render()
+        );
+    }
+
+    #[test]
     fn fig06_fig07_contrast() {
         let eld = fig06().unwrap();
         let ecd = fig07().unwrap();
@@ -233,5 +309,19 @@ mod tests {
             .unwrap()
             .iter()
             .all(|v| *v > 100.0));
+    }
+
+    #[test]
+    fn denser_carpets_are_harder_to_fill() {
+        let spec = fill_spec();
+        let dense =
+            RunContext::with_overrides(&spec, &[("vf".to_string(), "0.5".to_string())]).unwrap();
+        let base = fig06().unwrap();
+        let packed = fig06_with(&dense).unwrap();
+        let mean = |r: &Report| {
+            let f = r.column("fill_fraction").unwrap();
+            f.iter().sum::<f64>() / f.len() as f64
+        };
+        assert!(mean(&packed) < mean(&base), "vf 0.5 should fill worse");
     }
 }

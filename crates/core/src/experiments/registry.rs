@@ -1,0 +1,319 @@
+//! The experiment registry: one table of trait objects from which
+//! listing, dispatch, alias resolution, and the sweep catalog all derive.
+//!
+//! Every paper artefact (and every extra named study) is registered
+//! exactly once, in its figure module, as an [`Entry`] carrying its id,
+//! title, paper-order rank, [`ParamSpec`], run function, and — when a
+//! Monte-Carlo variant exists — its sweep function. [`registry`] builds
+//! the table once per process and asserts its invariants (unique ids,
+//! unique ranks, defaults within bounds), so there is no second id list
+//! anywhere to drift out of sync.
+
+use super::params::{ParamSpec, RunContext, COMMON_KEYS};
+use super::report::Report;
+use super::sweep_figs::{SweepOpts, SweepRun};
+use crate::{Error, Result};
+use std::sync::OnceLock;
+
+/// One runnable paper artefact or named study.
+///
+/// Implementations are registered in [`registry`]; the trait is the whole
+/// public contract the harness needs — identity, documentation, the
+/// declared parameter surface, and execution.
+pub trait Experiment: Sync {
+    /// Stable experiment id (`"fig12"`, `"table1"`, …).
+    fn id(&self) -> &'static str;
+
+    /// Human-readable title; equals the default report's title.
+    fn title(&self) -> &'static str;
+
+    /// True for extra named studies that back prose claims rather than
+    /// numbered paper artefacts (`"stability"`, `"variability"`).
+    fn is_extra(&self) -> bool {
+        false
+    }
+
+    /// The declared parameter surface (common execution knobs plus
+    /// per-experiment overrides).
+    fn params(&self) -> &ParamSpec;
+
+    /// Runs the experiment under `ctx`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the experiment's own model errors.
+    fn run(&self, ctx: &RunContext) -> Result<Report>;
+
+    /// The Monte-Carlo sweep variant, if one exists.
+    fn sweep(&self) -> Option<&dyn SweepExperiment> {
+        None
+    }
+}
+
+/// The ensemble (Monte-Carlo) variant of an experiment, driven by the
+/// `cnt-sweep` pool.
+pub trait SweepExperiment: Sync {
+    /// Runs the sweep variant under `ctx` (only the common execution
+    /// knobs apply).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidOverride`] when a per-experiment knob was
+    /// explicitly set (sweep kernels run at the paper operating point),
+    /// and propagates kernel errors.
+    fn run_sweep(&self, ctx: &RunContext) -> Result<SweepRun>;
+}
+
+/// A registry row: the data-driven [`Experiment`] implementation the
+/// figure modules instantiate.
+pub(super) struct Entry {
+    rank: u32,
+    id: &'static str,
+    title: &'static str,
+    extra: bool,
+    spec: ParamSpec,
+    run_fn: fn(&RunContext) -> Result<Report>,
+    sweep_fn: Option<fn(&SweepOpts) -> Result<SweepRun>>,
+}
+
+impl Entry {
+    /// A primary (paper-ordered) experiment. `rank` fixes catalog order.
+    pub(super) fn new(
+        rank: u32,
+        id: &'static str,
+        title: &'static str,
+        spec: ParamSpec,
+        run_fn: fn(&RunContext) -> Result<Report>,
+    ) -> Self {
+        Self {
+            rank,
+            id,
+            title,
+            extra: false,
+            spec,
+            run_fn,
+            sweep_fn: None,
+        }
+    }
+
+    /// Marks this entry as an extra named study (listed after the paper
+    /// artefacts).
+    pub(super) fn extra(mut self) -> Self {
+        self.extra = true;
+        self
+    }
+
+    /// Attaches the Monte-Carlo sweep variant.
+    pub(super) fn with_sweep(mut self, sweep_fn: fn(&SweepOpts) -> Result<SweepRun>) -> Self {
+        self.sweep_fn = Some(sweep_fn);
+        self
+    }
+}
+
+impl Experiment for Entry {
+    fn id(&self) -> &'static str {
+        self.id
+    }
+
+    fn title(&self) -> &'static str {
+        self.title
+    }
+
+    fn is_extra(&self) -> bool {
+        self.extra
+    }
+
+    fn params(&self) -> &ParamSpec {
+        &self.spec
+    }
+
+    fn run(&self, ctx: &RunContext) -> Result<Report> {
+        let mut report = (self.run_fn)(ctx)?;
+        // Titles and prose describe the paper operating point; when the
+        // context moved off it, say so in the report itself (default runs
+        // carry no explicit overrides, so their output is untouched).
+        let explicit = ctx.params.explicit_keys();
+        if !explicit.is_empty() {
+            let listed: Vec<String> = explicit
+                .iter()
+                .filter_map(|key| ctx.params.get(key).map(|v| format!("{key} = {v}")))
+                .collect();
+            report.note(format!("parameter overrides: {}", listed.join(", ")));
+        }
+        Ok(report)
+    }
+
+    fn sweep(&self) -> Option<&dyn SweepExperiment> {
+        if self.sweep_fn.is_some() {
+            Some(self)
+        } else {
+            None
+        }
+    }
+}
+
+impl SweepExperiment for Entry {
+    fn run_sweep(&self, ctx: &RunContext) -> Result<SweepRun> {
+        if let Some(key) = ctx
+            .params
+            .explicit_keys()
+            .iter()
+            .find(|k| !COMMON_KEYS.contains(k))
+        {
+            return Err(Error::InvalidOverride {
+                key: key.to_string(),
+                reason: format!(
+                    "the sweep variant of '{}' runs at the paper operating point; only {} apply",
+                    self.id,
+                    COMMON_KEYS.join("/")
+                ),
+            });
+        }
+        let sweep_fn = self.sweep_fn.expect("gated by Experiment::sweep");
+        sweep_fn(&ctx.sweep_opts())
+    }
+}
+
+/// The experiment catalog, in paper order with extras at the end.
+pub struct Registry {
+    entries: Vec<Entry>,
+}
+
+impl Registry {
+    fn build() -> Self {
+        let mut entries: Vec<Entry> = Vec::new();
+        entries.extend(super::reliability_figs::entries());
+        entries.extend(super::technology_figs::entries());
+        entries.extend(super::measure_figs::entries());
+        entries.extend(super::process_figs::entries());
+        entries.extend(super::atomistic_figs::entries());
+        entries.extend(super::circuit_figs::entries());
+        entries.extend(super::sweep_figs::entries());
+        entries.sort_by_key(|e| e.rank);
+        for pair in entries.windows(2) {
+            assert_ne!(
+                pair[0].rank, pair[1].rank,
+                "duplicate rank {}",
+                pair[0].rank
+            );
+            assert!(
+                pair[1].extra || !pair[0].extra,
+                "extra '{}' ranked before primary '{}'",
+                pair[0].id,
+                pair[1].id
+            );
+        }
+        for (i, e) in entries.iter().enumerate() {
+            assert!(
+                entries[..i].iter().all(|prior| prior.id != e.id),
+                "experiment id '{}' registered twice",
+                e.id
+            );
+            for def in e.spec.defs() {
+                let mut probe = RunContext::defaults(&e.spec);
+                probe
+                    .set_value(&e.spec, def.key, def.default.clone())
+                    .unwrap_or_else(|err| {
+                        panic!(
+                            "'{}' default for '{}' violates its own bounds: {err}",
+                            e.id, def.key
+                        )
+                    });
+            }
+        }
+        Self { entries }
+    }
+
+    /// All experiments, catalog order.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Experiment> {
+        self.entries.iter().map(|e| e as &dyn Experiment)
+    }
+
+    /// Every runnable id, catalog order (paper artefacts, then extras).
+    pub fn ids(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.entries.iter().map(|e| e.id)
+    }
+
+    /// The ids with a Monte-Carlo sweep variant, catalog order.
+    pub fn sweep_ids(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.entries
+            .iter()
+            .filter(|e| e.sweep_fn.is_some())
+            .map(|e| e.id)
+    }
+
+    /// Resolves one experiment by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownExperiment`] naming the bad id.
+    pub fn get(&self, id: &str) -> Result<&dyn Experiment> {
+        self.entries
+            .iter()
+            .find(|e| e.id == id)
+            .map(|e| e as &dyn Experiment)
+            .ok_or_else(|| Error::UnknownExperiment(id.to_string()))
+    }
+}
+
+/// The process-wide registry, built on first use.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::build)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_orders_primaries_before_extras() {
+        let reg = registry();
+        let split = reg
+            .iter()
+            .position(|e| e.is_extra())
+            .expect("extras registered");
+        assert!(
+            reg.iter().skip(split).all(|e| e.is_extra()),
+            "an extra is ranked before a primary"
+        );
+        assert_eq!(
+            reg.ids().next(),
+            Some("table1"),
+            "paper order starts at table1"
+        );
+    }
+
+    #[test]
+    fn sweep_ids_are_a_strict_subset_of_the_catalog() {
+        let reg = registry();
+        let all: Vec<&str> = reg.ids().collect();
+        let sweeps: Vec<&str> = reg.sweep_ids().collect();
+        assert!(!sweeps.is_empty());
+        assert!(sweeps.len() < all.len(), "strict subset");
+        for id in &sweeps {
+            assert!(all.contains(id), "sweep id {id} not in catalog");
+            assert!(reg.get(id).unwrap().sweep().is_some());
+        }
+    }
+
+    #[test]
+    fn unknown_ids_name_themselves_in_the_error() {
+        let err = registry().get("fig99").map(|e| e.id()).unwrap_err();
+        assert_eq!(err, Error::UnknownExperiment("fig99".to_string()));
+        assert!(err.to_string().contains("'fig99'"), "{err}");
+    }
+
+    #[test]
+    fn sweep_variant_rejects_non_common_overrides() {
+        let reg = registry();
+        let exp = reg.get("fig12").unwrap();
+        let mut ctx = RunContext::defaults(exp.params());
+        ctx.set(exp.params(), "nc", "6").unwrap();
+        let err = exp.sweep().unwrap().run_sweep(&ctx).unwrap_err();
+        match err {
+            Error::InvalidOverride { key, .. } => assert_eq!(key, "nc"),
+            other => panic!("wrong error: {other}"),
+        }
+    }
+}

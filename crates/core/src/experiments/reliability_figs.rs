@@ -1,6 +1,9 @@
 //! "Table 1" (the §I prose numbers), Fig. 3, Fig. 13a/b and the
 //! dopant-stability study.
 
+use super::params::{ParamSpec, RunContext};
+use super::registry::Entry;
+use super::sweep_figs;
 use super::Report;
 use crate::Result;
 use cnt_reliability::ampacity::{
@@ -16,19 +19,64 @@ use cnt_sweep::{Axis, Executor, SweepPlan};
 use cnt_units::consts::{KTH_CNT_HIGH, KTH_CNT_LOW, KTH_CU};
 use cnt_units::si::{CurrentDensity, Length, Temperature, Time};
 
+const TABLE1_TITLE: &str = "Materials comparison (Section I prose claims)";
+const FIG03_TITLE: &str = "STEM radial dopant distribution: internal (Fig. 3) vs external";
+const FIG13A_TITLE: &str = "EM test layout: structure inventory and predicted line resistances";
+const FIG13B_TITLE: &str = "Full-wafer characterization: Cu reference vs Cu-CNT composite";
+const STABILITY_TITLE: &str = "Dopant retention under stress: internal vs external doping";
+
+/// This module's registry rows.
+pub(super) fn entries() -> Vec<Entry> {
+    vec![
+        Entry::new(0, "table1", TABLE1_TITLE, table1_spec(), table1_with),
+        Entry::new(30, "fig03", FIG03_TITLE, fig03_spec(), fig03_with),
+        Entry::new(130, "fig13a", FIG13A_TITLE, fig13a_spec(), fig13a_with)
+            .with_sweep(sweep_figs::sweep_fig13a),
+        Entry::new(131, "fig13b", FIG13B_TITLE, fig13b_spec(), fig13b_with)
+            .with_sweep(sweep_figs::sweep_fig13b),
+        Entry::new(
+            160,
+            "stability",
+            STABILITY_TITLE,
+            stability_spec(),
+            stability_with,
+        )
+        .extra(),
+    ]
+}
+
+fn table1_spec() -> ParamSpec {
+    ParamSpec::new()
+        .float("width_nm", "reference Cu wire width", 100.0, 20.0, 1000.0)
+        .float(
+            "thickness_nm",
+            "reference Cu wire thickness",
+            50.0,
+            10.0,
+            500.0,
+        )
+}
+
 /// "Table 1": the quantitative materials-comparison claims of Section I.
 ///
 /// # Errors
 ///
 /// Propagates ampacity-model validation.
 pub fn table1() -> Result<Report> {
-    let mut rep = Report::new("table1", "Materials comparison (Section I prose claims)")
-        .with_columns(&["value"]);
-    let cu_wire = ConductorMaterial::Copper.max_current(
-        Length::from_nanometers(100.0),
-        Length::from_nanometers(50.0),
-    )?;
-    rep.push_labeled_row("cu_100x50nm_max_uA", vec![cu_wire.microamps()]);
+    table1_with(&RunContext::defaults(&table1_spec()))
+}
+
+fn table1_with(ctx: &RunContext) -> Result<Report> {
+    let w = ctx.f64("width_nm");
+    let t = ctx.f64("thickness_nm");
+    let width = Length::from_nanometers(w);
+    let thickness = Length::from_nanometers(t);
+    let mut rep = Report::new("table1", TABLE1_TITLE).with_columns(&["value"]);
+    let cu_wire = ConductorMaterial::Copper.max_current(width, thickness)?;
+    rep.push_labeled_row(
+        format!("cu_{w:.0}x{t:.0}nm_max_uA"),
+        vec![cu_wire.microamps()],
+    );
     rep.push_labeled_row(
         "cnt_d1nm_max_uA",
         vec![single_cnt_max_current(Length::from_nanometers(1.0)).microamps()],
@@ -47,10 +95,7 @@ pub fn table1() -> Result<Report> {
     );
     rep.push_labeled_row(
         "cnts_for_cu_parity",
-        vec![cnt_count_for_cu_parity(
-            Length::from_nanometers(100.0),
-            Length::from_nanometers(50.0),
-        ) as f64],
+        vec![cnt_count_for_cu_parity(width, thickness) as f64],
     );
     rep.push_labeled_row(
         "cnt_density_floor_per_nm2",
@@ -63,6 +108,19 @@ pub fn table1() -> Result<Report> {
     Ok(rep)
 }
 
+fn fig03_spec() -> ParamSpec {
+    ParamSpec::new()
+        .float("d_nm", "MWCNT outer diameter", 7.5, 1.0, 60.0)
+        .int(
+            "dopants",
+            "sampled dopant atoms per population",
+            4000,
+            100.0,
+            1e6,
+        )
+        .seed_default(3)
+}
+
 /// Fig. 3: STEM radial histogram of Pt dopants — internal doping puts the
 /// atoms inside the tube.
 ///
@@ -70,22 +128,40 @@ pub fn table1() -> Result<Report> {
 ///
 /// Propagates dopant-model errors.
 pub fn fig03() -> Result<Report> {
-    let r = Length::from_nanometers(3.75); // the paper's d ≈ 7.5 nm MWCNT
-    let (centers, internal) = stem_radial_histogram(r, DopantSite::Internal, 4000, 25, 3)?;
-    let (_, external) = stem_radial_histogram(r, DopantSite::External, 4000, 25, 3)?;
-    let mut rep = Report::new(
-        "fig03",
-        "STEM radial dopant distribution: internal (Fig. 3) vs external",
-    )
-    .with_columns(&["r_nm", "internal_count", "external_count"]);
+    fig03_with(&RunContext::defaults(&fig03_spec()))
+}
+
+fn fig03_with(ctx: &RunContext) -> Result<Report> {
+    // The paper's d ≈ 7.5 nm MWCNT by default.
+    let r_nm = ctx.f64("d_nm") / 2.0;
+    let r = Length::from_nanometers(r_nm);
+    let dopants = ctx.usize("dopants");
+    let seed = ctx.u64("seed");
+    let (centers, internal) = stem_radial_histogram(r, DopantSite::Internal, dopants, 25, seed)?;
+    let (_, external) = stem_radial_histogram(r, DopantSite::External, dopants, 25, seed)?;
+    let mut rep = Report::new("fig03", FIG03_TITLE).with_columns(&[
+        "r_nm",
+        "internal_count",
+        "external_count",
+    ]);
     for ((c, i), e) in centers.iter().zip(&internal).zip(&external) {
         rep.push_row(vec![*c, *i as f64, *e as f64]);
     }
-    rep.note(
-        "wall radius 3.75 nm: internal counts pile up inside, external in the vdW shell outside",
-    );
+    rep.note(format!(
+        "wall radius {r_nm} nm: internal counts pile up inside, external in the vdW shell outside"
+    ));
     rep.note("paper: 'the bright dots are individual Pt atoms … dopants are composed of an amorphous network of Pt and Cl'");
     Ok(rep)
+}
+
+fn fig13a_spec() -> ParamSpec {
+    ParamSpec::new().float(
+        "thickness_nm",
+        "reference film thickness for predicted resistances",
+        100.0,
+        20.0,
+        1000.0,
+    )
 }
 
 /// Fig. 13a: the generated EM test layout and predicted electrical values
@@ -95,12 +171,12 @@ pub fn fig03() -> Result<Report> {
 ///
 /// Propagates layout validation.
 pub fn fig13a() -> Result<Report> {
+    fig13a_with(&RunContext::defaults(&fig13a_spec()))
+}
+
+fn fig13a_with(ctx: &RunContext) -> Result<Report> {
     let layout = standard_em_layout();
-    let mut rep = Report::new(
-        "fig13a",
-        "EM test layout: structure inventory and predicted line resistances",
-    )
-    .with_columns(&["count"]);
+    let mut rep = Report::new("fig13a", FIG13A_TITLE).with_columns(&["count"]);
     for kind in [
         "single_line",
         "multi_line",
@@ -113,7 +189,7 @@ pub fn fig13a() -> Result<Report> {
     }
     // Predicted resistance of the e-beam 50 nm reference line in Cu.
     let rho = 2.2e-8;
-    let thickness = Length::from_nanometers(100.0);
+    let thickness = Length::from_nanometers(ctx.f64("thickness_nm"));
     if let Some(line) = layout.iter().find(|s| {
         matches!(s, TestStructure::SingleLine { width, length, .. }
             if (width.nanometers() - 50.0).abs() < 1e-9 && (length.micrometers() - 100.0).abs() < 1e-9)
@@ -128,6 +204,12 @@ pub fn fig13a() -> Result<Report> {
     Ok(rep)
 }
 
+fn fig13b_spec() -> ParamSpec {
+    ParamSpec::new()
+        .float("length_um", "stressed line length", 800.0, 10.0, 10000.0)
+        .seed_default(13)
+}
+
 /// Fig. 13b: full-wafer electrical characterization — the Cu reference
 /// against the Cu–CNT composite.
 ///
@@ -135,14 +217,19 @@ pub fn fig13a() -> Result<Report> {
 ///
 /// Propagates wafer-characterization errors.
 pub fn fig13b() -> Result<Report> {
+    fig13b_with(&RunContext::defaults(&fig13b_spec()))
+}
+
+fn fig13b_with(ctx: &RunContext) -> Result<Report> {
     let line = TestStructure::SingleLine {
         width: Length::from_nanometers(100.0),
-        length: Length::from_micrometers(800.0),
+        length: Length::from_micrometers(ctx.f64("length_um")),
         angle_degrees: 0.0,
     };
     let target = Time::from_hours(2000.0);
+    let seed = ctx.u64("seed");
     // The two wafer characterizations are independent; run them as a
-    // two-job cnt-sweep plan (the fixed seed 13 is part of the artefact's
+    // two-job cnt-sweep plan (the fixed seed is part of the artefact's
     // identity, so the job streams are deliberately unused).
     let plan = SweepPlan::new("experiments.reliability.fig13b.setups")
         .axis(Axis::grid("setup", &[0.0, 1.0]));
@@ -152,16 +239,18 @@ pub fn fig13b() -> Result<Report> {
         } else {
             WaferCharSetup::composite()
         };
-        characterize_wafer(&setup, &line, target, 13)
+        characterize_wafer(&setup, &line, target, seed)
     })?;
     let composite = reports.pop().expect("two jobs ran");
     let cu = reports.pop().expect("two jobs ran");
 
-    let mut rep = Report::new(
-        "fig13b",
-        "Full-wafer characterization: Cu reference vs Cu-CNT composite",
-    )
-    .with_columns(&["dies", "median_R_ohm", "R_cv", "median_ttf_h", "em_yield"]);
+    let mut rep = Report::new("fig13b", FIG13B_TITLE).with_columns(&[
+        "dies",
+        "median_R_ohm",
+        "R_cv",
+        "median_ttf_h",
+        "em_yield",
+    ]);
     rep.push_labeled_row(
         "cu_reference",
         vec![
@@ -190,6 +279,20 @@ pub fn fig13b() -> Result<Report> {
     Ok(rep)
 }
 
+fn stability_spec() -> ParamSpec {
+    ParamSpec::new()
+        .float("temp_c", "stress temperature", 105.0, 25.0, 400.0)
+        .float("j_ma_cm2", "stress current density", 50.0, 1.0, 1000.0)
+        .int(
+            "dopants",
+            "dopant atoms per stressed tube",
+            600,
+            50.0,
+            100000.0,
+        )
+        .seed_default(7)
+}
+
 /// The dopant-stability study behind Fig. 3 / Section II.A: internal vs
 /// external retention under operating stress.
 ///
@@ -197,34 +300,42 @@ pub fn fig13b() -> Result<Report> {
 ///
 /// Propagates stress-test errors.
 pub fn stability() -> Result<Report> {
-    let mut rep = Report::new(
-        "stability",
-        "Dopant retention under stress: internal vs external doping",
-    )
-    .with_columns(&["stress_hours", "internal_retention", "external_retention"]);
+    stability_with(&RunContext::defaults(&stability_spec()))
+}
+
+fn stability_with(ctx: &RunContext) -> Result<Report> {
+    let temp = Temperature::from_celsius(ctx.f64("temp_c"));
+    let j = CurrentDensity::from_amps_per_square_centimeter(ctx.f64("j_ma_cm2") * 1e6);
+    let dopants = ctx.usize("dopants");
+    let seed = ctx.u64("seed");
+    let mut rep = Report::new("stability", STABILITY_TITLE).with_columns(&[
+        "stress_hours",
+        "internal_retention",
+        "external_retention",
+    ]);
     for &hours in &[1.0, 10.0, 100.0, 1000.0] {
         let mk = |site| StressTest {
             tube_length: Length::from_micrometers(1.0),
-            dopant_count: 600,
+            dopant_count: dopants,
             site,
-            temperature: Temperature::from_celsius(105.0),
-            current_density: CurrentDensity::from_amps_per_square_centimeter(5.0e7),
+            temperature: temp,
+            current_density: j,
             duration: Time::from_hours(hours),
         };
-        let internal = run_stress_test(&mk(DopantSite::Internal), 7)?;
-        let external = run_stress_test(&mk(DopantSite::External), 7)?;
+        let internal = run_stress_test(&mk(DopantSite::Internal), seed)?;
+        let external = run_stress_test(&mk(DopantSite::External), seed)?;
         rep.push_row(vec![hours, internal.retention, external.retention]);
     }
     rep.note("paper §II.A: 'internal doping of CNT is more stable than external doping'");
     // EM context: the composite's Black model for comparison.
     let cu = BlackModel::copper();
     let cc = BlackModel::cu_cnt_composite();
-    let j = CurrentDensity::from_amps_per_square_centimeter(1.0e6);
-    let t = Temperature::from_celsius(105.0);
+    let j_em = CurrentDensity::from_amps_per_square_centimeter(1.0e6);
     rep.note(format!(
-        "for reference, EM medians at 1 MA/cm², 105 °C: Cu {:.2e} h vs composite {:.2e} h",
-        cu.median_ttf(j, t).hours(),
-        cc.median_ttf(j, t).hours()
+        "for reference, EM medians at 1 MA/cm², {} °C: Cu {:.2e} h vs composite {:.2e} h",
+        ctx.f64("temp_c"),
+        cu.median_ttf(j_em, temp).hours(),
+        cc.median_ttf(j_em, temp).hours()
     ));
     Ok(rep)
 }
@@ -242,6 +353,21 @@ mod tests {
         assert!((v[3] / v[2] - 1000.0).abs() < 1e-6, "10⁹ vs 10⁶ A/cm²");
         assert!((2.0..=4.0).contains(&v[4]), "a few CNTs for parity");
         assert!((v[5] - 0.096).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table1_width_override_scales_the_cu_wire() {
+        let spec = table1_spec();
+        let sets = vec![("width_nm".to_string(), "200".to_string())];
+        let ctx = RunContext::with_overrides(&spec, &sets).unwrap();
+        let rep = table1_with(&ctx).unwrap();
+        assert_eq!(rep.row_labels[0], "cu_200x50nm_max_uA");
+        let v = rep.column("value").unwrap();
+        assert!(
+            (v[0] - 100.0).abs() < 1e-6,
+            "twice the width, twice the current: {}",
+            v[0]
+        );
     }
 
     #[test]
@@ -298,5 +424,27 @@ mod tests {
         assert!(int.last().unwrap() - ext.last().unwrap() > 0.2);
         // External retention decays with stress duration.
         assert!(ext.last().unwrap() <= &ext[0]);
+    }
+
+    #[test]
+    fn stability_hotter_stress_accelerates_internal_migration() {
+        let spec = stability_spec();
+        let hot = RunContext::with_overrides(&spec, &[("temp_c".to_string(), "200".to_string())])
+            .unwrap();
+        let base = stability().unwrap();
+        let stressed = stability_with(&hot).unwrap();
+        // Even the stable internal dopants migrate at 200 °C.
+        let last = |r: &Report| *r.column("internal_retention").unwrap().last().unwrap();
+        assert!(
+            last(&base) > 0.9,
+            "105 °C internal retention {}",
+            last(&base)
+        );
+        assert!(
+            last(&stressed) < last(&base),
+            "200 °C retention {} vs 105 °C {}",
+            last(&stressed),
+            last(&base)
+        );
     }
 }

@@ -14,6 +14,8 @@
 //!   cache directory via [`SweepOpts::cache_dir`] to persist across
 //!   processes).
 
+use super::params::ParamSpec;
+use super::registry::Entry;
 use super::Report;
 use crate::benchmark::{delay_ratio, FIG12_CHANNEL_COUNTS, FIG12_DIAMETERS_NM, FIG12_LENGTHS_UM};
 use crate::Result;
@@ -30,18 +32,26 @@ use std::path::PathBuf;
 
 /// Bump when any sweep kernel's physics changes: it invalidates every
 /// cached table.
-const SWEEP_SALT_VERSION: &str = "v1";
+const SWEEP_SALT_VERSION: &str = "v2";
 
-/// The ids accepted by [`run_sweep`], in paper order.
-pub const SWEEP_IDS: [&str; 7] = [
-    "fig05",
-    "fig06",
-    "fig07",
-    "fig12",
-    "fig13a",
-    "fig13b",
-    "variability",
-];
+const VARIABILITY_TITLE: &str =
+    "Single-CNT device resistance variability: pristine vs doped (Section II.A)";
+
+/// This module's registry rows: the Section II.A device Monte-Carlo is an
+/// extra named study whose *plain* run is its own sweep at the default
+/// execution knobs. The per-figure sweep variants are attached to their
+/// figure entries by the figure modules.
+pub(super) fn entries() -> Vec<Entry> {
+    vec![Entry::new(
+        170,
+        "variability",
+        VARIABILITY_TITLE,
+        ParamSpec::new(),
+        |ctx| sweep_variability(&ctx.sweep_opts()).map(|run| run.report),
+    )
+    .extra()
+    .with_sweep(sweep_variability)]
+}
 
 /// Options for one sweep run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,7 +81,7 @@ impl Default for SweepOpts {
     }
 }
 
-/// What [`run_sweep`] hands back: the report plus execution metadata the
+/// What [`crate::experiments::run_sweep`] hands back: the report plus execution metadata the
 /// CLI prints out-of-band (metadata never appears in the report, which
 /// must be byte-identical across thread counts and cache states).
 #[derive(Debug, Clone, PartialEq)]
@@ -84,35 +94,6 @@ pub struct SweepRun {
     pub jobs: usize,
     /// Resolved worker count.
     pub threads: usize,
-}
-
-/// Runs the sweep variant of one experiment id.
-///
-/// # Errors
-///
-/// Returns [`crate::Error::InvalidParameter`] for zero trials, a
-/// [`crate::Error::Layer`] naming the valid ids for an unknown id, and
-/// propagates kernel errors.
-pub fn run_sweep(id: &str, opts: &SweepOpts) -> Result<SweepRun> {
-    if opts.trials == 0 {
-        return Err(crate::Error::InvalidParameter {
-            name: "sweep trials",
-            value: 0.0,
-        });
-    }
-    match id {
-        "fig05" => sweep_fig05(opts),
-        "fig06" => sweep_fill(opts, FillVariant::Eld),
-        "fig07" => sweep_fill(opts, FillVariant::Ecd),
-        "fig12" => sweep_fig12(opts),
-        "fig13a" => sweep_fig13a(opts),
-        "fig13b" => sweep_fig13b(opts),
-        "variability" => sweep_variability(opts),
-        other => Err(crate::Error::Layer(format!(
-            "unknown sweep id '{other}' (valid: {})",
-            SWEEP_IDS.join(" ")
-        ))),
-    }
 }
 
 /// Computes (or recalls) the table for `plan`, then renders it.
@@ -158,7 +139,7 @@ fn fig12_plan() -> SweepPlan {
         .axis(Axis::grid("L_um", &FIG12_LENGTHS_UM))
 }
 
-fn sweep_fig12(opts: &SweepOpts) -> Result<SweepRun> {
+pub(super) fn sweep_fig12(opts: &SweepOpts) -> Result<SweepRun> {
     let plan = fig12_plan();
     let trials = opts.trials;
     let columns = [
@@ -237,7 +218,7 @@ fn sweep_fig12(opts: &SweepOpts) -> Result<SweepRun> {
 
 // --- fig05: wafer-growth uniformity ensemble ----------------------------
 
-fn sweep_fig05(opts: &SweepOpts) -> Result<SweepRun> {
+pub(super) fn sweep_fig05(opts: &SweepOpts) -> Result<SweepRun> {
     let plan = SweepPlan::new("sweep.fig05").axis(Axis::trials(opts.trials));
     let columns = [
         "r_band_lo",
@@ -323,6 +304,14 @@ enum FillVariant {
     Eld,
     /// Fig. 7: electrochemical, horizontal bundle, conductive seed.
     Ecd,
+}
+
+pub(super) fn sweep_fig06(opts: &SweepOpts) -> Result<SweepRun> {
+    sweep_fill(opts, FillVariant::Eld)
+}
+
+pub(super) fn sweep_fig07(opts: &SweepOpts) -> Result<SweepRun> {
+    sweep_fill(opts, FillVariant::Ecd)
 }
 
 fn sweep_fill(opts: &SweepOpts, variant: FillVariant) -> Result<SweepRun> {
@@ -437,7 +426,7 @@ fn sweep_fill(opts: &SweepOpts, variant: FillVariant) -> Result<SweepRun> {
 
 // --- fig13a: EM-layout line resistance under film + CD variation --------
 
-fn sweep_fig13a(opts: &SweepOpts) -> Result<SweepRun> {
+pub(super) fn sweep_fig13a(opts: &SweepOpts) -> Result<SweepRun> {
     let plan = SweepPlan::new("sweep.fig13a")
         .axis(Axis::grid("width_nm", &[50.0, 100.0, 200.0, 500.0, 1000.0]));
     let columns = [
@@ -510,7 +499,7 @@ fn sweep_fig13a(opts: &SweepOpts) -> Result<SweepRun> {
 
 // --- fig13b: wafer-characterization ensemble ----------------------------
 
-fn sweep_fig13b(opts: &SweepOpts) -> Result<SweepRun> {
+pub(super) fn sweep_fig13b(opts: &SweepOpts) -> Result<SweepRun> {
     let plan = SweepPlan::new("sweep.fig13b")
         .axis(Axis::grid("setup", &[0.0, 1.0]))
         .axis(Axis::trials(opts.trials));
@@ -597,7 +586,7 @@ fn sweep_fig13b(opts: &SweepOpts) -> Result<SweepRun> {
 
 // --- variability: the Section II.A device Monte-Carlo -------------------
 
-fn sweep_variability(opts: &SweepOpts) -> Result<SweepRun> {
+pub(super) fn sweep_variability(opts: &SweepOpts) -> Result<SweepRun> {
     let plan = SweepPlan::new("sweep.variability")
         .axis(Axis::grid("nc", &[0.0, 4.0, 6.0, 10.0]))
         .axis(Axis::trials(opts.trials));
@@ -653,11 +642,7 @@ fn sweep_variability(opts: &SweepOpts) -> Result<SweepRun> {
         Ok(rows)
     })?;
 
-    let mut rep = Report::new(
-        "variability",
-        "Single-CNT device resistance variability: pristine vs doped (Section II.A)",
-    )
-    .with_columns(&columns);
+    let mut rep = Report::new("variability", VARIABILITY_TITLE).with_columns(&columns);
     for row in &table.rows {
         rep.push_row(row.clone());
     }
@@ -681,6 +666,7 @@ fn sweep_variability(opts: &SweepOpts) -> Result<SweepRun> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiments::{run_sweep, sweep_catalog};
 
     fn opts(trials: usize, threads: usize, seed: u64) -> SweepOpts {
         SweepOpts {
@@ -693,7 +679,7 @@ mod tests {
 
     #[test]
     fn every_sweep_id_runs_and_reports() {
-        for id in SWEEP_IDS {
+        for id in sweep_catalog() {
             let run = run_sweep(id, &opts(8, 2, 7)).unwrap_or_else(|e| panic!("{id}: {e}"));
             assert_eq!(run.report.id, id);
             assert!(!run.report.rows.is_empty(), "{id} produced no rows");

@@ -2,12 +2,27 @@
 //! assessment, plus the bundle density-floor check and the CNT-via
 //! thermal claim.
 
+use super::params::ParamSpec;
+use super::registry::Entry;
 use super::Report;
 use crate::compact::{BundleInterconnect, CuWire};
 use crate::technology::{assess, WireClass};
 use crate::Result;
 use cnt_thermal::via::ViaStack;
 use cnt_units::si::{Area, Length, Power};
+
+const FIG01_TITLE: &str = "Technology assessment: Cu vs CNT options per interconnect tier";
+
+/// This module's registry rows.
+pub(super) fn entries() -> Vec<Entry> {
+    vec![Entry::new(
+        10,
+        "fig01",
+        FIG01_TITLE,
+        ParamSpec::new(),
+        |_| fig01(),
+    )]
+}
 
 /// Fig. 1: "doped CNTs for local interconnects and CNT-Cu-composite
 /// material for global interconnects" — assessed per tier, with the §I
@@ -17,11 +32,13 @@ use cnt_units::si::{Area, Length, Power};
 ///
 /// Propagates model validation.
 pub fn fig01() -> Result<Report> {
-    let mut rep = Report::new(
-        "fig01",
-        "Technology assessment: Cu vs CNT options per interconnect tier",
-    )
-    .with_columns(&["R_ohm", "Imax_uA", "margin", "reliable", "recommend_cnt"]);
+    let mut rep = Report::new("fig01", FIG01_TITLE).with_columns(&[
+        "R_ohm",
+        "Imax_uA",
+        "margin",
+        "reliable",
+        "recommend_cnt",
+    ]);
 
     for (label, class) in [
         ("local_cu", WireClass::local_m1()),

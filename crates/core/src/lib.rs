@@ -16,9 +16,11 @@
 //! * [`benchmark`] — the Fig. 11 circuit benchmark: a driver, a
 //!   distributed MWCNT line, a load — with both an analytic (Elmore)
 //!   and a full SPICE-transient delay path;
-//! * [`experiments`] — one entry point per paper artefact (Fig. 2d …
-//!   Fig. 13b, plus the prose "Table 1"), each returning a structured
-//!   [`experiments::Report`] that the `cnt-bench` harness prints.
+//! * [`experiments`] — a trait-based registry with one entry per paper
+//!   artefact (Fig. 2d … Fig. 13b, plus the prose "Table 1" and extra
+//!   named studies), each declaring a typed [`experiments::ParamSpec`]
+//!   and returning a structured [`experiments::Report`] that the
+//!   `cnt-bench` harness renders as text, JSON, or CSV.
 //!
 //! # Example
 //!
@@ -60,6 +62,16 @@ pub enum Error {
         /// Offending value.
         value: f64,
     },
+    /// An experiment id was not found in the [`experiments`] registry.
+    UnknownExperiment(String),
+    /// A parameter override was rejected against an experiment's declared
+    /// [`experiments::ParamSpec`].
+    InvalidOverride {
+        /// The offending `--set` key.
+        key: String,
+        /// Why it was rejected.
+        reason: String,
+    },
     /// An underlying layer failed.
     Layer(String),
 }
@@ -69,6 +81,15 @@ impl fmt::Display for Error {
         match self {
             Error::InvalidParameter { name, value } => {
                 write!(f, "parameter {name} out of physical domain: {value}")
+            }
+            Error::UnknownExperiment(id) => {
+                write!(
+                    f,
+                    "unknown experiment id '{id}' (run `repro --list` for the catalog)"
+                )
+            }
+            Error::InvalidOverride { key, reason } => {
+                write!(f, "parameter override '{key}' rejected: {reason}")
             }
             Error::Layer(msg) => write!(f, "substrate layer error: {msg}"),
         }

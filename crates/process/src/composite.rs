@@ -90,7 +90,11 @@ impl CompositeRecipe {
                 }
             }
         };
-        let fill = fill.clamp(0.0, 1.0);
+        // Denser carpets leave less open volume between tubes for the Cu
+        // to reach; neutral at the reference 30 % volume fraction so the
+        // paper operating point is unchanged.
+        let density_penalty = 1.0 - 0.3 * (self.cnt_volume_fraction - 0.3);
+        let fill = (fill * density_penalty).clamp(0.0, 1.0);
         // Void probability: a steep sigmoid — cross-sections stay void-free
         // while the fill exceeds ~96 %, then voids appear rapidly.
         let void_probability = 1.0 / (1.0 + ((fill - 0.95) / 0.008).exp());

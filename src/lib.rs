@@ -16,6 +16,7 @@
 //! | TLM / I-V lab | [`measure`] | IV.B, Fig. 2d |
 //! | parallel sweep / Monte-Carlo engine | [`sweep`] | ensembles behind Figs. 5–7, 12, 13 |
 //! | compact models & experiments | [`interconnect`] | III.C, Figs. 9/12 |
+//! | experiment registry (trait catalog, typed params, JSON/CSV reports) | [`interconnect::experiments`] | every artefact |
 //!
 //! # Quickstart
 //!
@@ -36,7 +37,10 @@
 //! ```
 //!
 //! Regenerate every paper artefact with
-//! `cargo run -p cnt-bench --bin repro -- all`, or rerun a figure as the
+//! `cargo run -p cnt-bench --bin repro -- all`, move an experiment off
+//! its paper operating point with typed overrides
+//! (`repro fig12 --set length_um=200 --set nc=6`), emit machine-readable
+//! reports (`repro table1 --format json|csv`), or rerun a figure as the
 //! ensemble the paper actually measured with
 //! `cargo run -p cnt-bench --bin repro -- sweep fig12 --trials 1000`
 //! (deterministic for any `--threads` value; see `crates/sweep/README.md`).

@@ -47,11 +47,9 @@ fn section1_materials_numbers() {
 
 #[test]
 fn every_figure_regenerates() {
-    // The full harness: all 18 + stability must produce non-trivial
-    // reports (this is what `repro all` prints).
-    let mut ids = experiments::ALL_IDS.to_vec();
-    ids.push("stability");
-    for id in ids {
+    // The full harness: every registry id must produce a non-trivial
+    // report (this is what `repro all` prints).
+    for id in experiments::catalog() {
         let rep = experiments::run(id).unwrap_or_else(|e| panic!("{id}: {e}"));
         let text = rep.render();
         assert!(text.len() > 80, "{id} report too thin:\n{text}");
