@@ -12,10 +12,21 @@
 //! repro table1 --format json
 //!                         machine-readable output (one JSON object per
 //!                         line; `csv` emits the data table)
+//! repro table1 --preset projected
+//!                         run at a named operating point the experiment
+//!                         declares (expanded before any --set overrides)
 //! repro sweep fig12 --trials 1000 --threads 8 --seed 42
 //!                         run the Monte-Carlo sweep variant of an id on
 //!                         the cnt-sweep engine (output is byte-identical
 //!                         for any --threads value)
+//! repro serve --addr 127.0.0.1:8080 --workers 4
+//!                         expose the registry as a JSON API (cnt-serve):
+//!                         run bodies are byte-identical to
+//!                         `repro <id> --format json`; SIGTERM/ctrl-c
+//!                         drains in-flight work and exits
+//! repro cache gc --max-bytes 10000000
+//!                         shrink the on-disk sweep cache by evicting the
+//!                         oldest-modified entries first
 //! repro check-json        validate a JSON stream on stdin (used by CI to
 //!                         guard `repro all --format json`)
 //! ```
@@ -23,6 +34,7 @@
 //! Common flags:
 //!
 //! * `--format F`    output format: `text` (default), `json`, `csv`
+//! * `--preset P`    named operating point from the experiment's spec
 //! * `--set K=V`     typed parameter override; unknown keys and
 //!   out-of-range values are rejected before the experiment runs
 //!
@@ -43,11 +55,13 @@ use std::process::ExitCode;
 
 fn usage() {
     eprintln!(
-        "usage: repro [--list] [--format text|json|csv] [--set KEY=VALUE]... [all | <id>...]"
+        "usage: repro [--list] [--format text|json|csv] [--preset NAME] [--set KEY=VALUE]... [all | <id>...]"
     );
     eprintln!("       repro info <id>");
     eprintln!("       repro sweep <id> [--trials N] [--threads N] [--seed S] [--set KEY=VALUE]...");
     eprintln!("                        [--cache-dir DIR] [--no-cache] [--format text|json|csv]");
+    eprintln!("       repro serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]");
+    eprintln!("       repro cache gc --max-bytes N [--cache-dir DIR]");
     eprintln!("       repro check-json          (validates a JSON stream on stdin)");
     eprintln!(
         "ids: {}",
@@ -72,6 +86,8 @@ fn main() -> ExitCode {
     match args[0].as_str() {
         "sweep" => run_sweep_command(&args[1..]),
         "info" => run_info_command(&args[1..]),
+        "serve" => run_serve_command(&args[1..]),
+        "cache" => run_cache_command(&args[1..]),
         "check-json" => run_check_json_command(),
         _ => run_experiments_command(&args),
     }
@@ -133,10 +149,7 @@ fn run_experiments_command(args: &[String]) -> ExitCode {
 }
 
 fn run_one(id: &str, flags: &CommonFlags) -> Result<String, cnt_interconnect::Error> {
-    let exp = registry().get(id)?;
-    let ctx = RunContext::with_overrides(exp.params(), &flags.sets)?;
-    let report = exp.run(&ctx)?;
-    Ok(report.render_as(flags.format))
+    experiments::run_rendered(id, flags.preset.as_deref(), &flags.sets, flags.format)
 }
 
 /// Prints one experiment's declared parameter surface.
@@ -168,6 +181,22 @@ fn run_info_command(args: &[String]) -> ExitCode {
             range,
             def.doc
         );
+    }
+    if !exp.params().presets().is_empty() {
+        println!("presets (apply with --preset NAME):");
+        for preset in exp.params().presets() {
+            let sets: Vec<String> = preset
+                .sets
+                .iter()
+                .map(|(key, value)| format!("{key} = {value}"))
+                .collect();
+            println!(
+                "  {:<12} {}  — {}",
+                preset.name,
+                sets.join(", "),
+                preset.doc
+            );
+        }
     }
     ExitCode::SUCCESS
 }
@@ -285,9 +314,107 @@ fn run_sweep_command(args: &[String]) -> ExitCode {
     }
 }
 
+/// Parses and runs `repro serve [flags]`: the cnt-serve front end.
+fn run_serve_command(args: &[String]) -> ExitCode {
+    let mut config = cnt_serve::Config {
+        watch_signals: true,
+        ..cnt_serve::Config::default()
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let take = |name: &str, value: Option<&String>| -> Result<String, String> {
+            value
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        let parse_count = |name: &str, raw: Result<String, String>| -> Result<usize, String> {
+            raw.and_then(|v| {
+                v.parse::<usize>()
+                    .map_err(|e| format!("{name} expects a count, got '{v}' ({e})"))
+            })
+        };
+        match arg.as_str() {
+            "--addr" => match take("--addr", it.next()) {
+                Ok(addr) => config.addr = addr,
+                Err(e) => return fail(&e),
+            },
+            "--workers" => match parse_count("--workers", take("--workers", it.next())) {
+                Ok(n) => config.workers = n,
+                Err(e) => return fail(&e),
+            },
+            "--queue" => match parse_count("--queue", take("--queue", it.next())) {
+                Ok(n) => config.queue_capacity = n,
+                Err(e) => return fail(&e),
+            },
+            "--cache" => match parse_count("--cache", take("--cache", it.next())) {
+                Ok(n) => config.cache_capacity = n,
+                Err(e) => return fail(&e),
+            },
+            other => return fail(&format!("unknown serve flag '{other}'")),
+        }
+    }
+    cnt_serve::signal::install();
+    let server = match cnt_serve::Server::bind(config.clone()) {
+        Ok(server) => server,
+        Err(e) => return fail(&format!("serve: {e}")),
+    };
+    eprintln!(
+        "repro serve: http://{} — {} workers, queue {}, cache {} bodies (SIGTERM/ctrl-c drains and exits)",
+        server.local_addr(),
+        server.workers(),
+        config.queue_capacity,
+        config.cache_capacity
+    );
+    match server.serve() {
+        Ok(()) => {
+            eprintln!("repro serve: drained and shut down cleanly");
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&format!("serve: {e}")),
+    }
+}
+
+/// Parses and runs `repro cache gc --max-bytes N [--cache-dir DIR]`.
+fn run_cache_command(args: &[String]) -> ExitCode {
+    let Some(("gc", rest)) = args.split_first().map(|(a, r)| (a.as_str(), r)) else {
+        return fail("cache supports one action: gc");
+    };
+    let mut max_bytes: Option<u64> = None;
+    let mut dir = ".sweep-cache".to_string();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--max-bytes" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) => max_bytes = Some(n),
+                Some(Err(e)) => return fail(&format!("--max-bytes expects bytes ({e})")),
+                None => return fail("--max-bytes needs a value"),
+            },
+            "--cache-dir" => match it.next() {
+                Some(v) => dir = v.clone(),
+                None => return fail("--cache-dir needs a value"),
+            },
+            other => return fail(&format!("unknown cache gc flag '{other}'")),
+        }
+    }
+    let Some(max_bytes) = max_bytes else {
+        return fail("cache gc requires --max-bytes N");
+    };
+    match cnt_sweep::cache::gc(std::path::Path::new(&dir), max_bytes) {
+        Ok(stats) => {
+            eprintln!(
+                "cache gc '{dir}': {} entries scanned, {} evicted, {} -> {} bytes (cap {max_bytes})",
+                stats.scanned, stats.evicted, stats.bytes_before, stats.bytes_after
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&format!("cache gc: {e}")),
+    }
+}
+
 /// Flags shared by the plain experiment path.
 struct CommonFlags<'a> {
     format: OutputFormat,
+    preset: Option<String>,
     sets: Vec<(String, String)>,
     rest: Vec<&'a str>,
 }
@@ -295,6 +422,7 @@ struct CommonFlags<'a> {
 impl<'a> CommonFlags<'a> {
     fn parse(args: &'a [String]) -> Result<Self, String> {
         let mut format = OutputFormat::Text;
+        let mut preset = None;
         let mut sets = Vec::new();
         let mut rest = Vec::new();
         let mut it = args.iter();
@@ -303,6 +431,10 @@ impl<'a> CommonFlags<'a> {
                 "--format" => {
                     let value = it.next().ok_or("--format needs a value")?;
                     format = value.parse().map_err(|e| format!("{e}"))?;
+                }
+                "--preset" => {
+                    let value = it.next().ok_or("--preset needs a value")?;
+                    preset = Some(value.clone());
                 }
                 "--set" => {
                     let value = it.next().ok_or("--set needs a value")?;
@@ -314,7 +446,12 @@ impl<'a> CommonFlags<'a> {
                 other => rest.push(other),
             }
         }
-        Ok(Self { format, sets, rest })
+        Ok(Self {
+            format,
+            preset,
+            sets,
+            rest,
+        })
     }
 }
 

@@ -1,7 +1,7 @@
 //! Figs. 9–12 regenerators: conductivity comparison, TCAD RC extraction,
 //! the circuit benchmark and the delay-ratio study.
 
-use super::params::{ParamSpec, RunContext};
+use super::params::{ParamSpec, ParamValue, RunContext};
 use super::registry::Entry;
 use super::sweep_figs;
 use super::Report;
@@ -200,6 +200,14 @@ fn fig12_spec() -> ParamSpec {
             2000.0,
         )
         .int("nc", "anchor doped channels per shell", 10, 2.0, 30.0)
+        .preset(
+            "doped-local",
+            "local-level operating point: a 25 µm line at moderate doping",
+            &[
+                ("length_um", ParamValue::Float(25.0)),
+                ("nc", ParamValue::Int(6)),
+            ],
+        )
 }
 
 /// Fig. 12: delay ratio of doped vs pristine MWCNT interconnects over

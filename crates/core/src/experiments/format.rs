@@ -130,7 +130,10 @@ impl Report {
     }
 }
 
-fn json_string(s: &str, out: &mut String) {
+/// Appends `s` to `out` as a JSON string literal (standard escapes) — the
+/// one string emitter every hand-rolled JSON document in the workspace
+/// shares ([`Report::to_json`], the `cnt-serve` API bodies).
+pub fn json_string(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
         match c {

@@ -35,7 +35,7 @@ pub use atomistic_figs::{fig08a, fig08b, fig08b_structures, fig08c};
 pub use circuit_figs::{fig09, fig10, fig11, fig12};
 pub use format::OutputFormat;
 pub use measure_figs::{fig02d, selfheat, tlm};
-pub use params::{ParamSpec, ParamValue, Params, RunContext};
+pub use params::{ParamSpec, ParamValue, Params, Preset, RunContext};
 pub use process_figs::{fig04, fig05, fig06, fig07};
 pub use registry::{registry, Experiment, Registry, SweepExperiment};
 pub use reliability_figs::{fig03, fig13a, fig13b, stability, table1};
@@ -67,6 +67,58 @@ pub fn sweep_catalog() -> impl Iterator<Item = &'static str> {
 pub fn run(id: &str) -> Result<Report> {
     let exp = registry().get(id)?;
     exp.run(&RunContext::defaults(exp.params()))
+}
+
+/// Resolves an experiment and builds its validated [`RunContext`] from an
+/// optional named preset plus raw `key=value` overrides — the one
+/// parameter-point gate shared by the `repro` CLI and the `cnt-serve`
+/// HTTP server (the preset expands first, so explicit overrides win).
+///
+/// # Errors
+///
+/// Returns [`crate::Error::UnknownExperiment`] for an unknown id and
+/// [`crate::Error::InvalidOverride`] for an unknown preset, an unknown
+/// key, or an out-of-range value.
+pub fn resolve_context(
+    id: &str,
+    preset: Option<&str>,
+    sets: &[(String, String)],
+) -> Result<(&'static dyn Experiment, RunContext)> {
+    let exp = registry().get(id)?;
+    let mut ctx = RunContext::defaults(exp.params());
+    if let Some(name) = preset {
+        ctx.apply_preset(exp.params(), name)?;
+    }
+    for (key, raw) in sets {
+        ctx.set(exp.params(), key, raw)?;
+    }
+    Ok((exp, ctx))
+}
+
+/// Runs one experiment at a parameter point and renders it in `format`.
+///
+/// # Errors
+///
+/// As for [`resolve_context`]; propagates the experiment's own errors.
+pub fn run_rendered(
+    id: &str,
+    preset: Option<&str>,
+    sets: &[(String, String)],
+    format: OutputFormat,
+) -> Result<String> {
+    let (exp, ctx) = resolve_context(id, preset, sets)?;
+    Ok(exp.run(&ctx)?.render_as(format))
+}
+
+/// [`run_rendered`] fixed to the versioned JSON document (single line, no
+/// trailing newline) — what `repro <id> --format json` prints and what
+/// `POST /v1/experiments/{id}/run` serves.
+///
+/// # Errors
+///
+/// As for [`run_rendered`].
+pub fn run_to_json(id: &str, preset: Option<&str>, sets: &[(String, String)]) -> Result<String> {
+    run_rendered(id, preset, sets, OutputFormat::Json)
 }
 
 /// Runs the sweep variant of one experiment id.
@@ -149,6 +201,7 @@ mod tests {
         assert_eq!(
             sweeps,
             [
+                "fig04",
                 "fig05",
                 "fig06",
                 "fig07",
@@ -165,13 +218,39 @@ mod tests {
     }
 
     #[test]
+    fn resolve_context_and_run_to_json_share_one_gate() {
+        // Preset expands first, explicit overrides win.
+        let sets = vec![("nc".to_string(), "4".to_string())];
+        let (exp, ctx) = resolve_context("fig12", Some("doped-local"), &sets).unwrap();
+        assert_eq!(exp.id(), "fig12");
+        assert_eq!(ctx.f64("length_um"), 25.0);
+        assert_eq!(ctx.usize("nc"), 4);
+        // The JSON entry point is exactly the default report's document.
+        let via_entry = run_to_json("table1", None, &[]).unwrap();
+        assert_eq!(via_entry, run("table1").unwrap().to_json());
+        // Errors keep their canonical shapes.
+        assert_eq!(
+            resolve_context("nope", None, &[]).map(|_| ()).unwrap_err(),
+            crate::Error::UnknownExperiment("nope".to_string())
+        );
+        let bad_preset = resolve_context("table1", Some("bogus"), &[])
+            .map(|_| ())
+            .unwrap_err()
+            .to_string();
+        assert!(
+            bad_preset.contains("'bogus'") && bad_preset.contains("projected"),
+            "{bad_preset}"
+        );
+    }
+
+    #[test]
     fn run_sweep_rejects_unknown_ids_sweepless_ids_and_zero_trials() {
         let opts = SweepOpts::default();
         assert_eq!(
             run_sweep("nope", &opts).unwrap_err(),
             crate::Error::UnknownExperiment("nope".to_string())
         );
-        let sweepless = run_sweep("fig04", &opts).unwrap_err().to_string();
+        let sweepless = run_sweep("fig03", &opts).unwrap_err().to_string();
         assert!(sweepless.contains("no sweep variant"), "{sweepless}");
         assert!(sweepless.contains("fig12"), "{sweepless}");
         let zero = SweepOpts {

@@ -14,9 +14,14 @@
 //! deterministic simply ignore the ones that don't apply; experiments with
 //! a different historical seed re-declare `seed` with their own default so
 //! the default run stays byte-identical to the paper artefact.
+//!
+//! A spec may also declare named [`Preset`]s — documented operating points
+//! that expand to a bundle of overrides (`repro table1 --preset projected`,
+//! or `"preset"` in a `cnt-serve` request body).
 
 use super::sweep_figs::SweepOpts;
 use crate::{Error, Result};
+use cnt_sweep::seed::fnv1a;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::PathBuf;
@@ -122,19 +127,36 @@ impl ParamDef {
     }
 }
 
+/// A named operating point: a documented bundle of overrides an
+/// experiment declares next to its knobs.
+#[derive(Debug, Clone)]
+pub struct Preset {
+    /// The `--preset` name.
+    pub name: &'static str,
+    /// What the operating point represents, shown by `repro info <id>`.
+    pub doc: &'static str,
+    /// The overrides the preset expands to, applied in order.
+    pub sets: Vec<(&'static str, ParamValue)>,
+}
+
 /// The declared parameter surface of one experiment.
 ///
 /// [`ParamSpec::new`] seeds the four [`COMMON_KEYS`]; builder calls add
-/// (or re-declare, for a different default) per-experiment knobs.
+/// (or re-declare, for a different default) per-experiment knobs and
+/// named [`Preset`]s.
 #[derive(Debug, Clone)]
 pub struct ParamSpec {
     defs: Vec<ParamDef>,
+    presets: Vec<Preset>,
 }
 
 impl ParamSpec {
     /// A spec with only the common execution knobs.
     pub fn new() -> Self {
-        let empty = Self { defs: Vec::new() };
+        let empty = Self {
+            defs: Vec::new(),
+            presets: Vec::new(),
+        };
         empty
             .int(
                 "trials",
@@ -224,6 +246,33 @@ impl ParamSpec {
             0.0,
             i64::MAX as f64,
         )
+    }
+
+    /// Declares a named operating point expanding to `sets` overrides.
+    /// Keys and values are validated when the registry is built, so a
+    /// registered preset can never fail to apply.
+    pub fn preset(
+        mut self,
+        name: &'static str,
+        doc: &'static str,
+        sets: &[(&'static str, ParamValue)],
+    ) -> Self {
+        self.presets.push(Preset {
+            name,
+            doc,
+            sets: sets.to_vec(),
+        });
+        self
+    }
+
+    /// All declared presets, declaration order.
+    pub fn presets(&self) -> &[Preset] {
+        &self.presets
+    }
+
+    /// Looks up one preset by name.
+    pub fn find_preset(&self, name: &str) -> Option<&Preset> {
+        self.presets.iter().find(|p| p.name == name)
     }
 
     fn put(&mut self, def: ParamDef) {
@@ -340,6 +389,42 @@ impl Params {
             .get(key)
             .unwrap_or_else(|| panic!("experiment read undeclared parameter '{key}'"))
     }
+
+    /// The canonical content hash of this fully-resolved parameter point —
+    /// the same FNV-1a family the `cnt-sweep` disk cache keys with
+    /// ([`cnt_sweep::CacheKey`]). Two bags hash equal iff they hold the
+    /// same typed values (exact bit patterns for floats) *and* the same
+    /// explicitly-overridden keys in the same order — the explicit set is
+    /// part of the identity because it appears in the rendered report's
+    /// override note. `cnt-serve` coalesces and caches on this hash.
+    pub fn content_hash(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(64);
+        for (key, value) in &self.values {
+            bytes.extend_from_slice(key.as_bytes());
+            bytes.push(b'=');
+            match value {
+                ParamValue::Int(v) => {
+                    bytes.push(b'i');
+                    bytes.extend_from_slice(&v.to_le_bytes());
+                }
+                ParamValue::Float(v) => {
+                    bytes.push(b'f');
+                    bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+                ParamValue::Text(v) => {
+                    bytes.push(b't');
+                    bytes.extend_from_slice(v.as_bytes());
+                }
+            }
+            bytes.push(0);
+        }
+        bytes.push(0xff);
+        for key in &self.explicit {
+            bytes.extend_from_slice(key.as_bytes());
+            bytes.push(0);
+        }
+        fnv1a(&bytes)
+    }
 }
 
 /// Everything an experiment needs at run time: the validated [`Params`]
@@ -387,6 +472,31 @@ impl RunContext {
         })?;
         let value = def.parse(raw)?;
         self.insert(def.key, value);
+        Ok(())
+    }
+
+    /// Expands one named preset into its override bundle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidOverride`] (key `"preset"`) naming the
+    /// valid presets for an unknown name, and propagates per-override
+    /// validation errors (unreachable for registry-validated specs).
+    pub fn apply_preset(&mut self, spec: &ParamSpec, name: &str) -> Result<()> {
+        let preset = spec.find_preset(name).ok_or_else(|| {
+            let valid: Vec<&str> = spec.presets().iter().map(|p| p.name).collect();
+            Error::InvalidOverride {
+                key: "preset".to_string(),
+                reason: if valid.is_empty() {
+                    format!("unknown preset '{name}' (this experiment declares none)")
+                } else {
+                    format!("unknown preset '{name}' (valid: {})", valid.join(" "))
+                },
+            }
+        })?;
+        for (key, value) in preset.sets.clone() {
+            self.set_value(spec, key, value)?;
+        }
         Ok(())
     }
 
@@ -493,6 +603,14 @@ mod tests {
         ParamSpec::new()
             .float("length_um", "wire length", 500.0, 1.0, 2000.0)
             .int("nc", "channels per shell", 10, 2.0, 30.0)
+            .preset(
+                "short-doped",
+                "a short heavily-doped line",
+                &[
+                    ("length_um", ParamValue::Float(25.0)),
+                    ("nc", ParamValue::Int(6)),
+                ],
+            )
     }
 
     #[test]
@@ -538,6 +656,56 @@ mod tests {
         assert!(ctx.set(&s, "length_um", "NaN").is_err());
         // Nothing stuck.
         assert_eq!(ctx, RunContext::defaults(&s));
+    }
+
+    #[test]
+    fn presets_expand_validate_and_compose_with_sets() {
+        let s = spec();
+        let mut ctx = RunContext::defaults(&s);
+        ctx.apply_preset(&s, "short-doped").unwrap();
+        assert_eq!(ctx.f64("length_um"), 25.0);
+        assert_eq!(ctx.usize("nc"), 6);
+        assert_eq!(ctx.params.explicit_keys(), ["length_um", "nc"]);
+        // --set on top of a preset wins (applied later).
+        ctx.set(&s, "nc", "4").unwrap();
+        assert_eq!(ctx.usize("nc"), 4);
+        // Unknown presets name themselves and the valid names.
+        let err = ctx.apply_preset(&s, "bogus").unwrap_err().to_string();
+        assert!(
+            err.contains("'bogus'") && err.contains("short-doped"),
+            "{err}"
+        );
+        // A spec without presets says so.
+        let none = RunContext::defaults(&ParamSpec::new())
+            .apply_preset(&ParamSpec::new(), "x")
+            .unwrap_err()
+            .to_string();
+        assert!(none.contains("declares none"), "{none}");
+    }
+
+    #[test]
+    fn content_hash_tracks_values_and_explicit_keys() {
+        let s = spec();
+        let base = RunContext::defaults(&s).params.content_hash();
+        assert_eq!(base, RunContext::defaults(&s).params.content_hash());
+        // A changed value changes the hash.
+        let mut moved = RunContext::defaults(&s);
+        moved.set(&s, "nc", "6").unwrap();
+        assert_ne!(base, moved.params.content_hash());
+        // Overriding a knob *to its default* still differs (the explicit
+        // set appears in the rendered report's override note).
+        let mut explicit_default = RunContext::defaults(&s);
+        explicit_default.set(&s, "nc", "10").unwrap();
+        assert_ne!(base, explicit_default.params.content_hash());
+        // Spelling doesn't matter, the typed value does.
+        let mut spelled = RunContext::defaults(&s);
+        spelled.set(&s, "length_um", "200").unwrap();
+        let mut spelled2 = RunContext::defaults(&s);
+        spelled2.set(&s, "length_um", "200.0").unwrap();
+        assert_eq!(
+            spelled.params.content_hash(),
+            spelled2.params.content_hash()
+        );
     }
 
     #[test]

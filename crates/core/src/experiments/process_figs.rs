@@ -7,7 +7,7 @@ use super::sweep_figs;
 use super::Report;
 use crate::Result;
 use cnt_process::composite::{CarpetOrientation, CompositeRecipe, DepositionMethod, FillResult};
-use cnt_process::growth::{temperature_sweep, Catalyst};
+use cnt_process::growth::{Catalyst, GrowthRecipe};
 use cnt_process::wafer::WaferMap;
 use cnt_sweep::{Axis, Executor, SweepPlan};
 use cnt_units::si::Temperature;
@@ -20,7 +20,8 @@ const FIG07_TITLE: &str = "ECD Cu impregnation of HA-CNT bundles (void-free)";
 /// This module's registry rows.
 pub(super) fn entries() -> Vec<Entry> {
     vec![
-        Entry::new(40, "fig04", FIG04_TITLE, ParamSpec::new(), |_| fig04()),
+        Entry::new(40, "fig04", FIG04_TITLE, fig04_spec(), fig04_with)
+            .with_param_sweep(sweep_figs::sweep_fig04),
         Entry::new(50, "fig05", FIG05_TITLE, fig05_spec(), fig05_with)
             .with_sweep(sweep_figs::sweep_fig05),
         Entry::new(60, "fig06", FIG06_TITLE, fill_spec(), fig06_with)
@@ -54,6 +55,30 @@ fn fill_sweep(
     Ok(results)
 }
 
+/// The six fixed lower probe temperatures of the Fig. 4 growth sweep, °C.
+/// The seventh (top) probe is the `temp_k` knob, whose default of
+/// 923.15 K is exactly the historical 650 °C.
+const FIG04_BASE_TEMPS_C: [f64; 6] = [350.0, 375.0, 395.0, 425.0, 475.0, 550.0];
+
+/// The Fig. 4 probe-temperature list for a given top probe (kelvin).
+pub(super) fn fig04_temps(temp_k: f64) -> Vec<Temperature> {
+    FIG04_BASE_TEMPS_C
+        .iter()
+        .map(|&c| Temperature::from_celsius(c))
+        .chain(std::iter::once(Temperature::from_kelvin(temp_k)))
+        .collect()
+}
+
+fn fig04_spec() -> ParamSpec {
+    ParamSpec::new().float(
+        "temp_k",
+        "top probe temperature of the growth sweep, kelvin (923.15 K = 650 °C)",
+        923.15,
+        680.0,
+        1400.0,
+    )
+}
+
 /// Fig. 4: CNT growth with Co catalyst at different temperatures (Fe shown
 /// for contrast), pushing growth into the CMOS-compatible window.
 ///
@@ -61,12 +86,32 @@ fn fill_sweep(
 ///
 /// Propagates growth-model errors.
 pub fn fig04() -> Result<Report> {
-    let temps: Vec<Temperature> = [350.0, 375.0, 395.0, 425.0, 475.0, 550.0, 650.0]
-        .iter()
-        .map(|&c| Temperature::from_celsius(c))
-        .collect();
-    let co = temperature_sweep(Catalyst::Cobalt, &temps, false)?;
-    let fe = temperature_sweep(Catalyst::Iron, &temps, false)?;
+    fig04_with(&RunContext::defaults(&fig04_spec()))
+}
+
+fn fig04_with(ctx: &RunContext) -> Result<Report> {
+    let temps = fig04_temps(ctx.f64("temp_k"));
+    let temps_k: Vec<f64> = temps.iter().map(|t| t.kelvin()).collect();
+    // Catalyst × temperature grid on the cnt-sweep pool. The catalyst axis
+    // is outermost, so results come back exactly as the serial
+    // Co-then-Fe loops this replaced produced them.
+    let plan = SweepPlan::new("experiments.process.fig04")
+        .axis(Axis::grid("catalyst", &[0.0, 1.0]))
+        .axis(Axis::grid("T_K", &temps_k));
+    let results = Executor::new(ctx.usize("threads")).run(&plan, 0, |job, _| {
+        let catalyst = if job.get("catalyst").expect("axis exists") == 0.0 {
+            Catalyst::Cobalt
+        } else {
+            Catalyst::Iron
+        };
+        GrowthRecipe {
+            catalyst,
+            temperature: Temperature::from_kelvin(job.get("T_K").expect("axis exists")),
+            plasma_assisted: false,
+        }
+        .simulate()
+    })?;
+    let (co, fe) = results.split_at(temps.len());
 
     let mut rep = Report::new("fig04", FIG04_TITLE).with_columns(&[
         "T_C",
@@ -77,7 +122,7 @@ pub fn fig04() -> Result<Report> {
         "fe_dg",
         "fe_viable",
     ]);
-    for (c, f) in co.iter().zip(&fe) {
+    for (c, f) in co.iter().zip(fe) {
         rep.push_row(vec![
             c.recipe.temperature.celsius(),
             c.growth_rate_um_per_min,
@@ -269,6 +314,21 @@ mod tests {
         let at_budget = t.iter().position(|&c| (c - 395.0).abs() < 1.0).unwrap();
         assert_eq!(co_v[at_budget], 1.0);
         assert_eq!(fe_v[at_budget], 0.0);
+    }
+
+    #[test]
+    fn fig04_temp_k_moves_only_the_top_probe() {
+        let spec = fig04_spec();
+        let hot = RunContext::with_overrides(&spec, &[("temp_k".to_string(), "1000".to_string())])
+            .unwrap();
+        let base = fig04().unwrap();
+        let moved = fig04_with(&hot).unwrap();
+        let t_base = base.column("T_C").unwrap();
+        let t_moved = moved.column("T_C").unwrap();
+        assert_eq!(&t_base[..6], &t_moved[..6], "fixed probes must not move");
+        assert!((t_base[6] - 650.0).abs() < 1e-9, "default top = 650 °C");
+        assert!((t_moved[6] - 726.85).abs() < 1e-9, "1000 K = 726.85 °C");
+        assert_ne!(base.render(), moved.render());
     }
 
     #[test]

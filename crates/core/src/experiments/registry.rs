@@ -64,6 +64,17 @@ pub trait SweepExperiment: Sync {
     fn run_sweep(&self, ctx: &RunContext) -> Result<SweepRun>;
 }
 
+/// How an entry's Monte-Carlo variant consumes its context.
+enum SweepFn {
+    /// Classic sweeps: only the common execution knobs apply; explicit
+    /// per-experiment overrides are rejected.
+    Opts(fn(&SweepOpts) -> Result<SweepRun>),
+    /// Parameterised sweeps: the full context reaches the kernel, so
+    /// per-experiment knobs are honoured (and must enter the kernel's
+    /// cache salt — see `sweep_figs::sweep_fig04`).
+    Ctx(fn(&RunContext) -> Result<SweepRun>),
+}
+
 /// A registry row: the data-driven [`Experiment`] implementation the
 /// figure modules instantiate.
 pub(super) struct Entry {
@@ -73,7 +84,7 @@ pub(super) struct Entry {
     extra: bool,
     spec: ParamSpec,
     run_fn: fn(&RunContext) -> Result<Report>,
-    sweep_fn: Option<fn(&SweepOpts) -> Result<SweepRun>>,
+    sweep_fn: Option<SweepFn>,
 }
 
 impl Entry {
@@ -103,9 +114,21 @@ impl Entry {
         self
     }
 
-    /// Attaches the Monte-Carlo sweep variant.
+    /// Attaches a Monte-Carlo sweep variant that takes only the common
+    /// execution knobs.
     pub(super) fn with_sweep(mut self, sweep_fn: fn(&SweepOpts) -> Result<SweepRun>) -> Self {
-        self.sweep_fn = Some(sweep_fn);
+        self.sweep_fn = Some(SweepFn::Opts(sweep_fn));
+        self
+    }
+
+    /// Attaches a parameterised sweep variant: the full [`RunContext`]
+    /// reaches the kernel, so the experiment's own knobs apply to the
+    /// ensemble too.
+    pub(super) fn with_param_sweep(
+        mut self,
+        sweep_fn: fn(&RunContext) -> Result<SweepRun>,
+    ) -> Self {
+        self.sweep_fn = Some(SweepFn::Ctx(sweep_fn));
         self
     }
 }
@@ -154,23 +177,27 @@ impl Experiment for Entry {
 
 impl SweepExperiment for Entry {
     fn run_sweep(&self, ctx: &RunContext) -> Result<SweepRun> {
-        if let Some(key) = ctx
-            .params
-            .explicit_keys()
-            .iter()
-            .find(|k| !COMMON_KEYS.contains(k))
-        {
-            return Err(Error::InvalidOverride {
-                key: key.to_string(),
-                reason: format!(
-                    "the sweep variant of '{}' runs at the paper operating point; only {} apply",
-                    self.id,
-                    COMMON_KEYS.join("/")
-                ),
-            });
+        match self.sweep_fn.as_ref().expect("gated by Experiment::sweep") {
+            SweepFn::Opts(sweep_fn) => {
+                if let Some(key) = ctx
+                    .params
+                    .explicit_keys()
+                    .iter()
+                    .find(|k| !COMMON_KEYS.contains(k))
+                {
+                    return Err(Error::InvalidOverride {
+                        key: key.to_string(),
+                        reason: format!(
+                            "the sweep variant of '{}' runs at the paper operating point; only {} apply",
+                            self.id,
+                            COMMON_KEYS.join("/")
+                        ),
+                    });
+                }
+                sweep_fn(&ctx.sweep_opts())
+            }
+            SweepFn::Ctx(sweep_fn) => sweep_fn(ctx),
         }
-        let sweep_fn = self.sweep_fn.expect("gated by Experiment::sweep");
-        sweep_fn(&ctx.sweep_opts())
     }
 }
 
@@ -218,6 +245,20 @@ impl Registry {
                             "'{}' default for '{}' violates its own bounds: {err}",
                             e.id, def.key
                         )
+                    });
+            }
+            for (i, preset) in e.spec.presets().iter().enumerate() {
+                assert!(
+                    e.spec.presets()[..i].iter().all(|p| p.name != preset.name),
+                    "'{}' declares preset '{}' twice",
+                    e.id,
+                    preset.name
+                );
+                let mut probe = RunContext::defaults(&e.spec);
+                probe
+                    .apply_preset(&e.spec, preset.name)
+                    .unwrap_or_else(|err| {
+                        panic!("'{}' preset '{}' cannot apply: {err}", e.id, preset.name)
                     });
             }
         }

@@ -1,7 +1,7 @@
 //! "Table 1" (the §I prose numbers), Fig. 3, Fig. 13a/b and the
 //! dopant-stability study.
 
-use super::params::{ParamSpec, RunContext};
+use super::params::{ParamSpec, ParamValue, RunContext};
 use super::registry::Entry;
 use super::sweep_figs;
 use super::Report;
@@ -54,6 +54,14 @@ fn table1_spec() -> ParamSpec {
             50.0,
             10.0,
             500.0,
+        )
+        .preset(
+            "projected",
+            "projected scaled-node Cu reference (20 × 10 nm), where the ampacity gap widens",
+            &[
+                ("width_nm", ParamValue::Float(20.0)),
+                ("thickness_nm", ParamValue::Float(10.0)),
+            ],
         )
 }
 

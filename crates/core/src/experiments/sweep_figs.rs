@@ -14,19 +14,20 @@
 //!   cache directory via [`SweepOpts::cache_dir`] to persist across
 //!   processes).
 
-use super::params::ParamSpec;
+use super::params::{ParamSpec, RunContext};
 use super::registry::Entry;
 use super::Report;
 use crate::benchmark::{delay_ratio, FIG12_CHANNEL_COUNTS, FIG12_DIAMETERS_NM, FIG12_LENGTHS_UM};
 use crate::Result;
 use cnt_process::composite::{CarpetOrientation, CompositeRecipe, DepositionMethod};
+use cnt_process::growth::{Catalyst, GrowthRecipe};
 use cnt_process::variability::{sample_one_device, DevicePopulation, DopingState};
 use cnt_process::wafer::WaferMap;
 use cnt_reliability::layout::TestStructure;
 use cnt_reliability::wafer_char::{characterize_wafer, WaferCharSetup};
 use cnt_sweep::{Axis, CacheKey, Executor, ResultStore, Summary, SweepPlan, Table};
 use cnt_units::rand_ext;
-use cnt_units::si::{Length, Time};
+use cnt_units::si::{Length, Temperature, Time};
 use rand::Rng;
 use std::path::PathBuf;
 
@@ -97,17 +98,28 @@ pub struct SweepRun {
 }
 
 /// Computes (or recalls) the table for `plan`, then renders it.
+///
+/// `salt_extra` threads per-experiment knobs into the cache salt (empty
+/// for the classic sweeps, which keeps their historical cache keys);
+/// parameterised sweeps append `key=value` terms so a moved knob is a
+/// different cached artefact even where the plan fingerprint alone would
+/// not separate the two.
 fn cached<F>(
     id: &str,
     plan: &SweepPlan,
     opts: &SweepOpts,
+    salt_extra: &str,
     columns: &[&str],
     compute: F,
 ) -> Result<(Table, bool, usize)>
 where
     F: FnOnce(&SweepPlan) -> Result<Vec<Vec<f64>>>,
 {
-    let salt = format!("{SWEEP_SALT_VERSION}/{id}/trials={}", opts.trials);
+    let mut salt = format!("{SWEEP_SALT_VERSION}/{id}/trials={}", opts.trials);
+    if !salt_extra.is_empty() {
+        salt.push('/');
+        salt.push_str(salt_extra);
+    }
     let key = CacheKey::derive(plan, opts.seed, &salt);
     let store = match &opts.cache_dir {
         Some(dir) => ResultStore::on_disk(dir),
@@ -127,6 +139,110 @@ fn provenance_note(rep: &mut Report, opts: &SweepOpts, jobs: usize) {
         "sweep: {jobs} jobs, {} trials, root seed {} — deterministic for any thread count",
         opts.trials, opts.seed
     ));
+}
+
+// --- fig04: growth ensemble under furnace setpoint jitter ---------------
+
+/// `repro sweep fig04`: the growth-temperature sweep as an ensemble over
+/// furnace setpoint control (±3 K, hard-truncated at ±10 K) for both
+/// catalysts. This is the first *parameterised* sweep: the experiment's
+/// own `temp_k` knob moves the top probe of the grid and is threaded into
+/// the cache salt (beyond the plan fingerprint, which covers the grid
+/// values), so a moved knob is a distinct cached artefact.
+pub(super) fn sweep_fig04(ctx: &RunContext) -> Result<SweepRun> {
+    let opts = ctx.sweep_opts();
+    let temp_k = ctx.f64("temp_k");
+    let temps = super::process_figs::fig04_temps(temp_k);
+    let temps_k: Vec<f64> = temps.iter().map(|t| t.kelvin()).collect();
+    let plan = SweepPlan::new("sweep.fig04")
+        .axis(Axis::grid("catalyst", &[0.0, 1.0]))
+        .axis(Axis::grid("T_K", &temps_k));
+    let columns = [
+        "catalyst",
+        "T_C",
+        "rate_mean_um_min",
+        "rate_sigma",
+        "dg_mean",
+        "dg_sigma",
+        "viable_yield",
+    ];
+    let trials = opts.trials;
+    let threads = Executor::new(opts.threads).threads();
+    let salt_extra = format!("temp_k={temp_k}");
+    let (table, hit, jobs) = cached("fig04", &plan, &opts, &salt_extra, &columns, |plan| {
+        let rows = Executor::new(opts.threads).run(plan, opts.seed, |job, rng| {
+            let catalyst_idx = job.get("catalyst").expect("axis exists");
+            let catalyst = if catalyst_idx == 0.0 {
+                Catalyst::Cobalt
+            } else {
+                Catalyst::Iron
+            };
+            let t_nominal = job.get("T_K").expect("axis exists");
+            let mut rates = Vec::with_capacity(trials);
+            let mut dgs = Vec::with_capacity(trials);
+            let mut viable = 0usize;
+            for _ in 0..trials {
+                // Furnace setpoint control: ±3 K, truncated at ±10 K.
+                let t = rand_ext::truncated_normal(
+                    rng,
+                    t_nominal,
+                    3.0,
+                    t_nominal - 10.0,
+                    t_nominal + 10.0,
+                );
+                let run = GrowthRecipe {
+                    catalyst,
+                    temperature: Temperature::from_kelvin(t),
+                    plasma_assisted: false,
+                }
+                .simulate()?;
+                rates.push(run.growth_rate_um_per_min);
+                dgs.push(run.dg_ratio);
+                viable += usize::from(run.is_viable());
+            }
+            let rate = Summary::from_samples(&rates)?;
+            let dg = Summary::from_samples(&dgs)?;
+            Ok::<_, crate::Error>(vec![
+                catalyst_idx,
+                Temperature::from_kelvin(t_nominal).celsius(),
+                rate.mean,
+                rate.std_dev,
+                dg.mean,
+                dg.std_dev,
+                viable as f64 / trials as f64,
+            ])
+        })?;
+        Ok(rows)
+    })?;
+
+    let mut rep = Report::new(
+        "fig04",
+        "CNT growth vs temperature under furnace setpoint jitter (Co vs Fe ensemble)",
+    )
+    .with_columns(&columns);
+    for row in &table.rows {
+        rep.push_row(row.clone());
+    }
+    if let Some(budget_row) = table
+        .rows
+        .iter()
+        .find(|r| r[0] == 0.0 && (r[1] - 395.0).abs() < 0.5)
+    {
+        rep.note(format!(
+            "Co at the 395 °C probe keeps a {:.0} % viable yield under ±3 K setpoint control",
+            budget_row[6] * 100.0
+        ));
+    }
+    rep.note(format!(
+        "catalyst 0 = Co, 1 = Fe; top probe at {temp_k} K (the temp_k knob, salted into the result cache)"
+    ));
+    provenance_note(&mut rep, &opts, jobs);
+    Ok(SweepRun {
+        report: rep,
+        cache_hit: hit,
+        jobs,
+        threads,
+    })
 }
 
 // --- fig12: diameter-scattered delay-ratio grid -------------------------
@@ -152,7 +268,7 @@ pub(super) fn sweep_fig12(opts: &SweepOpts) -> Result<SweepRun> {
         "ratio_p95",
     ];
     let threads = Executor::new(opts.threads).threads();
-    let (table, hit, jobs) = cached("fig12", &plan, opts, &columns, |plan| {
+    let (table, hit, jobs) = cached("fig12", &plan, opts, "", &columns, |plan| {
         let rows = Executor::new(opts.threads).run(plan, opts.seed, |job, rng| {
             let d_nominal = job.get("D_nm").expect("axis exists");
             let nc = job.get_usize("Nc").expect("axis exists");
@@ -230,7 +346,7 @@ pub(super) fn sweep_fig05(opts: &SweepOpts) -> Result<SweepRun> {
         "wafer_cv_p95",
     ];
     let threads = Executor::new(opts.threads).threads();
-    let (table, hit, jobs) = cached("fig05", &plan, opts, &columns, |plan| {
+    let (table, hit, jobs) = cached("fig05", &plan, opts, "", &columns, |plan| {
         // One wafer per job: its own seed, its own map.
         let per_wafer = Executor::new(opts.threads).run(plan, opts.seed, |_, rng| {
             let map = WaferMap::generate(0.3, 121, 1.0, 0.05, 0.015, rng.gen::<u64>())?;
@@ -339,7 +455,7 @@ fn sweep_fill(opts: &SweepOpts, variant: FillVariant) -> Result<SweepRun> {
     ];
     let trials = opts.trials;
     let threads = Executor::new(opts.threads).threads();
-    let (table, hit, jobs) = cached(id, &plan, opts, &columns, |plan| {
+    let (table, hit, jobs) = cached(id, &plan, opts, "", &columns, |plan| {
         let rows = Executor::new(opts.threads).run(plan, opts.seed, |job, rng| {
             let ar = job.get("aspect_ratio").expect("axis exists");
             let mut fills = Vec::with_capacity(trials);
@@ -438,7 +554,7 @@ pub(super) fn sweep_fig13a(opts: &SweepOpts) -> Result<SweepRun> {
     ];
     let trials = opts.trials;
     let threads = Executor::new(opts.threads).threads();
-    let (table, hit, jobs) = cached("fig13a", &plan, opts, &columns, |plan| {
+    let (table, hit, jobs) = cached("fig13a", &plan, opts, "", &columns, |plan| {
         let rows = Executor::new(opts.threads).run(plan, opts.seed, |job, rng| {
             let w_nominal = job.get("width_nm").expect("axis exists");
             let mut resistances = Vec::with_capacity(trials);
@@ -514,7 +630,7 @@ pub(super) fn sweep_fig13b(opts: &SweepOpts) -> Result<SweepRun> {
         "em_yield_mean",
     ];
     let threads = Executor::new(opts.threads).threads();
-    let (table, hit, jobs) = cached("fig13b", &plan, opts, &columns, |plan| {
+    let (table, hit, jobs) = cached("fig13b", &plan, opts, "", &columns, |plan| {
         let line = TestStructure::SingleLine {
             width: Length::from_nanometers(100.0),
             length: Length::from_micrometers(800.0),
@@ -601,7 +717,7 @@ pub(super) fn sweep_variability(opts: &SweepOpts) -> Result<SweepRun> {
         "p95_kohm",
     ];
     let threads = Executor::new(opts.threads).threads();
-    let (table, hit, jobs) = cached("variability", &plan, opts, &columns, |plan| {
+    let (table, hit, jobs) = cached("variability", &plan, opts, "", &columns, |plan| {
         let population = DevicePopulation::mwcnt_via_default();
         population.validate()?;
         // One sampled device per job.
@@ -693,8 +809,37 @@ mod tests {
     }
 
     #[test]
+    fn fig04_param_sweep_honours_temp_k_and_salts_the_cache() {
+        use crate::experiments::registry;
+        let dir = std::env::temp_dir().join(format!("cnt-sweep-fig04-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let exp = registry().get("fig04").unwrap();
+        let sweep = exp.sweep().expect("fig04 gained a sweep variant");
+        let mut ctx = RunContext::defaults(exp.params());
+        ctx.set(exp.params(), "trials", "6").unwrap();
+        ctx.set(exp.params(), "threads", "2").unwrap();
+        ctx.set(exp.params(), "cache_dir", dir.to_str().unwrap())
+            .unwrap();
+        let base = sweep.run_sweep(&ctx).unwrap();
+        assert!(!base.cache_hit);
+        // The knob reaches the kernel: the top probe row moves.
+        ctx.set(exp.params(), "temp_k", "1000").unwrap();
+        let moved = sweep.run_sweep(&ctx).unwrap();
+        assert!(!moved.cache_hit, "temp_k must salt the cache key");
+        assert_ne!(base.report.render(), moved.report.render());
+        let top = moved.report.rows[6][1];
+        assert!((top - 726.85).abs() < 1e-9, "top probe at {top} °C");
+        // Back at the default knob, the first run is recalled from disk.
+        ctx.set(exp.params(), "temp_k", "923.15").unwrap();
+        let recalled = sweep.run_sweep(&ctx).unwrap();
+        assert!(recalled.cache_hit);
+        assert_eq!(base.report.render(), recalled.report.render());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn reports_identical_across_thread_counts() {
-        for id in ["fig12", "variability", "fig05"] {
+        for id in ["fig04", "fig12", "variability", "fig05"] {
             let serial = run_sweep(id, &opts(12, 1, 42)).unwrap();
             let par = run_sweep(id, &opts(12, 4, 42)).unwrap();
             assert_eq!(

@@ -1,0 +1,272 @@
+//! A minimal HTTP/1.1 request parser and response writer over blocking
+//! streams.
+//!
+//! Exactly what the four `/v1` routes need, nothing more: one request per
+//! connection (`Connection: close` on every response; keep-alive is a
+//! listed follow-up), `Content-Length` bodies only (no chunked transfer),
+//! and hard caps on head and body size so a misbehaving client cannot
+//! balloon a worker. Anything outside that subset is answered with a
+//! `400`/`405`/`413` by the server loop rather than a hang.
+
+use std::io::{BufRead, Write};
+
+/// Largest accepted request head (request line + headers), bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Largest accepted request body, bytes.
+pub const MAX_BODY_BYTES: usize = 256 * 1024;
+
+/// A parsed request: method, path, lower-cased headers, raw body.
+#[derive(Debug)]
+pub struct Request {
+    /// The request method, upper-case as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target's path component (any `?query` is split off).
+    pub path: String,
+    /// Header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The raw body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of a header, by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed (each maps to one response).
+#[derive(Debug)]
+pub enum RequestError {
+    /// Syntactically broken request → `400`.
+    Malformed(String),
+    /// Head or body over the cap → `413`.
+    TooLarge(String),
+    /// The connection died mid-request → drop it, nothing to answer.
+    Io(std::io::Error),
+}
+
+/// Reads one request from a buffered stream.
+///
+/// # Errors
+///
+/// See [`RequestError`].
+pub fn read_request(reader: &mut impl BufRead) -> Result<Request, RequestError> {
+    let mut head_bytes = 0usize;
+    let mut line = String::new();
+    read_crlf_line(reader, &mut line, &mut head_bytes)?;
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(RequestError::Malformed(format!(
+                "bad request line '{line}'"
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(RequestError::Malformed(format!(
+            "unsupported protocol '{version}'"
+        )));
+    }
+    let method = method.to_string();
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut headers = Vec::new();
+    loop {
+        read_crlf_line(reader, &mut line, &mut head_bytes)?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| RequestError::Malformed(format!("bad header line '{line}'")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+        None => 0,
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| RequestError::Malformed(format!("bad content-length '{v}'")))?,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(RequestError::TooLarge(format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES} byte cap"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(RequestError::Io)?;
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+/// Reads one `\r\n`-terminated line (tolerating bare `\n`) into `line`,
+/// charging its length against the head cap.
+fn read_crlf_line(
+    reader: &mut impl BufRead,
+    line: &mut String,
+    head_bytes: &mut usize,
+) -> Result<(), RequestError> {
+    line.clear();
+    let n = reader.read_line(line).map_err(RequestError::Io)?;
+    if n == 0 {
+        return Err(RequestError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed mid-request",
+        )));
+    }
+    *head_bytes += n;
+    if *head_bytes > MAX_HEAD_BYTES {
+        return Err(RequestError::TooLarge(format!(
+            "request head exceeds the {MAX_HEAD_BYTES} byte cap"
+        )));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(())
+}
+
+/// An outgoing response: status, content type, optional `Retry-After`,
+/// body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// `Retry-After` seconds (the `503` backpressure hint).
+    pub retry_after: Option<u32>,
+    /// The response body.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            retry_after: None,
+            body,
+        }
+    }
+
+    /// Serializes head and body onto `out` (`Connection: close` always).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the stream's I/O error.
+    pub fn write_to(&self, out: &mut impl Write) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        if let Some(seconds) = self.retry_after {
+            head.push_str(&format!("Retry-After: {seconds}\r\n"));
+        }
+        head.push_str("\r\n");
+        out.write_all(head.as_bytes())?;
+        out.write_all(self.body.as_bytes())?;
+        out.flush()
+    }
+}
+
+/// The reason phrase for every status this server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, RequestError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse(
+            "POST /v1/experiments/fig12/run?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 7\r\n\r\n{\"a\":1}",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/experiments/fig12/run");
+        assert_eq!(req.header("host"), Some("h"));
+        assert_eq!(req.body, b"{\"a\":1}");
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let req = parse("GET /v1/healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for raw in [
+            "GARBAGE\r\n\r\n",
+            "GET /x SPDY/9\r\n\r\n",
+            "GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            "GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(raw), Err(RequestError::Malformed(_))),
+                "accepted: {raw:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_and_truncated_requests() {
+        let huge = format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 1 << 30);
+        assert!(matches!(parse(&huge), Err(RequestError::TooLarge(_))));
+        let truncated = "POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort";
+        assert!(matches!(parse(truncated), Err(RequestError::Io(_))));
+    }
+
+    #[test]
+    fn response_wire_format_is_exact() {
+        let mut out = Vec::new();
+        Response::json(200, "{}\n".to_string())
+            .write_to(&mut out)
+            .unwrap();
+        assert_eq!(
+            String::from_utf8(out).unwrap(),
+            "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 3\r\nConnection: close\r\n\r\n{}\n"
+        );
+        let mut busy = Vec::new();
+        Response {
+            retry_after: Some(1),
+            ..Response::json(503, String::new())
+        }
+        .write_to(&mut busy)
+        .unwrap();
+        let text = String::from_utf8(busy).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+    }
+}

@@ -1,0 +1,343 @@
+//! A small JSON *value* parser for request bodies.
+//!
+//! The workspace has no serde; like `cnt-sweep::json` (the cache decoder)
+//! and `experiments::format` (the stream checker) this module covers
+//! exactly the subset its caller needs — here, fully generic values, with
+//! one twist: **numbers keep their raw source token**. The typed
+//! parameter machinery ([`cnt_interconnect::experiments::ParamSpec`])
+//! parses overrides from strings against each knob's declared type, so
+//! handing it the client's original spelling yields the same accepted
+//! values and the same rejection messages as `repro --set key=value`.
+
+/// A parsed JSON value; numbers stay raw.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, as its source token (`"6"`, `"2.5e3"`, …).
+    Number(String),
+    /// A string, unescaped.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; member order preserved.
+    Object(Vec<(String, JsonValue)>),
+}
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+///
+/// # Errors
+///
+/// Returns a message naming the byte offset of the first syntax error.
+pub fn parse(text: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.message("trailing input after the JSON document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn message(&self, what: &str) -> String {
+        format!("invalid JSON at byte {}: {what}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn literal(&mut self, text: &[u8]) -> bool {
+        if self.bytes[self.pos..].starts_with(text) {
+            self.pos += text.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b't') if self.literal(b"true") => Ok(JsonValue::Bool(true)),
+            Some(b'f') if self.literal(b"false") => Ok(JsonValue::Bool(false)),
+            Some(b'n') if self.literal(b"null") => Ok(JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.message("expected a value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.pos += 1; // '{'
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let name = self.string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(self.message("expected ':'"));
+            }
+            self.pos += 1;
+            members.push((name, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(members));
+                }
+                _ => return Err(self.message("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.message("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        if self.peek() != Some(b'"') {
+            return Err(self.message("expected '\"'"));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                core::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| self.message(&format!("invalid UTF-8: {e}")))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| self.message("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            let scalar = match code {
+                                // High surrogate: RFC 8259 encodes non-BMP
+                                // characters as a \u pair; combine it with
+                                // the mandatory low surrogate.
+                                0xd800..=0xdbff => {
+                                    if !self.literal(b"\\u") {
+                                        return Err(self.message("unpaired high surrogate"));
+                                    }
+                                    let low = self.hex4()?;
+                                    if !(0xdc00..=0xdfff).contains(&low) {
+                                        return Err(self.message("unpaired high surrogate"));
+                                    }
+                                    0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00)
+                                }
+                                0xdc00..=0xdfff => {
+                                    return Err(self.message("unpaired low surrogate"))
+                                }
+                                code => code,
+                            };
+                            out.push(
+                                char::from_u32(scalar)
+                                    .ok_or_else(|| self.message("non-scalar \\u escape"))?,
+                            );
+                        }
+                        other => {
+                            return Err(
+                                self.message(&format!("unknown escape '\\{}'", other as char))
+                            )
+                        }
+                    }
+                }
+                _ => return Err(self.message("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.message("truncated \\u escape"));
+        }
+        let hex = core::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.message("bad \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.message("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let leading_zero = self.peek() == Some(b'0');
+        let mut digits = 0;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+            digits += 1;
+        }
+        if digits == 0 {
+            return Err(self.message("expected digits"));
+        }
+        if leading_zero && digits > 1 {
+            return Err(self.message("leading zero"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let mut frac = 0;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+                frac += 1;
+            }
+            if frac == 0 {
+                return Err(self.message("expected fraction digits"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let mut exp = 0;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+                exp += 1;
+            }
+            if exp == 0 {
+                return Err(self.message("expected exponent digits"));
+            }
+        }
+        let raw = core::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number token");
+        Ok(JsonValue::Number(raw.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_values_and_keeps_raw_numbers() {
+        let v = parse(r#"{"params": {"nc": 6, "length_um": 2.5e2}, "format": "json", "flag": true, "none": null, "list": [1, "two"]}"#).unwrap();
+        let JsonValue::Object(members) = v else {
+            panic!("not an object")
+        };
+        let params = &members[0];
+        assert_eq!(params.0, "params");
+        let JsonValue::Object(knobs) = &params.1 else {
+            panic!("params not an object")
+        };
+        assert_eq!(knobs[0], ("nc".to_string(), JsonValue::Number("6".into())));
+        assert_eq!(
+            knobs[1],
+            ("length_um".to_string(), JsonValue::Number("2.5e2".into()))
+        );
+        assert_eq!(members[1].1, JsonValue::String("json".into()));
+        assert_eq!(members[2].1, JsonValue::Bool(true));
+        assert_eq!(members[3].1, JsonValue::Null);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "[1,]",
+            "\"open",
+            "{\"a\":1} junk",
+            "01",
+            "1.",
+            "nul",
+        ] {
+            assert!(parse(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn escapes_unescape() {
+        let v = parse(r#""tab\t quote\" slash\/ uA""#).unwrap();
+        assert_eq!(v, JsonValue::String("tab\t quote\" slash/ uA".to_string()));
+    }
+
+    #[test]
+    fn surrogate_pairs_combine_and_lone_surrogates_are_rejected() {
+        // U+1F600 as Python's json.dumps (ensure_ascii=True) emits it.
+        let v = parse(r#""\ud83d\ude00""#).unwrap();
+        assert_eq!(v, JsonValue::String("\u{1f600}".to_string()));
+        // BMP escapes still work.
+        assert_eq!(
+            parse(r#""\u00b5m""#).unwrap(),
+            JsonValue::String("µm".to_string())
+        );
+        for bad in [
+            r#""\ud83d""#,   // high surrogate at end of string
+            r#""\ud83d x""#, // high surrogate followed by plain text
+            r#""\ud83dA""#,  // high surrogate followed by non-surrogate
+            r#""\ude00""#,   // lone low surrogate
+        ] {
+            assert!(parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+}

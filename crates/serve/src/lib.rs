@@ -1,0 +1,94 @@
+//! `cnt-serve` — an embedded HTTP experiment server over the `cnt-beol`
+//! registry.
+//!
+//! The one-shot `repro` CLI pays full process startup per invocation and
+//! recomputes everything not in the sweep cache. This crate keeps the
+//! registry resident behind a small JSON API instead, so hot operating
+//! points are served from memory:
+//!
+//! | route | answer |
+//! |---|---|
+//! | `GET /v1/healthz` | liveness plus scheduler/cache counters |
+//! | `GET /v1/experiments` | the catalog with full parameter surfaces |
+//! | `GET /v1/experiments/{id}` | one experiment (what `repro info` prints) |
+//! | `POST /v1/experiments/{id}/run` | run at a parameter point; body `{"params": {...}, "preset": "...", "format": "json"\|"csv"}` |
+//!
+//! Run bodies are **byte-identical** to `repro <id> --format json` (or
+//! `--format csv`) at the same parameter point — both front ends sit on
+//! [`cnt_interconnect::experiments::run_to_json`].
+//!
+//! Behind the router, a request scheduler reuses the `cnt-sweep`
+//! [`WorkerPool`](cnt_sweep::WorkerPool): a bounded queue answers
+//! overload with `503` + `Retry-After` instead of unbounded latency,
+//! identical in-flight parameter points coalesce onto one computation,
+//! and finished bodies land in an LRU cache keyed by the same FNV-1a
+//! content-hash family as the on-disk sweep cache
+//! ([`Params::content_hash`](cnt_interconnect::experiments::Params::content_hash)).
+//! `SIGTERM`/ctrl-c (or a [`ShutdownHandle`]) stops intake and drains
+//! in-flight work before the process exits.
+//!
+//! The server is plain `std::net` — no external dependencies, matching
+//! the offline-build constraint the `crates/compat` shims document.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use cnt_serve::{Config, Server};
+//!
+//! let server = Server::bind(Config::default())?;
+//! eprintln!("serving on http://{}", server.local_addr());
+//! server.serve()?; // blocks until shutdown
+//! # Ok::<(), cnt_serve::Error>(())
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod cache;
+pub mod http;
+pub mod json;
+pub mod server;
+pub mod signal;
+
+pub use cache::LruCache;
+pub use http::{Request, Response};
+pub use server::{Config, Server, ShutdownHandle, StatsSnapshot};
+
+use core::fmt;
+
+/// Errors produced by the serve layer (socket-level trouble; protocol
+/// errors are answered in-band as HTTP statuses).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// A socket operation failed.
+    Io {
+        /// What the server was doing.
+        context: &'static str,
+        /// The OS error message.
+        message: String,
+    },
+}
+
+impl Error {
+    pub(crate) fn io(context: &'static str, e: std::io::Error) -> Self {
+        Error::Io {
+            context,
+            message: e.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io { context, message } => write!(f, "{context}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Crate-level result alias.
+pub type Result<T> = core::result::Result<T, Error>;

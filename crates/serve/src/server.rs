@@ -1,0 +1,549 @@
+//! The server: listener, router, and the request scheduler.
+//!
+//! Connections are accepted on a non-blocking listener and handed to a
+//! `cnt-sweep` [`WorkerPool`] whose bounded queue *is* the admission
+//! control: when it is full the accept loop answers `503` +
+//! `Retry-After` itself and moves on, so overload degrades into fast
+//! rejections instead of unbounded latency. Run requests resolve through
+//! the same [`experiments::resolve_context`] gate as the CLI, then go
+//! through two layers that keep hot work cheap:
+//!
+//! 1. an **LRU body cache** keyed by the canonical request hash — repeat
+//!    requests never re-run a kernel;
+//! 2. a **coalescing map** of in-flight hashes — concurrent identical
+//!    requests share one computation, waiters block on its condvar and
+//!    receive the exact same bytes.
+//!
+//! Determinism makes both safe: a run body is a pure function of
+//! `(id, parameter point, format)`, which is exactly what the hash
+//! covers.
+
+use crate::cache::{CachedBody, LruCache};
+use crate::http::{self, Request, RequestError, Response};
+use crate::{api, signal, Error, Result};
+use cnt_interconnect::experiments::format::OutputFormat;
+use cnt_interconnect::experiments::{self, Experiment, Params, Report, RunContext};
+use cnt_sweep::seed::fnv1a;
+use cnt_sweep::WorkerPool;
+use std::collections::HashMap;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How a worker turns a resolved experiment + context into a report.
+/// Injectable so tests can slow computations down or fail them on
+/// purpose; production uses [`Experiment::run`].
+pub type Runner =
+    dyn Fn(&'static dyn Experiment, &RunContext) -> cnt_interconnect::Result<Report> + Send + Sync;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Bind address, e.g. `127.0.0.1:8080` (port 0 = ephemeral).
+    pub addr: String,
+    /// Worker threads; `0` = all cores.
+    pub workers: usize,
+    /// Pending-connection queue capacity (beyond it: `503`). Note that
+    /// *every* route shares this admission gate — under saturation even
+    /// `/v1/healthz` is shed, so liveness probes should treat `503` as
+    /// "overloaded", not "dead" (a reserved health lane is a listed
+    /// follow-up).
+    pub queue_capacity: usize,
+    /// LRU body-cache capacity, entries (`0` disables caching).
+    pub cache_capacity: usize,
+    /// Wall-clock budget for reading one request and (separately) for
+    /// writing its response. A per-*request* deadline, not a per-read
+    /// socket timeout: a slow-drip client cannot pin a worker past it.
+    pub request_deadline: Duration,
+    /// Also stop on `SIGINT`/`SIGTERM` (the `repro serve` front end
+    /// installs the handlers via [`signal::install`]).
+    pub watch_signals: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8080".to_string(),
+            workers: 0,
+            queue_capacity: 64,
+            cache_capacity: 256,
+            request_deadline: Duration::from_secs(30),
+            watch_signals: false,
+        }
+    }
+}
+
+/// A `TcpStream` whose reads and writes all count against one wall-clock
+/// deadline (each I/O call gets the *remaining* budget as its socket
+/// timeout, so many slow little reads cannot add up past it).
+struct DeadlineStream {
+    stream: TcpStream,
+    deadline: Instant,
+}
+
+impl DeadlineStream {
+    fn remaining(&self) -> std::io::Result<Duration> {
+        self.deadline
+            .checked_duration_since(Instant::now())
+            .filter(|d| !d.is_zero())
+            .ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::TimedOut, "request deadline exceeded")
+            })
+    }
+}
+
+impl std::io::Read for DeadlineStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let remaining = self.remaining()?;
+        self.stream.set_read_timeout(Some(remaining))?;
+        self.stream.read(buf)
+    }
+}
+
+impl Write for DeadlineStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let remaining = self.remaining()?;
+        self.stream.set_write_timeout(Some(remaining))?;
+        self.stream.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.stream.flush()
+    }
+}
+
+/// Monotonic counters the scheduler maintains (served by `/v1/healthz`).
+#[derive(Debug, Default)]
+struct Stats {
+    /// Requests a worker started parsing.
+    requests: AtomicU64,
+    /// Kernel computations actually performed.
+    runs: AtomicU64,
+    /// Run requests served straight from the LRU cache.
+    cache_hits: AtomicU64,
+    /// Run requests that attached to an in-flight computation.
+    coalesced: AtomicU64,
+    /// Connections bounced with `503` because the queue was full.
+    rejected: AtomicU64,
+}
+
+/// A point-in-time copy of the scheduler counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Requests a worker started parsing.
+    pub requests: u64,
+    /// Kernel computations actually performed.
+    pub runs: u64,
+    /// Run requests served straight from the LRU cache.
+    pub cache_hits: u64,
+    /// Run requests that attached to an in-flight computation.
+    pub coalesced: u64,
+    /// Connections bounced with `503` because the queue was full.
+    pub rejected: u64,
+}
+
+/// One in-flight computation; waiters park on the condvar and read the
+/// published outcome (a response body or an error response).
+#[derive(Default)]
+struct Flight {
+    slot: Mutex<Option<core::result::Result<CachedBody, (u16, String)>>>,
+    done: Condvar,
+}
+
+/// State shared between the accept loop and the pool workers.
+struct Shared {
+    stats: Stats,
+    cache: Mutex<LruCache>,
+    inflight: Mutex<HashMap<u64, Arc<Flight>>>,
+    runner: Box<Runner>,
+    workers: usize,
+    queue_capacity: usize,
+    request_deadline: Duration,
+}
+
+/// The bound-but-not-yet-serving server.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    config: Config,
+    pool: WorkerPool,
+    stop: Arc<AtomicBool>,
+    shared: Arc<Shared>,
+}
+
+/// A clonable handle that asks a running [`Server::serve`] loop to stop
+/// accepting, drain, and return.
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle(Arc<AtomicBool>);
+
+impl ShutdownHandle {
+    /// Requests shutdown (takes effect within one accept-poll interval).
+    pub fn shutdown(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Server {
+    /// Binds with the production runner ([`Experiment::run`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] when the address cannot be bound.
+    pub fn bind(config: Config) -> Result<Self> {
+        Self::bind_with_runner(config, |exp, ctx| exp.run(ctx))
+    }
+
+    /// Binds with an injected runner — the seam the concurrency tests use
+    /// to make computations observably slow or failing. Validation,
+    /// caching, and coalescing behave exactly as in production.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] when the address cannot be bound.
+    pub fn bind_with_runner<F>(config: Config, runner: F) -> Result<Self>
+    where
+        F: Fn(&'static dyn Experiment, &RunContext) -> cnt_interconnect::Result<Report>
+            + Send
+            + Sync
+            + 'static,
+    {
+        let listener = TcpListener::bind(&config.addr).map_err(|e| Error::io("bind", e))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| Error::io("local_addr", e))?;
+        let pool = WorkerPool::new(config.workers, config.queue_capacity);
+        let shared = Arc::new(Shared {
+            stats: Stats::default(),
+            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            inflight: Mutex::new(HashMap::new()),
+            runner: Box::new(runner),
+            workers: pool.threads(),
+            queue_capacity: config.queue_capacity,
+            request_deadline: config.request_deadline,
+        });
+        Ok(Self {
+            listener,
+            local_addr,
+            config,
+            pool,
+            stop: Arc::new(AtomicBool::new(false)),
+            shared,
+        })
+    }
+
+    /// The actually-bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The resolved worker-thread count.
+    pub fn workers(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// A handle for stopping [`Server::serve`] from another thread.
+    pub fn handle(&self) -> ShutdownHandle {
+        ShutdownHandle(Arc::clone(&self.stop))
+    }
+
+    /// Accepts and serves requests until shutdown is requested (via
+    /// [`ShutdownHandle`] or, with `watch_signals`, `SIGINT`/`SIGTERM`),
+    /// then drains queued and in-flight work before returning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] only for fatal listener failures; per-
+    /// connection trouble is answered in-band or dropped.
+    pub fn serve(self) -> Result<()> {
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| Error::io("set_nonblocking", e))?;
+        loop {
+            if self.stop.load(Ordering::SeqCst)
+                || (self.config.watch_signals && signal::triggered())
+            {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => self.dispatch(stream),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+        // Stop accepting, then drain: queued connections and in-flight
+        // computations all complete before serve() returns.
+        drop(self.listener);
+        self.pool.shutdown();
+        Ok(())
+    }
+
+    /// Hands one accepted connection to the pool, or bounces it with the
+    /// backpressure response when the queue is full.
+    fn dispatch(&self, stream: TcpStream) {
+        if stream.set_nonblocking(false).is_err() {
+            return;
+        }
+        // A dup'd handle stays usable for the 503 path if the original
+        // moves into a job the queue then refuses.
+        let fallback = stream.try_clone();
+        let shared = Arc::clone(&self.shared);
+        let job = Box::new(move || handle_connection(stream, &shared));
+        if let Err(job) = self.pool.submit(job) {
+            drop(job); // closes the moved-in stream handle
+            self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            if let Ok(mut stream) = fallback {
+                // Drain the bytes the client already sent: closing with
+                // unread data turns into a TCP RST that can discard the
+                // 503 before the client reads it. One bounded read covers
+                // the small request bodies this API carries.
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+                let mut sink = [0u8; 8192];
+                let _ = std::io::Read::read(&mut stream, &mut sink);
+                let busy = Response {
+                    retry_after: Some(1),
+                    ..Response::json(
+                        503,
+                        api::error_json("server busy: the request queue is full, retry shortly"),
+                    )
+                };
+                let _ = busy.write_to(&mut stream);
+                let _ = stream.shutdown(std::net::Shutdown::Write);
+            }
+        }
+    }
+}
+
+/// Parses one request off the wire, routes it, writes the response.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let mut reader = BufReader::new(DeadlineStream {
+        stream,
+        deadline: Instant::now() + shared.request_deadline,
+    });
+    let response = match http::read_request(&mut reader) {
+        Ok(request) => {
+            shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+            route(&request, shared)
+        }
+        Err(RequestError::Malformed(message)) => Response::json(400, api::error_json(&message)),
+        Err(RequestError::TooLarge(message)) => Response::json(413, api::error_json(&message)),
+        Err(RequestError::Io(_)) => return, // connection died; nobody to answer
+    };
+    // The computation does not count against the request's read budget:
+    // the response write gets a fresh deadline of its own.
+    let stream = reader.get_mut();
+    stream.deadline = Instant::now() + shared.request_deadline;
+    let _ = response.write_to(stream);
+    let _ = stream.flush();
+}
+
+/// The `/v1` router.
+fn route(request: &Request, shared: &Shared) -> Response {
+    let path = request.path.trim_end_matches('/');
+    let method = request.method.as_str();
+    match (method, path) {
+        ("GET", "/v1/healthz") => Response::json(200, healthz_json(shared)),
+        ("GET", "/v1/experiments") => Response::json(200, api::catalog_json()),
+        _ => {
+            if let Some(rest) = path.strip_prefix("/v1/experiments/") {
+                return match (method, rest.strip_suffix("/run")) {
+                    ("POST", Some(id)) if !id.contains('/') => run_route(id, request, shared),
+                    ("GET", None) if !rest.contains('/') => match api::experiment_json(rest) {
+                        Some(body) => Response::json(200, body),
+                        None => Response::json(
+                            404,
+                            api::error_json(
+                                &cnt_interconnect::Error::UnknownExperiment(rest.to_string())
+                                    .to_string(),
+                            ),
+                        ),
+                    },
+                    _ => method_or_route_miss(method, path),
+                };
+            }
+            method_or_route_miss(method, path)
+        }
+    }
+}
+
+/// `405` for a known path with the wrong method, `404` otherwise.
+fn method_or_route_miss(method: &str, path: &str) -> Response {
+    let known = matches!(path, "/v1/healthz" | "/v1/experiments")
+        || (path.starts_with("/v1/experiments/")
+            && !path.trim_start_matches("/v1/experiments/").contains('/'))
+        || (path.starts_with("/v1/experiments/") && path.ends_with("/run"));
+    if known {
+        Response::json(
+            405,
+            api::error_json(&format!("method {method} not allowed on {path}")),
+        )
+    } else {
+        Response::json(
+            404,
+            api::error_json(&format!(
+                "no such route {path} (see GET /v1/experiments for the catalog)"
+            )),
+        )
+    }
+}
+
+/// `POST /v1/experiments/{id}/run`: validate → cache → coalesce → run.
+fn run_route(id: &str, request: &Request, shared: &Shared) -> Response {
+    let run_request = match api::parse_run_request(&request.body) {
+        Ok(r) => r,
+        Err(message) => return Response::json(400, api::error_json(&message)),
+    };
+    let (exp, ctx) =
+        match experiments::resolve_context(id, run_request.preset.as_deref(), &run_request.sets) {
+            Ok(pair) => pair,
+            Err(e @ cnt_interconnect::Error::UnknownExperiment(_)) => {
+                return Response::json(404, api::error_json(&e.to_string()))
+            }
+            Err(e) => return Response::json(400, api::error_json(&e.to_string())),
+        };
+    let key = request_key(id, run_request.format, &ctx.params);
+
+    if let Some(hit) = shared.cache.lock().expect("cache poisoned").get(key) {
+        shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+        return ok_response(hit);
+    }
+
+    // Coalesce: one leader computes, identical concurrent requests wait.
+    let (flight, leader) = {
+        let mut inflight = shared.inflight.lock().expect("inflight poisoned");
+        match inflight.get(&key) {
+            Some(flight) => (Arc::clone(flight), false),
+            None => {
+                let flight = Arc::new(Flight::default());
+                inflight.insert(key, Arc::clone(&flight));
+                (flight, true)
+            }
+        }
+    };
+    if !leader {
+        shared.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+        let mut slot = flight.slot.lock().expect("flight poisoned");
+        while slot.is_none() {
+            slot = flight.done.wait(slot).expect("flight poisoned");
+        }
+        return match slot.as_ref().expect("just checked") {
+            Ok(body) => ok_response(body.clone()),
+            Err((status, body)) => Response::json(*status, body.clone()),
+        };
+    }
+
+    shared.stats.runs.fetch_add(1, Ordering::Relaxed);
+    // The leader must publish *some* outcome: if a kernel panicked and the
+    // flight were abandoned, every waiter (and every future request for
+    // this point) would park on the condvar forever — so catch the unwind
+    // and turn it into a 500 like any other run failure.
+    let run_result =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (shared.runner)(exp, &ctx)));
+    let outcome = match run_result {
+        Ok(Ok(report)) => {
+            let (content_type, body) = match run_request.format {
+                // The CLI prints JSON reports with println!, so the served
+                // body is to_json + "\n" — byte-identical to the pipe.
+                OutputFormat::Json | OutputFormat::Text => {
+                    ("application/json", format!("{}\n", report.to_json()))
+                }
+                OutputFormat::Csv => ("text/csv", report.to_csv()),
+            };
+            Ok(CachedBody {
+                content_type,
+                body: Arc::new(body),
+            })
+        }
+        Ok(Err(e)) => Err((500u16, api::error_json(&e.to_string()))),
+        Err(_) => Err((
+            500u16,
+            api::error_json(&format!("experiment '{id}' panicked during execution")),
+        )),
+    };
+    if let Ok(body) = &outcome {
+        shared
+            .cache
+            .lock()
+            .expect("cache poisoned")
+            .put(key, body.clone());
+    }
+    // Publish to waiters, then retire the flight so later requests hit
+    // the cache (or recompute, for errors).
+    *flight.slot.lock().expect("flight poisoned") = Some(outcome.clone());
+    flight.done.notify_all();
+    shared
+        .inflight
+        .lock()
+        .expect("inflight poisoned")
+        .remove(&key);
+    match outcome {
+        Ok(body) => ok_response(body),
+        Err((status, body)) => Response::json(status, body),
+    }
+}
+
+fn ok_response(body: CachedBody) -> Response {
+    Response {
+        status: 200,
+        content_type: body.content_type,
+        retry_after: None,
+        body: body.body.as_str().to_string(),
+    }
+}
+
+/// The canonical request hash: experiment id, rendering format, and the
+/// resolved parameter point — the same FNV-1a content-hash family the
+/// on-disk sweep cache keys with.
+fn request_key(id: &str, format: OutputFormat, params: &Params) -> u64 {
+    let mut bytes = Vec::with_capacity(id.len() + 16);
+    bytes.extend_from_slice(id.as_bytes());
+    bytes.push(0);
+    bytes.extend_from_slice(format.to_string().as_bytes());
+    bytes.push(0);
+    bytes.extend_from_slice(&params.content_hash().to_le_bytes());
+    fnv1a(&bytes)
+}
+
+/// The `/v1/healthz` body: liveness plus the scheduler counters.
+fn healthz_json(shared: &Shared) -> String {
+    let stats = StatsSnapshot {
+        requests: shared.stats.requests.load(Ordering::Relaxed),
+        runs: shared.stats.runs.load(Ordering::Relaxed),
+        cache_hits: shared.stats.cache_hits.load(Ordering::Relaxed),
+        coalesced: shared.stats.coalesced.load(Ordering::Relaxed),
+        rejected: shared.stats.rejected.load(Ordering::Relaxed),
+    };
+    let cached = shared.cache.lock().expect("cache poisoned").len();
+    format!(
+        "{{\"status\":\"ok\",\"experiments\":{},\"workers\":{},\"queue_capacity\":{},\"cached_bodies\":{},\"requests\":{},\"runs\":{},\"cache_hits\":{},\"coalesced\":{},\"rejected\":{}}}\n",
+        experiments::catalog().count(),
+        shared.workers,
+        shared.queue_capacity,
+        cached,
+        stats.requests,
+        stats.runs,
+        stats.cache_hits,
+        stats.coalesced,
+        stats.rejected,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_key_separates_id_format_and_point() {
+        let (_, ctx) = experiments::resolve_context("fig12", None, &[]).unwrap();
+        let a = request_key("fig12", OutputFormat::Json, &ctx.params);
+        assert_eq!(a, request_key("fig12", OutputFormat::Json, &ctx.params));
+        assert_ne!(a, request_key("fig12", OutputFormat::Csv, &ctx.params));
+        assert_ne!(a, request_key("fig11", OutputFormat::Json, &ctx.params));
+        let sets = vec![("nc".to_string(), "6".to_string())];
+        let (_, moved) = experiments::resolve_context("fig12", None, &sets).unwrap();
+        assert_ne!(a, request_key("fig12", OutputFormat::Json, &moved.params));
+    }
+}

@@ -1,0 +1,512 @@
+//! Socket-level integration: the server is exercised over real TCP with a
+//! minimal `TcpStream` client — route shapes, CLI byte-identity for every
+//! registry id, coalescing, LRU hot paths, 503 backpressure, determinism
+//! across server instances, and graceful shutdown draining.
+
+use cnt_interconnect::experiments::{self, registry};
+use cnt_serve::{Config, Server, ShutdownHandle};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+/// One HTTP/1.1 exchange; returns (status, headers, body).
+fn http(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, Vec<(String, String)>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("response head");
+    let mut lines = head.lines();
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers, body.to_string())
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let (status, _, body) = http(addr, "GET", path, "");
+    (status, body)
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    let (status, _, body) = http(addr, "POST", path, body);
+    (status, body)
+}
+
+/// Reads one healthz counter out of the flat JSON body.
+fn counter(health: &str, name: &str) -> u64 {
+    let tail = health
+        .split(&format!("\"{name}\":"))
+        .nth(1)
+        .unwrap_or_else(|| panic!("no counter {name} in {health}"));
+    tail.chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("counter value")
+}
+
+fn config() -> Config {
+    Config {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        queue_capacity: 32,
+        cache_capacity: 64,
+        ..Config::default()
+    }
+}
+
+fn start(server: Server) -> (SocketAddr, ShutdownHandle, std::thread::JoinHandle<()>) {
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.serve().expect("serve"));
+    (addr, handle, thread)
+}
+
+#[test]
+fn health_catalog_info_and_error_routes_have_canonical_shapes() {
+    let (addr, handle, thread) = start(Server::bind(config()).unwrap());
+
+    let (status, health) = get(addr, "/v1/healthz");
+    assert_eq!(status, 200);
+    assert!(health.starts_with("{\"status\":\"ok\""), "{health}");
+    assert_eq!(
+        counter(&health, "experiments"),
+        experiments::catalog().count() as u64
+    );
+
+    let (status, catalog) = get(addr, "/v1/experiments");
+    assert_eq!(status, 200);
+    experiments::format::check_json_stream(&catalog).expect("catalog is valid JSON");
+    for id in experiments::catalog() {
+        assert!(
+            catalog.contains(&format!("\"id\":\"{id}\"")),
+            "{id} missing"
+        );
+    }
+
+    let (status, info) = get(addr, "/v1/experiments/fig12");
+    assert_eq!(status, 200);
+    assert!(info.contains("\"key\":\"length_um\"") && info.contains("\"name\":\"doped-local\""));
+
+    // Unknown id: 404 with the canonical UnknownExperiment message.
+    let (status, missing) = get(addr, "/v1/experiments/fig99");
+    assert_eq!(status, 404);
+    let expected = cnt_interconnect::Error::UnknownExperiment("fig99".to_string()).to_string();
+    assert!(missing.contains(&expected), "{missing}");
+    let (status, _) = post(addr, "/v1/experiments/fig99/run", "{}");
+    assert_eq!(status, 404);
+
+    // Unknown route vs wrong method.
+    let (status, _) = get(addr, "/v2/nope");
+    assert_eq!(status, 404);
+    let (status, _) = post(addr, "/v1/experiments", "{}");
+    assert_eq!(status, 405);
+
+    // Malformed body and invalid overrides are 400s with CLI messages.
+    let (status, bad) = post(addr, "/v1/experiments/fig12/run", "{not json");
+    assert_eq!(status, 400);
+    assert!(bad.contains("invalid JSON"), "{bad}");
+    let (status, bad) = post(
+        addr,
+        "/v1/experiments/fig12/run",
+        r#"{"params":{"bogus":1}}"#,
+    );
+    assert_eq!(status, 400);
+    let expected =
+        experiments::resolve_context("fig12", None, &[("bogus".to_string(), "1".to_string())])
+            .map(|_| ())
+            .unwrap_err()
+            .to_string();
+    assert!(
+        bad.contains(&expected.replace('"', "\\\"")) || bad.contains(&expected),
+        "{bad}"
+    );
+    let (status, bad) = post(addr, "/v1/experiments/fig12/run", r#"{"params":{"nc":99}}"#);
+    assert_eq!(status, 400);
+    assert!(bad.contains("'nc'") && bad.contains("99"), "{bad}");
+
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
+/// The acceptance gate: for every registry id, the served default-run JSON
+/// body is byte-identical to what `repro <id> --format json` prints, and
+/// presets/overrides/CSV behave exactly like their CLI spellings.
+#[test]
+fn run_bodies_are_byte_identical_to_the_cli_for_every_id() {
+    let (addr, handle, thread) = start(Server::bind(config()).unwrap());
+
+    for id in experiments::catalog() {
+        let (status, body) = post(addr, &format!("/v1/experiments/{id}/run"), "{}");
+        assert_eq!(status, 200, "{id}: {body}");
+        let cli = format!("{}\n", experiments::run_to_json(id, None, &[]).unwrap());
+        assert_eq!(body, cli, "{id} body drifted from the CLI");
+    }
+
+    // A preset in the body equals its --preset CLI spelling, overrides win.
+    let (status, body) = post(
+        addr,
+        "/v1/experiments/table1/run",
+        r#"{"preset": "projected"}"#,
+    );
+    assert_eq!(status, 200);
+    let cli = format!(
+        "{}\n",
+        experiments::run_to_json("table1", Some("projected"), &[]).unwrap()
+    );
+    assert_eq!(body, cli);
+
+    let (status, body) = post(
+        addr,
+        "/v1/experiments/fig12/run",
+        r#"{"params": {"nc": 6, "length_um": 200}}"#,
+    );
+    assert_eq!(status, 200);
+    let sets = vec![
+        ("nc".to_string(), "6".to_string()),
+        ("length_um".to_string(), "200".to_string()),
+    ];
+    let cli = format!(
+        "{}\n",
+        experiments::run_to_json("fig12", None, &sets).unwrap()
+    );
+    assert_eq!(body, cli);
+
+    // CSV matches the CLI's --format csv stream (print!, no extra newline).
+    let (status, headers, body) = http(
+        addr,
+        "POST",
+        "/v1/experiments/table1/run",
+        r#"{"format": "csv"}"#,
+    );
+    assert_eq!(status, 200);
+    assert!(headers
+        .iter()
+        .any(|(n, v)| n == "content-type" && v == "text/csv"));
+    assert_eq!(body, experiments::run("table1").unwrap().to_csv());
+
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
+#[test]
+fn concurrent_identical_requests_coalesce_and_hot_repeats_hit_the_cache() {
+    // A runner slow enough that parallel identical requests overlap.
+    let server = Server::bind_with_runner(config(), |exp, ctx| {
+        std::thread::sleep(Duration::from_millis(200));
+        exp.run(ctx)
+    })
+    .unwrap();
+    let (addr, handle, thread) = start(server);
+
+    let clients = 6;
+    let barrier = Arc::new(Barrier::new(clients));
+    let bodies: Vec<String> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..clients)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    let (status, body) =
+                        post(addr, "/v1/experiments/table1/run", r#"{"params":{}}"#);
+                    assert_eq!(status, 200);
+                    body
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+    for body in &bodies[1..] {
+        assert_eq!(body, &bodies[0], "coalesced bodies must be byte-identical");
+    }
+    let (_, health) = get(addr, "/v1/healthz");
+    let runs = counter(&health, "runs");
+    assert!(
+        runs < clients as u64,
+        "coalescing never fired: {runs} runs for {clients} requests ({health})"
+    );
+    // Every request either ran, attached to an in-flight run, or hit the
+    // cache — no request fell through any other path.
+    assert_eq!(
+        runs + counter(&health, "coalesced") + counter(&health, "cache_hits"),
+        clients as u64,
+        "{health}"
+    );
+
+    // A repeated hot request is served from the LRU without re-running.
+    let hits_before = counter(&health, "cache_hits");
+    let (status, body) = post(addr, "/v1/experiments/table1/run", r#"{"params":{}}"#);
+    assert_eq!(status, 200);
+    assert_eq!(body, bodies[0]);
+    let (_, health_after) = get(addr, "/v1/healthz");
+    assert_eq!(
+        counter(&health_after, "runs"),
+        runs,
+        "hot request re-ran the kernel"
+    );
+    assert_eq!(counter(&health_after, "cache_hits"), hits_before + 1);
+
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
+#[test]
+fn parallel_mixed_points_are_deterministic_across_server_instances() {
+    let points: Vec<(&str, String)> = vec![
+        ("table1", "{}".to_string()),
+        ("table1", r#"{"params": {"width_nm": 50}}"#.to_string()),
+        (
+            "fig05",
+            r#"{"params": {"sites": 49, "seed": 7}}"#.to_string(),
+        ),
+        (
+            "fig05",
+            r#"{"params": {"sites": 49, "seed": 7}}"#.to_string(),
+        ),
+        ("fig12", r#"{"preset": "doped-local"}"#.to_string()),
+        ("fig01", "{}".to_string()),
+    ];
+    let mut rounds: Vec<Vec<String>> = Vec::new();
+    for _ in 0..2 {
+        let (addr, handle, thread) = start(Server::bind(config()).unwrap());
+        let barrier = Arc::new(Barrier::new(points.len()));
+        let bodies: Vec<String> = std::thread::scope(|scope| {
+            let workers: Vec<_> = points
+                .iter()
+                .map(|(id, body)| {
+                    let barrier = Arc::clone(&barrier);
+                    scope.spawn(move || {
+                        barrier.wait();
+                        let (status, body) = post(addr, &format!("/v1/experiments/{id}/run"), body);
+                        assert_eq!(status, 200, "{id}: {body}");
+                        body
+                    })
+                })
+                .collect();
+            workers.into_iter().map(|w| w.join().unwrap()).collect()
+        });
+        handle.shutdown();
+        thread.join().unwrap();
+        rounds.push(bodies);
+    }
+    assert_eq!(
+        rounds[0], rounds[1],
+        "served bodies must be identical across server instances"
+    );
+    // The duplicated fig05 point yields identical bytes within a round;
+    // distinct points yield distinct bytes.
+    assert_eq!(rounds[0][2], rounds[0][3]);
+    assert_ne!(rounds[0][0], rounds[0][1]);
+}
+
+#[test]
+fn a_full_queue_answers_503_with_retry_after() {
+    let server = Server::bind_with_runner(
+        Config {
+            workers: 1,
+            queue_capacity: 1,
+            ..config()
+        },
+        |exp, ctx| {
+            std::thread::sleep(Duration::from_millis(400));
+            exp.run(ctx)
+        },
+    )
+    .unwrap();
+    let (addr, handle, thread) = start(server);
+
+    let clients = 6;
+    let barrier = Arc::new(Barrier::new(clients));
+    let results: Vec<(u16, Vec<(String, String)>)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..clients)
+            .map(|i| {
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    // Distinct parameter points, so nothing coalesces.
+                    let body = format!("{{\"params\": {{\"seed\": {}}}}}", 100 + i);
+                    let (status, headers, _) =
+                        http(addr, "POST", "/v1/experiments/table1/run", &body);
+                    (status, headers)
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+    let ok = results.iter().filter(|(s, _)| *s == 200).count();
+    let busy: Vec<_> = results.iter().filter(|(s, _)| *s == 503).collect();
+    assert!(ok >= 1, "at least the leader must finish");
+    assert!(
+        !busy.is_empty(),
+        "a 1-worker/1-slot server taking 6 parallel requests must shed load: {results:?}"
+    );
+    for (_, headers) in &busy {
+        assert!(
+            headers.iter().any(|(n, v)| n == "retry-after" && v == "1"),
+            "503 without Retry-After: {headers:?}"
+        );
+    }
+    let (_, health) = get(addr, "/v1/healthz");
+    assert!(counter(&health, "rejected") >= busy.len() as u64);
+
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_work() {
+    let server = Server::bind_with_runner(config(), |exp, ctx| {
+        std::thread::sleep(Duration::from_millis(300));
+        exp.run(ctx)
+    })
+    .unwrap();
+    let (addr, handle, thread) = start(server);
+
+    let client = std::thread::spawn(move || post(addr, "/v1/experiments/fig01/run", "{}"));
+    // Let the request reach a worker, then ask the server to stop.
+    std::thread::sleep(Duration::from_millis(100));
+    handle.shutdown();
+    thread.join().expect("serve() must return after shutdown");
+    let (status, body) = client.join().expect("client");
+    assert_eq!(status, 200, "in-flight work must drain, got: {body}");
+    assert_eq!(
+        body,
+        format!(
+            "{}\n",
+            experiments::run_to_json("fig01", None, &[]).unwrap()
+        )
+    );
+    // The listener is really gone.
+    assert!(
+        TcpStream::connect(addr).is_err() || {
+            // A TIME_WAIT accept can still connect; a request must fail then.
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.set_read_timeout(Some(Duration::from_millis(500)))
+                .unwrap();
+            let _ = write!(s, "GET /v1/healthz HTTP/1.1\r\n\r\n");
+            let mut out = String::new();
+            s.read_to_string(&mut out).map(|n| n == 0).unwrap_or(true)
+        }
+    );
+}
+
+#[test]
+fn a_panicking_kernel_answers_500_and_does_not_wedge_the_coalescer() {
+    // The runner panics for one specific point and is slow enough that a
+    // second identical request attaches to the in-flight leader.
+    let server = Server::bind_with_runner(config(), |exp, ctx| {
+        std::thread::sleep(Duration::from_millis(150));
+        if ctx.u64("seed") == 666 {
+            panic!("kernel blew up");
+        }
+        exp.run(ctx)
+    })
+    .unwrap();
+    let (addr, handle, thread) = start(server);
+
+    let barrier = Arc::new(Barrier::new(2));
+    let statuses: Vec<u16> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    let (status, body) = post(
+                        addr,
+                        "/v1/experiments/table1/run",
+                        r#"{"params": {"seed": 666}}"#,
+                    );
+                    assert!(body.contains("panicked"), "{body}");
+                    status
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+    assert_eq!(statuses, [500, 500], "leader and waiter both get the 500");
+
+    // The flight was retired and the server still serves: the same point
+    // recomputes (and panics again) instead of hanging, and healthy
+    // points are untouched.
+    let (status, _) = post(
+        addr,
+        "/v1/experiments/table1/run",
+        r#"{"params": {"seed": 666}}"#,
+    );
+    assert_eq!(status, 500);
+    let (status, _) = post(addr, "/v1/experiments/table1/run", "{}");
+    assert_eq!(status, 200);
+
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
+#[test]
+fn a_slow_drip_client_is_cut_off_at_the_request_deadline() {
+    let server = Server::bind(Config {
+        request_deadline: Duration::from_millis(300),
+        ..config()
+    })
+    .unwrap();
+    let (addr, handle, thread) = start(server);
+
+    // Send a request head one fragment at a time, slower than the budget.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let started = std::time::Instant::now();
+    let mut cut_off = false;
+    for _ in 0..30 {
+        if stream.write_all(b"GET /v1/he").is_err() {
+            cut_off = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let mut out = String::new();
+    let disconnected = cut_off || matches!(stream.read_to_string(&mut out), Ok(0) | Err(_));
+    assert!(
+        disconnected && out.is_empty(),
+        "drip client must be dropped without a response: {out:?}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(4),
+        "worker was pinned far past the deadline"
+    );
+    // And the server still answers well-behaved clients afterwards.
+    let (status, _) = get(addr, "/v1/healthz");
+    assert_eq!(status, 200);
+
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
+#[test]
+fn registry_snapshot_sanity() {
+    // The e2e suite leans on these ids; fail loudly if the registry moves.
+    for id in ["table1", "fig01", "fig05", "fig12"] {
+        assert!(registry().get(id).is_ok(), "{id} missing from registry");
+    }
+}

@@ -14,6 +14,7 @@ use crate::{Error, Result};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
+use std::time::SystemTime;
 
 /// The content hash identifying one sweep run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -148,6 +149,82 @@ impl ResultStore {
     }
 }
 
+/// What a [`gc`] pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcStats {
+    /// Cache entries found.
+    pub scanned: usize,
+    /// Entries deleted.
+    pub evicted: usize,
+    /// Total entry bytes before the pass.
+    pub bytes_before: u64,
+    /// Total entry bytes after the pass.
+    pub bytes_after: u64,
+}
+
+/// Shrinks an on-disk result cache to at most `max_bytes` of entries by
+/// deleting the oldest-modified `*.json` files first (the disk mirror of
+/// [`ResultStore::on_disk`]). Content hashes make entries self-contained,
+/// so evicting any subset is always safe — the worst case is a recompute.
+/// A missing directory is an empty cache, not an error; files that vanish
+/// mid-pass are treated as already evicted.
+///
+/// # Errors
+///
+/// Returns [`Error::Io`] when the directory exists but cannot be listed.
+pub fn gc(dir: &Path, max_bytes: u64) -> Result<GcStats> {
+    let mut entries: Vec<(PathBuf, u64, SystemTime)> = Vec::new();
+    let listing = match std::fs::read_dir(dir) {
+        Ok(listing) => listing,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(GcStats {
+                scanned: 0,
+                evicted: 0,
+                bytes_before: 0,
+                bytes_after: 0,
+            })
+        }
+        Err(e) => {
+            return Err(Error::Io {
+                path: dir.display().to_string(),
+                message: e.to_string(),
+            })
+        }
+    };
+    for entry in listing.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        if let Ok(meta) = entry.metadata() {
+            let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+            entries.push((path, meta.len(), mtime));
+        }
+    }
+    // Oldest first; the path tiebreak keeps the pass deterministic when a
+    // filesystem's mtime granularity lumps entries together.
+    entries.sort_by(|a, b| (a.2, &a.1, &a.0).cmp(&(b.2, &b.1, &b.0)));
+    let bytes_before: u64 = entries.iter().map(|e| e.1).sum();
+    let scanned = entries.len();
+    let mut bytes_after = bytes_before;
+    let mut evicted = 0;
+    for (path, len, _) in &entries {
+        if bytes_after <= max_bytes {
+            break;
+        }
+        if std::fs::remove_file(path).is_ok() || !path.exists() {
+            bytes_after -= len;
+            evicted += 1;
+        }
+    }
+    Ok(GcStats {
+        scanned,
+        evicted,
+        bytes_before,
+        bytes_after,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,6 +286,46 @@ mod tests {
         assert_eq!(table.rows, vec![vec![0.25]]);
         assert_eq!(fresh.dir(), Some(dir.as_path()));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_evicts_oldest_entries_first() {
+        let dir = tmp_dir("gc");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Three 100-byte entries with strictly increasing mtimes.
+        for (i, name) in ["a", "b", "c"].iter().enumerate() {
+            let path = dir.join(format!("{name}.json"));
+            std::fs::write(&path, [b'x'; 100]).unwrap();
+            let mtime = SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(1000 + i as u64);
+            let file = std::fs::File::options().write(true).open(&path).unwrap();
+            file.set_modified(mtime).unwrap();
+        }
+        // A non-cache file is never touched.
+        std::fs::write(dir.join("README.txt"), "keep me").unwrap();
+
+        let stats = gc(&dir, 250).unwrap();
+        assert_eq!(stats.scanned, 3);
+        assert_eq!(stats.evicted, 1);
+        assert_eq!(stats.bytes_before, 300);
+        assert_eq!(stats.bytes_after, 200);
+        assert!(!dir.join("a.json").exists(), "oldest entry must go first");
+        assert!(dir.join("b.json").exists() && dir.join("c.json").exists());
+        assert!(dir.join("README.txt").exists());
+
+        // max-bytes 0 empties the cache; a second pass is a no-op.
+        let stats = gc(&dir, 0).unwrap();
+        assert_eq!((stats.evicted, stats.bytes_after), (2, 0));
+        let stats = gc(&dir, 0).unwrap();
+        assert_eq!((stats.scanned, stats.evicted), (0, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_on_a_missing_directory_is_an_empty_pass() {
+        let dir = tmp_dir("gc-missing");
+        let stats = gc(&dir, 1024).unwrap();
+        assert_eq!(stats.scanned, 0);
+        assert_eq!(stats.evicted, 0);
     }
 
     #[test]

@@ -51,13 +51,15 @@ pub mod cache;
 pub mod exec;
 pub mod json;
 pub mod plan;
+pub mod pool;
 pub mod seed;
 
 pub use agg::{Histogram, OnlineStats, Summary};
 pub use axis::Axis;
-pub use cache::{CacheKey, ResultStore, Table};
+pub use cache::{CacheKey, GcStats, ResultStore, Table};
 pub use exec::Executor;
 pub use plan::{Job, SweepPlan};
+pub use pool::{PoolJob, WorkerPool};
 
 use core::fmt;
 

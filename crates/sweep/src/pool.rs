@@ -1,0 +1,239 @@
+//! A persistent bounded work-queue pool for externally-submitted jobs.
+//!
+//! [`Executor`](crate::exec::Executor) runs one *plan* to completion and
+//! tears its threads down; long-running front ends (the `cnt-serve` HTTP
+//! server) instead need a pool that outlives any single piece of work and
+//! pushes back when overloaded. [`WorkerPool`] is that pool: a fixed set
+//! of worker threads draining a bounded FIFO queue of boxed closures.
+//!
+//! * **Bounded** — [`WorkerPool::submit`] never blocks; when the queue is
+//!   at capacity the job is handed back to the caller, which turns the
+//!   overload into explicit backpressure (the HTTP layer answers `503`).
+//! * **Panic-isolated** — a panicking job takes down neither its worker
+//!   thread nor the pool.
+//! * **Draining shutdown** — [`WorkerPool::shutdown`] stops intake, lets
+//!   every queued and in-flight job finish, and joins the workers.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of externally-submitted work.
+pub type PoolJob = Box<dyn FnOnce() + Send + 'static>;
+
+struct State {
+    queue: VecDeque<PoolJob>,
+    shutting_down: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    work_ready: Condvar,
+}
+
+/// A fixed-size thread pool over a bounded FIFO job queue.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    threads: usize,
+    capacity: usize,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `threads` workers (`0` = all available cores)
+    /// behind a queue holding at most `queue_capacity` pending jobs.
+    pub fn new(threads: usize, queue_capacity: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            threads
+        };
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::with_capacity(queue_capacity),
+                shutting_down: false,
+            }),
+            work_ready: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || loop {
+                    let job = {
+                        let mut state = shared.state.lock().expect("pool poisoned");
+                        loop {
+                            if let Some(job) = state.queue.pop_front() {
+                                break Some(job);
+                            }
+                            if state.shutting_down {
+                                break None;
+                            }
+                            state = shared.work_ready.wait(state).expect("pool poisoned");
+                        }
+                    };
+                    match job {
+                        // A job that panics must not take the worker with
+                        // it: the pool serves unrelated callers.
+                        Some(job) => drop(catch_unwind(AssertUnwindSafe(job))),
+                        None => return,
+                    }
+                })
+            })
+            .collect();
+        Self {
+            shared,
+            threads,
+            capacity: queue_capacity,
+            workers,
+        }
+    }
+
+    /// The resolved worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The queue capacity the pool was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently waiting in the queue (not counting in-flight ones).
+    pub fn queued(&self) -> usize {
+        self.shared.state.lock().expect("pool poisoned").queue.len()
+    }
+
+    /// Enqueues a job without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Hands the job back when the queue is at capacity (or the pool is
+    /// shutting down) so the caller can apply its own backpressure.
+    pub fn submit(&self, job: PoolJob) -> core::result::Result<(), PoolJob> {
+        let mut state = self.shared.state.lock().expect("pool poisoned");
+        if state.shutting_down || state.queue.len() >= self.capacity {
+            return Err(job);
+        }
+        state.queue.push_back(job);
+        drop(state);
+        self.shared.work_ready.notify_one();
+        Ok(())
+    }
+
+    /// Stops intake, drains every queued job, and joins the workers.
+    pub fn shutdown(mut self) {
+        self.shared
+            .state
+            .lock()
+            .expect("pool poisoned")
+            .shutting_down = true;
+        self.shared.work_ready.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // A dropped (not shut down) pool must not leave workers parked
+        // forever; they drain the queue and exit, but are not joined.
+        self.shared
+            .state
+            .lock()
+            .expect("pool poisoned")
+            .shutting_down = true;
+        self.shared.work_ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn runs_submitted_jobs() {
+        let pool = WorkerPool::new(3, 16);
+        assert_eq!(pool.threads(), 3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let counter = Arc::clone(&counter);
+            pool.submit(Box::new(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            }))
+            .unwrap_or_else(|_| panic!("queue unexpectedly full"));
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn full_queue_hands_the_job_back() {
+        let pool = WorkerPool::new(1, 1);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        // Block the single worker so queued jobs pile up.
+        let blocker = Arc::clone(&gate);
+        pool.submit(Box::new(move || {
+            let (lock, cv) = &*blocker;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+        }))
+        .unwrap_or_else(|_| panic!("first submit must fit"));
+        // Wait until the worker picked the blocker up, then fill the queue.
+        while pool.queued() > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        pool.submit(Box::new(|| ()))
+            .unwrap_or_else(|_| panic!("second submit fills the queue"));
+        let rejected = pool.submit(Box::new(|| ()));
+        assert!(rejected.is_err(), "third submit must bounce");
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let pool = WorkerPool::new(1, 64);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..32 {
+            let counter = Arc::clone(&counter);
+            pool.submit(Box::new(move || {
+                std::thread::sleep(Duration::from_micros(200));
+                counter.fetch_add(1, Ordering::SeqCst);
+            }))
+            .unwrap_or_else(|_| panic!("queue unexpectedly full"));
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 32, "shutdown lost jobs");
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_kill_the_pool() {
+        let pool = WorkerPool::new(1, 8);
+        pool.submit(Box::new(|| panic!("job blew up")))
+            .unwrap_or_else(|_| panic!("queue unexpectedly full"));
+        let ran = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::clone(&ran);
+        pool.submit(Box::new(move || {
+            flag.store(1, Ordering::SeqCst);
+        }))
+        .unwrap_or_else(|_| panic!("queue unexpectedly full"));
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn zero_threads_means_all_cores() {
+        let pool = WorkerPool::new(0, 4);
+        assert!(pool.threads() >= 1);
+        assert_eq!(pool.capacity(), 4);
+        pool.shutdown();
+    }
+}

@@ -17,6 +17,7 @@
 //! | parallel sweep / Monte-Carlo engine | [`sweep`] | ensembles behind Figs. 5–7, 12, 13 |
 //! | compact models & experiments | [`interconnect`] | III.C, Figs. 9/12 |
 //! | experiment registry (trait catalog, typed params, JSON/CSV reports) | [`interconnect::experiments`] | every artefact |
+//! | HTTP experiment server (scheduling, coalescing, LRU result cache) | [`serve`] | every artefact, as a service |
 //!
 //! # Quickstart
 //!
@@ -39,11 +40,15 @@
 //! Regenerate every paper artefact with
 //! `cargo run -p cnt-bench --bin repro -- all`, move an experiment off
 //! its paper operating point with typed overrides
-//! (`repro fig12 --set length_um=200 --set nc=6`), emit machine-readable
-//! reports (`repro table1 --format json|csv`), or rerun a figure as the
+//! (`repro fig12 --set length_um=200 --set nc=6`) or named presets
+//! (`repro table1 --preset projected`), emit machine-readable
+//! reports (`repro table1 --format json|csv`), rerun a figure as the
 //! ensemble the paper actually measured with
 //! `cargo run -p cnt-bench --bin repro -- sweep fig12 --trials 1000`
-//! (deterministic for any `--threads` value; see `crates/sweep/README.md`).
+//! (deterministic for any `--threads` value; see `crates/sweep/README.md`),
+//! or keep the whole registry resident behind a JSON API with
+//! `repro serve` (byte-identical to the CLI per parameter point; see
+//! `crates/serve/README.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -55,6 +60,7 @@ pub use cnt_interconnect as interconnect;
 pub use cnt_measure as measure;
 pub use cnt_process as process;
 pub use cnt_reliability as reliability;
+pub use cnt_serve as serve;
 pub use cnt_sweep as sweep;
 pub use cnt_thermal as thermal;
 pub use cnt_units as units;
