@@ -230,12 +230,70 @@ impl BandStructure {
         if n < 2 {
             return Err(Error::TooFewSamples { got: n, min: 2 });
         }
-        Ok((0..n)
-            .map(|i| {
-                let e = e_min + (e_max - e_min) * i as f64 / (n - 1) as f64;
-                (e, self.mode_count(e) as f64)
-            })
+        let energies: Vec<f64> = (0..n)
+            .map(|i| e_min + (e_max - e_min) * i as f64 / (n - 1) as f64)
+            .collect();
+        let counts = self.mode_counts(&energies);
+        Ok(energies
+            .into_iter()
+            .zip(counts)
+            .map(|(e, c)| (e, c as f64))
             .collect())
+    }
+
+    /// Energy-batched [`Self::mode_count`]: one pass over the band-structure
+    /// windows instead of one per energy.
+    ///
+    /// Per energy, [`Self::mode_count`] scans every `(k, k+1)` segment of
+    /// every subband — `O(subbands · nk)` work per level. Batched, each
+    /// segment instead locates the levels it crosses with two binary
+    /// searches over the sorted levels, so a whole spectrum costs
+    /// `O(subbands · nk · log n + crossings)`. The counting rule is the
+    /// same (a segment crosses a level strictly between its endpoint
+    /// energies; a level exactly on a grid point is skipped), so the
+    /// returned counts equal the per-energy ones exactly.
+    pub fn mode_counts(&self, energies_ev: &[f64]) -> Vec<usize> {
+        // The per-energy path folds E and −E together and nudges 0.
+        let levels: Vec<f64> = energies_ev.iter().map(|e| e.abs().max(1e-6)).collect();
+        let mut order: Vec<usize> = (0..levels.len()).collect();
+        order.sort_unstable_by(|&a, &b| {
+            levels[a]
+                .partial_cmp(&levels[b])
+                .expect("levels are finite")
+        });
+        let sorted: Vec<f64> = order.iter().map(|&i| levels[i]).collect();
+
+        let mut crossings = vec![0usize; levels.len()];
+        for sb in &self.subbands {
+            for w in sb.energy_ev.windows(2) {
+                // A segment crosses exactly the levels strictly inside its
+                // energy span: d0·d1 < 0 means strictly between, and the
+                // per-energy d0 == 0 skip is the open lower/upper end.
+                let (lo, hi) = if w[0] < w[1] {
+                    (w[0], w[1])
+                } else {
+                    (w[1], w[0])
+                };
+                if lo == hi {
+                    continue;
+                }
+                let start = sorted.partition_point(|&e| e <= lo);
+                let end = sorted.partition_point(|&e| e < hi);
+                for &idx in &order[start..end] {
+                    crossings[idx] += 1;
+                }
+            }
+        }
+        crossings.into_iter().map(|c| c / 2).collect()
+    }
+
+    /// Energy-batched transmission `T(E) = mode_count(E)` at arbitrary
+    /// energies — the kernel behind the Fig. 8c spectra.
+    pub fn transmission_grid(&self, energies_ev: &[f64]) -> Vec<f64> {
+        self.mode_counts(energies_ev)
+            .into_iter()
+            .map(|c| c as f64)
+            .collect()
     }
 }
 
@@ -325,6 +383,26 @@ mod tests {
             let c = Chirality::new(n, m).unwrap();
             let b = BandStructure::compute(c, 64).unwrap();
             assert_eq!(b.subbands().len(), c.hexagon_count() as usize);
+        }
+    }
+
+    #[test]
+    fn batched_mode_counts_match_per_energy_exactly() {
+        for &(n, m) in &[(7, 7), (13, 0), (10, 5), (9, 0)] {
+            let b = BandStructure::compute(Chirality::new(n, m).unwrap(), 301).unwrap();
+            // A deliberately nasty grid: duplicates, ± pairs, exact zero,
+            // exact van Hove edges (grid-point collisions), out-of-band.
+            let mut energies: Vec<f64> = vec![-2.0, -0.6, 0.0, 0.0, 0.3, 0.6, 2.0, 9.0, -9.0];
+            energies.extend(b.van_hove_energies_ev().iter().take(4).copied());
+            energies.extend(b.subbands()[0].energy_ev.iter().take(3).copied());
+            let batched = b.mode_counts(&energies);
+            for (i, &e) in energies.iter().enumerate() {
+                assert_eq!(batched[i], b.mode_count(e), "({n},{m}) at E = {e}");
+            }
+            let grid = b.transmission_grid(&energies);
+            for (i, &c) in batched.iter().enumerate() {
+                assert_eq!(grid[i], c as f64);
+            }
         }
     }
 

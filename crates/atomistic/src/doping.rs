@@ -241,12 +241,28 @@ impl DopedCnt {
         if n < 2 {
             return Err(Error::TooFewSamples { got: n, min: 2 });
         }
-        Ok((0..n)
-            .map(|i| {
-                let e = e_min + (e_max - e_min) * i as f64 / (n - 1) as f64;
-                (e, self.mode_count(e) as f64)
+        let energies: Vec<f64> = (0..n)
+            .map(|i| e_min + (e_max - e_min) * i as f64 / (n - 1) as f64)
+            .collect();
+        let ts = self.transmission_grid(&energies);
+        Ok(energies.into_iter().zip(ts).collect())
+    }
+
+    /// Energy-batched transmission `T(E) = mode_count(E)` at arbitrary
+    /// energies: the host counts come from the batched
+    /// [`BandStructure::mode_counts`] pass, the dopant-band contribution is
+    /// added per energy. Counts equal per-energy [`Self::mode_count`]
+    /// exactly.
+    pub fn transmission_grid(&self, energies_ev: &[f64]) -> Vec<f64> {
+        let host = self.bands.mode_counts(energies_ev);
+        energies_ev
+            .iter()
+            .zip(host)
+            .map(|(&e, h)| {
+                let dopant: usize = self.spec.bands.iter().map(|b| b.modes_at(e)).sum();
+                (h + dopant) as f64
             })
-            .collect())
+            .collect()
     }
 }
 
@@ -318,6 +334,23 @@ mod tests {
         };
         assert_eq!(at(-0.6), 5.0); // inside dopant window
         assert_eq!(at(0.1), 2.0); // outside
+    }
+
+    #[test]
+    fn transmission_grid_matches_per_energy_mode_count() {
+        let d =
+            DopedCnt::new(Chirality::new(7, 7).unwrap(), DopingSpec::iodine_internal()).unwrap();
+        let energies: Vec<f64> = (0..121).map(|i| -1.5 + 3.0 * i as f64 / 120.0).collect();
+        let grid = d.transmission_grid(&energies);
+        for (i, &e) in energies.iter().enumerate() {
+            assert_eq!(grid[i], d.mode_count(e) as f64, "E = {e}");
+        }
+        // The batched spectrum is what transmission_spectrum now returns.
+        let spec = d.transmission_spectrum(-1.5, 1.5, 121).unwrap();
+        for (i, (e, t)) in spec.iter().enumerate() {
+            assert_eq!(e.to_bits(), energies[i].to_bits());
+            assert_eq!(*t, grid[i]);
+        }
     }
 
     #[test]

@@ -115,36 +115,43 @@ impl DisorderedChain {
         }
     }
 
-    /// Landauer transmission at energy `e_ev` for one disorder realization
-    /// drawn from `rng`.
-    ///
-    /// Uses the forward recursive Green's function
-    /// (`O(sites)` time, `O(1)` memory).
-    pub fn transmission<R: Rng + ?Sized>(&self, e_ev: f64, rng: &mut R) -> f64 {
+    /// Lead self-energy `Σ = t²·g_surf` and broadening `Γ = −2·Im(Σ)` at
+    /// energy `e_ev`, or `None` outside the lead band. Computing this once
+    /// and sharing it across an ensemble is the hot-path win: every
+    /// disorder sample at the same energy reuses the same lead coupling.
+    #[inline]
+    fn lead_coupling(&self, e_ev: f64) -> Option<(C64, f64)> {
         let t = self.hopping_ev;
-        let g_surf = self.lead_surface_g(e_ev);
-        let sigma = g_surf * (t * t);
+        let sigma = self.lead_surface_g(e_ev) * (t * t);
         // Broadening Γ = i(Σ − Σ†) = −2·Im(Σ).
         let gamma = -2.0 * sigma.im;
         if gamma <= 0.0 {
-            return 0.0; // outside the lead band: no propagating modes
+            None // outside the lead band: no propagating modes
+        } else {
+            Some((sigma, gamma))
         }
+    }
 
-        let draw = |rng: &mut R| -> f64 {
-            if self.disorder_ev == 0.0 {
-                0.0
-            } else {
-                rng.gen_range(-0.5..0.5) * self.disorder_ev
-            }
-        };
-
+    /// The recursive Green's function sweep with the lead coupling already
+    /// in hand and the on-site energies supplied by `draw` (monomorphized,
+    /// so the "is there disorder at all?" branch is hoisted out of the
+    /// per-site loop).
+    #[inline]
+    fn transmission_recursion<F: FnMut() -> f64>(
+        &self,
+        e_ev: f64,
+        sigma: C64,
+        gamma: f64,
+        mut draw: F,
+    ) -> f64 {
+        let t = self.hopping_ev;
         let e = C64::real(e_ev);
         // Left-connected Green's function of site 1 (lead attached).
-        let mut g_left = (e - C64::real(draw(rng)) - sigma).recip();
+        let mut g_left = (e - C64::real(draw()) - sigma).recip();
         // Running product  Π t·g_left  that builds G_{1,i}.
         let mut g_1n = g_left;
         for i in 1..self.sites {
-            let eps = C64::real(draw(rng));
+            let eps = C64::real(draw());
             let last = i == self.sites - 1;
             let mut denom = e - eps - g_left * (t * t);
             if last {
@@ -158,7 +165,97 @@ impl DisorderedChain {
         tr.clamp(0.0, 1.0)
     }
 
+    /// One disorder sample given a precomputed lead coupling (the shared
+    /// inner kernel of [`Self::transmission`] and
+    /// [`Self::mean_transmission`]). Draw order matches the historical
+    /// implementation site for site, so seeded results are unchanged.
+    fn transmission_sample<R: Rng + ?Sized>(
+        &self,
+        e_ev: f64,
+        sigma: C64,
+        gamma: f64,
+        rng: &mut R,
+    ) -> f64 {
+        if self.disorder_ev == 0.0 {
+            // Clean chain: no RNG consumption at all (as before).
+            self.transmission_recursion(e_ev, sigma, gamma, || 0.0)
+        } else {
+            let w = self.disorder_ev;
+            self.transmission_recursion(e_ev, sigma, gamma, || rng.gen_range(-0.5..0.5) * w)
+        }
+    }
+
+    /// Landauer transmission at energy `e_ev` for one disorder realization
+    /// drawn from `rng`.
+    ///
+    /// Uses the forward recursive Green's function
+    /// (`O(sites)` time, `O(1)` memory).
+    pub fn transmission<R: Rng + ?Sized>(&self, e_ev: f64, rng: &mut R) -> f64 {
+        match self.lead_coupling(e_ev) {
+            Some((sigma, gamma)) => self.transmission_sample(e_ev, sigma, gamma, rng),
+            None => 0.0,
+        }
+    }
+
+    /// One explicit disorder realization: on-site energies drawn uniformly
+    /// from `[-w/2, w/2)`, one per site, in site order — exactly the draws
+    /// [`Self::transmission`] makes internally. A clean chain (`w = 0`)
+    /// returns zeros without consuming the generator.
+    pub fn draw_disorder<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        if self.disorder_ev == 0.0 {
+            vec![0.0; self.sites]
+        } else {
+            let w = self.disorder_ev;
+            (0..self.sites)
+                .map(|_| rng.gen_range(-0.5..0.5) * w)
+                .collect()
+        }
+    }
+
+    /// Transmission at `e_ev` for a fixed, explicit disorder realization
+    /// (as produced by [`Self::draw_disorder`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `onsite_ev.len() != self.sites()`.
+    pub fn transmission_with_disorder(&self, e_ev: f64, onsite_ev: &[f64]) -> f64 {
+        assert_eq!(
+            onsite_ev.len(),
+            self.sites,
+            "disorder realization must cover every site"
+        );
+        match self.lead_coupling(e_ev) {
+            Some((sigma, gamma)) => {
+                let mut it = onsite_ev.iter();
+                self.transmission_recursion(e_ev, sigma, gamma, || {
+                    *it.next().expect("length checked above")
+                })
+            }
+            None => 0.0,
+        }
+    }
+
+    /// Energy-batched transmission: draws **one** disorder realization and
+    /// evaluates `T(E)` on it for every energy of `energies_ev`. This is
+    /// the spectrum of a single sample — the realization is drawn once
+    /// (`sites` draws) instead of once per energy, and the lead coupling
+    /// is computed per energy instead of per (energy, sample) pair.
+    ///
+    /// Equivalent to calling [`Self::transmission_with_disorder`] per
+    /// energy on the same [`Self::draw_disorder`] realization, bit for
+    /// bit.
+    pub fn transmission_grid<R: Rng + ?Sized>(&self, energies_ev: &[f64], rng: &mut R) -> Vec<f64> {
+        let onsite = self.draw_disorder(rng);
+        energies_ev
+            .iter()
+            .map(|&e| self.transmission_with_disorder(e, &onsite))
+            .collect()
+    }
+
     /// Ensemble-averaged transmission over `samples` disorder realizations.
+    ///
+    /// The lead self-energy is energy-only, so it is hoisted out of the
+    /// sample loop (it used to be recomputed per sample).
     ///
     /// # Panics
     ///
@@ -170,7 +267,12 @@ impl DisorderedChain {
         rng: &mut R,
     ) -> f64 {
         assert!(samples > 0, "need at least one disorder sample");
-        let sum: f64 = (0..samples).map(|_| self.transmission(e_ev, rng)).sum();
+        let Some((sigma, gamma)) = self.lead_coupling(e_ev) else {
+            return 0.0;
+        };
+        let sum: f64 = (0..samples)
+            .map(|_| self.transmission_sample(e_ev, sigma, gamma, rng))
+            .sum();
         sum / samples as f64
     }
 
@@ -338,5 +440,69 @@ mod tests {
         let a = chain.transmission(0.1, &mut StdRng::seed_from_u64(42));
         let b = chain.transmission(0.1, &mut StdRng::seed_from_u64(42));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn explicit_realization_matches_internal_draws() {
+        // transmission() must be exactly draw_disorder() followed by
+        // transmission_with_disorder(): same draw order, same arithmetic.
+        let chain = DisorderedChain::new(150, 2.7, 0.9, pitch()).unwrap();
+        for e in [-1.0, 0.0, 0.3, 6.0] {
+            let direct = chain.transmission(e, &mut StdRng::seed_from_u64(9));
+            let mut rng = StdRng::seed_from_u64(9);
+            let explicit = if e.abs() < 2.0 * 2.7 {
+                // In band: the internal path consumed one realization.
+                let onsite = chain.draw_disorder(&mut rng);
+                chain.transmission_with_disorder(e, &onsite)
+            } else {
+                // Out of band: no draws either way.
+                chain.transmission_with_disorder(e, &vec![0.0; chain.sites()])
+            };
+            assert_eq!(direct.to_bits(), explicit.to_bits(), "E = {e}");
+        }
+    }
+
+    #[test]
+    fn transmission_grid_matches_per_energy_draws() {
+        let chain = DisorderedChain::new(200, 2.7, 1.1, pitch()).unwrap();
+        let energies = [-2.0, -0.5, 0.0, 0.5, 2.0, 5.9];
+        let grid = chain.transmission_grid(&energies, &mut StdRng::seed_from_u64(31));
+        // Same realization, per-energy path.
+        let mut rng = StdRng::seed_from_u64(31);
+        let onsite = chain.draw_disorder(&mut rng);
+        for (i, &e) in energies.iter().enumerate() {
+            let scalar = chain.transmission_with_disorder(e, &onsite);
+            assert_eq!(grid[i].to_bits(), scalar.to_bits(), "E = {e}");
+        }
+        // A single-energy grid matches transmission() itself bit for bit.
+        let single = chain.transmission_grid(&[0.25], &mut StdRng::seed_from_u64(4));
+        let direct = chain.transmission(0.25, &mut StdRng::seed_from_u64(4));
+        assert_eq!(single[0].to_bits(), direct.to_bits());
+    }
+
+    #[test]
+    fn mean_transmission_seeded_stream_is_stable() {
+        // The sigma hoist must not change the RNG stream: per-sample draws
+        // remain site-ordered, so an ensemble equals the per-sample path.
+        let chain = DisorderedChain::new(80, 2.7, 0.8, pitch()).unwrap();
+        let mean = chain.mean_transmission(0.1, 7, &mut StdRng::seed_from_u64(5));
+        let mut rng = StdRng::seed_from_u64(5);
+        let manual: f64 = (0..7).map(|_| chain.transmission(0.1, &mut rng)).sum();
+        assert_eq!(mean.to_bits(), (manual / 7.0).to_bits());
+        // Out of band, no draws are consumed.
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(chain.mean_transmission(9.0, 5, &mut rng), 0.0);
+        let mut fresh = StdRng::seed_from_u64(6);
+        assert_eq!(rng.gen::<u64>(), fresh.gen::<u64>());
+    }
+
+    #[test]
+    fn clean_chain_consumes_no_rng() {
+        let clean = DisorderedChain::new(50, 2.7, 0.0, pitch()).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let _ = clean.transmission(0.0, &mut rng);
+        let _ = clean.draw_disorder(&mut rng);
+        let mut fresh = StdRng::seed_from_u64(12);
+        assert_eq!(rng.gen::<u64>(), fresh.gen::<u64>());
     }
 }

@@ -93,6 +93,31 @@ pub struct ConductancePoint {
     pub metallic: bool,
 }
 
+/// One tube's Fig. 8a row: band structure, finite-temperature Landauer
+/// integral, and the diameter/metallicity labels. The per-tube kernel of
+/// [`conductance_vs_diameter`], exposed so sweeps can evaluate tubes
+/// independently (e.g. on the `cnt-sweep` pool).
+pub fn conductance_point(chirality: Chirality, temperature: Temperature) -> ConductancePoint {
+    let g = ballistic_conductance(chirality, temperature);
+    ConductancePoint {
+        chirality,
+        diameter_nm: chirality.diameter().nanometers(),
+        conductance_ms: g.millisiemens(),
+        channels: g.siemens() / G0_SIEMENS,
+        metallic: chirality.is_metallic(),
+    }
+}
+
+/// Sorts Fig. 8a rows by diameter (stable, so equal-diameter tubes keep
+/// their input order) — the presentation order of the paper's plot.
+pub fn sort_by_diameter(points: &mut [ConductancePoint]) {
+    points.sort_by(|a, b| {
+        a.diameter_nm
+            .partial_cmp(&b.diameter_nm)
+            .expect("finite diameters")
+    });
+}
+
 /// Sweeps ballistic conductance versus diameter for a set of tubes
 /// (the paper's Fig. 8a uses the zigzag and armchair series).
 ///
@@ -108,22 +133,9 @@ pub fn conductance_vs_diameter(
     }
     let mut out: Vec<ConductancePoint> = tubes
         .iter()
-        .map(|&c| {
-            let g = ballistic_conductance(c, temperature);
-            ConductancePoint {
-                chirality: c,
-                diameter_nm: c.diameter().nanometers(),
-                conductance_ms: g.millisiemens(),
-                channels: g.siemens() / G0_SIEMENS,
-                metallic: c.is_metallic(),
-            }
-        })
+        .map(|&c| conductance_point(c, temperature))
         .collect();
-    out.sort_by(|a, b| {
-        a.diameter_nm
-            .partial_cmp(&b.diameter_nm)
-            .expect("finite diameters")
-    });
+    sort_by_diameter(&mut out);
     Ok(out)
 }
 

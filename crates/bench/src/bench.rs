@@ -1,0 +1,551 @@
+//! `repro bench` — the machine-readable performance subsystem.
+//!
+//! A registry of kernel benchmarks spanning every hot layer of the
+//! workspace: NEGF transport, the fields CG solver, the thermal SThM and
+//! via-stack kernels, the Fig. 12 delay-ratio grid, `cnt-sweep` pool
+//! throughput at 1/2/4/8 threads, and an end-to-end `cnt-serve` request
+//! round-trip. Each kernel runs a warmup phase followed by `N` timed
+//! iterations and reports min/median/p90/mean wall time.
+//!
+//! Results render as a text table or as one versioned JSON document
+//! (`"schema":1`, `"kind":"bench"` — accepted by `repro check-json`),
+//! and are written to `BENCH_<unix-seconds>.json` so every PR appends a
+//! point to the repository's performance trajectory.
+//!
+//! Adding a kernel: push a [`Kernel`] in [`kernels`] whose closure calls
+//! [`time_iterations`] around the hot call, feeding results into
+//! [`core::hint::black_box`] so the work cannot be optimized away. Keep
+//! the workload deterministic (fixed seeds, fixed sizes) so numbers are
+//! comparable across runs and machines.
+
+use cnt_atomistic::negf::DisorderedChain;
+use cnt_fields::grid::Grid3;
+use cnt_fields::solver::{SolveWorkspace, SolverOptions, StencilSystem};
+use cnt_interconnect::benchmark::{
+    delay_ratio_grid, FIG12_CHANNEL_COUNTS, FIG12_DIAMETERS_NM, FIG12_LENGTHS_UM,
+};
+use cnt_interconnect::experiments::format::json_string;
+use cnt_thermal::fin::SelfHeatingLine;
+use cnt_thermal::sthm::SthmInstrument;
+use cnt_thermal::via::ViaStack;
+use cnt_units::si::{Area, CurrentDensity, Length, Power};
+use core::hint::black_box;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::time::{Duration, Instant, SystemTime};
+
+/// Schema version stamped into the JSON document.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// How a bench run is configured.
+#[derive(Debug, Clone, Default)]
+pub struct BenchOpts {
+    /// Smaller workloads and fewer iterations (CI smoke mode).
+    pub quick: bool,
+    /// Run only kernels whose id contains this substring.
+    pub filter: Option<String>,
+}
+
+/// Timing summary of one kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelStats {
+    /// Stable kernel id (`"negf.mean_transmission"`, …).
+    pub id: &'static str,
+    /// One-line description of the workload.
+    pub title: &'static str,
+    /// Warmup iterations (not timed).
+    pub warmup: usize,
+    /// Timed iterations.
+    pub iterations: usize,
+    /// Fastest iteration, seconds.
+    pub min_s: f64,
+    /// Lower-median iteration, seconds.
+    pub median_s: f64,
+    /// 90th-percentile (nearest-rank) iteration, seconds.
+    pub p90_s: f64,
+    /// Mean iteration, seconds.
+    pub mean_s: f64,
+}
+
+/// One full bench run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Whether this was a `--quick` run.
+    pub quick: bool,
+    /// `std::thread::available_parallelism` at run time.
+    pub threads_available: usize,
+    /// Wall-clock time of the run, seconds since the Unix epoch.
+    pub unix_time_s: u64,
+    /// Per-kernel summaries, registry order.
+    pub kernels: Vec<KernelStats>,
+}
+
+impl BenchReport {
+    /// The versioned single-line JSON document (no trailing newline) —
+    /// the shape `repro bench --format json` prints and CI archives.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512 + self.kernels.len() * 160);
+        out.push_str(&format!(
+            "{{\"schema\":{BENCH_SCHEMA_VERSION},\"kind\":\"bench\",\"quick\":{},\"threads_available\":{},\"unix_time_s\":{},\"kernels\":[",
+            self.quick, self.threads_available, self.unix_time_s
+        ));
+        for (i, k) in self.kernels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"id\":");
+            json_string(k.id, &mut out);
+            out.push_str(",\"title\":");
+            json_string(k.title, &mut out);
+            out.push_str(&format!(
+                ",\"warmup\":{},\"iterations\":{},\"min_s\":{},\"median_s\":{},\"p90_s\":{},\"mean_s\":{}}}",
+                k.warmup, k.iterations, k.min_s, k.median_s, k.p90_s, k.mean_s
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// The human-readable table.
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "bench: {} kernel(s), {} mode, {} core(s) available\n",
+            self.kernels.len(),
+            if self.quick { "quick" } else { "full" },
+            self.threads_available
+        );
+        out.push_str(&format!(
+            "{:<28} {:>5} {:>12} {:>12} {:>12}\n",
+            "kernel", "iters", "min", "median", "p90"
+        ));
+        for k in &self.kernels {
+            out.push_str(&format!(
+                "{:<28} {:>5} {:>12} {:>12} {:>12}\n",
+                k.id,
+                k.iterations,
+                fmt_duration(k.min_s),
+                fmt_duration(k.median_s),
+                fmt_duration(k.p90_s)
+            ));
+        }
+        out
+    }
+}
+
+fn fmt_duration(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else {
+        format!("{:.1} µs", seconds * 1e6)
+    }
+}
+
+/// Times `work`: `warmup` discarded calls, then `iterations` timed ones.
+pub fn time_iterations<F: FnMut()>(warmup: usize, iterations: usize, mut work: F) -> Vec<Duration> {
+    for _ in 0..warmup {
+        work();
+    }
+    (0..iterations)
+        .map(|_| {
+            let start = Instant::now();
+            work();
+            start.elapsed()
+        })
+        .collect()
+}
+
+/// One registered kernel benchmark.
+pub struct Kernel {
+    /// Stable id, used by `--filter` and the JSON document.
+    pub id: &'static str,
+    /// One-line description of the workload.
+    pub title: &'static str,
+    run: fn(quick: bool) -> Vec<Duration>,
+}
+
+/// Warmup/iteration counts for the two modes.
+fn budget(quick: bool) -> (usize, usize) {
+    if quick {
+        (1, 5)
+    } else {
+        (3, 15)
+    }
+}
+
+fn summarize(kernel: &Kernel, quick: bool, samples: Vec<Duration>) -> KernelStats {
+    let (warmup, _) = budget(quick);
+    let mut secs: Vec<f64> = samples.iter().map(Duration::as_secs_f64).collect();
+    secs.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let n = secs.len();
+    let nearest_rank = |q: f64| secs[(((q * n as f64).ceil() as usize).max(1) - 1).min(n - 1)];
+    KernelStats {
+        id: kernel.id,
+        title: kernel.title,
+        warmup,
+        iterations: n,
+        min_s: secs[0],
+        median_s: nearest_rank(0.5),
+        p90_s: nearest_rank(0.9),
+        mean_s: secs.iter().sum::<f64>() / n as f64,
+    }
+}
+
+/// The kernel registry, fixed order. Ids are stable across PRs so the
+/// `BENCH_*.json` trajectory stays comparable.
+pub fn kernels() -> Vec<Kernel> {
+    vec![
+        Kernel {
+            id: "negf.mean_transmission",
+            title: "NEGF ensemble transmission, 400-site chain",
+            run: bench_negf_mean_transmission,
+        },
+        Kernel {
+            id: "negf.mfp_vs_disorder",
+            title: "NEGF mean-free-path calibration curve",
+            run: bench_negf_mfp,
+        },
+        Kernel {
+            id: "fields.cg_small",
+            title: "CG stencil solve, 9x9x17 grid",
+            run: bench_cg_small,
+        },
+        Kernel {
+            id: "fields.cg_large",
+            title: "CG stencil solve, 13x13x33 grid",
+            run: bench_cg_large,
+        },
+        Kernel {
+            id: "thermal.sthm_scan",
+            title: "SThM probe convolution over a 401-point profile",
+            run: bench_sthm_scan,
+        },
+        Kernel {
+            id: "thermal.via_stack",
+            title: "via-stack thermal resistance sweep",
+            run: bench_via_stack,
+        },
+        Kernel {
+            id: "circuit.delay_ratio_grid",
+            title: "fig12 Elmore delay-ratio grid on the pool",
+            run: bench_delay_ratio_grid,
+        },
+        Kernel {
+            id: "sweep.pool_t1",
+            title: "Executor throughput, 32 jobs, 1 thread",
+            run: |quick| bench_pool(quick, 1),
+        },
+        Kernel {
+            id: "sweep.pool_t2",
+            title: "Executor throughput, 32 jobs, 2 threads",
+            run: |quick| bench_pool(quick, 2),
+        },
+        Kernel {
+            id: "sweep.pool_t4",
+            title: "Executor throughput, 32 jobs, 4 threads",
+            run: |quick| bench_pool(quick, 4),
+        },
+        Kernel {
+            id: "sweep.pool_t8",
+            title: "Executor throughput, 32 jobs, 8 threads",
+            run: |quick| bench_pool(quick, 8),
+        },
+        Kernel {
+            id: "serve.roundtrip",
+            title: "cnt-serve keep-alive run round-trip (LRU-hot)",
+            run: bench_serve_roundtrip,
+        },
+    ]
+}
+
+/// Every registered kernel id, registry order.
+pub fn kernel_ids() -> Vec<&'static str> {
+    kernels().iter().map(|k| k.id).collect()
+}
+
+/// Runs the registry (honouring the filter) and summarizes.
+pub fn run(opts: &BenchOpts) -> BenchReport {
+    let kernels: Vec<Kernel> = kernels()
+        .into_iter()
+        .filter(|k| {
+            opts.filter
+                .as_deref()
+                .is_none_or(|needle| k.id.contains(needle))
+        })
+        .collect();
+    let stats = kernels
+        .iter()
+        .map(|k| summarize(k, opts.quick, (k.run)(opts.quick)))
+        .collect();
+    BenchReport {
+        quick: opts.quick,
+        threads_available: std::thread::available_parallelism().map_or(1, usize::from),
+        unix_time_s: SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs()),
+        kernels: stats,
+    }
+}
+
+// --- kernels ------------------------------------------------------------
+
+fn bench_negf_mean_transmission(quick: bool) -> Vec<Duration> {
+    let (warmup, iters) = budget(quick);
+    let samples = if quick { 24 } else { 96 };
+    let chain = DisorderedChain::new(400, 2.7, 1.0, Length::from_nanometers(0.25))
+        .expect("valid chain parameters");
+    time_iterations(warmup, iters, || {
+        let mut rng = StdRng::seed_from_u64(42);
+        black_box(chain.mean_transmission(0.0, samples, &mut rng));
+    })
+}
+
+fn bench_negf_mfp(quick: bool) -> Vec<Duration> {
+    let (warmup, iters) = budget(quick);
+    let samples = if quick { 12 } else { 40 };
+    time_iterations(warmup, iters, || {
+        let mut rng = StdRng::seed_from_u64(7);
+        black_box(
+            cnt_atomistic::negf::mfp_vs_disorder(
+                300,
+                2.7,
+                Length::from_nanometers(0.25),
+                &[0.4, 0.8, 1.6],
+                samples,
+                &mut rng,
+            )
+            .expect("valid sweep"),
+        );
+    })
+}
+
+/// A heterogeneous two-plate stencil system for the CG benchmarks.
+fn cg_system(nodes: [usize; 3]) -> StencilSystem {
+    let grid = Grid3::new([1.0, 1.0, 2.0], nodes).expect("valid grid");
+    let cells = grid.cells();
+    let mut coeff = vec![0.0; grid.cell_count()];
+    for k in 0..cells[2] {
+        for j in 0..cells[1] {
+            for i in 0..cells[0] {
+                // Layered dielectric with a contrast step mid-stack.
+                coeff[grid.cell_index(i, j, k)] = if k < cells[2] / 2 { 1.0 } else { 3.5 };
+            }
+        }
+    }
+    let mut dirichlet = vec![None; grid.node_count()];
+    let [nx, ny, nz] = grid.nodes();
+    for j in 0..ny {
+        for i in 0..nx {
+            dirichlet[grid.node_index(i, j, 0)] = Some(0.0);
+            dirichlet[grid.node_index(i, j, nz - 1)] = Some(1.0);
+        }
+    }
+    StencilSystem::assemble(&grid, &coeff, dirichlet)
+}
+
+fn bench_cg(quick: bool, nodes: [usize; 3]) -> Vec<Duration> {
+    let (warmup, iters) = budget(quick);
+    let sys = cg_system(nodes);
+    let options = SolverOptions::default();
+    let mut ws = SolveWorkspace::new();
+    time_iterations(warmup, iters, || {
+        black_box(sys.solve_with(&options, &mut ws).expect("converges"));
+    })
+}
+
+fn bench_cg_small(quick: bool) -> Vec<Duration> {
+    bench_cg(quick, [9, 9, 17])
+}
+
+fn bench_cg_large(quick: bool) -> Vec<Duration> {
+    bench_cg(quick, [13, 13, 33])
+}
+
+fn bench_sthm_scan(quick: bool) -> Vec<Duration> {
+    let (warmup, iters) = budget(quick);
+    let truth = SelfHeatingLine::mwcnt(
+        Length::from_micrometers(2.0),
+        CurrentDensity::from_amps_per_square_centimeter(5e8),
+    )
+    .analytic_profile(401)
+    .expect("valid profile");
+    let instrument = SthmInstrument::nanoprobe();
+    time_iterations(warmup, iters, || {
+        black_box(instrument.scan(&truth, 42).expect("valid scan"));
+    })
+}
+
+fn bench_via_stack(quick: bool) -> Vec<Duration> {
+    let (warmup, iters) = budget(quick);
+    let n = if quick { 400 } else { 2000 };
+    let heat = Power::from_microwatts(10.0);
+    time_iterations(warmup, iters, || {
+        let mut acc = 0.0;
+        for i in 0..n {
+            let side = 40.0 + (i % 50) as f64;
+            let area = Area::from_square_nanometers(side * side);
+            let cu = ViaStack::copper(area).expect("valid stack");
+            let cnt = ViaStack::cnt(area).expect("valid stack");
+            acc += cu.temperature_drop(heat).kelvin() - cnt.temperature_drop(heat).kelvin();
+        }
+        black_box(acc);
+    })
+}
+
+fn bench_delay_ratio_grid(quick: bool) -> Vec<Duration> {
+    let (warmup, iters) = budget(quick);
+    let (d, nc, l): (&[f64], &[usize], &[f64]) = if quick {
+        (&FIG12_DIAMETERS_NM[..2], &[2, 6, 10], &[10.0, 100.0, 500.0])
+    } else {
+        (
+            &FIG12_DIAMETERS_NM,
+            &FIG12_CHANNEL_COUNTS,
+            &FIG12_LENGTHS_UM,
+        )
+    };
+    time_iterations(warmup, iters, || {
+        black_box(delay_ratio_grid(d, nc, l, 0).expect("valid grid"));
+    })
+}
+
+/// Fixed-size arithmetic spin: the deterministic unit of pool work.
+fn spin(work: usize) -> f64 {
+    let mut x = 1.0f64;
+    for i in 0..work {
+        x = x * 1.000_000_1 + 1.0 / (i + 1) as f64;
+    }
+    x
+}
+
+fn bench_pool(quick: bool, threads: usize) -> Vec<Duration> {
+    let (warmup, iters) = budget(quick);
+    let work = if quick { 60_000 } else { 250_000 };
+    let jobs: Vec<f64> = (0..32).map(|i| i as f64).collect();
+    let plan = cnt_sweep::SweepPlan::new("bench.pool").axis(cnt_sweep::Axis::grid("job", &jobs));
+    let executor = cnt_sweep::Executor::new(threads);
+    time_iterations(warmup, iters, || {
+        let out = executor
+            .run(&plan, 0, |_, _| {
+                Ok::<_, std::convert::Infallible>(spin(work))
+            })
+            .expect("spin cannot fail");
+        black_box(out);
+    })
+}
+
+fn bench_serve_roundtrip(quick: bool) -> Vec<Duration> {
+    let (warmup, iters) = budget(quick);
+    let server = cnt_serve::Server::bind(cnt_serve::Config {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_capacity: 16,
+        cache_capacity: 64,
+        ..cnt_serve::Config::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let serving = std::thread::spawn(move || server.serve().expect("serve"));
+
+    let stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    // One keep-alive connection; warmup computes table1 once, the timed
+    // iterations measure the LRU-hot end-to-end round-trip.
+    let samples = time_iterations(warmup, iters, move || {
+        write!(
+            writer,
+            "POST /v1/experiments/table1/run HTTP/1.1\r\nHost: bench\r\nContent-Length: 2\r\nConnection: keep-alive\r\n\r\n{{}}"
+        )
+        .expect("send request");
+        writer.flush().expect("flush");
+        let mut content_length = None;
+        loop {
+            let mut line = String::new();
+            assert!(reader.read_line(&mut line).expect("read head") > 0);
+            if line == "\r\n" || line == "\n" {
+                break;
+            }
+            if let Some(v) = line
+                .to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::trim)
+            {
+                content_length = v.parse::<usize>().ok();
+            }
+        }
+        let mut body = vec![0u8; content_length.expect("framed response")];
+        reader.read_exact(&mut body).expect("read body");
+        black_box(body);
+    });
+    handle.shutdown();
+    serving.join().expect("server thread");
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_cover_the_layers() {
+        let ids = kernel_ids();
+        assert!(ids.len() >= 8, "bench registry shrank: {ids:?}");
+        let mut unique = ids.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), ids.len(), "duplicate kernel id");
+        for prefix in [
+            "negf.", "fields.", "thermal.", "circuit.", "sweep.", "serve.",
+        ] {
+            assert!(
+                ids.iter().any(|id| id.starts_with(prefix)),
+                "no {prefix} kernel"
+            );
+        }
+    }
+
+    #[test]
+    fn summary_statistics_are_ordered() {
+        let kernel = &kernels()[0];
+        let fake: Vec<Duration> = (1..=10).map(|i| Duration::from_micros(i * 10)).collect();
+        let stats = summarize(kernel, true, fake);
+        assert_eq!(stats.iterations, 10);
+        assert_eq!(stats.min_s, 10e-6);
+        assert!((stats.median_s - 50e-6).abs() < 1e-12);
+        assert!((stats.p90_s - 90e-6).abs() < 1e-12);
+        assert!(stats.min_s <= stats.median_s && stats.median_s <= stats.p90_s);
+    }
+
+    #[test]
+    fn json_document_is_schema_valid_and_filter_narrows() {
+        // One cheap kernel end to end: the report renders, the JSON
+        // parses, and --filter selects by substring.
+        let report = run(&BenchOpts {
+            quick: true,
+            filter: Some("thermal.via_stack".to_string()),
+        });
+        assert_eq!(report.kernels.len(), 1);
+        assert_eq!(report.kernels[0].id, "thermal.via_stack");
+        let json = report.to_json();
+        assert!(
+            json.starts_with("{\"schema\":1,\"kind\":\"bench\""),
+            "{json}"
+        );
+        cnt_interconnect::experiments::format::check_json_stream(&json).expect("valid JSON");
+        let text = report.render_text();
+        assert!(text.contains("thermal.via_stack"), "{text}");
+        // An unmatched filter runs nothing.
+        let none = run(&BenchOpts {
+            quick: true,
+            filter: Some("no-such-kernel".to_string()),
+        });
+        assert!(none.kernels.is_empty());
+    }
+}

@@ -61,7 +61,9 @@ fn usage() {
     eprintln!("       repro sweep <id> [--trials N] [--threads N] [--seed S] [--set KEY=VALUE]...");
     eprintln!("                        [--cache-dir DIR] [--no-cache] [--format text|json|csv]");
     eprintln!("       repro serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]");
-    eprintln!("       repro cache gc --max-bytes N [--cache-dir DIR]");
+    eprintln!("       repro cache gc [--max-bytes N] [--max-age SECS] [--cache-dir DIR]");
+    eprintln!("       repro bench [--quick] [--filter SUBSTR] [--format text|json]");
+    eprintln!("                   [--out PATH | --no-out]");
     eprintln!("       repro check-json          (validates a JSON stream on stdin)");
     eprintln!(
         "ids: {}",
@@ -88,9 +90,73 @@ fn main() -> ExitCode {
         "info" => run_info_command(&args[1..]),
         "serve" => run_serve_command(&args[1..]),
         "cache" => run_cache_command(&args[1..]),
+        "bench" => run_bench_command(&args[1..]),
         "check-json" => run_check_json_command(),
         _ => run_experiments_command(&args),
     }
+}
+
+/// Parses and runs `repro bench [--quick] [--filter SUBSTR]
+/// [--format text|json] [--out PATH | --no-out]`.
+///
+/// Results go to stdout in the chosen format; the versioned JSON document
+/// is also written to `BENCH_<unix-seconds>.json` (override the path with
+/// `--out`, suppress the file with `--no-out`) so every run appends a
+/// point to the repository's performance trajectory.
+fn run_bench_command(args: &[String]) -> ExitCode {
+    let mut opts = cnt_bench::bench::BenchOpts::default();
+    let mut format = OutputFormat::Text;
+    let mut out_path: Option<String> = None;
+    let mut write_file = true;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--filter" => match it.next() {
+                Some(v) => opts.filter = Some(v.clone()),
+                None => return fail("--filter needs a value"),
+            },
+            "--format" => match it.next().map(|v| v.parse::<OutputFormat>()) {
+                Some(Ok(OutputFormat::Csv)) => {
+                    return fail("bench emits text or json (csv is not a bench format)")
+                }
+                Some(Ok(f)) => format = f,
+                Some(Err(e)) => return fail(&e.to_string()),
+                None => return fail("--format needs a value"),
+            },
+            "--out" => match it.next() {
+                Some(v) => out_path = Some(v.clone()),
+                None => return fail("--out needs a value"),
+            },
+            "--no-out" => write_file = false,
+            other => return fail(&format!("unknown bench flag '{other}'")),
+        }
+    }
+
+    let report = cnt_bench::bench::run(&opts);
+    if report.kernels.is_empty() {
+        return fail(&format!(
+            "no kernel matches the filter (known: {})",
+            cnt_bench::bench::kernel_ids().join(" ")
+        ));
+    }
+    match format {
+        OutputFormat::Text => print!("{}", report.render_text()),
+        OutputFormat::Json => println!("{}", report.to_json()),
+        OutputFormat::Csv => unreachable!("rejected above"),
+    }
+    if write_file {
+        let path = out_path.unwrap_or_else(|| format!("BENCH_{}.json", report.unix_time_s));
+        match std::fs::write(&path, format!("{}\n", report.to_json())) {
+            Ok(()) => eprintln!(
+                "bench: {} kernel(s) -> {path} ({} mode)",
+                report.kernels.len(),
+                if report.quick { "quick" } else { "full" }
+            ),
+            Err(e) => return fail(&format!("writing {path}: {e}")),
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 /// The registry-driven `--list`: id, title, and a `[sweep]` marker when a
@@ -374,12 +440,16 @@ fn run_serve_command(args: &[String]) -> ExitCode {
     }
 }
 
-/// Parses and runs `repro cache gc --max-bytes N [--cache-dir DIR]`.
+/// Parses and runs
+/// `repro cache gc [--max-bytes N] [--max-age SECS] [--cache-dir DIR]`.
+/// At least one cap is required; with both, the age pass runs first (drop
+/// stale entries), then the size cap trims what is left.
 fn run_cache_command(args: &[String]) -> ExitCode {
     let Some(("gc", rest)) = args.split_first().map(|(a, r)| (a.as_str(), r)) else {
         return fail("cache supports one action: gc");
     };
     let mut max_bytes: Option<u64> = None;
+    let mut max_age: Option<u64> = None;
     let mut dir = ".sweep-cache".to_string();
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
@@ -389,6 +459,11 @@ fn run_cache_command(args: &[String]) -> ExitCode {
                 Some(Err(e)) => return fail(&format!("--max-bytes expects bytes ({e})")),
                 None => return fail("--max-bytes needs a value"),
             },
+            "--max-age" => match it.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(n)) => max_age = Some(n),
+                Some(Err(e)) => return fail(&format!("--max-age expects seconds ({e})")),
+                None => return fail("--max-age needs a value"),
+            },
             "--cache-dir" => match it.next() {
                 Some(v) => dir = v.clone(),
                 None => return fail("--cache-dir needs a value"),
@@ -396,19 +471,29 @@ fn run_cache_command(args: &[String]) -> ExitCode {
             other => return fail(&format!("unknown cache gc flag '{other}'")),
         }
     }
-    let Some(max_bytes) = max_bytes else {
-        return fail("cache gc requires --max-bytes N");
-    };
-    match cnt_sweep::cache::gc(std::path::Path::new(&dir), max_bytes) {
-        Ok(stats) => {
-            eprintln!(
-                "cache gc '{dir}': {} entries scanned, {} evicted, {} -> {} bytes (cap {max_bytes})",
-                stats.scanned, stats.evicted, stats.bytes_before, stats.bytes_after
-            );
-            ExitCode::SUCCESS
-        }
-        Err(e) => fail(&format!("cache gc: {e}")),
+    if max_bytes.is_none() && max_age.is_none() {
+        return fail("cache gc requires --max-bytes N and/or --max-age SECS");
     }
+    let path = std::path::Path::new(&dir);
+    if let Some(secs) = max_age {
+        match cnt_sweep::cache::gc_by_age(path, std::time::Duration::from_secs(secs)) {
+            Ok(stats) => eprintln!(
+                "cache gc '{dir}': {} entries scanned, {} older than {secs} s evicted, {} -> {} bytes",
+                stats.scanned, stats.evicted, stats.bytes_before, stats.bytes_after
+            ),
+            Err(e) => return fail(&format!("cache gc: {e}")),
+        }
+    }
+    if let Some(cap) = max_bytes {
+        match cnt_sweep::cache::gc(path, cap) {
+            Ok(stats) => eprintln!(
+                "cache gc '{dir}': {} entries scanned, {} evicted, {} -> {} bytes (cap {cap})",
+                stats.scanned, stats.evicted, stats.bytes_before, stats.bytes_after
+            ),
+            Err(e) => return fail(&format!("cache gc: {e}")),
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 /// Flags shared by the plain experiment path.

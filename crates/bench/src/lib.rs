@@ -1,14 +1,20 @@
-//! Figure-regeneration harness and Criterion benchmarks for the
-//! `cnt-beol` platform.
+//! Figure-regeneration harness, the `repro bench` performance subsystem,
+//! and Criterion benchmarks for the `cnt-beol` platform.
 //!
 //! * `cargo run -p cnt-bench --bin repro -- all` regenerates every paper
 //!   artefact (see `cnt_interconnect::experiments::registry`); `--set`
 //!   overrides typed parameters, `--format json|csv` emits
 //!   machine-readable reports;
+//! * `repro bench [--quick] [--filter SUBSTR] [--format json|text]` runs
+//!   the [`bench`] kernel registry (warmup + timed iterations,
+//!   min/median/p90 per kernel) and writes the versioned JSON trajectory
+//!   point `BENCH_<unix-seconds>.json`;
 //! * `cargo bench -p cnt-bench` times the computational kernels and the
-//!   DESIGN.md §6 ablations.
+//!   DESIGN.md §6 ablations through Criterion.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod bench;
 
 pub use cnt_interconnect::experiments;

@@ -10,6 +10,7 @@ use cnt_atomistic::chirality::Chirality;
 use cnt_atomistic::doping::{DopedCnt, DopingSpec};
 use cnt_atomistic::geometry;
 use cnt_atomistic::transport;
+use cnt_sweep::{Axis, Executor, SweepPlan};
 use cnt_units::consts::G0_SIEMENS;
 use cnt_units::si::{Length, Temperature};
 
@@ -48,7 +49,18 @@ fn fig08a_with(ctx: &RunContext) -> Result<Report> {
     let temp = Temperature::from_kelvin(ctx.f64("temp_k"));
     let mut tubes = Chirality::zigzag_series(5, 26);
     tubes.extend(Chirality::armchair_series(3, 15));
-    let pts = transport::conductance_vs_diameter(&tubes, temp)?;
+    // One band structure per tube, evaluated on the cnt-sweep pool: each
+    // job is independent and the Executor returns results in job order, so
+    // the rows (and the stable diameter sort below) are bit-identical to
+    // the serial transport::conductance_vs_diameter path at any --set
+    // threads value.
+    let indices: Vec<f64> = (0..tubes.len()).map(|i| i as f64).collect();
+    let plan = SweepPlan::new("fig08a.tubes").axis(Axis::grid("tube", &indices));
+    let mut pts = Executor::new(ctx.usize("threads")).run(&plan, ctx.u64("seed"), |job, _| {
+        let tube = tubes[job.get_usize("tube").expect("axis exists")];
+        Ok::<_, crate::Error>(transport::conductance_point(tube, temp))
+    })?;
+    transport::sort_by_diameter(&mut pts);
     let mut rep = Report::new("fig08a", FIG08A_TITLE)
         .with_columns(&["d_nm", "G_mS", "Nc", "metallic", "armchair"]);
     for p in &pts {
@@ -137,9 +149,34 @@ fn fig08c_with(ctx: &RunContext) -> Result<Report> {
 
     let mut rep =
         Report::new("fig08c", FIG08C_TITLE).with_columns(&["E_eV", "T_pristine", "T_doped"]);
-    let spec = doped.transmission_spectrum(-1.5, 1.5, 121)?;
-    for (e, t_doped) in spec {
-        rep.push_row(vec![e, pristine_bands.mode_count(e) as f64, t_doped]);
+    // The energy grid runs on the cnt-sweep pool in fixed contiguous
+    // chunks, each evaluated with the energy-batched transmission_grid
+    // kernels. Chunking is independent of the thread count and every
+    // energy is independent, so rows are bit-identical at any --set
+    // threads value (transmission counts are exact integers).
+    const N_ENERGY: usize = 121;
+    const N_CHUNKS: usize = 8;
+    let energies: Vec<f64> = (0..N_ENERGY)
+        .map(|i| -1.5 + 3.0 * i as f64 / (N_ENERGY - 1) as f64)
+        .collect();
+    let chunk_ids: Vec<f64> = (0..N_CHUNKS).map(|c| c as f64).collect();
+    let plan = SweepPlan::new("fig08c.energies").axis(Axis::grid("chunk", &chunk_ids));
+    let chunks = Executor::new(ctx.usize("threads")).run(&plan, ctx.u64("seed"), |job, _| {
+        let c = job.get_usize("chunk").expect("axis exists");
+        let lo = c * N_ENERGY / N_CHUNKS;
+        let hi = (c + 1) * N_ENERGY / N_CHUNKS;
+        let window = &energies[lo..hi];
+        let t_pristine = pristine_bands.transmission_grid(window);
+        let t_doped = doped.transmission_grid(window);
+        let rows: Vec<[f64; 3]> = window
+            .iter()
+            .zip(t_pristine.iter().zip(&t_doped))
+            .map(|(&e, (&tp, &td))| [e, tp, td])
+            .collect();
+        Ok::<_, crate::Error>(rows)
+    })?;
+    for row in chunks.into_iter().flatten() {
+        rep.push_row(row.to_vec());
     }
 
     let g_pristine = transport::conductance_at_temperature(&pristine_bands, 0.0, temp);
@@ -201,6 +238,29 @@ mod tests {
                 .sum()
         };
         assert!(semi_g(&heated) > semi_g(&base));
+    }
+
+    #[test]
+    fn ported_fig08_kernels_bit_identical_across_thread_counts() {
+        let at_threads = |run: fn(&RunContext) -> Result<Report>, spec: &ParamSpec, t: &str| {
+            let ctx = RunContext::with_overrides(spec, &[("threads".to_string(), t.to_string())])
+                .unwrap();
+            run(&ctx).unwrap().render()
+        };
+        for (run, spec) in [
+            (
+                fig08a_with as fn(&RunContext) -> Result<Report>,
+                temp_spec(),
+            ),
+            (fig08c_with, temp_spec()),
+        ] {
+            let serial = at_threads(run, &spec, "1");
+            let par = at_threads(run, &spec, "8");
+            assert_eq!(serial, par, "pool port changed output across thread counts");
+            // And the default (threads = 0 = all cores) path matches too.
+            let default = run(&RunContext::defaults(&spec)).unwrap().render();
+            assert_eq!(serial, default);
+        }
     }
 
     #[test]

@@ -6,9 +6,10 @@ use super::Report;
 use crate::compact::DopedMwcnt;
 use crate::Result;
 use cnt_measure::iv::{iv_sweep, CntDevice};
-use cnt_measure::tlm::{run_tlm, TlmExperiment};
+use cnt_measure::tlm::{fit_tlm, TlmExperiment};
+use cnt_sweep::{Axis, Executor, SweepPlan};
 use cnt_thermal::extract::extract_thermal_conductivity;
-use cnt_thermal::fin::SelfHeatingLine;
+use cnt_thermal::fin::{SelfHeatingLine, TemperatureProfile};
 use cnt_thermal::sthm::SthmInstrument;
 use cnt_units::si::{Current, CurrentDensity, Length, Resistance, Voltage};
 
@@ -131,8 +132,19 @@ pub fn tlm() -> Result<Report> {
 fn tlm_with(ctx: &RunContext) -> Result<Report> {
     let seed = ctx.u64("seed");
     let experiment = TlmExperiment::mwcnt_default();
-    let data = experiment.measure(seed)?;
-    let fit = run_tlm(&experiment, seed)?;
+    // Ported onto the cnt-sweep pool: the per-device noise draws stay a
+    // single serial seeded pass (byte-identical stream), the per-device
+    // measurements run as independent pool jobs returned in device order —
+    // so the table is bit-identical to the serial measure() path at any
+    // --set threads value.
+    let draws = experiment.noise_draws(seed)?;
+    let indices: Vec<f64> = (0..draws.len()).map(|i| i as f64).collect();
+    let plan = SweepPlan::new("tlm.devices").axis(Axis::grid("device", &indices));
+    let data = Executor::new(ctx.usize("threads")).run(&plan, seed, |job, _| {
+        let i = job.get_usize("device").expect("axis exists");
+        Ok::<_, crate::Error>(experiment.measurement(i, draws[i]))
+    })?;
+    let fit = fit_tlm(&data)?;
 
     let mut rep = Report::new("tlm", TLM_TITLE).with_columns(&["L_um", "R_kohm"]);
     for (l, r) in &data {
@@ -178,23 +190,60 @@ fn selfheat_with(ctx: &RunContext) -> Result<Report> {
     let j = CurrentDensity::from_amps_per_square_centimeter(ctx.f64("j_ma_cm2") * 1e6);
     let cnt = SelfHeatingLine::mwcnt(length, j);
     let cu = SelfHeatingLine::copper(length, j);
-    let profile_cnt = cnt.analytic_profile(101)?;
-    let profile_cu = cu.analytic_profile(101)?;
-    let scan = SthmInstrument::nanoprobe().scan(&profile_cnt, ctx.u64("seed"))?;
+    cnt.validate()?;
+    cu.validate()?;
+    let threads = ctx.usize("threads");
+    let seed = ctx.u64("seed");
+
+    // Ported onto the cnt-sweep pool: the closed-form profile points and
+    // the SThM probe convolution are independent per position, so they run
+    // as pool jobs returned in position order (bit-identical to the serial
+    // analytic_profile/scan path at any --set threads value); the scan's
+    // read-out noise stays one serial seeded pass, exactly as scan() draws
+    // it.
+    const N_PROFILE: usize = 101;
+    let l = length.meters();
+    let row_ids: Vec<f64> = (0..N_PROFILE).map(|i| i as f64).collect();
+    let plan = SweepPlan::new("selfheat.profile").axis(Axis::grid("i", &row_ids));
+    let profile_rows = Executor::new(threads).run(&plan, seed, |job, _| {
+        let i = job.get_usize("i").expect("axis exists");
+        let x = l * i as f64 / (N_PROFILE - 1) as f64;
+        Ok::<_, crate::Error>([
+            x,
+            cnt.ambient.kelvin() + cnt.theta_at(x),
+            cu.ambient.kelvin() + cu.theta_at(x),
+        ])
+    })?;
+    let profile_cnt = TemperatureProfile {
+        position_m: profile_rows.iter().map(|r| r[0]).collect(),
+        temperature_k: profile_rows.iter().map(|r| r[1]).collect(),
+    };
+
+    let instrument = SthmInstrument::nanoprobe();
+    let positions = instrument.pixel_positions(&profile_cnt);
+    let pix_ids: Vec<f64> = (0..positions.len()).map(|p| p as f64).collect();
+    let scan_plan = SweepPlan::new("selfheat.sthm").axis(Axis::grid("pixel", &pix_ids));
+    let probe = Executor::new(threads).run(&scan_plan, seed, |job, _| {
+        let p = job.get_usize("pixel").expect("axis exists");
+        Ok::<_, crate::Error>(instrument.probe_temperature(&profile_cnt, positions[p]))
+    })?;
+    // The instrument owns the noise model: one serial seeded pass, as in
+    // SthmInstrument::scan.
+    let scan = instrument.apply_readout_noise(positions, &probe, seed);
 
     let mut rep =
         Report::new("selfheat", SELFHEAT_TITLE).with_columns(&["x_um", "T_cnt_K", "T_cu_K"]);
-    for (i, &x) in profile_cnt.position_m.iter().enumerate() {
-        rep.push_row(vec![
-            x * 1e6,
-            profile_cnt.temperature_k[i],
-            profile_cu.temperature_k[i],
-        ]);
+    for row in &profile_rows {
+        rep.push_row(vec![row[0] * 1e6, row[1], row[2]]);
     }
+    let peak_cu = profile_rows
+        .iter()
+        .map(|r| r[2])
+        .fold(f64::NEG_INFINITY, f64::max);
     rep.note(format!(
         "peak ΔT: CNT {:.2} K vs Cu {:.2} K — 'heat diffuses more efficiently through CNT vias'",
         profile_cnt.peak().kelvin() - 300.0,
-        profile_cu.peak().kelvin() - 300.0
+        peak_cu - 300.0
     ));
     let fit = extract_thermal_conductivity(&cnt, &scan, 100.0, 100_000.0)?;
     rep.note(format!(
@@ -233,6 +282,25 @@ mod tests {
         let stretched = fig02d_with(&long).unwrap();
         let peak = |r: &Report| r.column("I_pristine_uA").unwrap().last().unwrap().abs();
         assert!(peak(&stretched) < peak(&base));
+    }
+
+    #[test]
+    fn ported_tlm_and_selfheat_bit_identical_across_thread_counts() {
+        let at_threads = |run: fn(&RunContext) -> Result<Report>, spec: &ParamSpec, t: &str| {
+            let ctx = RunContext::with_overrides(spec, &[("threads".to_string(), t.to_string())])
+                .unwrap();
+            run(&ctx).unwrap().render()
+        };
+        for (run, spec) in [
+            (tlm_with as fn(&RunContext) -> Result<Report>, tlm_spec()),
+            (selfheat_with, selfheat_spec()),
+        ] {
+            let serial = at_threads(run, &spec, "1");
+            let par = at_threads(run, &spec, "8");
+            assert_eq!(serial, par, "pool port changed output across thread counts");
+            let default = run(&RunContext::defaults(&spec)).unwrap().render();
+            assert_eq!(serial, default);
+        }
     }
 
     #[test]

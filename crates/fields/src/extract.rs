@@ -7,7 +7,7 @@
 //! the per-cell current density exposes the hot spots the paper highlights
 //! in Fig. 10b.
 
-use crate::solver::{SolverOptions, StencilSystem};
+use crate::solver::{SolveWorkspace, SolverOptions, StencilSystem};
 use crate::structure::Structure;
 use crate::{Error, Result};
 use cnt_units::si::{Capacitance, Current, Resistance, Voltage};
@@ -124,13 +124,16 @@ pub fn extract_capacitance(
     let node_cond = structure.node_conductor();
 
     let mut matrix = vec![vec![0.0; n_cond]; n_cond];
+    // One excitation per conductor: share the CG scratch buffers across
+    // the whole loop instead of reallocating five grid vectors per solve.
+    let mut workspace = SolveWorkspace::new();
     for (drive, row) in matrix.iter_mut().enumerate() {
         let dirichlet: Vec<Option<f64>> = node_cond
             .iter()
             .map(|c| c.map(|id| if id as usize == drive { 1.0 } else { 0.0 }))
             .collect();
         let sys = StencilSystem::assemble(grid, coeff, dirichlet);
-        let psi = sys.solve(options)?;
+        let psi = sys.solve_with(options, &mut workspace)?;
         let flux = sys.node_flux(&psi);
         for (idx, c) in node_cond.iter().enumerate() {
             if let Some(id) = c {

@@ -1,11 +1,14 @@
 //! A minimal HTTP/1.1 request parser and response writer over blocking
 //! streams.
 //!
-//! Exactly what the four `/v1` routes need, nothing more: one request per
-//! connection (`Connection: close` on every response; keep-alive is a
-//! listed follow-up), `Content-Length` bodies only (no chunked transfer),
-//! and hard caps on head and body size so a misbehaving client cannot
-//! balloon a worker. Anything outside that subset is answered with a
+//! Exactly what the `/v1` routes need, nothing more: `Content-Length`
+//! bodies only (no chunked transfer) and hard caps on head and body size
+//! so a misbehaving client cannot balloon a worker. Connections are
+//! persistent by HTTP/1.1 default — the server loop serves requests
+//! back-to-back (pipelined bytes included, since they sit in the same
+//! buffered reader) until the client sends `Connection: close`, an
+//! HTTP/1.0 client omits `Connection: keep-alive`, or the idle timeout
+//! expires. Anything outside that subset is answered with a
 //! `400`/`405`/`413` by the server loop rather than a hang.
 
 use std::io::{BufRead, Write};
@@ -22,6 +25,8 @@ pub struct Request {
     pub method: String,
     /// The request target's path component (any `?query` is split off).
     pub path: String,
+    /// Whether the request line carried `HTTP/1.1` (vs `HTTP/1.0`).
+    pub http11: bool,
     /// Header `(name, value)` pairs; names lower-cased.
     pub headers: Vec<(String, String)>,
     /// The raw body (empty when no `Content-Length` was sent).
@@ -35,6 +40,26 @@ impl Request {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to keep the connection open: HTTP/1.1
+    /// defaults to persistent unless `Connection: close`; HTTP/1.0 is
+    /// persistent only with an explicit `Connection: keep-alive`. The
+    /// `Connection` header is treated as a comma-separated token list,
+    /// case-insensitively, and a `close` token wins for either version
+    /// (RFC 7230 §6.1).
+    pub fn wants_keep_alive(&self) -> bool {
+        let has_token = |token: &str| {
+            self.header("connection").is_some_and(|v| {
+                v.split(',')
+                    .any(|part| part.trim().eq_ignore_ascii_case(token))
+            })
+        };
+        if has_token("close") {
+            false
+        } else {
+            self.http11 || has_token("keep-alive")
+        }
     }
 }
 
@@ -72,6 +97,7 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, RequestError> 
             "unsupported protocol '{version}'"
         )));
     }
+    let http11 = version == "HTTP/1.1";
     let method = method.to_string();
     let path = target.split('?').next().unwrap_or(target).to_string();
 
@@ -103,6 +129,7 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, RequestError> 
     Ok(Request {
         method,
         path,
+        http11,
         headers,
         body,
     })
@@ -160,18 +187,31 @@ impl Response {
         }
     }
 
-    /// Serializes head and body onto `out` (`Connection: close` always).
+    /// Serializes head and body onto `out` with `Connection: close` (the
+    /// single-shot paths: backpressure `503`s, parse-error responses).
     ///
     /// # Errors
     ///
     /// Propagates the stream's I/O error.
     pub fn write_to(&self, out: &mut impl Write) -> std::io::Result<()> {
+        self.write_to_with(out, false)
+    }
+
+    /// Serializes head and body onto `out`, advertising the connection's
+    /// fate: `Connection: keep-alive` when the server will serve another
+    /// request on this stream, `Connection: close` otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the stream's I/O error.
+    pub fn write_to_with(&self, out: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             reason(self.status),
             self.content_type,
-            self.body.len()
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
         );
         if let Some(seconds) = self.retry_after {
             head.push_str(&format!("Retry-After: {seconds}\r\n"));
@@ -246,6 +286,48 @@ mod tests {
         assert!(matches!(parse(&huge), Err(RequestError::TooLarge(_))));
         let truncated = "POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort";
         assert!(matches!(parse(truncated), Err(RequestError::Io(_))));
+    }
+
+    #[test]
+    fn keep_alive_follows_version_and_connection_header() {
+        let keep = |raw: &str| parse(raw).unwrap().wants_keep_alive();
+        // HTTP/1.1: persistent by default, closed on request.
+        assert!(keep("GET /v1/healthz HTTP/1.1\r\n\r\n"));
+        assert!(!keep(
+            "GET /v1/healthz HTTP/1.1\r\nConnection: close\r\n\r\n"
+        ));
+        assert!(!keep(
+            "GET /v1/healthz HTTP/1.1\r\nConnection: CLOSE\r\n\r\n"
+        ));
+        assert!(!keep(
+            "GET /v1/healthz HTTP/1.1\r\nConnection: foo, Close\r\n\r\n"
+        ));
+        // HTTP/1.0: closed by default, persistent on request.
+        assert!(!keep("GET /v1/healthz HTTP/1.0\r\n\r\n"));
+        assert!(keep(
+            "GET /v1/healthz HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n"
+        ));
+        // close wins over keep-alive for either version (RFC 7230 §6.1).
+        assert!(!keep(
+            "GET /v1/healthz HTTP/1.0\r\nConnection: keep-alive, close\r\n\r\n"
+        ));
+        assert!(!keep(
+            "GET /v1/healthz HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n"
+        ));
+        let req = parse("GET /x HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!req.http11);
+        assert!(parse("GET /x HTTP/1.1\r\n\r\n").unwrap().http11);
+    }
+
+    #[test]
+    fn keep_alive_response_advertises_it() {
+        let mut out = Vec::new();
+        Response::json(200, "{}\n".to_string())
+            .write_to_with(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        assert!(!text.contains("Connection: close"), "{text}");
     }
 
     #[test]

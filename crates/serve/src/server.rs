@@ -26,7 +26,7 @@ use cnt_interconnect::experiments::{self, Experiment, Params, Report, RunContext
 use cnt_sweep::seed::fnv1a;
 use cnt_sweep::WorkerPool;
 use std::collections::HashMap;
-use std::io::{BufReader, Write};
+use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -57,6 +57,15 @@ pub struct Config {
     /// writing its response. A per-*request* deadline, not a per-read
     /// socket timeout: a slow-drip client cannot pin a worker past it.
     pub request_deadline: Duration,
+    /// How long a kept-alive connection may sit idle between requests
+    /// before the worker closes it. Deliberately much shorter than
+    /// `request_deadline`: a parked connection occupies a pool worker, so
+    /// idle keep-alive must not become a slot leak.
+    pub keep_alive_idle: Duration,
+    /// Requests served per connection before the server closes it anyway
+    /// (bounds how long one client can monopolize a worker). `0` disables
+    /// keep-alive entirely.
+    pub max_requests_per_connection: usize,
     /// Also stop on `SIGINT`/`SIGTERM` (the `repro serve` front end
     /// installs the handlers via [`signal::install`]).
     pub watch_signals: bool,
@@ -70,6 +79,8 @@ impl Default for Config {
             queue_capacity: 64,
             cache_capacity: 256,
             request_deadline: Duration::from_secs(30),
+            keep_alive_idle: Duration::from_secs(5),
+            max_requests_per_connection: 100,
             watch_signals: false,
         }
     }
@@ -114,7 +125,8 @@ impl Write for DeadlineStream {
     }
 }
 
-/// Monotonic counters the scheduler maintains (served by `/v1/healthz`).
+/// Monotonic counters the scheduler maintains (served by `/v1/healthz`
+/// and scraped through `/v1/metrics`).
 #[derive(Debug, Default)]
 struct Stats {
     /// Requests a worker started parsing.
@@ -123,10 +135,16 @@ struct Stats {
     runs: AtomicU64,
     /// Run requests served straight from the LRU cache.
     cache_hits: AtomicU64,
+    /// Run requests that missed the LRU cache (leader runs + coalesced
+    /// waiters alike).
+    cache_misses: AtomicU64,
     /// Run requests that attached to an in-flight computation.
     coalesced: AtomicU64,
     /// Connections bounced with `503` because the queue was full.
     rejected: AtomicU64,
+    /// Requests served on an already-open keep-alive connection (i.e.
+    /// requests beyond the first per connection).
+    keepalive_reuses: AtomicU64,
 }
 
 /// A point-in-time copy of the scheduler counters.
@@ -138,10 +156,14 @@ pub struct StatsSnapshot {
     pub runs: u64,
     /// Run requests served straight from the LRU cache.
     pub cache_hits: u64,
+    /// Run requests that missed the LRU cache.
+    pub cache_misses: u64,
     /// Run requests that attached to an in-flight computation.
     pub coalesced: u64,
     /// Connections bounced with `503` because the queue was full.
     pub rejected: u64,
+    /// Requests served on an already-open keep-alive connection.
+    pub keepalive_reuses: u64,
 }
 
 /// One in-flight computation; waiters park on the condvar and read the
@@ -161,6 +183,8 @@ struct Shared {
     workers: usize,
     queue_capacity: usize,
     request_deadline: Duration,
+    keep_alive_idle: Duration,
+    max_requests_per_connection: usize,
 }
 
 /// The bound-but-not-yet-serving server.
@@ -222,6 +246,8 @@ impl Server {
             workers: pool.threads(),
             queue_capacity: config.queue_capacity,
             request_deadline: config.request_deadline,
+            keep_alive_idle: config.keep_alive_idle,
+            max_requests_per_connection: config.max_requests_per_connection,
         });
         Ok(Self {
             listener,
@@ -287,6 +313,11 @@ impl Server {
         if stream.set_nonblocking(false).is_err() {
             return;
         }
+        // Responses are written head-then-body; without TCP_NODELAY that
+        // second small segment sits behind Nagle + the client's delayed
+        // ACK (~40 ms per exchange on loopback, dwarfing the kernel time
+        // on keep-alive round-trips).
+        let _ = stream.set_nodelay(true);
         // A dup'd handle stays usable for the 503 path if the original
         // moves into a job the queue then refuses.
         let fallback = stream.try_clone();
@@ -317,27 +348,65 @@ impl Server {
     }
 }
 
-/// Parses one request off the wire, routes it, writes the response.
+/// Serves one connection: requests back-to-back while the client keeps
+/// the connection alive, each under its own read/write deadline, until
+/// `Connection: close`, the per-connection request cap, an idle timeout,
+/// or a parse error ends it. Pipelined requests already sitting in the
+/// buffered reader are served without waiting.
 fn handle_connection(stream: TcpStream, shared: &Shared) {
     let mut reader = BufReader::new(DeadlineStream {
         stream,
         deadline: Instant::now() + shared.request_deadline,
     });
-    let response = match http::read_request(&mut reader) {
-        Ok(request) => {
-            shared.stats.requests.fetch_add(1, Ordering::Relaxed);
-            route(&request, shared)
+    let mut served = 0usize;
+    loop {
+        let (response, keep_alive) = match http::read_request(&mut reader) {
+            Ok(request) => {
+                shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+                if served > 0 {
+                    shared
+                        .stats
+                        .keepalive_reuses
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                // A kept-alive connection parks on a pool worker between
+                // requests, so reuse is bounded two ways: a short idle
+                // window and a hard per-connection request cap.
+                let keep =
+                    request.wants_keep_alive() && served + 1 < shared.max_requests_per_connection;
+                (route(&request, shared), keep)
+            }
+            Err(RequestError::Malformed(message)) => {
+                (Response::json(400, api::error_json(&message)), false)
+            }
+            Err(RequestError::TooLarge(message)) => {
+                (Response::json(413, api::error_json(&message)), false)
+            }
+            Err(RequestError::Io(_)) => return, // died or idled out; nobody to answer
+        };
+        // The computation does not count against the request's read
+        // budget: the response write gets a fresh deadline of its own.
+        let stream = reader.get_mut();
+        stream.deadline = Instant::now() + shared.request_deadline;
+        if response.write_to_with(stream, keep_alive).is_err() {
+            return;
         }
-        Err(RequestError::Malformed(message)) => Response::json(400, api::error_json(&message)),
-        Err(RequestError::TooLarge(message)) => Response::json(413, api::error_json(&message)),
-        Err(RequestError::Io(_)) => return, // connection died; nobody to answer
-    };
-    // The computation does not count against the request's read budget:
-    // the response write gets a fresh deadline of its own.
-    let stream = reader.get_mut();
-    stream.deadline = Instant::now() + shared.request_deadline;
-    let _ = response.write_to(stream);
-    let _ = stream.flush();
+        let _ = stream.flush();
+        if !keep_alive {
+            return;
+        }
+        served += 1;
+        // The short idle budget covers only the wait for the next
+        // request's first byte (pipelined bytes already buffered satisfy
+        // it immediately); once data is in hand, reading the request gets
+        // the full per-request deadline like the first one did.
+        reader.get_mut().deadline = Instant::now() + shared.keep_alive_idle;
+        match reader.fill_buf() {
+            Ok([]) => return, // client closed cleanly between requests
+            Ok(_) => reader.get_mut().deadline = Instant::now() + shared.request_deadline,
+            Err(_) => return, // idled out or died; nobody to answer
+        }
+    }
 }
 
 /// The `/v1` router.
@@ -346,6 +415,12 @@ fn route(request: &Request, shared: &Shared) -> Response {
     let method = request.method.as_str();
     match (method, path) {
         ("GET", "/v1/healthz") => Response::json(200, healthz_json(shared)),
+        ("GET", "/v1/metrics") => Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            retry_after: None,
+            body: metrics_text(shared),
+        },
         ("GET", "/v1/experiments") => Response::json(200, api::catalog_json()),
         _ => {
             if let Some(rest) = path.strip_prefix("/v1/experiments/") {
@@ -371,7 +446,7 @@ fn route(request: &Request, shared: &Shared) -> Response {
 
 /// `405` for a known path with the wrong method, `404` otherwise.
 fn method_or_route_miss(method: &str, path: &str) -> Response {
-    let known = matches!(path, "/v1/healthz" | "/v1/experiments")
+    let known = matches!(path, "/v1/healthz" | "/v1/metrics" | "/v1/experiments")
         || (path.starts_with("/v1/experiments/")
             && !path.trim_start_matches("/v1/experiments/").contains('/'))
         || (path.starts_with("/v1/experiments/") && path.ends_with("/run"));
@@ -410,6 +485,7 @@ fn run_route(id: &str, request: &Request, shared: &Shared) -> Response {
         shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
         return ok_response(hit);
     }
+    shared.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
 
     // Coalesce: one leader computes, identical concurrent requests wait.
     let (flight, leader) = {
@@ -507,15 +583,21 @@ fn request_key(id: &str, format: OutputFormat, params: &Params) -> u64 {
     fnv1a(&bytes)
 }
 
-/// The `/v1/healthz` body: liveness plus the scheduler counters.
-fn healthz_json(shared: &Shared) -> String {
-    let stats = StatsSnapshot {
+fn snapshot(shared: &Shared) -> StatsSnapshot {
+    StatsSnapshot {
         requests: shared.stats.requests.load(Ordering::Relaxed),
         runs: shared.stats.runs.load(Ordering::Relaxed),
         cache_hits: shared.stats.cache_hits.load(Ordering::Relaxed),
+        cache_misses: shared.stats.cache_misses.load(Ordering::Relaxed),
         coalesced: shared.stats.coalesced.load(Ordering::Relaxed),
         rejected: shared.stats.rejected.load(Ordering::Relaxed),
-    };
+        keepalive_reuses: shared.stats.keepalive_reuses.load(Ordering::Relaxed),
+    }
+}
+
+/// The `/v1/healthz` body: liveness plus the scheduler counters.
+fn healthz_json(shared: &Shared) -> String {
+    let stats = snapshot(shared);
     let cached = shared.cache.lock().expect("cache poisoned").len();
     format!(
         "{{\"status\":\"ok\",\"experiments\":{},\"workers\":{},\"queue_capacity\":{},\"cached_bodies\":{},\"requests\":{},\"runs\":{},\"cache_hits\":{},\"coalesced\":{},\"rejected\":{}}}\n",
@@ -529,6 +611,75 @@ fn healthz_json(shared: &Shared) -> String {
         stats.coalesced,
         stats.rejected,
     )
+}
+
+/// The `GET /v1/metrics` body: every scheduler/cache counter in the
+/// Prometheus text exposition format (one `name value` sample per line,
+/// `# TYPE` annotations). A superset of the healthz counters — it adds
+/// the LRU miss and keep-alive reuse totals and the gauges a scraper
+/// wants alongside them.
+fn metrics_text(shared: &Shared) -> String {
+    let stats = snapshot(shared);
+    let cached = shared.cache.lock().expect("cache poisoned").len();
+    let mut out = String::with_capacity(1024);
+    let mut counter = |name: &str, help: &str, value: u64| {
+        out.push_str(&format!(
+            "# HELP cnt_serve_{name} {help}\n# TYPE cnt_serve_{name} counter\ncnt_serve_{name} {value}\n",
+        ));
+    };
+    counter(
+        "requests_total",
+        "requests a worker started parsing",
+        stats.requests,
+    );
+    counter(
+        "runs_total",
+        "kernel computations actually performed",
+        stats.runs,
+    );
+    counter(
+        "cache_hits_total",
+        "run requests served straight from the LRU body cache",
+        stats.cache_hits,
+    );
+    counter(
+        "cache_misses_total",
+        "run requests that missed the LRU body cache",
+        stats.cache_misses,
+    );
+    counter(
+        "coalesced_total",
+        "run requests that attached to an in-flight computation",
+        stats.coalesced,
+    );
+    counter(
+        "rejected_total",
+        "connections bounced with 503 because the queue was full",
+        stats.rejected,
+    );
+    counter(
+        "keepalive_reuses_total",
+        "requests served on an already-open keep-alive connection",
+        stats.keepalive_reuses,
+    );
+    let mut gauge = |name: &str, help: &str, value: u64| {
+        out.push_str(&format!(
+            "# HELP cnt_serve_{name} {help}\n# TYPE cnt_serve_{name} gauge\ncnt_serve_{name} {value}\n",
+        ));
+    };
+    gauge("cached_bodies", "bodies resident in the LRU", cached as u64);
+    gauge("workers", "pool worker threads", shared.workers as u64);
+    gauge(
+        "queue_capacity",
+        "admission queue capacity",
+        shared.queue_capacity as u64,
+    );
+    gauge(
+        "experiments",
+        "experiments in the registry",
+        experiments::catalog().count() as u64,
+    );
+    out
 }
 
 #[cfg(test)]

@@ -503,6 +503,169 @@ fn a_slow_drip_client_is_cut_off_at_the_request_deadline() {
     thread.join().unwrap();
 }
 
+/// Reads one `Content-Length`-framed response off a kept-alive stream.
+fn read_framed(reader: &mut std::io::BufReader<TcpStream>) -> (u16, Vec<(String, String)>, String) {
+    use std::io::BufRead;
+    let mut head = String::new();
+    loop {
+        let mut line = String::new();
+        assert!(reader.read_line(&mut line).expect("read head") > 0, "EOF");
+        if line == "\r\n" || line == "\n" {
+            break;
+        }
+        head.push_str(&line);
+    }
+    let mut lines = head.lines();
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    let len: usize = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse().ok())
+        .expect("content-length");
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body).expect("read body");
+    (status, headers, String::from_utf8(body).expect("utf-8"))
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let (addr, handle, thread) = start(Server::bind(config()).unwrap());
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = std::io::BufReader::new(stream);
+
+    // Three requests back-to-back on the same connection; the first two
+    // are advertised keep-alive, the final Connection: close ends it.
+    for round in 0..3 {
+        let closing = round == 2;
+        let conn = if closing { "close" } else { "keep-alive" };
+        write!(
+            writer,
+            "GET /v1/healthz HTTP/1.1\r\nHost: t\r\nConnection: {conn}\r\n\r\n"
+        )
+        .expect("send");
+        let (status, headers, body) = read_framed(&mut reader);
+        assert_eq!(status, 200);
+        assert!(body.starts_with("{\"status\":\"ok\""), "{body}");
+        let advertised = headers
+            .iter()
+            .find(|(n, _)| n == "connection")
+            .map(|(_, v)| v.as_str())
+            .expect("connection header");
+        assert_eq!(advertised, if closing { "close" } else { "keep-alive" });
+    }
+    // After Connection: close the server really hangs up.
+    let mut rest = String::new();
+    assert_eq!(reader.read_to_string(&mut rest).expect("EOF"), 0);
+
+    // The reuse counter saw the two follow-up requests.
+    let (status, _, metrics) = http(addr, "GET", "/v1/metrics", "");
+    assert_eq!(status, 200);
+    let reuses = metrics
+        .lines()
+        .find(|l| l.starts_with("cnt_serve_keepalive_reuses_total "))
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|v| v.parse::<u64>().ok())
+        .expect("reuse counter");
+    assert_eq!(reuses, 2, "{metrics}");
+
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
+#[test]
+fn http10_closes_by_default_and_keeps_alive_on_request() {
+    let (addr, handle, thread) = start(Server::bind(config()).unwrap());
+
+    // Plain HTTP/1.0: one response, then EOF.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    write!(stream, "GET /v1/healthz HTTP/1.0\r\nHost: t\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(raw.contains("Connection: close"), "{raw}");
+
+    // HTTP/1.0 with an explicit keep-alive is honoured.
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = std::io::BufReader::new(stream);
+    write!(
+        writer,
+        "GET /v1/healthz HTTP/1.0\r\nHost: t\r\nConnection: keep-alive\r\n\r\n"
+    )
+    .unwrap();
+    let (status, headers, _) = read_framed(&mut reader);
+    assert_eq!(status, 200);
+    assert!(headers
+        .iter()
+        .any(|(n, v)| n == "connection" && v == "keep-alive"));
+    // A second request still works on the same socket.
+    write!(writer, "GET /v1/healthz HTTP/1.0\r\nHost: t\r\n\r\n").unwrap();
+    let (status, _, _) = read_framed(&mut reader);
+    assert_eq!(status, 200);
+
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
+#[test]
+fn metrics_scrape_exposes_cache_and_scheduler_counters() {
+    let (addr, handle, thread) = start(Server::bind(config()).unwrap());
+
+    // One run = one miss; its repeat = one hit.
+    let (status, _) = post(addr, "/v1/experiments/fig01/run", "{}");
+    assert_eq!(status, 200);
+    let (status, _) = post(addr, "/v1/experiments/fig01/run", "{}");
+    assert_eq!(status, 200);
+
+    let (status, headers, metrics) = http(addr, "GET", "/v1/metrics", "");
+    assert_eq!(status, 200);
+    assert!(headers
+        .iter()
+        .any(|(n, v)| n == "content-type" && v.starts_with("text/plain")));
+    let sample = |name: &str| -> u64 {
+        metrics
+            .lines()
+            .find(|l| l.starts_with(&format!("cnt_serve_{name} ")))
+            .and_then(|l| l.split(' ').nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("no sample {name} in {metrics}"))
+    };
+    assert_eq!(sample("runs_total"), 1);
+    assert_eq!(sample("cache_misses_total"), 1);
+    assert_eq!(sample("cache_hits_total"), 1);
+    assert_eq!(sample("coalesced_total"), 0);
+    assert_eq!(sample("cached_bodies"), 1);
+    assert_eq!(sample("workers"), 4);
+    assert_eq!(sample("experiments"), experiments::catalog().count() as u64);
+    assert!(metrics.contains("# TYPE cnt_serve_requests_total counter"));
+    assert!(metrics.contains("# TYPE cnt_serve_cached_bodies gauge"));
+
+    // Wrong method on the metrics route is a 405, unknown route a 404.
+    let (status, _, _) = http(addr, "POST", "/v1/metrics", "");
+    assert_eq!(status, 405);
+
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
 #[test]
 fn registry_snapshot_sanity() {
     // The e2e suite leans on these ids; fail loudly if the registry moves.

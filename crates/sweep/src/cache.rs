@@ -225,6 +225,70 @@ pub fn gc(dir: &Path, max_bytes: u64) -> Result<GcStats> {
     })
 }
 
+/// Evicts every cache entry older than `max_age` (by mtime), regardless
+/// of total size — the time-based twin of [`gc`]. Useful for bounding
+/// staleness instead of footprint: entries for retired code versions stop
+/// being read (their salt changed) but would survive a size-capped pass
+/// forever on a quiet cache.
+///
+/// # Errors
+///
+/// Returns [`Error::Io`] when the directory exists but cannot be listed.
+pub fn gc_by_age(dir: &Path, max_age: std::time::Duration) -> Result<GcStats> {
+    gc_by_age_at(dir, max_age, SystemTime::now())
+}
+
+/// [`gc_by_age`] against an explicit "now" — the testable core (unit
+/// tests feed synthetic mtimes and a pinned clock).
+pub fn gc_by_age_at(dir: &Path, max_age: std::time::Duration, now: SystemTime) -> Result<GcStats> {
+    let cutoff = now.checked_sub(max_age).unwrap_or(SystemTime::UNIX_EPOCH);
+    let listing = match std::fs::read_dir(dir) {
+        Ok(listing) => listing,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(GcStats {
+                scanned: 0,
+                evicted: 0,
+                bytes_before: 0,
+                bytes_after: 0,
+            })
+        }
+        Err(e) => {
+            return Err(Error::Io {
+                path: dir.display().to_string(),
+                message: e.to_string(),
+            })
+        }
+    };
+    let mut scanned = 0usize;
+    let mut evicted = 0usize;
+    let mut bytes_before = 0u64;
+    let mut bytes_after = 0u64;
+    for entry in listing.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let Ok(meta) = entry.metadata() else { continue };
+        let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+        scanned += 1;
+        bytes_before += meta.len();
+        // Strictly older than the cutoff: an entry exactly max_age old
+        // survives, so --max-age 0 is "evict only strictly-past entries",
+        // not "empty the cache" (use --max-bytes 0 for that).
+        if mtime < cutoff && (std::fs::remove_file(&path).is_ok() || !path.exists()) {
+            evicted += 1;
+        } else {
+            bytes_after += meta.len();
+        }
+    }
+    Ok(GcStats {
+        scanned,
+        evicted,
+        bytes_before,
+        bytes_after,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,6 +382,53 @@ mod tests {
         let stats = gc(&dir, 0).unwrap();
         assert_eq!((stats.scanned, stats.evicted), (0, 0));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_by_age_evicts_only_entries_past_the_cutoff() {
+        use std::time::Duration;
+        let dir = tmp_dir("gc-age");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Synthetic mtimes: 1000 s, 1100 s, 1200 s after the epoch.
+        for (i, name) in ["old", "mid", "new"].iter().enumerate() {
+            let path = dir.join(format!("{name}.json"));
+            std::fs::write(&path, [b'x'; 50]).unwrap();
+            let mtime = SystemTime::UNIX_EPOCH + Duration::from_secs(1000 + 100 * i as u64);
+            let file = std::fs::File::options().write(true).open(&path).unwrap();
+            file.set_modified(mtime).unwrap();
+        }
+        std::fs::write(dir.join("README.txt"), "keep me").unwrap();
+
+        // Clock pinned at t = 1250 s; max age 100 s ⇒ cutoff 1150 s:
+        // "old" (1000) and "mid" (1100) go, "new" (1200) stays.
+        let now = SystemTime::UNIX_EPOCH + Duration::from_secs(1250);
+        let stats = gc_by_age_at(&dir, Duration::from_secs(100), now).unwrap();
+        assert_eq!(stats.scanned, 3);
+        assert_eq!(stats.evicted, 2);
+        assert_eq!(stats.bytes_before, 150);
+        assert_eq!(stats.bytes_after, 50);
+        assert!(!dir.join("old.json").exists());
+        assert!(!dir.join("mid.json").exists());
+        assert!(dir.join("new.json").exists());
+        assert!(dir.join("README.txt").exists());
+
+        // An entry exactly at the cutoff survives (strict comparison).
+        let stats = gc_by_age_at(&dir, Duration::from_secs(50), now).unwrap();
+        assert_eq!(stats.evicted, 0, "1200 == cutoff 1200 must survive");
+        // A later clock takes it too; a second pass is a no-op.
+        let later = SystemTime::UNIX_EPOCH + Duration::from_secs(1301);
+        let stats = gc_by_age_at(&dir, Duration::from_secs(100), later).unwrap();
+        assert_eq!((stats.scanned, stats.evicted), (1, 1));
+        let stats = gc_by_age_at(&dir, Duration::from_secs(100), later).unwrap();
+        assert_eq!((stats.scanned, stats.evicted), (0, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_by_age_on_a_missing_directory_is_an_empty_pass() {
+        let dir = tmp_dir("gc-age-missing");
+        let stats = gc_by_age(&dir, std::time::Duration::from_secs(1)).unwrap();
+        assert_eq!((stats.scanned, stats.evicted), (0, 0));
     }
 
     #[test]

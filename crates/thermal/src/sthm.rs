@@ -63,6 +63,80 @@ impl SthmInstrument {
         Ok(())
     }
 
+    /// The number of scan pixels a truth profile produces.
+    pub fn pixel_count(&self, truth: &TemperatureProfile) -> usize {
+        let x0 = truth.position_m[0];
+        let x1 = *truth.position_m.last().expect("non-empty");
+        ((x1 - x0) / self.pixel_pitch).floor() as usize + 1
+    }
+
+    /// The scan's pixel positions for a truth profile, metres — exactly
+    /// the grid [`Self::scan`] samples.
+    pub fn pixel_positions(&self, truth: &TemperatureProfile) -> Vec<f64> {
+        let x0 = truth.position_m[0];
+        (0..self.pixel_count(truth))
+            .map(|p| x0 + p as f64 * self.pixel_pitch)
+            .collect()
+    }
+
+    /// Applies the seeded read-out noise to precomputed noise-free probe
+    /// readings — the serial tail of [`Self::scan`]. Callers that
+    /// evaluate [`Self::probe_temperature`] per pixel elsewhere (e.g. on
+    /// a thread pool) hand the results here so the instrument's noise
+    /// model keeps a single owner; one normal draw per pixel, pixel
+    /// order, matching `scan` exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two slices have different lengths.
+    pub fn apply_readout_noise(
+        &self,
+        position_m: Vec<f64>,
+        probe_temps_k: &[f64],
+        seed: u64,
+    ) -> TemperatureProfile {
+        assert_eq!(
+            position_m.len(),
+            probe_temps_k.len(),
+            "one probe reading per pixel"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let temperature_k = probe_temps_k
+            .iter()
+            .map(|t| t + rand_ext::normal(&mut rng, 0.0, self.noise_kelvin))
+            .collect();
+        TemperatureProfile {
+            position_m,
+            temperature_k,
+        }
+    }
+
+    /// The noise-free probe reading at position `x`: the discrete Gaussian
+    /// convolution of the truth profile with the probe response. This is
+    /// the per-pixel kernel of [`Self::scan`] — exposed so callers can
+    /// evaluate pixels independently (e.g. on a thread pool) and add the
+    /// serially-drawn read-out noise afterwards.
+    pub fn probe_temperature(&self, truth: &TemperatureProfile, x: f64) -> f64 {
+        // FWHM = 2·√(2·ln 2)·σ.
+        let sigma = self.probe_fwhm / (2.0 * (2.0 * (2.0_f64).ln()).sqrt());
+        let mut wsum = 0.0;
+        let mut tsum = 0.0;
+        for (xt, tt) in truth.position_m.iter().zip(&truth.temperature_k) {
+            let u = (xt - x) / sigma;
+            if u.abs() > 5.0 {
+                continue;
+            }
+            let w = (-0.5 * u * u).exp();
+            wsum += w;
+            tsum += w * tt;
+        }
+        if wsum > 0.0 {
+            tsum / wsum
+        } else {
+            truth.at(x)
+        }
+    }
+
     /// Scans a true temperature profile, returning the measured profile
     /// (probe-convolved, noisy, resampled at the pixel pitch).
     ///
@@ -77,36 +151,12 @@ impl SthmInstrument {
                 min: 2,
             });
         }
-        let mut rng = StdRng::seed_from_u64(seed);
-        let x0 = truth.position_m[0];
-        let x1 = *truth.position_m.last().expect("non-empty");
-        // FWHM = 2·√(2·ln 2)·σ.
-        let sigma = self.probe_fwhm / (2.0 * (2.0 * (2.0_f64).ln()).sqrt());
-        let n_pix = ((x1 - x0) / self.pixel_pitch).floor() as usize + 1;
-        let mut xs = Vec::with_capacity(n_pix);
-        let mut ts = Vec::with_capacity(n_pix);
-        for p in 0..n_pix {
-            let x = x0 + p as f64 * self.pixel_pitch;
-            // Discrete Gaussian convolution over the truth samples.
-            let mut wsum = 0.0;
-            let mut tsum = 0.0;
-            for (xt, tt) in truth.position_m.iter().zip(&truth.temperature_k) {
-                let u = (xt - x) / sigma;
-                if u.abs() > 5.0 {
-                    continue;
-                }
-                let w = (-0.5 * u * u).exp();
-                wsum += w;
-                tsum += w * tt;
-            }
-            let t_probe = if wsum > 0.0 { tsum / wsum } else { truth.at(x) };
-            xs.push(x);
-            ts.push(t_probe + rand_ext::normal(&mut rng, 0.0, self.noise_kelvin));
-        }
-        Ok(TemperatureProfile {
-            position_m: xs,
-            temperature_k: ts,
-        })
+        let xs = self.pixel_positions(truth);
+        let ts: Vec<f64> = xs
+            .iter()
+            .map(|&x| self.probe_temperature(truth, x))
+            .collect();
+        Ok(self.apply_readout_noise(xs, &ts, seed))
     }
 }
 
@@ -162,6 +212,20 @@ mod tests {
         let pn = narrow.scan(&t, 1).unwrap().peak().kelvin();
         let pw = wide.scan(&t, 1).unwrap().peak().kelvin();
         assert!(pw < pn, "wide probe reads a lower peak: {pw} vs {pn}");
+    }
+
+    #[test]
+    fn scan_equals_its_published_decomposition() {
+        // The pool-ported experiments rebuild a scan from
+        // pixel_positions + probe_temperature + apply_readout_noise;
+        // that decomposition must stay bit-identical to scan() itself.
+        let t = truth();
+        let inst = SthmInstrument::nanoprobe();
+        let xs = inst.pixel_positions(&t);
+        let probe: Vec<f64> = xs.iter().map(|&x| inst.probe_temperature(&t, x)).collect();
+        let composed = inst.apply_readout_noise(xs, &probe, 9);
+        let direct = inst.scan(&t, 9).unwrap();
+        assert_eq!(composed, direct);
     }
 
     #[test]

@@ -17,7 +17,8 @@
 //! | parallel sweep / Monte-Carlo engine | [`sweep`] | ensembles behind Figs. 5–7, 12, 13 |
 //! | compact models & experiments | [`interconnect`] | III.C, Figs. 9/12 |
 //! | experiment registry (trait catalog, typed params, JSON/CSV reports) | [`interconnect::experiments`] | every artefact |
-//! | HTTP experiment server (scheduling, coalescing, LRU result cache) | [`serve`] | every artefact, as a service |
+//! | HTTP experiment server (keep-alive, scheduling, coalescing, LRU result cache, `/v1/metrics`) | [`serve`] | every artefact, as a service |
+//! | benchmark harness (`repro bench`: kernel registry, `BENCH_*.json` perf trajectory) | `cnt-bench` | every hot path, measured |
 //!
 //! # Quickstart
 //!
@@ -46,9 +47,12 @@
 //! ensemble the paper actually measured with
 //! `cargo run -p cnt-bench --bin repro -- sweep fig12 --trials 1000`
 //! (deterministic for any `--threads` value; see `crates/sweep/README.md`),
-//! or keep the whole registry resident behind a JSON API with
-//! `repro serve` (byte-identical to the CLI per parameter point; see
-//! `crates/serve/README.md`).
+//! keep the whole registry resident behind a JSON API with
+//! `repro serve` (byte-identical to the CLI per parameter point,
+//! HTTP/1.1 keep-alive, Prometheus-style `/v1/metrics`; see
+//! `crates/serve/README.md`), or time every hot kernel with
+//! `repro bench [--quick]` (machine-readable `BENCH_*.json` trajectory;
+//! see `crates/bench/README.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
