@@ -20,7 +20,7 @@
 
 use cnt_atomistic::negf::DisorderedChain;
 use cnt_fields::grid::Grid3;
-use cnt_fields::solver::{SolveWorkspace, SolverOptions, StencilSystem};
+use cnt_fields::solver::{Method, SolveWorkspace, SolverOptions, StencilSystem};
 use cnt_interconnect::benchmark::{
     delay_ratio_grid, FIG12_CHANNEL_COUNTS, FIG12_DIAMETERS_NM, FIG12_LENGTHS_UM,
 };
@@ -45,6 +45,45 @@ pub struct BenchOpts {
     pub quick: bool,
     /// Run only kernels whose id contains this substring.
     pub filter: Option<String>,
+    /// Per-kernel worker-thread override for kernels that spin an
+    /// [`cnt_sweep::Executor`] (the `sweep.pool_*` family). Validated in
+    /// [`run`] like an experiment parameter.
+    pub threads: Option<usize>,
+    /// Per-kernel timed-iteration override (warmup is unchanged).
+    /// Validated in [`run`] like an experiment parameter.
+    pub iters: Option<usize>,
+}
+
+/// Per-kernel view of the run configuration, handed to kernel closures.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelCfg {
+    /// Smaller workloads and fewer iterations.
+    pub quick: bool,
+    /// Worker-thread override for pool-driven kernels.
+    pub threads: Option<usize>,
+    /// Timed-iteration override.
+    pub iters: Option<usize>,
+}
+
+/// What a kernel closure hands back: timing samples plus optional
+/// workload statistics.
+#[derive(Debug, Clone)]
+pub struct KernelRun {
+    /// One wall-time sample per timed iteration.
+    pub samples: Vec<Duration>,
+    /// Inner solver iterations per solve, for kernels that wrap an
+    /// iterative method — makes the CG-vs-MG-CG asymptotics visible in
+    /// the trajectory, not just the wall times.
+    pub solver_iterations: Option<u64>,
+}
+
+impl KernelRun {
+    fn timed(samples: Vec<Duration>) -> Self {
+        Self {
+            samples,
+            solver_iterations: None,
+        }
+    }
 }
 
 /// Timing summary of one kernel.
@@ -66,6 +105,8 @@ pub struct KernelStats {
     pub p90_s: f64,
     /// Mean iteration, seconds.
     pub mean_s: f64,
+    /// Inner solver iterations per solve, when the kernel reports them.
+    pub solver_iterations: Option<u64>,
 }
 
 /// One full bench run.
@@ -73,6 +114,16 @@ pub struct KernelStats {
 pub struct BenchReport {
     /// Whether this was a `--quick` run.
     pub quick: bool,
+    /// The `--threads` override in effect, if any — stamped into the
+    /// JSON so an overridden run can never masquerade as a standard
+    /// trajectory point.
+    pub threads_override: Option<usize>,
+    /// The `--iters` override in effect, if any (also stamped).
+    pub iters_override: Option<usize>,
+    /// The `--filter` in effect, if any — stamped for the same reason:
+    /// a filtered point covers only part of the registry and must not
+    /// gate as a standard trajectory point.
+    pub filter: Option<String>,
     /// `std::thread::available_parallelism` at run time.
     pub threads_available: usize,
     /// Wall-clock time of the run, seconds since the Unix epoch.
@@ -87,8 +138,22 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(512 + self.kernels.len() * 160);
         out.push_str(&format!(
-            "{{\"schema\":{BENCH_SCHEMA_VERSION},\"kind\":\"bench\",\"quick\":{},\"threads_available\":{},\"unix_time_s\":{},\"kernels\":[",
-            self.quick, self.threads_available, self.unix_time_s
+            "{{\"schema\":{BENCH_SCHEMA_VERSION},\"kind\":\"bench\",\"quick\":{}",
+            self.quick
+        ));
+        if let Some(t) = self.threads_override {
+            out.push_str(&format!(",\"threads_override\":{t}"));
+        }
+        if let Some(n) = self.iters_override {
+            out.push_str(&format!(",\"iters_override\":{n}"));
+        }
+        if let Some(f) = &self.filter {
+            out.push_str(",\"filter\":");
+            json_string(f, &mut out);
+        }
+        out.push_str(&format!(
+            ",\"threads_available\":{},\"unix_time_s\":{},\"kernels\":[",
+            self.threads_available, self.unix_time_s
         ));
         for (i, k) in self.kernels.iter().enumerate() {
             if i > 0 {
@@ -99,9 +164,13 @@ impl BenchReport {
             out.push_str(",\"title\":");
             json_string(k.title, &mut out);
             out.push_str(&format!(
-                ",\"warmup\":{},\"iterations\":{},\"min_s\":{},\"median_s\":{},\"p90_s\":{},\"mean_s\":{}}}",
+                ",\"warmup\":{},\"iterations\":{},\"min_s\":{},\"median_s\":{},\"p90_s\":{},\"mean_s\":{}",
                 k.warmup, k.iterations, k.min_s, k.median_s, k.p90_s, k.mean_s
             ));
+            if let Some(si) = k.solver_iterations {
+                out.push_str(&format!(",\"solver_iterations\":{si}"));
+            }
+            out.push('}');
         }
         out.push_str("]}");
         out
@@ -110,30 +179,48 @@ impl BenchReport {
     /// The human-readable table.
     pub fn render_text(&self) -> String {
         let mut out = format!(
-            "bench: {} kernel(s), {} mode, {} core(s) available\n",
+            "bench: {} kernel(s), {} mode, {} core(s) available{}{}\n",
             self.kernels.len(),
             if self.quick { "quick" } else { "full" },
-            self.threads_available
+            self.threads_available,
+            self.threads_override
+                .map(|t| format!(", --threads {t}"))
+                .unwrap_or_default(),
+            self.iters_override
+                .map(|n| format!(", --iters {n}"))
+                .unwrap_or_default(),
         );
+        let with_solver_col = self.kernels.iter().any(|k| k.solver_iterations.is_some());
         out.push_str(&format!(
-            "{:<28} {:>5} {:>12} {:>12} {:>12}\n",
+            "{:<28} {:>5} {:>12} {:>12} {:>12}",
             "kernel", "iters", "min", "median", "p90"
         ));
+        if with_solver_col {
+            out.push_str(&format!(" {:>8}", "slv-it"));
+        }
+        out.push('\n');
         for k in &self.kernels {
             out.push_str(&format!(
-                "{:<28} {:>5} {:>12} {:>12} {:>12}\n",
+                "{:<28} {:>5} {:>12} {:>12} {:>12}",
                 k.id,
                 k.iterations,
                 fmt_duration(k.min_s),
                 fmt_duration(k.median_s),
                 fmt_duration(k.p90_s)
             ));
+            if with_solver_col {
+                match k.solver_iterations {
+                    Some(si) => out.push_str(&format!(" {si:>8}")),
+                    None => out.push_str(&format!(" {:>8}", "-")),
+                }
+            }
+            out.push('\n');
         }
         out
     }
 }
 
-fn fmt_duration(seconds: f64) -> String {
+pub(crate) fn fmt_duration(seconds: f64) -> String {
     if seconds >= 1.0 {
         format!("{seconds:.3} s")
     } else if seconds >= 1e-3 {
@@ -163,21 +250,18 @@ pub struct Kernel {
     pub id: &'static str,
     /// One-line description of the workload.
     pub title: &'static str,
-    run: fn(quick: bool) -> Vec<Duration>,
+    run: fn(cfg: &KernelCfg) -> KernelRun,
 }
 
-/// Warmup/iteration counts for the two modes.
-fn budget(quick: bool) -> (usize, usize) {
-    if quick {
-        (1, 5)
-    } else {
-        (3, 15)
-    }
+/// Warmup/timed-iteration counts for the mode, honouring `--iters`.
+fn budget(cfg: &KernelCfg) -> (usize, usize) {
+    let (warmup, iters) = if cfg.quick { (1, 5) } else { (3, 15) };
+    (warmup, cfg.iters.unwrap_or(iters))
 }
 
-fn summarize(kernel: &Kernel, quick: bool, samples: Vec<Duration>) -> KernelStats {
-    let (warmup, _) = budget(quick);
-    let mut secs: Vec<f64> = samples.iter().map(Duration::as_secs_f64).collect();
+fn summarize(kernel: &Kernel, cfg: &KernelCfg, run: KernelRun) -> KernelStats {
+    let (warmup, _) = budget(cfg);
+    let mut secs: Vec<f64> = run.samples.iter().map(Duration::as_secs_f64).collect();
     secs.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
     let n = secs.len();
     let nearest_rank = |q: f64| secs[(((q * n as f64).ceil() as usize).max(1) - 1).min(n - 1)];
@@ -190,6 +274,7 @@ fn summarize(kernel: &Kernel, quick: bool, samples: Vec<Duration>) -> KernelStat
         median_s: nearest_rank(0.5),
         p90_s: nearest_rank(0.9),
         mean_s: secs.iter().sum::<f64>() / n as f64,
+        solver_iterations: run.solver_iterations,
     }
 }
 
@@ -218,6 +303,21 @@ pub fn kernels() -> Vec<Kernel> {
             run: bench_cg_large,
         },
         Kernel {
+            id: "fields.cg_xl",
+            title: "CG stencil solve, 33x33x129 grid (MG ablation reference)",
+            run: bench_cg_xl,
+        },
+        Kernel {
+            id: "fields.mg_large",
+            title: "MG-CG stencil solve, 13x13x33 grid",
+            run: bench_mg_large,
+        },
+        Kernel {
+            id: "fields.mg_xl",
+            title: "MG-CG stencil solve, 33x33x129 grid",
+            run: bench_mg_xl,
+        },
+        Kernel {
             id: "thermal.sthm_scan",
             title: "SThM probe convolution over a 401-point profile",
             run: bench_sthm_scan,
@@ -235,22 +335,22 @@ pub fn kernels() -> Vec<Kernel> {
         Kernel {
             id: "sweep.pool_t1",
             title: "Executor throughput, 32 jobs, 1 thread",
-            run: |quick| bench_pool(quick, 1),
+            run: |cfg| bench_pool(cfg, 1),
         },
         Kernel {
             id: "sweep.pool_t2",
             title: "Executor throughput, 32 jobs, 2 threads",
-            run: |quick| bench_pool(quick, 2),
+            run: |cfg| bench_pool(cfg, 2),
         },
         Kernel {
             id: "sweep.pool_t4",
             title: "Executor throughput, 32 jobs, 4 threads",
-            run: |quick| bench_pool(quick, 4),
+            run: |cfg| bench_pool(cfg, 4),
         },
         Kernel {
             id: "sweep.pool_t8",
             title: "Executor throughput, 32 jobs, 8 threads",
-            run: |quick| bench_pool(quick, 8),
+            run: |cfg| bench_pool(cfg, 8),
         },
         Kernel {
             id: "serve.roundtrip",
@@ -265,8 +365,35 @@ pub fn kernel_ids() -> Vec<&'static str> {
     kernels().iter().map(|k| k.id).collect()
 }
 
-/// Runs the registry (honouring the filter) and summarizes.
-pub fn run(opts: &BenchOpts) -> BenchReport {
+/// Validates the `--threads` / `--iters` overrides the same way the
+/// experiment registry validates `--set` values: out-of-range knobs are
+/// rejected with the canonical
+/// [`cnt_interconnect::Error::InvalidOverride`] before anything runs.
+fn validate(opts: &BenchOpts) -> Result<(), cnt_interconnect::Error> {
+    let check = |key: &str, value: Option<usize>, max: usize| match value {
+        Some(v) if v < 1 || v > max => Err(cnt_interconnect::Error::InvalidOverride {
+            key: key.to_string(),
+            reason: format!("{v} outside [1, {max}]"),
+        }),
+        _ => Ok(()),
+    };
+    check("threads", opts.threads, 256)?;
+    check("iters", opts.iters, 10_000)
+}
+
+/// Runs the registry (honouring the filter and overrides) and summarizes.
+///
+/// # Errors
+///
+/// Returns [`cnt_interconnect::Error::InvalidOverride`] when `--threads`
+/// or `--iters` is out of range.
+pub fn run(opts: &BenchOpts) -> Result<BenchReport, cnt_interconnect::Error> {
+    validate(opts)?;
+    let cfg = KernelCfg {
+        quick: opts.quick,
+        threads: opts.threads,
+        iters: opts.iters,
+    };
     let kernels: Vec<Kernel> = kernels()
         .into_iter()
         .filter(|k| {
@@ -277,35 +404,38 @@ pub fn run(opts: &BenchOpts) -> BenchReport {
         .collect();
     let stats = kernels
         .iter()
-        .map(|k| summarize(k, opts.quick, (k.run)(opts.quick)))
+        .map(|k| summarize(k, &cfg, (k.run)(&cfg)))
         .collect();
-    BenchReport {
+    Ok(BenchReport {
         quick: opts.quick,
+        threads_override: opts.threads,
+        iters_override: opts.iters,
+        filter: opts.filter.clone(),
         threads_available: std::thread::available_parallelism().map_or(1, usize::from),
         unix_time_s: SystemTime::now()
             .duration_since(SystemTime::UNIX_EPOCH)
             .map_or(0, |d| d.as_secs()),
         kernels: stats,
-    }
+    })
 }
 
 // --- kernels ------------------------------------------------------------
 
-fn bench_negf_mean_transmission(quick: bool) -> Vec<Duration> {
-    let (warmup, iters) = budget(quick);
-    let samples = if quick { 24 } else { 96 };
+fn bench_negf_mean_transmission(cfg: &KernelCfg) -> KernelRun {
+    let (warmup, iters) = budget(cfg);
+    let samples = if cfg.quick { 24 } else { 96 };
     let chain = DisorderedChain::new(400, 2.7, 1.0, Length::from_nanometers(0.25))
         .expect("valid chain parameters");
-    time_iterations(warmup, iters, || {
+    KernelRun::timed(time_iterations(warmup, iters, || {
         let mut rng = StdRng::seed_from_u64(42);
         black_box(chain.mean_transmission(0.0, samples, &mut rng));
-    })
+    }))
 }
 
-fn bench_negf_mfp(quick: bool) -> Vec<Duration> {
-    let (warmup, iters) = budget(quick);
-    let samples = if quick { 12 } else { 40 };
-    time_iterations(warmup, iters, || {
+fn bench_negf_mfp(cfg: &KernelCfg) -> KernelRun {
+    let (warmup, iters) = budget(cfg);
+    let samples = if cfg.quick { 12 } else { 40 };
+    KernelRun::timed(time_iterations(warmup, iters, || {
         let mut rng = StdRng::seed_from_u64(7);
         black_box(
             cnt_atomistic::negf::mfp_vs_disorder(
@@ -318,7 +448,7 @@ fn bench_negf_mfp(quick: bool) -> Vec<Duration> {
             )
             .expect("valid sweep"),
         );
-    })
+    }))
 }
 
 /// A heterogeneous two-plate stencil system for the CG benchmarks.
@@ -345,26 +475,50 @@ fn cg_system(nodes: [usize; 3]) -> StencilSystem {
     StencilSystem::assemble(&grid, &coeff, dirichlet)
 }
 
-fn bench_cg(quick: bool, nodes: [usize; 3]) -> Vec<Duration> {
-    let (warmup, iters) = budget(quick);
+fn bench_stencil(cfg: &KernelCfg, nodes: [usize; 3], scheme: Method) -> KernelRun {
+    let (warmup, iters) = budget(cfg);
     let sys = cg_system(nodes);
-    let options = SolverOptions::default();
+    let options = SolverOptions {
+        scheme,
+        ..SolverOptions::default()
+    };
     let mut ws = SolveWorkspace::new();
-    time_iterations(warmup, iters, || {
-        black_box(sys.solve_with(&options, &mut ws).expect("converges"));
-    })
+    // The solve is deterministic, so the iteration count of any timed
+    // call doubles as the reported statistic.
+    let mut iterations = 0usize;
+    let samples = time_iterations(warmup, iters, || {
+        let solution = sys.solve_full(&options, &mut ws).expect("converges");
+        iterations = solution.iterations;
+        black_box(solution.psi);
+    });
+    KernelRun {
+        samples,
+        solver_iterations: Some(iterations as u64),
+    }
 }
 
-fn bench_cg_small(quick: bool) -> Vec<Duration> {
-    bench_cg(quick, [9, 9, 17])
+fn bench_cg_small(cfg: &KernelCfg) -> KernelRun {
+    bench_stencil(cfg, [9, 9, 17], Method::ConjugateGradient)
 }
 
-fn bench_cg_large(quick: bool) -> Vec<Duration> {
-    bench_cg(quick, [13, 13, 33])
+fn bench_cg_large(cfg: &KernelCfg) -> KernelRun {
+    bench_stencil(cfg, [13, 13, 33], Method::ConjugateGradient)
 }
 
-fn bench_sthm_scan(quick: bool) -> Vec<Duration> {
-    let (warmup, iters) = budget(quick);
+fn bench_cg_xl(cfg: &KernelCfg) -> KernelRun {
+    bench_stencil(cfg, [33, 33, 129], Method::ConjugateGradient)
+}
+
+fn bench_mg_large(cfg: &KernelCfg) -> KernelRun {
+    bench_stencil(cfg, [13, 13, 33], Method::MgCg)
+}
+
+fn bench_mg_xl(cfg: &KernelCfg) -> KernelRun {
+    bench_stencil(cfg, [33, 33, 129], Method::MgCg)
+}
+
+fn bench_sthm_scan(cfg: &KernelCfg) -> KernelRun {
+    let (warmup, iters) = budget(cfg);
     let truth = SelfHeatingLine::mwcnt(
         Length::from_micrometers(2.0),
         CurrentDensity::from_amps_per_square_centimeter(5e8),
@@ -372,16 +526,16 @@ fn bench_sthm_scan(quick: bool) -> Vec<Duration> {
     .analytic_profile(401)
     .expect("valid profile");
     let instrument = SthmInstrument::nanoprobe();
-    time_iterations(warmup, iters, || {
+    KernelRun::timed(time_iterations(warmup, iters, || {
         black_box(instrument.scan(&truth, 42).expect("valid scan"));
-    })
+    }))
 }
 
-fn bench_via_stack(quick: bool) -> Vec<Duration> {
-    let (warmup, iters) = budget(quick);
-    let n = if quick { 400 } else { 2000 };
+fn bench_via_stack(cfg: &KernelCfg) -> KernelRun {
+    let (warmup, iters) = budget(cfg);
+    let n = if cfg.quick { 400 } else { 2000 };
     let heat = Power::from_microwatts(10.0);
-    time_iterations(warmup, iters, || {
+    KernelRun::timed(time_iterations(warmup, iters, || {
         let mut acc = 0.0;
         for i in 0..n {
             let side = 40.0 + (i % 50) as f64;
@@ -391,12 +545,12 @@ fn bench_via_stack(quick: bool) -> Vec<Duration> {
             acc += cu.temperature_drop(heat).kelvin() - cnt.temperature_drop(heat).kelvin();
         }
         black_box(acc);
-    })
+    }))
 }
 
-fn bench_delay_ratio_grid(quick: bool) -> Vec<Duration> {
-    let (warmup, iters) = budget(quick);
-    let (d, nc, l): (&[f64], &[usize], &[f64]) = if quick {
+fn bench_delay_ratio_grid(cfg: &KernelCfg) -> KernelRun {
+    let (warmup, iters) = budget(cfg);
+    let (d, nc, l): (&[f64], &[usize], &[f64]) = if cfg.quick {
         (&FIG12_DIAMETERS_NM[..2], &[2, 6, 10], &[10.0, 100.0, 500.0])
     } else {
         (
@@ -405,9 +559,9 @@ fn bench_delay_ratio_grid(quick: bool) -> Vec<Duration> {
             &FIG12_LENGTHS_UM,
         )
     };
-    time_iterations(warmup, iters, || {
+    KernelRun::timed(time_iterations(warmup, iters, || {
         black_box(delay_ratio_grid(d, nc, l, 0).expect("valid grid"));
-    })
+    }))
 }
 
 /// Fixed-size arithmetic spin: the deterministic unit of pool work.
@@ -419,24 +573,25 @@ fn spin(work: usize) -> f64 {
     x
 }
 
-fn bench_pool(quick: bool, threads: usize) -> Vec<Duration> {
-    let (warmup, iters) = budget(quick);
-    let work = if quick { 60_000 } else { 250_000 };
+fn bench_pool(cfg: &KernelCfg, threads: usize) -> KernelRun {
+    let (warmup, iters) = budget(cfg);
+    let threads = cfg.threads.unwrap_or(threads);
+    let work = if cfg.quick { 60_000 } else { 250_000 };
     let jobs: Vec<f64> = (0..32).map(|i| i as f64).collect();
     let plan = cnt_sweep::SweepPlan::new("bench.pool").axis(cnt_sweep::Axis::grid("job", &jobs));
     let executor = cnt_sweep::Executor::new(threads);
-    time_iterations(warmup, iters, || {
+    KernelRun::timed(time_iterations(warmup, iters, || {
         let out = executor
             .run(&plan, 0, |_, _| {
                 Ok::<_, std::convert::Infallible>(spin(work))
             })
             .expect("spin cannot fail");
         black_box(out);
-    })
+    }))
 }
 
-fn bench_serve_roundtrip(quick: bool) -> Vec<Duration> {
-    let (warmup, iters) = budget(quick);
+fn bench_serve_roundtrip(cfg: &KernelCfg) -> KernelRun {
+    let (warmup, iters) = budget(cfg);
     let server = cnt_serve::Server::bind(cnt_serve::Config {
         addr: "127.0.0.1:0".to_string(),
         workers: 2,
@@ -486,7 +641,7 @@ fn bench_serve_roundtrip(quick: bool) -> Vec<Duration> {
     });
     handle.shutdown();
     serving.join().expect("server thread");
-    samples
+    KernelRun::timed(samples)
 }
 
 #[cfg(test)]
@@ -511,16 +666,25 @@ mod tests {
         }
     }
 
+    fn quick_cfg() -> KernelCfg {
+        KernelCfg {
+            quick: true,
+            threads: None,
+            iters: None,
+        }
+    }
+
     #[test]
     fn summary_statistics_are_ordered() {
         let kernel = &kernels()[0];
         let fake: Vec<Duration> = (1..=10).map(|i| Duration::from_micros(i * 10)).collect();
-        let stats = summarize(kernel, true, fake);
+        let stats = summarize(kernel, &quick_cfg(), KernelRun::timed(fake));
         assert_eq!(stats.iterations, 10);
         assert_eq!(stats.min_s, 10e-6);
         assert!((stats.median_s - 50e-6).abs() < 1e-12);
         assert!((stats.p90_s - 90e-6).abs() < 1e-12);
         assert!(stats.min_s <= stats.median_s && stats.median_s <= stats.p90_s);
+        assert_eq!(stats.solver_iterations, None);
     }
 
     #[test]
@@ -530,7 +694,9 @@ mod tests {
         let report = run(&BenchOpts {
             quick: true,
             filter: Some("thermal.via_stack".to_string()),
-        });
+            ..BenchOpts::default()
+        })
+        .expect("valid opts");
         assert_eq!(report.kernels.len(), 1);
         assert_eq!(report.kernels[0].id, "thermal.via_stack");
         let json = report.to_json();
@@ -545,7 +711,64 @@ mod tests {
         let none = run(&BenchOpts {
             quick: true,
             filter: Some("no-such-kernel".to_string()),
-        });
+            ..BenchOpts::default()
+        })
+        .expect("valid opts");
         assert!(none.kernels.is_empty());
+    }
+
+    #[test]
+    fn overrides_are_validated_and_applied() {
+        // Out-of-range knobs are rejected with the canonical error.
+        for (threads, iters) in [(Some(0), None), (None, Some(0)), (None, Some(10_001))] {
+            let err = run(&BenchOpts {
+                quick: true,
+                filter: Some("no-such-kernel".to_string()),
+                threads,
+                iters,
+            })
+            .expect_err("out-of-range override must be rejected");
+            assert!(matches!(
+                err,
+                cnt_interconnect::Error::InvalidOverride { .. }
+            ));
+        }
+        // --iters reshapes the sample count of a cheap kernel.
+        let report = run(&BenchOpts {
+            quick: true,
+            filter: Some("thermal.via_stack".to_string()),
+            threads: None,
+            iters: Some(2),
+        })
+        .expect("valid opts");
+        assert_eq!(report.kernels[0].iterations, 2);
+    }
+
+    #[test]
+    fn solver_iteration_columns_expose_the_mg_ablation() {
+        // The large CG/MG pair solves the same system at the same
+        // tolerance; the MG iteration count must collapse.
+        let cfg = KernelCfg {
+            quick: true,
+            threads: None,
+            iters: Some(1),
+        };
+        let cg = bench_cg_large(&cfg);
+        let mg = bench_mg_large(&cfg);
+        let (cg_it, mg_it) = (
+            cg.solver_iterations.expect("cg reports iterations"),
+            mg.solver_iterations.expect("mg reports iterations"),
+        );
+        assert!(2 * mg_it <= cg_it, "MG-CG {mg_it} vs CG {cg_it} iterations");
+        // And the rendered table carries the column.
+        let report = run(&BenchOpts {
+            quick: true,
+            filter: Some("fields.cg_small".to_string()),
+            threads: None,
+            iters: Some(1),
+        })
+        .expect("valid opts");
+        assert!(report.render_text().contains("slv-it"));
+        assert!(report.to_json().contains("\"solver_iterations\":"));
     }
 }

@@ -1,0 +1,463 @@
+//! `repro bench diff` — the trajectory comparator and regression gate.
+//!
+//! Compares two `BENCH_*.json` points (the shape [`crate::bench`] emits):
+//! per-kernel median deltas for the ids both points share, plus explicit
+//! added/removed lists so a structural change in the registry can never
+//! hide inside a timing table. With `--fail-above PCT` the diff becomes a
+//! gate: any *gated* kernel whose median regressed by more than `PCT`
+//! percent — or any kernel that vanished from the newer point — fails the
+//! run. Pool-throughput kernels (`sweep.pool_*`) are exempt from the
+//! timing gate because their medians measure scheduler scaling on
+//! whatever core count the runner has, not single-kernel performance;
+//! they still participate in the structural diff.
+
+use cnt_serve::json::{parse, JsonValue};
+
+/// One kernel of a parsed bench point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelPoint {
+    /// Stable kernel id.
+    pub id: String,
+    /// Lower-median iteration, seconds.
+    pub median_s: f64,
+    /// Inner solver iterations, when the point recorded them.
+    pub solver_iterations: Option<u64>,
+}
+
+/// A parsed `BENCH_*.json` document (the fields the diff needs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchPoint {
+    /// Whether the point was a `--quick` run.
+    pub quick: bool,
+    /// Whether the point was recorded with a `--threads` or `--iters`
+    /// override (stamped by `repro bench`): not a standard trajectory
+    /// point, so a gated diff refuses it.
+    pub overridden: bool,
+    /// Whether the point was recorded with a `--filter` (stamped): it
+    /// covers only part of the registry, so a gated diff refuses it.
+    pub filtered: bool,
+    /// Cores available when the point was recorded.
+    pub threads_available: u64,
+    /// Unix timestamp of the run.
+    pub unix_time_s: u64,
+    /// Kernels in document order.
+    pub kernels: Vec<KernelPoint>,
+}
+
+fn field<'a>(obj: &'a [(String, JsonValue)], key: &str) -> Option<&'a JsonValue> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn number(v: Option<&JsonValue>) -> Option<f64> {
+    match v {
+        Some(JsonValue::Number(raw)) => raw.parse().ok(),
+        _ => None,
+    }
+}
+
+/// Parses one bench JSON document.
+///
+/// # Errors
+///
+/// Returns a message naming what is malformed — a JSON syntax error, a
+/// wrong `kind`, or a kernel entry without an id/median.
+pub fn parse_point(text: &str) -> Result<BenchPoint, String> {
+    let JsonValue::Object(doc) = parse(text.trim())? else {
+        return Err("bench point is not a JSON object".to_string());
+    };
+    match field(&doc, "kind") {
+        Some(JsonValue::String(kind)) if kind == "bench" => {}
+        other => {
+            return Err(format!(
+                "expected \"kind\":\"bench\", found {other:?} (is this a BENCH_*.json file?)"
+            ))
+        }
+    }
+    let quick = matches!(field(&doc, "quick"), Some(JsonValue::Bool(true)));
+    let overridden =
+        field(&doc, "threads_override").is_some() || field(&doc, "iters_override").is_some();
+    let filtered = field(&doc, "filter").is_some();
+    let threads_available = number(field(&doc, "threads_available")).unwrap_or(0.0) as u64;
+    let unix_time_s = number(field(&doc, "unix_time_s")).unwrap_or(0.0) as u64;
+    let Some(JsonValue::Array(entries)) = field(&doc, "kernels") else {
+        return Err("bench point has no \"kernels\" array".to_string());
+    };
+    let mut kernels = Vec::with_capacity(entries.len());
+    for entry in entries {
+        let JsonValue::Object(k) = entry else {
+            return Err("kernel entry is not an object".to_string());
+        };
+        let Some(JsonValue::String(id)) = field(k, "id") else {
+            return Err("kernel entry without an \"id\"".to_string());
+        };
+        let Some(median_s) = number(field(k, "median_s")) else {
+            return Err(format!("kernel '{id}' has no numeric \"median_s\""));
+        };
+        kernels.push(KernelPoint {
+            id: id.clone(),
+            median_s,
+            solver_iterations: number(field(k, "solver_iterations")).map(|v| v as u64),
+        });
+    }
+    Ok(BenchPoint {
+        quick,
+        overridden,
+        filtered,
+        threads_available,
+        unix_time_s,
+        kernels,
+    })
+}
+
+/// Whether a kernel's median participates in the timing gate.
+pub fn gated(id: &str) -> bool {
+    !id.starts_with("sweep.pool")
+}
+
+/// One shared kernel in the diff.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Stable kernel id.
+    pub id: String,
+    /// Median in the baseline point, seconds.
+    pub median_a_s: f64,
+    /// Median in the new point, seconds.
+    pub median_b_s: f64,
+    /// Median delta in percent (positive = slower in the new point).
+    pub delta_pct: f64,
+    /// Whether this row participates in the timing gate.
+    pub gated: bool,
+    /// Solver iterations in the two points, when both recorded them.
+    pub solver_iterations: Option<(u64, u64)>,
+}
+
+/// The structural + timing comparison of two bench points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDiff {
+    /// Kernels present in both points, baseline order.
+    pub rows: Vec<DiffRow>,
+    /// Kernels only in the new point (new coverage; never a failure).
+    pub added: Vec<String>,
+    /// Kernels missing from the new point (lost coverage; fails a gated
+    /// diff).
+    pub removed: Vec<String>,
+}
+
+impl BenchDiff {
+    /// Computes the diff of `b` (new) against `a` (baseline).
+    pub fn compute(a: &BenchPoint, b: &BenchPoint) -> Self {
+        let rows = a
+            .kernels
+            .iter()
+            .filter_map(|ka| {
+                let kb = b.kernels.iter().find(|k| k.id == ka.id)?;
+                let delta_pct = if ka.median_s > 0.0 {
+                    (kb.median_s - ka.median_s) / ka.median_s * 100.0
+                } else {
+                    0.0
+                };
+                Some(DiffRow {
+                    id: ka.id.clone(),
+                    median_a_s: ka.median_s,
+                    median_b_s: kb.median_s,
+                    delta_pct,
+                    gated: gated(&ka.id),
+                    solver_iterations: ka.solver_iterations.zip(kb.solver_iterations),
+                })
+            })
+            .collect();
+        let added = b
+            .kernels
+            .iter()
+            .filter(|kb| a.kernels.iter().all(|ka| ka.id != kb.id))
+            .map(|k| k.id.clone())
+            .collect();
+        let removed = a
+            .kernels
+            .iter()
+            .filter(|ka| b.kernels.iter().all(|kb| kb.id != ka.id))
+            .map(|k| k.id.clone())
+            .collect();
+        Self {
+            rows,
+            added,
+            removed,
+        }
+    }
+
+    /// Gate verdict: every gated kernel whose median regressed by more
+    /// than `fail_above_pct`, every removed kernel, and any point that
+    /// was recorded with `--threads`/`--iters` overrides (its workloads
+    /// are not the standard registry, so its medians cannot gate).
+    /// Empty means the gate passes.
+    pub fn gate_failures(
+        &self,
+        fail_above_pct: f64,
+        a: &BenchPoint,
+        b: &BenchPoint,
+    ) -> Vec<String> {
+        let mut failures: Vec<String> = Vec::new();
+        for (name, point) in [("baseline", a), ("new", b)] {
+            if point.overridden {
+                failures.push(format!(
+                    "{name} point was recorded with --threads/--iters overrides and cannot gate (re-record without overrides)"
+                ));
+            }
+            if point.filtered {
+                failures.push(format!(
+                    "{name} point was recorded with --filter and covers only part of the registry; it cannot gate"
+                ));
+            }
+        }
+        if a.quick != b.quick {
+            failures.push(
+                "points mix quick and full mode (workload sizes differ); medians are not comparable"
+                    .to_string(),
+            );
+        }
+        failures.extend(
+            self.rows
+                .iter()
+                .filter(|r| r.gated && r.delta_pct > fail_above_pct)
+                .map(|r| {
+                    format!(
+                        "kernel '{}' regressed {:+.1}% (median {} -> {}, gate {:.0}%)",
+                        r.id,
+                        r.delta_pct,
+                        crate::bench::fmt_duration(r.median_a_s),
+                        crate::bench::fmt_duration(r.median_b_s),
+                        fail_above_pct
+                    )
+                }),
+        );
+        for id in &self.removed {
+            failures.push(format!(
+                "kernel '{id}' disappeared from the new point (trajectory ids must stay stable)"
+            ));
+        }
+        failures
+    }
+
+    /// The human-readable diff table.
+    pub fn render_text(&self, a: &BenchPoint, b: &BenchPoint) -> String {
+        let tag = |p: &BenchPoint| {
+            format!(
+                "{}{}",
+                if p.quick { ", quick" } else { "" },
+                if p.overridden { ", OVERRIDDEN" } else { "" }
+            ) + (if p.filtered { ", FILTERED" } else { "" })
+        };
+        let mut out = format!(
+            "bench diff: baseline {} ({} cores{}) -> new {} ({} cores{})\n",
+            a.unix_time_s,
+            a.threads_available,
+            tag(a),
+            b.unix_time_s,
+            b.threads_available,
+            tag(b),
+        );
+        out.push_str(&format!(
+            "{:<28} {:>12} {:>12} {:>9}  {}\n",
+            "kernel", "baseline", "new", "delta", "note"
+        ));
+        for r in &self.rows {
+            let note = match (r.gated, r.solver_iterations) {
+                (false, _) => "pool (ungated)".to_string(),
+                (true, Some((ia, ib))) if ia != ib => format!("solver iters {ia} -> {ib}"),
+                _ => String::new(),
+            };
+            out.push_str(&format!(
+                "{:<28} {:>12} {:>12} {:>+8.1}%  {}\n",
+                r.id,
+                crate::bench::fmt_duration(r.median_a_s),
+                crate::bench::fmt_duration(r.median_b_s),
+                r.delta_pct,
+                note
+            ));
+        }
+        for id in &self.added {
+            out.push_str(&format!("{id:<28} {:>12} {:>12}    added\n", "-", "-"));
+        }
+        for id in &self.removed {
+            out.push_str(&format!("{id:<28} {:>12} {:>12}  removed\n", "-", "-"));
+        }
+        out
+    }
+
+    /// The machine-readable diff (one line, `repro check-json`-valid).
+    pub fn to_json(&self, a: &BenchPoint, b: &BenchPoint) -> String {
+        use cnt_interconnect::experiments::format::json_string;
+        let mut out = String::with_capacity(256 + self.rows.len() * 96);
+        out.push_str(&format!(
+            "{{\"schema\":1,\"kind\":\"bench_diff\",\"a_unix_time_s\":{},\"b_unix_time_s\":{},\"kernels\":[",
+            a.unix_time_s, b.unix_time_s
+        ));
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"id\":");
+            json_string(&r.id, &mut out);
+            out.push_str(&format!(
+                ",\"median_a_s\":{},\"median_b_s\":{},\"delta_pct\":{},\"gated\":{}}}",
+                r.median_a_s, r.median_b_s, r.delta_pct, r.gated
+            ));
+        }
+        out.push_str("],\"added\":[");
+        for (i, id) in self.added.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_string(id, &mut out);
+        }
+        out.push_str("],\"removed\":[");
+        for (i, id) in self.removed.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_string(id, &mut out);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(kernels: &[(&str, f64)]) -> BenchPoint {
+        BenchPoint {
+            quick: true,
+            overridden: false,
+            filtered: false,
+            threads_available: 1,
+            unix_time_s: 1000,
+            kernels: kernels
+                .iter()
+                .map(|(id, m)| KernelPoint {
+                    id: id.to_string(),
+                    median_s: *m,
+                    solver_iterations: None,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn parses_the_emitted_shape_roundtrip() {
+        let report = crate::bench::BenchReport {
+            quick: true,
+            threads_override: None,
+            iters_override: None,
+            filter: None,
+            threads_available: 2,
+            unix_time_s: 42,
+            kernels: vec![crate::bench::KernelStats {
+                id: "fields.cg_large",
+                title: "CG stencil solve",
+                warmup: 1,
+                iterations: 5,
+                min_s: 1e-3,
+                median_s: 2e-3,
+                p90_s: 3e-3,
+                mean_s: 2.1e-3,
+                solver_iterations: Some(31),
+            }],
+        };
+        let parsed = parse_point(&report.to_json()).unwrap();
+        assert!(parsed.quick);
+        assert_eq!(parsed.threads_available, 2);
+        assert_eq!(parsed.kernels.len(), 1);
+        assert_eq!(parsed.kernels[0].id, "fields.cg_large");
+        assert_eq!(parsed.kernels[0].median_s, 2e-3);
+        assert_eq!(parsed.kernels[0].solver_iterations, Some(31));
+
+        assert!(parse_point("{\"kind\":\"bench_diff\"}").is_err());
+        assert!(parse_point("not json").is_err());
+    }
+
+    #[test]
+    fn diff_covers_regression_improvement_added_and_removed() {
+        // Baseline: two gated kernels, one pool kernel, one that will be
+        // removed. New point: a 50% regression, a 2x improvement, a pool
+        // regression (ungated), and one added kernel.
+        let a = point(&[
+            ("fields.cg_large", 1.0e-3),
+            ("negf.mean_transmission", 8.0e-5),
+            ("sweep.pool_t4", 4.0e-3),
+            ("old.kernel", 1.0e-6),
+        ]);
+        let b = point(&[
+            ("fields.cg_large", 1.5e-3),
+            ("negf.mean_transmission", 4.0e-5),
+            ("sweep.pool_t4", 9.0e-3),
+            ("fields.mg_xl", 5.0e-2),
+        ]);
+        let diff = BenchDiff::compute(&a, &b);
+        assert_eq!(diff.rows.len(), 3);
+        let cg = &diff.rows[0];
+        assert!((cg.delta_pct - 50.0).abs() < 1e-9, "{}", cg.delta_pct);
+        assert!(cg.gated);
+        let negf = &diff.rows[1];
+        assert!((negf.delta_pct + 50.0).abs() < 1e-9);
+        let pool = &diff.rows[2];
+        assert!(!pool.gated, "pool kernels are exempt from the gate");
+        assert_eq!(diff.added, vec!["fields.mg_xl".to_string()]);
+        assert_eq!(diff.removed, vec!["old.kernel".to_string()]);
+
+        // Gate at 25%: the cg regression and the removed kernel fail;
+        // the pool regression does not.
+        let failures = diff.gate_failures(25.0, &a, &b);
+        assert_eq!(failures.len(), 2, "{failures:?}");
+        assert!(failures[0].contains("fields.cg_large"));
+        assert!(failures[1].contains("old.kernel"));
+        // Gate at 60%: only the removed kernel fails.
+        assert_eq!(diff.gate_failures(60.0, &a, &b).len(), 1);
+
+        let text = diff.render_text(&a, &b);
+        assert!(text.contains("added"), "{text}");
+        assert!(text.contains("removed"), "{text}");
+        assert!(text.contains("pool (ungated)"), "{text}");
+
+        let json = diff.to_json(&a, &b);
+        assert!(json.starts_with("{\"schema\":1,\"kind\":\"bench_diff\""));
+        cnt_interconnect::experiments::format::check_json_stream(&json).expect("valid JSON");
+        // And the diff JSON parses back as NOT a bench point.
+        assert!(parse_point(&json).is_err());
+    }
+
+    #[test]
+    fn overridden_points_cannot_gate() {
+        let report = crate::bench::BenchReport {
+            quick: true,
+            threads_override: None,
+            iters_override: Some(1),
+            filter: Some("fields".to_string()),
+            threads_available: 1,
+            unix_time_s: 7,
+            kernels: vec![],
+        };
+        let b = parse_point(&report.to_json()).unwrap();
+        assert!(b.overridden && b.filtered);
+        let a = point(&[("fields.cg_large", 1.0e-3)]);
+        let diff = BenchDiff::compute(&a, &b);
+        let failures = diff.gate_failures(25.0, &a, &b);
+        assert!(
+            failures.iter().any(|f| f.contains("overrides"))
+                && failures.iter().any(|f| f.contains("--filter")),
+            "{failures:?}"
+        );
+        let text = diff.render_text(&a, &b);
+        assert!(text.contains("OVERRIDDEN") && text.contains("FILTERED"));
+    }
+
+    #[test]
+    fn identical_points_pass_any_gate() {
+        let a = point(&[("fields.cg_large", 1.0e-3), ("serve.roundtrip", 1.2e-5)]);
+        let diff = BenchDiff::compute(&a, &a);
+        assert!(diff.added.is_empty() && diff.removed.is_empty());
+        assert!(diff.gate_failures(0.0, &a, &a).is_empty());
+        assert!(diff.rows.iter().all(|r| r.delta_pct == 0.0));
+    }
+}

@@ -5,10 +5,14 @@
 //!   artefact (see `cnt_interconnect::experiments::registry`); `--set`
 //!   overrides typed parameters, `--format json|csv` emits
 //!   machine-readable reports;
-//! * `repro bench [--quick] [--filter SUBSTR] [--format json|text]` runs
-//!   the [`bench`] kernel registry (warmup + timed iterations,
-//!   min/median/p90 per kernel) and writes the versioned JSON trajectory
-//!   point `BENCH_<unix-seconds>.json`;
+//! * `repro bench [--quick] [--filter SUBSTR] [--format json|text]
+//!   [--threads N] [--iters N]` runs the [`bench`] kernel registry
+//!   (warmup + timed iterations, min/median/p90 per kernel, inner solver
+//!   iteration counts where applicable) and writes the versioned JSON
+//!   trajectory point `BENCH_<unix-seconds>.json`;
+//! * `repro bench diff A.json B.json [--fail-above PCT]` compares two
+//!   trajectory points per kernel and, with a threshold, gates CI on
+//!   median regressions (see [`diff`]);
 //! * `cargo bench -p cnt-bench` times the computational kernels and the
 //!   DESIGN.md §6 ablations through Criterion.
 
@@ -16,5 +20,6 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod diff;
 
 pub use cnt_interconnect::experiments;

@@ -6,6 +6,14 @@
 //! Two runs with the same [`CacheKey`] are guaranteed to produce the same
 //! table, so re-running `repro sweep …` is a lookup. Bump the salt when
 //! the physics in the work function changes.
+//!
+//! On disk, entries live in a 256-way sharded layout keyed by the first
+//! byte of the content hash (`cache/ab/abcdef….json`), so lookups and
+//! `repro cache gc` scans never depend on one huge directory listing.
+//! Caches written before sharding (flat `cache/abcdef….json` files) keep
+//! hitting: lookups fall back to the flat path and transparently migrate
+//! entries into their shard on first touch, and both GC passes scan both
+//! layouts.
 
 use crate::json;
 use crate::plan::SweepPlan;
@@ -75,24 +83,57 @@ impl ResultStore {
         self.dir.as_deref()
     }
 
+    /// The sharded on-disk location: `dir/ab/abcdef….json`, keyed by the
+    /// first byte of the content hash so directory listings stay short
+    /// (256-way fan-out) as entry counts grow.
     fn path_for(&self, key: &CacheKey) -> Option<PathBuf> {
+        let hex = key.hex();
+        self.dir
+            .as_ref()
+            .map(|d| d.join(&hex[..2]).join(format!("{hex}.json")))
+    }
+
+    /// The pre-sharding flat location (`dir/abcdef….json`), still
+    /// consulted on lookup so existing caches keep hitting.
+    fn legacy_path_for(&self, key: &CacheKey) -> Option<PathBuf> {
         self.dir
             .as_ref()
             .map(|d| d.join(format!("{}.json", key.hex())))
     }
 
-    /// Looks up a table, consulting memory then disk. A disk hit is
-    /// promoted into memory. Corrupt disk entries are treated as misses
-    /// (the next `put` overwrites them).
+    /// Looks up a table, consulting memory, the sharded disk path, then
+    /// the legacy flat path. A disk hit is promoted into memory; a legacy
+    /// hit is transparently migrated to the sharded layout. Corrupt disk
+    /// entries are treated as misses (the next `put` overwrites them).
     pub fn get(&self, key: &CacheKey) -> Option<Table> {
         if let Some(hit) = self.mem.lock().expect("store poisoned").get(&key.hex()) {
             return Some(hit.clone());
         }
-        let path = self.path_for(key)?;
-        let text = std::fs::read_to_string(path).ok()?;
+        let sharded = self.path_for(key)?;
+        let (text, from_legacy) = match std::fs::read_to_string(&sharded) {
+            Ok(text) => (text, false),
+            Err(_) => {
+                let legacy = self.legacy_path_for(key)?;
+                (std::fs::read_to_string(&legacy).ok()?, true)
+            }
+        };
         let table = json::decode_table(&text).ok()?;
         if table.key != key.hex() {
             return None; // foreign or stale file under our name
+        }
+        if from_legacy {
+            // Best-effort migration: mirror into the sharded layout and
+            // drop the flat file. Failure just means the legacy path
+            // keeps serving hits.
+            if let Some(shard_dir) = sharded.parent() {
+                if std::fs::create_dir_all(shard_dir).is_ok()
+                    && std::fs::write(&sharded, &text).is_ok()
+                {
+                    if let Some(legacy) = self.legacy_path_for(key) {
+                        let _ = std::fs::remove_file(legacy);
+                    }
+                }
+            }
         }
         self.mem
             .lock()
@@ -115,11 +156,15 @@ impl ResultStore {
         };
         if let Some(path) = self.path_for(key) {
             let dir = path.parent().expect("cache file has a parent");
-            std::fs::create_dir_all(dir).map_err(|e| Error::Io {
-                path: dir.display().to_string(),
-                message: e.to_string(),
-            })?;
-            std::fs::write(&path, json::encode_table(&table)).map_err(|e| Error::Io {
+            let encoded = json::encode_table(&table);
+            // A concurrent `cache gc` may prune the shard directory
+            // between create_dir_all and write; one retry closes the
+            // race (the cache is best-effort everywhere else too).
+            let attempt = || -> std::io::Result<()> {
+                std::fs::create_dir_all(dir)?;
+                std::fs::write(&path, &encoded)
+            };
+            attempt().or_else(|_| attempt()).map_err(|e| Error::Io {
                 path: path.display().to_string(),
                 message: e.to_string(),
             })?;
@@ -162,45 +207,89 @@ pub struct GcStats {
     pub bytes_after: u64,
 }
 
+/// `true` for the two-hex-digit subdirectories of the sharded layout.
+fn is_shard_dir_name(name: &str) -> bool {
+    name.len() == 2
+        && name
+            .chars()
+            .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase())
+}
+
+/// Lists every cache entry (`*.json` file) in `dir`, covering both the
+/// legacy flat layout and the sharded `dir/ab/` subdirectories. A
+/// missing directory is an empty cache, not an error.
+fn list_entries(dir: &Path) -> Result<Vec<(PathBuf, u64, SystemTime)>> {
+    fn scan(
+        dir: &Path,
+        recurse_shards: bool,
+        out: &mut Vec<(PathBuf, u64, SystemTime)>,
+    ) -> std::io::Result<()> {
+        for entry in std::fs::read_dir(dir)?.flatten() {
+            let path = entry.path();
+            let Ok(meta) = entry.metadata() else { continue };
+            if meta.is_dir() {
+                if recurse_shards
+                    && path
+                        .file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(is_shard_dir_name)
+                {
+                    // Shard directories that vanish mid-pass are fine.
+                    let _ = scan(&path, false, out);
+                }
+                continue;
+            }
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+            out.push((path, meta.len(), mtime));
+        }
+        Ok(())
+    }
+    let mut entries = Vec::new();
+    match scan(dir, true, &mut entries) {
+        Ok(()) => Ok(entries),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(Error::Io {
+            path: dir.display().to_string(),
+            message: e.to_string(),
+        }),
+    }
+}
+
+/// Removes now-empty shard subdirectories left behind by an eviction
+/// pass (best effort — a non-empty directory simply refuses).
+fn prune_empty_shards(evicted: &[&PathBuf]) {
+    let mut dirs: Vec<&Path> = evicted
+        .iter()
+        .filter_map(|p| p.parent())
+        .filter(|d| {
+            d.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(is_shard_dir_name)
+        })
+        .collect();
+    dirs.sort_unstable();
+    dirs.dedup();
+    for d in dirs {
+        let _ = std::fs::remove_dir(d);
+    }
+}
+
 /// Shrinks an on-disk result cache to at most `max_bytes` of entries by
 /// deleting the oldest-modified `*.json` files first (the disk mirror of
-/// [`ResultStore::on_disk`]). Content hashes make entries self-contained,
-/// so evicting any subset is always safe — the worst case is a recompute.
-/// A missing directory is an empty cache, not an error; files that vanish
-/// mid-pass are treated as already evicted.
+/// [`ResultStore::on_disk`], flat and sharded layouts alike). Content
+/// hashes make entries self-contained, so evicting any subset is always
+/// safe — the worst case is a recompute. A missing directory is an empty
+/// cache, not an error; files that vanish mid-pass are treated as
+/// already evicted.
 ///
 /// # Errors
 ///
 /// Returns [`Error::Io`] when the directory exists but cannot be listed.
 pub fn gc(dir: &Path, max_bytes: u64) -> Result<GcStats> {
-    let mut entries: Vec<(PathBuf, u64, SystemTime)> = Vec::new();
-    let listing = match std::fs::read_dir(dir) {
-        Ok(listing) => listing,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-            return Ok(GcStats {
-                scanned: 0,
-                evicted: 0,
-                bytes_before: 0,
-                bytes_after: 0,
-            })
-        }
-        Err(e) => {
-            return Err(Error::Io {
-                path: dir.display().to_string(),
-                message: e.to_string(),
-            })
-        }
-    };
-    for entry in listing.flatten() {
-        let path = entry.path();
-        if path.extension().and_then(|e| e.to_str()) != Some("json") {
-            continue;
-        }
-        if let Ok(meta) = entry.metadata() {
-            let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
-            entries.push((path, meta.len(), mtime));
-        }
-    }
+    let mut entries = list_entries(dir)?;
     // Oldest first; the path tiebreak keeps the pass deterministic when a
     // filesystem's mtime granularity lumps entries together.
     entries.sort_by(|a, b| (a.2, &a.1, &a.0).cmp(&(b.2, &b.1, &b.0)));
@@ -208,6 +297,7 @@ pub fn gc(dir: &Path, max_bytes: u64) -> Result<GcStats> {
     let scanned = entries.len();
     let mut bytes_after = bytes_before;
     let mut evicted = 0;
+    let mut evicted_paths: Vec<&PathBuf> = Vec::new();
     for (path, len, _) in &entries {
         if bytes_after <= max_bytes {
             break;
@@ -215,8 +305,10 @@ pub fn gc(dir: &Path, max_bytes: u64) -> Result<GcStats> {
         if std::fs::remove_file(path).is_ok() || !path.exists() {
             bytes_after -= len;
             evicted += 1;
+            evicted_paths.push(path);
         }
     }
+    prune_empty_shards(&evicted_paths);
     Ok(GcStats {
         scanned,
         evicted,
@@ -242,45 +334,26 @@ pub fn gc_by_age(dir: &Path, max_age: std::time::Duration) -> Result<GcStats> {
 /// tests feed synthetic mtimes and a pinned clock).
 pub fn gc_by_age_at(dir: &Path, max_age: std::time::Duration, now: SystemTime) -> Result<GcStats> {
     let cutoff = now.checked_sub(max_age).unwrap_or(SystemTime::UNIX_EPOCH);
-    let listing = match std::fs::read_dir(dir) {
-        Ok(listing) => listing,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-            return Ok(GcStats {
-                scanned: 0,
-                evicted: 0,
-                bytes_before: 0,
-                bytes_after: 0,
-            })
-        }
-        Err(e) => {
-            return Err(Error::Io {
-                path: dir.display().to_string(),
-                message: e.to_string(),
-            })
-        }
-    };
+    let entries = list_entries(dir)?;
     let mut scanned = 0usize;
     let mut evicted = 0usize;
     let mut bytes_before = 0u64;
     let mut bytes_after = 0u64;
-    for entry in listing.flatten() {
-        let path = entry.path();
-        if path.extension().and_then(|e| e.to_str()) != Some("json") {
-            continue;
-        }
-        let Ok(meta) = entry.metadata() else { continue };
-        let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+    let mut evicted_paths: Vec<&PathBuf> = Vec::new();
+    for (path, len, mtime) in &entries {
         scanned += 1;
-        bytes_before += meta.len();
+        bytes_before += len;
         // Strictly older than the cutoff: an entry exactly max_age old
         // survives, so --max-age 0 is "evict only strictly-past entries",
         // not "empty the cache" (use --max-bytes 0 for that).
-        if mtime < cutoff && (std::fs::remove_file(&path).is_ok() || !path.exists()) {
+        if *mtime < cutoff && (std::fs::remove_file(path).is_ok() || !path.exists()) {
             evicted += 1;
+            evicted_paths.push(path);
         } else {
-            bytes_after += meta.len();
+            bytes_after += len;
         }
     }
+    prune_empty_shards(&evicted_paths);
     Ok(GcStats {
         scanned,
         evicted,
@@ -437,6 +510,97 @@ mod tests {
         let stats = gc(&dir, 1024).unwrap();
         assert_eq!(stats.scanned, 0);
         assert_eq!(stats.evicted, 0);
+    }
+
+    #[test]
+    fn put_uses_the_sharded_layout() {
+        let dir = tmp_dir("shard-put");
+        let key = CacheKey::derive(&plan(), 11, "v1");
+        let store = ResultStore::on_disk(&dir);
+        store
+            .put(&key, vec!["v".to_string()], vec![vec![1.0]])
+            .unwrap();
+        let hex = key.hex();
+        let sharded = dir.join(&hex[..2]).join(format!("{hex}.json"));
+        assert!(sharded.exists(), "entry must land in its shard");
+        assert!(
+            !dir.join(format!("{hex}.json")).exists(),
+            "no flat file for new writes"
+        );
+        // A fresh store instance reads it back through the sharded path.
+        let fresh = ResultStore::on_disk(&dir);
+        assert_eq!(fresh.get(&key).expect("disk hit").rows, vec![vec![1.0]]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_flat_entries_hit_and_migrate() {
+        let dir = tmp_dir("shard-migrate");
+        let key = CacheKey::derive(&plan(), 12, "v1");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Simulate a pre-sharding cache: a valid entry at the flat path.
+        let table = Table {
+            key: key.hex(),
+            columns: vec!["v".to_string()],
+            rows: vec![vec![2.5]],
+        };
+        let hex = key.hex();
+        let legacy = dir.join(format!("{hex}.json"));
+        std::fs::write(&legacy, json::encode_table(&table)).unwrap();
+
+        let store = ResultStore::on_disk(&dir);
+        let hit = store.get(&key).expect("legacy hit");
+        assert_eq!(hit.rows, vec![vec![2.5]]);
+        // The entry moved into its shard; the flat file is gone.
+        let sharded = dir.join(&hex[..2]).join(format!("{hex}.json"));
+        assert!(sharded.exists(), "legacy entry must migrate to its shard");
+        assert!(
+            !legacy.exists(),
+            "flat file must be dropped after migration"
+        );
+        // And a later store still hits (now through the sharded path).
+        let fresh = ResultStore::on_disk(&dir);
+        assert_eq!(fresh.get(&key).expect("sharded hit").rows, vec![vec![2.5]]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_spans_flat_and_sharded_layouts() {
+        let dir = tmp_dir("shard-gc");
+        std::fs::create_dir_all(dir.join("ab")).unwrap();
+        std::fs::create_dir_all(dir.join("cd")).unwrap();
+        // Oldest entry is sharded, newer ones flat and sharded.
+        for (rel, secs) in [
+            ("ab/abcdef.json", 1000u64),
+            ("flat.json", 1100),
+            ("cd/cdef01.json", 1200),
+        ] {
+            let path = dir.join(rel);
+            std::fs::write(&path, [b'x'; 100]).unwrap();
+            let file = std::fs::File::options().write(true).open(&path).unwrap();
+            file.set_modified(SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(secs))
+                .unwrap();
+        }
+        // A non-shard subdirectory is never scanned.
+        std::fs::create_dir_all(dir.join("notashard")).unwrap();
+        std::fs::write(dir.join("notashard/skip.json"), "keep").unwrap();
+
+        let stats = gc(&dir, 250).unwrap();
+        assert_eq!(stats.scanned, 3, "flat + sharded entries are scanned");
+        assert_eq!(stats.evicted, 1);
+        assert!(!dir.join("ab/abcdef.json").exists(), "oldest goes first");
+        assert!(!dir.join("ab").exists(), "emptied shard dir is pruned");
+        assert!(dir.join("flat.json").exists());
+        assert!(dir.join("cd/cdef01.json").exists());
+        assert!(dir.join("notashard/skip.json").exists());
+
+        // The age pass sees both layouts too.
+        let now = SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(1301);
+        let stats = gc_by_age_at(&dir, std::time::Duration::from_secs(150), now).unwrap();
+        assert_eq!((stats.scanned, stats.evicted), (2, 1));
+        assert!(!dir.join("flat.json").exists());
+        assert!(dir.join("cd/cdef01.json").exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

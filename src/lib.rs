@@ -8,7 +8,7 @@
 //! |---|---|---|
 //! | constants & quantities | [`units`] | — |
 //! | tight-binding transport | [`atomistic`] | III.A, Fig. 8 |
-//! | TCAD field solver | [`fields`] | III.B, Fig. 10 |
+//! | TCAD field solver (CG + geometric-multigrid MG-CG, auto-dispatched) | [`fields`] | III.B, Fig. 10 |
 //! | SPICE-like simulator | [`circuit`] | III.C, Fig. 11 |
 //! | growth / wafer / composite | [`process`] | II, Figs. 4–7 |
 //! | electro-thermal | [`thermal`] | IV.B |
@@ -18,7 +18,7 @@
 //! | compact models & experiments | [`interconnect`] | III.C, Figs. 9/12 |
 //! | experiment registry (trait catalog, typed params, JSON/CSV reports) | [`interconnect::experiments`] | every artefact |
 //! | HTTP experiment server (keep-alive, scheduling, coalescing, LRU result cache, `/v1/metrics`) | [`serve`] | every artefact, as a service |
-//! | benchmark harness (`repro bench`: kernel registry, `BENCH_*.json` perf trajectory) | `cnt-bench` | every hot path, measured |
+//! | benchmark harness (`repro bench`: kernel registry, `BENCH_*.json` perf trajectory, `bench diff` regression gate) | `cnt-bench` | every hot path, measured |
 //!
 //! # Quickstart
 //!
