@@ -8,9 +8,12 @@
 //! iterations and reports min/median/p90/mean wall time.
 //!
 //! Results render as a text table or as one versioned JSON document
-//! (`"schema":1`, `"kind":"bench"` — accepted by `repro check-json`),
+//! (`"schema":2`, `"kind":"bench"` — accepted by `repro check-json`),
 //! and are written to `BENCH_<unix-seconds>.json` so every PR appends a
-//! point to the repository's performance trajectory.
+//! point to the repository's performance trajectory. Schema 2 added the
+//! optional per-kernel `peak_rss_bytes` column (the process `VmHWM`
+//! high-water mark sampled after the kernel ran); `repro bench diff`
+//! accepts schema 1 and 2 points alike and never gates on memory.
 //!
 //! Adding a kernel: push a [`Kernel`] in [`kernels`] whose closure calls
 //! [`time_iterations`] around the hot call, feeding results into
@@ -35,8 +38,28 @@ use rand::SeedableRng;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::time::{Duration, Instant, SystemTime};
 
-/// Schema version stamped into the JSON document.
-pub const BENCH_SCHEMA_VERSION: u32 = 1;
+/// Schema version stamped into the JSON document (2 added the optional
+/// per-kernel `peak_rss_bytes`; readers of schema 1 points still parse).
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
+
+/// The process peak resident-set size (`VmHWM` in `/proc/self/status`),
+/// bytes. Linux-only: `None` on other platforms or when the file is
+/// unreadable, and callers must render its absence, not fail on it.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Renders a byte count for the table (`-` for `None`).
+pub(crate) fn fmt_bytes(bytes: Option<u64>) -> String {
+    match bytes {
+        Some(b) if b >= 1024 * 1024 => format!("{:.1} MB", b as f64 / (1024.0 * 1024.0)),
+        Some(b) => format!("{:.1} kB", b as f64 / 1024.0),
+        None => "-".to_string(),
+    }
+}
 
 /// How a bench run is configured.
 #[derive(Debug, Clone, Default)]
@@ -107,6 +130,10 @@ pub struct KernelStats {
     pub mean_s: f64,
     /// Inner solver iterations per solve, when the kernel reports them.
     pub solver_iterations: Option<u64>,
+    /// Process peak RSS (`VmHWM`) sampled after the kernel ran, bytes.
+    /// Monotone across the registry — the kernel that bumps it is the
+    /// one that owns the allocation. `None` off Linux.
+    pub peak_rss_bytes: Option<u64>,
 }
 
 /// One full bench run.
@@ -170,6 +197,9 @@ impl BenchReport {
             if let Some(si) = k.solver_iterations {
                 out.push_str(&format!(",\"solver_iterations\":{si}"));
             }
+            if let Some(rss) = k.peak_rss_bytes {
+                out.push_str(&format!(",\"peak_rss_bytes\":{rss}"));
+            }
             out.push('}');
         }
         out.push_str("]}");
@@ -191,12 +221,16 @@ impl BenchReport {
                 .unwrap_or_default(),
         );
         let with_solver_col = self.kernels.iter().any(|k| k.solver_iterations.is_some());
+        let with_rss_col = self.kernels.iter().any(|k| k.peak_rss_bytes.is_some());
         out.push_str(&format!(
             "{:<28} {:>5} {:>12} {:>12} {:>12}",
             "kernel", "iters", "min", "median", "p90"
         ));
         if with_solver_col {
             out.push_str(&format!(" {:>8}", "slv-it"));
+        }
+        if with_rss_col {
+            out.push_str(&format!(" {:>10}", "peak-rss"));
         }
         out.push('\n');
         for k in &self.kernels {
@@ -213,6 +247,9 @@ impl BenchReport {
                     Some(si) => out.push_str(&format!(" {si:>8}")),
                     None => out.push_str(&format!(" {:>8}", "-")),
                 }
+            }
+            if with_rss_col {
+                out.push_str(&format!(" {:>10}", fmt_bytes(k.peak_rss_bytes)));
             }
             out.push('\n');
         }
@@ -275,6 +312,9 @@ fn summarize(kernel: &Kernel, cfg: &KernelCfg, run: KernelRun) -> KernelStats {
         p90_s: nearest_rank(0.9),
         mean_s: secs.iter().sum::<f64>() / n as f64,
         solver_iterations: run.solver_iterations,
+        // Sampled right after the kernel's iterations: the process
+        // high-water mark at this point in registry order.
+        peak_rss_bytes: peak_rss_bytes(),
     }
 }
 
@@ -701,10 +741,14 @@ mod tests {
         assert_eq!(report.kernels[0].id, "thermal.via_stack");
         let json = report.to_json();
         assert!(
-            json.starts_with("{\"schema\":1,\"kind\":\"bench\""),
+            json.starts_with("{\"schema\":2,\"kind\":\"bench\""),
             "{json}"
         );
         cnt_interconnect::experiments::format::check_json_stream(&json).expect("valid JSON");
+        if cfg!(target_os = "linux") {
+            assert!(json.contains("\"peak_rss_bytes\":"), "{json}");
+            assert!(report.render_text().contains("peak-rss"));
+        }
         let text = report.render_text();
         assert!(text.contains("thermal.via_stack"), "{text}");
         // An unmatched filter runs nothing.
@@ -742,6 +786,17 @@ mod tests {
         })
         .expect("valid opts");
         assert_eq!(report.kernels[0].iterations, 2);
+    }
+
+    #[test]
+    fn peak_rss_probe_reports_on_linux() {
+        if cfg!(target_os = "linux") {
+            let rss = peak_rss_bytes().expect("VmHWM readable on linux");
+            assert!(rss > 1024 * 1024, "peak RSS {rss} implausibly small");
+        }
+        assert_eq!(fmt_bytes(None), "-");
+        assert_eq!(fmt_bytes(Some(2 * 1024 * 1024)), "2.0 MB");
+        assert_eq!(fmt_bytes(Some(512)), "0.5 kB");
     }
 
     #[test]

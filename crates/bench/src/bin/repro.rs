@@ -38,6 +38,12 @@
 //!                         kernels) or removed kernels
 //! repro check-json        validate a JSON stream on stdin (used by CI to
 //!                         guard `repro all --format json`)
+//! repro check-metrics     validate a Prometheus text exposition on stdin
+//!                         (used by CI to guard `GET /v1/metrics`)
+//! repro profile fig12 --set nc=6
+//!                         run one experiment under a cnt-obs trace and
+//!                         print the span timing tree (where the wall
+//!                         time went: solves, V-cycles, sweep jobs)
 //! ```
 //!
 //! Common flags:
@@ -70,11 +76,16 @@ fn usage() {
     eprintln!("       repro sweep <id> [--trials N] [--threads N] [--seed S] [--set KEY=VALUE]...");
     eprintln!("                        [--cache-dir DIR] [--no-cache] [--format text|json|csv]");
     eprintln!("       repro serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]");
+    eprintln!("                   [--access-log text|json]");
     eprintln!("       repro cache gc [--max-bytes N] [--max-age SECS] [--cache-dir DIR]");
     eprintln!("       repro bench [--quick] [--filter SUBSTR] [--format text|json]");
     eprintln!("                   [--threads N] [--iters N] [--out PATH | --no-out]");
     eprintln!("       repro bench diff <A.json> <B.json> [--format text|json] [--fail-above PCT]");
     eprintln!("       repro check-json          (validates a JSON stream on stdin)");
+    eprintln!("       repro check-metrics       (validates a Prometheus exposition on stdin)");
+    eprintln!(
+        "       repro profile <id> [--preset NAME] [--set KEY=VALUE]... [--format text|json]"
+    );
     eprintln!(
         "ids: {}",
         experiments::catalog().collect::<Vec<_>>().join(" ")
@@ -102,6 +113,8 @@ fn main() -> ExitCode {
         "cache" => run_cache_command(&args[1..]),
         "bench" => run_bench_command(&args[1..]),
         "check-json" => run_check_json_command(),
+        "check-metrics" => run_check_metrics_command(),
+        "profile" => run_profile_command(&args[1..]),
         _ => run_experiments_command(&args),
     }
 }
@@ -392,6 +405,85 @@ fn run_check_json_command() -> ExitCode {
     }
 }
 
+/// Validates a Prometheus text exposition on stdin (the `GET /v1/metrics`
+/// shape): `# HELP`/`# TYPE` coverage, duplicate series, histogram bucket
+/// consistency. CI pipes the scraped endpoint through this the same way
+/// JSON bodies go through `check-json`.
+fn run_check_metrics_command() -> ExitCode {
+    let mut text = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+        return fail(&format!("reading stdin: {e}"));
+    }
+    match cnt_obs::promcheck::validate(&text) {
+        Ok(summary) => {
+            eprintln!(
+                "check-metrics: {} family(ies), {} sample(s), exposition valid",
+                summary.families, summary.samples
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&e),
+    }
+}
+
+/// Parses and runs
+/// `repro profile <id> [--preset NAME] [--set KEY=VALUE]... [--format text|json]`:
+/// one experiment run under a [`cnt_obs::Trace`], reported as the span
+/// timing tree instead of the experiment's own output. The run itself is
+/// the production code path (same registry, same validation), so the tree
+/// shows where `repro <id>` actually spends its wall time — solver calls,
+/// V-cycle phases, serially-executed sweep jobs.
+fn run_profile_command(args: &[String]) -> ExitCode {
+    let parsed = match CommonFlags::parse(args) {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
+    let [id] = parsed.rest[..] else {
+        return fail("profile takes exactly one experiment id");
+    };
+    if parsed.format == OutputFormat::Csv {
+        return fail("profile emits text or json (csv is not a profile format)");
+    }
+    cnt_obs::Trace::begin();
+    let started = std::time::Instant::now();
+    let result = {
+        let _root = cnt_obs::span!("repro.run");
+        experiments::run_rendered(
+            id,
+            parsed.preset.as_deref(),
+            &parsed.sets,
+            OutputFormat::Json,
+        )
+    };
+    let wall_s = started.elapsed().as_secs_f64();
+    let roots = cnt_obs::Trace::end();
+    if let Err(e) = result {
+        return fail(&format!("experiment '{id}' failed: {e}"));
+    }
+    match parsed.format {
+        OutputFormat::Text => {
+            println!("profile '{id}': wall {}", cnt_obs::span::fmt_secs(wall_s));
+            print!("{}", cnt_obs::span::render_tree_text(&roots));
+        }
+        OutputFormat::Json => {
+            let mut out = String::with_capacity(256);
+            out.push_str("{\"schema\":1,\"kind\":\"profile\",\"id\":");
+            experiments::format::json_string(id, &mut out);
+            out.push_str(&format!(",\"wall_s\":{wall_s},\"spans\":["));
+            for (i, root) in roots.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                root.push_json(&mut out);
+            }
+            out.push_str("]}");
+            println!("{out}");
+        }
+        OutputFormat::Csv => unreachable!("rejected above"),
+    }
+    ExitCode::SUCCESS
+}
+
 /// Parses and runs `repro sweep <id> [flags]`.
 fn run_sweep_command(args: &[String]) -> ExitCode {
     let mut id: Option<&str> = None;
@@ -525,6 +617,14 @@ fn run_serve_command(args: &[String]) -> ExitCode {
             "--cache" => match parse_count("--cache", take("--cache", it.next())) {
                 Ok(n) => config.cache_capacity = n,
                 Err(e) => return fail(&e),
+            },
+            "--access-log" => match it.next().map(String::as_str) {
+                Some("text") => config.access_log = Some(cnt_serve::AccessLogFormat::Text),
+                Some("json") => config.access_log = Some(cnt_serve::AccessLogFormat::Json),
+                Some(other) => {
+                    return fail(&format!("--access-log expects text or json, got '{other}'"))
+                }
+                None => return fail("--access-log needs a value"),
             },
             other => return fail(&format!("unknown serve flag '{other}'")),
         }

@@ -22,6 +22,9 @@ pub struct KernelPoint {
     pub median_s: f64,
     /// Inner solver iterations, when the point recorded them.
     pub solver_iterations: Option<u64>,
+    /// Peak RSS after the kernel ran, bytes (schema 2 points on Linux;
+    /// absent in schema 1 points and never gated).
+    pub peak_rss_bytes: Option<u64>,
 }
 
 /// A parsed `BENCH_*.json` document (the fields the diff needs).
@@ -73,6 +76,19 @@ pub fn parse_point(text: &str) -> Result<BenchPoint, String> {
             ))
         }
     }
+    // Accept every schema this reader understands: 1 (no memory column)
+    // and 2 (optional per-kernel peak_rss_bytes). Anything newer is a
+    // hard error — silently dropping unknown semantics could let a
+    // regression hide behind a format change.
+    match number(field(&doc, "schema")).map(|v| v as u64) {
+        Some(1 | 2) => {}
+        Some(v) => {
+            return Err(format!(
+                "bench point has schema {v}; this reader understands schemas 1 and 2"
+            ))
+        }
+        None => return Err("bench point has no numeric \"schema\"".to_string()),
+    }
     let quick = matches!(field(&doc, "quick"), Some(JsonValue::Bool(true)));
     let overridden =
         field(&doc, "threads_override").is_some() || field(&doc, "iters_override").is_some();
@@ -97,6 +113,7 @@ pub fn parse_point(text: &str) -> Result<BenchPoint, String> {
             id: id.clone(),
             median_s,
             solver_iterations: number(field(k, "solver_iterations")).map(|v| v as u64),
+            peak_rss_bytes: number(field(k, "peak_rss_bytes")).map(|v| v as u64),
         });
     }
     Ok(BenchPoint {
@@ -129,6 +146,10 @@ pub struct DiffRow {
     pub gated: bool,
     /// Solver iterations in the two points, when both recorded them.
     pub solver_iterations: Option<(u64, u64)>,
+    /// Peak RSS in the two points, when both recorded it. Reported in
+    /// the table but never gated — memory varies with allocator and
+    /// platform far more than the medians do.
+    pub peak_rss: Option<(u64, u64)>,
 }
 
 /// The structural + timing comparison of two bench points.
@@ -163,6 +184,7 @@ impl BenchDiff {
                     delta_pct,
                     gated: gated(&ka.id),
                     solver_iterations: ka.solver_iterations.zip(kb.solver_iterations),
+                    peak_rss: ka.peak_rss_bytes.zip(kb.peak_rss_bytes),
                 })
             })
             .collect();
@@ -261,11 +283,24 @@ impl BenchDiff {
             "kernel", "baseline", "new", "delta", "note"
         ));
         for r in &self.rows {
-            let note = match (r.gated, r.solver_iterations) {
+            let mut note = match (r.gated, r.solver_iterations) {
                 (false, _) => "pool (ungated)".to_string(),
                 (true, Some((ia, ib))) if ia != ib => format!("solver iters {ia} -> {ib}"),
                 _ => String::new(),
             };
+            if let Some((ra, rb)) = r.peak_rss {
+                let rss_delta = (rb as f64 - ra as f64) / (ra.max(1) as f64) * 100.0;
+                if rss_delta.abs() >= 5.0 {
+                    if !note.is_empty() {
+                        note.push_str("; ");
+                    }
+                    note.push_str(&format!(
+                        "peak-rss {} -> {} ({rss_delta:+.0}%, ungated)",
+                        crate::bench::fmt_bytes(Some(ra)),
+                        crate::bench::fmt_bytes(Some(rb)),
+                    ));
+                }
+            }
             out.push_str(&format!(
                 "{:<28} {:>12} {:>12} {:>+8.1}%  {}\n",
                 r.id,
@@ -339,6 +374,7 @@ mod tests {
                     id: id.to_string(),
                     median_s: *m,
                     solver_iterations: None,
+                    peak_rss_bytes: None,
                 })
                 .collect(),
         }
@@ -363,6 +399,7 @@ mod tests {
                 p90_s: 3e-3,
                 mean_s: 2.1e-3,
                 solver_iterations: Some(31),
+                peak_rss_bytes: Some(32 * 1024 * 1024),
             }],
         };
         let parsed = parse_point(&report.to_json()).unwrap();
@@ -372,9 +409,73 @@ mod tests {
         assert_eq!(parsed.kernels[0].id, "fields.cg_large");
         assert_eq!(parsed.kernels[0].median_s, 2e-3);
         assert_eq!(parsed.kernels[0].solver_iterations, Some(31));
+        assert_eq!(parsed.kernels[0].peak_rss_bytes, Some(32 * 1024 * 1024));
 
         assert!(parse_point("{\"kind\":\"bench_diff\"}").is_err());
         assert!(parse_point("not json").is_err());
+    }
+
+    #[test]
+    fn schema_1_points_still_parse_and_newer_schemas_are_refused() {
+        // A pre-memory-column point (what BENCH_pr5.json looks like):
+        // no peak_rss_bytes anywhere, schema stamped 1.
+        let legacy = "{\"schema\":1,\"kind\":\"bench\",\"quick\":true,\
+                      \"threads_available\":4,\"unix_time_s\":99,\"kernels\":[\
+                      {\"id\":\"fields.mg_xl\",\"warmup\":3,\"iterations\":15,\
+                      \"min_s\":0.01,\"median_s\":0.011,\"p90_s\":0.012,\"mean_s\":0.011}]}";
+        let point = parse_point(legacy).unwrap();
+        assert_eq!(point.kernels[0].peak_rss_bytes, None);
+        // Diffing a legacy point against a schema-2 point works; the
+        // memory column is simply absent from the note.
+        let current = point_with_rss(&[("fields.mg_xl", 0.011, Some(64 * 1024 * 1024))]);
+        let diff = BenchDiff::compute(&point, &current);
+        assert_eq!(diff.rows.len(), 1);
+        assert_eq!(diff.rows[0].peak_rss, None);
+        assert!(diff.gate_failures(5.0, &point, &current).is_empty());
+
+        let future = legacy.replace("\"schema\":1", "\"schema\":3");
+        let err = parse_point(&future).unwrap_err();
+        assert!(err.contains("schema 3"), "{err}");
+        let unstamped = legacy.replace("\"schema\":1,", "");
+        assert!(parse_point(&unstamped).is_err());
+    }
+
+    #[test]
+    fn peak_rss_moves_are_reported_but_never_gate() {
+        let a = point_with_rss(&[("fields.mg_xl", 1.0e-2, Some(30 * 1024 * 1024))]);
+        let b = point_with_rss(&[("fields.mg_xl", 1.0e-2, Some(60 * 1024 * 1024))]);
+        let diff = BenchDiff::compute(&a, &b);
+        assert_eq!(
+            diff.rows[0].peak_rss,
+            Some((30 * 1024 * 1024, 60 * 1024 * 1024))
+        );
+        // A doubled footprint shows up in the table…
+        let text = diff.render_text(&a, &b);
+        assert!(
+            text.contains("peak-rss 30.0 MB -> 60.0 MB (+100%, ungated)"),
+            "{text}"
+        );
+        // …but passes even a zero-tolerance gate.
+        assert!(diff.gate_failures(0.0, &a, &b).is_empty());
+    }
+
+    fn point_with_rss(kernels: &[(&str, f64, Option<u64>)]) -> BenchPoint {
+        BenchPoint {
+            quick: true,
+            overridden: false,
+            filtered: false,
+            threads_available: 1,
+            unix_time_s: 1000,
+            kernels: kernels
+                .iter()
+                .map(|(id, m, rss)| KernelPoint {
+                    id: id.to_string(),
+                    median_s: *m,
+                    solver_iterations: None,
+                    peak_rss_bytes: *rss,
+                })
+                .collect(),
+        }
     }
 
     #[test]

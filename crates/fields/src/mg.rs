@@ -873,6 +873,9 @@ pub(crate) fn precondition(
     z: &mut Vec<f64>,
     ws: &mut MgWorkspace,
 ) {
+    // Spans time phases without touching the FP operation order — the
+    // iterate sequence stays bit-identical to the uninstrumented cycle.
+    let _vcycle_span = cnt_obs::span!("fields.vcycle");
     let n = sys.node_count();
     let dims = sys.dims();
     let (wx, wy, wz, diag) = sys.stencil_arrays();
@@ -887,8 +890,11 @@ pub(crate) fn precondition(
     } = ws;
 
     // Fine level: pre-smooth, form the residual, restrict.
-    for _ in 0..SMOOTH_SWEEPS {
-        smooth_rb(dims, wx, wy, wz, diag, free, z, r_in, false);
+    {
+        let _smooth_span = cnt_obs::span!("fields.smooth");
+        for _ in 0..SMOOTH_SWEEPS {
+            smooth_rb(dims, wx, wy, wz, diag, free, z, r_in, false);
+        }
     }
     fine_ax.clear();
     fine_ax.resize(n, 0.0);
@@ -902,11 +908,14 @@ pub(crate) fn precondition(
         let (upper, lower) = levels.split_at_mut(l + 1);
         let lvl = &mut upper[l];
         lvl.x.iter_mut().for_each(|v| *v = 0.0);
-        for _ in 0..SMOOTH_SWEEPS {
-            smooth_rb(
-                lvl.nodes, &lvl.wx, &lvl.wy, &lvl.wz, &lvl.diag, &lvl.free, &mut lvl.x, &lvl.r,
-                false,
-            );
+        {
+            let _smooth_span = cnt_obs::span!("fields.smooth");
+            for _ in 0..SMOOTH_SWEEPS {
+                smooth_rb(
+                    lvl.nodes, &lvl.wx, &lvl.wy, &lvl.wz, &lvl.diag, &lvl.free, &mut lvl.x, &lvl.r,
+                    false,
+                );
+            }
         }
         apply_op(lvl.nodes, &lvl.wx, &lvl.wy, &lvl.wz, &lvl.x, &mut lvl.ax);
         for i in 0..lvl.ax.len() {
@@ -921,6 +930,7 @@ pub(crate) fn precondition(
 
     // Coarsest: exact solve.
     {
+        let _coarse_span = cnt_obs::span!("fields.coarse_solve");
         let last = &mut levels[h.depth - 1];
         let r = std::mem::take(&mut last.r);
         coarse_solve(coarse, &r, &mut last.x);
@@ -932,16 +942,22 @@ pub(crate) fn precondition(
         let (upper, lower) = levels.split_at_mut(l + 1);
         let lvl = &mut upper[l];
         prolong_add(&lower[0], lvl.nodes, &lvl.free, &mut lvl.x);
-        for _ in 0..SMOOTH_SWEEPS {
-            smooth_rb(
-                lvl.nodes, &lvl.wx, &lvl.wy, &lvl.wz, &lvl.diag, &lvl.free, &mut lvl.x, &lvl.r,
-                true,
-            );
+        {
+            let _smooth_span = cnt_obs::span!("fields.smooth");
+            for _ in 0..SMOOTH_SWEEPS {
+                smooth_rb(
+                    lvl.nodes, &lvl.wx, &lvl.wy, &lvl.wz, &lvl.diag, &lvl.free, &mut lvl.x, &lvl.r,
+                    true,
+                );
+            }
         }
     }
     prolong_add(&levels[0], dims, free, z);
-    for _ in 0..SMOOTH_SWEEPS {
-        smooth_rb(dims, wx, wy, wz, diag, free, z, r_in, true);
+    {
+        let _smooth_span = cnt_obs::span!("fields.smooth");
+        for _ in 0..SMOOTH_SWEEPS {
+            smooth_rb(dims, wx, wy, wz, diag, free, z, r_in, true);
+        }
     }
 }
 

@@ -14,6 +14,27 @@
 use crate::grid::Grid3;
 use crate::mg::{self, GridHierarchy, MgWorkspace, MG_AUTO_THRESHOLD_NODES};
 use crate::{Error, Result};
+use cnt_obs::Counter;
+use std::sync::{Arc, OnceLock};
+
+/// `(cg, mgcg)` iterations performed process-wide, for the
+/// `/v1/metrics` export (`cnt_fields_*_iterations_total`).
+fn iteration_counters() -> &'static (Arc<Counter>, Arc<Counter>) {
+    static HANDLES: OnceLock<(Arc<Counter>, Arc<Counter>)> = OnceLock::new();
+    HANDLES.get_or_init(|| {
+        let g = cnt_obs::global();
+        (
+            g.counter(
+                "cnt_fields_cg_iterations_total",
+                "Jacobi-CG iterations performed",
+            ),
+            g.counter(
+                "cnt_fields_mgcg_iterations_total",
+                "MG-CG iterations performed",
+            ),
+        )
+    })
+}
 
 /// Which scheme drives the solve.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -304,7 +325,8 @@ impl StencilSystem {
     /// Returns [`Error::NoConvergence`] when the scheme exhausts
     /// `max_iterations`.
     pub fn solve_full(&self, options: &SolverOptions, ws: &mut SolveWorkspace) -> Result<Solution> {
-        match options.scheme {
+        let _solve_span = cnt_obs::span!("fields.solve");
+        let solution = match options.scheme {
             Method::Auto => {
                 if self.node_count() >= MG_AUTO_THRESHOLD_NODES {
                     self.solve_mgcg(options, ws)
@@ -315,7 +337,18 @@ impl StencilSystem {
             Method::ConjugateGradient => self.solve_cg(options, ws),
             Method::MgCg => self.solve_mgcg(options, ws),
             Method::Sor { omega } => self.solve_sor(options, omega, ws),
+        }?;
+        // Iteration counters observe only; the solve itself is untouched
+        // (determinism of the iterate sequence is golden-pinned).
+        let counter = match solution.method {
+            Method::ConjugateGradient => Some(&iteration_counters().0),
+            Method::MgCg => Some(&iteration_counters().1),
+            _ => None,
+        };
+        if let Some(counter) = counter {
+            counter.add(solution.iterations as u64);
         }
+        Ok(solution)
     }
 
     fn fill_free_mask(&self, free: &mut Vec<bool>) {

@@ -1,0 +1,67 @@
+//! `cnt-obs` — the observability core of the `cnt-beol` workspace.
+//!
+//! Every other layer (fields, sweep, serve, bench) records what it does
+//! through this crate; nothing here depends on anything else, so the
+//! instrumentation can sit below the whole stack. Three pieces:
+//!
+//! * [`MetricRegistry`] — named atomic [`Counter`]s, [`Gauge`]s,
+//!   fixed-boundary log2-bucket [`Histogram`]s, and labeled counter
+//!   families ([`CounterVec`]). Handles are `Arc`s; once resolved, the
+//!   hot path is a couple of relaxed atomic operations — no locks, no
+//!   allocation. [`MetricRegistry::render_prometheus`] and
+//!   [`MetricRegistry::render_json`] export everything at once.
+//! * [`span!`] — RAII timing spans. A guard pushes onto a thread-local
+//!   stack; on drop its wall-time lands in a histogram named after the
+//!   span path (`fields.vcycle` → `cnt_span_fields_vcycle_seconds`) in
+//!   the [`global()`] registry. When a [`Trace`] is active on the
+//!   thread, closed spans additionally fold into a per-request
+//!   [`SpanNode`] tree — the flamegraph-shaped view `repro profile`
+//!   prints.
+//! * [`promcheck`] — a validator for the Prometheus text exposition
+//!   format (`# HELP`/`# TYPE` coverage, duplicate series, histogram
+//!   bucket consistency), so CI can gate `/v1/metrics` output the same
+//!   way `repro check-json` gates JSON bodies.
+//!
+//! The crate is deliberately `std`-only: the build environment has no
+//! crates.io access (see `crates/compat/*`), and the serve layer's
+//! offline constraint extends to its telemetry.
+//!
+//! # Example
+//!
+//! ```
+//! use cnt_obs::{global, span, Trace};
+//!
+//! let requests = global().counter("demo_requests_total", "requests seen");
+//! requests.inc();
+//!
+//! Trace::begin();
+//! {
+//!     let _outer = span!("demo.handle");
+//!     let _inner = span!("demo.compute");
+//! }
+//! let tree = Trace::end();
+//! assert_eq!(tree[0].name, "demo.handle");
+//! assert_eq!(tree[0].children[0].name, "demo.compute");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod promcheck;
+pub mod span;
+
+pub use metrics::{Counter, CounterVec, Gauge, Histogram, MetricRegistry};
+pub use span::{SpanGuard, SpanNode, Trace};
+
+use std::sync::OnceLock;
+
+/// The process-wide registry the [`span!`] system and the library
+/// layers (fields, sweep) record into.
+///
+/// Front ends that need isolated counting (one HTTP server per test,
+/// say) build their own [`MetricRegistry`] and render both.
+pub fn global() -> &'static MetricRegistry {
+    static GLOBAL: OnceLock<MetricRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricRegistry::new)
+}

@@ -1,0 +1,652 @@
+//! Atomic metric primitives and the registry that renders them.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc`s
+//! resolved once at registration; recording is one or two relaxed
+//! atomic operations, so instrumented hot loops pay nanoseconds and
+//! never allocate. The registry itself takes a mutex only to register
+//! a new name or to render — both cold paths.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing `u64` counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable `f64` gauge (stored as bits in an `AtomicU64`).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Replaces the value.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative) with a compare-and-swap loop.
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-boundary histogram with lock-free recording.
+///
+/// The default boundaries are powers of two in seconds, 2⁻²⁰ s
+/// (≈ 0.95 µs) through 2⁵ s (32 s) — wide enough for a cache hit and a
+/// cold XL multigrid solve on the same axis, and cheap to bucket into.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Upper bucket bounds (inclusive, Prometheus `le` semantics),
+    /// strictly increasing. An implicit `+Inf` bucket follows.
+    bounds: Vec<f64>,
+    /// Per-bucket observation counts; `buckets[bounds.len()]` is `+Inf`.
+    buckets: Vec<AtomicU64>,
+    /// Sum of observed values, as `f64` bits.
+    sum_bits: AtomicU64,
+}
+
+/// The default log2 bucket bounds, in seconds.
+pub fn default_seconds_bounds() -> Vec<f64> {
+    (-20..=5).map(|e| (2.0f64).powi(e)).collect()
+}
+
+impl Histogram {
+    /// A histogram over the given upper bounds (must be strictly
+    /// increasing and non-empty); an `+Inf` bucket is added implicitly.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: f64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Records a wall-time duration in seconds.
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_secs_f64());
+    }
+
+    /// Total observation count.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// The upper bucket bounds (without the implicit `+Inf`).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts, `+Inf` last (same snapshot caveat as any
+    /// concurrent read: buckets are loaded one by one).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Estimates the `q`-quantile (`0 ≤ q ≤ 1`) by linear interpolation
+    /// inside the bucket holding it — the same estimate Prometheus'
+    /// `histogram_quantile` computes. Returns `None` when empty.
+    ///
+    /// Observations beyond the last finite bound clamp to it, so the
+    /// estimate is a lower bound when the tail bucket is occupied.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = q.clamp(0.0, 1.0) * total as f64;
+        let mut cum = 0.0;
+        for (i, &c) in counts.iter().enumerate() {
+            let prev = cum;
+            cum += c as f64;
+            if cum >= rank && c > 0 {
+                if i >= self.bounds.len() {
+                    // +Inf bucket: clamp to the last finite bound.
+                    return Some(self.bounds[self.bounds.len() - 1]);
+                }
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let hi = self.bounds[i];
+                let frac = ((rank - prev) / c as f64).clamp(0.0, 1.0);
+                return Some(lo + (hi - lo) * frac);
+            }
+        }
+        Some(self.bounds[self.bounds.len() - 1])
+    }
+}
+
+/// A labeled counter family: one [`Counter`] per label value, plus an
+/// optional unlabeled *base* sample for families that predate their
+/// labels (the serve layer's `cnt_serve_requests_total`).
+#[derive(Debug)]
+pub struct CounterVec {
+    label_key: String,
+    emit_base: bool,
+    base: Counter,
+    children: Mutex<BTreeMap<String, Arc<Counter>>>,
+}
+
+impl CounterVec {
+    fn new(label_key: &str, emit_base: bool) -> Self {
+        Self {
+            label_key: label_key.to_string(),
+            emit_base,
+            base: Counter::default(),
+            children: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The counter for one label value, created on first use. Callers
+    /// on hot paths should resolve once and keep the `Arc`.
+    pub fn with(&self, value: &str) -> Arc<Counter> {
+        let mut children = self.children.lock().expect("counter vec poisoned");
+        if let Some(c) = children.get(value) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::default());
+        children.insert(value.to_string(), Arc::clone(&c));
+        c
+    }
+
+    /// The unlabeled base counter (rendered only when the family was
+    /// registered with `emit_base`).
+    pub fn base(&self) -> &Counter {
+        &self.base
+    }
+
+    /// The label key the family was registered with.
+    pub fn label_key(&self) -> &str {
+        &self.label_key
+    }
+
+    /// Sorted `(label value, count)` snapshot.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        self.children
+            .lock()
+            .expect("counter vec poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+    CounterVec(Arc<CounterVec>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) | Metric::CounterVec(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    help: String,
+    metric: Metric,
+}
+
+/// A named collection of metrics with Prometheus-text and JSON
+/// exporters. Registration is idempotent: asking for an existing name
+/// returns the existing handle (and panics if the kind differs — a
+/// programming error, caught in tests).
+#[derive(Debug, Default)]
+pub struct MetricRegistry {
+    entries: Mutex<BTreeMap<String, Entry>>,
+}
+
+impl MetricRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register<T, F, G>(&self, name: &str, help: &str, make: F, cast: G) -> Arc<T>
+    where
+        F: FnOnce() -> Metric,
+        G: FnOnce(&Metric) -> Option<Arc<T>>,
+    {
+        let mut entries = self.entries.lock().expect("metric registry poisoned");
+        let entry = entries.entry(name.to_string()).or_insert_with(|| Entry {
+            help: help.to_string(),
+            metric: make(),
+        });
+        cast(&entry.metric).unwrap_or_else(|| {
+            panic!(
+                "metric {name:?} already registered as a {}",
+                entry.metric.kind()
+            )
+        })
+    }
+
+    /// Registers (or fetches) a counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.register(
+            name,
+            help,
+            || Metric::Counter(Arc::new(Counter::default())),
+            |m| match m {
+                Metric::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Registers (or fetches) a gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.register(
+            name,
+            help,
+            || Metric::Gauge(Arc::new(Gauge::default())),
+            |m| match m {
+                Metric::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Registers (or fetches) a histogram over the default log2
+    /// seconds bounds.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.histogram_with(name, help, &default_seconds_bounds())
+    }
+
+    /// Registers (or fetches) a histogram over explicit bounds (the
+    /// bounds of an existing registration win).
+    pub fn histogram_with(&self, name: &str, help: &str, bounds: &[f64]) -> Arc<Histogram> {
+        self.register(
+            name,
+            help,
+            || Metric::Histogram(Arc::new(Histogram::new(bounds))),
+            |m| match m {
+                Metric::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Registers (or fetches) a labeled counter family. With
+    /// `emit_base`, the family also renders an unlabeled sample from
+    /// [`CounterVec::base`].
+    pub fn counter_vec(
+        &self,
+        name: &str,
+        help: &str,
+        label_key: &str,
+        emit_base: bool,
+    ) -> Arc<CounterVec> {
+        self.register(
+            name,
+            help,
+            || Metric::CounterVec(Arc::new(CounterVec::new(label_key, emit_base))),
+            |m| match m {
+                Metric::CounterVec(v) => Some(Arc::clone(v)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Renders every metric in the Prometheus text exposition format,
+    /// names sorted, `# HELP`/`# TYPE` per family.
+    pub fn render_prometheus(&self) -> String {
+        let entries = self.entries.lock().expect("metric registry poisoned");
+        let mut out = String::with_capacity(1024);
+        for (name, entry) in entries.iter() {
+            out.push_str("# HELP ");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&entry.help);
+            out.push('\n');
+            out.push_str("# TYPE ");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(entry.metric.kind());
+            out.push('\n');
+            match &entry.metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!("{name} {}\n", c.get()));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!("{name} {}\n", g.get()));
+                }
+                Metric::CounterVec(v) => {
+                    if v.emit_base {
+                        out.push_str(&format!("{name} {}\n", v.base.get()));
+                    }
+                    for (value, count) in v.snapshot() {
+                        out.push_str(&format!(
+                            "{name}{{{}={}}} {count}\n",
+                            v.label_key,
+                            label_quote(&value)
+                        ));
+                    }
+                }
+                Metric::Histogram(h) => {
+                    let counts = h.bucket_counts();
+                    let mut cum = 0u64;
+                    for (i, c) in counts.iter().enumerate() {
+                        cum += c;
+                        let le = if i < h.bounds.len() {
+                            format!("{}", h.bounds[i])
+                        } else {
+                            "+Inf".to_string()
+                        };
+                        out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"));
+                    }
+                    out.push_str(&format!("{name}_sum {}\n", h.sum()));
+                    out.push_str(&format!("{name}_count {cum}\n"));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders every metric as one line of JSON (`repro check-json`
+    /// clean): `{"metrics":[{"name":…,"type":…,…},…]}`.
+    pub fn render_json(&self) -> String {
+        let entries = self.entries.lock().expect("metric registry poisoned");
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"metrics\":[");
+        for (i, (name, entry)) in entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            json_escape(name, &mut out);
+            out.push_str(",\"type\":");
+            json_escape(entry.metric.kind(), &mut out);
+            match &entry.metric {
+                Metric::Counter(c) => out.push_str(&format!(",\"value\":{}", c.get())),
+                Metric::Gauge(g) => out.push_str(&format!(",\"value\":{}", json_num(g.get()))),
+                Metric::CounterVec(v) => {
+                    out.push_str(",\"label\":");
+                    json_escape(&v.label_key, &mut out);
+                    if v.emit_base {
+                        out.push_str(&format!(",\"value\":{}", v.base.get()));
+                    }
+                    out.push_str(",\"values\":{");
+                    for (j, (value, count)) in v.snapshot().iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        json_escape(value, &mut out);
+                        out.push_str(&format!(":{count}"));
+                    }
+                    out.push('}');
+                }
+                Metric::Histogram(h) => {
+                    let counts = h.bucket_counts();
+                    let total: u64 = counts.iter().sum();
+                    out.push_str(&format!(
+                        ",\"count\":{total},\"sum\":{},\"buckets\":[",
+                        json_num(h.sum())
+                    ));
+                    let mut cum = 0u64;
+                    for (j, c) in counts.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        cum += c;
+                        let le = if j < h.bounds.len() {
+                            format!("{}", h.bounds[j])
+                        } else {
+                            "+Inf".to_string()
+                        };
+                        out.push_str("{\"le\":");
+                        json_escape(&le, &mut out);
+                        out.push_str(&format!(",\"count\":{cum}}}"));
+                    }
+                    out.push(']');
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+/// Quotes a Prometheus label value (`\\`, `\"`, `\n` escapes).
+fn label_quote(v: &str) -> String {
+    let mut out = String::with_capacity(v.len() + 2);
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A finite JSON number for an `f64` (`null` otherwise).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_hold_values() {
+        let r = MetricRegistry::new();
+        let c = r.counter("t_total", "help");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Re-registration returns the same underlying counter.
+        assert_eq!(r.counter("t_total", "help").get(), 5);
+
+        let g = r.gauge("t_gauge", "help");
+        g.set(2.5);
+        g.add(-1.0);
+        assert!((g.get() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = MetricRegistry::new();
+        r.counter("t_total", "help");
+        r.gauge("t_total", "help");
+    }
+
+    #[test]
+    fn histogram_buckets_respect_le_semantics() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        // Boundary values land in the bucket they bound (le = ≤).
+        for v in [0.5, 1.0, 2.0, 3.0, 4.0, 100.0] {
+            h.record(v);
+        }
+        assert_eq!(h.bucket_counts(), vec![2, 1, 2, 1]);
+        assert_eq!(h.count(), 6);
+        assert!((h.sum() - 110.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_bounds_are_log2_and_increasing() {
+        let b = default_seconds_bounds();
+        assert_eq!(b.len(), 26);
+        assert!((b[0] - 2f64.powi(-20)).abs() < 1e-18);
+        assert!((b[25] - 32.0).abs() < 1e-12);
+        for w in b.windows(2) {
+            assert!((w[1] / w[0] - 2.0).abs() < 1e-12, "not log2 spaced");
+        }
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantile");
+        for _ in 0..50 {
+            h.record(0.5); // bucket [0, 1]
+        }
+        for _ in 0..50 {
+            h.record(3.0); // bucket (2, 4]
+        }
+        // Median sits exactly at the end of the first bucket.
+        let q50 = h.quantile(0.5).unwrap();
+        assert!((q50 - 1.0).abs() < 1e-9, "q50 = {q50}");
+        // 75th percentile: halfway through the (2, 4] bucket.
+        let q75 = h.quantile(0.75).unwrap();
+        assert!((q75 - 3.0).abs() < 1e-9, "q75 = {q75}");
+        // Quantiles clamp into the finite range.
+        assert!(h.quantile(1.0).unwrap() <= 4.0);
+        // Tail bucket clamps to the last finite bound.
+        h.record(1e9);
+        assert!((h.quantile(1.0).unwrap() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counter_vec_renders_base_and_children() {
+        let r = MetricRegistry::new();
+        let v = r.counter_vec("t_requests_total", "by status", "status", true);
+        v.base().add(3);
+        v.with("200").add(2);
+        v.with("404").inc();
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE t_requests_total counter\n"));
+        assert!(text.contains("\nt_requests_total 3\n") || text.contains("t_requests_total 3\n"));
+        assert!(text.contains("t_requests_total{status=\"200\"} 2\n"));
+        assert!(text.contains("t_requests_total{status=\"404\"} 1\n"));
+        assert_eq!(
+            v.snapshot(),
+            vec![("200".to_string(), 2), ("404".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn prometheus_render_is_cumulative_and_valid() {
+        let r = MetricRegistry::new();
+        let h = r.histogram_with("t_seconds", "timings", &[0.001, 0.01, 0.1]);
+        h.record(0.0005);
+        h.record(0.05);
+        h.record(7.0);
+        r.counter("t_runs_total", "runs").inc();
+        r.gauge("t_workers", "workers").set(4.0);
+        let text = r.render_prometheus();
+        assert!(text.contains("t_seconds_bucket{le=\"0.001\"} 1\n"));
+        assert!(text.contains("t_seconds_bucket{le=\"0.01\"} 1\n"));
+        assert!(text.contains("t_seconds_bucket{le=\"0.1\"} 2\n"));
+        assert!(text.contains("t_seconds_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("t_seconds_count 3\n"));
+        assert!(text.contains("t_workers 4\n"));
+        crate::promcheck::validate(&text).expect("own render must pass the validator");
+    }
+
+    #[test]
+    fn json_render_parses_as_one_object() {
+        let r = MetricRegistry::new();
+        r.counter("t_total", "help").add(2);
+        let v = r.counter_vec("t_by_id_total", "by id", "id", false);
+        v.with("fig\"12").inc();
+        r.histogram_with("t_seconds", "timings", &[1.0]).record(0.5);
+        let json = r.render_json();
+        assert!(json.ends_with("\n") && json.starts_with("{\"metrics\":["));
+        assert!(json.contains("\"fig\\\"12\":1"));
+        assert!(json.contains("\"le\":\"+Inf\""));
+        // Exactly one line: embedded newlines would break `check-json`
+        // streaming consumers.
+        assert_eq!(json.lines().count(), 1);
+    }
+}

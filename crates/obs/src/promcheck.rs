@@ -1,0 +1,385 @@
+//! A validator for the Prometheus text exposition format.
+//!
+//! The serve layer speaks this format on `/v1/metrics`; this module is
+//! the `check-json` equivalent for it, wired into CI via
+//! `repro check-metrics`. Checks:
+//!
+//! * every sample belongs to a family with both `# HELP` and `# TYPE`
+//!   declared before its first sample;
+//! * `# HELP`/`# TYPE` appear at most once per family, with a known
+//!   type;
+//! * no duplicate series (same name and label set);
+//! * every value parses as a float;
+//! * histogram families are internally consistent: a `+Inf` bucket
+//!   exists, bucket counts are cumulative (non-decreasing by `le`),
+//!   and `_count` equals the `+Inf` bucket.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// What a successful validation saw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Summary {
+    /// Families with a `# TYPE` declaration.
+    pub families: usize,
+    /// Total sample lines.
+    pub samples: usize,
+}
+
+#[derive(Debug, Default)]
+struct Family {
+    help: bool,
+    kind: Option<String>,
+    samples: usize,
+    /// Histogram bookkeeping: `le` → cumulative count, plus `_count`.
+    buckets: BTreeMap<String, f64>,
+    count_sample: Option<f64>,
+    has_sum: bool,
+}
+
+/// Validates `text` as Prometheus exposition output.
+///
+/// # Errors
+///
+/// Returns `"line N: …"` describing the first violation.
+pub fn validate(text: &str) -> Result<Summary, String> {
+    let mut families: HashMap<String, Family> = HashMap::new();
+    let mut seen_series: HashSet<String> = HashSet::new();
+    let mut samples = 0usize;
+
+    for (idx, line) in text.lines().enumerate() {
+        let ln = idx + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(decl) = rest.strip_prefix("HELP ") {
+                let name = decl.split_whitespace().next().unwrap_or_default();
+                check_name(name).map_err(|e| format!("line {ln}: {e}"))?;
+                let fam = families.entry(name.to_string()).or_default();
+                if fam.help {
+                    return Err(format!("line {ln}: duplicate # HELP for {name}"));
+                }
+                if fam.samples > 0 {
+                    return Err(format!("line {ln}: # HELP for {name} after its samples"));
+                }
+                fam.help = true;
+            } else if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                let name = parts.next().unwrap_or_default();
+                let kind = parts.next().unwrap_or_default();
+                check_name(name).map_err(|e| format!("line {ln}: {e}"))?;
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(format!(
+                        "line {ln}: unknown metric type {kind:?} for {name}"
+                    ));
+                }
+                let fam = families.entry(name.to_string()).or_default();
+                if fam.kind.is_some() {
+                    return Err(format!("line {ln}: duplicate # TYPE for {name}"));
+                }
+                if fam.samples > 0 {
+                    return Err(format!("line {ln}: # TYPE for {name} after its samples"));
+                }
+                fam.kind = Some(kind.to_string());
+            }
+            // Other comments are legal and ignored.
+            continue;
+        }
+
+        let (name, labels, value) = parse_sample(line).map_err(|e| format!("line {ln}: {e}"))?;
+        samples += 1;
+        let family_name = family_of(&name, &families);
+        let fam = families.get_mut(&family_name).ok_or_else(|| {
+            format!("line {ln}: sample {name} has no # HELP/# TYPE for {family_name}")
+        })?;
+        if !fam.help || fam.kind.is_none() {
+            return Err(format!(
+                "line {ln}: family {family_name} is missing {} before its samples",
+                if fam.help { "# TYPE" } else { "# HELP" }
+            ));
+        }
+        fam.samples += 1;
+        let series = format!("{name}{{{}}}", canonical_labels(&labels));
+        if !seen_series.insert(series) {
+            return Err(format!("line {ln}: duplicate series {name} {labels:?}"));
+        }
+        if fam.kind.as_deref() == Some("histogram") {
+            if name.ends_with("_bucket") {
+                let le = labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .map(|(_, v)| v.clone())
+                    .ok_or_else(|| format!("line {ln}: {name} sample without an le label"))?;
+                fam.buckets.insert(le, value);
+            } else if name.ends_with("_count") {
+                fam.count_sample = Some(value);
+            } else if name.ends_with("_sum") {
+                fam.has_sum = true;
+            }
+        }
+    }
+
+    // Cross-line histogram consistency.
+    for (name, fam) in &families {
+        if fam.kind.as_deref() != Some("histogram") || fam.samples == 0 {
+            continue;
+        }
+        let inf = fam
+            .buckets
+            .get("+Inf")
+            .copied()
+            .ok_or_else(|| format!("histogram {name} has no +Inf bucket"))?;
+        if !fam.has_sum {
+            return Err(format!("histogram {name} has no _sum sample"));
+        }
+        match fam.count_sample {
+            Some(c) if c == inf => {}
+            Some(c) => return Err(format!("histogram {name}: _count {c} != +Inf bucket {inf}")),
+            None => return Err(format!("histogram {name} has no _count sample")),
+        }
+        // Buckets must be cumulative in increasing le order.
+        let mut finite: Vec<(f64, f64)> = Vec::new();
+        for (le, count) in &fam.buckets {
+            if le == "+Inf" {
+                continue;
+            }
+            let le: f64 = le
+                .parse()
+                .map_err(|_| format!("histogram {name}: unparseable le {le:?}"))?;
+            finite.push((le, *count));
+        }
+        finite.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut prev = 0.0;
+        for (le, count) in &finite {
+            if *count < prev {
+                return Err(format!(
+                    "histogram {name}: bucket le={le} count {count} < previous {prev} (not cumulative)"
+                ));
+            }
+            prev = *count;
+        }
+        if inf < prev {
+            return Err(format!(
+                "histogram {name}: +Inf bucket {inf} below last finite bucket {prev}"
+            ));
+        }
+    }
+
+    Ok(Summary {
+        families: families.values().filter(|f| f.kind.is_some()).count(),
+        samples,
+    })
+}
+
+/// Maps a sample name onto its family: histogram samples use the
+/// `_bucket`/`_sum`/`_count` suffixes of a declared histogram family.
+fn family_of(name: &str, families: &HashMap<String, Family>) -> String {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stem) = name.strip_suffix(suffix) {
+            if families
+                .get(stem)
+                .is_some_and(|f| f.kind.as_deref() == Some("histogram"))
+            {
+                return stem.to_string();
+            }
+        }
+    }
+    name.to_string()
+}
+
+fn check_name(name: &str) -> Result<(), String> {
+    let mut chars = name.chars();
+    let ok_first = chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':');
+    if !ok_first
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    {
+        return Err(format!("invalid metric name {name:?}"));
+    }
+    Ok(())
+}
+
+type Sample = (String, Vec<(String, String)>, f64);
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let line = line.trim();
+    let name_end = line
+        .find(|c: char| c == '{' || c.is_whitespace())
+        .ok_or_else(|| format!("sample line {line:?} has no value"))?;
+    let name = &line[..name_end];
+    check_name(name)?;
+    let mut labels = Vec::new();
+    let rest = if line[name_end..].starts_with('{') {
+        let close = line[name_end..]
+            .find('}')
+            .ok_or_else(|| format!("unterminated label set in {line:?}"))?;
+        parse_labels(&line[name_end + 1..name_end + close], &mut labels)?;
+        &line[name_end + close + 1..]
+    } else {
+        &line[name_end..]
+    };
+    let mut parts = rest.split_whitespace();
+    let value = parts
+        .next()
+        .ok_or_else(|| format!("sample {name} has no value"))?;
+    let value: f64 = match value {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        v => v
+            .parse()
+            .map_err(|_| format!("sample {name} has unparseable value {v:?}"))?,
+    };
+    // An optional timestamp may follow; anything further is garbage.
+    if parts.next().is_some() && parts.next().is_some() {
+        return Err(format!("trailing garbage after sample {name}"));
+    }
+    Ok((name.to_string(), labels, value))
+}
+
+/// Parses `k="v",k2="v2"`. Escapes (`\\`, `\"`, `\n`) are unwound; a
+/// label set containing `}` inside a value is out of scope for the
+/// registry's own output and rejected upstream by the `find('}')`.
+fn parse_labels(body: &str, out: &mut Vec<(String, String)>) -> Result<(), String> {
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without '=' in {body:?}"))?;
+        let key = rest[..eq].trim().to_string();
+        check_name(&key).map_err(|_| format!("invalid label name {key:?}"))?;
+        let after = rest[eq + 1..].trim_start();
+        if !after.starts_with('"') {
+            return Err(format!("label {key} value is not quoted"));
+        }
+        let mut value = String::new();
+        let mut chars = after[1..].char_indices();
+        let mut consumed = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, e)) => value.push(e),
+                    None => return Err(format!("dangling escape in label {key}")),
+                },
+                '"' => {
+                    consumed = Some(i + 2); // opening quote + body + closing
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let consumed = consumed.ok_or_else(|| format!("unterminated label value for {key}"))?;
+        out.push((key, value));
+        rest = after[consumed..].trim_start();
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r.trim_start();
+        } else if !rest.is_empty() {
+            return Err(format!("expected ',' between labels in {body:?}"));
+        }
+    }
+    Ok(())
+}
+
+fn canonical_labels(labels: &[(String, String)]) -> String {
+    let mut sorted: Vec<_> = labels.iter().collect();
+    sorted.sort();
+    sorted
+        .iter()
+        .map(|(k, v)| format!("{k}={v:?}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "\
+# HELP demo_total requests seen\n\
+# TYPE demo_total counter\n\
+demo_total 5\n\
+demo_total{status=\"404\"} 1\n\
+# HELP demo_seconds latency\n\
+# TYPE demo_seconds histogram\n\
+demo_seconds_bucket{le=\"0.1\"} 2\n\
+demo_seconds_bucket{le=\"1\"} 3\n\
+demo_seconds_bucket{le=\"+Inf\"} 4\n\
+demo_seconds_sum 2.5\n\
+demo_seconds_count 4\n";
+
+    #[test]
+    fn accepts_a_well_formed_exposition() {
+        let summary = validate(GOOD).expect("good exposition must pass");
+        assert_eq!(
+            summary,
+            Summary {
+                families: 2,
+                samples: 7
+            }
+        );
+    }
+
+    #[test]
+    fn missing_help_or_type_is_rejected() {
+        let err = validate("# TYPE x counter\nx 1\n").unwrap_err();
+        assert!(err.contains("# HELP"), "{err}");
+        let err = validate("# HELP x h\nx 1\n").unwrap_err();
+        assert!(
+            err.contains("no # HELP/# TYPE") || err.contains("# TYPE"),
+            "{err}"
+        );
+        let err = validate("naked_sample 1\n").unwrap_err();
+        assert!(err.contains("naked_sample"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_series_and_declarations_are_rejected() {
+        let err = validate("# HELP x h\n# TYPE x counter\nx 1\nx 2\n").unwrap_err();
+        assert!(err.contains("duplicate series"), "{err}");
+        let dup_label = "# HELP x h\n# TYPE x counter\nx{a=\"1\"} 1\nx{a=\"1\"} 2\n";
+        assert!(validate(dup_label)
+            .unwrap_err()
+            .contains("duplicate series"));
+        // Same name, different labels: fine.
+        let distinct = "# HELP x h\n# TYPE x counter\nx{a=\"1\"} 1\nx{a=\"2\"} 2\n";
+        validate(distinct).expect("distinct label sets are distinct series");
+        let err = validate("# HELP x h\n# HELP x h\n").unwrap_err();
+        assert!(err.contains("duplicate # HELP"), "{err}");
+        let err = validate("# TYPE x counter\n# TYPE x gauge\n").unwrap_err();
+        assert!(err.contains("duplicate # TYPE"), "{err}");
+    }
+
+    #[test]
+    fn histogram_consistency_is_enforced() {
+        let no_inf = "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n";
+        assert!(validate(no_inf).unwrap_err().contains("+Inf"));
+        let non_cumulative = "# HELP h x\n# TYPE h histogram\n\
+            h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\n\
+            h_sum 1\nh_count 5\n";
+        assert!(validate(non_cumulative)
+            .unwrap_err()
+            .contains("not cumulative"));
+        let bad_count = "# HELP h x\n# TYPE h histogram\n\
+            h_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 4\n";
+        assert!(validate(bad_count).unwrap_err().contains("_count"));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_line_numbers() {
+        let err = validate("# HELP x h\n# TYPE x counter\nx notanumber\n").unwrap_err();
+        assert!(err.starts_with("line 3:"), "{err}");
+        let err = validate("# TYPE x wat\n").unwrap_err();
+        assert!(err.contains("unknown metric type"), "{err}");
+        let err = validate("# HELP 2bad h\n").unwrap_err();
+        assert!(err.contains("invalid metric name"), "{err}");
+    }
+}

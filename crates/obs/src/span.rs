@@ -1,0 +1,385 @@
+//! RAII timing spans over a thread-local stack.
+//!
+//! `let _g = span!("fields.vcycle");` times the enclosing scope. On
+//! drop, the elapsed wall-time is recorded into a histogram in the
+//! [`global`](crate::global) registry named after the span path
+//! (`fields.vcycle` → `cnt_span_fields_vcycle_seconds`), so every span
+//! is a latency distribution for free. The histogram handle is cached
+//! per thread after first use: steady-state cost is two `Instant`
+//! reads, a hash lookup, and two relaxed atomics — no allocation, no
+//! locks.
+//!
+//! When a [`Trace`] is active on the thread, closed spans additionally
+//! fold into a [`SpanNode`] tree, merged by name per nesting level
+//! (eight V-cycles become one node with `count = 8`), which is what
+//! `repro profile` renders. Tracing is per-thread: spans recorded on
+//! pool worker threads still land in the histograms, but only
+//! calling-thread spans appear in the tree.
+//!
+//! Guards are panic-safe: an unwinding scope still records and pops.
+
+use crate::metrics::Histogram;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Starts a timing span; bind the guard (`let _g = span!("a.b");`).
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::span($name)
+    };
+}
+
+thread_local! {
+    /// Span-path → histogram handle, resolved once per thread.
+    static HANDLES: RefCell<HashMap<&'static str, Arc<Histogram>>> =
+        RefCell::new(HashMap::new());
+    /// The active trace, if any: one frame of merged children per open
+    /// traced span, `frames[0]` being the root level.
+    static TRACE: RefCell<Option<TraceState>> = const { RefCell::new(None) };
+}
+
+struct TraceState {
+    frames: Vec<Vec<SpanNode>>,
+}
+
+/// One aggregated node of a captured span tree: spans of the same name
+/// at the same nesting level merge (summed time, summed count).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    /// The span path (`"fields.vcycle"`).
+    pub name: String,
+    /// How many spans merged into this node.
+    pub count: u64,
+    /// Total wall-time across the merged spans, in seconds.
+    pub total_s: f64,
+    /// Child spans, first-seen order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Time spent in this span but not in any child, clamped to ≥ 0.
+    pub fn self_s(&self) -> f64 {
+        let child: f64 = self.children.iter().map(|c| c.total_s).sum();
+        (self.total_s - child).max(0.0)
+    }
+
+    /// Appends this node as a JSON object (single line, no trailing
+    /// newline): `{"name":…,"count":…,"total_s":…,"children":[…]}`.
+    pub fn push_json(&self, out: &mut String) {
+        out.push_str("{\"name\":\"");
+        for c in self.name.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c => out.push(c),
+            }
+        }
+        let total = if self.total_s.is_finite() {
+            self.total_s
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "\",\"count\":{},\"total_s\":{}",
+            self.count, total
+        ));
+        out.push_str(",\"children\":[");
+        for (i, child) in self.children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            child.push_json(out);
+        }
+        out.push_str("]}");
+    }
+}
+
+fn merge_into(list: &mut Vec<SpanNode>, node: SpanNode) {
+    if let Some(existing) = list.iter_mut().find(|n| n.name == node.name) {
+        existing.count += node.count;
+        existing.total_s += node.total_s;
+        for child in node.children {
+            merge_into(&mut existing.children, child);
+        }
+    } else {
+        list.push(node);
+    }
+}
+
+/// A per-thread span-tree capture. `begin` arms it, `end` returns the
+/// merged root-level nodes. Spans already open when the trace begins
+/// are not captured (they still record their histograms).
+pub struct Trace;
+
+impl Trace {
+    /// Arms tracing on this thread, discarding any previous capture.
+    pub fn begin() {
+        TRACE.with(|t| {
+            *t.borrow_mut() = Some(TraceState {
+                frames: vec![Vec::new()],
+            });
+        });
+    }
+
+    /// Whether a trace is active on this thread.
+    pub fn is_active() -> bool {
+        TRACE.with(|t| t.borrow().is_some())
+    }
+
+    /// Disarms tracing and returns the captured root-level nodes
+    /// (empty when no trace was active). Frames of spans still open at
+    /// `end` are folded into their parent level so nothing is lost.
+    pub fn end() -> Vec<SpanNode> {
+        TRACE.with(|t| {
+            let Some(mut state) = t.borrow_mut().take() else {
+                return Vec::new();
+            };
+            while state.frames.len() > 1 {
+                let orphans = state.frames.pop().expect("frame vec checked non-empty");
+                let parent = state.frames.last_mut().expect("root frame always present");
+                for node in orphans {
+                    merge_into(parent, node);
+                }
+            }
+            state.frames.pop().unwrap_or_default()
+        })
+    }
+}
+
+/// The RAII guard [`span!`] returns; records on drop.
+pub struct SpanGuard {
+    name: &'static str,
+    start: Instant,
+    traced: bool,
+}
+
+/// Starts a span (prefer the [`span!`] macro).
+pub fn span(name: &'static str) -> SpanGuard {
+    let traced = TRACE
+        .try_with(|t| {
+            let mut t = t.borrow_mut();
+            match t.as_mut() {
+                Some(state) => {
+                    state.frames.push(Vec::new());
+                    true
+                }
+                None => false,
+            }
+        })
+        .unwrap_or(false);
+    SpanGuard {
+        name,
+        start: Instant::now(),
+        traced,
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        // Histogram record, via the per-thread handle cache. try_with:
+        // a guard dropped during thread teardown must not panic.
+        let _ = HANDLES.try_with(|handles| {
+            let mut handles = handles.borrow_mut();
+            let h = handles
+                .entry(self.name)
+                .or_insert_with(|| register_span_histogram(self.name));
+            h.record_duration(elapsed);
+        });
+        if self.traced {
+            let _ = TRACE.try_with(|t| {
+                let mut t = t.borrow_mut();
+                if let Some(state) = t.as_mut() {
+                    let children = state.frames.pop().unwrap_or_default();
+                    let node = SpanNode {
+                        name: self.name.to_string(),
+                        count: 1,
+                        total_s: elapsed.as_secs_f64(),
+                        children,
+                    };
+                    match state.frames.last_mut() {
+                        Some(parent) => merge_into(parent, node),
+                        // The trace was replaced under an open guard;
+                        // re-seed the root frame rather than lose data.
+                        None => state.frames.push(vec![node]),
+                    }
+                }
+            });
+        }
+    }
+}
+
+fn register_span_histogram(name: &str) -> Arc<Histogram> {
+    let mut metric = String::with_capacity(name.len() + 24);
+    metric.push_str("cnt_span_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            metric.push(c);
+        } else {
+            metric.push('_');
+        }
+    }
+    metric.push_str("_seconds");
+    crate::global().histogram(&metric, &format!("wall time of the {name} span"))
+}
+
+/// Renders captured span trees as an indented text table: name, merge
+/// count, total time, share of the parent's total.
+pub fn render_tree_text(roots: &[SpanNode]) -> String {
+    fn width(nodes: &[SpanNode], depth: usize) -> usize {
+        nodes
+            .iter()
+            .map(|n| (2 * depth + n.name.len()).max(width(&n.children, depth + 1)))
+            .max()
+            .unwrap_or(0)
+    }
+    fn walk(nodes: &[SpanNode], depth: usize, parent_s: f64, w: usize, out: &mut String) {
+        for n in nodes {
+            let pct = if parent_s > 0.0 {
+                100.0 * n.total_s / parent_s
+            } else {
+                100.0
+            };
+            let label = format!("{}{}", "  ".repeat(depth), n.name);
+            out.push_str(&format!(
+                "{label:<w$}  {:>10}  {pct:>5.1}%  x{}\n",
+                fmt_secs(n.total_s),
+                n.count
+            ));
+            walk(&n.children, depth + 1, n.total_s, w, out);
+        }
+    }
+    let w = width(roots, 0).max(8);
+    let mut out = String::new();
+    walk(roots, 0, roots.iter().map(|n| n.total_s).sum(), w, &mut out);
+    out
+}
+
+/// Formats seconds with an adaptive unit (`ns`/`µs`/`ms`/`s`).
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.0} ns", s * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn nested_spans_build_a_merged_tree() {
+        Trace::begin();
+        {
+            let _outer = span!("test.outer");
+            for _ in 0..3 {
+                let _inner = span!("test.inner");
+                let _leaf = span!("test.leaf");
+            }
+        }
+        let roots = Trace::end();
+        assert_eq!(roots.len(), 1);
+        let outer = &roots[0];
+        assert_eq!((outer.name.as_str(), outer.count), ("test.outer", 1));
+        assert_eq!(outer.children.len(), 1, "inner spans must merge");
+        let inner = &outer.children[0];
+        assert_eq!((inner.name.as_str(), inner.count), ("test.inner", 3));
+        assert_eq!(inner.children[0].count, 3);
+        assert!(outer.total_s >= inner.total_s);
+        assert!(outer.self_s() >= 0.0);
+        // The trace is disarmed: a second end is empty.
+        assert!(Trace::end().is_empty());
+    }
+
+    #[test]
+    fn spans_record_histograms_without_a_trace() {
+        {
+            let _g = span!("test.histo-only");
+        }
+        let text = crate::global().render_prometheus();
+        assert!(
+            text.contains("cnt_span_test_histo_only_seconds_count"),
+            "span histogram missing from global registry"
+        );
+    }
+
+    #[test]
+    fn panicking_scopes_still_pop_and_record() {
+        Trace::begin();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let _outer = span!("test.panic-outer");
+            let _inner = span!("test.panic-inner");
+            panic!("span scope blew up");
+        }));
+        assert!(result.is_err());
+        // Both guards dropped during unwind: the tree is intact and a
+        // fresh span nests at root level, not under a leaked frame.
+        {
+            let _after = span!("test.panic-after");
+        }
+        let roots = Trace::end();
+        let names: Vec<&str> = roots.iter().map(|n| n.name.as_str()).collect();
+        assert!(names.contains(&"test.panic-outer"), "{names:?}");
+        assert!(names.contains(&"test.panic-after"), "{names:?}");
+        let outer = roots.iter().find(|n| n.name == "test.panic-outer").unwrap();
+        assert_eq!(outer.children[0].name, "test.panic-inner");
+    }
+
+    #[test]
+    fn end_folds_open_frames_into_parents() {
+        Trace::begin();
+        let open = span!("test.still-open");
+        {
+            let _closed = span!("test.closed-child");
+        }
+        let roots = Trace::end();
+        // The open span's frame is folded up so the closed child is
+        // not lost; the open span itself was never closed, so it is
+        // absent by construction.
+        assert!(roots.iter().any(|n| n.name == "test.closed-child"));
+        drop(open);
+    }
+
+    #[test]
+    fn tree_renders_text_and_json() {
+        let roots = vec![SpanNode {
+            name: "a".to_string(),
+            count: 1,
+            total_s: 0.2,
+            children: vec![SpanNode {
+                name: "b.c".to_string(),
+                count: 4,
+                total_s: 0.1,
+                children: Vec::new(),
+            }],
+        }];
+        let text = render_tree_text(&roots);
+        assert!(text.contains("a"), "{text}");
+        assert!(text.contains("  b.c"), "{text}");
+        assert!(text.contains("50.0%"), "{text}");
+        assert!(text.contains("x4"), "{text}");
+        let mut json = String::new();
+        roots[0].push_json(&mut json);
+        assert_eq!(
+            json,
+            "{\"name\":\"a\",\"count\":1,\"total_s\":0.2,\"children\":[{\"name\":\"b.c\",\"count\":4,\"total_s\":0.1,\"children\":[]}]}"
+        );
+    }
+
+    #[test]
+    fn fmt_secs_picks_units() {
+        assert_eq!(fmt_secs(2.5), "2.500 s");
+        assert_eq!(fmt_secs(0.0123), "12.300 ms");
+        assert_eq!(fmt_secs(4.2e-5), "42.000 µs");
+        assert_eq!(fmt_secs(5.0e-8), "50 ns");
+    }
+}

@@ -163,7 +163,7 @@ fn read_crlf_line(
 }
 
 /// An outgoing response: status, content type, optional `Retry-After`,
-/// body.
+/// optional `X-Request-Id`, body.
 #[derive(Debug, Clone)]
 pub struct Response {
     /// HTTP status code.
@@ -172,6 +172,9 @@ pub struct Response {
     pub content_type: &'static str,
     /// `Retry-After` seconds (the `503` backpressure hint).
     pub retry_after: Option<u32>,
+    /// `X-Request-Id` header value; the server loop stamps one onto
+    /// every response it sends (the same id its access log records).
+    pub request_id: Option<String>,
     /// The response body.
     pub body: String,
 }
@@ -183,6 +186,7 @@ impl Response {
             status,
             content_type: "application/json",
             retry_after: None,
+            request_id: None,
             body,
         }
     }
@@ -215,6 +219,9 @@ impl Response {
         );
         if let Some(seconds) = self.retry_after {
             head.push_str(&format!("Retry-After: {seconds}\r\n"));
+        }
+        if let Some(id) = &self.request_id {
+            head.push_str(&format!("X-Request-Id: {id}\r\n"));
         }
         head.push_str("\r\n");
         out.write_all(head.as_bytes())?;
@@ -350,5 +357,18 @@ mod tests {
         let text = String::from_utf8(busy).unwrap();
         assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
         assert!(text.contains("Retry-After: 1\r\n"));
+    }
+
+    #[test]
+    fn request_id_header_is_emitted_when_set() {
+        let mut out = Vec::new();
+        Response {
+            request_id: Some("00c0ffee-000007".to_string()),
+            ..Response::json(200, "{}\n".to_string())
+        }
+        .write_to(&mut out)
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("X-Request-Id: 00c0ffee-000007\r\n"), "{text}");
     }
 }

@@ -53,7 +53,7 @@ pub mod signal;
 
 pub use cache::LruCache;
 pub use http::{Request, Response};
-pub use server::{Config, Server, ShutdownHandle, StatsSnapshot};
+pub use server::{AccessLogFormat, Config, Server, ShutdownHandle};
 
 use core::fmt;
 

@@ -17,12 +17,22 @@
 //! Determinism makes both safe: a run body is a pure function of
 //! `(id, parameter point, format)`, which is exactly what the hash
 //! covers.
+//!
+//! Everything the scheduler observes lives in a per-server `cnt-obs`
+//! [`MetricRegistry`]: the counters `/v1/healthz` reports, the
+//! Prometheus families `/v1/metrics` exports (the legacy `cnt_serve_*`
+//! names plus `*_seconds` latency histograms for the queue-wait / run /
+//! serialize / write phases of a request), and the per-status and
+//! per-experiment labeled counters. Every response carries an
+//! `X-Request-Id`, and [`Config::access_log`] turns on a structured
+//! per-request log line (text or JSON) on stdout.
 
 use crate::cache::{CachedBody, LruCache};
 use crate::http::{self, Request, RequestError, Response};
 use crate::{api, signal, Error, Result};
-use cnt_interconnect::experiments::format::OutputFormat;
+use cnt_interconnect::experiments::format::{self, OutputFormat};
 use cnt_interconnect::experiments::{self, Experiment, Params, Report, RunContext};
+use cnt_obs::{Counter, CounterVec, Gauge, Histogram, MetricRegistry};
 use cnt_sweep::seed::fnv1a;
 use cnt_sweep::WorkerPool;
 use std::collections::HashMap;
@@ -30,13 +40,22 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
 
 /// How a worker turns a resolved experiment + context into a report.
 /// Injectable so tests can slow computations down or fail them on
 /// purpose; production uses [`Experiment::run`].
 pub type Runner =
     dyn Fn(&'static dyn Experiment, &RunContext) -> cnt_interconnect::Result<Report> + Send + Sync;
+
+/// How the per-request access log renders each completed exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessLogFormat {
+    /// One human-readable line per request.
+    Text,
+    /// One JSON object per line (`repro check-json` clean).
+    Json,
+}
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -69,6 +88,10 @@ pub struct Config {
     /// Also stop on `SIGINT`/`SIGTERM` (the `repro serve` front end
     /// installs the handlers via [`signal::install`]).
     pub watch_signals: bool,
+    /// When set, one structured access-log line per request goes to
+    /// stdout (stderr keeps the startup banner, so piping stdout yields
+    /// a clean log stream).
+    pub access_log: Option<AccessLogFormat>,
 }
 
 impl Default for Config {
@@ -82,6 +105,7 @@ impl Default for Config {
             keep_alive_idle: Duration::from_secs(5),
             max_requests_per_connection: 100,
             watch_signals: false,
+            access_log: None,
         }
     }
 }
@@ -125,45 +149,124 @@ impl Write for DeadlineStream {
     }
 }
 
-/// Monotonic counters the scheduler maintains (served by `/v1/healthz`
-/// and scraped through `/v1/metrics`).
-#[derive(Debug, Default)]
-struct Stats {
-    /// Requests a worker started parsing.
-    requests: AtomicU64,
-    /// Kernel computations actually performed.
-    runs: AtomicU64,
-    /// Run requests served straight from the LRU cache.
-    cache_hits: AtomicU64,
-    /// Run requests that missed the LRU cache (leader runs + coalesced
-    /// waiters alike).
-    cache_misses: AtomicU64,
-    /// Run requests that attached to an in-flight computation.
-    coalesced: AtomicU64,
-    /// Connections bounced with `503` because the queue was full.
-    rejected: AtomicU64,
-    /// Requests served on an already-open keep-alive connection (i.e.
-    /// requests beyond the first per connection).
-    keepalive_reuses: AtomicU64,
+/// The scheduler's metric handles, all registered in one per-server
+/// [`MetricRegistry`] (per-server so concurrent servers — every e2e
+/// test spawns one — count independently). `/v1/healthz` and
+/// `/v1/metrics` both read these handles; there is no second set of
+/// counters to copy into.
+struct Metrics {
+    registry: MetricRegistry,
+    /// Family `cnt_serve_requests_total`: the unlabeled base sample
+    /// keeps the legacy meaning (requests a worker started parsing);
+    /// the `{status="…"}` children count every response sent,
+    /// including the `400`/`404`/`503` paths that previously went
+    /// uncounted.
+    requests: Arc<CounterVec>,
+    runs: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    coalesced: Arc<Counter>,
+    rejected: Arc<Counter>,
+    keepalive_reuses: Arc<Counter>,
+    /// `cnt_serve_experiment_runs_total{id="…"}`: run requests per
+    /// experiment id (counted once resolution succeeds, cache hits and
+    /// coalesced waiters included).
+    experiment_runs: Arc<CounterVec>,
+    queue_wait_seconds: Arc<Histogram>,
+    request_seconds: Arc<Histogram>,
+    run_seconds: Arc<Histogram>,
+    serialize_seconds: Arc<Histogram>,
+    write_seconds: Arc<Histogram>,
+    cached_bodies: Arc<Gauge>,
+    uptime_seconds: Arc<Gauge>,
+    started: Instant,
 }
 
-/// A point-in-time copy of the scheduler counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct StatsSnapshot {
-    /// Requests a worker started parsing.
-    pub requests: u64,
-    /// Kernel computations actually performed.
-    pub runs: u64,
-    /// Run requests served straight from the LRU cache.
-    pub cache_hits: u64,
-    /// Run requests that missed the LRU cache.
-    pub cache_misses: u64,
-    /// Run requests that attached to an in-flight computation.
-    pub coalesced: u64,
-    /// Connections bounced with `503` because the queue was full.
-    pub rejected: u64,
-    /// Requests served on an already-open keep-alive connection.
-    pub keepalive_reuses: u64,
+impl Metrics {
+    fn new(workers: usize, queue_capacity: usize) -> Self {
+        let r = MetricRegistry::new();
+        let requests = r.counter_vec(
+            "cnt_serve_requests_total",
+            "requests a worker started parsing (unlabeled) and responses sent by status",
+            "status",
+            true,
+        );
+        let metrics = Self {
+            runs: r.counter(
+                "cnt_serve_runs_total",
+                "kernel computations actually performed",
+            ),
+            cache_hits: r.counter(
+                "cnt_serve_cache_hits_total",
+                "run requests served straight from the LRU body cache",
+            ),
+            cache_misses: r.counter(
+                "cnt_serve_cache_misses_total",
+                "run requests that missed the LRU body cache",
+            ),
+            coalesced: r.counter(
+                "cnt_serve_coalesced_total",
+                "run requests that attached to an in-flight computation",
+            ),
+            rejected: r.counter(
+                "cnt_serve_rejected_total",
+                "connections bounced with 503 because the queue was full",
+            ),
+            keepalive_reuses: r.counter(
+                "cnt_serve_keepalive_reuses_total",
+                "requests served on an already-open keep-alive connection",
+            ),
+            experiment_runs: r.counter_vec(
+                "cnt_serve_experiment_runs_total",
+                "run requests per experiment id",
+                "id",
+                false,
+            ),
+            queue_wait_seconds: r.histogram(
+                "cnt_serve_queue_wait_seconds",
+                "time an accepted connection waited in the admission queue",
+            ),
+            request_seconds: r.histogram(
+                "cnt_serve_request_seconds",
+                "request handling wall time, parse to response written",
+            ),
+            run_seconds: r.histogram(
+                "cnt_serve_run_seconds",
+                "kernel computation wall time (leaders only)",
+            ),
+            serialize_seconds: r.histogram(
+                "cnt_serve_serialize_seconds",
+                "report serialization wall time (leaders only)",
+            ),
+            write_seconds: r.histogram("cnt_serve_write_seconds", "response write wall time"),
+            cached_bodies: r.gauge("cnt_serve_cached_bodies", "bodies resident in the LRU"),
+            uptime_seconds: r.gauge(
+                "cnt_serve_uptime_seconds",
+                "seconds since the server started",
+            ),
+            started: Instant::now(),
+            requests,
+            registry: r,
+        };
+        metrics
+            .registry
+            .gauge("cnt_serve_workers", "pool worker threads")
+            .set(workers as f64);
+        metrics
+            .registry
+            .gauge("cnt_serve_queue_capacity", "admission queue capacity")
+            .set(queue_capacity as f64);
+        metrics
+            .registry
+            .gauge("cnt_serve_experiments", "experiments in the registry")
+            .set(experiments::catalog().count() as f64);
+        metrics
+    }
+
+    /// Counts one sent response under its status label.
+    fn count_response(&self, status: u16) {
+        self.requests.with(&status.to_string()).inc();
+    }
 }
 
 /// One in-flight computation; waiters park on the condvar and read the
@@ -176,7 +279,7 @@ struct Flight {
 
 /// State shared between the accept loop and the pool workers.
 struct Shared {
-    stats: Stats,
+    metrics: Metrics,
     cache: Mutex<LruCache>,
     inflight: Mutex<HashMap<u64, Arc<Flight>>>,
     runner: Box<Runner>,
@@ -185,6 +288,18 @@ struct Shared {
     request_deadline: Duration,
     keep_alive_idle: Duration,
     max_requests_per_connection: usize,
+    access_log: Option<AccessLogFormat>,
+    /// Request-id prefix (per server) and sequence: every response
+    /// carries `X-Request-Id: <prefix>-<seq>`.
+    rid_prefix: u32,
+    rid_seq: AtomicU64,
+}
+
+impl Shared {
+    fn next_request_id(&self) -> String {
+        let seq = self.rid_seq.fetch_add(1, Ordering::Relaxed);
+        format!("{:08x}-{seq:06x}", self.rid_prefix)
+    }
 }
 
 /// The bound-but-not-yet-serving server.
@@ -238,8 +353,14 @@ impl Server {
             .local_addr()
             .map_err(|e| Error::io("local_addr", e))?;
         let pool = WorkerPool::new(config.workers, config.queue_capacity);
+        let rid_prefix = {
+            let nanos = SystemTime::now()
+                .duration_since(SystemTime::UNIX_EPOCH)
+                .map_or(0, |d| d.as_nanos() as u64);
+            fnv1a(&nanos.to_le_bytes()) as u32 ^ (u64::from(local_addr.port()) as u32)
+        };
         let shared = Arc::new(Shared {
-            stats: Stats::default(),
+            metrics: Metrics::new(pool.threads(), config.queue_capacity),
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
             inflight: Mutex::new(HashMap::new()),
             runner: Box::new(runner),
@@ -248,6 +369,9 @@ impl Server {
             request_deadline: config.request_deadline,
             keep_alive_idle: config.keep_alive_idle,
             max_requests_per_connection: config.max_requests_per_connection,
+            access_log: config.access_log,
+            rid_prefix,
+            rid_seq: AtomicU64::new(0),
         });
         Ok(Self {
             listener,
@@ -322,10 +446,12 @@ impl Server {
         // moves into a job the queue then refuses.
         let fallback = stream.try_clone();
         let shared = Arc::clone(&self.shared);
-        let job = Box::new(move || handle_connection(stream, &shared));
+        let queued_at = Instant::now();
+        let job = Box::new(move || handle_connection(stream, &shared, queued_at));
         if let Err(job) = self.pool.submit(job) {
             drop(job); // closes the moved-in stream handle
-            self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            self.shared.metrics.rejected.inc();
+            self.shared.metrics.count_response(503);
             if let Ok(mut stream) = fallback {
                 // Drain the bytes the client already sent: closing with
                 // unread data turns into a TCP RST that can discard the
@@ -334,15 +460,34 @@ impl Server {
                 let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
                 let mut sink = [0u8; 8192];
                 let _ = std::io::Read::read(&mut stream, &mut sink);
+                let request_id = self.shared.next_request_id();
                 let busy = Response {
                     retry_after: Some(1),
+                    request_id: Some(request_id.clone()),
                     ..Response::json(
                         503,
                         api::error_json("server busy: the request queue is full, retry shortly"),
                     )
                 };
+                let bytes = busy.body.len();
                 let _ = busy.write_to(&mut stream);
                 let _ = stream.shutdown(std::net::Shutdown::Write);
+                if let Some(log_format) = self.shared.access_log {
+                    print!(
+                        "{}",
+                        access_log_line(
+                            log_format,
+                            &AccessRecord {
+                                request_id: &request_id,
+                                method: "-",
+                                path: "-",
+                                status: 503,
+                                bytes,
+                                duration_s: queued_at.elapsed().as_secs_f64(),
+                            },
+                        )
+                    );
+                }
             }
         }
     }
@@ -353,46 +498,81 @@ impl Server {
 /// `Connection: close`, the per-connection request cap, an idle timeout,
 /// or a parse error ends it. Pipelined requests already sitting in the
 /// buffered reader are served without waiting.
-fn handle_connection(stream: TcpStream, shared: &Shared) {
+fn handle_connection(stream: TcpStream, shared: &Shared, queued_at: Instant) {
+    shared
+        .metrics
+        .queue_wait_seconds
+        .record_duration(queued_at.elapsed());
     let mut reader = BufReader::new(DeadlineStream {
         stream,
         deadline: Instant::now() + shared.request_deadline,
     });
     let mut served = 0usize;
     loop {
-        let (response, keep_alive) = match http::read_request(&mut reader) {
+        let started = Instant::now();
+        let (response, keep_alive, target) = match http::read_request(&mut reader) {
             Ok(request) => {
-                shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.requests.base().inc();
                 if served > 0 {
-                    shared
-                        .stats
-                        .keepalive_reuses
-                        .fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.keepalive_reuses.inc();
                 }
                 // A kept-alive connection parks on a pool worker between
                 // requests, so reuse is bounded two ways: a short idle
                 // window and a hard per-connection request cap.
                 let keep =
                     request.wants_keep_alive() && served + 1 < shared.max_requests_per_connection;
-                (route(&request, shared), keep)
+                let target = (request.method.clone(), request.path.clone());
+                (route(&request, shared), keep, Some(target))
             }
             Err(RequestError::Malformed(message)) => {
-                (Response::json(400, api::error_json(&message)), false)
+                (Response::json(400, api::error_json(&message)), false, None)
             }
             Err(RequestError::TooLarge(message)) => {
-                (Response::json(413, api::error_json(&message)), false)
+                (Response::json(413, api::error_json(&message)), false, None)
             }
             Err(RequestError::Io(_)) => return, // died or idled out; nobody to answer
         };
+        let request_id = shared.next_request_id();
+        let response = Response {
+            request_id: Some(request_id.clone()),
+            ..response
+        };
+        shared.metrics.count_response(response.status);
         // The computation does not count against the request's read
         // budget: the response write gets a fresh deadline of its own.
         let stream = reader.get_mut();
         stream.deadline = Instant::now() + shared.request_deadline;
-        if response.write_to_with(stream, keep_alive).is_err() {
-            return;
-        }
+        let write_started = Instant::now();
+        let write_result = response.write_to_with(stream, keep_alive);
         let _ = stream.flush();
-        if !keep_alive {
+        shared
+            .metrics
+            .write_seconds
+            .record_duration(write_started.elapsed());
+        shared
+            .metrics
+            .request_seconds
+            .record_duration(started.elapsed());
+        if let Some(log_format) = shared.access_log {
+            let (method, path) = target
+                .as_ref()
+                .map_or(("-", "-"), |(m, p)| (m.as_str(), p.as_str()));
+            print!(
+                "{}",
+                access_log_line(
+                    log_format,
+                    &AccessRecord {
+                        request_id: &request_id,
+                        method,
+                        path,
+                        status: response.status,
+                        bytes: response.body.len(),
+                        duration_s: started.elapsed().as_secs_f64(),
+                    },
+                )
+            );
+        }
+        if write_result.is_err() || !keep_alive {
             return;
         }
         served += 1;
@@ -409,6 +589,50 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     }
 }
 
+/// One completed exchange, as the access log sees it.
+struct AccessRecord<'a> {
+    request_id: &'a str,
+    method: &'a str,
+    path: &'a str,
+    status: u16,
+    bytes: usize,
+    duration_s: f64,
+}
+
+/// Renders one access-log line (trailing newline included). The
+/// timestamp is unix seconds at render time; method and path are
+/// client-controlled and escaped accordingly in the JSON form.
+fn access_log_line(log_format: AccessLogFormat, record: &AccessRecord<'_>) -> String {
+    let ts = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map_or(0.0, |d| d.as_secs_f64());
+    match log_format {
+        AccessLogFormat::Text => format!(
+            "{ts:.3} {} \"{} {}\" {} {}B {:.6}s\n",
+            record.request_id,
+            record.method,
+            record.path,
+            record.status,
+            record.bytes,
+            record.duration_s,
+        ),
+        AccessLogFormat::Json => {
+            let mut out = String::with_capacity(160);
+            out.push_str(&format!("{{\"ts\":{ts:.3},\"request_id\":"));
+            format::json_string(record.request_id, &mut out);
+            out.push_str(",\"method\":");
+            format::json_string(record.method, &mut out);
+            out.push_str(",\"path\":");
+            format::json_string(record.path, &mut out);
+            out.push_str(&format!(
+                ",\"status\":{},\"bytes\":{},\"duration_s\":{:.6}}}\n",
+                record.status, record.bytes, record.duration_s,
+            ));
+            out
+        }
+    }
+}
+
 /// The `/v1` router.
 fn route(request: &Request, shared: &Shared) -> Response {
     let path = request.path.trim_end_matches('/');
@@ -419,6 +643,7 @@ fn route(request: &Request, shared: &Shared) -> Response {
             status: 200,
             content_type: "text/plain; version=0.0.4",
             retry_after: None,
+            request_id: None,
             body: metrics_text(shared),
         },
         ("GET", "/v1/experiments") => Response::json(200, api::catalog_json()),
@@ -479,13 +704,14 @@ fn run_route(id: &str, request: &Request, shared: &Shared) -> Response {
             }
             Err(e) => return Response::json(400, api::error_json(&e.to_string())),
         };
+    shared.metrics.experiment_runs.with(id).inc();
     let key = request_key(id, run_request.format, &ctx.params);
 
     if let Some(hit) = shared.cache.lock().expect("cache poisoned").get(key) {
-        shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.cache_hits.inc();
         return ok_response(hit);
     }
-    shared.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.cache_misses.inc();
 
     // Coalesce: one leader computes, identical concurrent requests wait.
     let (flight, leader) = {
@@ -500,7 +726,7 @@ fn run_route(id: &str, request: &Request, shared: &Shared) -> Response {
         }
     };
     if !leader {
-        shared.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.coalesced.inc();
         let mut slot = flight.slot.lock().expect("flight poisoned");
         while slot.is_none() {
             slot = flight.done.wait(slot).expect("flight poisoned");
@@ -511,15 +737,21 @@ fn run_route(id: &str, request: &Request, shared: &Shared) -> Response {
         };
     }
 
-    shared.stats.runs.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.runs.inc();
     // The leader must publish *some* outcome: if a kernel panicked and the
     // flight were abandoned, every waiter (and every future request for
     // this point) would park on the condvar forever — so catch the unwind
     // and turn it into a 500 like any other run failure.
+    let run_started = Instant::now();
     let run_result =
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (shared.runner)(exp, &ctx)));
+    shared
+        .metrics
+        .run_seconds
+        .record_duration(run_started.elapsed());
     let outcome = match run_result {
         Ok(Ok(report)) => {
+            let serialize_started = Instant::now();
             let (content_type, body) = match run_request.format {
                 // The CLI prints JSON reports with println!, so the served
                 // body is to_json + "\n" — byte-identical to the pipe.
@@ -528,6 +760,10 @@ fn run_route(id: &str, request: &Request, shared: &Shared) -> Response {
                 }
                 OutputFormat::Csv => ("text/csv", report.to_csv()),
             };
+            shared
+                .metrics
+                .serialize_seconds
+                .record_duration(serialize_started.elapsed());
             Ok(CachedBody {
                 content_type,
                 body: Arc::new(body),
@@ -566,6 +802,7 @@ fn ok_response(body: CachedBody) -> Response {
         status: 200,
         content_type: body.content_type,
         retry_after: None,
+        request_id: None,
         body: body.body.as_str().to_string(),
     }
 }
@@ -583,21 +820,10 @@ fn request_key(id: &str, format: OutputFormat, params: &Params) -> u64 {
     fnv1a(&bytes)
 }
 
-fn snapshot(shared: &Shared) -> StatsSnapshot {
-    StatsSnapshot {
-        requests: shared.stats.requests.load(Ordering::Relaxed),
-        runs: shared.stats.runs.load(Ordering::Relaxed),
-        cache_hits: shared.stats.cache_hits.load(Ordering::Relaxed),
-        cache_misses: shared.stats.cache_misses.load(Ordering::Relaxed),
-        coalesced: shared.stats.coalesced.load(Ordering::Relaxed),
-        rejected: shared.stats.rejected.load(Ordering::Relaxed),
-        keepalive_reuses: shared.stats.keepalive_reuses.load(Ordering::Relaxed),
-    }
-}
-
-/// The `/v1/healthz` body: liveness plus the scheduler counters.
+/// The `/v1/healthz` body: liveness plus the scheduler counters, read
+/// straight from the same registry `/v1/metrics` renders.
 fn healthz_json(shared: &Shared) -> String {
-    let stats = snapshot(shared);
+    let m = &shared.metrics;
     let cached = shared.cache.lock().expect("cache poisoned").len();
     format!(
         "{{\"status\":\"ok\",\"experiments\":{},\"workers\":{},\"queue_capacity\":{},\"cached_bodies\":{},\"requests\":{},\"runs\":{},\"cache_hits\":{},\"coalesced\":{},\"rejected\":{}}}\n",
@@ -605,86 +831,34 @@ fn healthz_json(shared: &Shared) -> String {
         shared.workers,
         shared.queue_capacity,
         cached,
-        stats.requests,
-        stats.runs,
-        stats.cache_hits,
-        stats.coalesced,
-        stats.rejected,
+        m.requests.base().get(),
+        m.runs.get(),
+        m.cache_hits.get(),
+        m.coalesced.get(),
+        m.rejected.get(),
     )
 }
 
-/// The `GET /v1/metrics` body: every scheduler/cache counter in the
-/// Prometheus text exposition format (one `name value` sample per line,
-/// `# TYPE` annotations). A superset of the healthz counters — it adds
-/// the LRU miss and keep-alive reuse totals and the gauges a scraper
-/// wants alongside them.
+/// The `GET /v1/metrics` body: the per-server registry (legacy
+/// `cnt_serve_*` counter names, the per-status/per-experiment families,
+/// the `*_seconds` histograms, and the gauges) followed by the global
+/// `cnt-obs` registry (span histograms and library-layer counters from
+/// `cnt-fields`/`cnt-sweep` recorded in this process). Metric names are
+/// disjoint by prefix, so the concatenation stays a valid exposition.
 fn metrics_text(shared: &Shared) -> String {
-    let stats = snapshot(shared);
-    let cached = shared.cache.lock().expect("cache poisoned").len();
-    let mut out = String::with_capacity(1024);
-    let mut counter = |name: &str, help: &str, value: u64| {
-        out.push_str(&format!(
-            "# HELP cnt_serve_{name} {help}\n# TYPE cnt_serve_{name} counter\ncnt_serve_{name} {value}\n",
-        ));
-    };
-    counter(
-        "requests_total",
-        "requests a worker started parsing",
-        stats.requests,
-    );
-    counter(
-        "runs_total",
-        "kernel computations actually performed",
-        stats.runs,
-    );
-    counter(
-        "cache_hits_total",
-        "run requests served straight from the LRU body cache",
-        stats.cache_hits,
-    );
-    counter(
-        "cache_misses_total",
-        "run requests that missed the LRU body cache",
-        stats.cache_misses,
-    );
-    counter(
-        "coalesced_total",
-        "run requests that attached to an in-flight computation",
-        stats.coalesced,
-    );
-    counter(
-        "rejected_total",
-        "connections bounced with 503 because the queue was full",
-        stats.rejected,
-    );
-    counter(
-        "keepalive_reuses_total",
-        "requests served on an already-open keep-alive connection",
-        stats.keepalive_reuses,
-    );
-    let mut gauge = |name: &str, help: &str, value: u64| {
-        out.push_str(&format!(
-            "# HELP cnt_serve_{name} {help}\n# TYPE cnt_serve_{name} gauge\ncnt_serve_{name} {value}\n",
-        ));
-    };
-    gauge("cached_bodies", "bodies resident in the LRU", cached as u64);
-    gauge("workers", "pool worker threads", shared.workers as u64);
-    gauge(
-        "queue_capacity",
-        "admission queue capacity",
-        shared.queue_capacity as u64,
-    );
-    gauge(
-        "experiments",
-        "experiments in the registry",
-        experiments::catalog().count() as u64,
-    );
+    let m = &shared.metrics;
+    m.cached_bodies
+        .set(shared.cache.lock().expect("cache poisoned").len() as f64);
+    m.uptime_seconds.set(m.started.elapsed().as_secs_f64());
+    let mut out = m.registry.render_prometheus();
+    out.push_str(&cnt_obs::global().render_prometheus());
     out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cnt_interconnect::experiments::format::check_json_stream;
 
     #[test]
     fn request_key_separates_id_format_and_point() {
@@ -696,5 +870,83 @@ mod tests {
         let sets = vec![("nc".to_string(), "6".to_string())];
         let (_, moved) = experiments::resolve_context("fig12", None, &sets).unwrap();
         assert_ne!(a, request_key("fig12", OutputFormat::Json, &moved.params));
+    }
+
+    #[test]
+    fn access_log_lines_render_both_formats() {
+        let record = AccessRecord {
+            request_id: "00c0ffee-000001",
+            method: "POST",
+            path: "/v1/experiments/fig\"12/run",
+            status: 200,
+            bytes: 512,
+            duration_s: 0.012345,
+        };
+        let text = access_log_line(AccessLogFormat::Text, &record);
+        assert!(text.ends_with('\n'));
+        assert!(
+            text.contains("00c0ffee-000001 \"POST /v1/experiments/fig\"12/run\" 200 512B"),
+            "{text}"
+        );
+        let json = access_log_line(AccessLogFormat::Json, &record);
+        assert!(json.ends_with('\n') && json.lines().count() == 1);
+        check_json_stream(&json).expect("json access log line must parse");
+        assert!(json.contains("\"status\":200"), "{json}");
+        assert!(json.contains("\"duration_s\":0.012345"), "{json}");
+        assert!(json.contains("fig\\\"12"), "escaped path: {json}");
+    }
+
+    #[test]
+    fn server_metrics_render_is_validator_clean_and_byte_compatible() {
+        let m = Metrics::new(4, 32);
+        m.requests.base().add(2);
+        m.count_response(200);
+        m.count_response(404);
+        m.runs.inc();
+        m.request_seconds.record(0.01);
+        let text = m.registry.render_prometheus();
+        cnt_obs::promcheck::validate(&text).expect("registry render must validate");
+        // The PR 5 sample lines survive byte-for-byte.
+        for line in [
+            "cnt_serve_requests_total 2\n",
+            "cnt_serve_runs_total 1\n",
+            "cnt_serve_cache_hits_total 0\n",
+            "cnt_serve_cache_misses_total 0\n",
+            "cnt_serve_coalesced_total 0\n",
+            "cnt_serve_rejected_total 0\n",
+            "cnt_serve_keepalive_reuses_total 0\n",
+            "cnt_serve_workers 4\n",
+            "cnt_serve_queue_capacity 32\n",
+        ] {
+            assert!(text.contains(line), "missing {line:?} in:\n{text}");
+        }
+        // New series: status labels and phase histograms.
+        assert!(text.contains("cnt_serve_requests_total{status=\"200\"} 1\n"));
+        assert!(text.contains("cnt_serve_requests_total{status=\"404\"} 1\n"));
+        assert!(text.contains("cnt_serve_request_seconds_bucket{le=\"+Inf\"} 1\n"));
+        assert!(text.contains("# TYPE cnt_serve_uptime_seconds gauge\n"));
+    }
+
+    #[test]
+    fn request_ids_are_unique_per_server() {
+        let m = Metrics::new(1, 1);
+        let shared = Shared {
+            metrics: m,
+            cache: Mutex::new(LruCache::new(1)),
+            inflight: Mutex::new(HashMap::new()),
+            runner: Box::new(|exp, ctx| exp.run(ctx)),
+            workers: 1,
+            queue_capacity: 1,
+            request_deadline: Duration::from_secs(1),
+            keep_alive_idle: Duration::from_secs(1),
+            max_requests_per_connection: 1,
+            access_log: None,
+            rid_prefix: 0xc0ffee,
+            rid_seq: AtomicU64::new(0),
+        };
+        let a = shared.next_request_id();
+        let b = shared.next_request_id();
+        assert_ne!(a, b);
+        assert!(a.starts_with("00c0ffee-"), "{a}");
     }
 }

@@ -673,3 +673,118 @@ fn registry_snapshot_sanity() {
         assert!(registry().get(id).is_ok(), "{id} missing from registry");
     }
 }
+
+#[test]
+fn metrics_scrape_is_validator_clean_and_requests_carry_ids() {
+    let (addr, handle, thread) = start(Server::bind(config()).unwrap());
+
+    // Drive every response class: a run (200), a missing route (404),
+    // and a wrong method (405).
+    let (status, headers, _) = http(addr, "POST", "/v1/experiments/table1/run", "{}");
+    assert_eq!(status, 200);
+    let rid = headers
+        .iter()
+        .find(|(n, _)| n == "x-request-id")
+        .map(|(_, v)| v.clone())
+        .expect("200 carries X-Request-Id");
+    let (status, headers, _) = http(addr, "GET", "/v1/nosuch", "");
+    assert_eq!(status, 404);
+    let rid_404 = headers
+        .iter()
+        .find(|(n, _)| n == "x-request-id")
+        .map(|(_, v)| v.clone())
+        .expect("404 carries X-Request-Id");
+    assert_ne!(rid, rid_404, "request ids are per-request");
+    let (status, _, _) = http(addr, "POST", "/v1/metrics", "");
+    assert_eq!(status, 405);
+
+    let (status, headers, text) = http(addr, "GET", "/v1/metrics", "");
+    assert_eq!(status, 200);
+    assert!(
+        headers.iter().any(|(n, _)| n == "x-request-id"),
+        "metrics scrape carries X-Request-Id too"
+    );
+
+    // The whole exposition — server registry plus the global cnt-obs
+    // registry — passes the Prometheus validator.
+    cnt_obs::promcheck::validate(&text)
+        .unwrap_or_else(|e| panic!("invalid exposition: {e}\n{text}"));
+
+    // PR5's series survive byte-compatibly…
+    for name in [
+        "cnt_serve_requests_total",
+        "cnt_serve_runs_total",
+        "cnt_serve_cache_hits_total",
+        "cnt_serve_cache_misses_total",
+        "cnt_serve_coalesced_total",
+        "cnt_serve_rejected_total",
+        "cnt_serve_keepalive_reuses_total",
+        "cnt_serve_cached_bodies",
+        "cnt_serve_workers",
+        "cnt_serve_queue_capacity",
+        "cnt_serve_experiments",
+    ] {
+        assert!(
+            text.contains(&format!("\n{name} ")) || text.starts_with(&format!("{name} ")),
+            "legacy sample '{name}' missing:\n{text}"
+        );
+    }
+    // …and the new families are present: per-status counters (the 404
+    // and 405 above are counted), latency histograms, labeled
+    // per-experiment runs, and the uptime gauge.
+    assert!(
+        text.contains("cnt_serve_requests_total{status=\"200\"}"),
+        "{text}"
+    );
+    assert!(
+        text.contains("cnt_serve_requests_total{status=\"404\"} 1"),
+        "{text}"
+    );
+    assert!(
+        text.contains("cnt_serve_requests_total{status=\"405\"} 1"),
+        "{text}"
+    );
+    assert!(
+        text.contains("cnt_serve_experiment_runs_total{id=\"table1\"} 1"),
+        "{text}"
+    );
+    for histogram in [
+        "cnt_serve_queue_wait_seconds",
+        "cnt_serve_request_seconds",
+        "cnt_serve_run_seconds",
+        "cnt_serve_serialize_seconds",
+        "cnt_serve_write_seconds",
+    ] {
+        assert!(
+            text.contains(&format!("# TYPE {histogram} histogram")),
+            "{histogram} missing:\n{text}"
+        );
+        assert!(text.contains(&format!("{histogram}_bucket{{le=\"+Inf\"}}")));
+    }
+    assert!(text.contains("cnt_serve_uptime_seconds"), "{text}");
+    // The run above performed one computation; its histogram count says so.
+    assert!(text.contains("cnt_serve_run_seconds_count 1"), "{text}");
+
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
+#[test]
+fn healthz_and_metrics_read_the_same_registry() {
+    let (addr, handle, thread) = start(Server::bind(config()).unwrap());
+
+    let (_, _) = post(addr, "/v1/experiments/table1/run", "{}");
+    let (_, _) = post(addr, "/v1/experiments/table1/run", "{}"); // LRU hit
+
+    let (_, health) = get(addr, "/v1/healthz");
+    let (_, text) = get(addr, "/v1/metrics");
+    // One source of truth: the healthz counters and the Prometheus
+    // samples are reads of the same atomics.
+    assert_eq!(counter(&health, "runs"), 1);
+    assert_eq!(counter(&health, "cache_hits"), 1);
+    assert!(text.contains("cnt_serve_runs_total 1\n"), "{text}");
+    assert!(text.contains("cnt_serve_cache_hits_total 1\n"), "{text}");
+
+    handle.shutdown();
+    thread.join().unwrap();
+}

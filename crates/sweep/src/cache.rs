@@ -19,10 +19,30 @@ use crate::json;
 use crate::plan::SweepPlan;
 use crate::seed::fnv1a;
 use crate::{Error, Result};
+use cnt_obs::Counter;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::SystemTime;
+
+/// `get_or_compute` outcomes, process-wide (memory and disk hits count
+/// alike — either way the sweep was not recomputed).
+fn hit_miss_counters() -> &'static (Arc<Counter>, Arc<Counter>) {
+    static HANDLES: OnceLock<(Arc<Counter>, Arc<Counter>)> = OnceLock::new();
+    HANDLES.get_or_init(|| {
+        let g = cnt_obs::global();
+        (
+            g.counter(
+                "cnt_sweep_cache_hits_total",
+                "sweep lookups answered from the result store",
+            ),
+            g.counter(
+                "cnt_sweep_cache_misses_total",
+                "sweep lookups that had to recompute",
+            ),
+        )
+    })
+}
 
 /// The content hash identifying one sweep run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -186,9 +206,12 @@ impl ResultStore {
     where
         F: FnOnce() -> Result<(Vec<String>, Vec<Vec<f64>>)>,
     {
+        let (hits, misses) = hit_miss_counters();
         if let Some(hit) = self.get(key) {
+            hits.inc();
             return Ok((hit, true));
         }
+        misses.inc();
         let (columns, rows) = compute()?;
         Ok((self.put(key, columns, rows)?, false))
     }

@@ -3,10 +3,24 @@
 use crate::plan::{Job, SweepPlan};
 use crate::seed::job_rng;
 use crate::{Error, Result};
+use cnt_obs::Counter;
 use core::fmt;
 use rand::rngs::StdRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Jobs executed, across every plan this process ran. The matching
+/// per-job duration histogram is `cnt_span_sweep_job_seconds`, fed by
+/// the `sweep.job` span below.
+fn jobs_counter() -> &'static Arc<Counter> {
+    static HANDLE: OnceLock<Arc<Counter>> = OnceLock::new();
+    HANDLE.get_or_init(|| {
+        cnt_obs::global().counter(
+            "cnt_sweep_jobs_total",
+            "sweep jobs executed by the Executor",
+        )
+    })
+}
 
 /// Runs a plan's jobs on a pool of worker threads.
 ///
@@ -70,7 +84,12 @@ impl Executor {
             for index in 0..n {
                 let job = plan.job(index);
                 let mut rng = job_rng(root_seed, fingerprint, index);
-                out.push(work(&job, &mut rng).map_err(|e| Error::Job {
+                jobs_counter().inc();
+                let result = {
+                    let _job_span = cnt_obs::span!("sweep.job");
+                    work(&job, &mut rng)
+                };
+                out.push(result.map_err(|e| Error::Job {
                     index,
                     message: e.to_string(),
                 })?);
@@ -91,7 +110,14 @@ impl Executor {
                     }
                     let job = plan.job(index);
                     let mut rng = job_rng(root_seed, fingerprint, index);
-                    let result = work(&job, &mut rng);
+                    jobs_counter().inc();
+                    // The span lands in the global per-job histogram; the
+                    // tree view only sees spans on the *tracing* thread,
+                    // so pooled jobs time but don't nest under a profile.
+                    let result = {
+                        let _job_span = cnt_obs::span!("sweep.job");
+                        work(&job, &mut rng)
+                    };
                     *slots[index].lock().expect("result slot poisoned") = Some(result);
                 });
             }

@@ -14,10 +14,24 @@
 //! * **Draining shutdown** — [`WorkerPool::shutdown`] stops intake, lets
 //!   every queued and in-flight job finish, and joins the workers.
 
+use cnt_obs::Gauge;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+
+/// Jobs waiting in pool queues process-wide (several pools — one per
+/// server under test, say — sum into the same gauge; submits and pops
+/// are balanced, so it reads zero at rest).
+fn queue_depth_gauge() -> &'static Arc<Gauge> {
+    static HANDLE: OnceLock<Arc<Gauge>> = OnceLock::new();
+    HANDLE.get_or_init(|| {
+        cnt_obs::global().gauge(
+            "cnt_sweep_queue_depth",
+            "jobs waiting in worker-pool queues",
+        )
+    })
+}
 
 /// A unit of externally-submitted work.
 pub type PoolJob = Box<dyn FnOnce() + Send + 'static>;
@@ -64,6 +78,7 @@ impl WorkerPool {
                         let mut state = shared.state.lock().expect("pool poisoned");
                         loop {
                             if let Some(job) = state.queue.pop_front() {
+                                queue_depth_gauge().add(-1.0);
                                 break Some(job);
                             }
                             if state.shutting_down {
@@ -117,6 +132,7 @@ impl WorkerPool {
         }
         state.queue.push_back(job);
         drop(state);
+        queue_depth_gauge().add(1.0);
         self.shared.work_ready.notify_one();
         Ok(())
     }

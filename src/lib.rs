@@ -17,6 +17,7 @@
 //! | parallel sweep / Monte-Carlo engine | [`sweep`] | ensembles behind Figs. 5–7, 12, 13 |
 //! | compact models & experiments | [`interconnect`] | III.C, Figs. 9/12 |
 //! | experiment registry (trait catalog, typed params, JSON/CSV reports) | [`interconnect::experiments`] | every artefact |
+//! | observability (atomic counters/gauges/histograms, tracing spans, Prometheus render + validator) | [`obs`] | every layer, measured in-process |
 //! | HTTP experiment server (keep-alive, scheduling, coalescing, LRU result cache, `/v1/metrics`) | [`serve`] | every artefact, as a service |
 //! | benchmark harness (`repro bench`: kernel registry, `BENCH_*.json` perf trajectory, `bench diff` regression gate) | `cnt-bench` | every hot path, measured |
 //!
@@ -62,6 +63,7 @@ pub use cnt_circuit as circuit;
 pub use cnt_fields as fields;
 pub use cnt_interconnect as interconnect;
 pub use cnt_measure as measure;
+pub use cnt_obs as obs;
 pub use cnt_process as process;
 pub use cnt_reliability as reliability;
 pub use cnt_serve as serve;
