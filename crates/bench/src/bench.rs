@@ -397,6 +397,11 @@ pub fn kernels() -> Vec<Kernel> {
             title: "cnt-serve keep-alive run round-trip (LRU-hot)",
             run: bench_serve_roundtrip,
         },
+        Kernel {
+            id: "serve.fleet_roundtrip",
+            title: "cnt-fleet non-owner round-trip (peer-fill-hot, 2 instances)",
+            run: bench_fleet_roundtrip,
+        },
     ]
 }
 
@@ -681,6 +686,87 @@ fn bench_serve_roundtrip(cfg: &KernelCfg) -> KernelRun {
     });
     handle.shutdown();
     serving.join().expect("server thread");
+    KernelRun::timed(samples)
+}
+
+fn bench_fleet_roundtrip(cfg: &KernelCfg) -> KernelRun {
+    let (warmup, iters) = budget(cfg);
+    let bind = |_| {
+        cnt_serve::Server::bind(cnt_serve::Config {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 16,
+            cache_capacity: 64,
+            ..cnt_serve::Config::default()
+        })
+        .expect("bind ephemeral port")
+    };
+    let servers: Vec<_> = (0..2).map(bind).collect();
+    let peers: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+    for (index, server) in servers.iter().enumerate() {
+        server
+            .enable_fleet(cnt_serve::FleetConfig::new(peers.clone(), index))
+            .expect("join fleet");
+    }
+    // Route through the instance that does NOT own table1's default
+    // point, so every timed iteration pays fill probe + relay.
+    let (_, ctx) =
+        cnt_interconnect::experiments::resolve_context("table1", None, &[]).expect("table1 exists");
+    let ring = cnt_serve::fleet::HashRing::new(&peers);
+    let owner = ring.owner_of_hash(ctx.params.content_hash()).expect("ring");
+    let front = servers[1 - owner].local_addr();
+
+    let mut handles = Vec::new();
+    let mut serving = Vec::new();
+    for server in servers {
+        handles.push(server.handle());
+        serving.push(std::thread::spawn(move || {
+            server.serve().expect("serve");
+        }));
+    }
+
+    let stream = std::net::TcpStream::connect(front).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    // One keep-alive connection to the non-owner; warmup computes the
+    // point once on the owner, then the timed iterations measure the
+    // cross-instance hop (fill probe hitting the owner's LRU).
+    let samples = time_iterations(warmup, iters, move || {
+        write!(
+            writer,
+            "POST /v1/experiments/table1/run HTTP/1.1\r\nHost: bench\r\nContent-Length: 2\r\nConnection: keep-alive\r\n\r\n{{}}"
+        )
+        .expect("send request");
+        writer.flush().expect("flush");
+        let mut content_length = None;
+        loop {
+            let mut line = String::new();
+            assert!(reader.read_line(&mut line).expect("read head") > 0);
+            if line == "\r\n" || line == "\n" {
+                break;
+            }
+            if let Some(v) = line
+                .to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::trim)
+            {
+                content_length = v.parse::<usize>().ok();
+            }
+        }
+        let mut body = vec![0u8; content_length.expect("framed response")];
+        reader.read_exact(&mut body).expect("read body");
+        black_box(body);
+    });
+    for handle in handles {
+        handle.shutdown();
+    }
+    for thread in serving {
+        thread.join().expect("server thread");
+    }
     KernelRun::timed(samples)
 }
 

@@ -23,7 +23,11 @@
 //!                         expose the registry as a JSON API (cnt-serve):
 //!                         run bodies are byte-identical to
 //!                         `repro <id> --format json`; SIGTERM/ctrl-c
-//!                         drains in-flight work and exits
+//!                         drains in-flight work and exits. With
+//!                         --fleet A1,A2 --self-index K the instance
+//!                         joins a consistent-hash fleet (cnt-fleet);
+//!                         --jobs/--job-ttl size the async job table
+//!                         behind POST /v1/sweeps/{id}
 //! repro cache gc --max-bytes 10000000
 //!                         shrink the on-disk sweep cache by evicting the
 //!                         oldest-modified entries first (flat and
@@ -76,6 +80,10 @@ fn usage() {
     eprintln!("       repro sweep <id> [--trials N] [--threads N] [--seed S] [--set KEY=VALUE]...");
     eprintln!("                        [--cache-dir DIR] [--no-cache] [--format text|json|csv]");
     eprintln!("       repro serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]");
+    eprintln!(
+        "                   [--fleet A1,A2,... --self-index K [--fleet-mode proxy|redirect]]"
+    );
+    eprintln!("                   [--jobs N] [--job-ttl SECS] [--access-log text|json]");
     eprintln!("                   [--access-log text|json]");
     eprintln!("       repro cache gc [--max-bytes N] [--max-age SECS] [--cache-dir DIR]");
     eprintln!("       repro bench [--quick] [--filter SUBSTR] [--format text|json]");
@@ -626,6 +634,55 @@ fn run_serve_command(args: &[String]) -> ExitCode {
                 }
                 None => return fail("--access-log needs a value"),
             },
+            "--fleet" => match take("--fleet", it.next()) {
+                Ok(peers) => {
+                    let peers: Vec<String> =
+                        peers.split(',').map(|p| p.trim().to_string()).collect();
+                    let self_index = config.fleet.as_ref().map_or(0, |f| f.self_index);
+                    let mode = config
+                        .fleet
+                        .as_ref()
+                        .map_or(cnt_serve::RouteMode::Proxy, |f| f.mode);
+                    let mut fleet = cnt_serve::FleetConfig::new(peers, self_index);
+                    fleet.mode = mode;
+                    config.fleet = Some(fleet);
+                }
+                Err(e) => return fail(&e),
+            },
+            "--self-index" => match parse_count("--self-index", take("--self-index", it.next())) {
+                Ok(k) => match config.fleet.as_mut() {
+                    Some(fleet) => fleet.self_index = k,
+                    None => return fail("--self-index needs --fleet first"),
+                },
+                Err(e) => return fail(&e),
+            },
+            "--fleet-mode" => match it.next().map(String::as_str) {
+                Some(raw @ ("proxy" | "redirect")) => {
+                    let mode = if raw == "proxy" {
+                        cnt_serve::RouteMode::Proxy
+                    } else {
+                        cnt_serve::RouteMode::Redirect
+                    };
+                    match config.fleet.as_mut() {
+                        Some(fleet) => fleet.mode = mode,
+                        None => return fail("--fleet-mode needs --fleet first"),
+                    }
+                }
+                Some(other) => {
+                    return fail(&format!(
+                        "--fleet-mode expects proxy or redirect, got '{other}'"
+                    ))
+                }
+                None => return fail("--fleet-mode needs a value"),
+            },
+            "--jobs" => match parse_count("--jobs", take("--jobs", it.next())) {
+                Ok(n) => config.jobs_capacity = n,
+                Err(e) => return fail(&e),
+            },
+            "--job-ttl" => match parse_count("--job-ttl", take("--job-ttl", it.next())) {
+                Ok(secs) => config.job_ttl = std::time::Duration::from_secs(secs as u64),
+                Err(e) => return fail(&e),
+            },
             other => return fail(&format!("unknown serve flag '{other}'")),
         }
     }
@@ -634,12 +691,25 @@ fn run_serve_command(args: &[String]) -> ExitCode {
         Ok(server) => server,
         Err(e) => return fail(&format!("serve: {e}")),
     };
+    let fleet_note = config.fleet.as_ref().map_or(String::new(), |fleet| {
+        format!(
+            ", fleet {}/{} ({})",
+            fleet.self_index,
+            fleet.peers.len(),
+            match fleet.mode {
+                cnt_serve::RouteMode::Proxy => "proxy",
+                cnt_serve::RouteMode::Redirect => "redirect",
+            }
+        )
+    });
     eprintln!(
-        "repro serve: http://{} — {} workers, queue {}, cache {} bodies (SIGTERM/ctrl-c drains and exits)",
+        "repro serve: http://{} — {} workers, queue {}, cache {} bodies, {} jobs{} (SIGTERM/ctrl-c drains and exits)",
         server.local_addr(),
         server.workers(),
         config.queue_capacity,
-        config.cache_capacity
+        config.cache_capacity,
+        config.jobs_capacity,
+        fleet_note
     );
     match server.serve() {
         Ok(()) => {

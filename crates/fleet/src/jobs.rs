@@ -1,0 +1,316 @@
+//! A bounded, TTL-garbage-collected table of asynchronous sweep jobs.
+//!
+//! `POST /v1/sweeps/{id}` must return immediately, so the serve layer
+//! parks the work on its `WorkerPool` and records a [`JobEntry`] here for
+//! the client to poll. The table is deliberately dumb shared state — a
+//! mutexed map of `Arc` entries — because the interesting lifecycle lives
+//! *in* the entry: the HTTP thread creates it `Queued`, the pool worker
+//! flips it `Running` and eventually `Done`/`Failed`, and any number of
+//! poll requests read it concurrently through the shared [`Progress`]
+//! counters and the state mutex.
+//!
+//! Two guards keep a long-lived server healthy:
+//!
+//! * **Bounded admission** — [`JobTable::create`] refuses new jobs once
+//!   `capacity` entries exist (after a GC pass), turning runaway
+//!   submission into an explicit `503 + Retry-After` shed upstream.
+//! * **TTL GC** — finished jobs older than `ttl` are dropped on the next
+//!   create or explicit [`JobTable::gc`], so results are pollable for a
+//!   grace window but never accumulate forever.
+
+use cnt_sweep::progress::Progress;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Where a job is in its life, plus the terminal payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a pool worker.
+    Queued,
+    /// A worker is executing the sweep.
+    Running,
+    /// Finished successfully; the body is the rendered report.
+    Done {
+        /// Content type of the stored body.
+        content_type: String,
+        /// Rendered response body, byte-identical to the synchronous
+        /// endpoint's.
+        body: String,
+        /// When the job finished (drives TTL GC).
+        finished: Instant,
+    },
+    /// Finished unsuccessfully; the body is the rendered error JSON.
+    Failed {
+        /// HTTP status the error maps to.
+        status: u16,
+        /// Rendered error body.
+        body: String,
+        /// When the job failed (drives TTL GC).
+        finished: Instant,
+    },
+}
+
+impl JobState {
+    /// The wire name polled via `GET /v1/jobs/{rid}`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done { .. } => "done",
+            JobState::Failed { .. } => "failed",
+        }
+    }
+
+    fn finished_at(&self) -> Option<Instant> {
+        match self {
+            JobState::Done { finished, .. } | JobState::Failed { finished, .. } => Some(*finished),
+            _ => None,
+        }
+    }
+}
+
+/// One asynchronous sweep job, shared between the HTTP threads and the
+/// pool worker executing it.
+#[derive(Debug)]
+pub struct JobEntry {
+    /// Job id (the request id of the submitting `POST`).
+    pub id: String,
+    /// Experiment the sweep runs.
+    pub sweep_id: String,
+    /// Live trial counters fed by the sweep executor.
+    pub progress: Arc<Progress>,
+    state: Mutex<JobState>,
+}
+
+impl JobEntry {
+    /// A snapshot of the current state (clones terminal payloads).
+    pub fn state(&self) -> JobState {
+        self.state.lock().expect("job state poisoned").clone()
+    }
+
+    /// Marks the job picked up by a worker.
+    pub fn mark_running(&self) {
+        *self.state.lock().expect("job state poisoned") = JobState::Running;
+    }
+
+    /// Stores the finished body and flips the job `Done`.
+    pub fn complete(&self, content_type: &str, body: String) {
+        *self.state.lock().expect("job state poisoned") = JobState::Done {
+            content_type: content_type.to_string(),
+            body,
+            finished: Instant::now(),
+        };
+    }
+
+    /// Stores the error body and flips the job `Failed`.
+    pub fn fail(&self, status: u16, body: String) {
+        *self.state.lock().expect("job state poisoned") = JobState::Failed {
+            status,
+            body,
+            finished: Instant::now(),
+        };
+    }
+}
+
+/// The server-wide registry of async jobs.
+#[derive(Debug)]
+pub struct JobTable {
+    capacity: usize,
+    ttl: Duration,
+    jobs: Mutex<HashMap<String, Arc<JobEntry>>>,
+}
+
+impl JobTable {
+    /// A table admitting at most `capacity` live jobs, keeping finished
+    /// ones pollable for `ttl` after completion.
+    pub fn new(capacity: usize, ttl: Duration) -> Self {
+        Self {
+            capacity,
+            ttl,
+            jobs: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The admission ceiling the table was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Registers a new `Queued` job under `id`.
+    ///
+    /// Runs a GC pass first so expired results never count against the
+    /// ceiling.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(())` when the table is full — the caller sheds with
+    /// `503 + Retry-After`, mirroring the worker-queue shed.
+    #[allow(clippy::result_unit_err)]
+    pub fn create(&self, id: &str, sweep_id: &str) -> Result<Arc<JobEntry>, ()> {
+        let now = Instant::now();
+        let mut jobs = self.jobs.lock().expect("job table poisoned");
+        Self::collect(&mut jobs, self.ttl, now);
+        if jobs.len() >= self.capacity {
+            return Err(());
+        }
+        let entry = Arc::new(JobEntry {
+            id: id.to_string(),
+            sweep_id: sweep_id.to_string(),
+            progress: Arc::new(Progress::new()),
+            state: Mutex::new(JobState::Queued),
+        });
+        jobs.insert(id.to_string(), Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Looks a job up by id.
+    pub fn get(&self, id: &str) -> Option<Arc<JobEntry>> {
+        self.jobs
+            .lock()
+            .expect("job table poisoned")
+            .get(id)
+            .cloned()
+    }
+
+    /// Withdraws a job (the submit-bounced path: a job whose work never
+    /// made it onto the pool must not linger `Queued` forever).
+    pub fn remove(&self, id: &str) -> Option<Arc<JobEntry>> {
+        self.jobs.lock().expect("job table poisoned").remove(id)
+    }
+
+    /// Drops finished jobs whose TTL expired; returns how many went.
+    pub fn gc(&self) -> usize {
+        let mut jobs = self.jobs.lock().expect("job table poisoned");
+        Self::collect(&mut jobs, self.ttl, Instant::now())
+    }
+
+    /// Jobs currently queued or running (the live-depth gauge).
+    pub fn pending(&self) -> usize {
+        self.jobs
+            .lock()
+            .expect("job table poisoned")
+            .values()
+            .filter(|entry| {
+                matches!(
+                    *entry.state.lock().expect("job state poisoned"),
+                    JobState::Queued | JobState::Running
+                )
+            })
+            .count()
+    }
+
+    /// All entries, finished or not.
+    pub fn len(&self) -> usize {
+        self.jobs.lock().expect("job table poisoned").len()
+    }
+
+    /// Whether the table holds no jobs at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn collect(jobs: &mut HashMap<String, Arc<JobEntry>>, ttl: Duration, now: Instant) -> usize {
+        let before = jobs.len();
+        jobs.retain(|_, entry| {
+            match entry
+                .state
+                .lock()
+                .expect("job state poisoned")
+                .finished_at()
+            {
+                Some(finished) => now.duration_since(finished) < ttl,
+                None => true, // queued/running jobs never expire
+            }
+        });
+        before - jobs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_queued_running_done() {
+        let table = JobTable::new(4, Duration::from_secs(600));
+        let job = table.create("j1", "fig12").unwrap();
+        assert_eq!(job.state().label(), "queued");
+        assert_eq!(table.pending(), 1);
+
+        job.mark_running();
+        assert_eq!(job.state().label(), "running");
+        job.progress.add_total(10);
+        job.progress.inc_done();
+        assert_eq!((job.progress.done(), job.progress.total()), (1, 10));
+
+        job.complete("application/json", "{\"ok\":true}\n".to_string());
+        let polled = table.get("j1").unwrap();
+        match polled.state() {
+            JobState::Done {
+                content_type, body, ..
+            } => {
+                assert_eq!(content_type, "application/json");
+                assert_eq!(body, "{\"ok\":true}\n");
+            }
+            other => panic!("expected Done, got {other:?}"),
+        }
+        assert_eq!(table.pending(), 0, "done jobs are not pending");
+        assert_eq!(table.len(), 1, "done jobs stay pollable inside the TTL");
+    }
+
+    #[test]
+    fn failed_jobs_carry_status_and_body() {
+        let table = JobTable::new(4, Duration::from_secs(600));
+        let job = table.create("j1", "nope").unwrap();
+        job.fail(404, "{\"error\":\"unknown experiment\"}\n".to_string());
+        match table.get("j1").unwrap().state() {
+            JobState::Failed { status, body, .. } => {
+                assert_eq!(status, 404);
+                assert!(body.contains("unknown experiment"));
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ttl_gc_drops_finished_jobs_only() {
+        // ttl = 0: a finished job expires at the very next GC pass.
+        let table = JobTable::new(4, Duration::from_secs(0));
+        let done = table.create("done", "fig12").unwrap();
+        let live = table.create("live", "fig12").unwrap();
+        done.complete("application/json", "{}\n".to_string());
+        live.mark_running();
+        assert_eq!(table.gc(), 1, "exactly the finished job expires");
+        assert!(table.get("done").is_none());
+        assert!(table.get("live").is_some(), "running jobs never expire");
+    }
+
+    #[test]
+    fn full_table_sheds_and_recovers_after_gc() {
+        let table = JobTable::new(2, Duration::from_secs(0));
+        let first = table.create("a", "fig12").unwrap();
+        table.create("b", "fig12").unwrap();
+        assert!(table.create("c", "fig12").is_err(), "third job must shed");
+        // Finishing one (ttl 0) frees a slot at the next create's GC pass.
+        first.complete("application/json", "{}\n".to_string());
+        assert!(table.create("c", "fig12").is_ok());
+    }
+
+    #[test]
+    fn removed_jobs_free_their_slot() {
+        let table = JobTable::new(1, Duration::from_secs(600));
+        table.create("a", "fig12").unwrap();
+        assert!(table.create("b", "fig12").is_err());
+        assert!(table.remove("a").is_some());
+        assert!(table.remove("a").is_none());
+        assert!(table.create("b", "fig12").is_ok());
+    }
+
+    #[test]
+    fn zero_capacity_always_sheds() {
+        let table = JobTable::new(0, Duration::from_secs(600));
+        assert!(table.create("a", "fig12").is_err());
+        assert!(table.is_empty());
+    }
+}

@@ -1,0 +1,142 @@
+//! `cnt-fleet` — federation primitives for running N `cnt-serve`
+//! instances as one logical service.
+//!
+//! The serve layer's caches are per-instance: the LRU body cache and the
+//! 256-way sharded sweep disk cache both key on `Params::content_hash`,
+//! so N independent instances each warm their own copy of every popular
+//! entry. This crate supplies the three pieces that turn that duplication
+//! into partitioning, without introducing any coordination service:
+//!
+//! | module | piece | role |
+//! |--------|-------|------|
+//! | [`ring`] | [`HashRing`] | static rendezvous-hash map from the 256 cache shards to owning instances |
+//! | [`peer`] | [`PeerClient`] | fail-fast blocking HTTP client for redirect-free proxy hops and cache-fill probes |
+//! | [`jobs`] | [`JobTable`] | bounded, TTL-GC'd registry backing the async `POST /v1/sweeps/{id}` job API |
+//!
+//! Topology is a static ordered peer list (`--fleet "a,b,c" --self-index
+//! K`): every instance derives the identical shard table from the same
+//! list, so request routing needs no gossip, no leases, and no failure
+//! detector. A dead peer degrades — the router's peer hop times out fast
+//! and falls back to computing locally — rather than failing requests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod jobs;
+pub mod peer;
+pub mod ring;
+
+pub use jobs::{JobEntry, JobState, JobTable};
+pub use peer::{PeerClient, PeerError, PeerResponse};
+pub use ring::HashRing;
+
+use std::time::Duration;
+
+/// How a non-owning instance forwards a run request to the shard owner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteMode {
+    /// Fetch from the owner server-side and relay the response body.
+    Proxy,
+    /// Answer `307 Temporary Redirect` with the owner's URL and let the
+    /// client re-issue the request.
+    Redirect,
+}
+
+/// Static fleet topology plus the timeouts of intra-fleet hops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Ordered peer addresses (`host:port`), identical on every instance.
+    pub peers: Vec<String>,
+    /// This instance's index into `peers`.
+    pub self_index: usize,
+    /// What a non-owner does with a request it does not own.
+    pub mode: RouteMode,
+    /// TCP connect budget for any peer hop.
+    pub connect_timeout: Duration,
+    /// Read/write budget for a cache-fill probe (cheap, must fail fast).
+    pub fill_timeout: Duration,
+    /// Read/write budget for a full proxied run (the owner may compute).
+    pub proxy_timeout: Duration,
+}
+
+impl FleetConfig {
+    /// A proxy-mode topology with production-shaped timeouts.
+    pub fn new(peers: Vec<String>, self_index: usize) -> Self {
+        Self {
+            peers,
+            self_index,
+            mode: RouteMode::Proxy,
+            connect_timeout: Duration::from_millis(200),
+            fill_timeout: Duration::from_millis(500),
+            proxy_timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// Checks the topology is internally consistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the peer list is empty, has
+    /// more members than shards (256), holds an empty address, or
+    /// `self_index` is out of range.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.peers.is_empty() {
+            return Err("fleet peer list is empty".to_string());
+        }
+        if self.peers.len() > 256 {
+            return Err(format!(
+                "fleet has {} peers but only 256 shards",
+                self.peers.len()
+            ));
+        }
+        if let Some(blank) = self.peers.iter().position(|p| p.trim().is_empty()) {
+            return Err(format!("fleet peer #{blank} is an empty address"));
+        }
+        if self.self_index >= self.peers.len() {
+            return Err(format!(
+                "--self-index {} out of range for {} peers",
+                self.self_index,
+                self.peers.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// The address of the peer at `index`.
+    pub fn peer(&self, index: usize) -> &str {
+        &self.peers[index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(n: usize, self_index: usize) -> FleetConfig {
+        FleetConfig::new(
+            (0..n).map(|i| format!("127.0.0.1:{}", 9000 + i)).collect(),
+            self_index,
+        )
+    }
+
+    #[test]
+    fn valid_topologies_pass() {
+        assert_eq!(config(3, 0).validate(), Ok(()));
+        assert_eq!(config(3, 2).validate(), Ok(()));
+        assert_eq!(config(1, 0).validate(), Ok(()));
+    }
+
+    #[test]
+    fn bad_topologies_name_the_problem() {
+        assert!(config(0, 0).validate().unwrap_err().contains("empty"));
+        assert!(config(3, 3)
+            .validate()
+            .unwrap_err()
+            .contains("out of range"));
+        let mut blank = config(3, 0);
+        blank.peers[1] = "  ".to_string();
+        assert!(blank.validate().unwrap_err().contains("peer #1"));
+        let too_many = config(300, 0);
+        assert!(too_many.validate().unwrap_err().contains("256"));
+    }
+}

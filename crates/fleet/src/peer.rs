@@ -1,0 +1,310 @@
+//! A minimal blocking HTTP/1.1 client for intra-fleet hops.
+//!
+//! The serve layer talks to peers in exactly two shapes — a cache-fill
+//! probe (`GET /v1/_fleet/cache/{hash}`) and a full request proxy — and
+//! both sit on a request's critical path, so the client is built around
+//! *failing fast*: a bounded connect timeout, a bounded read/write
+//! timeout, and one retry on transport errors before the caller falls
+//! back to local compute. Every request uses a fresh `Connection: close`
+//! socket owned by this stack frame; when a peer stalls past the timeout
+//! the stream drops (and the OS closes the descriptor) on the error
+//! return path, so a flapping peer cannot leak file descriptors into a
+//! long-lived server process.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Largest peer response body accepted (matches the serve layer's own
+/// request-body ceiling order of magnitude; a cached report is ~KBs).
+const MAX_PEER_BODY: usize = 4 * 1024 * 1024;
+
+/// A parsed peer response: status plus the framed body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value (empty when the peer omitted it).
+    pub content_type: String,
+    /// Response body, exactly `Content-Length` bytes.
+    pub body: String,
+}
+
+/// Why a peer hop failed; all variants mean "degrade to local compute".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PeerError {
+    /// The peer address did not parse or the TCP connect failed/timed out.
+    Connect(String),
+    /// The connection was established but reading/writing failed or
+    /// timed out.
+    Io(String),
+    /// The peer answered with something that is not framed HTTP/1.1.
+    Protocol(String),
+}
+
+impl core::fmt::Display for PeerError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PeerError::Connect(m) => write!(f, "peer connect failed: {m}"),
+            PeerError::Io(m) => write!(f, "peer i/o failed: {m}"),
+            PeerError::Protocol(m) => write!(f, "peer protocol error: {m}"),
+        }
+    }
+}
+
+/// Blocking one-shot HTTP client with per-call deadlines.
+#[derive(Debug, Clone, Copy)]
+pub struct PeerClient {
+    connect_timeout: Duration,
+    io_timeout: Duration,
+}
+
+impl PeerClient {
+    /// A client that gives up connecting after `connect_timeout` and
+    /// gives up on a silent established connection after `io_timeout`.
+    pub fn new(connect_timeout: Duration, io_timeout: Duration) -> Self {
+        Self {
+            connect_timeout,
+            io_timeout,
+        }
+    }
+
+    /// `GET path` against `addr`, retrying once on transport errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns the *second* failure when both attempts die on transport;
+    /// protocol errors (a live peer speaking garbage) are not retried.
+    pub fn get(&self, addr: &str, path: &str) -> Result<PeerResponse, PeerError> {
+        self.request(addr, "GET", path, "", "")
+    }
+
+    /// `POST body` to `path` on `addr`, retrying once on transport errors.
+    ///
+    /// # Errors
+    ///
+    /// Same policy as [`PeerClient::get`].
+    pub fn post(
+        &self,
+        addr: &str,
+        path: &str,
+        content_type: &str,
+        body: &str,
+    ) -> Result<PeerResponse, PeerError> {
+        self.request(addr, "POST", path, content_type, body)
+    }
+
+    fn request(
+        &self,
+        addr: &str,
+        method: &str,
+        path: &str,
+        content_type: &str,
+        body: &str,
+    ) -> Result<PeerResponse, PeerError> {
+        match self.request_once(addr, method, path, content_type, body) {
+            Err(PeerError::Connect(_)) | Err(PeerError::Io(_)) => {
+                // One retry: transient connect races (a peer mid-restart)
+                // recover; a dead peer fails in 2 x connect_timeout.
+                self.request_once(addr, method, path, content_type, body)
+            }
+            done => done,
+        }
+    }
+
+    fn request_once(
+        &self,
+        addr: &str,
+        method: &str,
+        path: &str,
+        content_type: &str,
+        body: &str,
+    ) -> Result<PeerResponse, PeerError> {
+        let addr: SocketAddr = addr
+            .parse()
+            .map_err(|e| PeerError::Connect(format!("bad address {addr}: {e}")))?;
+        let mut stream = TcpStream::connect_timeout(&addr, self.connect_timeout)
+            .map_err(|e| PeerError::Connect(e.to_string()))?;
+        stream
+            .set_read_timeout(Some(self.io_timeout))
+            .and_then(|()| stream.set_write_timeout(Some(self.io_timeout)))
+            .map_err(|e| PeerError::Io(e.to_string()))?;
+
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n");
+        if !content_type.is_empty() {
+            head.push_str(&format!("Content-Type: {content_type}\r\n"));
+        }
+        head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+        stream
+            .write_all(head.as_bytes())
+            .and_then(|()| stream.write_all(body.as_bytes()))
+            .map_err(|e| PeerError::Io(e.to_string()))?;
+
+        read_response(BufReader::new(stream))
+    }
+}
+
+/// Parses one framed HTTP/1.1 response: status line, headers,
+/// `Content-Length` body.
+fn read_response(mut reader: impl BufRead) -> Result<PeerResponse, PeerError> {
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| PeerError::Io(e.to_string()))?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse::<u16>().ok())
+        .ok_or_else(|| PeerError::Protocol(format!("bad status line {status_line:?}")))?;
+
+    let mut content_type = String::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| PeerError::Io(e.to_string()))?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("content-type") {
+                content_type = value.to_string();
+            } else if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .parse()
+                    .map_err(|_| PeerError::Protocol(format!("bad content-length {value:?}")))?;
+            }
+        }
+    }
+    if content_length > MAX_PEER_BODY {
+        return Err(PeerError::Protocol(format!(
+            "peer body too large: {content_length} bytes"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| PeerError::Io(e.to_string()))?;
+    let body =
+        String::from_utf8(body).map_err(|_| PeerError::Protocol("non-utf8 body".to_string()))?;
+    Ok(PeerResponse {
+        status,
+        content_type,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Cursor, Read};
+    use std::net::TcpListener;
+
+    fn client() -> PeerClient {
+        PeerClient::new(Duration::from_millis(200), Duration::from_millis(200))
+    }
+
+    /// Open descriptors of this process (Linux); `None` elsewhere.
+    fn open_fds() -> Option<usize> {
+        std::fs::read_dir("/proc/self/fd")
+            .ok()
+            .map(|entries| entries.count())
+    }
+
+    #[test]
+    fn parses_a_framed_response() {
+        let raw = "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n\
+                   Content-Length: 8\r\n\r\n{\"a\":1}\n";
+        let response = read_response(Cursor::new(raw)).unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.content_type, "application/json");
+        assert_eq!(response.body, "{\"a\":1}\n");
+    }
+
+    #[test]
+    fn rejects_garbage_status_lines() {
+        assert!(matches!(
+            read_response(Cursor::new("not http at all\r\n\r\n")),
+            Err(PeerError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_body_is_an_io_error() {
+        let raw = "HTTP/1.1 200 OK\r\nContent-Length: 50\r\n\r\nshort";
+        assert!(matches!(
+            read_response(Cursor::new(raw)),
+            Err(PeerError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn round_trips_against_a_real_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 4096];
+            let n = stream.read(&mut buf).unwrap();
+            let request = String::from_utf8_lossy(&buf[..n]).to_string();
+            stream
+                .write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok")
+                .unwrap();
+            request
+        });
+        let response = client()
+            .get(&addr.to_string(), "/v1/_fleet/cache/abc")
+            .unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.body, "ok");
+        let request = server.join().unwrap();
+        assert!(request.starts_with("GET /v1/_fleet/cache/abc HTTP/1.1\r\n"));
+        assert!(request.contains("Connection: close\r\n"));
+    }
+
+    #[test]
+    fn dead_peer_fails_fast_with_connect_error() {
+        // Bind then drop: the port is (almost certainly) refused.
+        let addr = {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().to_string()
+        };
+        let err = client().get(&addr, "/").unwrap_err();
+        assert!(matches!(err, PeerError::Connect(_) | PeerError::Io(_)));
+    }
+
+    #[test]
+    fn timed_out_fills_do_not_leak_file_descriptors() {
+        // A listener that accepts but never answers: every request runs
+        // into the read timeout. The dropped stream must return its fd.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        // Keep the accepted sockets open until every call finished, so the
+        // clients see timeouts rather than a racing FIN from our drop.
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        let sink = std::thread::spawn(move || {
+            let mut held = Vec::new();
+            for stream in listener.incoming().take(20).flatten() {
+                held.push(stream);
+            }
+            let _ = done_rx.recv();
+        });
+        let short = PeerClient::new(Duration::from_millis(200), Duration::from_millis(10));
+        let before = open_fds();
+        for _ in 0..10 {
+            // 10 calls x 1 retry each = 20 accepted-and-ignored sockets.
+            assert!(matches!(short.get(&addr, "/"), Err(PeerError::Io(_))));
+        }
+        done_tx.send(()).unwrap();
+        sink.join().unwrap();
+        if let (Some(before), Some(after)) = (before, open_fds()) {
+            assert!(
+                after <= before + 2,
+                "fd count grew from {before} to {after} across timed-out fills"
+            );
+        }
+    }
+}

@@ -19,6 +19,13 @@ pub fn error_json(message: &str) -> String {
     out
 }
 
+/// The canonical backpressure body: every shed — worker queue or async
+/// job table — answers `503` with the same message shape, so clients key
+/// a single retry policy off it.
+pub fn busy_json(what: &str) -> String {
+    error_json(&format!("server busy: the {what} is full, retry shortly"))
+}
+
 /// The `GET /v1/experiments` body: the full catalog with parameter
 /// surfaces, catalog order.
 pub fn catalog_json() -> String {
@@ -269,5 +276,17 @@ mod tests {
     fn error_bodies_escape_and_terminate() {
         let body = error_json("a \"quoted\" failure");
         assert_eq!(body, "{\"error\":\"a \\\"quoted\\\" failure\"}\n");
+    }
+
+    #[test]
+    fn shed_bodies_share_one_canonical_shape() {
+        assert_eq!(
+            busy_json("request queue"),
+            "{\"error\":\"server busy: the request queue is full, retry shortly\"}\n"
+        );
+        assert_eq!(
+            busy_json("job table"),
+            "{\"error\":\"server busy: the job table is full, retry shortly\"}\n"
+        );
     }
 }

@@ -8,10 +8,20 @@
 //!
 //! | route | answer |
 //! |---|---|
-//! | `GET /v1/healthz` | liveness plus scheduler/cache counters |
+//! | `GET /v1/healthz` | liveness plus scheduler/cache counters (answered before queue admission) |
+//! | `GET /v1/metrics` | Prometheus exposition (also probe-lane exempt from admission) |
 //! | `GET /v1/experiments` | the catalog with full parameter surfaces |
 //! | `GET /v1/experiments/{id}` | one experiment (what `repro info` prints) |
 //! | `POST /v1/experiments/{id}/run` | run at a parameter point; body `{"params": {...}, "preset": "...", "format": "json"\|"csv"}` |
+//! | `POST /v1/sweeps/{id}` | enqueue the sweep variant asynchronously; `202` + job id immediately |
+//! | `GET /v1/jobs/{rid}` | poll job status (`queued\|running\|done\|failed`) with trial progress |
+//! | `GET /v1/jobs/{rid}/result` | the finished body (`202` + status while still in flight) |
+//! | `GET /v1/_fleet/cache/{hash}` | internal: this instance's cached body for a request hash |
+//!
+//! With `--fleet "a,b,c" --self-index K` the instance joins a static
+//! fleet (see [`cnt_fleet`]): run requests consistent-hash-route to the
+//! owning shard (proxy or `307` redirect), and local misses try the
+//! owner's cache before computing.
 //!
 //! Run bodies are **byte-identical** to `repro <id> --format json` (or
 //! `--format csv`) at the same parameter point — both front ends sit on
@@ -52,6 +62,8 @@ pub mod server;
 pub mod signal;
 
 pub use cache::LruCache;
+pub use cnt_fleet as fleet;
+pub use cnt_fleet::{FleetConfig, RouteMode};
 pub use http::{Request, Response};
 pub use server::{AccessLogFormat, Config, Server, ShutdownHandle};
 
@@ -69,6 +81,11 @@ pub enum Error {
         /// The OS error message.
         message: String,
     },
+    /// The server configuration is unusable (bad fleet topology).
+    Config {
+        /// What was wrong.
+        message: String,
+    },
 }
 
 impl Error {
@@ -84,6 +101,7 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::Io { context, message } => write!(f, "{context}: {message}"),
+            Error::Config { message } => write!(f, "bad configuration: {message}"),
         }
     }
 }

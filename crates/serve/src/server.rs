@@ -30,6 +30,7 @@
 use crate::cache::{CachedBody, LruCache};
 use crate::http::{self, Request, RequestError, Response};
 use crate::{api, signal, Error, Result};
+use cnt_fleet::{FleetConfig, HashRing, JobState, JobTable, PeerClient, RouteMode};
 use cnt_interconnect::experiments::format::{self, OutputFormat};
 use cnt_interconnect::experiments::{self, Experiment, Params, Report, RunContext};
 use cnt_obs::{Counter, CounterVec, Gauge, Histogram, MetricRegistry};
@@ -39,7 +40,7 @@ use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant, SystemTime};
 
 /// How a worker turns a resolved experiment + context into a report.
@@ -64,11 +65,11 @@ pub struct Config {
     pub addr: String,
     /// Worker threads; `0` = all cores.
     pub workers: usize,
-    /// Pending-connection queue capacity (beyond it: `503`). Note that
-    /// *every* route shares this admission gate — under saturation even
-    /// `/v1/healthz` is shed, so liveness probes should treat `503` as
-    /// "overloaded", not "dead" (a reserved health lane is a listed
-    /// follow-up).
+    /// Pending-connection queue capacity (beyond it: `503`). Every
+    /// *work* route shares this admission gate; `GET /v1/healthz` and
+    /// `GET /v1/metrics` ride a reserved probe lane answered on the
+    /// accept path itself, so load-balancer probes keep succeeding
+    /// while runs shed.
     pub queue_capacity: usize,
     /// LRU body-cache capacity, entries (`0` disables caching).
     pub cache_capacity: usize,
@@ -92,6 +93,14 @@ pub struct Config {
     /// stdout (stderr keeps the startup banner, so piping stdout yields
     /// a clean log stream).
     pub access_log: Option<AccessLogFormat>,
+    /// Static fleet topology; `None` runs a plain single instance.
+    pub fleet: Option<FleetConfig>,
+    /// Most async sweep jobs resident at once (queued, running, or
+    /// finished-but-inside-TTL); beyond it `POST /v1/sweeps/{id}` sheds
+    /// with `503` + `Retry-After`.
+    pub jobs_capacity: usize,
+    /// How long a finished job's result stays pollable before GC.
+    pub job_ttl: Duration,
 }
 
 impl Default for Config {
@@ -106,6 +115,9 @@ impl Default for Config {
             max_requests_per_connection: 100,
             watch_signals: false,
             access_log: None,
+            fleet: None,
+            jobs_capacity: 64,
+            job_ttl: Duration::from_secs(600),
         }
     }
 }
@@ -179,6 +191,17 @@ struct Metrics {
     write_seconds: Arc<Histogram>,
     cached_bodies: Arc<Gauge>,
     uptime_seconds: Arc<Gauge>,
+    /// `cnt_fleet_route_total{outcome="local|proxied|redirected"}`:
+    /// where each fleet-routed run request was answered from.
+    route_total: Arc<CounterVec>,
+    /// `cnt_fleet_peer_fill_total{result="hit|miss|error"}`: outcomes of
+    /// owner cache-fill probes issued by this instance.
+    peer_fill: Arc<CounterVec>,
+    /// `cnt_serve_jobs_total{status="queued|running|done|failed"}`:
+    /// async job lifecycle transitions.
+    jobs_total: Arc<CounterVec>,
+    /// Async jobs currently queued or running.
+    jobs_pending: Arc<Gauge>,
     started: Instant,
 }
 
@@ -244,10 +267,43 @@ impl Metrics {
                 "cnt_serve_uptime_seconds",
                 "seconds since the server started",
             ),
+            route_total: r.counter_vec(
+                "cnt_fleet_route_total",
+                "fleet-routed run requests by where they were answered",
+                "outcome",
+                false,
+            ),
+            peer_fill: r.counter_vec(
+                "cnt_fleet_peer_fill_total",
+                "owner cache-fill probes issued by this instance, by outcome",
+                "result",
+                false,
+            ),
+            jobs_total: r.counter_vec(
+                "cnt_serve_jobs_total",
+                "async sweep job lifecycle transitions by status",
+                "status",
+                false,
+            ),
+            jobs_pending: r.gauge(
+                "cnt_serve_jobs_pending",
+                "async sweep jobs currently queued or running",
+            ),
             started: Instant::now(),
             requests,
             registry: r,
         };
+        // Pre-seed every label child so scrapes expose the full family
+        // from the first render (validator-clean, diffable over time).
+        for outcome in ["local", "proxied", "redirected"] {
+            metrics.route_total.with(outcome);
+        }
+        for result in ["hit", "miss", "error"] {
+            metrics.peer_fill.with(result);
+        }
+        for status in ["queued", "running", "done", "failed"] {
+            metrics.jobs_total.with(status);
+        }
         metrics
             .registry
             .gauge("cnt_serve_workers", "pool worker threads")
@@ -277,12 +333,30 @@ struct Flight {
     done: Condvar,
 }
 
+/// A validated fleet membership: the shard table plus the two peer
+/// clients (a fast-failing one for cache-fill probes, a patient one for
+/// full proxied runs whose owner may have to compute).
+struct FleetState {
+    config: FleetConfig,
+    ring: HashRing,
+    fill: PeerClient,
+    proxy: PeerClient,
+}
+
 /// State shared between the accept loop and the pool workers.
 struct Shared {
     metrics: Metrics,
     cache: Mutex<LruCache>,
     inflight: Mutex<HashMap<u64, Arc<Flight>>>,
     runner: Box<Runner>,
+    /// The same pool the accept loop dispatches connections to; async
+    /// sweep jobs share its bounded queue (so one saturation signal
+    /// covers both kinds of work).
+    pool: Arc<WorkerPool>,
+    /// Async job registry behind `POST /v1/sweeps/{id}`.
+    jobs: JobTable,
+    /// Set once by [`Server::enable_fleet`]; `None` = single instance.
+    fleet: OnceLock<FleetState>,
     workers: usize,
     queue_capacity: usize,
     request_deadline: Duration,
@@ -307,7 +381,7 @@ pub struct Server {
     listener: TcpListener,
     local_addr: SocketAddr,
     config: Config,
-    pool: WorkerPool,
+    pool: Arc<WorkerPool>,
     stop: Arc<AtomicBool>,
     shared: Arc<Shared>,
 }
@@ -352,7 +426,7 @@ impl Server {
         let local_addr = listener
             .local_addr()
             .map_err(|e| Error::io("local_addr", e))?;
-        let pool = WorkerPool::new(config.workers, config.queue_capacity);
+        let pool = Arc::new(WorkerPool::new(config.workers, config.queue_capacity));
         let rid_prefix = {
             let nanos = SystemTime::now()
                 .duration_since(SystemTime::UNIX_EPOCH)
@@ -364,6 +438,9 @@ impl Server {
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
             inflight: Mutex::new(HashMap::new()),
             runner: Box::new(runner),
+            pool: Arc::clone(&pool),
+            jobs: JobTable::new(config.jobs_capacity, config.job_ttl),
+            fleet: OnceLock::new(),
             workers: pool.threads(),
             queue_capacity: config.queue_capacity,
             request_deadline: config.request_deadline,
@@ -373,13 +450,40 @@ impl Server {
             rid_prefix,
             rid_seq: AtomicU64::new(0),
         });
-        Ok(Self {
+        let server = Self {
             listener,
             local_addr,
             config,
             pool,
             stop: Arc::new(AtomicBool::new(false)),
             shared,
+        };
+        if let Some(fleet) = server.config.fleet.clone() {
+            server.enable_fleet(fleet)?;
+        }
+        Ok(server)
+    }
+
+    /// Joins a fleet after binding — the seam tests use when peer
+    /// addresses (ephemeral ports) are only known once every instance is
+    /// bound. [`Config::fleet`] routes through here too.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] for an invalid topology or when the
+    /// server already joined a fleet.
+    pub fn enable_fleet(&self, fleet: FleetConfig) -> Result<()> {
+        fleet
+            .validate()
+            .map_err(|message| Error::Config { message })?;
+        let state = FleetState {
+            ring: HashRing::new(&fleet.peers),
+            fill: PeerClient::new(fleet.connect_timeout, fleet.fill_timeout),
+            proxy: PeerClient::new(fleet.connect_timeout, fleet.proxy_timeout),
+            config: fleet,
+        };
+        self.shared.fleet.set(state).map_err(|_| Error::Config {
+            message: "fleet topology already configured".to_string(),
         })
     }
 
@@ -450,27 +554,45 @@ impl Server {
         let job = Box::new(move || handle_connection(stream, &shared, queued_at));
         if let Err(job) = self.pool.submit(job) {
             drop(job); // closes the moved-in stream handle
-            self.shared.metrics.rejected.inc();
-            self.shared.metrics.count_response(503);
             if let Ok(mut stream) = fallback {
                 // Drain the bytes the client already sent: closing with
                 // unread data turns into a TCP RST that can discard the
-                // 503 before the client reads it. One bounded read covers
-                // the small request bodies this API carries.
+                // response before the client reads it. One bounded read
+                // covers the small request bodies this API carries.
                 let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
                 let mut sink = [0u8; 8192];
-                let _ = std::io::Read::read(&mut stream, &mut sink);
+                let n = std::io::Read::read(&mut stream, &mut sink).unwrap_or(0);
                 let request_id = self.shared.next_request_id();
-                let busy = Response {
-                    retry_after: Some(1),
-                    request_id: Some(request_id.clone()),
-                    ..Response::json(
-                        503,
-                        api::error_json("server busy: the request queue is full, retry shortly"),
-                    )
+                // Reserved probe lane: health and metrics probes are
+                // answered right here on the accept path, before (and
+                // regardless of) queue admission — a saturated fleet
+                // member must still look alive to its load balancer.
+                let probe = probe_request(&sink[..n]);
+                let (response, method, path) = match &probe {
+                    Some(request) => (
+                        Response {
+                            request_id: Some(request_id.clone()),
+                            ..route(request, &self.shared)
+                        },
+                        request.method.as_str(),
+                        request.path.as_str(),
+                    ),
+                    None => {
+                        self.shared.metrics.rejected.inc();
+                        (
+                            Response {
+                                retry_after: Some(1),
+                                request_id: Some(request_id.clone()),
+                                ..Response::json(503, api::busy_json("request queue"))
+                            },
+                            "-",
+                            "-",
+                        )
+                    }
                 };
-                let bytes = busy.body.len();
-                let _ = busy.write_to(&mut stream);
+                self.shared.metrics.count_response(response.status);
+                let bytes = response.body.len();
+                let _ = response.write_to(&mut stream);
                 let _ = stream.shutdown(std::net::Shutdown::Write);
                 if let Some(log_format) = self.shared.access_log {
                     print!(
@@ -479,18 +601,33 @@ impl Server {
                             log_format,
                             &AccessRecord {
                                 request_id: &request_id,
-                                method: "-",
-                                path: "-",
-                                status: 503,
+                                method,
+                                path,
+                                status: response.status,
                                 bytes,
                                 duration_s: queued_at.elapsed().as_secs_f64(),
                             },
                         )
                     );
                 }
+            } else {
+                self.shared.metrics.rejected.inc();
+                self.shared.metrics.count_response(503);
             }
         }
     }
+}
+
+/// Parses the already-drained bytes of a shed connection and returns the
+/// request iff it is a probe (`GET /v1/healthz` or `GET /v1/metrics`)
+/// that may bypass admission control. Anything else — including a probe
+/// whose bytes did not all arrive in the drain read — stays on the
+/// normal shed path.
+fn probe_request(drained: &[u8]) -> Option<Request> {
+    let mut reader = BufReader::new(drained);
+    let request = http::read_request(&mut reader).ok()?;
+    let path = request.path.trim_end_matches('/');
+    (request.method == "GET" && (path == "/v1/healthz" || path == "/v1/metrics")).then_some(request)
 }
 
 /// Serves one connection: requests back-to-back while the client keeps
@@ -498,7 +635,7 @@ impl Server {
 /// `Connection: close`, the per-connection request cap, an idle timeout,
 /// or a parse error ends it. Pipelined requests already sitting in the
 /// buffered reader are served without waiting.
-fn handle_connection(stream: TcpStream, shared: &Shared, queued_at: Instant) {
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, queued_at: Instant) {
     shared
         .metrics
         .queue_wait_seconds
@@ -634,7 +771,7 @@ fn access_log_line(log_format: AccessLogFormat, record: &AccessRecord<'_>) -> St
 }
 
 /// The `/v1` router.
-fn route(request: &Request, shared: &Shared) -> Response {
+fn route(request: &Request, shared: &Arc<Shared>) -> Response {
     let path = request.path.trim_end_matches('/');
     let method = request.method.as_str();
     match (method, path) {
@@ -643,6 +780,7 @@ fn route(request: &Request, shared: &Shared) -> Response {
             status: 200,
             content_type: "text/plain; version=0.0.4",
             retry_after: None,
+            location: None,
             request_id: None,
             body: metrics_text(shared),
         },
@@ -664,6 +802,25 @@ fn route(request: &Request, shared: &Shared) -> Response {
                     _ => method_or_route_miss(method, path),
                 };
             }
+            if let Some(hash) = path.strip_prefix("/v1/_fleet/cache/") {
+                return match method {
+                    "GET" if !hash.contains('/') => fleet_cache_route(hash, shared),
+                    _ => method_or_route_miss(method, path),
+                };
+            }
+            if let Some(id) = path.strip_prefix("/v1/sweeps/") {
+                return match method {
+                    "POST" if !id.contains('/') => sweep_job_route(id, request, shared),
+                    _ => method_or_route_miss(method, path),
+                };
+            }
+            if let Some(rest) = path.strip_prefix("/v1/jobs/") {
+                return match (method, rest.strip_suffix("/result")) {
+                    ("GET", Some(rid)) if !rid.contains('/') => job_result_route(rid, shared),
+                    ("GET", None) if !rest.contains('/') => job_status_route(rest, shared),
+                    _ => method_or_route_miss(method, path),
+                };
+            }
             method_or_route_miss(method, path)
         }
     }
@@ -671,10 +828,18 @@ fn route(request: &Request, shared: &Shared) -> Response {
 
 /// `405` for a known path with the wrong method, `404` otherwise.
 fn method_or_route_miss(method: &str, path: &str) -> Response {
+    let one_segment = |prefix: &str| {
+        path.strip_prefix(prefix)
+            .is_some_and(|rest| !rest.is_empty() && !rest.contains('/'))
+    };
     let known = matches!(path, "/v1/healthz" | "/v1/metrics" | "/v1/experiments")
         || (path.starts_with("/v1/experiments/")
             && !path.trim_start_matches("/v1/experiments/").contains('/'))
-        || (path.starts_with("/v1/experiments/") && path.ends_with("/run"));
+        || (path.starts_with("/v1/experiments/") && path.ends_with("/run"))
+        || one_segment("/v1/_fleet/cache/")
+        || one_segment("/v1/sweeps/")
+        || one_segment("/v1/jobs/")
+        || (path.starts_with("/v1/jobs/") && path.ends_with("/result"));
     if known {
         Response::json(
             405,
@@ -690,8 +855,9 @@ fn method_or_route_miss(method: &str, path: &str) -> Response {
     }
 }
 
-/// `POST /v1/experiments/{id}/run`: validate → cache → coalesce → run.
-fn run_route(id: &str, request: &Request, shared: &Shared) -> Response {
+/// `POST /v1/experiments/{id}/run`: fleet-route → validate → cache →
+/// coalesce → run.
+fn run_route(id: &str, request: &Request, shared: &Arc<Shared>) -> Response {
     let run_request = match api::parse_run_request(&request.body) {
         Ok(r) => r,
         Err(message) => return Response::json(400, api::error_json(&message)),
@@ -706,6 +872,13 @@ fn run_route(id: &str, request: &Request, shared: &Shared) -> Response {
         };
     shared.metrics.experiment_runs.with(id).inc();
     let key = request_key(id, run_request.format, &ctx.params);
+
+    // Fleet routing: the shard owner (by the content hash's cache shard)
+    // answers this point so exactly one LRU across the fleet warms up.
+    // A routed-away request returns here; `None` means "answer locally".
+    if let Some(response) = fleet_route(key, &ctx.params, request, shared) {
+        return response;
+    }
 
     if let Some(hit) = shared.cache.lock().expect("cache poisoned").get(key) {
         shared.metrics.cache_hits.inc();
@@ -752,14 +925,7 @@ fn run_route(id: &str, request: &Request, shared: &Shared) -> Response {
     let outcome = match run_result {
         Ok(Ok(report)) => {
             let serialize_started = Instant::now();
-            let (content_type, body) = match run_request.format {
-                // The CLI prints JSON reports with println!, so the served
-                // body is to_json + "\n" — byte-identical to the pipe.
-                OutputFormat::Json | OutputFormat::Text => {
-                    ("application/json", format!("{}\n", report.to_json()))
-                }
-                OutputFormat::Csv => ("text/csv", report.to_csv()),
-            };
+            let (content_type, body) = render_report(&report, run_request.format);
             shared
                 .metrics
                 .serialize_seconds
@@ -802,8 +968,273 @@ fn ok_response(body: CachedBody) -> Response {
         status: 200,
         content_type: body.content_type,
         retry_after: None,
+        location: None,
         request_id: None,
         body: body.body.as_str().to_string(),
+    }
+}
+
+/// Renders a finished report the way the CLI pipes it — the one place
+/// both the synchronous run route and the async job path serialize, so
+/// the two are byte-identical by construction.
+fn render_report(report: &Report, format: OutputFormat) -> (&'static str, String) {
+    match format {
+        // The CLI prints JSON reports with println!, so the served
+        // body is to_json + "\n" — byte-identical to the pipe.
+        OutputFormat::Json | OutputFormat::Text => {
+            ("application/json", format!("{}\n", report.to_json()))
+        }
+        OutputFormat::Csv => ("text/csv", report.to_csv()),
+    }
+}
+
+/// Interns a peer-reported content type ([`Response`] carries a
+/// `&'static str`; run bodies are only ever JSON or CSV).
+fn static_content_type(value: &str) -> &'static str {
+    match value {
+        "text/csv" => "text/csv",
+        _ => "application/json",
+    }
+}
+
+/// A relayed peer response (cache-fill hit or full proxied run).
+fn peer_response(peer: &cnt_fleet::PeerResponse) -> Response {
+    Response {
+        status: peer.status,
+        content_type: static_content_type(&peer.content_type),
+        retry_after: None,
+        location: None,
+        request_id: None,
+        body: peer.body.clone(),
+    }
+}
+
+/// Decides where a run request is answered when this instance is part of
+/// a fleet. `None` means "compute locally" — either because this
+/// instance owns the shard, or because the owner is unreachable and the
+/// request degrades to single-instance behavior.
+fn fleet_route(
+    key: u64,
+    params: &Params,
+    request: &Request,
+    shared: &Arc<Shared>,
+) -> Option<Response> {
+    let fleet = shared.fleet.get()?;
+    let owner = fleet.ring.owner_of_hash(params.content_hash())?;
+    if owner == fleet.config.self_index {
+        shared.metrics.route_total.with("local").inc();
+        return None;
+    }
+    let owner_addr = fleet.config.peer(owner);
+    match fleet.config.mode {
+        RouteMode::Redirect => {
+            shared.metrics.route_total.with("redirected").inc();
+            let target = format!("http://{owner_addr}{}", request.path);
+            Some(Response {
+                location: Some(target.clone()),
+                ..Response::json(307, format!("{{\"location\":\"{target}\"}}\n"))
+            })
+        }
+        RouteMode::Proxy => {
+            // Cheap cache-fill probe first: the owner usually holds hot
+            // points already, so most cross-shard requests cost one
+            // small GET instead of a full proxied run.
+            match fleet
+                .fill
+                .get(owner_addr, &format!("/v1/_fleet/cache/{key:016x}"))
+            {
+                Ok(peer) if peer.status == 200 => {
+                    shared.metrics.peer_fill.with("hit").inc();
+                    shared.metrics.route_total.with("proxied").inc();
+                    Some(peer_response(&peer))
+                }
+                Ok(_) => {
+                    shared.metrics.peer_fill.with("miss").inc();
+                    let body = core::str::from_utf8(&request.body).unwrap_or("");
+                    match fleet
+                        .proxy
+                        .post(owner_addr, &request.path, "application/json", body)
+                    {
+                        Ok(peer) => {
+                            shared.metrics.route_total.with("proxied").inc();
+                            Some(peer_response(&peer))
+                        }
+                        Err(_) => {
+                            // Owner died between probe and proxy:
+                            // degrade to computing locally.
+                            shared.metrics.route_total.with("local").inc();
+                            None
+                        }
+                    }
+                }
+                Err(_) => {
+                    // Dead or stalled owner: the fill client already
+                    // timed out fast (and closed its sockets); answer
+                    // from here like a single instance would.
+                    shared.metrics.peer_fill.with("error").inc();
+                    shared.metrics.route_total.with("local").inc();
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// `GET /v1/_fleet/cache/{hash}`: this instance's LRU body for a request
+/// hash, or `404`. Internal — peers call it as the cache-fill probe; it
+/// never computes and never mutates the run counters.
+fn fleet_cache_route(hash: &str, shared: &Arc<Shared>) -> Response {
+    let Ok(key) = u64::from_str_radix(hash, 16) else {
+        return Response::json(
+            400,
+            api::error_json(&format!("bad cache hash '{hash}' (want 16 hex chars)")),
+        );
+    };
+    match shared.cache.lock().expect("cache poisoned").get(key) {
+        Some(hit) => ok_response(hit),
+        None => Response::json(
+            404,
+            api::error_json(&format!("no cached body for {key:016x}")),
+        ),
+    }
+}
+
+/// `POST /v1/sweeps/{id}`: validate, register a job, enqueue the sweep
+/// on the worker pool, answer `202` + the job id immediately.
+fn sweep_job_route(id: &str, request: &Request, shared: &Arc<Shared>) -> Response {
+    let run_request = match api::parse_run_request(&request.body) {
+        Ok(r) => r,
+        Err(message) => return Response::json(400, api::error_json(&message)),
+    };
+    // Same gates as the synchronous paths: the id must exist *and* have
+    // a sweep variant, and overrides resolve through the typed params.
+    let sweep = match experiments::sweep_variant(id) {
+        Ok((_, sweep)) => sweep,
+        Err(e @ cnt_interconnect::Error::UnknownExperiment(_)) => {
+            return Response::json(404, api::error_json(&e.to_string()))
+        }
+        Err(e) => return Response::json(400, api::error_json(&e.to_string())),
+    };
+    let ctx =
+        match experiments::resolve_context(id, run_request.preset.as_deref(), &run_request.sets) {
+            Ok((_, ctx)) => ctx,
+            Err(e) => return Response::json(400, api::error_json(&e.to_string())),
+        };
+
+    let rid = shared.next_request_id();
+    let Ok(job) = shared.jobs.create(&rid, id) else {
+        return Response {
+            retry_after: Some(1),
+            ..Response::json(503, api::busy_json("job table"))
+        };
+    };
+    shared.metrics.jobs_total.with("queued").inc();
+
+    let worker_shared = Arc::clone(shared);
+    let worker_job = Arc::clone(&job);
+    let format = run_request.format;
+    let sweep_id = id.to_string();
+    let task = Box::new(move || {
+        worker_job.mark_running();
+        worker_shared.metrics.jobs_total.with("running").inc();
+        // The executor reports into the job's progress counters via the
+        // thread-local scope; a panicking kernel fails the job instead
+        // of poisoning the pool worker.
+        let run_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cnt_sweep::progress::scoped(Arc::clone(&worker_job.progress), || sweep.run_sweep(&ctx))
+        }));
+        match run_result {
+            Ok(Ok(run)) => {
+                let (content_type, body) = render_report(&run.report, format);
+                worker_job.complete(content_type, body);
+                worker_shared.metrics.jobs_total.with("done").inc();
+            }
+            Ok(Err(e)) => {
+                worker_job.fail(500, api::error_json(&e.to_string()));
+                worker_shared.metrics.jobs_total.with("failed").inc();
+            }
+            Err(_) => {
+                worker_job.fail(
+                    500,
+                    api::error_json(&format!("sweep '{sweep_id}' panicked during execution")),
+                );
+                worker_shared.metrics.jobs_total.with("failed").inc();
+            }
+        }
+        worker_shared
+            .metrics
+            .jobs_pending
+            .set(worker_shared.jobs.pending() as f64);
+    });
+    if shared.pool.submit(task).is_err() {
+        // The work never made it onto the queue; withdraw the job so it
+        // cannot sit `queued` forever, and shed like any other overload.
+        shared.jobs.remove(&rid);
+        return Response {
+            retry_after: Some(1),
+            ..Response::json(503, api::busy_json("request queue"))
+        };
+    }
+    shared
+        .metrics
+        .jobs_pending
+        .set(shared.jobs.pending() as f64);
+    Response::json(
+        202,
+        format!(
+            "{{\"job\":\"{rid}\",\"experiment\":\"{id}\",\"status\":\"queued\",\"poll\":\"/v1/jobs/{rid}\"}}\n"
+        ),
+    )
+}
+
+/// The `GET /v1/jobs/{rid}` body: id, experiment, status, and the live
+/// trial-progress counters.
+fn job_status_json(job: &cnt_fleet::JobEntry, state: &JobState) -> String {
+    format!(
+        "{{\"job\":\"{}\",\"experiment\":\"{}\",\"status\":\"{}\",\"done\":{},\"total\":{}}}\n",
+        job.id,
+        job.sweep_id,
+        state.label(),
+        job.progress.done(),
+        job.progress.total(),
+    )
+}
+
+/// `GET /v1/jobs/{rid}`: poll an async job's lifecycle and progress.
+fn job_status_route(rid: &str, shared: &Arc<Shared>) -> Response {
+    match shared.jobs.get(rid) {
+        Some(job) => Response::json(200, job_status_json(&job, &job.state())),
+        None => Response::json(
+            404,
+            api::error_json(&format!("no such job '{rid}' (expired or never created)")),
+        ),
+    }
+}
+
+/// `GET /v1/jobs/{rid}/result`: the finished body, the failure, or —
+/// while the job is still queued/running — `202` + the status body.
+fn job_result_route(rid: &str, shared: &Arc<Shared>) -> Response {
+    let Some(job) = shared.jobs.get(rid) else {
+        return Response::json(
+            404,
+            api::error_json(&format!("no such job '{rid}' (expired or never created)")),
+        );
+    };
+    match job.state() {
+        JobState::Done {
+            content_type, body, ..
+        } => Response {
+            status: 200,
+            content_type: static_content_type(&content_type),
+            retry_after: None,
+            location: None,
+            request_id: None,
+            body,
+        },
+        JobState::Failed { status, body, .. } => Response::json(status, body),
+        state @ (JobState::Queued | JobState::Running) => {
+            Response::json(202, job_status_json(&job, &state))
+        }
     }
 }
 
@@ -826,7 +1257,7 @@ fn healthz_json(shared: &Shared) -> String {
     let m = &shared.metrics;
     let cached = shared.cache.lock().expect("cache poisoned").len();
     format!(
-        "{{\"status\":\"ok\",\"experiments\":{},\"workers\":{},\"queue_capacity\":{},\"cached_bodies\":{},\"requests\":{},\"runs\":{},\"cache_hits\":{},\"coalesced\":{},\"rejected\":{}}}\n",
+        "{{\"status\":\"ok\",\"experiments\":{},\"workers\":{},\"queue_capacity\":{},\"cached_bodies\":{},\"requests\":{},\"runs\":{},\"cache_hits\":{},\"coalesced\":{},\"rejected\":{},\"jobs_pending\":{}}}\n",
         experiments::catalog().count(),
         shared.workers,
         shared.queue_capacity,
@@ -836,6 +1267,7 @@ fn healthz_json(shared: &Shared) -> String {
         m.cache_hits.get(),
         m.coalesced.get(),
         m.rejected.get(),
+        shared.jobs.pending(),
     )
 }
 
@@ -849,6 +1281,7 @@ fn metrics_text(shared: &Shared) -> String {
     let m = &shared.metrics;
     m.cached_bodies
         .set(shared.cache.lock().expect("cache poisoned").len() as f64);
+    m.jobs_pending.set(shared.jobs.pending() as f64);
     m.uptime_seconds.set(m.started.elapsed().as_secs_f64());
     let mut out = m.registry.render_prometheus();
     out.push_str(&cnt_obs::global().render_prometheus());
@@ -943,6 +1376,9 @@ mod tests {
             access_log: None,
             rid_prefix: 0xc0ffee,
             rid_seq: AtomicU64::new(0),
+            pool: Arc::new(WorkerPool::new(1, 1)),
+            jobs: JobTable::new(1, Duration::from_secs(1)),
+            fleet: OnceLock::new(),
         };
         let a = shared.next_request_id();
         let b = shared.next_request_id();

@@ -770,6 +770,188 @@ fn metrics_scrape_is_validator_clean_and_requests_carry_ids() {
 }
 
 #[test]
+fn probes_survive_queue_saturation() {
+    // 1 worker, 1 queue slot, slow kernel: run requests shed, but the
+    // reserved probe lane answers /v1/healthz and /v1/metrics before
+    // queue admission, so operators can still see the overload.
+    let server = Server::bind_with_runner(
+        Config {
+            workers: 1,
+            queue_capacity: 1,
+            ..config()
+        },
+        |exp, ctx| {
+            std::thread::sleep(Duration::from_millis(600));
+            exp.run(ctx)
+        },
+    )
+    .unwrap();
+    let (addr, handle, thread) = start(server);
+
+    let clients = 6;
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let statuses: Vec<u16> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..clients)
+            .map(|i| {
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    // Distinct points, so nothing coalesces.
+                    let body = format!("{{\"params\": {{\"seed\": {}}}}}", 200 + i);
+                    post(addr, "/v1/experiments/table1/run", &body).0
+                })
+            })
+            .collect();
+        barrier.wait();
+        // Mid-saturation: the worker is pinned and the queue is full,
+        // yet both probes answer 200 from the reserved lane.
+        std::thread::sleep(Duration::from_millis(150));
+        let (status, health) = get(addr, "/v1/healthz");
+        assert_eq!(status, 200, "healthz must bypass admission: {health}");
+        assert!(health.starts_with("{\"status\":\"ok\""), "{health}");
+        let (status, metrics) = get(addr, "/v1/metrics");
+        assert_eq!(status, 200, "metrics must bypass admission");
+        assert!(metrics.contains("cnt_serve_requests_total"), "{metrics}");
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+    let shed = statuses.iter().filter(|s| **s == 503).count();
+    assert!(
+        shed >= 1,
+        "6 parallel slow runs on a 1-worker/1-slot server must shed: {statuses:?}"
+    );
+    // Probes answered during saturation are not counted as rejections.
+    let (_, health) = get(addr, "/v1/healthz");
+    assert_eq!(counter(&health, "rejected"), shed as u64, "{health}");
+
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
+/// Extracts the `"job":"…"` id from a 202 submission body.
+fn job_id(body: &str) -> String {
+    body.split("\"job\":\"")
+        .nth(1)
+        .and_then(|tail| tail.split('"').next())
+        .unwrap_or_else(|| panic!("no job id in {body}"))
+        .to_string()
+}
+
+#[test]
+fn async_sweep_jobs_run_to_a_byte_identical_result() {
+    let (addr, handle, thread) = start(Server::bind(config()).unwrap());
+
+    // Warm the TCP path so the submit latency sample is the route alone.
+    let _ = get(addr, "/v1/healthz");
+    let body = r#"{"params": {"trials": 32, "cache_dir": ""}}"#;
+    let started = std::time::Instant::now();
+    let (status, submit) = post(addr, "/v1/sweeps/fig12", body);
+    let elapsed = started.elapsed();
+    assert_eq!(status, 202, "{submit}");
+    assert!(
+        elapsed < Duration::from_millis(100),
+        "submission must return immediately, took {elapsed:?}"
+    );
+    assert!(submit.contains("\"status\":\"queued\""), "{submit}");
+    let rid = job_id(&submit);
+    assert!(submit.contains(&format!("\"poll\":\"/v1/jobs/{rid}\"")));
+
+    // Poll until the job lands; the result route answers 202 + status
+    // while in flight and the finished body afterwards.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let result = loop {
+        let (status, body) = get(addr, &format!("/v1/jobs/{rid}/result"));
+        match status {
+            200 => break body,
+            202 => {
+                assert!(
+                    body.contains("queued") || body.contains("running"),
+                    "{body}"
+                );
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "job never finished: {body}"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            other => panic!("unexpected result status {other}: {body}"),
+        }
+    };
+
+    // The terminal status carries the full trial progress.
+    let (status, polled) = get(addr, &format!("/v1/jobs/{rid}"));
+    assert_eq!(status, 200);
+    assert!(polled.contains("\"status\":\"done\""), "{polled}");
+    assert!(polled.contains("\"experiment\":\"fig12\""), "{polled}");
+    let done = counter(&polled, "done");
+    assert_eq!(done, counter(&polled, "total"), "{polled}");
+    assert!(done >= 1, "progress counters never moved: {polled}");
+
+    // Byte-identity: the job body equals a direct registry sweep at the
+    // same point, rendered the way the CLI prints it.
+    let sets = vec![
+        ("trials".to_string(), "32".to_string()),
+        ("cache_dir".to_string(), String::new()),
+    ];
+    let (_, ctx) = experiments::resolve_context("fig12", None, &sets).unwrap();
+    let (_, sweep) = experiments::sweep_variant("fig12").unwrap();
+    let direct = sweep.run_sweep(&ctx).unwrap();
+    assert_eq!(result, format!("{}\n", direct.report.to_json()));
+
+    // Lifecycle counters made it to the exposition, validator-clean.
+    let (_, metrics) = get(addr, "/v1/metrics");
+    cnt_obs::promcheck::validate(&metrics)
+        .unwrap_or_else(|e| panic!("invalid exposition: {e}\n{metrics}"));
+    assert!(
+        metrics.contains("cnt_serve_jobs_total{status=\"queued\"} 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("cnt_serve_jobs_total{status=\"done\"} 1"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("cnt_serve_jobs_pending 0"), "{metrics}");
+
+    // Error shapes: unknown job, unknown id, and an id with no sweep.
+    let (status, missing) = get(addr, "/v1/jobs/nosuchjob");
+    assert_eq!(status, 404);
+    assert!(missing.contains("no such job"), "{missing}");
+    let (status, _) = get(addr, "/v1/jobs/nosuchjob/result");
+    assert_eq!(status, 404);
+    let (status, _) = post(addr, "/v1/sweeps/fig99", "{}");
+    assert_eq!(status, 404);
+    let (status, no_sweep) = post(addr, "/v1/sweeps/table1", "{}");
+    assert_eq!(status, 400, "{no_sweep}");
+
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
+#[test]
+fn a_full_job_table_sheds_with_the_canonical_body() {
+    let server = Server::bind(Config {
+        jobs_capacity: 0,
+        ..config()
+    })
+    .unwrap();
+    let (addr, handle, thread) = start(server);
+
+    let (status, headers, body) = http(addr, "POST", "/v1/sweeps/fig12", "{}");
+    assert_eq!(status, 503);
+    assert!(
+        headers.iter().any(|(n, v)| n == "retry-after" && v == "1"),
+        "job-table shed without Retry-After: {headers:?}"
+    );
+    // Same canonical message shape as the worker-queue shed.
+    assert_eq!(
+        body,
+        "{\"error\":\"server busy: the job table is full, retry shortly\"}\n"
+    );
+
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
+#[test]
 fn healthz_and_metrics_read_the_same_registry() {
     let (addr, handle, thread) = start(Server::bind(config()).unwrap());
 

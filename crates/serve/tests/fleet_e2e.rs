@@ -1,0 +1,273 @@
+//! Loopback fleet integration: three real `cnt-serve` instances joined
+//! into one consistent-hash fleet. The acceptance gate is single
+//! computation — an identical run sent through both non-owners computes
+//! exactly once, on the shard owner, with the second hop answered from
+//! the owner's LRU via the peer cache-fill probe.
+
+use cnt_interconnect::experiments;
+use cnt_serve::{fleet::HashRing, Config, FleetConfig, RouteMode, Server, ShutdownHandle};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One HTTP/1.1 exchange; returns (status, headers, body).
+fn http(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, Vec<(String, String)>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("response head");
+    let mut lines = head.lines();
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers, body.to_string())
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    let (status, _, body) = http(addr, "POST", path, body);
+    (status, body)
+}
+
+/// Reads one healthz counter out of the flat JSON body.
+fn counter(health: &str, name: &str) -> u64 {
+    let tail = health
+        .split(&format!("\"{name}\":"))
+        .nth(1)
+        .unwrap_or_else(|| panic!("no counter {name} in {health}"));
+    tail.chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("counter value")
+}
+
+/// Reads one Prometheus sample (exact line-prefix match).
+fn sample(metrics: &str, series: &str) -> u64 {
+    metrics
+        .lines()
+        .find(|l| l.starts_with(series) && l.as_bytes().get(series.len()) == Some(&b' '))
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("no sample {series} in {metrics}"))
+}
+
+struct Instance {
+    addr: SocketAddr,
+    handle: ShutdownHandle,
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl Instance {
+    fn runs(&self) -> u64 {
+        let (status, _, health) = http(self.addr, "GET", "/v1/healthz", "");
+        assert_eq!(status, 200);
+        counter(&health, "runs")
+    }
+
+    fn stop(self) {
+        self.handle.shutdown();
+        self.thread.join().expect("server thread");
+    }
+}
+
+/// Binds `n` ephemeral-port instances and joins them into one fleet.
+fn fleet(n: usize, mode: RouteMode) -> (Vec<Instance>, Vec<String>) {
+    let servers: Vec<Server> = (0..n)
+        .map(|_| {
+            Server::bind(Config {
+                addr: "127.0.0.1:0".to_string(),
+                workers: 2,
+                queue_capacity: 16,
+                cache_capacity: 64,
+                ..Config::default()
+            })
+            .expect("bind ephemeral port")
+        })
+        .collect();
+    let peers: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+    let instances = servers
+        .into_iter()
+        .enumerate()
+        .map(|(index, server)| {
+            let mut config = FleetConfig::new(peers.clone(), index);
+            config.mode = mode;
+            server.enable_fleet(config).expect("join fleet");
+            let addr = server.local_addr();
+            let handle = server.handle();
+            let thread = std::thread::spawn(move || server.serve().expect("serve"));
+            Instance {
+                addr,
+                handle,
+                thread,
+            }
+        })
+        .collect();
+    (instances, peers)
+}
+
+/// The shard owner of an experiment's parameter point under this fleet.
+fn owner_of(peers: &[String], id: &str, sets: &[(String, String)]) -> usize {
+    let (_, ctx) = experiments::resolve_context(id, None, sets).expect("resolvable point");
+    HashRing::new(peers)
+        .owner_of_hash(ctx.params.content_hash())
+        .expect("non-empty ring")
+}
+
+#[test]
+fn identical_runs_through_both_non_owners_compute_exactly_once() {
+    let (instances, peers) = fleet(3, RouteMode::Proxy);
+    let owner = owner_of(&peers, "table1", &[]);
+    let non_owners: Vec<usize> = (0..3).filter(|i| *i != owner).collect();
+
+    // The same default point through both non-owners.
+    let expected = format!(
+        "{}\n",
+        experiments::run_to_json("table1", None, &[]).unwrap()
+    );
+    for &i in &non_owners {
+        let (status, body) = post(instances[i].addr, "/v1/experiments/table1/run", "{}");
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body, expected, "proxied body drifted from the CLI");
+    }
+
+    // Exactly one computation, on the owner; the second hop was a
+    // cache-fill hit against the owner's LRU.
+    assert_eq!(
+        instances[owner].runs(),
+        1,
+        "owner must compute exactly once"
+    );
+    for &i in &non_owners {
+        assert_eq!(instances[i].runs(), 0, "non-owner {i} computed locally");
+    }
+    let mut fill_hits = 0;
+    let mut proxied = 0;
+    for &i in &non_owners {
+        let (status, _, metrics) = http(instances[i].addr, "GET", "/v1/metrics", "");
+        assert_eq!(status, 200);
+        cnt_obs::promcheck::validate(&metrics)
+            .unwrap_or_else(|e| panic!("invalid exposition: {e}\n{metrics}"));
+        fill_hits += sample(&metrics, "cnt_fleet_peer_fill_total{result=\"hit\"}");
+        proxied += sample(&metrics, "cnt_fleet_route_total{outcome=\"proxied\"}");
+    }
+    assert!(fill_hits >= 1, "no peer cache-fill hit was recorded");
+    assert_eq!(proxied, 2, "both non-owner requests must count as proxied");
+
+    // The owner answers the same point locally without another run.
+    let (status, body) = post(instances[owner].addr, "/v1/experiments/table1/run", "{}");
+    assert_eq!(status, 200);
+    assert_eq!(body, expected);
+    assert_eq!(instances[owner].runs(), 1, "owner re-ran a cached point");
+    let (_, _, metrics) = http(instances[owner].addr, "GET", "/v1/metrics", "");
+    assert!(
+        sample(&metrics, "cnt_fleet_route_total{outcome=\"local\"}") >= 1,
+        "{metrics}"
+    );
+
+    for instance in instances {
+        instance.stop();
+    }
+}
+
+#[test]
+fn redirect_mode_answers_307_with_the_owner_location() {
+    let (instances, peers) = fleet(3, RouteMode::Redirect);
+    let owner = owner_of(&peers, "table1", &[]);
+    let non_owner = (0..3).find(|i| *i != owner).unwrap();
+
+    let (status, headers, body) = http(
+        instances[non_owner].addr,
+        "POST",
+        "/v1/experiments/table1/run",
+        "{}",
+    );
+    assert_eq!(status, 307, "{body}");
+    let target = format!("http://{}/v1/experiments/table1/run", peers[owner]);
+    assert!(
+        headers.iter().any(|(n, v)| n == "location" && *v == target),
+        "redirect without the owner Location: {headers:?}"
+    );
+    assert!(body.contains(&target), "{body}");
+    assert_eq!(instances[non_owner].runs(), 0, "redirects never compute");
+
+    // Following the redirect reaches the owner and computes there.
+    let (status, body) = post(instances[owner].addr, "/v1/experiments/table1/run", "{}");
+    assert_eq!(status, 200);
+    assert_eq!(
+        body,
+        format!(
+            "{}\n",
+            experiments::run_to_json("table1", None, &[]).unwrap()
+        )
+    );
+    let (_, _, metrics) = http(instances[non_owner].addr, "GET", "/v1/metrics", "");
+    assert!(
+        sample(&metrics, "cnt_fleet_route_total{outcome=\"redirected\"}") >= 1,
+        "{metrics}"
+    );
+
+    for instance in instances {
+        instance.stop();
+    }
+}
+
+#[test]
+fn a_dead_owner_degrades_to_local_compute() {
+    let (mut instances, peers) = fleet(2, RouteMode::Proxy);
+
+    // Find a point the *other* instance owns, as seen from instance 0.
+    let survivor = 0usize;
+    let sets = (0..200)
+        .map(|seed| vec![("seed".to_string(), seed.to_string())])
+        .find(|sets| owner_of(&peers, "table1", sets) != survivor)
+        .expect("some seed hashes to the peer shard");
+    let body = format!("{{\"params\": {{\"seed\": {}}}}}", sets[0].1);
+
+    // Kill the owner, then route the point through the survivor: the
+    // fill probe fails fast and the request computes locally.
+    instances.remove(1).stop();
+    let (status, answer) = post(
+        instances[survivor].addr,
+        "/v1/experiments/table1/run",
+        &body,
+    );
+    assert_eq!(status, 200, "{answer}");
+    let expected = format!(
+        "{}\n",
+        experiments::run_to_json("table1", None, &sets).unwrap()
+    );
+    assert_eq!(answer, expected, "degraded body drifted from the CLI");
+    assert_eq!(instances[survivor].runs(), 1, "survivor must compute");
+
+    let (_, _, metrics) = http(instances[survivor].addr, "GET", "/v1/metrics", "");
+    assert!(
+        sample(&metrics, "cnt_fleet_peer_fill_total{result=\"error\"}") >= 1,
+        "dead-peer probe must count as a fill error:\n{metrics}"
+    );
+    assert!(
+        sample(&metrics, "cnt_fleet_route_total{outcome=\"local\"}") >= 1,
+        "{metrics}"
+    );
+
+    instances.remove(0).stop();
+}

@@ -52,6 +52,7 @@ pub mod exec;
 pub mod json;
 pub mod plan;
 pub mod pool;
+pub mod progress;
 pub mod seed;
 
 pub use agg::{Histogram, OnlineStats, Summary};
@@ -60,6 +61,7 @@ pub use cache::{CacheKey, GcStats, ResultStore, Table};
 pub use exec::Executor;
 pub use plan::{Job, SweepPlan};
 pub use pool::{PoolJob, WorkerPool};
+pub use progress::Progress;
 
 use core::fmt;
 

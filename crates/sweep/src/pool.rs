@@ -51,7 +51,7 @@ pub struct WorkerPool {
     shared: Arc<Shared>,
     threads: usize,
     capacity: usize,
-    workers: Vec<JoinHandle<()>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl WorkerPool {
@@ -100,7 +100,7 @@ impl WorkerPool {
             shared,
             threads,
             capacity: queue_capacity,
-            workers,
+            workers: Mutex::new(workers),
         }
     }
 
@@ -138,14 +138,19 @@ impl WorkerPool {
     }
 
     /// Stops intake, drains every queued job, and joins the workers.
-    pub fn shutdown(mut self) {
+    ///
+    /// Takes `&self` so a pool shared behind an `Arc` (the serve layer
+    /// keeps one handle for HTTP dispatch and one for async sweep jobs)
+    /// can still be drained; a second call is a no-op.
+    pub fn shutdown(&self) {
         self.shared
             .state
             .lock()
             .expect("pool poisoned")
             .shutting_down = true;
         self.shared.work_ready.notify_all();
-        for worker in self.workers.drain(..) {
+        let workers = std::mem::take(&mut *self.workers.lock().expect("pool poisoned"));
+        for worker in workers {
             let _ = worker.join();
         }
     }

@@ -1,0 +1,114 @@
+//! Observe-only progress counters for long-running sweeps.
+//!
+//! A front end that runs a sweep asynchronously (the `cnt-serve` job API)
+//! needs to report how far along the executor is without touching the
+//! sweep's deterministic result path. [`Progress`] is that side channel: a
+//! pair of relaxed atomics the [`Executor`](crate::exec::Executor) bumps as
+//! it schedules and completes jobs, wired in per call via a thread-local
+//! scope rather than a parameter so the hook costs nothing to sweeps that
+//! never asked for it (the CLI, tests, benches).
+//!
+//! The caller installs a sink around the sweep call with [`scoped`]; the
+//! executor captures the *calling thread's* sink once at entry, so the
+//! worker threads it spawns all report into the same counters even though
+//! the thread-local itself never propagates. Reporting is add-only and
+//! order-independent — nothing about scheduling or results can depend on
+//! whether a sink is installed.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotonic job counters for one logical sweep run: `done / total`.
+///
+/// `total` accumulates across plans, so a sweep composed of several
+/// executor runs reports one combined denominator.
+#[derive(Debug, Default)]
+pub struct Progress {
+    done: AtomicU64,
+    total: AtomicU64,
+}
+
+impl Progress {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Announces `n` more jobs to run (called once per executor entry).
+    pub fn add_total(&self, n: u64) {
+        self.total.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one completed job.
+    pub fn inc_done(&self) {
+        self.done.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Jobs completed so far.
+    pub fn done(&self) -> u64 {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Jobs announced so far (0 until the executor starts a plan).
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Arc<Progress>>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with `sink` installed as the calling thread's progress sink;
+/// the previous sink (usually none) is restored on exit, panic included.
+pub fn scoped<T>(sink: Arc<Progress>, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<Arc<Progress>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT.with(|cell| *cell.borrow_mut() = self.0.take());
+        }
+    }
+    let _restore = Restore(CURRENT.with(|cell| cell.borrow_mut().replace(sink)));
+    f()
+}
+
+/// The calling thread's installed sink, if any.
+pub fn current() -> Option<Arc<Progress>> {
+    CURRENT.with(|cell| cell.borrow().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_installs_and_restores_the_sink() {
+        assert!(current().is_none());
+        let sink = Arc::new(Progress::new());
+        let seen = scoped(Arc::clone(&sink), || {
+            current().expect("sink visible inside the scope")
+        });
+        assert!(Arc::ptr_eq(&seen, &sink));
+        assert!(current().is_none(), "sink must not leak out of the scope");
+    }
+
+    #[test]
+    fn scoped_restores_on_panic() {
+        let sink = Arc::new(Progress::new());
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            scoped(Arc::clone(&sink), || panic!("boom"))
+        }));
+        assert!(current().is_none(), "panic must not leave a stale sink");
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let p = Progress::new();
+        p.add_total(10);
+        p.add_total(5);
+        p.inc_done();
+        p.inc_done();
+        assert_eq!((p.done(), p.total()), (2, 15));
+    }
+}

@@ -18,7 +18,8 @@
 //! | compact models & experiments | [`interconnect`] | III.C, Figs. 9/12 |
 //! | experiment registry (trait catalog, typed params, JSON/CSV reports) | [`interconnect::experiments`] | every artefact |
 //! | observability (atomic counters/gauges/histograms, tracing spans, Prometheus render + validator) | [`obs`] | every layer, measured in-process |
-//! | HTTP experiment server (keep-alive, scheduling, coalescing, LRU result cache, `/v1/metrics`) | [`serve`] | every artefact, as a service |
+//! | HTTP experiment server (keep-alive, scheduling, coalescing, LRU result cache, `/v1/metrics`, async job API) | [`serve`] | every artefact, as a service |
+//! | fleet primitives (rendezvous hash ring, peer cache-fill client, bounded job table) | [`fleet`] | multi-instance serving |
 //! | benchmark harness (`repro bench`: kernel registry, `BENCH_*.json` perf trajectory, `bench diff` regression gate) | `cnt-bench` | every hot path, measured |
 //!
 //! # Quickstart
@@ -50,8 +51,10 @@
 //! (deterministic for any `--threads` value; see `crates/sweep/README.md`),
 //! keep the whole registry resident behind a JSON API with
 //! `repro serve` (byte-identical to the CLI per parameter point,
-//! HTTP/1.1 keep-alive, Prometheus-style `/v1/metrics`; see
-//! `crates/serve/README.md`), or time every hot kernel with
+//! HTTP/1.1 keep-alive, Prometheus-style `/v1/metrics`, async sweep
+//! jobs via `POST /v1/sweeps/{id}`, and consistent-hash sharding
+//! across instances with `--fleet`; see `crates/serve/README.md` and
+//! `crates/fleet/README.md`), or time every hot kernel with
 //! `repro bench [--quick]` (machine-readable `BENCH_*.json` trajectory;
 //! see `crates/bench/README.md`).
 
@@ -61,6 +64,7 @@
 pub use cnt_atomistic as atomistic;
 pub use cnt_circuit as circuit;
 pub use cnt_fields as fields;
+pub use cnt_fleet as fleet;
 pub use cnt_interconnect as interconnect;
 pub use cnt_measure as measure;
 pub use cnt_obs as obs;
