@@ -373,6 +373,11 @@ pub fn kernels() -> Vec<Kernel> {
             run: bench_delay_ratio_grid,
         },
         Kernel {
+            id: "obs.history_scrape",
+            title: "HistoryStore scrape of a loaded registry (64 samples)",
+            run: bench_history_scrape,
+        },
+        Kernel {
             id: "sweep.pool_t1",
             title: "Executor throughput, 32 jobs, 1 thread",
             run: |cfg| bench_pool(cfg, 1),
@@ -609,6 +614,42 @@ fn bench_delay_ratio_grid(cfg: &KernelCfg) -> KernelRun {
     }))
 }
 
+fn bench_history_scrape(cfg: &KernelCfg) -> KernelRun {
+    let (warmup, iters) = budget(cfg);
+    // A registry shaped like a busy server's: a few scalar families plus
+    // labelled counters and populated histograms, so each scrape pays
+    // for snapshotting and ring appends across every series kind.
+    let registry = cnt_obs::MetricRegistry::new();
+    for i in 0..8 {
+        registry
+            .counter(&format!("bench_counter_{i}_total"), "bench counter")
+            .add(i * 17);
+        registry
+            .gauge(&format!("bench_gauge_{i}"), "bench gauge")
+            .set(i as f64 * 0.25);
+        let hist = registry.histogram(&format!("bench_hist_{i}_seconds"), "bench histogram");
+        for k in 0..64 {
+            hist.record(1e-4 * (1 + (k * 7 + i) % 50) as f64);
+        }
+        let vec = registry.counter_vec(
+            &format!("bench_status_{i}_total"),
+            "bench labelled counter",
+            "code",
+            true,
+        );
+        for code in ["200", "404", "500"] {
+            vec.with(code).add(3);
+        }
+    }
+    let store = cnt_obs::HistoryStore::new(cnt_obs::timeseries::DEFAULT_HISTORY_POINTS);
+    KernelRun::timed(time_iterations(warmup, iters, || {
+        for _ in 0..64 {
+            store.sample(&registry);
+        }
+        black_box(store.render_json(60.0));
+    }))
+}
+
 /// Fixed-size arithmetic spin: the deterministic unit of pool work.
 fn spin(work: usize) -> f64 {
     let mut x = 1.0f64;
@@ -783,7 +824,7 @@ mod tests {
         unique.dedup();
         assert_eq!(unique.len(), ids.len(), "duplicate kernel id");
         for prefix in [
-            "negf.", "fields.", "thermal.", "circuit.", "sweep.", "serve.",
+            "negf.", "fields.", "thermal.", "circuit.", "obs.", "sweep.", "serve.",
         ] {
             assert!(
                 ids.iter().any(|id| id.starts_with(prefix)),

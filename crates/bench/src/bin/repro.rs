@@ -84,7 +84,7 @@ fn usage() {
         "                   [--fleet A1,A2,... --self-index K [--fleet-mode proxy|redirect]]"
     );
     eprintln!("                   [--jobs N] [--job-ttl SECS] [--access-log text|json]");
-    eprintln!("                   [--access-log text|json]");
+    eprintln!("                   [--history-interval SECS]");
     eprintln!("       repro cache gc [--max-bytes N] [--max-age SECS] [--cache-dir DIR]");
     eprintln!("       repro bench [--quick] [--filter SUBSTR] [--format text|json]");
     eprintln!("                   [--threads N] [--iters N] [--out PATH | --no-out]");
@@ -94,6 +94,8 @@ fn usage() {
     eprintln!(
         "       repro profile <id> [--preset NAME] [--set KEY=VALUE]... [--format text|json]"
     );
+    eprintln!("                    [--flame]    (folded stacks for flamegraph tooling)");
+    eprintln!("       repro slo --addr HOST:PORT [--format text|json]");
     eprintln!(
         "ids: {}",
         experiments::catalog().collect::<Vec<_>>().join(" ")
@@ -123,6 +125,7 @@ fn main() -> ExitCode {
         "check-json" => run_check_json_command(),
         "check-metrics" => run_check_metrics_command(),
         "profile" => run_profile_command(&args[1..]),
+        "slo" => run_slo_command(&args[1..]),
         _ => run_experiments_command(&args),
     }
 }
@@ -435,14 +438,18 @@ fn run_check_metrics_command() -> ExitCode {
 }
 
 /// Parses and runs
-/// `repro profile <id> [--preset NAME] [--set KEY=VALUE]... [--format text|json]`:
+/// `repro profile <id> [--preset NAME] [--set KEY=VALUE]... [--format text|json] [--flame]`:
 /// one experiment run under a [`cnt_obs::Trace`], reported as the span
 /// timing tree instead of the experiment's own output. The run itself is
 /// the production code path (same registry, same validation), so the tree
 /// shows where `repro <id>` actually spends its wall time — solver calls,
-/// V-cycle phases, serially-executed sweep jobs.
+/// V-cycle phases, serially-executed sweep jobs. With `--flame` the tree
+/// prints as folded stacks (`a;b;c <self-µs>` lines), the input format of
+/// flamegraph tooling.
 fn run_profile_command(args: &[String]) -> ExitCode {
-    let parsed = match CommonFlags::parse(args) {
+    let flame = args.iter().any(|a| a == "--flame");
+    let args: Vec<String> = args.iter().filter(|a| *a != "--flame").cloned().collect();
+    let parsed = match CommonFlags::parse(&args) {
         Ok(p) => p,
         Err(e) => return fail(&e),
     };
@@ -451,6 +458,9 @@ fn run_profile_command(args: &[String]) -> ExitCode {
     };
     if parsed.format == OutputFormat::Csv {
         return fail("profile emits text or json (csv is not a profile format)");
+    }
+    if flame && parsed.format != OutputFormat::Text {
+        return fail("--flame prints folded stacks; it does not combine with --format");
     }
     cnt_obs::Trace::begin();
     let started = std::time::Instant::now();
@@ -467,6 +477,12 @@ fn run_profile_command(args: &[String]) -> ExitCode {
     let roots = cnt_obs::Trace::end();
     if let Err(e) = result {
         return fail(&format!("experiment '{id}' failed: {e}"));
+    }
+    if flame {
+        // Folded stacks go to stdout unadorned so the output pipes
+        // straight into flamegraph.pl / inferno without cleanup.
+        print!("{}", cnt_obs::fold_stacks(&roots));
+        return ExitCode::SUCCESS;
     }
     match parsed.format {
         OutputFormat::Text => {
@@ -488,6 +504,100 @@ fn run_profile_command(args: &[String]) -> ExitCode {
             println!("{out}");
         }
         OutputFormat::Csv => unreachable!("rejected above"),
+    }
+    ExitCode::SUCCESS
+}
+
+/// Parses and runs `repro slo --addr HOST:PORT [--format text|json]`:
+/// fetches `GET /v1/slo` from a running `repro serve` instance and
+/// reports each objective's state and burn rates. Exit code mirrors the
+/// worst state so the command slots into CI and cron checks directly:
+/// success while every SLO is `ok` or `warn`, failure once any pages.
+fn run_slo_command(args: &[String]) -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut format = OutputFormat::Text;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => addr = Some(v.clone()),
+                None => return fail("--addr needs a value"),
+            },
+            "--format" => match it.next().map(|v| v.parse::<OutputFormat>()) {
+                Some(Ok(OutputFormat::Csv)) => {
+                    return fail("slo emits text or json (csv is not an slo format)")
+                }
+                Some(Ok(f)) => format = f,
+                Some(Err(e)) => return fail(&e.to_string()),
+                None => return fail("--format needs a value"),
+            },
+            other => return fail(&format!("unknown slo flag '{other}'")),
+        }
+    }
+    let Some(addr) = addr else {
+        return fail("slo needs --addr HOST:PORT (a running `repro serve` instance)");
+    };
+    let client = cnt_fleet::PeerClient::new(
+        std::time::Duration::from_secs(2),
+        std::time::Duration::from_secs(5),
+    );
+    let response = match client.get(&addr, "/v1/slo") {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("slo: GET {addr}/v1/slo: {e}")),
+    };
+    if response.status != 200 {
+        return fail(&format!(
+            "slo: GET {addr}/v1/slo returned {}",
+            response.status
+        ));
+    }
+    let doc = match cnt_serve::json::parse(&response.body) {
+        Ok(v) => v,
+        Err(e) => return fail(&format!("slo: response is not valid JSON: {e}")),
+    };
+    use cnt_serve::json::JsonValue;
+    let field = |obj: &JsonValue, key: &str| -> Option<JsonValue> {
+        match obj {
+            JsonValue::Object(pairs) => {
+                pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
+            }
+            _ => None,
+        }
+    };
+    let as_str = |v: Option<JsonValue>| -> Option<String> {
+        match v {
+            Some(JsonValue::String(s)) => Some(s),
+            _ => None,
+        }
+    };
+    let Some(worst) = as_str(field(&doc, "state")) else {
+        return fail("slo: response has no top-level \"state\"");
+    };
+    match format {
+        OutputFormat::Json => println!("{}", response.body.trim_end()),
+        OutputFormat::Text => {
+            if let Some(JsonValue::Array(slos)) = field(&doc, "slos") {
+                for slo in &slos {
+                    let name = as_str(field(slo, "name")).unwrap_or_else(|| "?".to_string());
+                    let state = as_str(field(slo, "state")).unwrap_or_else(|| "?".to_string());
+                    let burn = |key: &str| match field(slo, key) {
+                        Some(JsonValue::Number(n)) => n,
+                        _ => "?".to_string(),
+                    };
+                    println!(
+                        "{name}: {state} (burn fast {}, slow {})",
+                        burn("burn_fast"),
+                        burn("burn_slow")
+                    );
+                }
+            }
+            println!("slo: overall {worst}");
+        }
+        OutputFormat::Csv => unreachable!("rejected above"),
+    }
+    if worst == "page" {
+        eprintln!("repro slo: at least one objective is paging");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }
@@ -681,6 +791,19 @@ fn run_serve_command(args: &[String]) -> ExitCode {
             },
             "--job-ttl" => match parse_count("--job-ttl", take("--job-ttl", it.next())) {
                 Ok(secs) => config.job_ttl = std::time::Duration::from_secs(secs as u64),
+                Err(e) => return fail(&e),
+            },
+            "--history-interval" => match take("--history-interval", it.next()) {
+                Ok(raw) => match raw.parse::<f64>() {
+                    Ok(secs) if secs > 0.0 && secs.is_finite() => {
+                        config.history_interval = std::time::Duration::from_secs_f64(secs);
+                    }
+                    _ => {
+                        return fail(&format!(
+                            "--history-interval expects seconds > 0, got '{raw}'"
+                        ))
+                    }
+                },
                 Err(e) => return fail(&e),
             },
             other => return fail(&format!("unknown serve flag '{other}'")),

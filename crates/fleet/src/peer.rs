@@ -76,7 +76,23 @@ impl PeerClient {
     /// Returns the *second* failure when both attempts die on transport;
     /// protocol errors (a live peer speaking garbage) are not retried.
     pub fn get(&self, addr: &str, path: &str) -> Result<PeerResponse, PeerError> {
-        self.request(addr, "GET", path, "", "")
+        self.request(addr, "GET", path, "", "", &[])
+    }
+
+    /// [`PeerClient::get`] with extra request headers — the carrier for
+    /// trace/request-id propagation on fleet hops. Header values
+    /// containing CR/LF are silently dropped (no header injection).
+    ///
+    /// # Errors
+    ///
+    /// Same policy as [`PeerClient::get`].
+    pub fn get_with(
+        &self,
+        addr: &str,
+        path: &str,
+        headers: &[(String, String)],
+    ) -> Result<PeerResponse, PeerError> {
+        self.request(addr, "GET", path, "", "", headers)
     }
 
     /// `POST body` to `path` on `addr`, retrying once on transport errors.
@@ -91,9 +107,27 @@ impl PeerClient {
         content_type: &str,
         body: &str,
     ) -> Result<PeerResponse, PeerError> {
-        self.request(addr, "POST", path, content_type, body)
+        self.request(addr, "POST", path, content_type, body, &[])
     }
 
+    /// [`PeerClient::post`] with extra request headers; same CR/LF
+    /// policy as [`PeerClient::get_with`].
+    ///
+    /// # Errors
+    ///
+    /// Same policy as [`PeerClient::get`].
+    pub fn post_with(
+        &self,
+        addr: &str,
+        path: &str,
+        content_type: &str,
+        body: &str,
+        headers: &[(String, String)],
+    ) -> Result<PeerResponse, PeerError> {
+        self.request(addr, "POST", path, content_type, body, headers)
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn request(
         &self,
         addr: &str,
@@ -101,17 +135,19 @@ impl PeerClient {
         path: &str,
         content_type: &str,
         body: &str,
+        headers: &[(String, String)],
     ) -> Result<PeerResponse, PeerError> {
-        match self.request_once(addr, method, path, content_type, body) {
+        match self.request_once(addr, method, path, content_type, body, headers) {
             Err(PeerError::Connect(_)) | Err(PeerError::Io(_)) => {
                 // One retry: transient connect races (a peer mid-restart)
                 // recover; a dead peer fails in 2 x connect_timeout.
-                self.request_once(addr, method, path, content_type, body)
+                self.request_once(addr, method, path, content_type, body, headers)
             }
             done => done,
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn request_once(
         &self,
         addr: &str,
@@ -119,6 +155,7 @@ impl PeerClient {
         path: &str,
         content_type: &str,
         body: &str,
+        headers: &[(String, String)],
     ) -> Result<PeerResponse, PeerError> {
         let addr: SocketAddr = addr
             .parse()
@@ -131,6 +168,12 @@ impl PeerClient {
             .map_err(|e| PeerError::Io(e.to_string()))?;
 
         let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n");
+        for (name, value) in headers {
+            let clean = !name.contains(['\r', '\n', ':']) && !value.contains(['\r', '\n']);
+            if clean && !name.is_empty() {
+                head.push_str(&format!("{name}: {value}\r\n"));
+            }
+        }
         if !content_type.is_empty() {
             head.push_str(&format!("Content-Type: {content_type}\r\n"));
         }
@@ -263,6 +306,48 @@ mod tests {
         let request = server.join().unwrap();
         assert!(request.starts_with("GET /v1/_fleet/cache/abc HTTP/1.1\r\n"));
         assert!(request.contains("Connection: close\r\n"));
+    }
+
+    #[test]
+    fn extra_headers_ride_the_wire_and_injection_is_dropped() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 4096];
+            let n = stream.read(&mut buf).unwrap();
+            let request = String::from_utf8_lossy(&buf[..n]).to_string();
+            stream
+                .write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\n")
+                .unwrap();
+            request
+        });
+        let headers = vec![
+            ("X-Trace-Id".to_string(), "00000000deadbeef".to_string()),
+            ("X-Request-Id".to_string(), "ab12cd34-000001".to_string()),
+            ("Evil".to_string(), "x\r\nInjected: yes".to_string()),
+        ];
+        let response = client()
+            .post_with(
+                &addr.to_string(),
+                "/v1/run",
+                "application/json",
+                "{}",
+                &headers,
+            )
+            .unwrap();
+        assert_eq!(response.status, 200);
+        let request = server.join().unwrap();
+        assert!(
+            request.contains("X-Trace-Id: 00000000deadbeef\r\n"),
+            "{request}"
+        );
+        assert!(
+            request.contains("X-Request-Id: ab12cd34-000001\r\n"),
+            "{request}"
+        );
+        assert!(!request.contains("Injected"), "CR/LF value must be dropped");
+        assert!(request.contains("Content-Type: application/json\r\n"));
     }
 
     #[test]

@@ -22,6 +22,18 @@
 //!   bucket consistency), so CI can gate `/v1/metrics` output the same
 //!   way `repro check-json` gates JSON bodies.
 //!
+//! On top of the core sit three distributed-observability layers:
+//!
+//! * [`timeseries`] — [`HistoryStore`], fixed-size rings a scraper
+//!   thread fills from [`MetricRegistry::snapshot`]; windowed
+//!   min/max/rate and bucket-delta quantiles computed on read.
+//! * [`slo`] — declarative [`SloSpec`]s (latency quantile, error rate)
+//!   evaluated as multi-window burn rates against a [`HistoryStore`].
+//! * [`trace_store`] — [`TraceContext`] wire ids (`X-Trace-Id` /
+//!   `X-Parent-Span`) plus a bounded TTL ring of [`TraceRecord`]s, so
+//!   span trees captured on different fleet instances assemble into
+//!   one cross-instance tree.
+//!
 //! The crate is deliberately `std`-only: the build environment has no
 //! crates.io access (see `crates/compat/*`), and the serve layer's
 //! offline constraint extends to its telemetry.
@@ -49,10 +61,16 @@
 
 pub mod metrics;
 pub mod promcheck;
+pub mod slo;
 pub mod span;
+pub mod timeseries;
+pub mod trace_store;
 
-pub use metrics::{Counter, CounterVec, Gauge, Histogram, MetricRegistry};
-pub use span::{SpanGuard, SpanNode, Trace};
+pub use metrics::{Counter, CounterVec, Gauge, Histogram, MetricRegistry, MetricSnapshot};
+pub use slo::{SloKind, SloReport, SloSpec, SloState};
+pub use span::{fold_stacks, merge_nodes, Profile, SpanGuard, SpanNode, Trace};
+pub use timeseries::{HistWindow, HistoryStore, WindowSummary};
+pub use trace_store::{TraceContext, TraceRecord, TraceStore};
 
 use std::sync::OnceLock;
 

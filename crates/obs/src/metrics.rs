@@ -158,29 +158,37 @@ impl Histogram {
     /// Observations beyond the last finite bound clamp to it, so the
     /// estimate is a lower bound when the tail bucket is occupied.
     pub fn quantile(&self, q: f64) -> Option<f64> {
-        let counts = self.bucket_counts();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return None;
-        }
-        let rank = q.clamp(0.0, 1.0) * total as f64;
-        let mut cum = 0.0;
-        for (i, &c) in counts.iter().enumerate() {
-            let prev = cum;
-            cum += c as f64;
-            if cum >= rank && c > 0 {
-                if i >= self.bounds.len() {
-                    // +Inf bucket: clamp to the last finite bound.
-                    return Some(self.bounds[self.bounds.len() - 1]);
-                }
-                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
-                let hi = self.bounds[i];
-                let frac = ((rank - prev) / c as f64).clamp(0.0, 1.0);
-                return Some(lo + (hi - lo) * frac);
-            }
-        }
-        Some(self.bounds[self.bounds.len() - 1])
+        quantile_from_counts(&self.bounds, &self.bucket_counts(), q)
     }
+}
+
+/// Quantile-by-interpolation over an explicit per-bucket count vector
+/// (`+Inf` last, `counts.len() == bounds.len() + 1`). This is
+/// [`Histogram::quantile`] factored out so windowed *count deltas* —
+/// the time-series layer's view of a histogram over the last N seconds
+/// — get the identical estimate the live histogram reports.
+pub fn quantile_from_counts(bounds: &[f64], counts: &[u64], q: f64) -> Option<f64> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 || bounds.is_empty() {
+        return None;
+    }
+    let rank = q.clamp(0.0, 1.0) * total as f64;
+    let mut cum = 0.0;
+    for (i, &c) in counts.iter().enumerate() {
+        let prev = cum;
+        cum += c as f64;
+        if cum >= rank && c > 0 {
+            if i >= bounds.len() {
+                // +Inf bucket: clamp to the last finite bound.
+                return Some(bounds[bounds.len() - 1]);
+            }
+            let lo = if i == 0 { 0.0 } else { bounds[i - 1] };
+            let hi = bounds[i];
+            let frac = ((rank - prev) / c as f64).clamp(0.0, 1.0);
+            return Some(lo + (hi - lo) * frac);
+        }
+    }
+    Some(bounds[bounds.len() - 1])
 }
 
 /// A labeled counter family: one [`Counter`] per label value, plus an
@@ -480,6 +488,62 @@ impl MetricRegistry {
         out.push_str("]}\n");
         out
     }
+
+    /// A typed point-in-time snapshot of every series in the registry,
+    /// in render order. Labeled families flatten into one entry per
+    /// child, named exactly like the Prometheus sample
+    /// (`name{key="value"}`), so a time-series store keyed on these
+    /// names matches what a scrape of `/v1/metrics` would show.
+    pub fn snapshot(&self) -> Vec<(String, MetricSnapshot)> {
+        let entries = self.entries.lock().expect("metric registry poisoned");
+        let mut out = Vec::with_capacity(entries.len());
+        for (name, entry) in entries.iter() {
+            match &entry.metric {
+                Metric::Counter(c) => out.push((name.clone(), MetricSnapshot::Counter(c.get()))),
+                Metric::Gauge(g) => out.push((name.clone(), MetricSnapshot::Gauge(g.get()))),
+                Metric::CounterVec(v) => {
+                    if v.emit_base {
+                        out.push((name.clone(), MetricSnapshot::Counter(v.base.get())));
+                    }
+                    for (value, count) in v.snapshot() {
+                        out.push((
+                            format!("{name}{{{}={}}}", v.label_key, label_quote(&value)),
+                            MetricSnapshot::Counter(count),
+                        ));
+                    }
+                }
+                Metric::Histogram(h) => out.push((
+                    name.clone(),
+                    MetricSnapshot::Histogram {
+                        bounds: h.bounds.clone(),
+                        counts: h.bucket_counts(),
+                        sum: h.sum(),
+                    },
+                )),
+            }
+        }
+        out
+    }
+}
+
+/// One series of a [`MetricRegistry::snapshot`]: the value a scrape
+/// would report at this instant, typed by family kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricSnapshot {
+    /// A counter (or one labeled child of a counter family).
+    Counter(u64),
+    /// A gauge value.
+    Gauge(f64),
+    /// A histogram: cumulative-from-start bucket counts (`+Inf` last)
+    /// plus the running sum.
+    Histogram {
+        /// Upper bucket bounds, without the implicit `+Inf`.
+        bounds: Vec<f64>,
+        /// Per-bucket counts, `+Inf` last.
+        counts: Vec<u64>,
+        /// Sum of observed values.
+        sum: f64,
+    },
 }
 
 /// Quotes a Prometheus label value (`\\`, `\"`, `\n` escapes).
@@ -499,7 +563,7 @@ fn label_quote(v: &str) -> String {
 }
 
 /// A finite JSON number for an `f64` (`null` otherwise).
-fn json_num(v: f64) -> String {
+pub(crate) fn json_num(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -507,7 +571,7 @@ fn json_num(v: f64) -> String {
     }
 }
 
-fn json_escape(s: &str, out: &mut String) {
+pub(crate) fn json_escape(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -595,6 +659,85 @@ mod tests {
         // Tail bucket clamps to the last finite bound.
         h.record(1e9);
         assert!((h.quantile(1.0).unwrap() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_edge_cases_are_exact() {
+        // Empty histogram: no quantile at any q, including the extremes.
+        let empty = Histogram::new(&[1.0, 2.0]);
+        for q in [0.0, 0.5, 0.9, 1.0] {
+            assert_eq!(empty.quantile(q), None, "q={q}");
+        }
+
+        // Single finite bucket: every quantile interpolates inside [0, 1].
+        let single = Histogram::new(&[1.0]);
+        for _ in 0..10 {
+            single.record(0.5);
+        }
+        let q0 = single.quantile(0.0).unwrap();
+        assert!((0.0..=1.0).contains(&q0), "q0 = {q0}");
+        assert!((single.quantile(0.5).unwrap() - 0.5).abs() < 1e-9);
+        assert!((single.quantile(1.0).unwrap() - 1.0).abs() < 1e-9);
+        // One observation past the only finite bound clamps to it.
+        single.record(100.0);
+        assert!((single.quantile(1.0).unwrap() - 1.0).abs() < 1e-9);
+
+        // Exact-boundary ranks: with every observation in one bucket the
+        // cumulative count hits the rank exactly at the bucket edge.
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for _ in 0..4 {
+            h.record(1.5); // all in (1, 2]
+        }
+        assert!((h.quantile(1.0).unwrap() - 2.0).abs() < 1e-9, "q1 at edge");
+        assert!((h.quantile(0.5).unwrap() - 1.5).abs() < 1e-9);
+        // q = 0 never reaches below the occupied bucket's lower bound.
+        assert!(h.quantile(0.0).unwrap() >= 1.0);
+
+        // The free function agrees with the method on the same counts.
+        assert_eq!(
+            quantile_from_counts(h.bounds(), &h.bucket_counts(), 0.5),
+            h.quantile(0.5)
+        );
+        // Degenerate inputs: no bounds or all-zero counts yield None.
+        assert_eq!(quantile_from_counts(&[], &[0], 0.5), None);
+        assert_eq!(quantile_from_counts(&[1.0], &[0, 0], 0.5), None);
+    }
+
+    #[test]
+    fn snapshot_flattens_families_with_prometheus_names() {
+        let r = MetricRegistry::new();
+        r.counter("t_total", "help").add(7);
+        r.gauge("t_gauge", "help").set(1.5);
+        let v = r.counter_vec("t_req_total", "by status", "status", true);
+        v.base().add(3);
+        v.with("200").add(2);
+        r.histogram_with("t_seconds", "timings", &[1.0]).record(0.5);
+        let snap = r.snapshot();
+        let get = |name: &str| {
+            snap.iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, s)| s.clone())
+                .unwrap_or_else(|| panic!("no series {name} in {snap:?}"))
+        };
+        assert_eq!(get("t_total"), MetricSnapshot::Counter(7));
+        assert_eq!(get("t_gauge"), MetricSnapshot::Gauge(1.5));
+        assert_eq!(get("t_req_total"), MetricSnapshot::Counter(3));
+        assert_eq!(
+            get("t_req_total{status=\"200\"}"),
+            MetricSnapshot::Counter(2)
+        );
+        match get("t_seconds") {
+            MetricSnapshot::Histogram {
+                bounds,
+                counts,
+                sum,
+            } => {
+                assert_eq!(bounds, vec![1.0]);
+                assert_eq!(counts, vec![1, 0]);
+                assert!((sum - 0.5).abs() < 1e-12);
+            }
+            other => panic!("t_seconds snapshotted as {other:?}"),
+        }
     }
 
     #[test]

@@ -109,6 +109,14 @@ fn merge_into(list: &mut Vec<SpanNode>, node: SpanNode) {
     }
 }
 
+/// Merges `node` into `list` with the same name-per-level folding the
+/// trace capture applies — the building block for aggregating span
+/// trees captured on *other* threads (pool workers, other requests)
+/// into one view.
+pub fn merge_nodes(list: &mut Vec<SpanNode>, node: SpanNode) {
+    merge_into(list, node);
+}
+
 /// A per-thread span-tree capture. `begin` arms it, `end` returns the
 /// merged root-level nodes. Spans already open when the trace begins
 /// are not captured (they still record their histograms).
@@ -146,6 +154,25 @@ impl Trace {
             }
             state.frames.pop().unwrap_or_default()
         })
+    }
+
+    /// Grafts externally captured span trees into the active trace at
+    /// the current nesting level (so they appear as children of the
+    /// innermost open span). No-op when no trace is armed — callers can
+    /// attach unconditionally. This is how work executed on *other*
+    /// threads (a sweep's pool workers) lands in the calling thread's
+    /// profile: each worker runs its own `begin`/`end` capture and the
+    /// orchestrator attaches the merged result.
+    pub fn attach(nodes: Vec<SpanNode>) {
+        let _ = TRACE.try_with(|t| {
+            let mut t = t.borrow_mut();
+            if let Some(state) = t.as_mut() {
+                let frame = state.frames.last_mut().expect("root frame always present");
+                for node in nodes {
+                    merge_into(frame, node);
+                }
+            }
+        });
     }
 }
 
@@ -256,6 +283,100 @@ pub fn render_tree_text(roots: &[SpanNode]) -> String {
     let mut out = String::new();
     walk(roots, 0, roots.iter().map(|n| n.total_s).sum(), w, &mut out);
     out
+}
+
+/// Renders span trees in the folded-stacks format flamegraph tooling
+/// consumes: one `root;child;leaf <value>` line per stack, where the
+/// value is the stack's *self* time in integer microseconds (time in
+/// the node but not in any child). Interior nodes whose self time
+/// rounds to zero are omitted — their time is fully accounted for by
+/// their children — but leaves always emit so no stack disappears.
+pub fn fold_stacks(roots: &[SpanNode]) -> String {
+    fn walk(prefix: &str, node: &SpanNode, out: &mut String) {
+        let path = if prefix.is_empty() {
+            node.name.clone()
+        } else {
+            format!("{prefix};{}", node.name)
+        };
+        let self_us = (node.self_s() * 1e6).round() as u64;
+        if self_us > 0 || node.children.is_empty() {
+            out.push_str(&path);
+            out.push(' ');
+            out.push_str(&self_us.to_string());
+            out.push('\n');
+        }
+        for child in &node.children {
+            walk(&path, child, out);
+        }
+    }
+    let mut out = String::new();
+    for root in roots {
+        walk("", root, &mut out);
+    }
+    out
+}
+
+/// A cumulative span profile: trees captured across many requests (or
+/// many `Trace` sessions) merged into one forest, behind a mutex. The
+/// serve layer folds every traced request into one of these and exposes
+/// it at `/v1/profile`; `fold_stacks` on the snapshot yields the
+/// flamegraph view of everything the process did.
+#[derive(Debug, Default)]
+pub struct Profile {
+    roots: std::sync::Mutex<Vec<SpanNode>>,
+    captures: std::sync::atomic::AtomicU64,
+}
+
+impl Profile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merges one captured forest (a `Trace::end` result) into the
+    /// profile. Empty captures still count toward [`Profile::captures`].
+    pub fn add(&self, roots: &[SpanNode]) {
+        self.captures
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut merged = self.roots.lock().expect("profile poisoned");
+        for node in roots {
+            merge_into(&mut merged, node.clone());
+        }
+    }
+
+    /// How many captures were folded in.
+    pub fn captures(&self) -> u64 {
+        self.captures.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// A clone of the merged forest.
+    pub fn snapshot(&self) -> Vec<SpanNode> {
+        self.roots.lock().expect("profile poisoned").clone()
+    }
+
+    /// The profile as folded stacks (see [`fold_stacks`]).
+    pub fn folded(&self) -> String {
+        fold_stacks(&self.snapshot())
+    }
+
+    /// The profile as one line of JSON:
+    /// `{"schema":1,"kind":"profile","captures":N,"spans":[…]}`.
+    pub fn render_json(&self) -> String {
+        let roots = self.snapshot();
+        let mut out = String::with_capacity(256);
+        out.push_str(&format!(
+            "{{\"schema\":1,\"kind\":\"profile\",\"captures\":{},\"spans\":[",
+            self.captures()
+        ));
+        for (i, root) in roots.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            root.push_json(&mut out);
+        }
+        out.push_str("]}\n");
+        out
+    }
 }
 
 /// Formats seconds with an adaptive unit (`ns`/`µs`/`ms`/`s`).
@@ -373,6 +494,95 @@ mod tests {
             json,
             "{\"name\":\"a\",\"count\":1,\"total_s\":0.2,\"children\":[{\"name\":\"b.c\",\"count\":4,\"total_s\":0.1,\"children\":[]}]}"
         );
+    }
+
+    #[test]
+    fn attach_grafts_foreign_trees_under_the_open_span() {
+        let worker_tree = vec![SpanNode {
+            name: "sweep.job".to_string(),
+            count: 4,
+            total_s: 0.4,
+            children: Vec::new(),
+        }];
+        // Without a trace, attach is a no-op (and must not panic).
+        Trace::attach(worker_tree.clone());
+        Trace::begin();
+        {
+            let _outer = span!("test.attach-outer");
+            Trace::attach(worker_tree.clone());
+            Trace::attach(worker_tree.clone());
+        }
+        let roots = Trace::end();
+        let outer = roots
+            .iter()
+            .find(|n| n.name == "test.attach-outer")
+            .expect("outer span captured");
+        let job = outer
+            .children
+            .iter()
+            .find(|n| n.name == "sweep.job")
+            .expect("attached tree nests under the open span");
+        assert_eq!(job.count, 8, "attached trees must merge");
+        assert!((job.total_s - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fold_stacks_emits_self_time_per_stack() {
+        let roots = vec![SpanNode {
+            name: "serve.request".to_string(),
+            count: 1,
+            total_s: 0.003,
+            children: vec![SpanNode {
+                name: "fields.solve".to_string(),
+                count: 2,
+                total_s: 0.002,
+                children: Vec::new(),
+            }],
+        }];
+        let folded = fold_stacks(&roots);
+        assert_eq!(
+            folded,
+            "serve.request 1000\nserve.request;fields.solve 2000\n"
+        );
+        // A parent fully accounted for by its children emits no line of
+        // its own, but the leaf always does.
+        let exact = vec![SpanNode {
+            name: "a".to_string(),
+            count: 1,
+            total_s: 0.001,
+            children: vec![SpanNode {
+                name: "b".to_string(),
+                count: 1,
+                total_s: 0.001,
+                children: Vec::new(),
+            }],
+        }];
+        assert_eq!(fold_stacks(&exact), "a;b 1000\n");
+        assert_eq!(fold_stacks(&[]), "");
+    }
+
+    #[test]
+    fn profile_accumulates_across_captures() {
+        let profile = Profile::new();
+        let tree = |t: f64| {
+            vec![SpanNode {
+                name: "serve.request".to_string(),
+                count: 1,
+                total_s: t,
+                children: Vec::new(),
+            }]
+        };
+        profile.add(&tree(0.01));
+        profile.add(&tree(0.03));
+        assert_eq!(profile.captures(), 2);
+        let snap = profile.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].count, 2);
+        assert!((snap[0].total_s - 0.04).abs() < 1e-12);
+        let json = profile.render_json();
+        assert!(json.starts_with("{\"schema\":1,\"kind\":\"profile\",\"captures\":2,"));
+        assert_eq!(json.lines().count(), 1);
+        assert!(profile.folded().starts_with("serve.request "));
     }
 
     #[test]

@@ -177,6 +177,9 @@ pub struct Response {
     /// `X-Request-Id` header value; the server loop stamps one onto
     /// every response it sends (the same id its access log records).
     pub request_id: Option<String>,
+    /// `X-Trace-Id` header value; the server loop stamps the request's
+    /// distributed-trace id so clients can fetch `/v1/trace/{id}`.
+    pub trace_id: Option<String>,
     /// The response body.
     pub body: String,
 }
@@ -190,6 +193,7 @@ impl Response {
             retry_after: None,
             location: None,
             request_id: None,
+            trace_id: None,
             body,
         }
     }
@@ -228,6 +232,9 @@ impl Response {
         }
         if let Some(id) = &self.request_id {
             head.push_str(&format!("X-Request-Id: {id}\r\n"));
+        }
+        if let Some(id) = &self.trace_id {
+            head.push_str(&format!("X-Trace-Id: {id}\r\n"));
         }
         head.push_str("\r\n");
         out.write_all(head.as_bytes())?;
@@ -395,5 +402,20 @@ mod tests {
         .unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("X-Request-Id: 00c0ffee-000007\r\n"), "{text}");
+    }
+
+    #[test]
+    fn trace_id_header_is_emitted_when_set() {
+        let mut out = Vec::new();
+        Response {
+            trace_id: Some("00000000deadbeef".to_string()),
+            ..Response::json(200, "{}\n".to_string())
+        }
+        .write_to(&mut out)
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("X-Trace-Id: 00000000deadbeef\r\n"), "{text}");
+        // Absent by default: the exact-wire-format test stays valid.
+        assert!(Response::json(200, String::new()).trace_id.is_none());
     }
 }

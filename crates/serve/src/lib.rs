@@ -17,6 +17,18 @@
 //! | `GET /v1/jobs/{rid}` | poll job status (`queued\|running\|done\|failed`) with trial progress |
 //! | `GET /v1/jobs/{rid}/result` | the finished body (`202` + status while still in flight) |
 //! | `GET /v1/_fleet/cache/{hash}` | internal: this instance's cached body for a request hash |
+//! | `GET /v1/metrics/history` | windowed time-series rings fed by the self-scraper thread |
+//! | `GET /v1/slo` | burn-rate evaluation of the configured SLOs (`ok`\|`warn`\|`page`) |
+//! | `GET /v1/trace/{trace_id}` | the assembled cross-instance span tree for one trace id |
+//! | `GET /v1/profile` | cumulative span profile across all traced requests |
+//! | `GET /v1/profile/folded` | the same profile as folded stacks (flamegraph input) |
+//! | `GET /v1/_fleet/trace/{trace_id}` | internal: this instance's raw trace records |
+//!
+//! Every response carries `X-Request-Id` and `X-Trace-Id` headers;
+//! requests bearing valid `X-Trace-Id`/`X-Parent-Span` headers join the
+//! caller's trace instead of minting one, and fleet hops plus async
+//! sweep jobs forward them, so one logical request is one trace id
+//! across the whole fleet.
 //!
 //! With `--fleet "a,b,c" --self-index K` the instance joins a static
 //! fleet (see [`cnt_fleet`]): run requests consistent-hash-route to the

@@ -33,7 +33,9 @@ use crate::{api, signal, Error, Result};
 use cnt_fleet::{FleetConfig, HashRing, JobState, JobTable, PeerClient, RouteMode};
 use cnt_interconnect::experiments::format::{self, OutputFormat};
 use cnt_interconnect::experiments::{self, Experiment, Params, Report, RunContext};
-use cnt_obs::{Counter, CounterVec, Gauge, Histogram, MetricRegistry};
+use cnt_obs::slo::{self, SloSpec};
+use cnt_obs::trace_store::{id_hex, parse_id, TraceContext, TraceRecord, TraceStore};
+use cnt_obs::{Counter, CounterVec, Gauge, Histogram, HistoryStore, MetricRegistry, Profile};
 use cnt_sweep::seed::fnv1a;
 use cnt_sweep::WorkerPool;
 use std::collections::HashMap;
@@ -42,6 +44,11 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant, SystemTime};
+
+/// Most trace records resident at once; beyond it the oldest fall out.
+const TRACE_CAPACITY: usize = 256;
+/// How long a stored trace record stays fetchable.
+const TRACE_TTL: Duration = Duration::from_secs(600);
 
 /// How a worker turns a resolved experiment + context into a report.
 /// Injectable so tests can slow computations down or fail them on
@@ -101,6 +108,15 @@ pub struct Config {
     pub jobs_capacity: usize,
     /// How long a finished job's result stays pollable before GC.
     pub job_ttl: Duration,
+    /// Points each metric series keeps in the `GET /v1/metrics/history`
+    /// ring (oldest overwritten first).
+    pub history_points: usize,
+    /// How often the self-scraper thread samples the registries into
+    /// the history rings.
+    pub history_interval: Duration,
+    /// SLOs `GET /v1/slo` and `repro slo` evaluate against the history
+    /// rings (defaults to [`cnt_obs::slo::default_serve_slos`]).
+    pub slos: Vec<SloSpec>,
 }
 
 impl Default for Config {
@@ -118,6 +134,9 @@ impl Default for Config {
             fleet: None,
             jobs_capacity: 64,
             job_ttl: Duration::from_secs(600),
+            history_points: cnt_obs::timeseries::DEFAULT_HISTORY_POINTS,
+            history_interval: Duration::from_secs(1),
+            slos: slo::default_serve_slos(),
         }
     }
 }
@@ -202,6 +221,10 @@ struct Metrics {
     jobs_total: Arc<CounterVec>,
     /// Async jobs currently queued or running.
     jobs_pending: Arc<Gauge>,
+    /// Trace records stored by this instance (requests + async jobs).
+    trace_records: Arc<Counter>,
+    /// Self-scraper passes taken into the history rings.
+    history_scrapes: Arc<Counter>,
     started: Instant,
 }
 
@@ -289,6 +312,14 @@ impl Metrics {
                 "cnt_serve_jobs_pending",
                 "async sweep jobs currently queued or running",
             ),
+            trace_records: r.counter(
+                "cnt_serve_trace_records_total",
+                "trace records stored in the trace ring",
+            ),
+            history_scrapes: r.counter(
+                "cnt_serve_history_scrapes_total",
+                "self-scraper passes taken into the metrics history rings",
+            ),
             started: Instant::now(),
             requests,
             registry: r,
@@ -367,6 +398,20 @@ struct Shared {
     /// carries `X-Request-Id: <prefix>-<seq>`.
     rid_prefix: u32,
     rid_seq: AtomicU64,
+    /// Separate sequence for trace/span ids, so minting span ids never
+    /// perturbs the request-id numbering.
+    span_seq: AtomicU64,
+    /// Metric history rings the self-scraper thread fills and
+    /// `GET /v1/metrics/history` + `GET /v1/slo` read.
+    history: HistoryStore,
+    /// Declarative objectives `GET /v1/slo` evaluates.
+    slos: Vec<SloSpec>,
+    /// Recent trace records, `GET /v1/trace/{id}`'s local share.
+    traces: TraceStore,
+    /// Cumulative span profile across every traced request.
+    profile: Profile,
+    /// This instance's `host:port`, stamped into trace records.
+    instance: String,
 }
 
 impl Shared {
@@ -374,6 +419,56 @@ impl Shared {
         let seq = self.rid_seq.fetch_add(1, Ordering::Relaxed);
         format!("{:08x}-{seq:06x}", self.rid_prefix)
     }
+
+    /// A fresh nonzero 64-bit trace/span id: FNV-1a over the server
+    /// prefix, a dedicated sequence, and the clock (unique per server
+    /// by the sequence; distinct across servers by prefix + time).
+    fn mint_id(&self) -> u64 {
+        let seq = self.span_seq.fetch_add(1, Ordering::Relaxed);
+        let nanos = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map_or(0, |d| d.as_nanos() as u64);
+        let mut bytes = [0u8; 20];
+        bytes[..4].copy_from_slice(&self.rid_prefix.to_le_bytes());
+        bytes[4..12].copy_from_slice(&seq.to_le_bytes());
+        bytes[12..].copy_from_slice(&nanos.to_le_bytes());
+        fnv1a(&bytes).max(1)
+    }
+}
+
+/// Per-request identity: the response's `X-Request-Id` (client-supplied
+/// or minted) plus the distributed-trace context.
+struct RequestScope {
+    request_id: String,
+    trace: TraceContext,
+}
+
+/// Builds one request's scope: adopt a plausible client `X-Request-Id`
+/// (so fleet hops and retries join up in logs), join an incoming
+/// `X-Trace-Id`/`X-Parent-Span` pair when valid, mint fresh ids
+/// otherwise. `None` covers unparsable requests — they get minted ids
+/// so even 400s are log-joinable.
+fn scope_for(shared: &Shared, request: Option<&Request>) -> RequestScope {
+    let request_id = request
+        .and_then(|r| r.header("x-request-id"))
+        .filter(|v| (1..=64).contains(&v.len()) && v.bytes().all(|b| b.is_ascii_graphic()))
+        .map(str::to_string)
+        .unwrap_or_else(|| shared.next_request_id());
+    let span_id = shared.mint_id();
+    let incoming = request
+        .and_then(|r| r.header("x-trace-id"))
+        .and_then(parse_id);
+    let trace = match incoming {
+        Some(trace_id) => TraceContext {
+            trace_id,
+            span_id,
+            parent: request
+                .and_then(|r| r.header("x-parent-span"))
+                .and_then(parse_id),
+        },
+        None => TraceContext::root(shared.mint_id(), span_id),
+    };
+    RequestScope { request_id, trace }
 }
 
 /// The bound-but-not-yet-serving server.
@@ -449,6 +544,12 @@ impl Server {
             access_log: config.access_log,
             rid_prefix,
             rid_seq: AtomicU64::new(0),
+            span_seq: AtomicU64::new(0),
+            history: HistoryStore::new(config.history_points),
+            slos: config.slos.clone(),
+            traces: TraceStore::new(TRACE_CAPACITY, TRACE_TTL),
+            profile: Profile::new(),
+            instance: local_addr.to_string(),
         });
         let server = Self {
             listener,
@@ -514,6 +615,27 @@ impl Server {
         self.listener
             .set_nonblocking(true)
             .map_err(|e| Error::io("set_nonblocking", e))?;
+        // The self-scraper: one sample of every registry per interval
+        // into the history rings, for as long as the server serves.
+        let scraper_stop = Arc::new(AtomicBool::new(false));
+        let scraper = {
+            let shared = Arc::clone(&self.shared);
+            let stop = Arc::clone(&scraper_stop);
+            let interval = self.config.history_interval;
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    sample_history(&shared);
+                    // Sleep in short slices so shutdown is responsive
+                    // even under multi-second intervals.
+                    let mut slept = Duration::ZERO;
+                    while slept < interval && !stop.load(Ordering::SeqCst) {
+                        let slice = Duration::from_millis(25).min(interval - slept);
+                        std::thread::sleep(slice);
+                        slept += slice;
+                    }
+                }
+            })
+        };
         loop {
             if self.stop.load(Ordering::SeqCst)
                 || (self.config.watch_signals && signal::triggered())
@@ -532,6 +654,8 @@ impl Server {
         // computations all complete before serve() returns.
         drop(self.listener);
         self.pool.shutdown();
+        scraper_stop.store(true, Ordering::SeqCst);
+        let _ = scraper.join();
         Ok(())
     }
 
@@ -562,18 +686,15 @@ impl Server {
                 let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
                 let mut sink = [0u8; 8192];
                 let n = std::io::Read::read(&mut stream, &mut sink).unwrap_or(0);
-                let request_id = self.shared.next_request_id();
                 // Reserved probe lane: health and metrics probes are
                 // answered right here on the accept path, before (and
                 // regardless of) queue admission — a saturated fleet
                 // member must still look alive to its load balancer.
                 let probe = probe_request(&sink[..n]);
+                let scope = scope_for(&self.shared, probe.as_ref());
                 let (response, method, path) = match &probe {
                     Some(request) => (
-                        Response {
-                            request_id: Some(request_id.clone()),
-                            ..route(request, &self.shared)
-                        },
+                        route(request, &scope, &self.shared),
                         request.method.as_str(),
                         request.path.as_str(),
                     ),
@@ -582,13 +703,18 @@ impl Server {
                         (
                             Response {
                                 retry_after: Some(1),
-                                request_id: Some(request_id.clone()),
                                 ..Response::json(503, api::busy_json("request queue"))
                             },
                             "-",
                             "-",
                         )
                     }
+                };
+                let trace_hex = id_hex(scope.trace.trace_id);
+                let response = Response {
+                    request_id: Some(scope.request_id.clone()),
+                    trace_id: Some(trace_hex.clone()),
+                    ..response
                 };
                 self.shared.metrics.count_response(response.status);
                 let bytes = response.body.len();
@@ -600,9 +726,11 @@ impl Server {
                         access_log_line(
                             log_format,
                             &AccessRecord {
-                                request_id: &request_id,
+                                request_id: &scope.request_id,
+                                trace_id: &trace_hex,
                                 method,
                                 path,
+                                experiment: experiment_of(path),
                                 status: response.status,
                                 bytes,
                                 duration_s: queued_at.elapsed().as_secs_f64(),
@@ -647,7 +775,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, queued_at: Instant
     let mut served = 0usize;
     loop {
         let started = Instant::now();
-        let (response, keep_alive, target) = match http::read_request(&mut reader) {
+        let (scope, response, keep_alive, target) = match http::read_request(&mut reader) {
             Ok(request) => {
                 shared.metrics.requests.base().inc();
                 if served > 0 {
@@ -659,19 +787,28 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, queued_at: Instant
                 let keep =
                     request.wants_keep_alive() && served + 1 < shared.max_requests_per_connection;
                 let target = (request.method.clone(), request.path.clone());
-                (route(&request, shared), keep, Some(target))
+                let scope = scope_for(shared, Some(&request));
+                let response = route(&request, &scope, shared);
+                (scope, response, keep, Some(target))
             }
-            Err(RequestError::Malformed(message)) => {
-                (Response::json(400, api::error_json(&message)), false, None)
-            }
-            Err(RequestError::TooLarge(message)) => {
-                (Response::json(413, api::error_json(&message)), false, None)
-            }
+            Err(RequestError::Malformed(message)) => (
+                scope_for(shared, None),
+                Response::json(400, api::error_json(&message)),
+                false,
+                None,
+            ),
+            Err(RequestError::TooLarge(message)) => (
+                scope_for(shared, None),
+                Response::json(413, api::error_json(&message)),
+                false,
+                None,
+            ),
             Err(RequestError::Io(_)) => return, // died or idled out; nobody to answer
         };
-        let request_id = shared.next_request_id();
+        let trace_hex = id_hex(scope.trace.trace_id);
         let response = Response {
-            request_id: Some(request_id.clone()),
+            request_id: Some(scope.request_id.clone()),
+            trace_id: Some(trace_hex.clone()),
             ..response
         };
         shared.metrics.count_response(response.status);
@@ -699,9 +836,11 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, queued_at: Instant
                 access_log_line(
                     log_format,
                     &AccessRecord {
-                        request_id: &request_id,
+                        request_id: &scope.request_id,
+                        trace_id: &trace_hex,
                         method,
                         path,
+                        experiment: experiment_of(path),
                         status: response.status,
                         bytes: response.body.len(),
                         duration_s: started.elapsed().as_secs_f64(),
@@ -729,11 +868,30 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, queued_at: Instant
 /// One completed exchange, as the access log sees it.
 struct AccessRecord<'a> {
     request_id: &'a str,
+    /// The request's trace id, hex wire form — the join key across
+    /// every fleet instance the request touched.
+    trace_id: &'a str,
     method: &'a str,
     path: &'a str,
+    /// The experiment id for run/sweep lines, so per-experiment log
+    /// slicing is a field match rather than a path regex.
+    experiment: Option<&'a str>,
     status: u16,
     bytes: usize,
     duration_s: f64,
+}
+
+/// The experiment id an access-log line should carry: the `{id}` of
+/// `POST /v1/experiments/{id}/run` and `POST /v1/sweeps/{id}` paths.
+fn experiment_of(path: &str) -> Option<&str> {
+    let path = path.trim_end_matches('/');
+    if let Some(rest) = path.strip_prefix("/v1/experiments/") {
+        return rest
+            .strip_suffix("/run")
+            .filter(|id| !id.is_empty() && !id.contains('/'));
+    }
+    path.strip_prefix("/v1/sweeps/")
+        .filter(|id| !id.is_empty() && !id.contains('/'))
 }
 
 /// Renders one access-log line (trailing newline included). The
@@ -745,22 +903,29 @@ fn access_log_line(log_format: AccessLogFormat, record: &AccessRecord<'_>) -> St
         .map_or(0.0, |d| d.as_secs_f64());
     match log_format {
         AccessLogFormat::Text => format!(
-            "{ts:.3} {} \"{} {}\" {} {}B {:.6}s\n",
+            "{ts:.3} {} \"{} {}\" {} {}B {:.6}s trace={}\n",
             record.request_id,
             record.method,
             record.path,
             record.status,
             record.bytes,
             record.duration_s,
+            record.trace_id,
         ),
         AccessLogFormat::Json => {
-            let mut out = String::with_capacity(160);
+            let mut out = String::with_capacity(200);
             out.push_str(&format!("{{\"ts\":{ts:.3},\"request_id\":"));
             format::json_string(record.request_id, &mut out);
+            out.push_str(",\"trace_id\":");
+            format::json_string(record.trace_id, &mut out);
             out.push_str(",\"method\":");
             format::json_string(record.method, &mut out);
             out.push_str(",\"path\":");
             format::json_string(record.path, &mut out);
+            if let Some(id) = record.experiment {
+                out.push_str(",\"experiment\":");
+                format::json_string(id, &mut out);
+            }
             out.push_str(&format!(
                 ",\"status\":{},\"bytes\":{},\"duration_s\":{:.6}}}\n",
                 record.status, record.bytes, record.duration_s,
@@ -771,24 +936,36 @@ fn access_log_line(log_format: AccessLogFormat, record: &AccessRecord<'_>) -> St
 }
 
 /// The `/v1` router.
-fn route(request: &Request, shared: &Arc<Shared>) -> Response {
+fn route(request: &Request, scope: &RequestScope, shared: &Arc<Shared>) -> Response {
     let path = request.path.trim_end_matches('/');
     let method = request.method.as_str();
     match (method, path) {
         ("GET", "/v1/healthz") => Response::json(200, healthz_json(shared)),
         ("GET", "/v1/metrics") => Response {
-            status: 200,
             content_type: "text/plain; version=0.0.4",
-            retry_after: None,
-            location: None,
-            request_id: None,
-            body: metrics_text(shared),
+            ..Response::json(200, metrics_text(shared))
+        },
+        ("GET", "/v1/metrics/history") => {
+            Response::json(200, shared.history.render_json(HISTORY_WINDOW_S))
+        }
+        ("GET", "/v1/slo") => Response::json(
+            200,
+            slo::render_json(&slo::evaluate_all(&shared.slos, &shared.history)),
+        ),
+        ("GET", "/v1/profile") => Response::json(200, shared.profile.render_json()),
+        ("GET", "/v1/profile/folded") => Response {
+            content_type: "text/plain; charset=utf-8",
+            ..Response::json(200, shared.profile.folded())
         },
         ("GET", "/v1/experiments") => Response::json(200, api::catalog_json()),
         _ => {
             if let Some(rest) = path.strip_prefix("/v1/experiments/") {
                 return match (method, rest.strip_suffix("/run")) {
-                    ("POST", Some(id)) if !id.contains('/') => run_route(id, request, shared),
+                    ("POST", Some(id)) if !id.contains('/') => {
+                        traced(&request.path, scope, shared, || {
+                            run_route(id, request, scope, shared)
+                        })
+                    }
                     ("GET", None) if !rest.contains('/') => match api::experiment_json(rest) {
                         Some(body) => Response::json(200, body),
                         None => Response::json(
@@ -808,9 +985,23 @@ fn route(request: &Request, shared: &Arc<Shared>) -> Response {
                     _ => method_or_route_miss(method, path),
                 };
             }
+            if let Some(hex) = path.strip_prefix("/v1/_fleet/trace/") {
+                return match method {
+                    "GET" if !hex.contains('/') => fleet_trace_route(hex, shared),
+                    _ => method_or_route_miss(method, path),
+                };
+            }
+            if let Some(hex) = path.strip_prefix("/v1/trace/") {
+                return match method {
+                    "GET" if !hex.contains('/') => trace_route(hex, shared),
+                    _ => method_or_route_miss(method, path),
+                };
+            }
             if let Some(id) = path.strip_prefix("/v1/sweeps/") {
                 return match method {
-                    "POST" if !id.contains('/') => sweep_job_route(id, request, shared),
+                    "POST" if !id.contains('/') => traced(&request.path, scope, shared, || {
+                        sweep_job_route(id, request, scope, shared)
+                    }),
                     _ => method_or_route_miss(method, path),
                 };
             }
@@ -826,17 +1017,70 @@ fn route(request: &Request, shared: &Arc<Shared>) -> Response {
     }
 }
 
+/// The trailing window `GET /v1/metrics/history` summarizes over.
+const HISTORY_WINDOW_S: f64 = 60.0;
+
+/// Runs `f` under a per-request span capture: a `serve.request` span
+/// tree is recorded, folded into the cumulative profile, and stored as
+/// this request's [`TraceRecord`]. When a trace is already armed on
+/// this thread (a nested local call) the inner request just runs —
+/// its spans fold into the outer capture instead of double-recording.
+fn traced(
+    name: &str,
+    scope: &RequestScope,
+    shared: &Arc<Shared>,
+    f: impl FnOnce() -> Response,
+) -> Response {
+    if cnt_obs::Trace::is_active() {
+        return f();
+    }
+    let started = Instant::now();
+    cnt_obs::Trace::begin();
+    let response = {
+        let _span = cnt_obs::span!("serve.request");
+        f()
+    };
+    let roots = cnt_obs::Trace::end();
+    shared.profile.add(&roots);
+    shared.traces.record(TraceRecord {
+        trace_id: scope.trace.trace_id,
+        span_id: scope.trace.span_id,
+        parent: scope.trace.parent,
+        name: format!("POST {name}"),
+        instance: shared.instance.clone(),
+        request_id: scope.request_id.clone(),
+        unix_s: SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map_or(0.0, |d| d.as_secs_f64()),
+        total_s: started.elapsed().as_secs_f64(),
+        status: response.status,
+        roots,
+    });
+    shared.metrics.trace_records.inc();
+    response
+}
+
 /// `405` for a known path with the wrong method, `404` otherwise.
 fn method_or_route_miss(method: &str, path: &str) -> Response {
     let one_segment = |prefix: &str| {
         path.strip_prefix(prefix)
             .is_some_and(|rest| !rest.is_empty() && !rest.contains('/'))
     };
-    let known = matches!(path, "/v1/healthz" | "/v1/metrics" | "/v1/experiments")
-        || (path.starts_with("/v1/experiments/")
-            && !path.trim_start_matches("/v1/experiments/").contains('/'))
+    let known = matches!(
+        path,
+        "/v1/healthz"
+            | "/v1/metrics"
+            | "/v1/metrics/history"
+            | "/v1/slo"
+            | "/v1/profile"
+            | "/v1/profile/folded"
+            | "/v1/experiments"
+    ) || (path.starts_with("/v1/experiments/")
+        && !path.trim_start_matches("/v1/experiments/").contains('/'))
         || (path.starts_with("/v1/experiments/") && path.ends_with("/run"))
         || one_segment("/v1/_fleet/cache/")
+        || one_segment("/v1/_fleet/trace/")
+        || one_segment("/v1/trace/")
         || one_segment("/v1/sweeps/")
         || one_segment("/v1/jobs/")
         || (path.starts_with("/v1/jobs/") && path.ends_with("/result"));
@@ -857,7 +1101,7 @@ fn method_or_route_miss(method: &str, path: &str) -> Response {
 
 /// `POST /v1/experiments/{id}/run`: fleet-route → validate → cache →
 /// coalesce → run.
-fn run_route(id: &str, request: &Request, shared: &Arc<Shared>) -> Response {
+fn run_route(id: &str, request: &Request, scope: &RequestScope, shared: &Arc<Shared>) -> Response {
     let run_request = match api::parse_run_request(&request.body) {
         Ok(r) => r,
         Err(message) => return Response::json(400, api::error_json(&message)),
@@ -876,7 +1120,7 @@ fn run_route(id: &str, request: &Request, shared: &Arc<Shared>) -> Response {
     // Fleet routing: the shard owner (by the content hash's cache shard)
     // answers this point so exactly one LRU across the fleet warms up.
     // A routed-away request returns here; `None` means "answer locally".
-    if let Some(response) = fleet_route(key, &ctx.params, request, shared) {
+    if let Some(response) = fleet_route(key, &ctx.params, request, scope, shared) {
         return response;
     }
 
@@ -965,12 +1209,8 @@ fn run_route(id: &str, request: &Request, shared: &Arc<Shared>) -> Response {
 
 fn ok_response(body: CachedBody) -> Response {
     Response {
-        status: 200,
         content_type: body.content_type,
-        retry_after: None,
-        location: None,
-        request_id: None,
-        body: body.body.as_str().to_string(),
+        ..Response::json(200, body.body.as_str().to_string())
     }
 }
 
@@ -1000,12 +1240,8 @@ fn static_content_type(value: &str) -> &'static str {
 /// A relayed peer response (cache-fill hit or full proxied run).
 fn peer_response(peer: &cnt_fleet::PeerResponse) -> Response {
     Response {
-        status: peer.status,
         content_type: static_content_type(&peer.content_type),
-        retry_after: None,
-        location: None,
-        request_id: None,
-        body: peer.body.clone(),
+        ..Response::json(peer.status, peer.body.clone())
     }
 }
 
@@ -1017,6 +1253,7 @@ fn fleet_route(
     key: u64,
     params: &Params,
     request: &Request,
+    scope: &RequestScope,
     shared: &Arc<Shared>,
 ) -> Option<Response> {
     let fleet = shared.fleet.get()?;
@@ -1026,6 +1263,14 @@ fn fleet_route(
         return None;
     }
     let owner_addr = fleet.config.peer(owner);
+    // Context propagation: the owner adopts our trace (we become the
+    // parent span) and our request id, so its access log and trace
+    // record join this request's.
+    let hop_headers = vec![
+        ("X-Trace-Id".to_string(), id_hex(scope.trace.trace_id)),
+        ("X-Parent-Span".to_string(), id_hex(scope.trace.span_id)),
+        ("X-Request-Id".to_string(), scope.request_id.clone()),
+    ];
     match fleet.config.mode {
         RouteMode::Redirect => {
             shared.metrics.route_total.with("redirected").inc();
@@ -1039,10 +1284,11 @@ fn fleet_route(
             // Cheap cache-fill probe first: the owner usually holds hot
             // points already, so most cross-shard requests cost one
             // small GET instead of a full proxied run.
-            match fleet
-                .fill
-                .get(owner_addr, &format!("/v1/_fleet/cache/{key:016x}"))
-            {
+            match fleet.fill.get_with(
+                owner_addr,
+                &format!("/v1/_fleet/cache/{key:016x}"),
+                &hop_headers,
+            ) {
                 Ok(peer) if peer.status == 200 => {
                     shared.metrics.peer_fill.with("hit").inc();
                     shared.metrics.route_total.with("proxied").inc();
@@ -1051,10 +1297,13 @@ fn fleet_route(
                 Ok(_) => {
                     shared.metrics.peer_fill.with("miss").inc();
                     let body = core::str::from_utf8(&request.body).unwrap_or("");
-                    match fleet
-                        .proxy
-                        .post(owner_addr, &request.path, "application/json", body)
-                    {
+                    match fleet.proxy.post_with(
+                        owner_addr,
+                        &request.path,
+                        "application/json",
+                        body,
+                        &hop_headers,
+                    ) {
                         Ok(peer) => {
                             shared.metrics.route_total.with("proxied").inc();
                             Some(peer_response(&peer))
@@ -1099,9 +1348,169 @@ fn fleet_cache_route(hash: &str, shared: &Arc<Shared>) -> Response {
     }
 }
 
+/// `GET /v1/_fleet/trace/{id}`: this instance's *local* records for one
+/// trace, as a flat JSON array. Internal — peers call it while
+/// assembling the cross-instance tree; it never fans out further.
+fn fleet_trace_route(hex: &str, shared: &Arc<Shared>) -> Response {
+    let Some(trace_id) = parse_id(hex) else {
+        return Response::json(
+            400,
+            api::error_json(&format!("bad trace id '{hex}' (want 16 hex chars)")),
+        );
+    };
+    let records = shared.traces.get(trace_id);
+    let mut body = String::with_capacity(256);
+    body.push_str("{\"schema\":1,\"kind\":\"trace_records\",\"records\":[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        r.push_json(&mut body);
+    }
+    body.push_str("]}\n");
+    Response::json(200, body)
+}
+
+/// `GET /v1/trace/{id}`: the assembled cross-instance trace tree —
+/// local records plus every peer's, linked parent-span → span.
+fn trace_route(hex: &str, shared: &Arc<Shared>) -> Response {
+    let Some(trace_id) = parse_id(hex) else {
+        return Response::json(
+            400,
+            api::error_json(&format!("bad trace id '{hex}' (want 16 hex chars)")),
+        );
+    };
+    let mut records = shared.traces.get(trace_id);
+    if let Some(fleet) = shared.fleet.get() {
+        // Collect the peers' shares with the fast-failing fill client:
+        // a dead peer costs one bounded probe, not a hung read.
+        let path = format!("/v1/_fleet/trace/{}", id_hex(trace_id));
+        for (index, peer) in fleet.config.peers.iter().enumerate() {
+            if index == fleet.config.self_index {
+                continue;
+            }
+            if let Ok(response) = fleet.fill.get(peer, &path) {
+                if response.status == 200 {
+                    records.extend(parse_peer_trace_records(&response.body));
+                }
+            }
+        }
+    }
+    if records.is_empty() {
+        return Response::json(
+            404,
+            api::error_json(&format!(
+                "no records for trace {} (expired or unknown)",
+                id_hex(trace_id)
+            )),
+        );
+    }
+    // Chronological order keeps the flat list readable and the tree's
+    // sibling order stable regardless of which instance answered.
+    records.sort_by(|a, b| {
+        a.unix_s
+            .partial_cmp(&b.unix_s)
+            .unwrap_or(core::cmp::Ordering::Equal)
+    });
+    Response::json(
+        200,
+        cnt_obs::trace_store::render_trace_json(trace_id, &records),
+    )
+}
+
+/// Parses a peer's `/v1/_fleet/trace/{id}` body back into records.
+/// Anything malformed is skipped rather than failing the whole tree —
+/// a half-upgraded fleet still answers with what it can read.
+fn parse_peer_trace_records(body: &str) -> Vec<Arc<TraceRecord>> {
+    use crate::json::JsonValue;
+    let field = |members: &[(String, JsonValue)], name: &str| -> Option<JsonValue> {
+        members
+            .iter()
+            .find(|(key, _)| key == name)
+            .map(|(_, value)| value.clone())
+    };
+    let as_str = |v: Option<JsonValue>| -> Option<String> {
+        match v {
+            Some(JsonValue::String(s)) => Some(s),
+            _ => None,
+        }
+    };
+    let as_f64 = |v: Option<JsonValue>| -> Option<f64> {
+        match v {
+            Some(JsonValue::Number(raw)) => raw.parse().ok(),
+            _ => None,
+        }
+    };
+    fn span_node(v: &crate::json::JsonValue) -> Option<cnt_obs::SpanNode> {
+        use crate::json::JsonValue;
+        let JsonValue::Object(members) = v else {
+            return None;
+        };
+        let mut name = None;
+        let mut count = 0u64;
+        let mut total_s = 0.0f64;
+        let mut children = Vec::new();
+        for (key, value) in members {
+            match (key.as_str(), value) {
+                ("name", JsonValue::String(s)) => name = Some(s.clone()),
+                ("count", JsonValue::Number(raw)) => count = raw.parse().unwrap_or(0),
+                ("total_s", JsonValue::Number(raw)) => total_s = raw.parse().unwrap_or(0.0),
+                ("children", JsonValue::Array(items)) => {
+                    children = items.iter().filter_map(span_node).collect();
+                }
+                _ => {}
+            }
+        }
+        Some(cnt_obs::SpanNode {
+            name: name?,
+            count,
+            total_s,
+            children,
+        })
+    }
+
+    let Ok(JsonValue::Object(top)) = crate::json::parse(body) else {
+        return Vec::new();
+    };
+    let Some(JsonValue::Array(items)) = field(&top, "records") else {
+        return Vec::new();
+    };
+    items
+        .into_iter()
+        .filter_map(|item| {
+            let JsonValue::Object(members) = item else {
+                return None;
+            };
+            let roots = match field(&members, "spans") {
+                Some(JsonValue::Array(spans)) => spans.iter().filter_map(span_node).collect(),
+                _ => Vec::new(),
+            };
+            Some(Arc::new(TraceRecord {
+                trace_id: parse_id(&as_str(field(&members, "trace_id"))?)?,
+                span_id: parse_id(&as_str(field(&members, "span_id"))?)?,
+                parent: as_str(field(&members, "parent"))
+                    .as_deref()
+                    .and_then(parse_id),
+                name: as_str(field(&members, "name"))?,
+                instance: as_str(field(&members, "instance")).unwrap_or_default(),
+                request_id: as_str(field(&members, "request_id")).unwrap_or_default(),
+                unix_s: as_f64(field(&members, "unix_s")).unwrap_or(0.0),
+                total_s: as_f64(field(&members, "total_s")).unwrap_or(0.0),
+                status: as_f64(field(&members, "status")).map_or(0, |s| s as u16),
+                roots,
+            }))
+        })
+        .collect()
+}
+
 /// `POST /v1/sweeps/{id}`: validate, register a job, enqueue the sweep
 /// on the worker pool, answer `202` + the job id immediately.
-fn sweep_job_route(id: &str, request: &Request, shared: &Arc<Shared>) -> Response {
+fn sweep_job_route(
+    id: &str,
+    request: &Request,
+    scope: &RequestScope,
+    shared: &Arc<Shared>,
+) -> Response {
     let run_request = match api::parse_run_request(&request.body) {
         Ok(r) => r,
         Err(message) => return Response::json(400, api::error_json(&message)),
@@ -1134,15 +1543,41 @@ fn sweep_job_route(id: &str, request: &Request, shared: &Arc<Shared>) -> Respons
     let worker_job = Arc::clone(&job);
     let format = run_request.format;
     let sweep_id = id.to_string();
+    // The job runs on another pool worker after this request already
+    // answered 202 — it records its *own* trace record as a child of
+    // this request's span, so `GET /v1/trace/{id}` shows the async work
+    // hanging off the ingress hop that queued it.
+    let job_ctx = scope.trace.child_of(shared.mint_id());
+    let job_rid = rid.clone();
     let task = Box::new(move || {
         worker_job.mark_running();
         worker_shared.metrics.jobs_total.with("running").inc();
+        let job_started = Instant::now();
+        cnt_obs::Trace::begin();
         // The executor reports into the job's progress counters via the
         // thread-local scope; a panicking kernel fails the job instead
         // of poisoning the pool worker.
         let run_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _span = cnt_obs::span!("serve.job");
             cnt_sweep::progress::scoped(Arc::clone(&worker_job.progress), || sweep.run_sweep(&ctx))
         }));
+        let roots = cnt_obs::Trace::end();
+        worker_shared.profile.add(&roots);
+        worker_shared.traces.record(TraceRecord {
+            trace_id: job_ctx.trace_id,
+            span_id: job_ctx.span_id,
+            parent: job_ctx.parent,
+            name: format!("job {sweep_id}"),
+            instance: worker_shared.instance.clone(),
+            request_id: job_rid,
+            unix_s: SystemTime::now()
+                .duration_since(SystemTime::UNIX_EPOCH)
+                .map_or(0.0, |d| d.as_secs_f64()),
+            total_s: job_started.elapsed().as_secs_f64(),
+            status: 0,
+            roots,
+        });
+        worker_shared.metrics.trace_records.inc();
         match run_result {
             Ok(Ok(run)) => {
                 let (content_type, body) = render_report(&run.report, format);
@@ -1224,12 +1659,8 @@ fn job_result_route(rid: &str, shared: &Arc<Shared>) -> Response {
         JobState::Done {
             content_type, body, ..
         } => Response {
-            status: 200,
             content_type: static_content_type(&content_type),
-            retry_after: None,
-            location: None,
-            request_id: None,
-            body,
+            ..Response::json(200, body)
         },
         JobState::Failed { status, body, .. } => Response::json(status, body),
         state @ (JobState::Queued | JobState::Running) => {
@@ -1288,6 +1719,22 @@ fn metrics_text(shared: &Shared) -> String {
     out
 }
 
+/// One self-scraper pass: refresh the derived gauges exactly like a
+/// `/v1/metrics` scrape would, then sample both registries into the
+/// history rings. The per-server and global registries share one store
+/// because their metric-name prefixes are disjoint (`cnt_serve_*` /
+/// `cnt_fleet_*` vs `cnt_span_*` / library counters).
+fn sample_history(shared: &Shared) {
+    let m = &shared.metrics;
+    m.cached_bodies
+        .set(shared.cache.lock().expect("cache poisoned").len() as f64);
+    m.jobs_pending.set(shared.jobs.pending() as f64);
+    m.uptime_seconds.set(m.started.elapsed().as_secs_f64());
+    m.history_scrapes.inc();
+    shared.history.sample(&m.registry);
+    shared.history.sample(cnt_obs::global());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1309,8 +1756,10 @@ mod tests {
     fn access_log_lines_render_both_formats() {
         let record = AccessRecord {
             request_id: "00c0ffee-000001",
+            trace_id: "00000000deadbeef",
             method: "POST",
             path: "/v1/experiments/fig\"12/run",
+            experiment: Some("fig\"12"),
             status: 200,
             bytes: 512,
             duration_s: 0.012345,
@@ -1321,12 +1770,108 @@ mod tests {
             text.contains("00c0ffee-000001 \"POST /v1/experiments/fig\"12/run\" 200 512B"),
             "{text}"
         );
+        assert!(text.contains(" trace=00000000deadbeef\n"), "{text}");
         let json = access_log_line(AccessLogFormat::Json, &record);
         assert!(json.ends_with('\n') && json.lines().count() == 1);
         check_json_stream(&json).expect("json access log line must parse");
         assert!(json.contains("\"status\":200"), "{json}");
         assert!(json.contains("\"duration_s\":0.012345"), "{json}");
         assert!(json.contains("fig\\\"12"), "escaped path: {json}");
+        assert!(json.contains("\"trace_id\":\"00000000deadbeef\""), "{json}");
+        assert!(json.contains("\"experiment\":\"fig\\\"12\""), "{json}");
+        // Non-run lines omit the experiment field entirely.
+        let probe = access_log_line(
+            AccessLogFormat::Json,
+            &AccessRecord {
+                experiment: None,
+                path: "/v1/healthz",
+                method: "GET",
+                ..record
+            },
+        );
+        assert!(!probe.contains("\"experiment\""), "{probe}");
+        check_json_stream(&probe).expect("probe line must parse");
+    }
+
+    #[test]
+    fn experiment_of_extracts_run_and_sweep_ids() {
+        assert_eq!(experiment_of("/v1/experiments/fig12/run"), Some("fig12"));
+        assert_eq!(experiment_of("/v1/experiments/fig12/run/"), Some("fig12"));
+        assert_eq!(experiment_of("/v1/sweeps/table1"), Some("table1"));
+        assert_eq!(experiment_of("/v1/experiments/fig12"), None);
+        assert_eq!(experiment_of("/v1/experiments//run"), None);
+        assert_eq!(experiment_of("/v1/healthz"), None);
+        assert_eq!(experiment_of("/v1/experiments/a/b/run"), None);
+    }
+
+    #[test]
+    fn scope_adopts_valid_headers_and_mints_otherwise() {
+        let m = Metrics::new(1, 1);
+        let shared = Shared {
+            metrics: m,
+            cache: Mutex::new(LruCache::new(1)),
+            inflight: Mutex::new(HashMap::new()),
+            runner: Box::new(|exp, ctx| exp.run(ctx)),
+            workers: 1,
+            queue_capacity: 1,
+            request_deadline: Duration::from_secs(1),
+            keep_alive_idle: Duration::from_secs(1),
+            max_requests_per_connection: 1,
+            access_log: None,
+            rid_prefix: 0xc0ffee,
+            rid_seq: AtomicU64::new(0),
+            span_seq: AtomicU64::new(0),
+            history: HistoryStore::new(8),
+            slos: slo::default_serve_slos(),
+            traces: TraceStore::new(8, Duration::from_secs(60)),
+            profile: Profile::new(),
+            instance: "127.0.0.1:0".to_string(),
+            pool: Arc::new(WorkerPool::new(1, 1)),
+            jobs: JobTable::new(1, Duration::from_secs(1)),
+            fleet: OnceLock::new(),
+        };
+        let request = |headers: Vec<(&str, &str)>| Request {
+            method: "POST".to_string(),
+            path: "/v1/experiments/fig12/run".to_string(),
+            http11: true,
+            headers: headers
+                .into_iter()
+                .map(|(n, v)| (n.to_string(), v.to_string()))
+                .collect(),
+            body: Vec::new(),
+        };
+
+        // A fleet hop: every id adopted, parent linked.
+        let hop = request(vec![
+            ("x-request-id", "00abcdef-000003"),
+            ("x-trace-id", "00000000deadbeef"),
+            ("x-parent-span", "00000000cafebabe"),
+        ]);
+        let scope = scope_for(&shared, Some(&hop));
+        assert_eq!(scope.request_id, "00abcdef-000003");
+        assert_eq!(scope.trace.trace_id, 0xdeadbeef);
+        assert_eq!(scope.trace.parent, Some(0xcafebabe));
+        assert_ne!(scope.trace.span_id, 0);
+
+        // Garbage headers: minted ids, no parent.
+        let junk = request(vec![
+            ("x-request-id", "has space"),
+            ("x-trace-id", "not-hex"),
+            ("x-parent-span", "00000000cafebabe"),
+        ]);
+        let scope = scope_for(&shared, Some(&junk));
+        assert!(
+            scope.request_id.starts_with("00c0ffee-"),
+            "{}",
+            scope.request_id
+        );
+        assert_eq!(scope.trace.parent, None, "parent needs a valid trace id");
+        assert_ne!(scope.trace.trace_id, 0);
+
+        // No request at all (parse errors): still fully identified.
+        let scope = scope_for(&shared, None);
+        assert!(scope.request_id.starts_with("00c0ffee-"));
+        assert_ne!(scope.trace.trace_id, 0);
     }
 
     #[test]
@@ -1376,6 +1921,12 @@ mod tests {
             access_log: None,
             rid_prefix: 0xc0ffee,
             rid_seq: AtomicU64::new(0),
+            span_seq: AtomicU64::new(0),
+            history: HistoryStore::new(8),
+            slos: slo::default_serve_slos(),
+            traces: TraceStore::new(8, Duration::from_secs(60)),
+            profile: Profile::new(),
+            instance: "127.0.0.1:0".to_string(),
             pool: Arc::new(WorkerPool::new(1, 1)),
             jobs: JobTable::new(1, Duration::from_secs(1)),
             fleet: OnceLock::new(),
@@ -1384,5 +1935,12 @@ mod tests {
         let b = shared.next_request_id();
         assert_ne!(a, b);
         assert!(a.starts_with("00c0ffee-"), "{a}");
+        // Span ids come off their own sequence, never perturbing the
+        // request-id numbering, and are never zero.
+        let span_a = shared.mint_id();
+        let span_b = shared.mint_id();
+        assert_ne!(span_a, 0);
+        assert_ne!(span_a, span_b);
+        assert_eq!(shared.next_request_id(), "00c0ffee-000002");
     }
 }

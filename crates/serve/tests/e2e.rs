@@ -951,6 +951,266 @@ fn a_full_job_table_sheds_with_the_canonical_body() {
     thread.join().unwrap();
 }
 
+/// Like [`http`] but with extra raw request-header lines (each
+/// `Name: value`, no trailing CRLF).
+fn http_with(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    extra: &[(&str, &str)],
+    body: &str,
+) -> (u16, Vec<(String, String)>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let extra_lines: String = extra.iter().map(|(n, v)| format!("{n}: {v}\r\n")).collect();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n{extra_lines}Connection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("response head");
+    let mut lines = head.lines();
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers, body.to_string())
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+#[test]
+fn responses_carry_trace_ids_and_the_trace_route_assembles_the_tree() {
+    let (addr, handle, thread) = start(Server::bind(config()).unwrap());
+
+    // A minted trace: every response advertises X-Trace-Id, and a run's
+    // id resolves to a stored tree with the serve.request span.
+    let (status, headers, _) = http(addr, "POST", "/v1/experiments/table1/run", "{}");
+    assert_eq!(status, 200);
+    let minted = header(&headers, "x-trace-id").expect("200 carries X-Trace-Id");
+    assert_eq!(minted.len(), 16, "{minted}");
+    assert!(minted.chars().all(|c| c.is_ascii_hexdigit()), "{minted}");
+    let (status, tree) = get(addr, &format!("/v1/trace/{minted}"));
+    assert_eq!(status, 200, "{tree}");
+    experiments::format::check_json_stream(&tree).expect("trace tree is valid JSON");
+    assert!(tree.contains("\"kind\":\"trace\""), "{tree}");
+    assert!(tree.contains("POST /v1/experiments/table1/run"), "{tree}");
+    assert!(tree.contains("serve.request"), "{tree}");
+
+    // A propagated trace: the caller's ids are adopted and echoed, and
+    // the stored record links to the caller's span as its parent.
+    let (status, headers, _) = http_with(
+        addr,
+        "POST",
+        "/v1/experiments/fig01/run",
+        &[
+            ("X-Trace-Id", "00000000deadbeef"),
+            ("X-Parent-Span", "00000000cafebabe"),
+        ],
+        "{}",
+    );
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-trace-id"), Some("00000000deadbeef"));
+    let (status, tree) = get(addr, "/v1/trace/00000000deadbeef");
+    assert_eq!(status, 200);
+    assert!(tree.contains("\"parent\":\"00000000cafebabe\""), "{tree}");
+    assert!(tree.contains("POST /v1/experiments/fig01/run"), "{tree}");
+
+    // Error shapes: a malformed id is a 400, an unknown one a 404.
+    let (status, bad) = get(addr, "/v1/trace/zzz");
+    assert_eq!(status, 400, "{bad}");
+    let (status, _) = get(addr, "/v1/trace/0123456789abcdef");
+    assert_eq!(status, 404);
+
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
+#[test]
+fn async_jobs_attach_to_the_submitting_trace() {
+    let (addr, handle, thread) = start(Server::bind(config()).unwrap());
+
+    let (status, headers, submit) = http_with(
+        addr,
+        "POST",
+        "/v1/sweeps/fig12",
+        &[("X-Trace-Id", "00000000feedc0de")],
+        r#"{"params": {"trials": 16, "cache_dir": ""}}"#,
+    );
+    assert_eq!(status, 202, "{submit}");
+    assert_eq!(header(&headers, "x-trace-id"), Some("00000000feedc0de"));
+    let rid = job_id(&submit);
+
+    // Wait for the job to land, then read the assembled trace: both the
+    // submission's serve.request record and the worker's job record are
+    // under the one trace id, and the job's sweep.job spans survived the
+    // executor's thread hop.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let (status, body) = get(addr, &format!("/v1/jobs/{rid}"));
+        assert_eq!(status, 200);
+        if body.contains("\"status\":\"done\"") {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "job stuck: {body}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let (status, tree) = get(addr, "/v1/trace/00000000feedc0de");
+    assert_eq!(status, 200);
+    experiments::format::check_json_stream(&tree).expect("trace tree is valid JSON");
+    assert!(tree.contains("POST /v1/sweeps/fig12"), "{tree}");
+    assert!(tree.contains("\"name\":\"job fig12\""), "{tree}");
+    assert!(tree.contains("sweep.job"), "{tree}");
+
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
+#[test]
+fn metrics_history_scrapes_into_rings_and_renders_valid_json() {
+    let server = Server::bind(Config {
+        history_interval: Duration::from_millis(50),
+        ..config()
+    })
+    .unwrap();
+    let (addr, handle, thread) = start(server);
+
+    let (status, _) = post(addr, "/v1/experiments/table1/run", "{}");
+    assert_eq!(status, 200);
+    // Let the self-scraper take a few samples.
+    std::thread::sleep(Duration::from_millis(400));
+
+    let (status, headers, history) = http(addr, "GET", "/v1/metrics/history", "");
+    assert_eq!(status, 200);
+    assert!(header(&headers, "content-type").is_some_and(|v| v.starts_with("application/json")));
+    assert_eq!(history.lines().count(), 1, "one-line document");
+    experiments::format::check_json_stream(&history).expect("history is valid JSON");
+    assert!(
+        history.contains("\"kind\":\"metrics_history\""),
+        "{history}"
+    );
+    // Counter, gauge, and histogram series all ride along, each with a
+    // windowed summary.
+    assert!(
+        history.contains("\"name\":\"cnt_serve_requests_total\""),
+        "{history}"
+    );
+    assert!(
+        history.contains("\"name\":\"cnt_serve_cached_bodies\""),
+        "{history}"
+    );
+    assert!(
+        history.contains("\"name\":\"cnt_serve_request_seconds\""),
+        "{history}"
+    );
+    assert!(history.contains("\"window\":{"), "{history}");
+    assert!(history.contains("\"rate_per_s\":"), "{history}");
+
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
+#[test]
+fn slo_transitions_from_ok_to_page_under_latency_burn() {
+    use cnt_obs::{SloKind, SloSpec};
+    // A tight latency objective against a deliberately slow runner: the
+    // p90 of cnt_serve_request_seconds blows the 1 ms threshold once the
+    // slow runs land in the scraped window.
+    let server = Server::bind_with_runner(
+        Config {
+            history_interval: Duration::from_millis(50),
+            slos: vec![SloSpec::new(
+                "latency-p90",
+                SloKind::LatencyQuantile {
+                    metric: "cnt_serve_request_seconds".to_string(),
+                    q: 0.9,
+                    threshold_s: 0.001,
+                },
+                30.0,
+                60.0,
+            )],
+            ..config()
+        },
+        |exp, ctx| {
+            std::thread::sleep(Duration::from_millis(250));
+            exp.run(ctx)
+        },
+    )
+    .unwrap();
+    let (addr, handle, thread) = start(server);
+
+    // Before any traffic there is nothing to burn: the objective is ok.
+    let (status, slo) = get(addr, "/v1/slo");
+    assert_eq!(status, 200);
+    experiments::format::check_json_stream(&slo).expect("slo is valid JSON");
+    assert!(slo.contains("\"state\":\"ok\""), "{slo}");
+    assert!(slo.contains("\"name\":\"latency-p90\""), "{slo}");
+
+    // Inject the burn: three distinct (uncacheable) slow runs, then let
+    // the scraper sample the histogram.
+    for seed in [301, 302, 303] {
+        let body = format!("{{\"params\": {{\"seed\": {seed}}}}}");
+        let (status, _) = post(addr, "/v1/experiments/table1/run", &body);
+        assert_eq!(status, 200);
+    }
+    std::thread::sleep(Duration::from_millis(300));
+
+    let (status, slo) = get(addr, "/v1/slo");
+    assert_eq!(status, 200);
+    assert!(slo.contains("\"state\":\"page\""), "{slo}");
+
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
+#[test]
+fn profile_endpoints_fold_request_spans_into_a_cumulative_view() {
+    let (addr, handle, thread) = start(Server::bind(config()).unwrap());
+
+    for _ in 0..2 {
+        let (status, _) = post(addr, "/v1/experiments/table1/run", "{}");
+        assert_eq!(status, 200);
+    }
+
+    let (status, profile) = get(addr, "/v1/profile");
+    assert_eq!(status, 200);
+    experiments::format::check_json_stream(&profile).expect("profile is valid JSON");
+    assert!(profile.contains("\"kind\":\"profile\""), "{profile}");
+    assert!(profile.contains("\"captures\":2"), "{profile}");
+    assert!(profile.contains("serve.request"), "{profile}");
+
+    let (status, headers, folded) = http(addr, "GET", "/v1/profile/folded", "");
+    assert_eq!(status, 200);
+    assert!(header(&headers, "content-type").is_some_and(|v| v.starts_with("text/plain")));
+    assert!(
+        folded.lines().any(|l| {
+            l.starts_with("serve.request")
+                && l.rsplit(' ')
+                    .next()
+                    .is_some_and(|n| n.parse::<u64>().is_ok())
+        }),
+        "folded stacks malformed: {folded}"
+    );
+
+    handle.shutdown();
+    thread.join().unwrap();
+}
+
 #[test]
 fn healthz_and_metrics_read_the_same_registry() {
     let (addr, handle, thread) = start(Server::bind(config()).unwrap());

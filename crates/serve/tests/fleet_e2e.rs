@@ -232,6 +232,110 @@ fn redirect_mode_answers_307_with_the_owner_location() {
 }
 
 #[test]
+fn a_proxied_run_yields_one_trace_with_spans_from_both_instances() {
+    let (instances, peers) = fleet(3, RouteMode::Proxy);
+    let owner = owner_of(&peers, "table1", &[]);
+    let relay = (0..3).find(|i| *i != owner).unwrap();
+
+    // One run through a non-owner: the relay proxies to the owner, and
+    // the X-Trace-Id minted at the relay's ingress rides the hop.
+    let (status, headers, body) = http(
+        instances[relay].addr,
+        "POST",
+        "/v1/experiments/table1/run",
+        "{}",
+    );
+    assert_eq!(status, 200, "{body}");
+    let trace_id = headers
+        .iter()
+        .find(|(n, _)| n == "x-trace-id")
+        .map(|(_, v)| v.clone())
+        .expect("proxied 200 carries X-Trace-Id");
+
+    // The assembled tree — read from the relay — contains records from
+    // BOTH instances: the relay's ingress serve.request and the owner's
+    // remote child, linked parent→child across the hop.
+    let (status, _, tree) = http(
+        instances[relay].addr,
+        "GET",
+        &format!("/v1/trace/{trace_id}"),
+        "",
+    );
+    assert_eq!(status, 200, "{tree}");
+    experiments::format::check_json_stream(&tree).expect("trace tree is valid JSON");
+    for instance in [relay, owner] {
+        assert!(
+            tree.contains(&format!("\"instance\":\"{}\"", peers[instance])),
+            "no record from instance {instance} ({}):\n{tree}",
+            peers[instance]
+        );
+    }
+    // Exactly one root (the relay's ingress); the owner's record nests
+    // under it rather than floating as a second root.
+    let tree_array = tree.split("\"tree\":[").nth(1).expect("tree array");
+    let mut depth = 0u32;
+    let mut roots = 0u32;
+    for c in tree_array.chars() {
+        match c {
+            '{' | '[' => {
+                if depth == 0 && c == '{' {
+                    roots += 1;
+                }
+                depth += 1;
+            }
+            '}' | ']' => {
+                if depth == 0 {
+                    break; // the `]` closing the tree array itself
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(
+        roots, 1,
+        "owner record did not parent under the relay ingress:\n{tree}"
+    );
+
+    // The same tree is reachable from the owner too (peer fan-out).
+    let (status, _, from_owner) = http(
+        instances[owner].addr,
+        "GET",
+        &format!("/v1/trace/{trace_id}"),
+        "",
+    );
+    assert_eq!(status, 200);
+    assert!(
+        from_owner.contains(&format!("\"instance\":\"{}\"", peers[relay])),
+        "{from_owner}"
+    );
+
+    // Satellite: the X-Request-Id minted at the relay rode the proxy hop
+    // — the owner's stored record reuses it instead of minting afresh.
+    let request_id = headers
+        .iter()
+        .find(|(n, _)| n == "x-request-id")
+        .map(|(_, v)| v.clone())
+        .expect("X-Request-Id");
+    let shared = tree
+        .matches(&format!("\"request_id\":\"{request_id}\""))
+        .count();
+    let total = tree.matches("\"request_id\":\"").count();
+    assert!(
+        shared >= 2,
+        "owner record minted its own request id:\n{tree}"
+    );
+    assert_eq!(
+        shared, total,
+        "every record must share the relay's request id:\n{tree}"
+    );
+
+    for instance in instances {
+        instance.stop();
+    }
+}
+
+#[test]
 fn a_dead_owner_degrades_to_local_compute() {
     let (mut instances, peers) = fleet(2, RouteMode::Proxy);
 

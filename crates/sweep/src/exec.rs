@@ -109,6 +109,16 @@ impl Executor {
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<core::result::Result<R, E>>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
+        // When the calling thread is tracing, each worker captures its
+        // own span trees per job; after the pool drains they merge back
+        // into the caller's trace **in job-index order**, so the merged
+        // forest is schedule-independent like the results themselves.
+        let tracing = cnt_obs::Trace::is_active();
+        let trace_slots: Vec<Mutex<Vec<cnt_obs::SpanNode>>> = if tracing {
+            (0..n).map(|_| Mutex::new(Vec::new())).collect()
+        } else {
+            Vec::new()
+        };
 
         std::thread::scope(|scope| {
             for _ in 0..self.threads.min(n) {
@@ -120,13 +130,21 @@ impl Executor {
                     let job = plan.job(index);
                     let mut rng = job_rng(root_seed, fingerprint, index);
                     jobs_counter().inc();
-                    // The span lands in the global per-job histogram; the
-                    // tree view only sees spans on the *tracing* thread,
-                    // so pooled jobs time but don't nest under a profile.
+                    // The span lands in the global per-job histogram
+                    // either way; with a trace armed on the caller, the
+                    // worker arms its own capture so the job's subtree
+                    // survives the thread hop.
+                    if tracing {
+                        cnt_obs::Trace::begin();
+                    }
                     let result = {
                         let _job_span = cnt_obs::span!("sweep.job");
                         work(&job, &mut rng)
                     };
+                    if tracing {
+                        *trace_slots[index].lock().expect("trace slot poisoned") =
+                            cnt_obs::Trace::end();
+                    }
                     if let Some(sink) = &progress {
                         sink.inc_done();
                     }
@@ -134,6 +152,16 @@ impl Executor {
                 });
             }
         });
+
+        if tracing {
+            let mut merged: Vec<cnt_obs::SpanNode> = Vec::new();
+            for slot in trace_slots {
+                for root in slot.into_inner().expect("trace slot poisoned") {
+                    cnt_obs::merge_nodes(&mut merged, root);
+                }
+            }
+            cnt_obs::Trace::attach(merged);
+        }
 
         // Every job ran; unwrap in index order so the first error seen is
         // the lowest-indexed one.
@@ -236,6 +264,25 @@ mod tests {
         }
         // Without a scope the executor reports nowhere and still works.
         assert!(Executor::new(2).run(&p, 42, work).is_ok());
+    }
+
+    #[test]
+    fn pooled_jobs_land_in_the_calling_threads_trace() {
+        let p = plan(4, 5); // 20 jobs
+        let work = |_: &Job, _: &mut StdRng| -> Result<f64> { Ok(1.0) };
+        for threads in [1, 4] {
+            cnt_obs::Trace::begin();
+            Executor::new(threads).run(&p, 42, work).unwrap();
+            let roots = cnt_obs::Trace::end();
+            let job = roots
+                .iter()
+                .find(|n| n.name == "sweep.job")
+                .unwrap_or_else(|| panic!("threads={threads}: no sweep.job in {roots:?}"));
+            assert_eq!(job.count, 20, "threads={threads}: every job must fold in");
+        }
+        // Without a trace armed, the pool still runs (and captures nothing).
+        assert!(!cnt_obs::Trace::is_active());
+        assert!(Executor::new(4).run(&p, 42, work).is_ok());
     }
 
     #[test]
