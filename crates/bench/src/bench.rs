@@ -407,6 +407,11 @@ pub fn kernels() -> Vec<Kernel> {
             title: "cnt-fleet non-owner round-trip (peer-fill-hot, 2 instances)",
             run: bench_fleet_roundtrip,
         },
+        Kernel {
+            id: "serve.fleet_degraded",
+            title: "cnt-fleet degraded round-trip (owner Down, local fallback)",
+            run: bench_fleet_degraded,
+        },
     ]
 }
 
@@ -808,6 +813,85 @@ fn bench_fleet_roundtrip(cfg: &KernelCfg) -> KernelRun {
     for thread in serving {
         thread.join().expect("server thread");
     }
+    KernelRun::timed(samples)
+}
+
+fn bench_fleet_degraded(cfg: &KernelCfg) -> KernelRun {
+    let (warmup, iters) = budget(cfg);
+    let bind = |_| {
+        cnt_serve::Server::bind(cnt_serve::Config {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 16,
+            cache_capacity: 64,
+            ..cnt_serve::Config::default()
+        })
+        .expect("bind ephemeral port")
+    };
+    let mut servers: Vec<_> = (0..2).map(bind).collect();
+    let peers: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+    let (_, ctx) =
+        cnt_interconnect::experiments::resolve_context("table1", None, &[]).expect("table1 exists");
+    let ring = cnt_serve::fleet::HashRing::new(&peers);
+    let owner = ring.owner_of_hash(ctx.params.content_hash()).expect("ring");
+
+    // Kill the owner of table1's default point before it ever serves —
+    // its port refuses connections — and route through the survivor.
+    drop(servers.remove(owner));
+    let front = servers.pop().expect("survivor");
+    front
+        .enable_fleet(cnt_serve::FleetConfig::new(peers.clone(), 1 - owner))
+        .expect("join fleet");
+    let addr = front.local_addr();
+    let handle = front.handle();
+    let serving = std::thread::spawn(move || {
+        front.serve().expect("serve");
+    });
+
+    let stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    let mut exchange = move || {
+        write!(
+            writer,
+            "POST /v1/experiments/table1/run HTTP/1.1\r\nHost: bench\r\nContent-Length: 2\r\nConnection: keep-alive\r\n\r\n{{}}"
+        )
+        .expect("send request");
+        writer.flush().expect("flush");
+        let mut content_length = None;
+        loop {
+            let mut line = String::new();
+            assert!(reader.read_line(&mut line).expect("read head") > 0);
+            if line == "\r\n" || line == "\n" {
+                break;
+            }
+            if let Some(v) = line
+                .to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::trim)
+            {
+                content_length = v.parse::<usize>().ok();
+            }
+        }
+        let mut body = vec![0u8; content_length.expect("framed response")];
+        reader.read_exact(&mut body).expect("read body");
+        black_box(body);
+    };
+    // Trip the failure detector first: K = 3 consecutive fill failures
+    // mark the dead owner Down, so the timed iterations measure the
+    // steady degraded state (health gate + local LRU hit) rather than
+    // the connect-refused probes on the way there. The companion
+    // serve.fleet_roundtrip kernel is the healthy-fleet baseline.
+    for _ in 0..3 {
+        exchange();
+    }
+    let samples = time_iterations(warmup, iters, exchange);
+    handle.shutdown();
+    serving.join().expect("server thread");
     KernelRun::timed(samples)
 }
 

@@ -27,7 +27,10 @@
 //!                         --fleet A1,A2 --self-index K the instance
 //!                         joins a consistent-hash fleet (cnt-fleet);
 //!                         --jobs/--job-ttl size the async job table
-//!                         behind POST /v1/sweeps/{id}
+//!                         behind POST /v1/sweeps/{id}; --chaos SPEC
+//!                         (e.g. "seed=7,refuse=0.2,latency=0.1")
+//!                         injects deterministic faults on outbound
+//!                         peer hops for fault-tolerance testing
 //! repro cache gc --max-bytes 10000000
 //!                         shrink the on-disk sweep cache by evicting the
 //!                         oldest-modified entries first (flat and
@@ -82,6 +85,9 @@ fn usage() {
     eprintln!("       repro serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]");
     eprintln!(
         "                   [--fleet A1,A2,... --self-index K [--fleet-mode proxy|redirect]]"
+    );
+    eprintln!(
+        "                   [--chaos seed=S,refuse=P,hang=P,truncate=P,latency=P,latency_ms=N]"
     );
     eprintln!("                   [--jobs N] [--job-ttl SECS] [--access-log text|json]");
     eprintln!("                   [--history-interval SECS]");
@@ -785,6 +791,16 @@ fn run_serve_command(args: &[String]) -> ExitCode {
                 }
                 None => return fail("--fleet-mode needs a value"),
             },
+            "--chaos" => match take("--chaos", it.next()) {
+                Ok(spec) => match cnt_serve::fleet::ChaosConfig::parse(&spec) {
+                    Ok(chaos) => match config.fleet.as_mut() {
+                        Some(fleet) => fleet.chaos = Some(chaos),
+                        None => return fail("--chaos needs --fleet first"),
+                    },
+                    Err(e) => return fail(&format!("--chaos: {e}")),
+                },
+                Err(e) => return fail(&e),
+            },
             "--jobs" => match parse_count("--jobs", take("--jobs", it.next())) {
                 Ok(n) => config.jobs_capacity = n,
                 Err(e) => return fail(&e),
@@ -815,8 +831,12 @@ fn run_serve_command(args: &[String]) -> ExitCode {
         Err(e) => return fail(&format!("serve: {e}")),
     };
     let fleet_note = config.fleet.as_ref().map_or(String::new(), |fleet| {
+        let chaos_note = fleet
+            .chaos
+            .filter(|c| c.is_active())
+            .map_or(String::new(), |c| format!(", CHAOS {}", c.render()));
         format!(
-            ", fleet {}/{} ({})",
+            ", fleet {}/{} ({}){chaos_note}",
             fleet.self_index,
             fleet.peers.len(),
             match fleet.mode {

@@ -287,6 +287,52 @@ mod tests {
     }
 
     #[test]
+    fn ttl_boundary_is_exclusive_at_exactly_ttl() {
+        // Pin the <-vs-<= semantics of the GC window: a job that finished
+        // exactly `ttl` ago is already expired (the window is
+        // half-open, `age < ttl` survives), while one a hair younger
+        // stays pollable. Drives `collect` with synthetic clocks so the
+        // boundary is hit exactly rather than raced.
+        let ttl = Duration::from_secs(10);
+        let finished = Instant::now();
+        let make = |id: &str| {
+            (
+                id.to_string(),
+                Arc::new(JobEntry {
+                    id: id.to_string(),
+                    sweep_id: "fig12".to_string(),
+                    progress: Arc::new(Progress::new()),
+                    state: Mutex::new(JobState::Done {
+                        content_type: "application/json".to_string(),
+                        body: "{}\n".to_string(),
+                        finished,
+                    }),
+                }),
+            )
+        };
+
+        // Just inside the window: nothing expires.
+        let mut jobs: HashMap<_, _> = [make("young")].into_iter().collect();
+        let just_inside = finished + ttl - Duration::from_millis(1);
+        assert_eq!(JobTable::collect(&mut jobs, ttl, just_inside), 0);
+        assert!(jobs.contains_key("young"));
+
+        // Exactly at the boundary: age == ttl fails `age < ttl`, evicted.
+        let mut jobs: HashMap<_, _> = [make("boundary")].into_iter().collect();
+        assert_eq!(JobTable::collect(&mut jobs, ttl, finished + ttl), 1);
+        assert!(jobs.is_empty());
+
+        // A `now` *before* the finish instant (clock went backwards
+        // between threads): duration_since saturates to zero, job stays.
+        let mut jobs: HashMap<_, _> = [make("future")].into_iter().collect();
+        assert_eq!(
+            JobTable::collect(&mut jobs, ttl, finished - Duration::from_secs(1)),
+            0
+        );
+        assert!(jobs.contains_key("future"));
+    }
+
+    #[test]
     fn full_table_sheds_and_recovers_after_gc() {
         let table = JobTable::new(2, Duration::from_secs(0));
         let first = table.create("a", "fig12").unwrap();

@@ -10,24 +10,36 @@
 //! | module | piece | role |
 //! |--------|-------|------|
 //! | [`ring`] | [`HashRing`] | static rendezvous-hash map from the 256 cache shards to owning instances |
-//! | [`peer`] | [`PeerClient`] | fail-fast blocking HTTP client for redirect-free proxy hops and cache-fill probes |
+//! | [`peer`] | [`PeerClient`] | fail-fast blocking HTTP client (pooled keep-alive sockets) for proxy hops, cache-fill probes, and health probes |
+//! | [`health`] | [`FleetHealth`] | Up → Suspect → Down failure detector + backoff re-probe schedule |
+//! | [`retry`] | [`RetryPolicy`] | unified attempts/backoff/jitter policy for every peer operation |
+//! | [`chaos`] | [`ChaosInjector`] | deterministic seeded fault injection on peer-facing paths |
 //! | [`jobs`] | [`JobTable`] | bounded, TTL-GC'd registry backing the async `POST /v1/sweeps/{id}` job API |
 //!
 //! Topology is a static ordered peer list (`--fleet "a,b,c" --self-index
 //! K`): every instance derives the identical shard table from the same
-//! list, so request routing needs no gossip, no leases, and no failure
-//! detector. A dead peer degrades — the router's peer hop times out fast
-//! and falls back to computing locally — rather than failing requests.
+//! list, so request routing needs no gossip, no leases — only the local
+//! failure detector in [`health`]. A dead peer degrades: after
+//! `HealthPolicy::down_after` consecutive transport failures the router
+//! skips it entirely (local compute, zero added latency) while a
+//! background prober re-checks it on exponential backoff and restores
+//! it to Up on the first success.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
+pub mod health;
 pub mod jobs;
 pub mod peer;
+pub mod retry;
 pub mod ring;
 
+pub use chaos::{ChaosConfig, ChaosInjector, Fault};
+pub use health::{FleetHealth, HealthPolicy, PeerState, Transition};
 pub use jobs::{JobEntry, JobState, JobTable};
 pub use peer::{PeerClient, PeerError, PeerResponse};
+pub use retry::RetryPolicy;
 pub use ring::HashRing;
 
 use std::time::Duration;
@@ -57,6 +69,11 @@ pub struct FleetConfig {
     pub fill_timeout: Duration,
     /// Read/write budget for a full proxied run (the owner may compute).
     pub proxy_timeout: Duration,
+    /// Failure-detector and re-probe tunables.
+    pub health: HealthPolicy,
+    /// Deterministic fault injection on this instance's outbound peer
+    /// hops (`None` in production).
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl FleetConfig {
@@ -69,6 +86,8 @@ impl FleetConfig {
             connect_timeout: Duration::from_millis(200),
             fill_timeout: Duration::from_millis(500),
             proxy_timeout: Duration::from_secs(10),
+            health: HealthPolicy::default(),
+            chaos: None,
         }
     }
 

@@ -1,23 +1,49 @@
 //! A minimal blocking HTTP/1.1 client for intra-fleet hops.
 //!
-//! The serve layer talks to peers in exactly two shapes — a cache-fill
-//! probe (`GET /v1/_fleet/cache/{hash}`) and a full request proxy — and
-//! both sit on a request's critical path, so the client is built around
-//! *failing fast*: a bounded connect timeout, a bounded read/write
-//! timeout, and one retry on transport errors before the caller falls
-//! back to local compute. Every request uses a fresh `Connection: close`
-//! socket owned by this stack frame; when a peer stalls past the timeout
-//! the stream drops (and the OS closes the descriptor) on the error
-//! return path, so a flapping peer cannot leak file descriptors into a
-//! long-lived server process.
+//! The serve layer talks to peers in exactly three shapes — a cache-fill
+//! probe (`GET /v1/_fleet/cache/{hash}`), a full request proxy, and a
+//! background health probe — and the first two sit on a request's
+//! critical path, so the client is built around *failing fast*: a
+//! bounded connect timeout, bounded read/write deadlines, and a
+//! [`RetryPolicy`] (attempts + deterministic backoff) before the caller
+//! falls back to local compute.
+//!
+//! Since the fault-tolerance pass, connections are **kept alive and
+//! pooled**: each client keeps a small per-peer stack of idle sockets
+//! (bounded depth, staleness-evicted well inside the server's 5 s
+//! keep-alive idle window), so a hot proxy path or a retry ladder pays
+//! one TCP connect, not one per hop. A pooled socket that turns out to
+//! be stale — the peer closed it while parked — is discarded and the
+//! attempt transparently redialed, never surfaced as a failure. When a
+//! peer stalls past the deadline the stream drops (and the OS closes
+//! the descriptor) on the error return path, so a flapping peer cannot
+//! leak file descriptors into a long-lived server process; there are
+//! fd-counting tests for both the timeout and the pooled path.
+//!
+//! A [`ChaosInjector`] can be armed on the client to inject refused
+//! connects, hangs, truncated responses, and added latency — see
+//! [`crate::chaos`].
 
+use crate::chaos::{ChaosInjector, Fault};
+use crate::retry::RetryPolicy;
+use cnt_sweep::seed::fnv1a;
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Largest peer response body accepted (matches the serve layer's own
 /// request-body ceiling order of magnitude; a cached report is ~KBs).
 const MAX_PEER_BODY: usize = 4 * 1024 * 1024;
+
+/// Most idle sockets parked per peer address.
+const MAX_IDLE_PER_PEER: usize = 4;
+
+/// How long a parked socket stays reusable. Must sit well inside the
+/// serve layer's `keep_alive_idle` (5 s): a socket the *server* is
+/// about to reap is worse than no socket, so we evict first.
+const IDLE_TTL: Duration = Duration::from_millis(2_000);
 
 /// A parsed peer response: status plus the framed body.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,6 +68,14 @@ pub enum PeerError {
     Protocol(String),
 }
 
+impl PeerError {
+    /// Whether this failure is a transport error (retryable, counts
+    /// against the peer's health) rather than a protocol one.
+    pub fn is_transport(&self) -> bool {
+        matches!(self, PeerError::Connect(_) | PeerError::Io(_))
+    }
+}
+
 impl core::fmt::Display for PeerError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
@@ -52,28 +86,130 @@ impl core::fmt::Display for PeerError {
     }
 }
 
-/// Blocking one-shot HTTP client with per-call deadlines.
-#[derive(Debug, Clone, Copy)]
+/// Per-peer stacks of parked keep-alive sockets.
+#[derive(Debug, Default)]
+struct ConnPool {
+    idle: Mutex<HashMap<String, Vec<(TcpStream, Instant)>>>,
+}
+
+impl ConnPool {
+    /// Pops the freshest reusable socket for `addr`, dropping any that
+    /// sat parked past [`IDLE_TTL`].
+    fn checkout(&self, addr: &str) -> Option<TcpStream> {
+        let mut idle = self.idle.lock().unwrap();
+        let stack = idle.get_mut(addr)?;
+        while let Some((stream, parked_at)) = stack.pop() {
+            if parked_at.elapsed() < IDLE_TTL {
+                return Some(stream);
+            }
+            // Stale: fell out of the TTL while parked; closing it here
+            // (drop) is cheaper than discovering the peer reaped it.
+        }
+        None
+    }
+
+    /// Parks a socket for reuse, evicting stale entries and bounding the
+    /// stack depth.
+    fn checkin(&self, addr: &str, stream: TcpStream) {
+        let mut idle = self.idle.lock().unwrap();
+        let stack = idle.entry(addr.to_string()).or_default();
+        stack.retain(|(_, parked_at)| parked_at.elapsed() < IDLE_TTL);
+        if stack.len() < MAX_IDLE_PER_PEER {
+            stack.push((stream, Instant::now()));
+        }
+    }
+
+    /// Parked sockets for `addr` right now (test observability).
+    fn idle_count(&self, addr: &str) -> usize {
+        self.idle
+            .lock()
+            .unwrap()
+            .get(addr)
+            .map_or(0, |stack| stack.len())
+    }
+}
+
+/// Blocking HTTP client with per-call deadlines, pooled keep-alive
+/// connections, a configurable retry ladder, and optional fault
+/// injection. Cloning shares the pool and the chaos stream.
+#[derive(Debug, Clone)]
 pub struct PeerClient {
     connect_timeout: Duration,
     io_timeout: Duration,
+    retry: RetryPolicy,
+    pool: Arc<ConnPool>,
+    chaos: Option<Arc<ChaosInjector>>,
+    close_connections: bool,
 }
 
 impl PeerClient {
     /// A client that gives up connecting after `connect_timeout` and
-    /// gives up on a silent established connection after `io_timeout`.
+    /// gives up on a silent established connection after `io_timeout`,
+    /// with the legacy two-attempt [`RetryPolicy::fast_hop`] ladder.
     pub fn new(connect_timeout: Duration, io_timeout: Duration) -> Self {
         Self {
             connect_timeout,
             io_timeout,
+            retry: RetryPolicy::fast_hop(),
+            pool: Arc::new(ConnPool::default()),
+            chaos: None,
+            close_connections: false,
         }
     }
 
-    /// `GET path` against `addr`, retrying once on transport errors.
+    /// Replaces the retry ladder.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Shares `other`'s connection pool instead of this client's own.
+    ///
+    /// The serve layer runs one client per hop shape (cache-fill, proxy)
+    /// with different deadlines and retry ladders — but against the same
+    /// peers. Pooling separately would park one idle socket *per client*
+    /// on each peer, and on the worker-per-connection server every parked
+    /// socket occupies a worker until the keep-alive idle window expires.
+    /// Sharing bounds the residue to one pool per instance. Deadlines
+    /// stay per-client: they are (re)applied to every socket at checkout.
+    #[must_use]
+    pub fn sharing_pool_of(mut self, other: &PeerClient) -> Self {
+        self.pool = Arc::clone(&other.pool);
+        self
+    }
+
+    /// Sends `Connection: close` and never pools — for off-path callers
+    /// like the health prober, whose rare hops must leave no parked
+    /// socket (= no occupied worker) behind on a freshly revived peer.
+    #[must_use]
+    pub fn with_connection_close(mut self) -> Self {
+        self.close_connections = true;
+        self
+    }
+
+    /// Arms (or shares) a chaos injector on this client's hops.
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: Option<Arc<ChaosInjector>>) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
+    /// The client's retry ladder.
+    pub fn retry(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Idle pooled sockets currently parked for `addr` (tests/metrics).
+    pub fn idle_connections(&self, addr: &str) -> usize {
+        self.pool.idle_count(addr)
+    }
+
+    /// `GET path` against `addr`, under the client's retry policy.
     ///
     /// # Errors
     ///
-    /// Returns the *second* failure when both attempts die on transport;
+    /// Returns the *last* failure when every attempt dies on transport;
     /// protocol errors (a live peer speaking garbage) are not retried.
     pub fn get(&self, addr: &str, path: &str) -> Result<PeerResponse, PeerError> {
         self.request(addr, "GET", path, "", "", &[])
@@ -95,7 +231,7 @@ impl PeerClient {
         self.request(addr, "GET", path, "", "", headers)
     }
 
-    /// `POST body` to `path` on `addr`, retrying once on transport errors.
+    /// `POST body` to `path` on `addr`, under the client's retry policy.
     ///
     /// # Errors
     ///
@@ -137,14 +273,22 @@ impl PeerClient {
         body: &str,
         headers: &[(String, String)],
     ) -> Result<PeerResponse, PeerError> {
-        match self.request_once(addr, method, path, content_type, body, headers) {
-            Err(PeerError::Connect(_)) | Err(PeerError::Io(_)) => {
-                // One retry: transient connect races (a peer mid-restart)
-                // recover; a dead peer fails in 2 x connect_timeout.
-                self.request_once(addr, method, path, content_type, body, headers)
+        // Jitter token: per-peer, so concurrent ladders against different
+        // peers interleave while one ladder stays replayable.
+        let token = fnv1a(addr.as_bytes());
+        let attempts = self.retry.effective_attempts();
+        let mut last = None;
+        for attempt in 0..attempts {
+            let delay = self.retry.delay_before(attempt, token);
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
             }
-            done => done,
+            match self.request_once(addr, method, path, content_type, body, headers) {
+                Err(err) if err.is_transport() => last = Some(err),
+                done => return done,
+            }
         }
+        Err(last.expect("at least one attempt ran"))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -157,17 +301,90 @@ impl PeerClient {
         body: &str,
         headers: &[(String, String)],
     ) -> Result<PeerResponse, PeerError> {
-        let addr: SocketAddr = addr
+        let fault = self.chaos.as_deref().and_then(ChaosInjector::next_fault);
+        match fault {
+            Some(Fault::Refuse) => {
+                return Err(PeerError::Connect("chaos: connection refused".to_string()));
+            }
+            Some(Fault::Hang) => {
+                // The peer "accepted then went silent": burn the read
+                // deadline, then fail exactly like a timeout.
+                std::thread::sleep(self.io_timeout);
+                return Err(PeerError::Io("chaos: peer accepted then hung".to_string()));
+            }
+            Some(Fault::Latency) => std::thread::sleep(
+                self.chaos
+                    .as_deref()
+                    .map(ChaosInjector::latency)
+                    .unwrap_or_default(),
+            ),
+            Some(Fault::Truncate) | None => {}
+        }
+
+        // A parked socket first; if the peer closed it while idle, the
+        // exchange fails and we redial fresh without burning an attempt.
+        // Deadlines are re-applied at checkout: a shared pool may hand us
+        // a socket dialed by a client with different timeouts.
+        if let Some(stream) = self.pool.checkout(addr) {
+            let armed = stream
+                .set_read_timeout(Some(self.io_timeout))
+                .and_then(|()| stream.set_write_timeout(Some(self.io_timeout)))
+                .is_ok();
+            if armed {
+                if let Ok(response) =
+                    self.exchange(stream, addr, method, path, content_type, body, headers)
+                {
+                    return self.apply_post_faults(fault, response);
+                }
+            }
+        }
+        let sock_addr: SocketAddr = addr
             .parse()
             .map_err(|e| PeerError::Connect(format!("bad address {addr}: {e}")))?;
-        let mut stream = TcpStream::connect_timeout(&addr, self.connect_timeout)
+        let stream = TcpStream::connect_timeout(&sock_addr, self.connect_timeout)
             .map_err(|e| PeerError::Connect(e.to_string()))?;
         stream
             .set_read_timeout(Some(self.io_timeout))
             .and_then(|()| stream.set_write_timeout(Some(self.io_timeout)))
             .map_err(|e| PeerError::Io(e.to_string()))?;
+        let response = self.exchange(stream, addr, method, path, content_type, body, headers)?;
+        self.apply_post_faults(fault, response)
+    }
 
-        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n");
+    /// Applies faults that fire *after* a real exchange: a truncated
+    /// response reached the wire but is useless to the caller.
+    fn apply_post_faults(
+        &self,
+        fault: Option<Fault>,
+        response: PeerResponse,
+    ) -> Result<PeerResponse, PeerError> {
+        match fault {
+            Some(Fault::Truncate) => Err(PeerError::Io(
+                "chaos: response truncated mid-body".to_string(),
+            )),
+            _ => Ok(response),
+        }
+    }
+
+    /// One request/response on an established stream; parks the socket
+    /// back in the pool when the response allows reuse.
+    #[allow(clippy::too_many_arguments)]
+    fn exchange(
+        &self,
+        mut stream: TcpStream,
+        addr: &str,
+        method: &str,
+        path: &str,
+        content_type: &str,
+        body: &str,
+        headers: &[(String, String)],
+    ) -> Result<PeerResponse, PeerError> {
+        // HTTP/1.1 default framing is keep-alive: no Connection header
+        // (unless this client opted out of pooling entirely).
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\n");
+        if self.close_connections {
+            head.push_str("Connection: close\r\n");
+        }
         for (name, value) in headers {
             let clean = !name.contains(['\r', '\n', ':']) && !value.contains(['\r', '\n']);
             if clean && !name.is_empty() {
@@ -183,13 +400,21 @@ impl PeerClient {
             .and_then(|()| stream.write_all(body.as_bytes()))
             .map_err(|e| PeerError::Io(e.to_string()))?;
 
-        read_response(BufReader::new(stream))
+        let reader = BufReader::new(stream);
+        let (response, reusable, reader) = read_response(reader)?;
+        if reusable && !self.close_connections {
+            self.pool.checkin(addr, reader.into_inner());
+        }
+        Ok(response)
     }
 }
 
 /// Parses one framed HTTP/1.1 response: status line, headers,
-/// `Content-Length` body.
-fn read_response(mut reader: impl BufRead) -> Result<PeerResponse, PeerError> {
+/// `Content-Length` body. Returns the response, whether the connection
+/// may be reused (HTTP/1.1 without `Connection: close`), and the reader
+/// (so a reusable socket can go back to the pool).
+#[allow(clippy::type_complexity)]
+fn read_response<R: BufRead>(mut reader: R) -> Result<(PeerResponse, bool, R), PeerError> {
     let mut status_line = String::new();
     reader
         .read_line(&mut status_line)
@@ -199,9 +424,11 @@ fn read_response(mut reader: impl BufRead) -> Result<PeerResponse, PeerError> {
         .nth(1)
         .and_then(|code| code.parse::<u16>().ok())
         .ok_or_else(|| PeerError::Protocol(format!("bad status line {status_line:?}")))?;
+    let http11 = status_line.starts_with("HTTP/1.1");
 
     let mut content_type = String::new();
     let mut content_length = 0usize;
+    let mut close = !http11;
     loop {
         let mut line = String::new();
         reader
@@ -219,6 +446,8 @@ fn read_response(mut reader: impl BufRead) -> Result<PeerResponse, PeerError> {
                 content_length = value
                     .parse()
                     .map_err(|_| PeerError::Protocol(format!("bad content-length {value:?}")))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                close = value.eq_ignore_ascii_case("close");
             }
         }
     }
@@ -233,16 +462,21 @@ fn read_response(mut reader: impl BufRead) -> Result<PeerResponse, PeerError> {
         .map_err(|e| PeerError::Io(e.to_string()))?;
     let body =
         String::from_utf8(body).map_err(|_| PeerError::Protocol("non-utf8 body".to_string()))?;
-    Ok(PeerResponse {
-        status,
-        content_type,
-        body,
-    })
+    Ok((
+        PeerResponse {
+            status,
+            content_type,
+            body,
+        },
+        !close,
+        reader,
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chaos::ChaosConfig;
     use std::io::{Cursor, Read};
     use std::net::TcpListener;
 
@@ -257,14 +491,82 @@ mod tests {
             .map(|entries| entries.count())
     }
 
+    /// A server thread answering `responses` keep-alive requests per
+    /// connection across `connections` accepts, then reporting how many
+    /// connections it actually saw.
+    fn keepalive_server(
+        listener: TcpListener,
+        connections: usize,
+    ) -> std::thread::JoinHandle<usize> {
+        std::thread::spawn(move || {
+            let mut seen = 0usize;
+            for stream in listener.incoming().take(connections).flatten() {
+                seen += 1;
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut stream = stream;
+                loop {
+                    // Read one request head (ours carry no bodies on GET).
+                    let mut line = String::new();
+                    if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                        break;
+                    }
+                    let mut length = 0usize;
+                    loop {
+                        let mut header = String::new();
+                        if reader.read_line(&mut header).unwrap_or(0) == 0 {
+                            return seen;
+                        }
+                        if header.trim_end().is_empty() {
+                            break;
+                        }
+                        if let Some(value) = header
+                            .trim_end()
+                            .to_ascii_lowercase()
+                            .strip_prefix("content-length:")
+                            .map(str::trim)
+                            .and_then(|v| v.parse::<usize>().ok())
+                        {
+                            length = value;
+                        }
+                    }
+                    let mut body = vec![0u8; length];
+                    if length > 0 && reader.read_exact(&mut body).is_err() {
+                        break;
+                    }
+                    if stream
+                        .write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok")
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+            }
+            seen
+        })
+    }
+
     #[test]
     fn parses_a_framed_response() {
         let raw = "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n\
                    Content-Length: 8\r\n\r\n{\"a\":1}\n";
-        let response = read_response(Cursor::new(raw)).unwrap();
+        let (response, reusable, _) = read_response(Cursor::new(raw)).unwrap();
         assert_eq!(response.status, 200);
         assert_eq!(response.content_type, "application/json");
         assert_eq!(response.body, "{\"a\":1}\n");
+        assert!(reusable, "HTTP/1.1 without Connection: close is reusable");
+    }
+
+    #[test]
+    fn connection_close_and_http10_are_not_reusable() {
+        let close = "HTTP/1.1 200 OK\r\nConnection: close\r\nContent-Length: 0\r\n\r\n";
+        let (_, reusable, _) = read_response(Cursor::new(close)).unwrap();
+        assert!(!reusable);
+        let old = "HTTP/1.0 200 OK\r\nContent-Length: 0\r\n\r\n";
+        let (_, reusable, _) = read_response(Cursor::new(old)).unwrap();
+        assert!(!reusable);
+        let keep = "HTTP/1.0 200 OK\r\nConnection: keep-alive\r\nContent-Length: 0\r\n\r\n";
+        let (_, reusable, _) = read_response(Cursor::new(keep)).unwrap();
+        assert!(reusable, "HTTP/1.0 may opt in explicitly");
     }
 
     #[test]
@@ -305,7 +607,149 @@ mod tests {
         assert_eq!(response.body, "ok");
         let request = server.join().unwrap();
         assert!(request.starts_with("GET /v1/_fleet/cache/abc HTTP/1.1\r\n"));
-        assert!(request.contains("Connection: close\r\n"));
+        // Keep-alive framing: the hop no longer burns the connection.
+        assert!(
+            !request.contains("Connection: close"),
+            "peer hops must not opt out of keep-alive: {request}"
+        );
+    }
+
+    #[test]
+    fn pooled_connections_are_reused_across_requests() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = keepalive_server(listener, 1);
+        let client = client();
+        for _ in 0..10 {
+            let response = client.get(&addr, "/v1/healthz").unwrap();
+            assert_eq!(response.body, "ok");
+        }
+        assert_eq!(client.idle_connections(&addr), 1, "one parked socket");
+        drop(client); // close the pooled socket so the server loop ends
+        assert_eq!(
+            server.join().unwrap(),
+            1,
+            "all 10 requests on one connection"
+        );
+    }
+
+    #[test]
+    fn clients_sharing_a_pool_reuse_one_socket() {
+        // The serve layer's fill and proxy clients share a pool so a
+        // relayed request parks ONE socket on the owner, not one per
+        // client (each parked socket pins a server worker while idle).
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = keepalive_server(listener, 1);
+        let fill = PeerClient::new(Duration::from_millis(200), Duration::from_millis(200));
+        let proxy = PeerClient::new(Duration::from_millis(200), Duration::from_secs(2))
+            .sharing_pool_of(&fill);
+        assert_eq!(fill.get(&addr, "/v1/_fleet/cache/abc").unwrap().status, 200);
+        assert_eq!(
+            proxy
+                .post(&addr, "/v1/run", "application/json", "{}")
+                .unwrap()
+                .status,
+            200
+        );
+        assert_eq!(fill.get(&addr, "/v1/_fleet/cache/def").unwrap().status, 200);
+        assert_eq!(fill.idle_connections(&addr), 1, "one parked socket total");
+        assert_eq!(proxy.idle_connections(&addr), 1, "same pool, same view");
+        drop(fill);
+        drop(proxy);
+        assert_eq!(
+            server.join().unwrap(),
+            1,
+            "fill and proxy hops rode one connection"
+        );
+    }
+
+    #[test]
+    fn connection_close_client_parks_nothing() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 4096];
+            let n = stream.read(&mut buf).unwrap();
+            let request = String::from_utf8_lossy(&buf[..n]).to_string();
+            stream
+                .write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok")
+                .unwrap();
+            request
+        });
+        let prober = client().with_connection_close();
+        let addr = addr.to_string();
+        assert_eq!(prober.get(&addr, "/v1/healthz").unwrap().status, 200);
+        let request = server.join().unwrap();
+        assert!(
+            request.contains("Connection: close\r\n"),
+            "close client must announce itself: {request}"
+        );
+        assert_eq!(prober.idle_connections(&addr), 0, "nothing parked");
+    }
+
+    #[test]
+    fn stale_pooled_socket_is_redialed_transparently() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        // Server answers exactly one request per connection, then closes
+        // (without saying Connection: close — a silent reap, the worst
+        // case for a pooled client).
+        let server = std::thread::spawn(move || {
+            let mut seen = 0usize;
+            for stream in listener.incoming().take(2).flatten() {
+                seen += 1;
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut stream = stream;
+                let mut line = String::new();
+                while reader.read_line(&mut line).unwrap_or(0) > 0 {
+                    if line.trim_end().is_empty() {
+                        break;
+                    }
+                    line.clear();
+                }
+                stream
+                    .write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok")
+                    .unwrap();
+                // Drop closes the socket while the client has it pooled.
+            }
+            seen
+        });
+        let client = client();
+        assert_eq!(client.get(&addr, "/a").unwrap().status, 200);
+        // Give the server's close a moment to land in our socket.
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(
+            client.get(&addr, "/b").unwrap().status,
+            200,
+            "dead pooled socket must redial, not fail"
+        );
+        assert_eq!(server.join().unwrap(), 2);
+    }
+
+    #[test]
+    fn pooled_reuse_does_not_leak_file_descriptors() {
+        // The fd-regression companion to the timeout test below, for the
+        // keep-alive path: many sequential requests must hold the fd
+        // count at one parked socket, not one per request.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = keepalive_server(listener, 1);
+        let client = client();
+        assert_eq!(client.get(&addr, "/warm").unwrap().status, 200);
+        let before = open_fds();
+        for _ in 0..20 {
+            assert_eq!(client.get(&addr, "/again").unwrap().status, 200);
+        }
+        if let (Some(before), Some(after)) = (before, open_fds()) {
+            assert!(
+                after <= before + 1,
+                "fd count grew from {before} to {after} across pooled requests"
+            );
+        }
+        drop(client);
+        server.join().unwrap();
     }
 
     #[test]
@@ -380,7 +824,7 @@ mod tests {
         let short = PeerClient::new(Duration::from_millis(200), Duration::from_millis(10));
         let before = open_fds();
         for _ in 0..10 {
-            // 10 calls x 1 retry each = 20 accepted-and-ignored sockets.
+            // 10 calls x 2 attempts each = 20 accepted-and-ignored sockets.
             assert!(matches!(short.get(&addr, "/"), Err(PeerError::Io(_))));
         }
         done_tx.send(()).unwrap();
@@ -391,5 +835,54 @@ mod tests {
                 "fd count grew from {before} to {after} across timed-out fills"
             );
         }
+    }
+
+    #[test]
+    fn chaos_refuse_fails_without_dialing() {
+        let config = ChaosConfig::parse("refuse=1.0").unwrap();
+        let chaos = Arc::new(ChaosInjector::new(config));
+        let armed = client().with_chaos(Some(chaos.clone()));
+        // No server exists at this address; a real dial would error with
+        // a different message than the injected one.
+        let err = armed.get("127.0.0.1:1", "/").unwrap_err();
+        assert_eq!(
+            err,
+            PeerError::Connect("chaos: connection refused".to_string())
+        );
+        assert_eq!(chaos.draws(), 2, "one draw per attempt");
+    }
+
+    #[test]
+    fn chaos_truncate_reaches_the_wire_but_fails_the_caller() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = keepalive_server(listener, 1);
+        let config = ChaosConfig::parse("truncate=1.0").unwrap();
+        let armed = client().with_chaos(Some(Arc::new(ChaosInjector::new(config))));
+        let err = armed.get(&addr, "/").unwrap_err();
+        assert!(
+            matches!(err, PeerError::Io(ref m) if m.contains("truncated")),
+            "{err}"
+        );
+        drop(armed);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn chaos_latency_delays_but_succeeds() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = keepalive_server(listener, 1);
+        let config = ChaosConfig::parse("latency=1.0,latency_ms=30").unwrap();
+        let armed = client().with_chaos(Some(Arc::new(ChaosInjector::new(config))));
+        let started = Instant::now();
+        let response = armed.get(&addr, "/").unwrap();
+        assert_eq!(response.status, 200);
+        assert!(
+            started.elapsed() >= Duration::from_millis(30),
+            "latency fault must actually delay"
+        );
+        drop(armed);
+        server.join().unwrap();
     }
 }

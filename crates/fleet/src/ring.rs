@@ -31,7 +31,7 @@ use cnt_sweep::seed::fnv1a;
 /// concentrated in a narrow band of bits, which rendezvous comparison
 /// across peers amplifies into total ownership collapse; three xor-shift
 /// multiplies spread every input bit across the whole word.
-fn mix(mut z: u64) -> u64 {
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
@@ -189,6 +189,43 @@ mod tests {
         assert_eq!(remapped, ring.shard_counts()[3]);
         assert!(
             remapped as f64 <= 256.0 / 4.0 * 1.7,
+            "remap fraction too large: {remapped}/256"
+        );
+    }
+
+    #[test]
+    fn two_peers_dying_simultaneously_remap_only_their_union() {
+        // The health layer can declare two peers Down in the same window;
+        // the effective ring is then the 3 survivors of 5. Every shard that
+        // moves must have been owned by one of the two dead peers, and
+        // every shard they owned must move (it has to — its owner is gone).
+        let full = addrs(5);
+        let ring = HashRing::new(&full);
+        let survivors = HashRing::new(&full[..3]);
+        let counts = ring.shard_counts();
+        let mut remapped = 0usize;
+        for shard in 0..=255u8 {
+            let before = ring.owner_of_shard(shard).unwrap();
+            let after = survivors.owner_of_shard(shard).unwrap();
+            if before != after {
+                assert!(
+                    before == 3 || before == 4,
+                    "shard {shard:#x} moved off live peer {before}"
+                );
+                remapped += 1;
+            } else {
+                assert!(
+                    before < 3,
+                    "shard {shard:#x} still maps to dead peer {before}"
+                );
+            }
+        }
+        // remapped == |shards of peer 3| + |shards of peer 4|: the moved
+        // set is exactly the union of the dead peers' shards, ≤ 2/N of
+        // the space (with slack for the finite table).
+        assert_eq!(remapped, counts[3] + counts[4]);
+        assert!(
+            remapped as f64 <= 256.0 / 5.0 * 2.0 * 1.7,
             "remap fraction too large: {remapped}/256"
         );
     }

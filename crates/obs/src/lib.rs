@@ -5,8 +5,9 @@
 //! instrumentation can sit below the whole stack. Three pieces:
 //!
 //! * [`MetricRegistry`] — named atomic [`Counter`]s, [`Gauge`]s,
-//!   fixed-boundary log2-bucket [`Histogram`]s, and labeled counter
-//!   families ([`CounterVec`]). Handles are `Arc`s; once resolved, the
+//!   fixed-boundary log2-bucket [`Histogram`]s, and labeled families
+//!   ([`CounterVec`], multi-label [`GaugeVec`]). Handles are `Arc`s;
+//!   once resolved, the
 //!   hot path is a couple of relaxed atomic operations — no locks, no
 //!   allocation. [`MetricRegistry::render_prometheus`] and
 //!   [`MetricRegistry::render_json`] export everything at once.
@@ -66,7 +67,9 @@ pub mod span;
 pub mod timeseries;
 pub mod trace_store;
 
-pub use metrics::{Counter, CounterVec, Gauge, Histogram, MetricRegistry, MetricSnapshot};
+pub use metrics::{
+    Counter, CounterVec, Gauge, GaugeVec, Histogram, MetricRegistry, MetricSnapshot,
+};
 pub use slo::{SloKind, SloReport, SloSpec, SloState};
 pub use span::{fold_stacks, merge_nodes, Profile, SpanGuard, SpanNode, Trace};
 pub use timeseries::{HistWindow, HistoryStore, WindowSummary};

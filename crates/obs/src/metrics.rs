@@ -246,19 +246,95 @@ impl CounterVec {
     }
 }
 
+/// A labeled gauge family over a *fixed ordered set* of label keys —
+/// unlike [`CounterVec`]'s single key, a child here is addressed by one
+/// value per key (`cnt_fleet_peer_state{peer="…",state="…"}` is the
+/// motivating series). Children are created on first use and rendered
+/// in sorted label-value order, so scrapes are deterministic.
+#[derive(Debug)]
+pub struct GaugeVec {
+    label_keys: Vec<String>,
+    children: Mutex<BTreeMap<Vec<String>, Arc<Gauge>>>,
+}
+
+impl GaugeVec {
+    fn new(label_keys: &[&str]) -> Self {
+        assert!(
+            !label_keys.is_empty(),
+            "a gauge family needs at least one label key"
+        );
+        Self {
+            label_keys: label_keys.iter().map(|k| k.to_string()).collect(),
+            children: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The gauge for one label-value tuple (`values` must match the
+    /// registered keys in number and order), created on first use.
+    /// Callers on hot paths should resolve once and keep the `Arc`.
+    pub fn with(&self, values: &[&str]) -> Arc<Gauge> {
+        assert_eq!(
+            values.len(),
+            self.label_keys.len(),
+            "gauge family has keys {:?}, got {} value(s)",
+            self.label_keys,
+            values.len()
+        );
+        let mut children = self.children.lock().expect("gauge vec poisoned");
+        let key: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+        if let Some(g) = children.get(&key) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(Gauge::default());
+        children.insert(key, Arc::clone(&g));
+        g
+    }
+
+    /// The label keys the family was registered with.
+    pub fn label_keys(&self) -> &[String] {
+        &self.label_keys
+    }
+
+    /// Sorted `(label values, value)` snapshot.
+    pub fn snapshot(&self) -> Vec<(Vec<String>, f64)> {
+        self.children
+            .lock()
+            .expect("gauge vec poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// The `{k1="v1",k2="v2"}` suffix of one child's sample line.
+    fn series_suffix(&self, values: &[String]) -> String {
+        let mut out = String::from("{");
+        for (i, (key, value)) in self.label_keys.iter().zip(values).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(key);
+            out.push('=');
+            out.push_str(&label_quote(value));
+        }
+        out.push('}');
+        out
+    }
+}
+
 #[derive(Debug, Clone)]
 enum Metric {
     Counter(Arc<Counter>),
     Gauge(Arc<Gauge>),
     Histogram(Arc<Histogram>),
     CounterVec(Arc<CounterVec>),
+    GaugeVec(Arc<GaugeVec>),
 }
 
 impl Metric {
     fn kind(&self) -> &'static str {
         match self {
             Metric::Counter(_) | Metric::CounterVec(_) => "counter",
-            Metric::Gauge(_) => "gauge",
+            Metric::Gauge(_) | Metric::GaugeVec(_) => "gauge",
             Metric::Histogram(_) => "histogram",
         }
     }
@@ -370,6 +446,21 @@ impl MetricRegistry {
         )
     }
 
+    /// Registers (or fetches) a labeled gauge family over a fixed
+    /// ordered set of label keys (the keys of an existing registration
+    /// win).
+    pub fn gauge_vec(&self, name: &str, help: &str, label_keys: &[&str]) -> Arc<GaugeVec> {
+        self.register(
+            name,
+            help,
+            || Metric::GaugeVec(Arc::new(GaugeVec::new(label_keys))),
+            |m| match m {
+                Metric::GaugeVec(v) => Some(Arc::clone(v)),
+                _ => None,
+            },
+        )
+    }
+
     /// Renders every metric in the Prometheus text exposition format,
     /// names sorted, `# HELP`/`# TYPE` per family.
     pub fn render_prometheus(&self) -> String {
@@ -403,6 +494,11 @@ impl MetricRegistry {
                             v.label_key,
                             label_quote(&value)
                         ));
+                    }
+                }
+                Metric::GaugeVec(v) => {
+                    for (values, value) in v.snapshot() {
+                        out.push_str(&format!("{name}{} {value}\n", v.series_suffix(&values)));
                     }
                 }
                 Metric::Histogram(h) => {
@@ -458,6 +554,30 @@ impl MetricRegistry {
                     }
                     out.push('}');
                 }
+                Metric::GaugeVec(v) => {
+                    out.push_str(",\"labels\":[");
+                    for (j, key) in v.label_keys().iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        json_escape(key, &mut out);
+                    }
+                    out.push_str("],\"series\":[");
+                    for (j, (values, value)) in v.snapshot().iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        out.push_str("{\"values\":[");
+                        for (k, label_value) in values.iter().enumerate() {
+                            if k > 0 {
+                                out.push(',');
+                            }
+                            json_escape(label_value, &mut out);
+                        }
+                        out.push_str(&format!("],\"value\":{}}}", json_num(*value)));
+                    }
+                    out.push(']');
+                }
                 Metric::Histogram(h) => {
                     let counts = h.bucket_counts();
                     let total: u64 = counts.iter().sum();
@@ -509,6 +629,14 @@ impl MetricRegistry {
                         out.push((
                             format!("{name}{{{}={}}}", v.label_key, label_quote(&value)),
                             MetricSnapshot::Counter(count),
+                        ));
+                    }
+                }
+                Metric::GaugeVec(v) => {
+                    for (values, value) in v.snapshot() {
+                        out.push((
+                            format!("{name}{}", v.series_suffix(&values)),
+                            MetricSnapshot::Gauge(value),
                         ));
                     }
                 }
@@ -756,6 +884,42 @@ mod tests {
             v.snapshot(),
             vec![("200".to_string(), 2), ("404".to_string(), 1)]
         );
+    }
+
+    #[test]
+    fn gauge_vec_renders_multi_label_children() {
+        let r = MetricRegistry::new();
+        let v = r.gauge_vec("t_peer_state", "membership", &["peer", "state"]);
+        v.with(&["127.0.0.1:9000", "up"]).set(1.0);
+        v.with(&["127.0.0.1:9000", "down"]).set(0.0);
+        v.with(&["127.0.0.1:9001", "up"]).set(0.0);
+        // Same tuple resolves to the same underlying gauge.
+        v.with(&["127.0.0.1:9001", "up"]).set(1.0);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE t_peer_state gauge\n"));
+        assert!(text.contains("t_peer_state{peer=\"127.0.0.1:9000\",state=\"up\"} 1\n"));
+        assert!(text.contains("t_peer_state{peer=\"127.0.0.1:9000\",state=\"down\"} 0\n"));
+        assert!(text.contains("t_peer_state{peer=\"127.0.0.1:9001\",state=\"up\"} 1\n"));
+        crate::promcheck::validate(&text).expect("multi-label gauges must pass the validator");
+        // Snapshot flattens with the exact sample names a scrape shows.
+        let snap = r.snapshot();
+        let up = snap
+            .iter()
+            .find(|(n, _)| n == "t_peer_state{peer=\"127.0.0.1:9001\",state=\"up\"}")
+            .expect("flattened series name");
+        assert_eq!(up.1, MetricSnapshot::Gauge(1.0));
+        // JSON render stays one parseable line.
+        let json = r.render_json();
+        assert!(json.contains("\"labels\":[\"peer\",\"state\"]"));
+        assert_eq!(json.lines().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "keys")]
+    fn gauge_vec_rejects_wrong_arity() {
+        let r = MetricRegistry::new();
+        let v = r.gauge_vec("t_peer_state", "membership", &["peer", "state"]);
+        v.with(&["only-one"]);
     }
 
     #[test]

@@ -34,6 +34,18 @@ pub enum SloKind {
         /// Allowed error ratio (e.g. 0.01 for 99% availability).
         budget: f64,
     },
+    /// The share of a labeled counter family carried by one label value
+    /// must stay under `budget`; burn = observed share / budget. The
+    /// stock use is degraded-mode guarding: how much fleet routing is
+    /// falling back to local compute because owners are Down.
+    LabelShare {
+        /// Counter family name (e.g. `cnt_fleet_route_total`).
+        family: String,
+        /// The label value whose share is budgeted (e.g. `degraded`).
+        label: String,
+        /// Allowed share of the family total (e.g. 0.25).
+        budget: f64,
+    },
 }
 
 /// One declarative objective plus its alerting windows.
@@ -132,6 +144,18 @@ fn burn(kind: &SloKind, store: &HistoryStore, window_s: f64) -> f64 {
             }
             (errors / total) / budget
         }
+        SloKind::LabelShare {
+            family,
+            label,
+            budget,
+        } => {
+            let hits = store.counter_family_delta(family, window_s, |value| value == label);
+            let total = store.counter_family_delta(family, window_s, |_| true);
+            if total <= 0.0 || *budget <= 0.0 || hits <= 0.0 {
+                return 0.0;
+            }
+            (hits / total) / budget
+        }
     }
 }
 
@@ -189,8 +213,11 @@ pub fn render_json(reports: &[SloReport]) -> String {
     out
 }
 
-/// The serve layer's stock objectives: request p90 under 500 ms and
-/// 99% non-5xx, both on a 60 s fast / 300 s slow window pair.
+/// The serve layer's stock objectives: request p90 under 500 ms, 99%
+/// non-5xx, and fleet routing at most 25% degraded (requests computed
+/// locally only because their owner is Down), all on a 60 s fast /
+/// 300 s slow window pair. Outside fleet mode the degraded family
+/// never moves, so the third objective reads a permanent 0.0 burn.
 pub fn default_serve_slos() -> Vec<SloSpec> {
     vec![
         SloSpec::new(
@@ -208,6 +235,16 @@ pub fn default_serve_slos() -> Vec<SloSpec> {
             SloKind::ErrorRate {
                 family: "cnt_serve_requests_total".to_string(),
                 budget: 0.01,
+            },
+            60.0,
+            300.0,
+        ),
+        SloSpec::new(
+            "fleet-degraded",
+            SloKind::LabelShare {
+                family: "cnt_fleet_route_total".to_string(),
+                label: "degraded".to_string(),
+                budget: 0.25,
             },
             60.0,
             300.0,
@@ -337,9 +374,50 @@ mod tests {
     }
 
     #[test]
-    fn default_serve_slos_cover_latency_and_availability() {
+    fn label_share_burn_is_share_over_budget() {
+        let store = HistoryStore::new(8);
+        let snap = |local: u64, degraded: u64| {
+            vec![
+                (
+                    "t_route_total{outcome=\"local\"}".to_string(),
+                    MetricSnapshot::Counter(local),
+                ),
+                (
+                    "t_route_total{outcome=\"degraded\"}".to_string(),
+                    MetricSnapshot::Counter(degraded),
+                ),
+            ]
+        };
+        store.ingest(snap(0, 0));
+        store.ingest(snap(50, 50));
+        let spec = SloSpec::new(
+            "fleet-degraded",
+            SloKind::LabelShare {
+                family: "t_route_total".to_string(),
+                label: "degraded".to_string(),
+                budget: 0.25,
+            },
+            3600.0,
+            7200.0,
+        );
+        let report = evaluate(&spec, &store);
+        // Half the routes degraded against a 25% budget: burn 2× — page.
+        assert!((report.burn_fast - 2.0).abs() < 1e-6, "burn {report:?}");
+        assert_eq!(report.state, SloState::Page);
+
+        // A quiet family (no movement inside the window) burns nothing.
+        let idle = HistoryStore::new(8);
+        idle.ingest(snap(10, 0));
+        idle.ingest(snap(10, 0));
+        let quiet = evaluate(&spec, &idle);
+        assert_eq!(quiet.state, SloState::Ok, "{quiet:?}");
+        assert_eq!(quiet.burn_fast, 0.0);
+    }
+
+    #[test]
+    fn default_serve_slos_cover_latency_availability_and_degradation() {
         let specs = default_serve_slos();
-        assert_eq!(specs.len(), 2);
+        assert_eq!(specs.len(), 3);
         assert!(specs.iter().any(|s| matches!(
             &s.kind,
             SloKind::LatencyQuantile { metric, .. } if metric == "cnt_serve_request_seconds"
@@ -347,6 +425,11 @@ mod tests {
         assert!(specs.iter().any(|s| matches!(
             &s.kind,
             SloKind::ErrorRate { family, .. } if family == "cnt_serve_requests_total"
+        )));
+        assert!(specs.iter().any(|s| matches!(
+            &s.kind,
+            SloKind::LabelShare { family, label, .. }
+                if family == "cnt_fleet_route_total" && label == "degraded"
         )));
     }
 }

@@ -70,6 +70,7 @@ pub mod api;
 pub mod cache;
 pub mod http;
 pub mod json;
+pub mod net;
 pub mod server;
 pub mod signal;
 

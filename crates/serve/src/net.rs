@@ -1,0 +1,152 @@
+//! Listener construction with `SO_REUSEADDR`.
+//!
+//! A SIGKILL'd server leaves its accepted connections in server-side
+//! `TIME_WAIT`, and a plain `TcpListener::bind` on the same port then
+//! fails with `EADDRINUSE` for up to a minute — exactly the window the
+//! fleet prober is trying to heal through. Setting `SO_REUSEADDR`
+//! before `bind` (what every production server does) lets the restarted
+//! instance take its old port back immediately.
+//!
+//! `std` exposes no socket-option API, and the offline build has no
+//! `libc`/`socket2`, so the four calls are declared directly, following
+//! the [`crate::signal`] pattern — this is the crate's second and only
+//! other `unsafe` exemption, confined to socket setup before any data
+//! flows. Non-IPv4 addresses (and non-Linux targets) fall back to the
+//! std bind without the option.
+#![allow(unsafe_code)]
+
+use std::net::TcpListener;
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use std::net::{SocketAddrV4, TcpListener};
+    use std::os::fd::FromRawFd;
+
+    const AF_INET: i32 = 2;
+    const SOCK_STREAM: i32 = 1;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+    const BACKLOG: i32 = 128;
+
+    /// `struct sockaddr_in` (Linux layout; ports and addresses are
+    /// big-endian on the wire).
+    #[repr(C)]
+    struct SockaddrIn {
+        sin_family: u16,
+        sin_port: u16,
+        sin_addr: u32,
+        sin_zero: [u8; 8],
+    }
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const i32, len: u32) -> i32;
+        fn bind(fd: i32, addr: *const SockaddrIn, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    pub fn bind_reuseaddr(addr: SocketAddrV4) -> std::io::Result<TcpListener> {
+        unsafe {
+            let fd = socket(AF_INET, SOCK_STREAM, 0);
+            if fd < 0 {
+                return Err(std::io::Error::last_os_error());
+            }
+            let fail = |fd: i32| {
+                let e = std::io::Error::last_os_error();
+                close(fd);
+                Err(e)
+            };
+            let one: i32 = 1;
+            let one_len = core::mem::size_of::<i32>() as u32;
+            if setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, one_len) != 0 {
+                return fail(fd);
+            }
+            let sockaddr = SockaddrIn {
+                sin_family: AF_INET as u16,
+                sin_port: addr.port().to_be(),
+                sin_addr: u32::from(*addr.ip()).to_be(),
+                sin_zero: [0; 8],
+            };
+            let len = core::mem::size_of::<SockaddrIn>() as u32;
+            if bind(fd, &sockaddr, len) != 0 {
+                return fail(fd);
+            }
+            if listen(fd, BACKLOG) != 0 {
+                return fail(fd);
+            }
+            // The fd is a bound, listening TCP socket — exactly the
+            // state `TcpListener` expects to own.
+            Ok(TcpListener::from_raw_fd(fd))
+        }
+    }
+}
+
+/// Binds a listener like [`TcpListener::bind`], additionally setting
+/// `SO_REUSEADDR` so a restarted server can rebind its port while the
+/// previous incarnation's connections sit in `TIME_WAIT`.
+///
+/// # Errors
+///
+/// Any socket/bind/listen failure, as [`std::io::Error`] — the same
+/// errors (`EADDRINUSE`, `EACCES`, …) the std bind surfaces.
+pub fn bind_listener(addr: &str) -> std::io::Result<TcpListener> {
+    #[cfg(target_os = "linux")]
+    if let Ok(v4) = addr.parse::<std::net::SocketAddrV4>() {
+        return imp::bind_reuseaddr(v4);
+    }
+    TcpListener::bind(addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    #[test]
+    fn bound_listener_accepts_and_exchanges_bytes() {
+        let listener = bind_listener("127.0.0.1:0").expect("bind ephemeral");
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut stream = std::net::TcpStream::connect(addr).unwrap();
+            stream.write_all(b"ping").unwrap();
+            let mut buf = [0u8; 4];
+            stream.read_exact(&mut buf).unwrap();
+            buf
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let mut buf = [0u8; 4];
+        conn.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        conn.write_all(b"pong").unwrap();
+        assert_eq!(&client.join().unwrap(), b"pong");
+    }
+
+    #[test]
+    fn same_port_rebinds_after_an_accepted_connection() {
+        // The TIME_WAIT scenario in miniature: accept a connection, shut
+        // everything down server-side, and rebind the identical port.
+        // Without SO_REUSEADDR this intermittently fails with
+        // EADDRINUSE; with it the rebind must always succeed.
+        let listener = bind_listener("127.0.0.1:0").expect("bind ephemeral");
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut stream = std::net::TcpStream::connect(addr).unwrap();
+            let mut buf = [0u8; 1];
+            let _ = stream.read(&mut buf); // wait for server-side close
+        });
+        let (conn, _) = listener.accept().unwrap();
+        drop(conn); // server closes first: the socket enters TIME_WAIT
+        drop(listener);
+        client.join().unwrap();
+        let rebound = bind_listener(&addr.to_string())
+            .expect("rebinding the same port must not hit EADDRINUSE");
+        assert_eq!(rebound.local_addr().unwrap(), addr);
+    }
+
+    #[test]
+    fn unparsable_addresses_error_like_std_bind() {
+        assert!(bind_listener("not-an-address").is_err());
+        assert!(bind_listener("256.0.0.1:80").is_err());
+    }
+}

@@ -29,13 +29,18 @@
 
 use crate::cache::{CachedBody, LruCache};
 use crate::http::{self, Request, RequestError, Response};
-use crate::{api, signal, Error, Result};
-use cnt_fleet::{FleetConfig, HashRing, JobState, JobTable, PeerClient, RouteMode};
+use crate::{api, net, signal, Error, Result};
+use cnt_fleet::{
+    ChaosInjector, FleetConfig, FleetHealth, HashRing, JobState, JobTable, PeerClient, PeerState,
+    RetryPolicy, RouteMode, Transition,
+};
 use cnt_interconnect::experiments::format::{self, OutputFormat};
 use cnt_interconnect::experiments::{self, Experiment, Params, Report, RunContext};
 use cnt_obs::slo::{self, SloSpec};
 use cnt_obs::trace_store::{id_hex, parse_id, TraceContext, TraceRecord, TraceStore};
-use cnt_obs::{Counter, CounterVec, Gauge, Histogram, HistoryStore, MetricRegistry, Profile};
+use cnt_obs::{
+    Counter, CounterVec, Gauge, GaugeVec, Histogram, HistoryStore, MetricRegistry, Profile,
+};
 use cnt_sweep::seed::fnv1a;
 use cnt_sweep::WorkerPool;
 use std::collections::HashMap;
@@ -210,8 +215,9 @@ struct Metrics {
     write_seconds: Arc<Histogram>,
     cached_bodies: Arc<Gauge>,
     uptime_seconds: Arc<Gauge>,
-    /// `cnt_fleet_route_total{outcome="local|proxied|redirected"}`:
-    /// where each fleet-routed run request was answered from.
+    /// `cnt_fleet_route_total{outcome="local|proxied|redirected|degraded"}`:
+    /// where each fleet-routed run request was answered from (`degraded`
+    /// = computed locally only because the shard owner is Down).
     route_total: Arc<CounterVec>,
     /// `cnt_fleet_peer_fill_total{result="hit|miss|error"}`: outcomes of
     /// owner cache-fill probes issued by this instance.
@@ -326,7 +332,7 @@ impl Metrics {
         };
         // Pre-seed every label child so scrapes expose the full family
         // from the first render (validator-clean, diffable over time).
-        for outcome in ["local", "proxied", "redirected"] {
+        for outcome in ["local", "proxied", "redirected", "degraded"] {
             metrics.route_total.with(outcome);
         }
         for result in ["hit", "miss", "error"] {
@@ -364,14 +370,53 @@ struct Flight {
     done: Condvar,
 }
 
-/// A validated fleet membership: the shard table plus the two peer
-/// clients (a fast-failing one for cache-fill probes, a patient one for
-/// full proxied runs whose owner may have to compute).
+/// A validated fleet membership: the shard table, the peer clients (a
+/// fast-failing one for cache-fill probes, a patient one for full
+/// proxied runs whose owner may have to compute), and the local failure
+/// detector feeding the routing health gate.
 struct FleetState {
     config: FleetConfig,
     ring: HashRing,
     fill: PeerClient,
     proxy: PeerClient,
+    /// Chaos-free, single-shot client the background prober uses — the
+    /// backoff schedule in [`FleetHealth`] is its retry loop.
+    prober: PeerClient,
+    /// Up → Suspect → Down failure detector + re-probe schedule.
+    health: FleetHealth,
+    /// `cnt_fleet_peer_state{peer,state}`: 1 on the current state.
+    peer_state: Arc<GaugeVec>,
+    /// `cnt_fleet_probe_total{result}`: background probe outcomes.
+    probes: Arc<CounterVec>,
+    /// `cnt_fleet_peer_transitions_total{to}`: state changes observed.
+    transitions: Arc<CounterVec>,
+}
+
+impl FleetState {
+    /// Reflects a health transition into the peer-state gauges and the
+    /// transition counter.
+    fn apply_transition(&self, transition: &Transition) {
+        self.transitions.with(transition.to.label()).inc();
+        let addr = self.config.peer(transition.peer);
+        for state in PeerState::ALL {
+            let current = if state == transition.to { 1.0 } else { 0.0 };
+            self.peer_state.with(&[addr, state.label()]).set(current);
+        }
+    }
+
+    /// Feeds a hot-path transport failure into the failure detector.
+    fn record_peer_failure(&self, index: usize) {
+        if let Some(transition) = self.health.record_failure(index, Instant::now()) {
+            self.apply_transition(&transition);
+        }
+    }
+
+    /// Feeds a hot-path success (any parsed response) into the detector.
+    fn record_peer_success(&self, index: usize) {
+        if let Some(transition) = self.health.record_success(index) {
+            self.apply_transition(&transition);
+        }
+    }
 }
 
 /// State shared between the accept loop and the pool workers.
@@ -517,7 +562,10 @@ impl Server {
             + Sync
             + 'static,
     {
-        let listener = TcpListener::bind(&config.addr).map_err(|e| Error::io("bind", e))?;
+        // SO_REUSEADDR bind: a restarted instance (crash recovery, the
+        // chaos smoke's SIGKILL) retakes its fleet port immediately
+        // instead of waiting out TIME_WAIT.
+        let listener = net::bind_listener(&config.addr).map_err(|e| Error::io("bind", e))?;
         let local_addr = listener
             .local_addr()
             .map_err(|e| Error::io("local_addr", e))?;
@@ -577,10 +625,72 @@ impl Server {
         fleet
             .validate()
             .map_err(|message| Error::Config { message })?;
+        if self.shared.fleet.get().is_some() {
+            return Err(Error::Config {
+                message: "fleet topology already configured".to_string(),
+            });
+        }
+        let chaos = fleet
+            .chaos
+            .filter(|c| c.is_active())
+            .map(|c| Arc::new(ChaosInjector::new(c)));
+        // Fleet-only metric families, registered on the per-server
+        // registry at join time so a single-instance scrape stays
+        // byte-identical to the pre-fleet exposition.
+        let registry = &self.shared.metrics.registry;
+        let peer_state = registry.gauge_vec(
+            "cnt_fleet_peer_state",
+            "peer membership state as seen by this instance (1 = current state)",
+            &["peer", "state"],
+        );
+        let probes = registry.counter_vec(
+            "cnt_fleet_probe_total",
+            "background health probes of Down peers, by outcome",
+            "result",
+            false,
+        );
+        let transitions = registry.counter_vec(
+            "cnt_fleet_peer_transitions_total",
+            "peer state transitions observed by this instance, by new state",
+            "to",
+            false,
+        );
+        for result in ["ok", "error"] {
+            probes.with(result);
+        }
+        for state in PeerState::ALL {
+            transitions.with(state.label());
+        }
+        for addr in &fleet.peers {
+            for state in PeerState::ALL {
+                let seed = if state == PeerState::Up { 1.0 } else { 0.0 };
+                peer_state.with(&[addr, state.label()]).set(seed);
+            }
+        }
+        // One connection pool per instance: the fill and proxy clients
+        // keep their own deadlines and retry ladders but share parked
+        // sockets, so a relayed request leaves one keep-alive connection
+        // on the owner — not one per client, each pinning a peer worker.
+        let fill =
+            PeerClient::new(fleet.connect_timeout, fleet.fill_timeout).with_chaos(chaos.clone());
+        let proxy = PeerClient::new(fleet.connect_timeout, fleet.proxy_timeout)
+            .with_chaos(chaos)
+            .sharing_pool_of(&fill);
         let state = FleetState {
             ring: HashRing::new(&fleet.peers),
-            fill: PeerClient::new(fleet.connect_timeout, fleet.fill_timeout),
-            proxy: PeerClient::new(fleet.connect_timeout, fleet.proxy_timeout),
+            fill,
+            proxy,
+            // The prober stays chaos-free: chaos models a sick request
+            // path, and the prober is the recovery mechanism under test.
+            // It closes its connections — a rare off-path probe must not
+            // park a socket (= pin a worker) on a freshly revived peer.
+            prober: PeerClient::new(fleet.connect_timeout, fleet.fill_timeout)
+                .with_retry(RetryPolicy::one_shot())
+                .with_connection_close(),
+            health: FleetHealth::new(fleet.peers.len(), fleet.self_index, fleet.health),
+            peer_state,
+            probes,
+            transitions,
             config: fleet,
         };
         self.shared.fleet.set(state).map_err(|_| Error::Config {
@@ -636,6 +746,32 @@ impl Server {
                 }
             })
         };
+        // The re-probe loop (fleet mode only): while any peer is Down,
+        // check it off the hot path on its jittered backoff schedule and
+        // restore it to Up on the first healthy answer.
+        let prober_stop = Arc::new(AtomicBool::new(false));
+        let prober = self.shared.fleet.get().map(|_| {
+            let shared = Arc::clone(&self.shared);
+            let stop = Arc::clone(&prober_stop);
+            std::thread::spawn(move || {
+                let fleet = shared.fleet.get().expect("prober spawned with a fleet");
+                while !stop.load(Ordering::SeqCst) {
+                    for index in fleet.health.due_probes(Instant::now()) {
+                        let addr = fleet.config.peer(index);
+                        match fleet.prober.get(addr, "/v1/healthz") {
+                            Ok(response) if response.status == 200 => {
+                                fleet.probes.with("ok").inc();
+                                if let Some(t) = fleet.health.probe_succeeded(index) {
+                                    fleet.apply_transition(&t);
+                                }
+                            }
+                            _ => fleet.probes.with("error").inc(),
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+            })
+        });
         loop {
             if self.stop.load(Ordering::SeqCst)
                 || (self.config.watch_signals && signal::triggered())
@@ -656,6 +792,10 @@ impl Server {
         self.pool.shutdown();
         scraper_stop.store(true, Ordering::SeqCst);
         let _ = scraper.join();
+        prober_stop.store(true, Ordering::SeqCst);
+        if let Some(prober) = prober {
+            let _ = prober.join();
+        }
         Ok(())
     }
 
@@ -702,7 +842,10 @@ impl Server {
                         self.shared.metrics.rejected.inc();
                         (
                             Response {
-                                retry_after: Some(1),
+                                retry_after: Some(retry_after_hint(
+                                    self.shared.pool.queued(),
+                                    self.shared.workers,
+                                )),
                                 ..Response::json(503, api::busy_json("request queue"))
                             },
                             "-",
@@ -1262,6 +1405,13 @@ fn fleet_route(
         shared.metrics.route_total.with("local").inc();
         return None;
     }
+    // Health gate: a Down owner is skipped without a probe — the request
+    // degrades to local compute at zero added latency while the
+    // background prober watches for recovery off the hot path.
+    if !fleet.health.is_routable(owner) {
+        shared.metrics.route_total.with("degraded").inc();
+        return None;
+    }
     let owner_addr = fleet.config.peer(owner);
     // Context propagation: the owner adopts our trace (we become the
     // parent span) and our request id, so its access log and trace
@@ -1290,11 +1440,13 @@ fn fleet_route(
                 &hop_headers,
             ) {
                 Ok(peer) if peer.status == 200 => {
+                    fleet.record_peer_success(owner);
                     shared.metrics.peer_fill.with("hit").inc();
                     shared.metrics.route_total.with("proxied").inc();
                     Some(peer_response(&peer))
                 }
                 Ok(_) => {
+                    fleet.record_peer_success(owner);
                     shared.metrics.peer_fill.with("miss").inc();
                     let body = core::str::from_utf8(&request.body).unwrap_or("");
                     match fleet.proxy.post_with(
@@ -1305,21 +1457,28 @@ fn fleet_route(
                         &hop_headers,
                     ) {
                         Ok(peer) => {
+                            fleet.record_peer_success(owner);
                             shared.metrics.route_total.with("proxied").inc();
                             Some(peer_response(&peer))
                         }
-                        Err(_) => {
+                        Err(e) => {
                             // Owner died between probe and proxy:
                             // degrade to computing locally.
+                            if e.is_transport() {
+                                fleet.record_peer_failure(owner);
+                            }
                             shared.metrics.route_total.with("local").inc();
                             None
                         }
                     }
                 }
-                Err(_) => {
+                Err(e) => {
                     // Dead or stalled owner: the fill client already
                     // timed out fast (and closed its sockets); answer
                     // from here like a single instance would.
+                    if e.is_transport() {
+                        fleet.record_peer_failure(owner);
+                    }
                     shared.metrics.peer_fill.with("error").inc();
                     shared.metrics.route_total.with("local").inc();
                     None
@@ -1388,6 +1547,9 @@ fn trace_route(hex: &str, shared: &Arc<Shared>) -> Response {
         for (index, peer) in fleet.config.peers.iter().enumerate() {
             if index == fleet.config.self_index {
                 continue;
+            }
+            if !fleet.health.is_routable(index) {
+                continue; // a Down peer would only add a timeout
             }
             if let Ok(response) = fleet.fill.get(peer, &path) {
                 if response.status == 200 {
@@ -1533,7 +1695,7 @@ fn sweep_job_route(
     let rid = shared.next_request_id();
     let Ok(job) = shared.jobs.create(&rid, id) else {
         return Response {
-            retry_after: Some(1),
+            retry_after: Some(retry_after_hint(shared.jobs.pending(), shared.workers)),
             ..Response::json(503, api::busy_json("job table"))
         };
     };
@@ -1606,7 +1768,7 @@ fn sweep_job_route(
         // cannot sit `queued` forever, and shed like any other overload.
         shared.jobs.remove(&rid);
         return Response {
-            retry_after: Some(1),
+            retry_after: Some(retry_after_hint(shared.pool.queued(), shared.workers)),
             ..Response::json(503, api::busy_json("request queue"))
         };
     }
@@ -1669,6 +1831,13 @@ fn job_result_route(rid: &str, shared: &Arc<Shared>) -> Response {
     }
 }
 
+/// Backpressure hint for `Retry-After`: scales with how much work is
+/// already pending relative to the parallelism draining it, clamped to
+/// `[1, 30]` seconds. An empty shed (capacity 0) still hints 1 s.
+fn retry_after_hint(pending: usize, drain: usize) -> u32 {
+    pending.div_ceil(drain.max(1)).clamp(1, 30) as u32
+}
+
 /// The canonical request hash: experiment id, rendering format, and the
 /// resolved parameter point — the same FNV-1a content-hash family the
 /// on-disk sweep cache keys with.
@@ -1683,12 +1852,14 @@ fn request_key(id: &str, format: OutputFormat, params: &Params) -> u64 {
 }
 
 /// The `/v1/healthz` body: liveness plus the scheduler counters, read
-/// straight from the same registry `/v1/metrics` renders.
+/// straight from the same registry `/v1/metrics` renders. In fleet mode
+/// a `fleet` section reports this instance's membership view — every
+/// peer's health state and consecutive-failure streak.
 fn healthz_json(shared: &Shared) -> String {
     let m = &shared.metrics;
     let cached = shared.cache.lock().expect("cache poisoned").len();
-    format!(
-        "{{\"status\":\"ok\",\"experiments\":{},\"workers\":{},\"queue_capacity\":{},\"cached_bodies\":{},\"requests\":{},\"runs\":{},\"cache_hits\":{},\"coalesced\":{},\"rejected\":{},\"jobs_pending\":{}}}\n",
+    let mut body = format!(
+        "{{\"status\":\"ok\",\"experiments\":{},\"workers\":{},\"queue_capacity\":{},\"cached_bodies\":{},\"requests\":{},\"runs\":{},\"cache_hits\":{},\"coalesced\":{},\"rejected\":{},\"jobs_pending\":{}",
         experiments::catalog().count(),
         shared.workers,
         shared.queue_capacity,
@@ -1699,7 +1870,30 @@ fn healthz_json(shared: &Shared) -> String {
         m.coalesced.get(),
         m.rejected.get(),
         shared.jobs.pending(),
-    )
+    );
+    if let Some(fleet) = shared.fleet.get() {
+        let mode = match fleet.config.mode {
+            RouteMode::Proxy => "proxy",
+            RouteMode::Redirect => "redirect",
+        };
+        body.push_str(&format!(
+            ",\"fleet\":{{\"self_index\":{},\"mode\":\"{mode}\",\"peers\":[",
+            fleet.config.self_index
+        ));
+        for (index, (state, failures)) in fleet.health.snapshot().into_iter().enumerate() {
+            if index > 0 {
+                body.push(',');
+            }
+            body.push_str(&format!(
+                "{{\"addr\":\"{}\",\"state\":\"{}\",\"consecutive_failures\":{failures}}}",
+                fleet.config.peer(index),
+                state.label(),
+            ));
+        }
+        body.push_str("]}");
+    }
+    body.push_str("}\n");
+    body
 }
 
 /// The `GET /v1/metrics` body: the per-server registry (legacy
@@ -1750,6 +1944,16 @@ mod tests {
         let sets = vec![("nc".to_string(), "6".to_string())];
         let (_, moved) = experiments::resolve_context("fig12", None, &sets).unwrap();
         assert_ne!(a, request_key("fig12", OutputFormat::Json, &moved.params));
+    }
+
+    #[test]
+    fn retry_after_scales_with_pending_depth() {
+        assert_eq!(retry_after_hint(0, 4), 1);
+        assert_eq!(retry_after_hint(1, 1), 1);
+        assert_eq!(retry_after_hint(8, 4), 2);
+        assert_eq!(retry_after_hint(64, 4), 16);
+        assert_eq!(retry_after_hint(10_000, 4), 30, "hint is capped");
+        assert_eq!(retry_after_hint(5, 0), 5, "zero drain is guarded");
     }
 
     #[test]
