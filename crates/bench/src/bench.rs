@@ -412,6 +412,11 @@ pub fn kernels() -> Vec<Kernel> {
             title: "cnt-fleet degraded round-trip (owner Down, local fallback)",
             run: bench_fleet_degraded,
         },
+        Kernel {
+            id: "serve.sweep_fanout",
+            title: "cnt-serve async sweep fan-out, submit→result (chunk-cache-hot, 2 instances)",
+            run: bench_sweep_fanout,
+        },
     ]
 }
 
@@ -892,6 +897,140 @@ fn bench_fleet_degraded(cfg: &KernelCfg) -> KernelRun {
     let samples = time_iterations(warmup, iters, exchange);
     handle.shutdown();
     serving.join().expect("server thread");
+    KernelRun::timed(samples)
+}
+
+fn bench_sweep_fanout(cfg: &KernelCfg) -> KernelRun {
+    let (warmup, iters) = budget(cfg);
+    let bind = |_| {
+        cnt_serve::Server::bind(cnt_serve::Config {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 64,
+            cache_capacity: 64,
+            jobs_capacity: 1 << 16,
+            ..cnt_serve::Config::default()
+        })
+        .expect("bind ephemeral port")
+    };
+    let servers: Vec<_> = (0..2).map(bind).collect();
+    let peers: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+    for (index, server) in servers.iter().enumerate() {
+        server
+            .enable_fleet(cnt_serve::FleetConfig::new(peers.clone(), index))
+            .expect("join fleet");
+    }
+    let front = servers[0].local_addr();
+    let mut handles = Vec::new();
+    let mut serving = Vec::new();
+    for server in servers {
+        handles.push(server.handle());
+        serving.push(std::thread::spawn(move || {
+            server.serve().expect("serve");
+        }));
+    }
+
+    // One keep-alive exchange; returns (status, body). The submit+poll
+    // cycle outlives the server's per-connection request cap, so the
+    // connection re-dials transparently whenever the server closes it
+    // (every request here is safe to retry: polls are idempotent and a
+    // capped connection dies *after* the previous response).
+    let mut conn: Option<(std::net::TcpStream, BufReader<std::net::TcpStream>)> = None;
+    let mut exchange = move |method: &str, path: &str, body: &str| -> (u16, String) {
+        loop {
+            if conn.is_none() {
+                let stream = std::net::TcpStream::connect(front).expect("connect");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(30)))
+                    .expect("timeout");
+                stream.set_nodelay(true).expect("nodelay");
+                let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+                conn = Some((stream, reader));
+            }
+            let (writer, reader) = conn.as_mut().expect("connected");
+            let sent = write!(
+                writer,
+                "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n{body}",
+                body.len()
+            )
+            .and_then(|()| writer.flush());
+            if sent.is_err() {
+                conn = None;
+                continue;
+            }
+            let mut status = None;
+            let mut content_length = None;
+            let mut closing = false;
+            let mut eof = false;
+            loop {
+                let mut line = String::new();
+                if reader.read_line(&mut line).expect("read head") == 0 {
+                    eof = true;
+                    break;
+                }
+                if status.is_none() {
+                    status = line.split(' ').nth(1).and_then(|s| s.parse::<u16>().ok());
+                }
+                if line == "\r\n" || line == "\n" {
+                    break;
+                }
+                let lower = line.to_ascii_lowercase();
+                if let Some(v) = lower.strip_prefix("content-length:").map(str::trim) {
+                    content_length = v.parse::<usize>().ok();
+                }
+                if lower.starts_with("connection:") && lower.contains("close") {
+                    closing = true;
+                }
+            }
+            if eof {
+                conn = None;
+                continue;
+            }
+            let mut body = vec![0u8; content_length.expect("framed response")];
+            reader.read_exact(&mut body).expect("read body");
+            if closing {
+                conn = None;
+            }
+            return (
+                status.expect("status line"),
+                String::from_utf8(body).expect("UTF-8 body"),
+            );
+        }
+    };
+    // Each iteration is the full async contract: submit the sweep, then
+    // poll the result route until the merged report lands. The warmup
+    // iteration populates both instances' chunk stores, so the timed
+    // iterations measure fan-out coordination (journal-free submit,
+    // chunk claims, store recalls, merge + render) rather than physics.
+    let submit_body = "{\"params\": {\"trials\": 16, \"cache_dir\": \"\"}}";
+    let samples = time_iterations(warmup.max(1), iters, move || {
+        let (status, submit) = exchange("POST", "/v1/sweeps/fig12", submit_body);
+        assert_eq!(status, 202, "{submit}");
+        let rid = submit
+            .split("\"job\":\"")
+            .nth(1)
+            .and_then(|tail| tail.split('"').next())
+            .expect("job id")
+            .to_string();
+        let path = format!("/v1/jobs/{rid}/result");
+        loop {
+            let (status, body) = exchange("GET", &path, "");
+            match status {
+                200 => {
+                    black_box(body);
+                    break;
+                }
+                202 => {}
+                other => panic!("unexpected result status {other}: {body}"),
+            }
+        }
+    });
+    for handle in handles {
+        handle.shutdown();
+    }
+    for thread in serving {
+        thread.join().expect("server thread");
+    }
     KernelRun::timed(samples)
 }
 

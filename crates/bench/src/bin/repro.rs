@@ -27,7 +27,10 @@
 //!                         --fleet A1,A2 --self-index K the instance
 //!                         joins a consistent-hash fleet (cnt-fleet);
 //!                         --jobs/--job-ttl size the async job table
-//!                         behind POST /v1/sweeps/{id}; --chaos SPEC
+//!                         behind POST /v1/sweeps/{id}; --data-dir DIR
+//!                         makes jobs crash-durable (append-only journal
+//!                         + chunk cache + spilled result bodies, all
+//!                         replayed on restart); --chaos SPEC
 //!                         (e.g. "seed=7,refuse=0.2,latency=0.1")
 //!                         injects deterministic faults on outbound
 //!                         peer hops for fault-tolerance testing
@@ -89,8 +92,8 @@ fn usage() {
     eprintln!(
         "                   [--chaos seed=S,refuse=P,hang=P,truncate=P,latency=P,latency_ms=N]"
     );
-    eprintln!("                   [--jobs N] [--job-ttl SECS] [--access-log text|json]");
-    eprintln!("                   [--history-interval SECS]");
+    eprintln!("                   [--jobs N] [--job-ttl SECS] [--data-dir DIR]");
+    eprintln!("                   [--access-log text|json] [--history-interval SECS]");
     eprintln!("       repro cache gc [--max-bytes N] [--max-age SECS] [--cache-dir DIR]");
     eprintln!("       repro bench [--quick] [--filter SUBSTR] [--format text|json]");
     eprintln!("                   [--threads N] [--iters N] [--out PATH | --no-out]");
@@ -807,6 +810,10 @@ fn run_serve_command(args: &[String]) -> ExitCode {
             },
             "--job-ttl" => match parse_count("--job-ttl", take("--job-ttl", it.next())) {
                 Ok(secs) => config.job_ttl = std::time::Duration::from_secs(secs as u64),
+                Err(e) => return fail(&e),
+            },
+            "--data-dir" => match take("--data-dir", it.next()) {
+                Ok(dir) => config.data_dir = Some(std::path::PathBuf::from(dir)),
                 Err(e) => return fail(&e),
             },
             "--history-interval" => match take("--history-interval", it.next()) {

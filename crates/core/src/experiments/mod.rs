@@ -136,6 +136,102 @@ pub fn run_sweep(id: &str, opts: &SweepOpts) -> Result<SweepRun> {
     sweep.run_sweep(&ctx)
 }
 
+/// A sweep experiment opened up for chunked (fleet-distributed)
+/// execution: the one definition behind `repro sweep` split at a
+/// job-range seam.
+///
+/// The contract: `run_range(lo, hi)` returns one `Vec<f64>` per job of
+/// the contiguous global-index range `lo..hi`; concatenating every
+/// chunk's rows in index order and calling [`ChunkableSweep::finish`]
+/// yields a [`SweepRun`] whose report is **byte-identical** to the
+/// single-instance run, because per-job generators are seeded by global
+/// job index. [`ChunkableSweep::chunk_key`] gives each chunk a
+/// content-hash cache identity so a crashed coordinator can recall
+/// completed chunks from a `cnt_sweep::ResultStore` instead of
+/// recomputing them.
+pub struct ChunkableSweep {
+    kernel: sweep_figs::SweepKernel,
+}
+
+impl ChunkableSweep {
+    /// Number of flattened jobs; chunks partition `0..jobs()`.
+    pub fn jobs(&self) -> usize {
+        self.kernel.jobs()
+    }
+
+    /// The plan's content hash — coordinator and chunk workers compare
+    /// fingerprints before trusting each other's job indices.
+    pub fn fingerprint(&self) -> u64 {
+        self.kernel.fingerprint()
+    }
+
+    /// Resolved worker thread count for this context.
+    pub fn threads(&self) -> usize {
+        self.kernel.threads()
+    }
+
+    /// The cache identity of one chunk's per-job rows.
+    pub fn chunk_key(&self, lo: usize, hi: usize) -> cnt_sweep::CacheKey {
+        self.kernel.chunk_key(lo, hi)
+    }
+
+    /// Column names of per-job rows (the final table's schema); chunk
+    /// tables exchanged between instances carry these columns.
+    pub fn columns(&self) -> Vec<String> {
+        self.kernel.columns()
+    }
+
+    /// Runs jobs `lo..hi`, returning one row per job.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors; an empty or out-of-bounds range is an
+    /// invalid-parameter error.
+    pub fn run_range(&self, lo: usize, hi: usize) -> Result<Vec<Vec<f64>>> {
+        self.kernel.run_range(lo, hi)
+    }
+
+    /// Probes the full-table result cache; `Some` recalls a finished run.
+    pub fn cached_run(&self) -> Option<SweepRun> {
+        self.kernel.cached_run()
+    }
+
+    /// Reduces the full per-job concatenation into the final report,
+    /// storing the table under the same cache key a local run would use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reduce and store errors.
+    pub fn finish(&self, per_job: Vec<Vec<f64>>) -> Result<SweepRun> {
+        self.kernel.finish(per_job)
+    }
+
+    /// The classic single-instance path (cache probe → run → reduce).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors.
+    pub fn run_local(&self) -> Result<SweepRun> {
+        self.kernel.run_local()
+    }
+}
+
+/// Opens a sweep id for chunked execution at the parameter point `ctx`
+/// (built by [`resolve_context`] — the same validation gate as every
+/// other entry).
+///
+/// # Errors
+///
+/// Returns [`crate::Error::UnknownExperiment`] for an unknown id and
+/// [`crate::Error::Layer`] when the experiment has no sweep variant, like
+/// [`sweep_variant`]; propagates kernel construction errors.
+pub fn chunkable_sweep(id: &str, ctx: &RunContext) -> Result<ChunkableSweep> {
+    sweep_variant(id)?;
+    let kernel = sweep_figs::kernel_for(id, ctx)
+        .unwrap_or_else(|| panic!("sweep id '{id}' passed sweep_variant but has no kernel"))?;
+    Ok(ChunkableSweep { kernel })
+}
+
 /// Resolves an experiment and its sweep variant (the one gate both the
 /// library dispatcher and the CLI use).
 ///

@@ -12,7 +12,13 @@
 //! * **cacheable** — the result table is stored under a content hash of
 //!   the plan, seed, and trial count, so repeat runs are lookups (pass a
 //!   cache directory via [`SweepOpts::cache_dir`] to persist across
-//!   processes).
+//!   processes);
+//! * **chunkable** — each sweep is defined once as a [`SweepKernel`]
+//!   (plan + per-job map + cross-job reduce + report annotation), and
+//!   because per-job generators are seeded by *global* job index, any
+//!   contiguous partition of the job range merges back byte-identical to
+//!   the single-instance run. The fleet's distributed-sweep coordinator
+//!   executes through exactly this definition.
 
 use super::params::{ParamSpec, RunContext};
 use super::registry::Entry;
@@ -25,9 +31,10 @@ use cnt_process::variability::{sample_one_device, DevicePopulation, DopingState}
 use cnt_process::wafer::WaferMap;
 use cnt_reliability::layout::TestStructure;
 use cnt_reliability::wafer_char::{characterize_wafer, WaferCharSetup};
-use cnt_sweep::{Axis, CacheKey, Executor, ResultStore, Summary, SweepPlan, Table};
+use cnt_sweep::{Axis, CacheKey, Executor, Job, ResultStore, Summary, SweepPlan, Table};
 use cnt_units::rand_ext;
 use cnt_units::si::{Length, Temperature, Time};
+use rand::rngs::StdRng;
 use rand::Rng;
 use std::path::PathBuf;
 
@@ -141,6 +148,176 @@ fn provenance_note(rep: &mut Report, opts: &SweepOpts, jobs: usize) {
     ));
 }
 
+// --- the chunkable sweep kernel -----------------------------------------
+
+type JobFn = Box<dyn Fn(&Job, &mut StdRng) -> Result<Vec<f64>> + Send + Sync>;
+type FinalizeFn = Box<dyn Fn(Vec<Vec<f64>>) -> Result<Vec<Vec<f64>>> + Send + Sync>;
+type RenderFn = Box<dyn Fn(&Table) -> Report + Send + Sync>;
+
+/// One sweep experiment decomposed into the pieces chunked execution
+/// needs: the flattened plan, the cache salt, the per-job map (one
+/// `Vec<f64>` per job), the cross-job reduce, and the report annotation
+/// step.
+///
+/// [`SweepKernel::run_local`] is the classic single-process path every
+/// `repro sweep` takes; [`SweepKernel::run_range`] +
+/// [`SweepKernel::finish`] are the same computation split at a job-range
+/// seam for the fleet's distributed coordinator. Per-job generators are
+/// seeded by **global** job index (see `cnt_sweep::Executor::run_range`),
+/// so the two paths are byte-identical by construction — the tests below
+/// pin it.
+pub(super) struct SweepKernel {
+    id: &'static str,
+    plan: SweepPlan,
+    opts: SweepOpts,
+    salt_extra: String,
+    columns: Vec<&'static str>,
+    job: JobFn,
+    finalize: FinalizeFn,
+    render: RenderFn,
+}
+
+impl SweepKernel {
+    /// Number of flattened jobs (the chunkable range is `0..jobs()`).
+    pub(super) fn jobs(&self) -> usize {
+        self.plan.len()
+    }
+
+    /// The plan's content hash: a coordinator and its chunk workers
+    /// compare fingerprints before trusting each other's ranges.
+    pub(super) fn fingerprint(&self) -> u64 {
+        self.plan.fingerprint()
+    }
+
+    /// Resolved worker count.
+    pub(super) fn threads(&self) -> usize {
+        Executor::new(self.opts.threads).threads()
+    }
+
+    fn salt(&self) -> String {
+        let mut salt = format!(
+            "{SWEEP_SALT_VERSION}/{}/trials={}",
+            self.id, self.opts.trials
+        );
+        if !self.salt_extra.is_empty() {
+            salt.push('/');
+            salt.push_str(&self.salt_extra);
+        }
+        salt
+    }
+
+    fn store(&self) -> ResultStore {
+        match &self.opts.cache_dir {
+            Some(dir) => ResultStore::on_disk(dir),
+            None => ResultStore::in_memory(),
+        }
+    }
+
+    /// Column names of the per-job rows (the final table's schema) —
+    /// chunk tables stored by a fleet coordinator reuse them so every
+    /// cached artefact decodes under the same width check.
+    pub(super) fn columns(&self) -> Vec<String> {
+        self.columns.iter().map(|c| c.to_string()).collect()
+    }
+
+    /// The content-hash identity of one chunk's per-job rows: the full
+    /// table's salt extended with the job range. A crashed coordinator
+    /// replaying its journal re-derives the same keys and recalls
+    /// completed chunks from the store instead of recomputing them.
+    pub(super) fn chunk_key(&self, lo: usize, hi: usize) -> CacheKey {
+        CacheKey::derive(
+            &self.plan,
+            self.opts.seed,
+            &format!("{}/chunk={lo}..{hi}", self.salt()),
+        )
+    }
+
+    /// Runs the contiguous job range `lo..hi`, returning one row per job.
+    pub(super) fn run_range(&self, lo: usize, hi: usize) -> Result<Vec<Vec<f64>>> {
+        Ok(Executor::new(self.opts.threads).run_range(
+            &self.plan,
+            self.opts.seed,
+            lo..hi,
+            |job, rng| (self.job)(job, rng),
+        )?)
+    }
+
+    /// Probes the full-table cache: `Some` recalls a finished run without
+    /// touching the executor.
+    pub(super) fn cached_run(&self) -> Option<SweepRun> {
+        let key = CacheKey::derive(&self.plan, self.opts.seed, &self.salt());
+        let table = self.store().get(&key)?;
+        Some(SweepRun {
+            report: (self.render)(&table),
+            cache_hit: true,
+            jobs: self.plan.len(),
+            threads: self.threads(),
+        })
+    }
+
+    /// Reduces per-job outputs (the full `0..jobs()` concatenation, chunk
+    /// results already merged in index order) into the final table, stores
+    /// it under the same key a local run would use, and renders the
+    /// report.
+    pub(super) fn finish(&self, per_job: Vec<Vec<f64>>) -> Result<SweepRun> {
+        let rows = (self.finalize)(per_job)?;
+        let key = CacheKey::derive(&self.plan, self.opts.seed, &self.salt());
+        let table = self.store().put(
+            &key,
+            self.columns.iter().map(|c| c.to_string()).collect(),
+            rows,
+        )?;
+        Ok(SweepRun {
+            report: (self.render)(&table),
+            cache_hit: false,
+            jobs: self.plan.len(),
+            threads: self.threads(),
+        })
+    }
+
+    /// The single-instance path: cache probe, full executor run, reduce,
+    /// store, render.
+    pub(super) fn run_local(&self) -> Result<SweepRun> {
+        let (table, hit, jobs) = cached(
+            self.id,
+            &self.plan,
+            &self.opts,
+            &self.salt_extra,
+            &self.columns,
+            |plan| {
+                let per_job =
+                    Executor::new(self.opts.threads)
+                        .run(plan, self.opts.seed, |job, rng| (self.job)(job, rng))?;
+                (self.finalize)(per_job)
+            },
+        )?;
+        Ok(SweepRun {
+            report: (self.render)(&table),
+            cache_hit: hit,
+            jobs,
+            threads: self.threads(),
+        })
+    }
+}
+
+/// Builds the kernel for a sweep id from its validated context. Covers
+/// exactly the ids of [`crate::experiments::sweep_catalog`] (pinned by
+/// test).
+pub(super) fn kernel_for(id: &str, ctx: &RunContext) -> Option<Result<SweepKernel>> {
+    let opts = ctx.sweep_opts();
+    Some(match id {
+        "fig04" => fig04_kernel(ctx),
+        "fig05" => fig05_kernel(&opts),
+        "fig06" => fill_kernel(&opts, FillVariant::Eld),
+        "fig07" => fill_kernel(&opts, FillVariant::Ecd),
+        "fig12" => fig12_kernel(&opts),
+        "fig13a" => fig13a_kernel(&opts),
+        "fig13b" => fig13b_kernel(&opts),
+        "variability" => variability_kernel(&opts),
+        _ => return None,
+    })
+}
+
 // --- fig04: growth ensemble under furnace setpoint jitter ---------------
 
 /// `repro sweep fig04`: the growth-temperature sweep as an ensemble over
@@ -150,6 +327,10 @@ fn provenance_note(rep: &mut Report, opts: &SweepOpts, jobs: usize) {
 /// the cache salt (beyond the plan fingerprint, which covers the grid
 /// values), so a moved knob is a distinct cached artefact.
 pub(super) fn sweep_fig04(ctx: &RunContext) -> Result<SweepRun> {
+    fig04_kernel(ctx)?.run_local()
+}
+
+fn fig04_kernel(ctx: &RunContext) -> Result<SweepKernel> {
     let opts = ctx.sweep_opts();
     let temp_k = ctx.f64("temp_k");
     let temps = super::process_figs::fig04_temps(temp_k);
@@ -157,7 +338,7 @@ pub(super) fn sweep_fig04(ctx: &RunContext) -> Result<SweepRun> {
     let plan = SweepPlan::new("sweep.fig04")
         .axis(Axis::grid("catalyst", &[0.0, 1.0]))
         .axis(Axis::grid("T_K", &temps_k));
-    let columns = [
+    let columns = vec![
         "catalyst",
         "T_C",
         "rate_mean_um_min",
@@ -167,81 +348,82 @@ pub(super) fn sweep_fig04(ctx: &RunContext) -> Result<SweepRun> {
         "viable_yield",
     ];
     let trials = opts.trials;
-    let threads = Executor::new(opts.threads).threads();
-    let salt_extra = format!("temp_k={temp_k}");
-    let (table, hit, jobs) = cached("fig04", &plan, &opts, &salt_extra, &columns, |plan| {
-        let rows = Executor::new(opts.threads).run(plan, opts.seed, |job, rng| {
-            let catalyst_idx = job.get("catalyst").expect("axis exists");
-            let catalyst = if catalyst_idx == 0.0 {
-                Catalyst::Cobalt
-            } else {
-                Catalyst::Iron
-            };
-            let t_nominal = job.get("T_K").expect("axis exists");
-            let mut rates = Vec::with_capacity(trials);
-            let mut dgs = Vec::with_capacity(trials);
-            let mut viable = 0usize;
-            for _ in 0..trials {
-                // Furnace setpoint control: ±3 K, truncated at ±10 K.
-                let t = rand_ext::truncated_normal(
-                    rng,
-                    t_nominal,
-                    3.0,
-                    t_nominal - 10.0,
-                    t_nominal + 10.0,
-                );
-                let run = GrowthRecipe {
-                    catalyst,
-                    temperature: Temperature::from_kelvin(t),
-                    plasma_assisted: false,
-                }
-                .simulate()?;
-                rates.push(run.growth_rate_um_per_min);
-                dgs.push(run.dg_ratio);
-                viable += usize::from(run.is_viable());
+    let job: JobFn = Box::new(move |job: &Job, rng: &mut StdRng| -> Result<Vec<f64>> {
+        let catalyst_idx = job.get("catalyst").expect("axis exists");
+        let catalyst = if catalyst_idx == 0.0 {
+            Catalyst::Cobalt
+        } else {
+            Catalyst::Iron
+        };
+        let t_nominal = job.get("T_K").expect("axis exists");
+        let mut rates = Vec::with_capacity(trials);
+        let mut dgs = Vec::with_capacity(trials);
+        let mut viable = 0usize;
+        for _ in 0..trials {
+            // Furnace setpoint control: ±3 K, truncated at ±10 K.
+            let t =
+                rand_ext::truncated_normal(rng, t_nominal, 3.0, t_nominal - 10.0, t_nominal + 10.0);
+            let run = GrowthRecipe {
+                catalyst,
+                temperature: Temperature::from_kelvin(t),
+                plasma_assisted: false,
             }
-            let rate = Summary::from_samples(&rates)?;
-            let dg = Summary::from_samples(&dgs)?;
-            Ok::<_, crate::Error>(vec![
-                catalyst_idx,
-                Temperature::from_kelvin(t_nominal).celsius(),
-                rate.mean,
-                rate.std_dev,
-                dg.mean,
-                dg.std_dev,
-                viable as f64 / trials as f64,
-            ])
-        })?;
-        Ok(rows)
-    })?;
-
-    let mut rep = Report::new(
-        "fig04",
-        "CNT growth vs temperature under furnace setpoint jitter (Co vs Fe ensemble)",
-    )
-    .with_columns(&columns);
-    for row in &table.rows {
-        rep.push_row(row.clone());
-    }
-    if let Some(budget_row) = table
-        .rows
-        .iter()
-        .find(|r| r[0] == 0.0 && (r[1] - 395.0).abs() < 0.5)
-    {
-        rep.note(format!(
-            "Co at the 395 °C probe keeps a {:.0} % viable yield under ±3 K setpoint control",
-            budget_row[6] * 100.0
-        ));
-    }
-    rep.note(format!(
-        "catalyst 0 = Co, 1 = Fe; top probe at {temp_k} K (the temp_k knob, salted into the result cache)"
-    ));
-    provenance_note(&mut rep, &opts, jobs);
-    Ok(SweepRun {
-        report: rep,
-        cache_hit: hit,
-        jobs,
-        threads,
+            .simulate()?;
+            rates.push(run.growth_rate_um_per_min);
+            dgs.push(run.dg_ratio);
+            viable += usize::from(run.is_viable());
+        }
+        let rate = Summary::from_samples(&rates)?;
+        let dg = Summary::from_samples(&dgs)?;
+        Ok(vec![
+            catalyst_idx,
+            Temperature::from_kelvin(t_nominal).celsius(),
+            rate.mean,
+            rate.std_dev,
+            dg.mean,
+            dg.std_dev,
+            viable as f64 / trials as f64,
+        ])
+    });
+    let render: RenderFn = {
+        let opts = opts.clone();
+        let columns = columns.clone();
+        let jobs = plan.len();
+        Box::new(move |table: &Table| {
+            let mut rep = Report::new(
+                "fig04",
+                "CNT growth vs temperature under furnace setpoint jitter (Co vs Fe ensemble)",
+            )
+            .with_columns(&columns);
+            for row in &table.rows {
+                rep.push_row(row.clone());
+            }
+            if let Some(budget_row) = table
+                .rows
+                .iter()
+                .find(|r| r[0] == 0.0 && (r[1] - 395.0).abs() < 0.5)
+            {
+                rep.note(format!(
+                    "Co at the 395 °C probe keeps a {:.0} % viable yield under ±3 K setpoint control",
+                    budget_row[6] * 100.0
+                ));
+            }
+            rep.note(format!(
+                "catalyst 0 = Co, 1 = Fe; top probe at {temp_k} K (the temp_k knob, salted into the result cache)"
+            ));
+            provenance_note(&mut rep, &opts, jobs);
+            rep
+        })
+    };
+    Ok(SweepKernel {
+        id: "fig04",
+        plan,
+        opts,
+        salt_extra: format!("temp_k={temp_k}"),
+        columns,
+        job,
+        finalize: Box::new(Ok),
+        render,
     })
 }
 
@@ -256,9 +438,13 @@ fn fig12_plan() -> SweepPlan {
 }
 
 pub(super) fn sweep_fig12(opts: &SweepOpts) -> Result<SweepRun> {
+    fig12_kernel(opts)?.run_local()
+}
+
+fn fig12_kernel(opts: &SweepOpts) -> Result<SweepKernel> {
     let plan = fig12_plan();
     let trials = opts.trials;
-    let columns = [
+    let columns = vec![
         "D_nm",
         "Nc",
         "L_um",
@@ -267,76 +453,87 @@ pub(super) fn sweep_fig12(opts: &SweepOpts) -> Result<SweepRun> {
         "ratio_p05",
         "ratio_p95",
     ];
-    let threads = Executor::new(opts.threads).threads();
-    let (table, hit, jobs) = cached("fig12", &plan, opts, "", &columns, |plan| {
-        let rows = Executor::new(opts.threads).run(plan, opts.seed, |job, rng| {
-            let d_nominal = job.get("D_nm").expect("axis exists");
-            let nc = job.get_usize("Nc").expect("axis exists");
-            let l = Length::from_micrometers(job.get("L_um").expect("axis exists"));
-            let mut ratios = Vec::with_capacity(trials);
-            for _ in 0..trials {
-                // CVD diameter scatter: σ(D)/D = 3 %, hard-truncated to
-                // ±15 % so every sampled tube stays in the model's domain.
-                let d_nm = rand_ext::truncated_normal(
-                    rng,
-                    d_nominal,
-                    0.03 * d_nominal,
-                    0.85 * d_nominal,
-                    1.15 * d_nominal,
-                );
-                ratios.push(delay_ratio(Length::from_nanometers(d_nm), nc, l)?);
-            }
-            let s = Summary::from_samples(&ratios)?;
-            Ok::<_, crate::Error>(vec![
+    let job: JobFn = Box::new(move |job: &Job, rng: &mut StdRng| -> Result<Vec<f64>> {
+        let d_nominal = job.get("D_nm").expect("axis exists");
+        let nc = job.get_usize("Nc").expect("axis exists");
+        let l = Length::from_micrometers(job.get("L_um").expect("axis exists"));
+        let mut ratios = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            // CVD diameter scatter: σ(D)/D = 3 %, hard-truncated to
+            // ±15 % so every sampled tube stays in the model's domain.
+            let d_nm = rand_ext::truncated_normal(
+                rng,
                 d_nominal,
-                nc as f64,
-                job.get("L_um").expect("axis exists"),
-                s.mean,
-                s.std_dev,
-                s.p05,
-                s.p95,
-            ])
-        })?;
-        Ok(rows)
-    })?;
-
-    let mut rep = Report::new(
-        "fig12",
-        "Delay ratio doped/pristine under CVD diameter scatter (Monte-Carlo)",
-    )
-    .with_columns(&columns);
-    for row in &table.rows {
-        rep.push_row(row.clone());
-    }
-    for &(d, paper) in &[(10.0, 0.10), (14.0, 0.05), (22.0, 0.02)] {
-        if let Some(row) = table
-            .rows
-            .iter()
-            .find(|r| r[0] == d && r[1] == 10.0 && r[2] == 500.0)
-        {
-            rep.note(format!(
-                "anchor D = {d} nm, L = 500 µm, Nc = 10: reduction {:.1} % ± {:.1} % (paper: {:.0} %)",
-                (1.0 - row[3]) * 100.0,
-                row[4] * 100.0,
-                paper * 100.0
-            ));
+                0.03 * d_nominal,
+                0.85 * d_nominal,
+                1.15 * d_nominal,
+            );
+            ratios.push(delay_ratio(Length::from_nanometers(d_nm), nc, l)?);
         }
-    }
-    rep.note("3 % diameter scatter leaves the paper's 10/5/2 % doping anchors intact — the benefit is a property of the mean geometry, not a knife-edge");
-    provenance_note(&mut rep, opts, jobs);
-    Ok(SweepRun {
-        report: rep,
-        cache_hit: hit,
-        jobs,
-        threads,
+        let s = Summary::from_samples(&ratios)?;
+        Ok(vec![
+            d_nominal,
+            nc as f64,
+            job.get("L_um").expect("axis exists"),
+            s.mean,
+            s.std_dev,
+            s.p05,
+            s.p95,
+        ])
+    });
+    let render: RenderFn = {
+        let opts = opts.clone();
+        let columns = columns.clone();
+        let jobs = plan.len();
+        Box::new(move |table: &Table| {
+            let mut rep = Report::new(
+                "fig12",
+                "Delay ratio doped/pristine under CVD diameter scatter (Monte-Carlo)",
+            )
+            .with_columns(&columns);
+            for row in &table.rows {
+                rep.push_row(row.clone());
+            }
+            for &(d, paper) in &[(10.0, 0.10), (14.0, 0.05), (22.0, 0.02)] {
+                if let Some(row) = table
+                    .rows
+                    .iter()
+                    .find(|r| r[0] == d && r[1] == 10.0 && r[2] == 500.0)
+                {
+                    rep.note(format!(
+                        "anchor D = {d} nm, L = 500 µm, Nc = 10: reduction {:.1} % ± {:.1} % (paper: {:.0} %)",
+                        (1.0 - row[3]) * 100.0,
+                        row[4] * 100.0,
+                        paper * 100.0
+                    ));
+                }
+            }
+            rep.note("3 % diameter scatter leaves the paper's 10/5/2 % doping anchors intact — the benefit is a property of the mean geometry, not a knife-edge");
+            provenance_note(&mut rep, &opts, jobs);
+            rep
+        })
+    };
+    Ok(SweepKernel {
+        id: "fig12",
+        plan,
+        opts: opts.clone(),
+        salt_extra: String::new(),
+        columns,
+        job,
+        finalize: Box::new(Ok),
+        render,
     })
 }
 
 // --- fig05: wafer-growth uniformity ensemble ----------------------------
 
 pub(super) fn sweep_fig05(opts: &SweepOpts) -> Result<SweepRun> {
+    fig05_kernel(opts)?.run_local()
+}
+
+fn fig05_kernel(opts: &SweepOpts) -> Result<SweepKernel> {
     let plan = SweepPlan::new("sweep.fig05").axis(Axis::trials(opts.trials));
-    let columns = [
+    let columns = vec![
         "r_band_lo",
         "r_band_hi",
         "thickness_mean",
@@ -345,19 +542,18 @@ pub(super) fn sweep_fig05(opts: &SweepOpts) -> Result<SweepRun> {
         "wafer_cv_p05",
         "wafer_cv_p95",
     ];
-    let threads = Executor::new(opts.threads).threads();
-    let (table, hit, jobs) = cached("fig05", &plan, opts, "", &columns, |plan| {
-        // One wafer per job: its own seed, its own map.
-        let per_wafer = Executor::new(opts.threads).run(plan, opts.seed, |_, rng| {
-            let map = WaferMap::generate(0.3, 121, 1.0, 0.05, 0.015, rng.gen::<u64>())?;
-            let uniformity = map.uniformity()?;
-            let mut out = vec![uniformity.cv];
-            for band in 0..5 {
-                let lo = band as f64 * 0.2;
-                out.push(map.radial_band_mean(lo, lo + 0.2).unwrap_or(f64::NAN));
-            }
-            Ok::<_, crate::Error>(out)
-        })?;
+    // One wafer per job: its own seed, its own map.
+    let job: JobFn = Box::new(|_: &Job, rng: &mut StdRng| -> Result<Vec<f64>> {
+        let map = WaferMap::generate(0.3, 121, 1.0, 0.05, 0.015, rng.gen::<u64>())?;
+        let uniformity = map.uniformity()?;
+        let mut out = vec![uniformity.cv];
+        for band in 0..5 {
+            let lo = band as f64 * 0.2;
+            out.push(map.radial_band_mean(lo, lo + 0.2).unwrap_or(f64::NAN));
+        }
+        Ok(out)
+    });
+    let finalize: FinalizeFn = Box::new(|per_wafer: Vec<Vec<f64>>| -> Result<Vec<Vec<f64>>> {
         let cvs: Vec<f64> = per_wafer.iter().map(|w| w[0]).collect();
         let cv_summary = Summary::from_samples(&cvs)?;
         let mut rows = Vec::with_capacity(5);
@@ -380,41 +576,53 @@ pub(super) fn sweep_fig05(opts: &SweepOpts) -> Result<SweepRun> {
             ]);
         }
         Ok(rows)
-    })?;
-
-    let mut rep = Report::new(
-        "fig05",
-        "300 mm wafer growth uniformity across a wafer ensemble",
-    )
-    .with_columns(&columns);
-    for row in &table.rows {
-        rep.push_row(row.clone());
-    }
-    if let Some(first) = table.rows.first() {
-        rep.note(format!(
-            "within-wafer CV across the ensemble: mean {:.2} %, p05 {:.2} %, p95 {:.2} %",
-            first[4] * 100.0,
-            first[5] * 100.0,
-            first[6] * 100.0
-        ));
-        let center = first[2];
-        let edge = table.rows.last().expect("five bands")[2];
-        rep.note(format!(
-            "radial signature is systematic, not noise: edge band {:.3} vs centre {:.3} in every wafer",
-            edge, center
-        ));
-    }
-    provenance_note(&mut rep, opts, jobs);
-    Ok(SweepRun {
-        report: rep,
-        cache_hit: hit,
-        jobs,
-        threads,
+    });
+    let render: RenderFn = {
+        let opts = opts.clone();
+        let columns = columns.clone();
+        let jobs = plan.len();
+        Box::new(move |table: &Table| {
+            let mut rep = Report::new(
+                "fig05",
+                "300 mm wafer growth uniformity across a wafer ensemble",
+            )
+            .with_columns(&columns);
+            for row in &table.rows {
+                rep.push_row(row.clone());
+            }
+            if let Some(first) = table.rows.first() {
+                rep.note(format!(
+                    "within-wafer CV across the ensemble: mean {:.2} %, p05 {:.2} %, p95 {:.2} %",
+                    first[4] * 100.0,
+                    first[5] * 100.0,
+                    first[6] * 100.0
+                ));
+                let center = first[2];
+                let edge = table.rows.last().expect("five bands")[2];
+                rep.note(format!(
+                    "radial signature is systematic, not noise: edge band {:.3} vs centre {:.3} in every wafer",
+                    edge, center
+                ));
+            }
+            provenance_note(&mut rep, &opts, jobs);
+            rep
+        })
+    };
+    Ok(SweepKernel {
+        id: "fig05",
+        plan,
+        opts: opts.clone(),
+        salt_extra: String::new(),
+        columns,
+        job,
+        finalize,
+        render,
     })
 }
 
 // --- fig06/fig07: Cu impregnation under volume-fraction scatter ---------
 
+#[derive(Clone, Copy)]
 enum FillVariant {
     /// Fig. 6: electroless, vertical carpet, no seed.
     Eld,
@@ -423,14 +631,14 @@ enum FillVariant {
 }
 
 pub(super) fn sweep_fig06(opts: &SweepOpts) -> Result<SweepRun> {
-    sweep_fill(opts, FillVariant::Eld)
+    fill_kernel(opts, FillVariant::Eld)?.run_local()
 }
 
 pub(super) fn sweep_fig07(opts: &SweepOpts) -> Result<SweepRun> {
-    sweep_fill(opts, FillVariant::Ecd)
+    fill_kernel(opts, FillVariant::Ecd)?.run_local()
 }
 
-fn sweep_fill(opts: &SweepOpts, variant: FillVariant) -> Result<SweepRun> {
+fn fill_kernel(opts: &SweepOpts, variant: FillVariant) -> Result<SweepKernel> {
     let (id, title, last_column) = match variant {
         FillVariant::Eld => (
             "fig06",
@@ -445,7 +653,7 @@ fn sweep_fill(opts: &SweepOpts, variant: FillVariant) -> Result<SweepRun> {
     };
     let plan = SweepPlan::new(format!("sweep.{id}"))
         .axis(Axis::grid("aspect_ratio", &[0.5, 1.0, 2.0, 4.0, 8.0]));
-    let columns = [
+    let columns = vec![
         "aspect_ratio",
         "fill_mean",
         "fill_sigma",
@@ -454,98 +662,109 @@ fn sweep_fill(opts: &SweepOpts, variant: FillVariant) -> Result<SweepRun> {
         last_column,
     ];
     let trials = opts.trials;
-    let threads = Executor::new(opts.threads).threads();
-    let (table, hit, jobs) = cached(id, &plan, opts, "", &columns, |plan| {
-        let rows = Executor::new(opts.threads).run(plan, opts.seed, |job, rng| {
-            let ar = job.get("aspect_ratio").expect("axis exists");
-            let mut fills = Vec::with_capacity(trials);
-            let mut voids = Vec::with_capacity(trials);
-            let mut extra = Vec::with_capacity(trials);
-            for _ in 0..trials {
-                // Carpet density control: ±2 % absolute volume fraction.
-                let vf = rand_ext::truncated_normal(rng, 0.30, 0.02, 0.10, 0.60);
-                let recipe = match variant {
-                    FillVariant::Eld => CompositeRecipe {
-                        method: DepositionMethod::Electroless,
-                        orientation: CarpetOrientation::Vertical,
-                        aspect_ratio: ar,
-                        conductive_seed: false,
-                        cnt_volume_fraction: vf,
-                    },
-                    FillVariant::Ecd => CompositeRecipe {
-                        method: DepositionMethod::Electrochemical,
-                        orientation: CarpetOrientation::Horizontal,
-                        aspect_ratio: ar,
-                        conductive_seed: true,
-                        cnt_volume_fraction: vf,
-                    },
-                };
-                let r = recipe.simulate()?;
-                fills.push(r.fill_fraction);
-                voids.push(r.void_probability);
-                extra.push(match variant {
-                    FillVariant::Eld => r.overburden_nm,
-                    FillVariant::Ecd => f64::from(u8::from(r.is_void_free())),
-                });
-            }
-            let fill = Summary::from_samples(&fills)?;
-            let void_mean = voids.iter().sum::<f64>() / voids.len() as f64;
-            let extra_mean = extra.iter().sum::<f64>() / extra.len() as f64;
-            Ok::<_, crate::Error>(vec![
-                ar,
-                fill.mean,
-                fill.std_dev,
-                fill.p05,
-                void_mean,
-                extra_mean,
-            ])
-        })?;
-        Ok(rows)
-    })?;
-
-    let mut rep = Report::new(
-        match variant {
-            FillVariant::Eld => "fig06",
-            FillVariant::Ecd => "fig07",
-        },
-        title,
-    )
-    .with_columns(&columns);
-    for row in &table.rows {
-        rep.push_row(row.clone());
-    }
-    match variant {
-        FillVariant::Eld => rep.note(
-            "ELD keeps its overburden at every aspect ratio; fill spread tracks carpet density"
-                .to_string(),
-        ),
-        FillVariant::Ecd => {
-            let min_yield = table
-                .rows
-                .iter()
-                .map(|r| r[5])
-                .fold(f64::INFINITY, f64::min);
-            rep.note(format!(
-                "ECD void-free yield under density scatter: worst aspect ratio still yields {:.1} %",
-                min_yield * 100.0
-            ));
+    let job: JobFn = Box::new(move |job: &Job, rng: &mut StdRng| -> Result<Vec<f64>> {
+        let ar = job.get("aspect_ratio").expect("axis exists");
+        let mut fills = Vec::with_capacity(trials);
+        let mut voids = Vec::with_capacity(trials);
+        let mut extra = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            // Carpet density control: ±2 % absolute volume fraction.
+            let vf = rand_ext::truncated_normal(rng, 0.30, 0.02, 0.10, 0.60);
+            let recipe = match variant {
+                FillVariant::Eld => CompositeRecipe {
+                    method: DepositionMethod::Electroless,
+                    orientation: CarpetOrientation::Vertical,
+                    aspect_ratio: ar,
+                    conductive_seed: false,
+                    cnt_volume_fraction: vf,
+                },
+                FillVariant::Ecd => CompositeRecipe {
+                    method: DepositionMethod::Electrochemical,
+                    orientation: CarpetOrientation::Horizontal,
+                    aspect_ratio: ar,
+                    conductive_seed: true,
+                    cnt_volume_fraction: vf,
+                },
+            };
+            let r = recipe.simulate()?;
+            fills.push(r.fill_fraction);
+            voids.push(r.void_probability);
+            extra.push(match variant {
+                FillVariant::Eld => r.overburden_nm,
+                FillVariant::Ecd => f64::from(u8::from(r.is_void_free())),
+            });
         }
-    }
-    provenance_note(&mut rep, opts, jobs);
-    Ok(SweepRun {
-        report: rep,
-        cache_hit: hit,
-        jobs,
-        threads,
+        let fill = Summary::from_samples(&fills)?;
+        let void_mean = voids.iter().sum::<f64>() / voids.len() as f64;
+        let extra_mean = extra.iter().sum::<f64>() / extra.len() as f64;
+        Ok(vec![
+            ar,
+            fill.mean,
+            fill.std_dev,
+            fill.p05,
+            void_mean,
+            extra_mean,
+        ])
+    });
+    let render: RenderFn = {
+        let opts = opts.clone();
+        let columns = columns.clone();
+        let jobs = plan.len();
+        Box::new(move |table: &Table| {
+            let mut rep = Report::new(
+                match variant {
+                    FillVariant::Eld => "fig06",
+                    FillVariant::Ecd => "fig07",
+                },
+                title,
+            )
+            .with_columns(&columns);
+            for row in &table.rows {
+                rep.push_row(row.clone());
+            }
+            match variant {
+                FillVariant::Eld => rep.note(
+                    "ELD keeps its overburden at every aspect ratio; fill spread tracks carpet density"
+                        .to_string(),
+                ),
+                FillVariant::Ecd => {
+                    let min_yield = table
+                        .rows
+                        .iter()
+                        .map(|r| r[5])
+                        .fold(f64::INFINITY, f64::min);
+                    rep.note(format!(
+                        "ECD void-free yield under density scatter: worst aspect ratio still yields {:.1} %",
+                        min_yield * 100.0
+                    ));
+                }
+            }
+            provenance_note(&mut rep, &opts, jobs);
+            rep
+        })
+    };
+    Ok(SweepKernel {
+        id,
+        plan,
+        opts: opts.clone(),
+        salt_extra: String::new(),
+        columns,
+        job,
+        finalize: Box::new(Ok),
+        render,
     })
 }
 
 // --- fig13a: EM-layout line resistance under film + CD variation --------
 
 pub(super) fn sweep_fig13a(opts: &SweepOpts) -> Result<SweepRun> {
+    fig13a_kernel(opts)?.run_local()
+}
+
+fn fig13a_kernel(opts: &SweepOpts) -> Result<SweepKernel> {
     let plan = SweepPlan::new("sweep.fig13a")
         .axis(Axis::grid("width_nm", &[50.0, 100.0, 200.0, 500.0, 1000.0]));
-    let columns = [
+    let columns = vec![
         "width_nm",
         "R_mean_ohm",
         "R_sigma_ohm",
@@ -553,73 +772,80 @@ pub(super) fn sweep_fig13a(opts: &SweepOpts) -> Result<SweepRun> {
         "R_p95_ohm",
     ];
     let trials = opts.trials;
-    let threads = Executor::new(opts.threads).threads();
-    let (table, hit, jobs) = cached("fig13a", &plan, opts, "", &columns, |plan| {
-        let rows = Executor::new(opts.threads).run(plan, opts.seed, |job, rng| {
-            let w_nominal = job.get("width_nm").expect("axis exists");
-            let mut resistances = Vec::with_capacity(trials);
-            for _ in 0..trials {
-                // E-beam CD control (±3 %), film thickness (±5 %) and
-                // resistivity (±3 %) variation on the Cu reference film.
-                let w = rand_ext::truncated_normal(
-                    rng,
-                    w_nominal,
-                    0.03 * w_nominal,
-                    0.7 * w_nominal,
-                    1.3 * w_nominal,
-                );
-                let t_nm = rand_ext::truncated_normal(rng, 100.0, 5.0, 70.0, 130.0);
-                let rho = rand_ext::truncated_normal(rng, 2.2e-8, 0.03 * 2.2e-8, 1.5e-8, 3.0e-8);
-                let line = TestStructure::SingleLine {
-                    width: Length::from_nanometers(w),
-                    length: Length::from_micrometers(100.0),
-                    angle_degrees: 0.0,
-                };
-                resistances.push(line.predicted_resistance(
-                    rho,
-                    Length::from_nanometers(t_nm),
-                    0.0,
+    let job: JobFn = Box::new(move |job: &Job, rng: &mut StdRng| -> Result<Vec<f64>> {
+        let w_nominal = job.get("width_nm").expect("axis exists");
+        let mut resistances = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            // E-beam CD control (±3 %), film thickness (±5 %) and
+            // resistivity (±3 %) variation on the Cu reference film.
+            let w = rand_ext::truncated_normal(
+                rng,
+                w_nominal,
+                0.03 * w_nominal,
+                0.7 * w_nominal,
+                1.3 * w_nominal,
+            );
+            let t_nm = rand_ext::truncated_normal(rng, 100.0, 5.0, 70.0, 130.0);
+            let rho = rand_ext::truncated_normal(rng, 2.2e-8, 0.03 * 2.2e-8, 1.5e-8, 3.0e-8);
+            let line = TestStructure::SingleLine {
+                width: Length::from_nanometers(w),
+                length: Length::from_micrometers(100.0),
+                angle_degrees: 0.0,
+            };
+            resistances.push(line.predicted_resistance(rho, Length::from_nanometers(t_nm), 0.0));
+        }
+        let s = Summary::from_samples(&resistances)?;
+        Ok(vec![w_nominal, s.mean, s.std_dev, s.p05, s.p95])
+    });
+    let render: RenderFn = {
+        let opts = opts.clone();
+        let columns = columns.clone();
+        let jobs = plan.len();
+        Box::new(move |table: &Table| {
+            let mut rep = Report::new(
+                "fig13a",
+                "EM layout single lines: resistance distribution under CD + film variation",
+            )
+            .with_columns(&columns);
+            for row in &table.rows {
+                rep.push_row(row.clone());
+            }
+            if let Some(first) = table.rows.first() {
+                rep.note(format!(
+                    "50 nm e-beam reference line: R = {:.0} Ω ± {:.0} Ω — the spread EM pre-screening must tolerate",
+                    first[1], first[2]
                 ));
             }
-            let s = Summary::from_samples(&resistances)?;
-            Ok::<_, crate::Error>(vec![w_nominal, s.mean, s.std_dev, s.p05, s.p95])
-        })?;
-        Ok(rows)
-    })?;
-
-    let mut rep = Report::new(
-        "fig13a",
-        "EM layout single lines: resistance distribution under CD + film variation",
-    )
-    .with_columns(&columns);
-    for row in &table.rows {
-        rep.push_row(row.clone());
-    }
-    if let Some(first) = table.rows.first() {
-        rep.note(format!(
-            "50 nm e-beam reference line: R = {:.0} Ω ± {:.0} Ω — the spread EM pre-screening must tolerate",
-            first[1], first[2]
-        ));
-    }
-    rep.note(
-        "relative spread shrinks with width: narrow lines are CD-limited, wide lines film-limited",
-    );
-    provenance_note(&mut rep, opts, jobs);
-    Ok(SweepRun {
-        report: rep,
-        cache_hit: hit,
-        jobs,
-        threads,
+            rep.note(
+                "relative spread shrinks with width: narrow lines are CD-limited, wide lines film-limited",
+            );
+            provenance_note(&mut rep, &opts, jobs);
+            rep
+        })
+    };
+    Ok(SweepKernel {
+        id: "fig13a",
+        plan,
+        opts: opts.clone(),
+        salt_extra: String::new(),
+        columns,
+        job,
+        finalize: Box::new(Ok),
+        render,
     })
 }
 
 // --- fig13b: wafer-characterization ensemble ----------------------------
 
 pub(super) fn sweep_fig13b(opts: &SweepOpts) -> Result<SweepRun> {
+    fig13b_kernel(opts)?.run_local()
+}
+
+fn fig13b_kernel(opts: &SweepOpts) -> Result<SweepKernel> {
     let plan = SweepPlan::new("sweep.fig13b")
         .axis(Axis::grid("setup", &[0.0, 1.0]))
         .axis(Axis::trials(opts.trials));
-    let columns = [
+    let columns = vec![
         "setup",
         "wafers",
         "median_R_mean",
@@ -629,34 +855,33 @@ pub(super) fn sweep_fig13b(opts: &SweepOpts) -> Result<SweepRun> {
         "ttf_p95_h",
         "em_yield_mean",
     ];
-    let threads = Executor::new(opts.threads).threads();
-    let (table, hit, jobs) = cached("fig13b", &plan, opts, "", &columns, |plan| {
-        let line = TestStructure::SingleLine {
-            width: Length::from_nanometers(100.0),
-            length: Length::from_micrometers(800.0),
-            angle_degrees: 0.0,
+    let line = TestStructure::SingleLine {
+        width: Length::from_nanometers(100.0),
+        length: Length::from_micrometers(800.0),
+        angle_degrees: 0.0,
+    };
+    let target = Time::from_hours(2000.0);
+    // One wafer characterization per job.
+    let job: JobFn = Box::new(move |job: &Job, rng: &mut StdRng| -> Result<Vec<f64>> {
+        let setup_idx = job.get_usize("setup").expect("axis exists");
+        let setup = if setup_idx == 0 {
+            WaferCharSetup::copper_reference()
+        } else {
+            WaferCharSetup::composite()
         };
-        let target = Time::from_hours(2000.0);
-        // One wafer characterization per job.
-        let per_wafer = Executor::new(opts.threads).run(plan, opts.seed, |job, rng| {
-            let setup_idx = job.get_usize("setup").expect("axis exists");
-            let setup = if setup_idx == 0 {
-                WaferCharSetup::copper_reference()
-            } else {
-                WaferCharSetup::composite()
-            };
-            let report = characterize_wafer(&setup, &line, target, rng.gen::<u64>())?;
-            Ok::<_, crate::Error>([
-                setup_idx as f64,
-                report.median_resistance,
-                report.resistance_cv,
-                report.median_ttf.hours(),
-                report.em_yield,
-            ])
-        })?;
+        let report = characterize_wafer(&setup, &line, target, rng.gen::<u64>())?;
+        Ok(vec![
+            setup_idx as f64,
+            report.median_resistance,
+            report.resistance_cv,
+            report.median_ttf.hours(),
+            report.em_yield,
+        ])
+    });
+    let finalize: FinalizeFn = Box::new(|per_wafer: Vec<Vec<f64>>| -> Result<Vec<Vec<f64>>> {
         let mut rows = Vec::with_capacity(2);
         for setup_idx in 0..2 {
-            let wafers: Vec<&[f64; 5]> = per_wafer
+            let wafers: Vec<&Vec<f64>> = per_wafer
                 .iter()
                 .filter(|w| w[0] == setup_idx as f64)
                 .collect();
@@ -675,38 +900,53 @@ pub(super) fn sweep_fig13b(opts: &SweepOpts) -> Result<SweepRun> {
             ]);
         }
         Ok(rows)
-    })?;
-
-    let mut rep = Report::new(
-        "fig13b",
-        "Wafer-characterization ensemble: Cu reference vs Cu-CNT composite",
-    )
-    .with_columns(&columns);
-    for row in &table.rows {
-        rep.push_row(row.clone());
-    }
-    if table.rows.len() == 2 {
-        let gain = table.rows[1][4] / table.rows[0][4];
-        rep.note(format!(
-            "EM lifetime gain across the ensemble: {gain:.0}× (wafer-to-wafer spread now quantified, not a single-wafer anecdote)"
-        ));
-    }
-    provenance_note(&mut rep, opts, jobs);
-    Ok(SweepRun {
-        report: rep,
-        cache_hit: hit,
-        jobs,
-        threads,
+    });
+    let render: RenderFn = {
+        let opts = opts.clone();
+        let columns = columns.clone();
+        let jobs = plan.len();
+        Box::new(move |table: &Table| {
+            let mut rep = Report::new(
+                "fig13b",
+                "Wafer-characterization ensemble: Cu reference vs Cu-CNT composite",
+            )
+            .with_columns(&columns);
+            for row in &table.rows {
+                rep.push_row(row.clone());
+            }
+            if table.rows.len() == 2 {
+                let gain = table.rows[1][4] / table.rows[0][4];
+                rep.note(format!(
+                    "EM lifetime gain across the ensemble: {gain:.0}× (wafer-to-wafer spread now quantified, not a single-wafer anecdote)"
+                ));
+            }
+            provenance_note(&mut rep, &opts, jobs);
+            rep
+        })
+    };
+    Ok(SweepKernel {
+        id: "fig13b",
+        plan,
+        opts: opts.clone(),
+        salt_extra: String::new(),
+        columns,
+        job,
+        finalize,
+        render,
     })
 }
 
 // --- variability: the Section II.A device Monte-Carlo -------------------
 
 pub(super) fn sweep_variability(opts: &SweepOpts) -> Result<SweepRun> {
+    variability_kernel(opts)?.run_local()
+}
+
+fn variability_kernel(opts: &SweepOpts) -> Result<SweepKernel> {
     let plan = SweepPlan::new("sweep.variability")
         .axis(Axis::grid("nc", &[0.0, 4.0, 6.0, 10.0]))
         .axis(Axis::trials(opts.trials));
-    let columns = [
+    let columns = vec![
         "nc",
         "devices",
         "median_kohm",
@@ -716,31 +956,30 @@ pub(super) fn sweep_variability(opts: &SweepOpts) -> Result<SweepRun> {
         "p05_kohm",
         "p95_kohm",
     ];
-    let threads = Executor::new(opts.threads).threads();
-    let (table, hit, jobs) = cached("variability", &plan, opts, "", &columns, |plan| {
-        let population = DevicePopulation::mwcnt_via_default();
-        population.validate()?;
-        // One sampled device per job.
-        let devices = Executor::new(opts.threads).run(plan, opts.seed, |job, rng| {
-            let nc = job.get_usize("nc").expect("axis exists");
-            let doping = if nc == 0 {
-                DopingState::Pristine
-            } else {
-                DopingState::Doped {
-                    channels_per_shell: nc,
-                }
-            };
-            Ok::<_, crate::Error>((
-                job.get("nc").expect("axis exists"),
-                sample_one_device(&population, doping, rng).resistance,
-            ))
-        })?;
+    let population = DevicePopulation::mwcnt_via_default();
+    population.validate()?;
+    // One sampled device per job: `[nc, resistance]`.
+    let job: JobFn = Box::new(move |job: &Job, rng: &mut StdRng| -> Result<Vec<f64>> {
+        let nc = job.get_usize("nc").expect("axis exists");
+        let doping = if nc == 0 {
+            DopingState::Pristine
+        } else {
+            DopingState::Doped {
+                channels_per_shell: nc,
+            }
+        };
+        Ok(vec![
+            job.get("nc").expect("axis exists"),
+            sample_one_device(&population, doping, rng).resistance,
+        ])
+    });
+    let finalize: FinalizeFn = Box::new(|devices: Vec<Vec<f64>>| -> Result<Vec<Vec<f64>>> {
         let mut rows = Vec::with_capacity(4);
         for &nc in &[0.0, 4.0, 6.0, 10.0] {
             let rs: Vec<f64> = devices
                 .iter()
-                .filter(|(group, _)| *group == nc)
-                .map(|(_, r)| *r)
+                .filter(|d| d[0] == nc)
+                .map(|d| d[1])
                 .collect();
             let s = Summary::from_samples(&rs)?;
             let tail = rs.iter().filter(|&&r| r > 10.0 * s.p50).count() as f64 / rs.len() as f64;
@@ -756,26 +995,37 @@ pub(super) fn sweep_variability(opts: &SweepOpts) -> Result<SweepRun> {
             ]);
         }
         Ok(rows)
-    })?;
-
-    let mut rep = Report::new("variability", VARIABILITY_TITLE).with_columns(&columns);
-    for row in &table.rows {
-        rep.push_row(row.clone());
-    }
-    if table.rows.len() == 4 {
-        let pristine_cv = table.rows[0][4];
-        let doped6_cv = table.rows[2][4];
-        rep.note(format!(
-            "doping to 6 channels/shell cuts the resistance CV from {pristine_cv:.2} to {doped6_cv:.2} — the paper's 'overcome the variability of resistance … by doping'"
-        ));
-    }
-    rep.note("nc = 0 rows are the pristine (as-grown) population; the chirality lottery drives its heavy tail");
-    provenance_note(&mut rep, opts, jobs);
-    Ok(SweepRun {
-        report: rep,
-        cache_hit: hit,
-        jobs,
-        threads,
+    });
+    let render: RenderFn = {
+        let opts = opts.clone();
+        let columns = columns.clone();
+        let jobs = plan.len();
+        Box::new(move |table: &Table| {
+            let mut rep = Report::new("variability", VARIABILITY_TITLE).with_columns(&columns);
+            for row in &table.rows {
+                rep.push_row(row.clone());
+            }
+            if table.rows.len() == 4 {
+                let pristine_cv = table.rows[0][4];
+                let doped6_cv = table.rows[2][4];
+                rep.note(format!(
+                    "doping to 6 channels/shell cuts the resistance CV from {pristine_cv:.2} to {doped6_cv:.2} — the paper's 'overcome the variability of resistance … by doping'"
+                ));
+            }
+            rep.note("nc = 0 rows are the pristine (as-grown) population; the chirality lottery drives its heavy tail");
+            provenance_note(&mut rep, &opts, jobs);
+            rep
+        })
+    };
+    Ok(SweepKernel {
+        id: "variability",
+        plan,
+        opts: opts.clone(),
+        salt_extra: String::new(),
+        columns,
+        job,
+        finalize,
+        render,
     })
 }
 
@@ -917,5 +1167,49 @@ mod tests {
         );
         // Median drops too.
         assert!(rows[2][2] < rows[0][2]);
+    }
+
+    #[test]
+    fn kernels_cover_the_sweep_catalog_and_chunks_merge_byte_identical() {
+        use crate::experiments::{chunkable_sweep, resolve_context};
+        let sets: Vec<(String, String)> = [("trials", "6"), ("threads", "2"), ("seed", "7")]
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        for id in sweep_catalog() {
+            let (_, ctx) = resolve_context(id, None, &sets).unwrap();
+            let chunked = chunkable_sweep(id, &ctx).unwrap_or_else(|e| panic!("{id}: {e}"));
+            let local = run_sweep(id, &opts(6, 2, 7)).unwrap();
+            assert_eq!(chunked.jobs(), local.jobs, "{id} job count");
+            // Execute the plan as three contiguous chunks, out of order —
+            // exactly what a fleet fan-out with re-dispatch does — then
+            // merge in index order and finish.
+            let mut ranges = cnt_sweep::chunk_ranges(chunked.jobs(), 3);
+            ranges.rotate_left(1);
+            let mut parts: Vec<(usize, Vec<Vec<f64>>)> = ranges
+                .into_iter()
+                .map(|r| {
+                    let rows = chunked.run_range(r.start, r.end).unwrap();
+                    assert_eq!(rows.len(), r.end - r.start);
+                    (r.start, rows)
+                })
+                .collect();
+            parts.sort_by_key(|(lo, _)| *lo);
+            let per_job: Vec<Vec<f64>> = parts.into_iter().flat_map(|(_, rows)| rows).collect();
+            let merged = chunked.finish(per_job).unwrap();
+            assert_eq!(
+                merged.report.render(),
+                local.report.render(),
+                "{id}: chunked merge must be byte-identical to the local run"
+            );
+            // Chunk keys are distinct from each other and the full table.
+            assert_ne!(chunked.chunk_key(0, 1).hex(), chunked.chunk_key(1, 2).hex());
+        }
+        // Non-sweep ids keep the canonical error shape.
+        let (_, ctx) = resolve_context("fig03", None, &[]).unwrap();
+        match chunkable_sweep("fig03", &ctx) {
+            Err(e) => assert!(e.to_string().contains("no sweep variant"), "{e}"),
+            Ok(_) => panic!("fig03 must not be chunkable"),
+        }
     }
 }

@@ -20,8 +20,45 @@
 
 use cnt_sweep::progress::Progress;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Where a finished job's result bytes live.
+///
+/// Small bodies stay `Inline`; servers running with a data directory
+/// spill sweep reports to disk and keep only the path + size here, so a
+/// multi-MB report costs the job table a few dozen bytes and the result
+/// route can stream it chunk-by-chunk with bounded memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobBody {
+    /// The whole rendered body, held in memory.
+    Inline(String),
+    /// The body lives in a spill file; only its location and size are
+    /// table-resident.
+    Spilled {
+        /// Spill file holding the rendered bytes.
+        path: PathBuf,
+        /// Exact byte length of the spill file (the Content-Length the
+        /// result route advertises).
+        bytes: u64,
+    },
+}
+
+impl JobBody {
+    /// Byte length of the result, wherever it lives.
+    pub fn len(&self) -> u64 {
+        match self {
+            JobBody::Inline(body) => body.len() as u64,
+            JobBody::Spilled { bytes, .. } => *bytes,
+        }
+    }
+
+    /// Whether the result is zero bytes long.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
 
 /// Where a job is in its life, plus the terminal payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,9 +71,9 @@ pub enum JobState {
     Done {
         /// Content type of the stored body.
         content_type: String,
-        /// Rendered response body, byte-identical to the synchronous
-        /// endpoint's.
-        body: String,
+        /// Rendered response body (inline or disk-spilled), byte-identical
+        /// to the synchronous endpoint's.
+        body: JobBody,
         /// When the job finished (drives TTL GC).
         finished: Instant,
     },
@@ -94,11 +131,22 @@ impl JobEntry {
         *self.state.lock().expect("job state poisoned") = JobState::Running;
     }
 
-    /// Stores the finished body and flips the job `Done`.
+    /// Stores the finished body inline and flips the job `Done`.
     pub fn complete(&self, content_type: &str, body: String) {
         *self.state.lock().expect("job state poisoned") = JobState::Done {
             content_type: content_type.to_string(),
-            body,
+            body: JobBody::Inline(body),
+            finished: Instant::now(),
+        };
+    }
+
+    /// Records a disk-spilled result and flips the job `Done`. The caller
+    /// has already written `bytes` bytes to `path`; the table keeps only
+    /// the location, so the result route streams from disk.
+    pub fn complete_spilled(&self, content_type: &str, path: PathBuf, bytes: u64) {
+        *self.state.lock().expect("job state poisoned") = JobState::Done {
+            content_type: content_type.to_string(),
+            body: JobBody::Spilled { path, bytes },
             finished: Instant::now(),
         };
     }
@@ -251,12 +299,37 @@ mod tests {
                 content_type, body, ..
             } => {
                 assert_eq!(content_type, "application/json");
-                assert_eq!(body, "{\"ok\":true}\n");
+                assert_eq!(body, JobBody::Inline("{\"ok\":true}\n".to_string()));
+                assert_eq!(body.len(), 12);
             }
             other => panic!("expected Done, got {other:?}"),
         }
         assert_eq!(table.pending(), 0, "done jobs are not pending");
         assert_eq!(table.len(), 1, "done jobs stay pollable inside the TTL");
+    }
+
+    #[test]
+    fn spilled_results_keep_only_the_location() {
+        let table = JobTable::new(4, Duration::from_secs(600));
+        let job = table.create("j1", "fig12").unwrap();
+        job.complete_spilled("text/csv", PathBuf::from("/tmp/jobs/j1.body"), 4096);
+        match table.get("j1").unwrap().state() {
+            JobState::Done {
+                content_type, body, ..
+            } => {
+                assert_eq!(content_type, "text/csv");
+                assert_eq!(body.len(), 4096);
+                assert!(!body.is_empty());
+                match body {
+                    JobBody::Spilled { path, bytes } => {
+                        assert_eq!(path, PathBuf::from("/tmp/jobs/j1.body"));
+                        assert_eq!(bytes, 4096);
+                    }
+                    other => panic!("expected Spilled, got {other:?}"),
+                }
+            }
+            other => panic!("expected Done, got {other:?}"),
+        }
     }
 
     #[test]
@@ -304,7 +377,7 @@ mod tests {
                     progress: Arc::new(Progress::new()),
                     state: Mutex::new(JobState::Done {
                         content_type: "application/json".to_string(),
-                        body: "{}\n".to_string(),
+                        body: JobBody::Inline("{}\n".to_string()),
                         finished,
                     }),
                 }),

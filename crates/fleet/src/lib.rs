@@ -15,6 +15,8 @@
 //! | [`retry`] | [`RetryPolicy`] | unified attempts/backoff/jitter policy for every peer operation |
 //! | [`chaos`] | [`ChaosInjector`] | deterministic seeded fault injection on peer-facing paths |
 //! | [`jobs`] | [`JobTable`] | bounded, TTL-GC'd registry backing the async `POST /v1/sweeps/{id}` job API |
+//! | [`fanout`] | [`ChunkBoard`] | per-chunk dispatch/steal/requeue scoreboard for fleet-wide sweep fan-out |
+//! | [`journal`] | [`journal::Journal`] | append-only checksummed job journal for crash-safe coordinators |
 //!
 //! Topology is a static ordered peer list (`--fleet "a,b,c" --self-index
 //! K`): every instance derives the identical shard table from the same
@@ -29,15 +31,18 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod fanout;
 pub mod health;
 pub mod jobs;
+pub mod journal;
 pub mod peer;
 pub mod retry;
 pub mod ring;
 
 pub use chaos::{ChaosConfig, ChaosInjector, Fault};
+pub use fanout::{ChunkBoard, ChunkClaim};
 pub use health::{FleetHealth, HealthPolicy, PeerState, Transition};
-pub use jobs::{JobEntry, JobState, JobTable};
+pub use jobs::{JobBody, JobEntry, JobState, JobTable};
 pub use peer::{PeerClient, PeerError, PeerResponse};
 pub use retry::RetryPolicy;
 pub use ring::HashRing;
@@ -96,8 +101,8 @@ impl FleetConfig {
     /// # Errors
     ///
     /// Returns a human-readable message when the peer list is empty, has
-    /// more members than shards (256), holds an empty address, or
-    /// `self_index` is out of range.
+    /// more members than shards (256), holds an empty or duplicate
+    /// address, or `self_index` is out of range.
     pub fn validate(&self) -> Result<(), String> {
         if self.peers.is_empty() {
             return Err("fleet peer list is empty".to_string());
@@ -110,6 +115,17 @@ impl FleetConfig {
         }
         if let Some(blank) = self.peers.iter().position(|p| p.trim().is_empty()) {
             return Err(format!("fleet peer #{blank} is an empty address"));
+        }
+        // Duplicate addresses would silently split one instance's shards
+        // across two ring slots (and self-probe as a "peer"): reject at
+        // startup instead of misrouting at runtime.
+        for (i, peer) in self.peers.iter().enumerate() {
+            if let Some(j) = self.peers[..i].iter().position(|p| p.trim() == peer.trim()) {
+                return Err(format!(
+                    "fleet peer #{i} duplicates peer #{j} ('{}') — every --fleet address must be unique",
+                    peer.trim()
+                ));
+            }
         }
         if self.self_index >= self.peers.len() {
             return Err(format!(
@@ -157,5 +173,19 @@ mod tests {
         assert!(blank.validate().unwrap_err().contains("peer #1"));
         let too_many = config(300, 0);
         assert!(too_many.validate().unwrap_err().contains("256"));
+    }
+
+    #[test]
+    fn duplicate_peer_addresses_are_rejected() {
+        let mut dup = config(3, 0);
+        dup.peers[2] = dup.peers[0].clone();
+        let err = dup.validate().unwrap_err();
+        assert!(err.contains("peer #2"), "{err}");
+        assert!(err.contains("duplicates peer #0"), "{err}");
+        assert!(err.contains("127.0.0.1:9000"), "{err}");
+        // Whitespace variants of the same address are still duplicates.
+        let mut padded = config(2, 0);
+        padded.peers[1] = format!(" {} ", padded.peers[0]);
+        assert!(padded.validate().is_err());
     }
 }

@@ -214,10 +214,12 @@ pub fn render_json(reports: &[SloReport]) -> String {
 }
 
 /// The serve layer's stock objectives: request p90 under 500 ms, 99%
-/// non-5xx, and fleet routing at most 25% degraded (requests computed
-/// locally only because their owner is Down), all on a 60 s fast /
-/// 300 s slow window pair. Outside fleet mode the degraded family
-/// never moves, so the third objective reads a permanent 0.0 burn.
+/// non-5xx, fleet routing at most 25% degraded (requests computed
+/// locally only because their owner is Down), and at most 5% of async
+/// sweep jobs ending `failed`, all on a 60 s fast / 300 s slow window
+/// pair. Outside fleet mode the degraded family never moves, so that
+/// objective reads a permanent 0.0 burn; likewise job-failures when no
+/// async sweeps run.
 pub fn default_serve_slos() -> Vec<SloSpec> {
     vec![
         SloSpec::new(
@@ -245,6 +247,16 @@ pub fn default_serve_slos() -> Vec<SloSpec> {
                 family: "cnt_fleet_route_total".to_string(),
                 label: "degraded".to_string(),
                 budget: 0.25,
+            },
+            60.0,
+            300.0,
+        ),
+        SloSpec::new(
+            "job-failures",
+            SloKind::LabelShare {
+                family: "cnt_serve_jobs_total".to_string(),
+                label: "failed".to_string(),
+                budget: 0.05,
             },
             60.0,
             300.0,
@@ -417,7 +429,7 @@ mod tests {
     #[test]
     fn default_serve_slos_cover_latency_availability_and_degradation() {
         let specs = default_serve_slos();
-        assert_eq!(specs.len(), 3);
+        assert_eq!(specs.len(), 4);
         assert!(specs.iter().any(|s| matches!(
             &s.kind,
             SloKind::LatencyQuantile { metric, .. } if metric == "cnt_serve_request_seconds"
@@ -430,6 +442,11 @@ mod tests {
             &s.kind,
             SloKind::LabelShare { family, label, .. }
                 if family == "cnt_fleet_route_total" && label == "degraded"
+        )));
+        assert!(specs.iter().any(|s| matches!(
+            &s.kind,
+            SloKind::LabelShare { family, label, .. }
+                if family == "cnt_serve_jobs_total" && label == "failed"
         )));
     }
 }

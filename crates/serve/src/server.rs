@@ -31,8 +31,8 @@ use crate::cache::{CachedBody, LruCache};
 use crate::http::{self, Request, RequestError, Response};
 use crate::{api, net, signal, Error, Result};
 use cnt_fleet::{
-    ChaosInjector, FleetConfig, FleetHealth, HashRing, JobState, JobTable, PeerClient, PeerState,
-    RetryPolicy, RouteMode, Transition,
+    journal, ChaosInjector, ChunkBoard, FleetConfig, FleetHealth, HashRing, JobBody, JobEntry,
+    JobState, JobTable, PeerClient, PeerState, RetryPolicy, RouteMode, Transition,
 };
 use cnt_interconnect::experiments::format::{self, OutputFormat};
 use cnt_interconnect::experiments::{self, Experiment, Params, Report, RunContext};
@@ -42,10 +42,12 @@ use cnt_obs::{
     Counter, CounterVec, Gauge, GaugeVec, Histogram, HistoryStore, MetricRegistry, Profile,
 };
 use cnt_sweep::seed::fnv1a;
-use cnt_sweep::WorkerPool;
+use cnt_sweep::{chunk_ranges, ResultStore, WorkerPool};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::ops::Range;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant, SystemTime};
@@ -122,6 +124,11 @@ pub struct Config {
     /// SLOs `GET /v1/slo` and `repro slo` evaluate against the history
     /// rings (defaults to [`cnt_obs::slo::default_serve_slos`]).
     pub slos: Vec<SloSpec>,
+    /// Durable-state root: the job journal (`journal.log`), spilled job
+    /// result bodies (`jobs/`), and the chunk result store
+    /// (`sweep-cache/`) all live under it. `None` keeps job state in
+    /// memory only — jobs do not survive a restart.
+    pub data_dir: Option<PathBuf>,
 }
 
 impl Default for Config {
@@ -142,6 +149,7 @@ impl Default for Config {
             history_points: cnt_obs::timeseries::DEFAULT_HISTORY_POINTS,
             history_interval: Duration::from_secs(1),
             slos: slo::default_serve_slos(),
+            data_dir: None,
         }
     }
 }
@@ -227,6 +235,14 @@ struct Metrics {
     jobs_total: Arc<CounterVec>,
     /// Async jobs currently queued or running.
     jobs_pending: Arc<Gauge>,
+    /// `cnt_fleet_chunks_total{outcome="local|remote|requeued|resumed"}`:
+    /// fanned-out sweep chunks by how this coordinator settled them
+    /// (`resumed` = recalled from the chunk store instead of running).
+    chunks_total: Arc<CounterVec>,
+    /// Records appended to the job journal by this instance.
+    journal_records: Arc<Counter>,
+    /// Jobs re-created from the journal at startup.
+    journal_replayed: Arc<Counter>,
     /// Trace records stored by this instance (requests + async jobs).
     trace_records: Arc<Counter>,
     /// Self-scraper passes taken into the history rings.
@@ -318,6 +334,20 @@ impl Metrics {
                 "cnt_serve_jobs_pending",
                 "async sweep jobs currently queued or running",
             ),
+            chunks_total: r.counter_vec(
+                "cnt_fleet_chunks_total",
+                "fanned-out sweep chunks by dispatch outcome",
+                "outcome",
+                false,
+            ),
+            journal_records: r.counter(
+                "cnt_serve_journal_records_total",
+                "records appended to the job journal",
+            ),
+            journal_replayed: r.counter(
+                "cnt_serve_journal_replayed_total",
+                "jobs recovered from the journal at startup",
+            ),
             trace_records: r.counter(
                 "cnt_serve_trace_records_total",
                 "trace records stored in the trace ring",
@@ -340,6 +370,9 @@ impl Metrics {
         }
         for status in ["queued", "running", "done", "failed"] {
             metrics.jobs_total.with(status);
+        }
+        for outcome in ["local", "remote", "requeued", "resumed"] {
+            metrics.chunks_total.with(outcome);
         }
         metrics
             .registry
@@ -457,6 +490,10 @@ struct Shared {
     profile: Profile,
     /// This instance's `host:port`, stamped into trace records.
     instance: String,
+    /// Durable-state root ([`Config::data_dir`]); `None` = memory only.
+    data_dir: Option<PathBuf>,
+    /// The append side of the job journal (`None` without a data dir).
+    journal: Option<Mutex<journal::Journal>>,
 }
 
 impl Shared {
@@ -478,6 +515,33 @@ impl Shared {
         bytes[4..12].copy_from_slice(&seq.to_le_bytes());
         bytes[12..].copy_from_slice(&nanos.to_le_bytes());
         fnv1a(&bytes).max(1)
+    }
+
+    /// Appends one record to the job journal, when one is configured.
+    /// An append failure only skips the counter — the job still runs;
+    /// it just would not survive a crash, which is the pre-journal
+    /// behavior, not a new failure mode.
+    fn journal_append(&self, payload: &str) {
+        if let Some(journal) = &self.journal {
+            if journal
+                .lock()
+                .expect("journal poisoned")
+                .append(payload)
+                .is_ok()
+            {
+                self.metrics.journal_records.inc();
+            }
+        }
+    }
+
+    /// The chunk-result store backing crash resume. On disk under the
+    /// data dir; without one, a throwaway in-memory store (fan-out still
+    /// works, chunks just cannot be recalled across restarts).
+    fn chunk_store(&self) -> ResultStore {
+        match &self.data_dir {
+            Some(dir) => ResultStore::on_disk(dir.join("sweep-cache")),
+            None => ResultStore::in_memory(),
+        }
     }
 }
 
@@ -576,6 +640,23 @@ impl Server {
                 .map_or(0, |d| d.as_nanos() as u64);
             fnv1a(&nanos.to_le_bytes()) as u32 ^ (u64::from(local_addr.port()) as u32)
         };
+        // Crash recovery, step 1: fold the journal into per-job state
+        // before anything can append to it, then compact away superseded
+        // records so the file stays proportional to live jobs.
+        let journal_path = config.data_dir.as_ref().map(|dir| dir.join("journal.log"));
+        let mut recovered = Vec::new();
+        if let Some(path) = &journal_path {
+            let replayed = journal::replay(path).map_err(|e| Error::io("journal replay", e))?;
+            recovered = fold_journal(&replayed.records);
+            journal::rewrite(path, &compact_records(&recovered))
+                .map_err(|e| Error::io("journal compact", e))?;
+        }
+        let journal = match &journal_path {
+            Some(path) => Some(Mutex::new(
+                journal::Journal::open(path).map_err(|e| Error::io("journal open", e))?,
+            )),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             metrics: Metrics::new(pool.threads(), config.queue_capacity),
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
@@ -598,6 +679,8 @@ impl Server {
             traces: TraceStore::new(TRACE_CAPACITY, TRACE_TTL),
             profile: Profile::new(),
             instance: local_addr.to_string(),
+            data_dir: config.data_dir.clone(),
+            journal,
         });
         let server = Self {
             listener,
@@ -609,6 +692,13 @@ impl Server {
         };
         if let Some(fleet) = server.config.fleet.clone() {
             server.enable_fleet(fleet)?;
+        }
+        // Crash recovery, step 2 (after the fleet joins, so recovered
+        // jobs fan out like fresh ones): terminal jobs become pollable
+        // again, unfinished ones re-enter the queue — their completed
+        // chunks recall from the chunk store instead of recomputing.
+        for job in recovered {
+            apply_recovered_job(&server.shared, job);
         }
         Ok(server)
     }
@@ -860,7 +950,7 @@ impl Server {
                     ..response
                 };
                 self.shared.metrics.count_response(response.status);
-                let bytes = response.body.len();
+                let bytes = response.content_length() as usize;
                 let _ = response.write_to(&mut stream);
                 let _ = stream.shutdown(std::net::Shutdown::Write);
                 if let Some(log_format) = self.shared.access_log {
@@ -985,7 +1075,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, queued_at: Instant
                         path,
                         experiment: experiment_of(path),
                         status: response.status,
-                        bytes: response.body.len(),
+                        bytes: response.content_length() as usize,
                         duration_s: started.elapsed().as_secs_f64(),
                     },
                 )
@@ -1134,6 +1224,23 @@ fn route(request: &Request, scope: &RequestScope, shared: &Arc<Shared>) -> Respo
                     _ => method_or_route_miss(method, path),
                 };
             }
+            if path == "/v1/_fleet/chunk" {
+                return match method {
+                    "POST" => fleet_chunk_route(request, shared),
+                    _ => method_or_route_miss(method, path),
+                };
+            }
+            if let Some(rest) = path.strip_prefix("/v1/_fleet/jobs/") {
+                // A peer polling on behalf of a client: local view only,
+                // never fans out further (no proxy loops).
+                return match (method, rest.strip_suffix("/result")) {
+                    ("GET", Some(rid)) if !rid.contains('/') => {
+                        job_result_route(rid, shared, false)
+                    }
+                    ("GET", None) if !rest.contains('/') => job_status_route(rest, shared, false),
+                    _ => method_or_route_miss(method, path),
+                };
+            }
             if let Some(hex) = path.strip_prefix("/v1/trace/") {
                 return match method {
                     "GET" if !hex.contains('/') => trace_route(hex, shared),
@@ -1150,8 +1257,8 @@ fn route(request: &Request, scope: &RequestScope, shared: &Arc<Shared>) -> Respo
             }
             if let Some(rest) = path.strip_prefix("/v1/jobs/") {
                 return match (method, rest.strip_suffix("/result")) {
-                    ("GET", Some(rid)) if !rid.contains('/') => job_result_route(rid, shared),
-                    ("GET", None) if !rest.contains('/') => job_status_route(rest, shared),
+                    ("GET", Some(rid)) if !rid.contains('/') => job_result_route(rid, shared, true),
+                    ("GET", None) if !rest.contains('/') => job_status_route(rest, shared, true),
                     _ => method_or_route_miss(method, path),
                 };
             }
@@ -1221,8 +1328,11 @@ fn method_or_route_miss(method: &str, path: &str) -> Response {
     ) || (path.starts_with("/v1/experiments/")
         && !path.trim_start_matches("/v1/experiments/").contains('/'))
         || (path.starts_with("/v1/experiments/") && path.ends_with("/run"))
+        || path == "/v1/_fleet/chunk"
         || one_segment("/v1/_fleet/cache/")
         || one_segment("/v1/_fleet/trace/")
+        || one_segment("/v1/_fleet/jobs/")
+        || (path.starts_with("/v1/_fleet/jobs/") && path.ends_with("/result"))
         || one_segment("/v1/trace/")
         || one_segment("/v1/sweeps/")
         || one_segment("/v1/jobs/")
@@ -1665,8 +1775,20 @@ fn parse_peer_trace_records(body: &str) -> Vec<Arc<TraceRecord>> {
         .collect()
 }
 
-/// `POST /v1/sweeps/{id}`: validate, register a job, enqueue the sweep
-/// on the worker pool, answer `202` + the job id immediately.
+/// One accepted sweep job, as the journal and the worker task see it:
+/// everything needed to re-run the job deterministically after a crash.
+#[derive(Debug, Clone, PartialEq)]
+struct JobSpec {
+    rid: String,
+    experiment: String,
+    preset: Option<String>,
+    sets: Vec<(String, String)>,
+    format: OutputFormat,
+}
+
+/// `POST /v1/sweeps/{id}`: validate, register a job, journal the
+/// submission, enqueue the sweep on the worker pool, answer `202` + the
+/// job id immediately.
 fn sweep_job_route(
     id: &str,
     request: &Request,
@@ -1679,18 +1801,20 @@ fn sweep_job_route(
     };
     // Same gates as the synchronous paths: the id must exist *and* have
     // a sweep variant, and overrides resolve through the typed params.
-    let sweep = match experiments::sweep_variant(id) {
-        Ok((_, sweep)) => sweep,
+    // The worker task re-resolves from the spec (deterministic), so a
+    // journal-recovered job takes exactly this route minus the HTTP.
+    match experiments::sweep_variant(id) {
+        Ok(_) => {}
         Err(e @ cnt_interconnect::Error::UnknownExperiment(_)) => {
             return Response::json(404, api::error_json(&e.to_string()))
         }
         Err(e) => return Response::json(400, api::error_json(&e.to_string())),
-    };
-    let ctx =
-        match experiments::resolve_context(id, run_request.preset.as_deref(), &run_request.sets) {
-            Ok((_, ctx)) => ctx,
-            Err(e) => return Response::json(400, api::error_json(&e.to_string())),
-        };
+    }
+    if let Err(e) =
+        experiments::resolve_context(id, run_request.preset.as_deref(), &run_request.sets)
+    {
+        return Response::json(400, api::error_json(&e.to_string()));
+    }
 
     let rid = shared.next_request_id();
     let Ok(job) = shared.jobs.create(&rid, id) else {
@@ -1700,73 +1824,32 @@ fn sweep_job_route(
         };
     };
     shared.metrics.jobs_total.with("queued").inc();
-
-    let worker_shared = Arc::clone(shared);
-    let worker_job = Arc::clone(&job);
-    let format = run_request.format;
-    let sweep_id = id.to_string();
+    let spec = JobSpec {
+        rid: rid.clone(),
+        experiment: id.to_string(),
+        preset: run_request.preset.clone(),
+        sets: run_request.sets.clone(),
+        format: run_request.format,
+    };
+    // Durability: the submission record hits the journal before the 202
+    // leaves, so a coordinator killed right after answering still
+    // re-runs the job on restart.
+    shared.journal_append(&submitted_record(&spec));
     // The job runs on another pool worker after this request already
     // answered 202 — it records its *own* trace record as a child of
     // this request's span, so `GET /v1/trace/{id}` shows the async work
     // hanging off the ingress hop that queued it.
     let job_ctx = scope.trace.child_of(shared.mint_id());
-    let job_rid = rid.clone();
-    let task = Box::new(move || {
-        worker_job.mark_running();
-        worker_shared.metrics.jobs_total.with("running").inc();
-        let job_started = Instant::now();
-        cnt_obs::Trace::begin();
-        // The executor reports into the job's progress counters via the
-        // thread-local scope; a panicking kernel fails the job instead
-        // of poisoning the pool worker.
-        let run_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _span = cnt_obs::span!("serve.job");
-            cnt_sweep::progress::scoped(Arc::clone(&worker_job.progress), || sweep.run_sweep(&ctx))
-        }));
-        let roots = cnt_obs::Trace::end();
-        worker_shared.profile.add(&roots);
-        worker_shared.traces.record(TraceRecord {
-            trace_id: job_ctx.trace_id,
-            span_id: job_ctx.span_id,
-            parent: job_ctx.parent,
-            name: format!("job {sweep_id}"),
-            instance: worker_shared.instance.clone(),
-            request_id: job_rid,
-            unix_s: SystemTime::now()
-                .duration_since(SystemTime::UNIX_EPOCH)
-                .map_or(0.0, |d| d.as_secs_f64()),
-            total_s: job_started.elapsed().as_secs_f64(),
-            status: 0,
-            roots,
-        });
-        worker_shared.metrics.trace_records.inc();
-        match run_result {
-            Ok(Ok(run)) => {
-                let (content_type, body) = render_report(&run.report, format);
-                worker_job.complete(content_type, body);
-                worker_shared.metrics.jobs_total.with("done").inc();
-            }
-            Ok(Err(e)) => {
-                worker_job.fail(500, api::error_json(&e.to_string()));
-                worker_shared.metrics.jobs_total.with("failed").inc();
-            }
-            Err(_) => {
-                worker_job.fail(
-                    500,
-                    api::error_json(&format!("sweep '{sweep_id}' panicked during execution")),
-                );
-                worker_shared.metrics.jobs_total.with("failed").inc();
-            }
-        }
-        worker_shared
-            .metrics
-            .jobs_pending
-            .set(worker_shared.jobs.pending() as f64);
-    });
-    if shared.pool.submit(task).is_err() {
+    if spawn_sweep_job(shared, job, spec, job_ctx).is_err() {
         // The work never made it onto the queue; withdraw the job so it
-        // cannot sit `queued` forever, and shed like any other overload.
+        // cannot sit `queued` forever (closing its journal entry too),
+        // and shed like any other overload.
         shared.jobs.remove(&rid);
+        shared.journal_append(&job_failed_record(
+            &rid,
+            503,
+            &api::busy_json("request queue"),
+        ));
         return Response {
             retry_after: Some(retry_after_hint(shared.pool.queued(), shared.workers)),
             ..Response::json(503, api::busy_json("request queue"))
@@ -1784,6 +1867,565 @@ fn sweep_job_route(
     )
 }
 
+/// Enqueues one accepted sweep job (fresh submission or journal
+/// recovery) on the worker pool. The task resolves everything from the
+/// spec, runs it (locally or fanned out across the fleet), and records
+/// the terminal state in the job table and the journal.
+fn spawn_sweep_job(
+    shared: &Arc<Shared>,
+    job: Arc<JobEntry>,
+    spec: JobSpec,
+    job_ctx: TraceContext,
+) -> core::result::Result<(), ()> {
+    let worker_shared = Arc::clone(shared);
+    let task = Box::new(move || {
+        job.mark_running();
+        worker_shared.metrics.jobs_total.with("running").inc();
+        let job_started = Instant::now();
+        cnt_obs::Trace::begin();
+        // The executor reports into the job's progress counters via the
+        // thread-local scope; a panicking kernel fails the job instead
+        // of poisoning the pool worker.
+        let run_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _span = cnt_obs::span!("serve.job");
+            cnt_sweep::progress::scoped(Arc::clone(&job.progress), || {
+                execute_sweep_job(&worker_shared, &spec)
+            })
+        }));
+        let roots = cnt_obs::Trace::end();
+        worker_shared.profile.add(&roots);
+        worker_shared.traces.record(TraceRecord {
+            trace_id: job_ctx.trace_id,
+            span_id: job_ctx.span_id,
+            parent: job_ctx.parent,
+            name: format!("job {}", spec.experiment),
+            instance: worker_shared.instance.clone(),
+            request_id: spec.rid.clone(),
+            unix_s: SystemTime::now()
+                .duration_since(SystemTime::UNIX_EPOCH)
+                .map_or(0.0, |d| d.as_secs_f64()),
+            total_s: job_started.elapsed().as_secs_f64(),
+            status: 0,
+            roots,
+        });
+        worker_shared.metrics.trace_records.inc();
+        match run_result {
+            Ok(Ok((content_type, body))) => {
+                finish_job(&worker_shared, &job, &spec.rid, content_type, body);
+                worker_shared.metrics.jobs_total.with("done").inc();
+            }
+            Ok(Err((status, body))) => {
+                worker_shared.journal_append(&job_failed_record(&spec.rid, status, &body));
+                job.fail(status, body);
+                worker_shared.metrics.jobs_total.with("failed").inc();
+            }
+            Err(_) => {
+                let body = api::error_json(&format!(
+                    "sweep '{}' panicked during execution",
+                    spec.experiment
+                ));
+                worker_shared.journal_append(&job_failed_record(&spec.rid, 500, &body));
+                job.fail(500, body);
+                worker_shared.metrics.jobs_total.with("failed").inc();
+            }
+        }
+        worker_shared
+            .metrics
+            .jobs_pending
+            .set(worker_shared.jobs.pending() as f64);
+    });
+    shared.pool.submit(task).map_err(|_| ())
+}
+
+/// Publishes a finished job body: spilled to disk (streamed back at
+/// result time, so the job table never holds whole report bodies) when
+/// a data dir is configured, inline otherwise. The journal records
+/// where the bytes live so a restart re-serves them without rerunning.
+fn finish_job(
+    shared: &Arc<Shared>,
+    job: &JobEntry,
+    rid: &str,
+    content_type: &'static str,
+    body: String,
+) {
+    if let Some(dir) = &shared.data_dir {
+        let spill_dir = dir.join("jobs");
+        let path = spill_dir.join(format!("{rid}.body"));
+        let written = std::fs::create_dir_all(&spill_dir)
+            .and_then(|()| std::fs::write(&path, body.as_bytes()));
+        if written.is_ok() {
+            let bytes = body.len() as u64;
+            shared.journal_append(&job_done_record(rid, content_type, &path, bytes));
+            job.complete_spilled(content_type, path, bytes);
+            return;
+        }
+        // Spill failure degrades to the in-memory path: the job still
+        // completes, it just is not crash-durable.
+    }
+    job.complete(content_type, body);
+}
+
+/// Runs one sweep job to its rendered body: the classic single-instance
+/// path, or chunked execution when a fleet is configured (fan-out) or a
+/// data dir is (chunk-level crash resume, local lanes only).
+fn execute_sweep_job(
+    shared: &Arc<Shared>,
+    spec: &JobSpec,
+) -> core::result::Result<(&'static str, String), (u16, String)> {
+    let ctx =
+        match experiments::resolve_context(&spec.experiment, spec.preset.as_deref(), &spec.sets) {
+            Ok((_, ctx)) => ctx,
+            Err(e) => return Err((400, api::error_json(&e.to_string()))),
+        };
+    if shared.fleet.get().is_some() || shared.data_dir.is_some() {
+        return fanout_sweep(shared, spec, &ctx);
+    }
+    let sweep = match experiments::sweep_variant(&spec.experiment) {
+        Ok((_, sweep)) => sweep,
+        Err(e) => return Err((404, api::error_json(&e.to_string()))),
+    };
+    match sweep.run_sweep(&ctx) {
+        Ok(run) => Ok(render_report(&run.report, spec.format)),
+        Err(e) => Err((500, api::error_json(&e.to_string()))),
+    }
+}
+
+/// Distributes one sweep across the fleet: deterministic chunk split,
+/// remote dispatch with re-dispatch on failure, local execution as the
+/// lane of last resort, and chunk-level crash resume through the
+/// content-hash chunk store. Per-job rows concatenate in global index
+/// order into the same [`ChunkableSweep::finish`] reduce a local run
+/// uses, so the merged report is byte-identical by construction.
+///
+/// [`ChunkableSweep::finish`]: experiments::ChunkableSweep::finish
+fn fanout_sweep(
+    shared: &Arc<Shared>,
+    spec: &JobSpec,
+    ctx: &RunContext,
+) -> core::result::Result<(&'static str, String), (u16, String)> {
+    let fleet = shared.fleet.get();
+    let sweep = match experiments::chunkable_sweep(&spec.experiment, ctx) {
+        Ok(sweep) => sweep,
+        Err(e) => return Err((500, api::error_json(&e.to_string()))),
+    };
+    // The full-table cache already holds this exact run — nothing to
+    // fan out.
+    if let Some(run) = sweep.cached_run() {
+        return Ok(render_report(&run.report, spec.format));
+    }
+    let n_jobs = sweep.jobs();
+    // Twice as many chunks as peers keeps every lane busy even when
+    // peers run at different speeds; the split depends only on the
+    // topology and the plan (a fixed 8 when running chunked purely for
+    // durability), so a restarted coordinator derives the same
+    // boundaries — which is what keeps chunk cache keys stable across
+    // crashes.
+    let slots = fleet.map_or(8, |f| f.config.peers.len() * 2);
+    let ranges = chunk_ranges(n_jobs, slots.clamp(1, n_jobs.max(1)));
+    let store = shared.chunk_store();
+    let board = ChunkBoard::new(&ranges);
+    let results: Mutex<Vec<Option<Vec<Vec<f64>>>>> = Mutex::new(vec![None; ranges.len()]);
+    let abort: Mutex<Option<(u16, String)>> = Mutex::new(None);
+
+    // Resume pass: chunks a previous life of this coordinator finished
+    // recall from the store — counted as sweep cache hits, the signal
+    // the restart e2e asserts on — and are never dispatched at all.
+    for (index, range) in ranges.iter().enumerate() {
+        let key = sweep.chunk_key(range.start, range.end);
+        let probe = store.get_or_compute(&key, || {
+            Err(cnt_sweep::Error::Job {
+                index: range.start,
+                message: "chunk not computed yet".to_string(),
+            })
+        });
+        if let Ok((table, _)) = probe {
+            results.lock().expect("results poisoned")[index] = Some(table.rows);
+            board.complete(index);
+            shared.metrics.chunks_total.with("resumed").inc();
+        }
+    }
+
+    let deadline = fleet.map_or(Duration::from_secs(1), |f| {
+        f.config.proxy_timeout.max(Duration::from_secs(1))
+    });
+    std::thread::scope(|scope| {
+        if let Some(fleet) = fleet {
+            for peer_index in 0..fleet.config.peers.len() {
+                if peer_index == fleet.config.self_index {
+                    continue;
+                }
+                let (sweep, board, results, abort, store) =
+                    (&sweep, &board, &results, &abort, &store);
+                scope.spawn(move || {
+                    remote_chunk_lane(
+                        shared, fleet, spec, sweep, board, results, abort, store, peer_index,
+                        deadline,
+                    );
+                });
+            }
+        }
+        // The coordinator's own lane runs on this thread — the reason a
+        // job finishes even with every peer dead.
+        local_chunk_lane(
+            shared, spec, &sweep, &board, &results, &abort, &store, deadline,
+        );
+    });
+
+    if let Some(failure) = abort.into_inner().expect("abort poisoned") {
+        return Err(failure);
+    }
+    let mut per_job = Vec::with_capacity(n_jobs);
+    for rows in results.into_inner().expect("results poisoned") {
+        per_job.extend(rows.expect("all chunks done implies every chunk present"));
+    }
+    match sweep.finish(per_job) {
+        Ok(run) => Ok(render_report(&run.report, spec.format)),
+        Err(e) => Err((500, api::error_json(&e.to_string()))),
+    }
+}
+
+/// Backoff before a failed chunk is claimable again: doubles with the
+/// attempt count, capped well under the steal deadline so a flaky peer
+/// cannot wedge a chunk.
+fn chunk_retry_delay(attempt: u32) -> Duration {
+    Duration::from_millis(10u64 << attempt.min(5))
+}
+
+/// One peer's dispatch lane: claim a chunk, POST it to the peer, record
+/// the rows. Any failure requeues the chunk with a backoff so another
+/// lane (ultimately the local one) re-runs it; transport failures also
+/// feed the fleet failure detector, and a peer marked Down closes its
+/// lane entirely.
+#[allow(clippy::too_many_arguments)]
+fn remote_chunk_lane(
+    shared: &Arc<Shared>,
+    fleet: &FleetState,
+    spec: &JobSpec,
+    sweep: &experiments::ChunkableSweep,
+    board: &ChunkBoard,
+    results: &Mutex<Vec<Option<Vec<Vec<f64>>>>>,
+    abort: &Mutex<Option<(u16, String)>>,
+    store: &ResultStore,
+    peer_index: usize,
+    deadline: Duration,
+) {
+    let addr = fleet.config.peer(peer_index);
+    loop {
+        if board.all_done() || abort.lock().expect("abort poisoned").is_some() {
+            return;
+        }
+        // A Down peer closes its lane: the board's stealing rule hands
+        // any in-flight chunk to someone else, and the background
+        // prober brings the peer back for the *next* job.
+        if !fleet.health.is_routable(peer_index) {
+            return;
+        }
+        let Some(claim) = board.claim(Instant::now(), deadline) else {
+            std::thread::sleep(Duration::from_millis(2));
+            continue;
+        };
+        let key = sweep.chunk_key(claim.range.start, claim.range.end);
+        let body = chunk_request_json(spec, sweep.fingerprint(), &claim.range);
+        match fleet
+            .proxy
+            .post(addr, "/v1/_fleet/chunk", "application/json", &body)
+        {
+            Ok(peer) if peer.status == 200 => {
+                fleet.record_peer_success(peer_index);
+                match cnt_sweep::json::decode_table(&peer.body) {
+                    Ok(table)
+                        if table.key == key.hex() && table.rows.len() == claim.range.len() =>
+                    {
+                        // Persist before reporting done: a coordinator
+                        // killed right after this line resumes the
+                        // chunk from disk instead of re-fetching it.
+                        let _ = store.put(&key, table.columns.clone(), table.rows.clone());
+                        results.lock().expect("results poisoned")[claim.index] = Some(table.rows);
+                        if board.complete(claim.index) {
+                            shared.journal_append(&chunk_done_record(&spec.rid, &claim));
+                            shared.metrics.chunks_total.with("remote").inc();
+                        }
+                    }
+                    _ => {
+                        // A 200 whose rows we cannot trust (foreign
+                        // build, wrong shape): requeue; only the health
+                        // detector decides this peer's fate.
+                        board.requeue(
+                            claim.index,
+                            Instant::now(),
+                            chunk_retry_delay(claim.attempt),
+                        );
+                        shared.metrics.chunks_total.with("requeued").inc();
+                    }
+                }
+            }
+            Ok(peer) => {
+                fleet.record_peer_success(peer_index);
+                board.requeue(
+                    claim.index,
+                    Instant::now(),
+                    chunk_retry_delay(claim.attempt),
+                );
+                shared.metrics.chunks_total.with("requeued").inc();
+                // The peer answered but refused (fingerprint mismatch,
+                // unknown experiment): retrying the same peer cannot
+                // succeed, so the lane closes for this job. A 503 is
+                // the one retryable refusal (momentary overload).
+                if peer.status != 503 {
+                    return;
+                }
+            }
+            Err(e) => {
+                if e.is_transport() {
+                    fleet.record_peer_failure(peer_index);
+                }
+                board.requeue(
+                    claim.index,
+                    Instant::now(),
+                    chunk_retry_delay(claim.attempt),
+                );
+                shared.metrics.chunks_total.with("requeued").inc();
+            }
+        }
+    }
+}
+
+/// The coordinator's local lane: runs claimed chunks through the chunk
+/// store ([`ResultStore::get_or_compute`]), so completed work is both
+/// crash-durable and never recomputed after a resume.
+#[allow(clippy::too_many_arguments)]
+fn local_chunk_lane(
+    shared: &Arc<Shared>,
+    spec: &JobSpec,
+    sweep: &experiments::ChunkableSweep,
+    board: &ChunkBoard,
+    results: &Mutex<Vec<Option<Vec<Vec<f64>>>>>,
+    abort: &Mutex<Option<(u16, String)>>,
+    store: &ResultStore,
+    deadline: Duration,
+) {
+    loop {
+        if board.all_done() || abort.lock().expect("abort poisoned").is_some() {
+            return;
+        }
+        let Some(claim) = board.claim(Instant::now(), deadline) else {
+            std::thread::sleep(Duration::from_millis(2));
+            continue;
+        };
+        let key = sweep.chunk_key(claim.range.start, claim.range.end);
+        let computed = store.get_or_compute(&key, || {
+            let rows = sweep
+                .run_range(claim.range.start, claim.range.end)
+                .map_err(|e| cnt_sweep::Error::Job {
+                    index: claim.range.start,
+                    message: e.to_string(),
+                })?;
+            Ok((sweep.columns(), rows))
+        });
+        match computed {
+            Ok((table, hit)) => {
+                results.lock().expect("results poisoned")[claim.index] = Some(table.rows);
+                if board.complete(claim.index) {
+                    shared.journal_append(&chunk_done_record(&spec.rid, &claim));
+                    shared
+                        .metrics
+                        .chunks_total
+                        .with(if hit { "resumed" } else { "local" })
+                        .inc();
+                }
+            }
+            Err(e) => {
+                // Kernel errors are deterministic — re-dispatching the
+                // chunk would fail identically everywhere, so the whole
+                // job aborts.
+                *abort.lock().expect("abort poisoned") =
+                    Some((500, api::error_json(&e.to_string())));
+                return;
+            }
+        }
+    }
+}
+
+/// The coordinator→worker chunk request body.
+fn chunk_request_json(spec: &JobSpec, fingerprint: u64, range: &Range<usize>) -> String {
+    let mut out = String::with_capacity(160);
+    out.push_str("{\"experiment\":");
+    format::json_string(&spec.experiment, &mut out);
+    if let Some(preset) = &spec.preset {
+        out.push_str(",\"preset\":");
+        format::json_string(preset, &mut out);
+    }
+    out.push_str(",\"sets\":[");
+    for (i, (k, v)) in spec.sets.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        format::json_string(k, &mut out);
+        out.push(',');
+        format::json_string(v, &mut out);
+        out.push(']');
+    }
+    out.push_str(&format!(
+        "],\"lo\":{},\"hi\":{},\"fingerprint\":\"{fingerprint:016x}\"}}",
+        range.start, range.end
+    ));
+    out
+}
+
+/// A parsed `/v1/_fleet/chunk` request.
+struct ChunkRequest {
+    experiment: String,
+    preset: Option<String>,
+    sets: Vec<(String, String)>,
+    lo: usize,
+    hi: usize,
+    fingerprint: u64,
+}
+
+fn parse_chunk_request(body: &[u8]) -> core::result::Result<ChunkRequest, String> {
+    use crate::json::JsonValue;
+    let text = core::str::from_utf8(body).map_err(|e| format!("body is not UTF-8: {e}"))?;
+    let JsonValue::Object(members) = crate::json::parse(text)? else {
+        return Err("chunk request must be a JSON object".to_string());
+    };
+    let mut chunk = ChunkRequest {
+        experiment: String::new(),
+        preset: None,
+        sets: Vec::new(),
+        lo: 0,
+        hi: 0,
+        fingerprint: 0,
+    };
+    for (name, value) in members {
+        match (name.as_str(), value) {
+            ("experiment", JsonValue::String(s)) => chunk.experiment = s,
+            ("preset", JsonValue::String(s)) => chunk.preset = Some(s),
+            ("sets", JsonValue::Array(items)) => {
+                for item in items {
+                    let JsonValue::Array(pair) = item else {
+                        return Err("each set must be a [key, value] pair".to_string());
+                    };
+                    match (pair.first(), pair.get(1), pair.len()) {
+                        (Some(JsonValue::String(k)), Some(JsonValue::String(v)), 2) => {
+                            chunk.sets.push((k.clone(), v.clone()));
+                        }
+                        _ => return Err("each set must be a [key, value] pair".to_string()),
+                    }
+                }
+            }
+            ("lo", JsonValue::Number(raw)) => {
+                chunk.lo = raw.parse().map_err(|_| format!("bad chunk lo '{raw}'"))?;
+            }
+            ("hi", JsonValue::Number(raw)) => {
+                chunk.hi = raw.parse().map_err(|_| format!("bad chunk hi '{raw}'"))?;
+            }
+            ("fingerprint", JsonValue::String(s)) => {
+                chunk.fingerprint = u64::from_str_radix(&s, 16)
+                    .map_err(|_| format!("bad fingerprint '{s}' (want 16 hex chars)"))?;
+            }
+            (other, _) => return Err(format!("unknown chunk member '{other}'")),
+        }
+    }
+    if chunk.experiment.is_empty() {
+        return Err("chunk request is missing 'experiment'".to_string());
+    }
+    Ok(chunk)
+}
+
+/// `POST /v1/_fleet/chunk`: run one chunk of a fanned-out sweep and
+/// answer its rows as an encoded table. Internal — coordinators call
+/// it; it never fans out further. The fingerprint gate rejects a
+/// coordinator whose resolved plan differs (version skew), turning
+/// silent row corruption into a `409`.
+fn fleet_chunk_route(request: &Request, shared: &Arc<Shared>) -> Response {
+    let chunk = match parse_chunk_request(&request.body) {
+        Ok(chunk) => chunk,
+        Err(message) => return Response::json(400, api::error_json(&message)),
+    };
+    let ctx =
+        match experiments::resolve_context(&chunk.experiment, chunk.preset.as_deref(), &chunk.sets)
+        {
+            Ok((_, ctx)) => ctx,
+            Err(e) => return Response::json(400, api::error_json(&e.to_string())),
+        };
+    let sweep = match experiments::chunkable_sweep(&chunk.experiment, &ctx) {
+        Ok(sweep) => sweep,
+        Err(e) => return Response::json(400, api::error_json(&e.to_string())),
+    };
+    if sweep.fingerprint() != chunk.fingerprint {
+        return Response::json(
+            409,
+            api::error_json(&format!(
+                "sweep fingerprint mismatch: coordinator {:016x}, this instance {:016x}",
+                chunk.fingerprint,
+                sweep.fingerprint()
+            )),
+        );
+    }
+    if chunk.lo >= chunk.hi || chunk.hi > sweep.jobs() {
+        return Response::json(
+            400,
+            api::error_json(&format!(
+                "chunk {}..{} out of range for {} jobs",
+                chunk.lo,
+                chunk.hi,
+                sweep.jobs()
+            )),
+        );
+    }
+    let key = sweep.chunk_key(chunk.lo, chunk.hi);
+    // The worker's own chunk store: a re-dispatched chunk this instance
+    // already ran answers from disk, and a worker that dies mid-chunk
+    // leaves nothing to clean up.
+    let computed = shared.chunk_store().get_or_compute(&key, || {
+        let rows = sweep
+            .run_range(chunk.lo, chunk.hi)
+            .map_err(|e| cnt_sweep::Error::Job {
+                index: chunk.lo,
+                message: e.to_string(),
+            })?;
+        Ok((sweep.columns(), rows))
+    });
+    match computed {
+        Ok((table, _)) => Response::json(200, cnt_sweep::json::encode_table(&table)),
+        Err(e) => Response::json(500, api::error_json(&e.to_string())),
+    }
+}
+
+/// Asks the rest of the fleet for a job this instance does not hold, so
+/// any instance can be polled for any job. The status poll rides the
+/// fast fill client; the result fetch rides the patient proxy client
+/// (bodies can be large, and it carries the chaos injector — result
+/// relays are part of the injected fault surface).
+fn peer_job_lookup(shared: &Arc<Shared>, rid: &str, result: bool) -> Option<Response> {
+    let fleet = shared.fleet.get()?;
+    let path = if result {
+        format!("/v1/_fleet/jobs/{rid}/result")
+    } else {
+        format!("/v1/_fleet/jobs/{rid}")
+    };
+    for (index, addr) in fleet.config.peers.iter().enumerate() {
+        if index == fleet.config.self_index || !fleet.health.is_routable(index) {
+            continue;
+        }
+        let client = if result { &fleet.proxy } else { &fleet.fill };
+        match client.get(addr, &path) {
+            Ok(peer) if peer.status != 404 => {
+                fleet.record_peer_success(index);
+                return Some(peer_response(&peer));
+            }
+            Ok(_) => fleet.record_peer_success(index),
+            Err(e) => {
+                if e.is_transport() {
+                    fleet.record_peer_failure(index);
+                }
+            }
+        }
+    }
+    None
+}
+
 /// The `GET /v1/jobs/{rid}` body: id, experiment, status, and the live
 /// trial-progress counters.
 fn job_status_json(job: &cnt_fleet::JobEntry, state: &JobState) -> String {
@@ -1798,20 +2440,36 @@ fn job_status_json(job: &cnt_fleet::JobEntry, state: &JobState) -> String {
 }
 
 /// `GET /v1/jobs/{rid}`: poll an async job's lifecycle and progress.
-fn job_status_route(rid: &str, shared: &Arc<Shared>) -> Response {
+/// On the public route (`fan_out`) a local miss asks the rest of the
+/// fleet before answering 404, so clients may poll any instance.
+fn job_status_route(rid: &str, shared: &Arc<Shared>, fan_out: bool) -> Response {
     match shared.jobs.get(rid) {
         Some(job) => Response::json(200, job_status_json(&job, &job.state())),
-        None => Response::json(
-            404,
-            api::error_json(&format!("no such job '{rid}' (expired or never created)")),
-        ),
+        None => {
+            if fan_out {
+                if let Some(relayed) = peer_job_lookup(shared, rid, false) {
+                    return relayed;
+                }
+            }
+            Response::json(
+                404,
+                api::error_json(&format!("no such job '{rid}' (expired or never created)")),
+            )
+        }
     }
 }
 
 /// `GET /v1/jobs/{rid}/result`: the finished body, the failure, or —
 /// while the job is still queued/running — `202` + the status body.
-fn job_result_route(rid: &str, shared: &Arc<Shared>) -> Response {
+/// Spilled bodies stream from disk in chunks instead of being loaded
+/// whole; the public route relays fleet-wide like the status poll.
+fn job_result_route(rid: &str, shared: &Arc<Shared>, fan_out: bool) -> Response {
     let Some(job) = shared.jobs.get(rid) else {
+        if fan_out {
+            if let Some(relayed) = peer_job_lookup(shared, rid, true) {
+                return relayed;
+            }
+        }
         return Response::json(
             404,
             api::error_json(&format!("no such job '{rid}' (expired or never created)")),
@@ -1820,13 +2478,279 @@ fn job_result_route(rid: &str, shared: &Arc<Shared>) -> Response {
     match job.state() {
         JobState::Done {
             content_type, body, ..
-        } => Response {
-            content_type: static_content_type(&content_type),
-            ..Response::json(200, body)
+        } => match body {
+            JobBody::Inline(text) => Response {
+                content_type: static_content_type(&content_type),
+                ..Response::json(200, text)
+            },
+            JobBody::Spilled { path, bytes } => {
+                Response::file(static_content_type(&content_type), path, bytes)
+            }
         },
         JobState::Failed { status, body, .. } => Response::json(status, body),
         state @ (JobState::Queued | JobState::Running) => {
             Response::json(202, job_status_json(&job, &state))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Job journal records and crash recovery
+// ---------------------------------------------------------------------
+
+/// The journal record written before a job's `202` leaves: everything
+/// needed to re-run the job from scratch.
+fn submitted_record(spec: &JobSpec) -> String {
+    let mut out = String::with_capacity(128);
+    out.push_str("{\"event\":\"submitted\",\"job\":");
+    format::json_string(&spec.rid, &mut out);
+    out.push_str(",\"experiment\":");
+    format::json_string(&spec.experiment, &mut out);
+    if let Some(preset) = &spec.preset {
+        out.push_str(",\"preset\":");
+        format::json_string(preset, &mut out);
+    }
+    out.push_str(",\"sets\":[");
+    for (i, (k, v)) in spec.sets.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        format::json_string(k, &mut out);
+        out.push(',');
+        format::json_string(v, &mut out);
+        out.push(']');
+    }
+    out.push_str(&format!("],\"format\":\"{}\"}}", spec.format));
+    out
+}
+
+/// Progress marker appended when a chunk lands. Informational — resume
+/// reads finished chunks back from the content-hash chunk store, not
+/// from these — but it makes the journal a legible account of the run.
+fn chunk_done_record(rid: &str, claim: &cnt_fleet::ChunkClaim) -> String {
+    let mut out = String::with_capacity(96);
+    out.push_str("{\"event\":\"chunk_done\",\"job\":");
+    format::json_string(rid, &mut out);
+    out.push_str(&format!(
+        ",\"chunk\":{},\"lo\":{},\"hi\":{}}}",
+        claim.index, claim.range.start, claim.range.end
+    ));
+    out
+}
+
+/// Terminal success record: where the spilled body lives, so a restart
+/// re-serves the result without rerunning the sweep.
+fn job_done_record(rid: &str, content_type: &str, path: &Path, bytes: u64) -> String {
+    let mut out = String::with_capacity(128);
+    out.push_str("{\"event\":\"job_done\",\"job\":");
+    format::json_string(rid, &mut out);
+    out.push_str(",\"content_type\":");
+    format::json_string(content_type, &mut out);
+    out.push_str(",\"path\":");
+    format::json_string(&path.to_string_lossy(), &mut out);
+    out.push_str(&format!(",\"bytes\":{bytes}}}"));
+    out
+}
+
+/// Terminal failure record: the status and body the job table held.
+fn job_failed_record(rid: &str, status: u16, body: &str) -> String {
+    let mut out = String::with_capacity(96);
+    out.push_str("{\"event\":\"job_failed\",\"job\":");
+    format::json_string(rid, &mut out);
+    out.push_str(&format!(",\"status\":{status},\"body\":"));
+    format::json_string(body, &mut out);
+    out.push('}');
+    out
+}
+
+/// How a recovered job ended, if it did.
+#[derive(Debug, Clone, PartialEq)]
+enum RecoveredOutcome {
+    Done {
+        content_type: String,
+        path: PathBuf,
+        bytes: u64,
+    },
+    Failed {
+        status: u16,
+        body: String,
+    },
+}
+
+/// One job folded out of the journal: its submission spec plus the
+/// terminal record, when one was reached before the crash.
+#[derive(Debug, Clone, PartialEq)]
+struct RecoveredJob {
+    spec: JobSpec,
+    outcome: Option<RecoveredOutcome>,
+}
+
+impl RecoveredJob {
+    /// The outcome, demoted to "unfinished" when it points at a spill
+    /// file that no longer exists — the result cannot be served, so the
+    /// job re-runs instead of answering 200 with an empty body.
+    fn usable_outcome(&self) -> Option<&RecoveredOutcome> {
+        match &self.outcome {
+            Some(RecoveredOutcome::Done { path, .. }) if !path.exists() => None,
+            other => other.as_ref(),
+        }
+    }
+}
+
+/// Folds raw journal records into per-job state, submission order.
+/// Records that do not parse, reference unknown jobs, or carry unknown
+/// events are skipped — the journal is truncation-tolerant end to end.
+fn fold_journal(records: &[String]) -> Vec<RecoveredJob> {
+    use crate::json::JsonValue;
+    let mut jobs: Vec<RecoveredJob> = Vec::new();
+    let mut by_rid: HashMap<String, usize> = HashMap::new();
+    for record in records {
+        let Ok(JsonValue::Object(members)) = crate::json::parse(record) else {
+            continue;
+        };
+        let field = |name: &str| -> Option<&JsonValue> {
+            members.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+        };
+        let Some(JsonValue::String(event)) = field("event") else {
+            continue;
+        };
+        let Some(JsonValue::String(rid)) = field("job") else {
+            continue;
+        };
+        match event.as_str() {
+            "submitted" => {
+                let Some(JsonValue::String(experiment)) = field("experiment") else {
+                    continue;
+                };
+                let preset = match field("preset") {
+                    Some(JsonValue::String(p)) => Some(p.clone()),
+                    _ => None,
+                };
+                let mut sets = Vec::new();
+                if let Some(JsonValue::Array(items)) = field("sets") {
+                    for item in items {
+                        if let JsonValue::Array(pair) = item {
+                            if let (Some(JsonValue::String(k)), Some(JsonValue::String(v))) =
+                                (pair.first(), pair.get(1))
+                            {
+                                sets.push((k.clone(), v.clone()));
+                            }
+                        }
+                    }
+                }
+                let format = match field("format") {
+                    Some(JsonValue::String(f)) if f == "csv" => OutputFormat::Csv,
+                    Some(JsonValue::String(f)) if f == "text" => OutputFormat::Text,
+                    _ => OutputFormat::Json,
+                };
+                if !by_rid.contains_key(rid) {
+                    by_rid.insert(rid.clone(), jobs.len());
+                    jobs.push(RecoveredJob {
+                        spec: JobSpec {
+                            rid: rid.clone(),
+                            experiment: experiment.clone(),
+                            preset,
+                            sets,
+                            format,
+                        },
+                        outcome: None,
+                    });
+                }
+            }
+            "job_done" => {
+                let (
+                    Some(index),
+                    Some(JsonValue::String(content_type)),
+                    Some(JsonValue::String(path)),
+                ) = (by_rid.get(rid), field("content_type"), field("path"))
+                else {
+                    continue;
+                };
+                let bytes = match field("bytes") {
+                    Some(JsonValue::Number(raw)) => raw.parse().unwrap_or(0),
+                    _ => 0,
+                };
+                jobs[*index].outcome = Some(RecoveredOutcome::Done {
+                    content_type: content_type.clone(),
+                    path: PathBuf::from(path),
+                    bytes,
+                });
+            }
+            "job_failed" => {
+                let (Some(index), Some(JsonValue::String(body))) = (by_rid.get(rid), field("body"))
+                else {
+                    continue;
+                };
+                let status = match field("status") {
+                    Some(JsonValue::Number(raw)) => raw.parse().unwrap_or(500),
+                    _ => 500,
+                };
+                jobs[*index].outcome = Some(RecoveredOutcome::Failed {
+                    status,
+                    body: body.clone(),
+                });
+            }
+            // chunk_done and anything newer: progress markers, not state.
+            _ => {}
+        }
+    }
+    jobs
+}
+
+/// The compacted journal for a recovered state: one submission record
+/// per job plus its terminal record when one is still usable. Replaces
+/// the replayed log on startup, so the journal stays proportional to
+/// the job table rather than to history.
+fn compact_records(jobs: &[RecoveredJob]) -> Vec<String> {
+    let mut records = Vec::with_capacity(jobs.len() * 2);
+    for job in jobs {
+        records.push(submitted_record(&job.spec));
+        match job.usable_outcome() {
+            Some(RecoveredOutcome::Done {
+                content_type,
+                path,
+                bytes,
+            }) => records.push(job_done_record(&job.spec.rid, content_type, path, *bytes)),
+            Some(RecoveredOutcome::Failed { status, body }) => {
+                records.push(job_failed_record(&job.spec.rid, *status, body));
+            }
+            None => {}
+        }
+    }
+    records
+}
+
+/// Reinstates one journal-recovered job: finished jobs re-enter the
+/// table in their terminal state (results served straight from the
+/// spill), unfinished ones — whether they died `Queued` or `Running` —
+/// re-run from the top, with completed chunks answered by the chunk
+/// store instead of recomputed.
+fn apply_recovered_job(shared: &Arc<Shared>, recovered: RecoveredJob) {
+    let Ok(job) = shared
+        .jobs
+        .create(&recovered.spec.rid, &recovered.spec.experiment)
+    else {
+        return; // table full — newest submissions win
+    };
+    shared.metrics.journal_replayed.inc();
+    match recovered.usable_outcome() {
+        Some(RecoveredOutcome::Done {
+            content_type,
+            path,
+            bytes,
+        }) => {
+            job.complete_spilled(static_content_type(content_type), path.clone(), *bytes);
+        }
+        Some(RecoveredOutcome::Failed { status, body }) => {
+            job.fail(*status, body.clone());
+        }
+        None => {
+            shared.metrics.jobs_total.with("queued").inc();
+            let job_ctx = TraceContext::root(shared.mint_id(), shared.mint_id());
+            if spawn_sweep_job(shared, job, recovered.spec.clone(), job_ctx).is_err() {
+                shared.jobs.remove(&recovered.spec.rid);
+            }
         }
     }
 }
@@ -2033,6 +2957,8 @@ mod tests {
             pool: Arc::new(WorkerPool::new(1, 1)),
             jobs: JobTable::new(1, Duration::from_secs(1)),
             fleet: OnceLock::new(),
+            data_dir: None,
+            journal: None,
         };
         let request = |headers: Vec<(&str, &str)>| Request {
             method: "POST".to_string(),
@@ -2134,6 +3060,8 @@ mod tests {
             pool: Arc::new(WorkerPool::new(1, 1)),
             jobs: JobTable::new(1, Duration::from_secs(1)),
             fleet: OnceLock::new(),
+            data_dir: None,
+            journal: None,
         };
         let a = shared.next_request_id();
         let b = shared.next_request_id();
@@ -2146,5 +3074,126 @@ mod tests {
         assert_ne!(span_a, 0);
         assert_ne!(span_a, span_b);
         assert_eq!(shared.next_request_id(), "00c0ffee-000002");
+    }
+
+    fn spec(rid: &str) -> JobSpec {
+        JobSpec {
+            rid: rid.to_string(),
+            experiment: "fig12".to_string(),
+            preset: Some("small".to_string()),
+            sets: vec![("trials".to_string(), "100".to_string())],
+            format: OutputFormat::Csv,
+        }
+    }
+
+    #[test]
+    fn journal_fold_round_trips_specs_and_outcomes() {
+        // A submission record folds back into the exact spec that wrote
+        // it — preset, sets, and format all survive the JSON hop.
+        let jobs = fold_journal(&[submitted_record(&spec("00aa-000001"))]);
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].spec, spec("00aa-000001"));
+        assert_eq!(jobs[0].outcome, None);
+
+        // A terminal failure record attaches to its job by rid.
+        let jobs = fold_journal(&[
+            submitted_record(&spec("00aa-000001")),
+            job_failed_record("00aa-000001", 500, "{\"error\":\"boom\"}"),
+        ]);
+        assert_eq!(
+            jobs[0].outcome,
+            Some(RecoveredOutcome::Failed {
+                status: 500,
+                body: "{\"error\":\"boom\"}".to_string()
+            })
+        );
+
+        // A done record whose spill file exists is a usable outcome…
+        let dir = std::env::temp_dir().join(format!("cnt-fold-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spill = dir.join("00aa-000001.body");
+        std::fs::write(&spill, b"result bytes").unwrap();
+        let jobs = fold_journal(&[
+            submitted_record(&spec("00aa-000001")),
+            job_done_record("00aa-000001", "text/csv", &spill, 12),
+        ]);
+        assert!(matches!(
+            jobs[0].usable_outcome(),
+            Some(RecoveredOutcome::Done { bytes: 12, .. })
+        ));
+        // …and one whose spill vanished demotes to "re-run the job".
+        std::fs::remove_file(&spill).unwrap();
+        assert_eq!(jobs[0].usable_outcome(), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_fold_skips_garbage_and_unknown_records() {
+        let jobs = fold_journal(&[
+            "not json at all".to_string(),
+            "{\"event\":\"job_done\",\"job\":\"never-submitted\"}".to_string(),
+            "{\"event\":\"from_the_future\",\"job\":\"x\"}".to_string(),
+            submitted_record(&spec("00aa-000002")),
+            // chunk_done is informational: folded state ignores it.
+            "{\"event\":\"chunk_done\",\"job\":\"00aa-000002\",\"chunk\":0,\"lo\":0,\"hi\":5}"
+                .to_string(),
+        ]);
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].spec.rid, "00aa-000002");
+        assert_eq!(jobs[0].outcome, None);
+    }
+
+    #[test]
+    fn journal_compaction_is_idempotent_across_replays() {
+        // Recovery compacts the journal it replays; replaying the
+        // compacted journal must reach the same state and compact to
+        // the same bytes — the double-crash case.
+        let records = vec![
+            submitted_record(&spec("00aa-000001")),
+            submitted_record(&spec("00aa-000002")),
+            job_failed_record("00aa-000001", 503, "{\"error\":\"shed\"}"),
+        ];
+        let once = compact_records(&fold_journal(&records));
+        let twice = compact_records(&fold_journal(&once));
+        assert_eq!(once, twice);
+        // Both jobs survive: one terminal, one unfinished.
+        let jobs = fold_journal(&once);
+        assert_eq!(jobs.len(), 2);
+        assert!(jobs[0].outcome.is_some());
+        assert!(jobs[1].outcome.is_none());
+    }
+
+    #[test]
+    fn journal_recovery_reruns_queued_and_running_alike() {
+        // The journal does not distinguish Queued from Running — both
+        // died without a terminal record, so both fold to "unfinished"
+        // and re-run. A submitted record followed by chunk progress
+        // (Running) folds identically to a bare submission (Queued).
+        let queued = fold_journal(&[submitted_record(&spec("00aa-000001"))]);
+        let running = fold_journal(&[
+            submitted_record(&spec("00aa-000001")),
+            "{\"event\":\"chunk_done\",\"job\":\"00aa-000001\",\"chunk\":0,\"lo\":0,\"hi\":5}"
+                .to_string(),
+        ]);
+        assert_eq!(queued, running);
+        assert_eq!(queued[0].usable_outcome(), None);
+    }
+
+    #[test]
+    fn chunk_request_json_round_trips() {
+        let body = chunk_request_json(&spec("00aa-000001"), 0xdead_beef_1234_5678, &(10..20));
+        let parsed = parse_chunk_request(body.as_bytes()).unwrap();
+        assert_eq!(parsed.experiment, "fig12");
+        assert_eq!(parsed.preset.as_deref(), Some("small"));
+        assert_eq!(parsed.sets, spec("x").sets);
+        assert_eq!((parsed.lo, parsed.hi), (10, 20));
+        assert_eq!(parsed.fingerprint, 0xdead_beef_1234_5678);
+
+        assert!(parse_chunk_request(b"{}").is_err(), "missing experiment");
+        assert!(parse_chunk_request(b"not json").is_err());
+        assert!(
+            parse_chunk_request(b"{\"experiment\":\"fig12\",\"fingerprint\":\"zz\"}").is_err(),
+            "bad fingerprint hex"
+        );
     }
 }

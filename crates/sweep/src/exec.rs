@@ -5,9 +5,32 @@ use crate::seed::job_rng;
 use crate::{Error, Result};
 use cnt_obs::Counter;
 use core::fmt;
+use core::ops::Range;
 use rand::rngs::StdRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// Splits `0..n_jobs` into at most `chunks` contiguous, non-empty,
+/// balanced ranges (the first `n_jobs % chunks` get one extra job).
+/// Deterministic in its inputs, so every fleet instance — and a
+/// coordinator replaying its journal after a crash — derives the same
+/// chunk table from the same plan.
+pub fn chunk_ranges(n_jobs: usize, chunks: usize) -> Vec<Range<usize>> {
+    if n_jobs == 0 || chunks == 0 {
+        return Vec::new();
+    }
+    let chunks = chunks.min(n_jobs);
+    let base = n_jobs / chunks;
+    let extra = n_jobs % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut lo = 0;
+    for i in 0..chunks {
+        let len = base + usize::from(i < extra);
+        out.push(lo..lo + len);
+        lo += len;
+    }
+    out
+}
 
 /// Jobs executed, across every plan this process ran. The matching
 /// per-job duration histogram is `cnt_span_sweep_job_seconds`, fed by
@@ -70,10 +93,47 @@ impl Executor {
         E: fmt::Display + Send,
         F: Fn(&Job, &mut StdRng) -> core::result::Result<R, E> + Sync,
     {
-        let n = plan.len();
-        if n == 0 {
+        self.run_range(plan, root_seed, 0..plan.len(), work)
+    }
+
+    /// Runs the contiguous job slice `range` of `plan`, returning results
+    /// indexed by position within the range.
+    ///
+    /// Each job's generator is still seeded by its **global** index, so
+    /// `run_range(p, s, lo..hi, w)` produces exactly the slice
+    /// `run(p, s, w)[lo..hi]` — chunk boundaries are seam-free, and a
+    /// sweep fanned out across a fleet in ranges merges back
+    /// byte-identical to the single-instance run.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EmptyPlan`] for a job-less plan, [`Error::InvalidParameter`]
+    /// for an empty or out-of-bounds range; job failures report the
+    /// lowest **global** failing index like [`Executor::run`].
+    pub fn run_range<R, E, F>(
+        &self,
+        plan: &SweepPlan,
+        root_seed: u64,
+        range: Range<usize>,
+        work: F,
+    ) -> Result<Vec<R>>
+    where
+        R: Send,
+        E: fmt::Display + Send,
+        F: Fn(&Job, &mut StdRng) -> core::result::Result<R, E> + Sync,
+    {
+        let total = plan.len();
+        if total == 0 {
             return Err(Error::EmptyPlan);
         }
+        if range.start >= range.end || range.end > total {
+            return Err(Error::InvalidParameter {
+                name: "job_range",
+                value: range.end as f64,
+            });
+        }
+        let (lo, hi) = (range.start, range.end);
+        let n = hi - lo;
         let fingerprint = plan.fingerprint();
         // Observe-only progress: capture the calling thread's sink once so
         // pooled workers report into it too. Never touches results.
@@ -87,7 +147,7 @@ impl Executor {
         // failure is already the lowest-indexed one by construction.)
         if self.threads == 1 || n == 1 {
             let mut out = Vec::with_capacity(n);
-            for index in 0..n {
+            for index in lo..hi {
                 let job = plan.job(index);
                 let mut rng = job_rng(root_seed, fingerprint, index);
                 jobs_counter().inc();
@@ -106,7 +166,7 @@ impl Executor {
             return Ok(out);
         }
 
-        let next = AtomicUsize::new(0);
+        let next = AtomicUsize::new(lo);
         let slots: Vec<Mutex<Option<core::result::Result<R, E>>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
         // When the calling thread is tracing, each worker captures its
@@ -124,7 +184,7 @@ impl Executor {
             for _ in 0..self.threads.min(n) {
                 scope.spawn(|| loop {
                     let index = next.fetch_add(1, Ordering::Relaxed);
-                    if index >= n {
+                    if index >= hi {
                         break;
                     }
                     let job = plan.job(index);
@@ -142,13 +202,13 @@ impl Executor {
                         work(&job, &mut rng)
                     };
                     if tracing {
-                        *trace_slots[index].lock().expect("trace slot poisoned") =
+                        *trace_slots[index - lo].lock().expect("trace slot poisoned") =
                             cnt_obs::Trace::end();
                     }
                     if let Some(sink) = &progress {
                         sink.inc_done();
                     }
-                    *slots[index].lock().expect("result slot poisoned") = Some(result);
+                    *slots[index - lo].lock().expect("result slot poisoned") = Some(result);
                 });
             }
         });
@@ -166,7 +226,8 @@ impl Executor {
         // Every job ran; unwrap in index order so the first error seen is
         // the lowest-indexed one.
         let mut out = Vec::with_capacity(n);
-        for (index, slot) in slots.into_iter().enumerate() {
+        for (offset, slot) in slots.into_iter().enumerate() {
+            let index = lo + offset;
             match slot.into_inner().expect("result slot poisoned") {
                 Some(Ok(v)) => out.push(v),
                 Some(Err(e)) => {
@@ -283,6 +344,67 @@ mod tests {
         // Without a trace armed, the pool still runs (and captures nothing).
         assert!(!cnt_obs::Trace::is_active());
         assert!(Executor::new(4).run(&p, 42, work).is_ok());
+    }
+
+    #[test]
+    fn run_range_matches_the_full_run_slice_at_any_thread_count() {
+        let p = plan(7, 11); // 77 jobs
+        let work = |job: &Job, rng: &mut StdRng| -> Result<f64> {
+            Ok(job.get("g").unwrap() * 1000.0 + rng.gen::<f64>())
+        };
+        let full = Executor::new(1).run(&p, 42, work).unwrap();
+        for threads in [1, 4] {
+            let exec = Executor::new(threads);
+            for range in chunk_ranges(p.len(), 5) {
+                let part = exec.run_range(&p, 42, range.clone(), work).unwrap();
+                assert_eq!(part, full[range], "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_range_reports_global_failing_index_and_rejects_bad_ranges() {
+        let p = plan(1, 20);
+        let work = |job: &Job, _: &mut StdRng| -> core::result::Result<f64, String> {
+            let t = job.get("trial").unwrap();
+            if t >= 15.0 {
+                Err("over".to_string())
+            } else {
+                Ok(t)
+            }
+        };
+        for threads in [1, 4] {
+            match Executor::new(threads).run_range(&p, 0, 10..20, work) {
+                Err(Error::Job { index, .. }) => assert_eq!(index, 15, "threads={threads}"),
+                other => panic!("expected job failure, got {other:?}"),
+            }
+        }
+        let exec = Executor::new(2);
+        assert!(matches!(
+            exec.run_range(&p, 0, 5..5, work),
+            Err(Error::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            exec.run_range(&p, 0, 10..21, work),
+            Err(Error::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn chunk_ranges_are_balanced_contiguous_and_cover_the_plan() {
+        assert_eq!(chunk_ranges(0, 4), vec![]);
+        assert_eq!(chunk_ranges(10, 0), vec![]);
+        assert_eq!(chunk_ranges(3, 8), vec![0..1, 1..2, 2..3]);
+        let ranges = chunk_ranges(2000, 6);
+        assert_eq!(ranges.len(), 6);
+        assert_eq!(ranges[0], 0..334);
+        assert_eq!(ranges.last().unwrap().end, 2000);
+        let mut cursor = 0;
+        for r in &ranges {
+            assert_eq!(r.start, cursor, "contiguous");
+            assert!(r.end - r.start >= 333, "balanced: {r:?}");
+            cursor = r.end;
+        }
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub mod seed;
 pub use agg::{Histogram, OnlineStats, Summary};
 pub use axis::Axis;
 pub use cache::{CacheKey, GcStats, ResultStore, Table};
-pub use exec::Executor;
+pub use exec::{chunk_ranges, Executor};
 pub use plan::{Job, SweepPlan};
 pub use pool::{PoolJob, WorkerPool};
 pub use progress::Progress;
